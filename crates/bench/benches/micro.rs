@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the core primitives every learner relies
+//! on: θ-subsumption (coverage testing), IND-aware bottom-clause
+//! construction, natural joins (composition), and lgg (Golem's operator).
+
+use castor_core::{BottomClausePlan, CastorConfig};
+use castor_datasets::uwcse::{generate, UwCseConfig};
+use castor_learners::bottom_clause::{ground_bottom_clause, BottomClauseConfig};
+use castor_logic::{lgg_clauses, subsumes};
+use castor_relational::natural_join;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn family() -> castor_datasets::SchemaFamily {
+    generate(&UwCseConfig::default())
+}
+
+fn bench_subsumption(c: &mut Criterion) {
+    let family = family();
+    let variant = family.variant("Original").unwrap();
+    let example = variant.task.positive[0].clone();
+    let config = BottomClauseConfig::default();
+    let ground = ground_bottom_clause(&variant.db, "advisedBy", &example, &config);
+    let candidate = variant.ground_truth.clone().unwrap().clauses[0].clone();
+    c.bench_function("theta_subsumption_ground_bottom_clause", |b| {
+        b.iter(|| black_box(subsumes(black_box(&candidate), black_box(&ground))))
+    });
+}
+
+fn bench_bottom_clause(c: &mut Criterion) {
+    let family = family();
+    let variant = family.variant("Original").unwrap();
+    let example = variant.task.positive[0].clone();
+    let plan = BottomClausePlan::compile(variant.db.schema(), false);
+    let config = CastorConfig::uwcse();
+    c.bench_function("castor_ind_aware_bottom_clause", |b| {
+        b.iter(|| {
+            black_box(castor_core::castor_ground_bottom_clause(
+                &variant.db,
+                &plan,
+                "advisedBy",
+                black_box(&example),
+                &config,
+            ))
+        })
+    });
+}
+
+fn bench_natural_join(c: &mut Criterion) {
+    let family = family();
+    let db = &family.variant("Original").unwrap().db;
+    let student = db.relation("student").unwrap();
+    let in_phase = db.relation("inPhase").unwrap();
+    c.bench_function("natural_join_student_inphase", |b| {
+        b.iter(|| black_box(natural_join(student, in_phase, "joined").unwrap()))
+    });
+}
+
+fn bench_lgg(c: &mut Criterion) {
+    let family = family();
+    let variant = family.variant("Original").unwrap();
+    let config = BottomClauseConfig::default();
+    let g1 = ground_bottom_clause(&variant.db, "advisedBy", &variant.task.positive[0], &config);
+    let g2 = ground_bottom_clause(&variant.db, "advisedBy", &variant.task.positive[1], &config);
+    c.bench_function("lgg_of_two_saturations", |b| {
+        b.iter(|| black_box(lgg_clauses(black_box(&g1), black_box(&g2))))
+    });
+}
+
+criterion_group!(benches, bench_subsumption, bench_bottom_clause, bench_natural_join, bench_lgg);
+criterion_main!(benches);

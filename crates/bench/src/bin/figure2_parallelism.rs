@@ -1,0 +1,4 @@
+//! Regenerates Figure 2 (parallelization sweep).
+fn main() {
+    println!("{}", castor_bench::figure2_parallelism(&[1, 2, 4, 8]));
+}

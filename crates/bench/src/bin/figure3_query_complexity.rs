@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (A2 query complexity).
+fn main() {
+    println!("{}", castor_bench::figure3_query_complexity(10));
+}

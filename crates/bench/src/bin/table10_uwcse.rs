@@ -1,0 +1,4 @@
+//! Regenerates the paper's table10 uwcse (see castor-bench's crate docs).
+fn main() {
+    println!("{}", castor_bench::table10_uwcse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table11 imdb (see castor-bench's crate docs).
+fn main() {
+    println!("{}", castor_bench::table11_imdb());
+}

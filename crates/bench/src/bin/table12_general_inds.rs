@@ -1,0 +1,4 @@
+//! Regenerates the paper's table12 general inds (see castor-bench's crate docs).
+fn main() {
+    println!("{}", castor_bench::table12_general_inds());
+}

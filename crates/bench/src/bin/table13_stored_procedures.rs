@@ -1,0 +1,4 @@
+//! Regenerates the paper's table13 stored procedures (see castor-bench's crate docs).
+fn main() {
+    println!("{}", castor_bench::table13_stored_procedures());
+}

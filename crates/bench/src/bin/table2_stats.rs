@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 stats (see castor-bench's crate docs).
+fn main() {
+    println!("{}", castor_bench::table2_statistics());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 9 (HIV-Large and HIV-2K4K).
+fn main() {
+    println!("{}", castor_bench::table9_hiv());
+}

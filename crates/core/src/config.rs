@@ -1,0 +1,108 @@
+//! Castor configuration.
+
+use castor_learners::LearnerParams;
+
+/// Configuration for the [`crate::Castor`] learner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CastorConfig {
+    /// The shared learner parameters (minimum precision, sample size `K`,
+    /// beam width `N`, recall limit, variable cap, thread count, ...).
+    pub params: LearnerParams,
+    /// Use INDs in general (subset) form directly, without the
+    /// preprocessing that promotes them to equalities — the extension of
+    /// Section 7.4 evaluated in Table 12.
+    pub use_general_inds: bool,
+    /// Run the preprocessing step of Section 7.4: for each subset IND check
+    /// whether it holds with equality on the given instance and, if so,
+    /// treat it as an IND with equality.
+    pub promote_general_inds: bool,
+    /// Produce only safe clauses (Section 7.3).
+    pub safe_clauses: bool,
+    /// Use the pre-compiled bottom-clause plan ("stored procedures",
+    /// Section 7.5.2). Disabling it re-resolves schema metadata and scans
+    /// without indexes on every call — the ablation of Table 13.
+    pub use_stored_procedures: bool,
+    /// Minimize bottom clauses and learned clauses (Section 7.5.5).
+    pub minimize_clauses: bool,
+}
+
+impl Default for CastorConfig {
+    fn default() -> Self {
+        CastorConfig {
+            params: LearnerParams::default(),
+            use_general_inds: false,
+            promote_general_inds: false,
+            safe_clauses: false,
+            use_stored_procedures: true,
+            minimize_clauses: true,
+        }
+    }
+}
+
+impl CastorConfig {
+    /// Configuration matching the paper's large-dataset runs (HIV, IMDb):
+    /// `sample = 1`, `beamwidth = 1`.
+    pub fn large_dataset() -> Self {
+        CastorConfig {
+            params: LearnerParams::large_dataset(),
+            ..Default::default()
+        }
+    }
+
+    /// Configuration matching the paper's UW-CSE runs: `sample = 20`,
+    /// `beamwidth = 3`.
+    pub fn uwcse() -> Self {
+        CastorConfig {
+            params: LearnerParams::uwcse(),
+            ..Default::default()
+        }
+    }
+
+    /// Returns a copy with the given number of coverage-testing threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.params.threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy using general (subset) INDs directly (Table 12 mode).
+    pub fn with_general_inds(mut self) -> Self {
+        self.use_general_inds = true;
+        self
+    }
+
+    /// Returns a copy with stored procedures disabled (Table 13 ablation).
+    pub fn without_stored_procedures(mut self) -> Self {
+        self.use_stored_procedures = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_stored_procedures_and_minimization() {
+        let c = CastorConfig::default();
+        assert!(c.use_stored_procedures);
+        assert!(c.minimize_clauses);
+        assert!(!c.use_general_inds);
+    }
+
+    #[test]
+    fn builders_toggle_flags() {
+        let c = CastorConfig::default()
+            .with_general_inds()
+            .without_stored_procedures()
+            .with_threads(8);
+        assert!(c.use_general_inds);
+        assert!(!c.use_stored_procedures);
+        assert_eq!(c.params.threads, 8);
+    }
+
+    #[test]
+    fn preset_configs_differ_in_search_width() {
+        assert_eq!(CastorConfig::large_dataset().params.sample_size, 1);
+        assert_eq!(CastorConfig::uwcse().params.sample_size, 20);
+    }
+}

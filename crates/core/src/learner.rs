@@ -1,0 +1,385 @@
+//! The Castor learner: Algorithm 4 (`LearnClause`) inside the covering loop
+//! of Algorithm 1, plus the general-IND preprocessing of Section 7.4.
+
+use crate::armg::castor_armg;
+use crate::bottom_clause::castor_bottom_clause;
+use crate::config::CastorConfig;
+use crate::coverage::CoverageEngine;
+use crate::plan::BottomClausePlan;
+use crate::reduction::negative_reduce;
+use castor_learners::LearningTask;
+use castor_logic::{is_safe, minimize_clause, Clause, Definition};
+use castor_relational::{DatabaseInstance, InclusionDependency, Schema, Tuple};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// The result of a Castor run, with the measurements the experiment harness
+/// reports.
+#[derive(Debug, Clone)]
+pub struct LearnOutcome {
+    /// The learned Horn definition.
+    pub definition: Definition,
+    /// Wall-clock learning time.
+    pub elapsed: Duration,
+    /// Number of coverage (subsumption) tests performed.
+    pub coverage_tests: usize,
+    /// Average fraction of bottom-clause literals removed by minimization.
+    pub minimization_reduction: f64,
+}
+
+/// The Castor learner.
+#[derive(Debug, Clone)]
+pub struct Castor {
+    config: CastorConfig,
+}
+
+impl Castor {
+    /// Creates a Castor learner with the given configuration.
+    pub fn new(config: CastorConfig) -> Self {
+        Castor { config }
+    }
+
+    /// The learner's configuration.
+    pub fn config(&self) -> &CastorConfig {
+        &self.config
+    }
+
+    /// Learns a Horn definition for `task` over `db`.
+    pub fn learn(&mut self, db: &DatabaseInstance, task: &LearningTask) -> LearnOutcome {
+        let start = Instant::now();
+
+        // Section 7.4 preprocessing: promote subset INDs that hold with
+        // equality over this instance.
+        let schema = if self.config.promote_general_inds {
+            promote_general_inds(db)
+        } else {
+            db.schema().clone()
+        };
+
+        let mut plan = BottomClausePlan::compile(&schema, self.config.use_general_inds);
+        plan.use_indexes = self.config.use_stored_procedures;
+
+        let engine = CoverageEngine::build(
+            db,
+            &plan,
+            &task.target,
+            &task.positive,
+            &task.negative,
+            &self.config,
+        );
+
+        let mut definition = Definition::empty(task.target.clone());
+        let mut uncovered: Vec<Tuple> = task.positive.clone();
+        let mut reduction_samples: Vec<f64> = Vec::new();
+
+        while !uncovered.is_empty() {
+            let Some(clause) = self.learn_clause(
+                db,
+                &plan,
+                &engine,
+                &task.target,
+                &uncovered,
+                &task.negative,
+                &mut reduction_samples,
+            ) else {
+                break;
+            };
+            let covered_pos = engine.covered_set(&clause, &uncovered, None);
+            let covered_neg = engine.covered_set(&clause, &task.negative, None);
+            if !self
+                .config
+                .params
+                .meets_minimum(covered_pos.len(), covered_neg.len())
+            {
+                break;
+            }
+            if covered_pos.is_empty() {
+                break;
+            }
+            uncovered.retain(|e| !covered_pos.contains(e));
+            definition.push(clause);
+        }
+
+        LearnOutcome {
+            definition,
+            elapsed: start.elapsed(),
+            coverage_tests: engine.tests_performed(),
+            minimization_reduction: if reduction_samples.is_empty() {
+                0.0
+            } else {
+                reduction_samples.iter().sum::<f64>() / reduction_samples.len() as f64
+            },
+        }
+    }
+
+    /// Castor's `LearnClause` (Algorithm 4): bottom clause of the first
+    /// uncovered example, minimization, beam search over IND-aware ARMGs,
+    /// and negative reduction of the best candidate.
+    #[allow(clippy::too_many_arguments)]
+    fn learn_clause(
+        &self,
+        db: &DatabaseInstance,
+        plan: &BottomClausePlan,
+        engine: &CoverageEngine,
+        target: &str,
+        uncovered: &[Tuple],
+        negative: &[Tuple],
+        reduction_samples: &mut Vec<f64>,
+    ) -> Option<Clause> {
+        let params = &self.config.params;
+        let seed = uncovered.first()?;
+        let mut bottom = castor_bottom_clause(db, plan, target, seed, &self.config);
+        if self.config.minimize_clauses {
+            let before = bottom.body_len();
+            bottom = minimize_clause(&bottom);
+            if before > 0 {
+                reduction_samples.push((before - bottom.body_len()) as f64 / before as f64);
+            }
+        }
+        if bottom.body.is_empty() {
+            return None;
+        }
+
+        // Beam of candidates, each carrying the set of positives it is known
+        // to cover (used to skip redundant coverage tests, Section 7.5.4).
+        let initial_cov = engine.covered_set(&bottom, uncovered, None);
+        let initial_neg = engine.covered_set(&bottom, negative, None);
+        let mut beam: Vec<(Clause, HashSet<Tuple>, usize)> = vec![(
+            bottom.clone(),
+            initial_cov.clone(),
+            initial_neg.len(),
+        )];
+        let mut best: (Clause, i64) = (
+            bottom.clone(),
+            initial_cov.len() as i64 - initial_neg.len() as i64,
+        );
+
+        loop {
+            let sample: Vec<&Tuple> = uncovered.iter().take(params.sample_size.max(1)).collect();
+            let mut candidates: Vec<(Clause, HashSet<Tuple>, usize)> = Vec::new();
+            for (clause, known_cov, _) in &beam {
+                for example in &sample {
+                    if known_cov.contains(*example) {
+                        continue;
+                    }
+                    let Some(generalized) = castor_armg(clause, db, plan, example) else {
+                        continue;
+                    };
+                    if generalized.body.is_empty() {
+                        continue;
+                    }
+                    if self.config.safe_clauses && !is_safe(&generalized) {
+                        continue;
+                    }
+                    // Generalizations cover everything the parent covered.
+                    let cov = engine.covered_set(&generalized, uncovered, Some(known_cov));
+                    let neg = engine.covered_set(&generalized, negative, None);
+                    let score = cov.len() as i64 - neg.len() as i64;
+                    if score > best.1 {
+                        candidates.push((generalized, cov, neg.len()));
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            candidates.sort_by_key(|(_, cov, neg)| -(cov.len() as i64 - *neg as i64));
+            candidates.truncate(params.beam_width.max(1));
+            let top_score = candidates[0].1.len() as i64 - candidates[0].2 as i64;
+            if top_score > best.1 {
+                best = (candidates[0].0.clone(), top_score);
+            }
+            beam = candidates;
+        }
+
+        // Negative reduction of the best candidate, then minimization.
+        let reduced = negative_reduce(&best.0, engine, negative, plan, self.config.safe_clauses);
+        let final_clause = if self.config.minimize_clauses {
+            minimize_clause(&reduced)
+        } else {
+            reduced
+        };
+        if final_clause.body.is_empty() {
+            return None;
+        }
+        Some(final_clause)
+    }
+}
+
+/// Promotes subset INDs that hold with equality over the given instance
+/// (the preprocessing step of Section 7.4).
+pub fn promote_general_inds(db: &DatabaseInstance) -> Schema {
+    let schema = db.schema().clone();
+    let promoted: Vec<InclusionDependency> = schema
+        .inds()
+        .filter(|ind| !ind.with_equality)
+        .filter(|ind| {
+            let mut as_equality = (*ind).clone();
+            as_equality.with_equality = true;
+            db.satisfies_ind(&as_equality).unwrap_or(false)
+        })
+        .cloned()
+        .collect();
+    if promoted.is_empty() {
+        return schema;
+    }
+    let mut out = Schema::new(schema.name());
+    for r in schema.relations() {
+        out.add_relation(r.clone());
+    }
+    for c in schema.constraints() {
+        match c {
+            castor_relational::Constraint::Ind(ind)
+                if promoted.iter().any(|p| p == ind) =>
+            {
+                let mut eq = ind.clone();
+                eq.with_equality = true;
+                out.add_ind(eq);
+            }
+            other => {
+                out.add_constraint(other.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_relational::{RelationSymbol, Tuple};
+
+    /// Collaboration database: the target is "x and y co-authored a paper".
+    fn collaboration_db() -> DatabaseInstance {
+        let mut schema = Schema::new("demo");
+        schema.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+        schema.add_relation(RelationSymbol::new("professor", &["prof"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for (t, p) in [
+            ("p1", "ann"),
+            ("p1", "bob"),
+            ("p2", "carol"),
+            ("p2", "dan"),
+            ("p3", "eve"),
+            ("p4", "ann"),
+        ] {
+            db.insert("publication", Tuple::from_strs(&[t, p])).unwrap();
+        }
+        for p in ["bob", "dan"] {
+            db.insert("professor", Tuple::from_strs(&[p])).unwrap();
+        }
+        db
+    }
+
+    fn collaboration_task() -> LearningTask {
+        LearningTask::new(
+            "advisedBy",
+            2,
+            vec![
+                Tuple::from_strs(&["ann", "bob"]),
+                Tuple::from_strs(&["carol", "dan"]),
+            ],
+            vec![
+                Tuple::from_strs(&["ann", "dan"]),
+                Tuple::from_strs(&["eve", "bob"]),
+                Tuple::from_strs(&["carol", "bob"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn castor_learns_consistent_definition() {
+        let db = collaboration_db();
+        let task = collaboration_task();
+        let mut castor = Castor::new(CastorConfig::default());
+        let outcome = castor.learn(&db, &task);
+        assert!(!outcome.definition.is_empty());
+        for pos in &task.positive {
+            assert!(
+                outcome
+                    .definition
+                    .clauses
+                    .iter()
+                    .any(|c| castor_logic::covers_example(c, &db, pos)),
+                "positive {pos} must be covered"
+            );
+        }
+        for neg in &task.negative {
+            assert!(
+                !outcome
+                    .definition
+                    .clauses
+                    .iter()
+                    .any(|c| castor_logic::covers_example(c, &db, neg)),
+                "negative {neg} must not be covered"
+            );
+        }
+        assert!(outcome.coverage_tests > 0);
+    }
+
+    #[test]
+    fn safe_mode_produces_safe_definitions() {
+        let db = collaboration_db();
+        let task = collaboration_task();
+        let config = CastorConfig {
+            safe_clauses: true,
+            ..Default::default()
+        };
+        let outcome = Castor::new(config).learn(&db, &task);
+        assert!(castor_logic::safety::is_safe_definition(&outcome.definition));
+    }
+
+    #[test]
+    fn stored_procedure_ablation_learns_same_definition() {
+        let db = collaboration_db();
+        let task = collaboration_task();
+        let with = Castor::new(CastorConfig::default()).learn(&db, &task);
+        let without =
+            Castor::new(CastorConfig::default().without_stored_procedures()).learn(&db, &task);
+        assert_eq!(with.definition.len(), without.definition.len());
+        for (a, b) in with.definition.clauses.iter().zip(without.definition.clauses.iter()) {
+            assert!(castor_logic::subsumption::theta_equivalent(a, b));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let db = collaboration_db();
+        let task = collaboration_task();
+        let single = Castor::new(CastorConfig::default().with_threads(1)).learn(&db, &task);
+        let multi = Castor::new(CastorConfig::default().with_threads(4)).learn(&db, &task);
+        assert_eq!(single.definition.len(), multi.definition.len());
+    }
+
+    #[test]
+    fn promote_general_inds_upgrades_matching_subset_inds() {
+        let mut schema = Schema::new("s");
+        schema
+            .add_relation(RelationSymbol::new("a", &["x"]))
+            .add_relation(RelationSymbol::new("b", &["x"]))
+            .add_ind(InclusionDependency::subset("a", &["x"], "b", &["x"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        db.insert("a", Tuple::from_strs(&["1"])).unwrap();
+        db.insert("b", Tuple::from_strs(&["1"])).unwrap();
+        let promoted = promote_general_inds(&db);
+        assert_eq!(promoted.equality_inds().len(), 1);
+        // Add an extra b tuple: the IND no longer holds with equality.
+        db.insert("b", Tuple::from_strs(&["2"])).unwrap();
+        let db2 = {
+            let mut fresh = DatabaseInstance::empty(&schema);
+            fresh.insert("a", Tuple::from_strs(&["1"])).unwrap();
+            fresh.insert("b", Tuple::from_strs(&["1"])).unwrap();
+            fresh.insert("b", Tuple::from_strs(&["2"])).unwrap();
+            fresh
+        };
+        assert!(promote_general_inds(&db2).equality_inds().is_empty());
+    }
+
+    #[test]
+    fn empty_task_learns_empty_definition() {
+        let db = collaboration_db();
+        let task = LearningTask::new("advisedBy", 2, vec![], vec![]);
+        let outcome = Castor::new(CastorConfig::default()).learn(&db, &task);
+        assert!(outcome.definition.is_empty());
+    }
+}

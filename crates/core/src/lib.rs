@@ -1,0 +1,75 @@
+//! # castor-core
+//!
+//! **Castor**: the schema-independent, bottom-up relational learning
+//! algorithm of *Schema Independent Relational Learning* (Picado,
+//! Termehchy, Fern, Ataei; 2017) — the paper's primary contribution
+//! (Section 7).
+//!
+//! Castor follows the same covering/beam-search strategy as ProGolem but
+//! integrates the schema's inclusion dependencies (INDs) into every phase so
+//! that its output is invariant under vertical composition/decomposition of
+//! the schema:
+//!
+//! * [`bottom_clause`] — IND-aware bottom-clause construction (Section 7.1):
+//!   whenever a tuple of a relation in an inclusion class is added, the
+//!   tuples of the other class members that join with it through the INDs
+//!   with equality are added in the same iteration, and the stopping
+//!   condition counts *distinct variables* instead of depth (which is
+//!   invariant under (de)composition).
+//! * [`armg`] — Castor's ARMG (Section 7.2.1): after removing a blocking
+//!   atom, literals whose free tuples no longer satisfy the INDs of their
+//!   inclusion class are removed too, so generalizations stay equivalent
+//!   across schemas (Example 7.6, Lemma 7.7).
+//! * [`reduction`] — negative reduction over instances of inclusion classes
+//!   (Algorithm 5, Lemma 7.8), with the safe variant of Section 7.3.
+//! * [`coverage`] — coverage testing by θ-subsumption against ground
+//!   bottom-clauses, with result caching and multi-threaded evaluation
+//!   (Section 7.5; Figure 2 measures the parallelization ablation).
+//! * [`plan`] — the "stored procedure" emulation (Section 7.5.2): a
+//!   pre-compiled per-schema bottom-clause plan (inclusion classes and
+//!   attribute positions resolved once, reused across calls); Table 13
+//!   compares planned vs. unplanned construction.
+//! * [`learner`] — Castor's `LearnClause` (Algorithm 4) and the public
+//!   [`Castor`] entry point.
+//! * [`config`] — [`CastorConfig`], including the general-IND extension of
+//!   Section 7.4 (`use_general_inds`) and the safe-clause mode.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use castor_core::{Castor, CastorConfig};
+//! use castor_learners::LearningTask;
+//! use castor_relational::{DatabaseInstance, InclusionDependency, RelationSymbol, Schema, Tuple};
+//!
+//! // A tiny database: collaborators share a publication.
+//! let mut schema = Schema::new("demo");
+//! schema.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+//! let mut db = DatabaseInstance::empty(&schema);
+//! for (t, p) in [("p1", "ann"), ("p1", "bob"), ("p2", "carol"), ("p2", "dan")] {
+//!     db.insert("publication", Tuple::from_strs(&[t, p])).unwrap();
+//! }
+//! let task = LearningTask::new(
+//!     "collaborated",
+//!     2,
+//!     vec![Tuple::from_strs(&["ann", "bob"]), Tuple::from_strs(&["carol", "dan"])],
+//!     vec![Tuple::from_strs(&["ann", "carol"])],
+//! );
+//! let mut castor = Castor::new(CastorConfig::default());
+//! let outcome = castor.learn(&db, &task);
+//! assert!(!outcome.definition.is_empty());
+//! ```
+
+pub mod armg;
+pub mod bottom_clause;
+pub mod config;
+pub mod coverage;
+pub mod learner;
+pub mod plan;
+pub mod reduction;
+
+pub use armg::castor_armg;
+pub use bottom_clause::{castor_ground_bottom_clause, castor_bottom_clause};
+pub use config::CastorConfig;
+pub use coverage::CoverageEngine;
+pub use learner::{Castor, LearnOutcome};
+pub use plan::BottomClausePlan;

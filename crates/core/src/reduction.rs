@@ -1,0 +1,353 @@
+//! Negative reduction over inclusion-class instances (Section 7.2.2,
+//! Algorithm 5) and its safe variant (Section 7.3.3).
+//!
+//! After ARMG, Castor removes *non-essential* groups of literals: dropping
+//! them must not increase the number of negative examples covered. The unit
+//! of removal is an **instance of an inclusion class** — the set of literals
+//! whose relations belong to one class and whose terms join on the class's
+//! IND attributes — so that what gets dropped over a decomposed schema
+//! corresponds exactly to one literal over the composed schema (Lemma 7.8).
+
+use crate::coverage::CoverageEngine;
+use crate::plan::BottomClausePlan;
+use castor_logic::Clause;
+use castor_relational::Tuple;
+use std::collections::{BTreeSet, HashSet};
+
+/// A group of body-literal indices forming one instance of an inclusion
+/// class (or a singleton for a literal outside every class).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InclusionInstance {
+    /// Indices into the clause body, in clause order.
+    pub literals: Vec<usize>,
+}
+
+/// Groups the body literals of `clause` into instances of inclusion
+/// classes. Literals of relations outside every class become singleton
+/// instances. Within a class, a literal joins an existing instance when it
+/// agrees with some member on the attributes of a class IND; otherwise it
+/// starts a new instance.
+pub fn inclusion_instances(clause: &Clause, plan: &BottomClausePlan) -> Vec<InclusionInstance> {
+    let mut instances: Vec<InclusionInstance> = Vec::new();
+    for (i, literal) in clause.body.iter().enumerate() {
+        if plan.class_of(&literal.relation).is_none() {
+            instances.push(InclusionInstance { literals: vec![i] });
+            continue;
+        }
+        // Try to join an existing instance of the same class through an IND
+        // edge whose attribute projections agree.
+        let mut joined = false;
+        for instance in instances.iter_mut() {
+            let same_class = instance.literals.iter().any(|&j| {
+                let other = &clause.body[j];
+                plan.class_of(&other.relation)
+                    .is_some_and(|c| c.contains(&literal.relation))
+            });
+            if !same_class {
+                continue;
+            }
+            let agrees = instance.literals.iter().any(|&j| {
+                let other = &clause.body[j];
+                plan.edges_of(&literal.relation).iter().any(|edge| {
+                    edge.to_relation == other.relation
+                        && edge
+                            .from_positions
+                            .iter()
+                            .zip(edge.to_positions.iter())
+                            .all(|(&fp, &tp)| literal.terms[fp] == other.terms[tp])
+                })
+            });
+            if agrees {
+                instance.literals.push(i);
+                joined = true;
+                break;
+            }
+        }
+        if !joined {
+            instances.push(InclusionInstance { literals: vec![i] });
+        }
+    }
+    instances
+}
+
+/// Builds the clause whose body consists of the literals of the given
+/// instances (in original clause order).
+fn clause_from_instances(
+    clause: &Clause,
+    instances: &[InclusionInstance],
+) -> Clause {
+    let mut indices: Vec<usize> = instances.iter().flat_map(|i| i.literals.clone()).collect();
+    indices.sort_unstable();
+    indices.dedup();
+    Clause::new(
+        clause.head.clone(),
+        indices.iter().map(|&i| clause.body[i].clone()).collect(),
+    )
+}
+
+/// Instances needed to connect `target_idx` to the clause head through
+/// shared variables: a breadth-first search over instances, starting from
+/// the head's variables.
+fn head_connecting(
+    clause: &Clause,
+    instances: &[InclusionInstance],
+    target_idx: usize,
+) -> Vec<usize> {
+    // Build adjacency: instance -> variables it contains.
+    let vars_of = |inst: &InclusionInstance| -> BTreeSet<String> {
+        inst.literals
+            .iter()
+            .flat_map(|&i| clause.body[i].variables())
+            .collect()
+    };
+    let head_vars = clause.head.variables();
+    let target_vars = vars_of(&instances[target_idx]);
+    if target_vars.iter().any(|v| head_vars.contains(v)) {
+        return Vec::new(); // directly connected
+    }
+    // BFS from the head variable set towards the target instance.
+    let mut reached_vars = head_vars;
+    let mut used: Vec<usize> = Vec::new();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for (i, inst) in instances.iter().enumerate() {
+            if i == target_idx || used.contains(&i) {
+                continue;
+            }
+            let vars = vars_of(inst);
+            if vars.iter().any(|v| reached_vars.contains(v)) {
+                // Adding this instance may extend the reachable variables.
+                if !vars.is_subset(&reached_vars) {
+                    reached_vars.extend(vars);
+                    used.push(i);
+                    progress = true;
+                }
+            }
+        }
+        if vars_of(&instances[target_idx])
+            .iter()
+            .any(|v| reached_vars.contains(v))
+        {
+            break;
+        }
+    }
+    used
+}
+
+/// Castor's negative reduction (Algorithm 5): removes non-essential
+/// inclusion-class instances while keeping negative coverage unchanged.
+/// When `safe` is set, instances containing head variables that would
+/// otherwise be lost are retained (Section 7.3.3), so the output stays safe
+/// whenever the input is.
+pub fn negative_reduce(
+    clause: &Clause,
+    engine: &CoverageEngine,
+    negative: &[Tuple],
+    plan: &BottomClausePlan,
+    safe: bool,
+) -> Clause {
+    let covered_full = engine.covered_set(clause, negative, None);
+    let mut instances = inclusion_instances(clause, plan);
+    if safe {
+        // Sort by the number of head variables appearing in the instance
+        // (descending) so head-variable carriers are examined first.
+        let head_vars = clause.head.variables();
+        instances.sort_by_key(|inst| {
+            let count = inst
+                .literals
+                .iter()
+                .flat_map(|&i| clause.body[i].variables())
+                .filter(|v| head_vars.contains(v))
+                .count();
+            std::cmp::Reverse(count)
+        });
+    }
+
+    loop {
+        let mut cut: Option<usize> = None;
+        for i in 0..instances.len() {
+            let prefix = clause_from_instances(clause, &instances[..=i]);
+            let covered_prefix: HashSet<Tuple> = engine.covered_set(&prefix, negative, None);
+            if covered_prefix == covered_full {
+                cut = Some(i);
+                break;
+            }
+        }
+        let Some(i) = cut else {
+            // No prefix reproduces the clause's negative coverage (can only
+            // happen when the full set is needed); keep everything.
+            return clause_from_instances(clause, &instances);
+        };
+        let connectors = head_connecting(clause, &instances, i);
+        let mut keep: Vec<InclusionInstance> = Vec::new();
+        // Head-connecting instances first, then the pivot itself, then the
+        // earlier instances not already kept.
+        for &c in &connectors {
+            keep.push(instances[c].clone());
+        }
+        keep.push(instances[i].clone());
+        for (j, inst) in instances.iter().enumerate().take(i) {
+            if !connectors.contains(&j) {
+                keep.push(inst.clone());
+            }
+        }
+        if safe {
+            // Retain discarded instances that carry head variables absent
+            // from the kept set.
+            let kept_vars: BTreeSet<String> = keep
+                .iter()
+                .flat_map(|inst| inst.literals.iter())
+                .flat_map(|&k| clause.body[k].variables())
+                .collect();
+            let missing: BTreeSet<String> = clause
+                .head
+                .variables()
+                .into_iter()
+                .filter(|v| !kept_vars.contains(v))
+                .collect();
+            if !missing.is_empty() {
+                for (j, inst) in instances.iter().enumerate().skip(i + 1) {
+                    let vars: BTreeSet<String> = inst
+                        .literals
+                        .iter()
+                        .flat_map(|&k| clause.body[k].variables())
+                        .collect();
+                    if vars.iter().any(|v| missing.contains(v)) {
+                        keep.push(instances[j].clone());
+                    }
+                }
+            }
+        }
+        if keep.len() == instances.len() {
+            return clause_from_instances(clause, &keep);
+        }
+        instances = keep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CastorConfig;
+    use castor_logic::Atom;
+    use castor_relational::{DatabaseInstance, InclusionDependency, RelationSymbol, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("uwcse-original");
+        s.add_relation(RelationSymbol::new("student", &["stud"]))
+            .add_relation(RelationSymbol::new("inPhase", &["stud", "phase"]))
+            .add_relation(RelationSymbol::new("publication", &["title", "person"]))
+            .add_ind(InclusionDependency::equality("student", &["stud"], "inPhase", &["stud"]));
+        s
+    }
+
+    fn db() -> DatabaseInstance {
+        let mut db = DatabaseInstance::empty(&schema());
+        for (s, phase) in [("ann", "prelim"), ("bob", "prelim"), ("carl", "post")] {
+            db.insert("student", Tuple::from_strs(&[s])).unwrap();
+            db.insert("inPhase", Tuple::from_strs(&[s, phase])).unwrap();
+        }
+        for (t, p) in [("p1", "ann"), ("p1", "prof1"), ("p2", "bob"), ("p2", "prof2")] {
+            db.insert("publication", Tuple::from_strs(&[t, p])).unwrap();
+        }
+        db
+    }
+
+    fn engine_for(pos: &[Tuple], neg: &[Tuple], target: &str) -> (CoverageEngine, BottomClausePlan) {
+        let db = db();
+        let plan = BottomClausePlan::compile(db.schema(), false);
+        let config = CastorConfig::default();
+        let engine = CoverageEngine::build(&db, &plan, target, pos, neg, &config);
+        (engine, plan)
+    }
+
+    #[test]
+    fn grouping_joins_class_literals_on_ind_attributes() {
+        let db = db();
+        let plan = BottomClausePlan::compile(db.schema(), false);
+        let clause = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![
+                Atom::vars("student", &["x"]),
+                Atom::vars("inPhase", &["x", "p"]),
+                Atom::vars("student", &["y"]),
+                Atom::vars("publication", &["w", "x"]),
+            ],
+        );
+        let instances = inclusion_instances(&clause, &plan);
+        // student(x)+inPhase(x,p) form one instance; student(y) another;
+        // publication a singleton.
+        assert_eq!(instances.len(), 3);
+        assert_eq!(instances[0].literals, vec![0, 1]);
+        assert_eq!(instances[1].literals, vec![2]);
+        assert_eq!(instances[2].literals, vec![3]);
+    }
+
+    #[test]
+    fn non_essential_instances_are_removed() {
+        // Target: advisedBy(x,y) with a clause containing the essential
+        // shared-publication literals plus a non-essential student/inPhase
+        // instance. Dropping the student instance does not change negative
+        // coverage, so negative reduction removes it.
+        let pos = vec![Tuple::from_strs(&["ann", "prof1"])];
+        let neg = vec![Tuple::from_strs(&["ann", "prof2"])];
+        let (engine, plan) = engine_for(&pos, &neg, "advisedBy");
+        let clause = Clause::new(
+            Atom::vars("advisedBy", &["x", "y"]),
+            vec![
+                Atom::vars("publication", &["t", "x"]),
+                Atom::vars("publication", &["t", "y"]),
+                Atom::vars("student", &["x"]),
+                Atom::vars("inPhase", &["x", "ph"]),
+            ],
+        );
+        let reduced = negative_reduce(&clause, &engine, &neg, &plan, false);
+        assert!(reduced.body.iter().any(|a| a.relation == "publication"));
+        assert!(reduced.body.iter().all(|a| a.relation != "student"));
+        assert!(reduced.body.iter().all(|a| a.relation != "inPhase"));
+        // Reduction must not increase negative coverage.
+        assert_eq!(
+            engine.covered_set(&reduced, &neg, None),
+            engine.covered_set(&clause, &neg, None)
+        );
+    }
+
+    #[test]
+    fn essential_literals_are_kept() {
+        // Removing the second publication literal would cover the negative
+        // (ann co-authored something, but not with "nonauthor"), so it must
+        // stay.
+        let pos = vec![Tuple::from_strs(&["ann", "prof1"])];
+        let neg = vec![Tuple::from_strs(&["ann", "nonauthor"])];
+        let (engine, plan) = engine_for(&pos, &neg, "advisedBy");
+        let clause = Clause::new(
+            Atom::vars("advisedBy", &["x", "y"]),
+            vec![
+                Atom::vars("publication", &["t", "x"]),
+                Atom::vars("publication", &["t", "y"]),
+            ],
+        );
+        let reduced = negative_reduce(&clause, &engine, &neg, &plan, false);
+        assert_eq!(reduced.body_len(), 2);
+    }
+
+    #[test]
+    fn safe_mode_keeps_head_variable_carriers() {
+        // y only appears in the second publication literal; unsafe reduction
+        // with no negatives could drop it, safe reduction keeps a literal
+        // mentioning y.
+        let pos = vec![Tuple::from_strs(&["ann", "prof1"])];
+        let neg: Vec<Tuple> = Vec::new();
+        let (engine, plan) = engine_for(&pos, &neg, "advisedBy");
+        let clause = Clause::new(
+            Atom::vars("advisedBy", &["x", "y"]),
+            vec![
+                Atom::vars("publication", &["t", "x"]),
+                Atom::vars("publication", &["t", "y"]),
+            ],
+        );
+        let reduced = negative_reduce(&clause, &engine, &neg, &plan, true);
+        assert!(castor_logic::is_safe(&reduced));
+    }
+}

@@ -1,0 +1,96 @@
+//! k-fold cross-validation splits.
+//!
+//! The paper evaluates with 5-fold cross validation on UW-CSE and 10-fold
+//! on HIV and IMDb. Folds are built over the example sets only; the
+//! background database is shared between training and testing, as is
+//! standard in ILP evaluation.
+
+use castor_learners::LearningTask;
+use castor_relational::Tuple;
+
+/// One train/test split.
+#[derive(Debug, Clone)]
+pub struct Fold {
+    /// The training task.
+    pub train: LearningTask,
+    /// Held-out positive examples.
+    pub test_positive: Vec<Tuple>,
+    /// Held-out negative examples.
+    pub test_negative: Vec<Tuple>,
+}
+
+/// Splits the task's examples into `k` folds (round-robin, preserving the
+/// task's example order, which the dataset generators already shuffle).
+pub fn cross_validation_folds(task: &LearningTask, k: usize) -> Vec<Fold> {
+    let k = k.max(2);
+    let mut folds = Vec::with_capacity(k);
+    for fold_idx in 0..k {
+        let in_test = |i: usize| i % k == fold_idx;
+        let (test_pos, train_pos): (Vec<_>, Vec<_>) = task
+            .positive
+            .iter()
+            .enumerate()
+            .partition(|(i, _)| in_test(*i));
+        let (test_neg, train_neg): (Vec<_>, Vec<_>) = task
+            .negative
+            .iter()
+            .enumerate()
+            .partition(|(i, _)| in_test(*i));
+        let strip = |v: Vec<(usize, &Tuple)>| v.into_iter().map(|(_, t)| t.clone()).collect();
+        folds.push(Fold {
+            train: task.with_examples(strip(train_pos), strip(train_neg)),
+            test_positive: strip(test_pos),
+            test_negative: strip(test_neg),
+        });
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(n_pos: usize, n_neg: usize) -> LearningTask {
+        LearningTask::new(
+            "t",
+            1,
+            (0..n_pos).map(|i| Tuple::from_strs(&[&format!("p{i}")])).collect(),
+            (0..n_neg).map(|i| Tuple::from_strs(&[&format!("n{i}")])).collect(),
+        )
+    }
+
+    #[test]
+    fn folds_partition_the_examples() {
+        let t = task(10, 20);
+        let folds = cross_validation_folds(&t, 5);
+        assert_eq!(folds.len(), 5);
+        let total_test_pos: usize = folds.iter().map(|f| f.test_positive.len()).sum();
+        let total_test_neg: usize = folds.iter().map(|f| f.test_negative.len()).sum();
+        assert_eq!(total_test_pos, 10);
+        assert_eq!(total_test_neg, 20);
+        for f in &folds {
+            assert_eq!(f.train.positive_count() + f.test_positive.len(), 10);
+            assert_eq!(f.train.negative_count() + f.test_negative.len(), 20);
+            // Train and test are disjoint.
+            for e in &f.test_positive {
+                assert!(!f.train.positive.contains(e));
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_two_folds() {
+        let t = task(4, 4);
+        let folds = cross_validation_folds(&t, 1);
+        assert_eq!(folds.len(), 2);
+    }
+
+    #[test]
+    fn uneven_examples_are_distributed() {
+        let t = task(7, 3);
+        let folds = cross_validation_folds(&t, 3);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test_positive.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 7);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+    }
+}

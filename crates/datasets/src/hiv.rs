@@ -1,0 +1,411 @@
+//! The HIV (NCI AIDS antiviral screen) benchmark family (Tables 3 & 4).
+//!
+//! The real dataset describes 42,000 chemical compounds as atoms, bonds and
+//! bond types; the target is `hivActive(comp)`. This module generates a
+//! synthetic molecule collection with the same three schema variants:
+//!
+//! * **Initial** — `bonds(bd,atm1,atm2)` plus one relation per bond-type
+//!   slot (`bType1`, `bType2`, `bType3`), unary element and property
+//!   relations, and `compound(comp,atm)`;
+//! * **4NF-1** — the bond relations composed into
+//!   `bonds(bd,atm1,atm2,t1,t2,t3)` using the INDs with equality
+//!   `bonds[bd] = bTypeX[bd]`;
+//! * **4NF-2** — `bonds` decomposed into `bSource(bd,atm1)` and
+//!   `bTarget(bd,atm2)`.
+//!
+//! The planted activity signal is structural: a compound is active when it
+//! contains a carbon atom bonded to a nitrogen atom through an aromatic
+//! (type-1 = `aromatic`) bond. Scales are reduced from the paper's 14M
+//! tuples; the two configurations preserve the Large ≫ 2K4K ordering.
+
+use crate::spec::{DatasetVariant, SchemaFamily};
+use castor_learners::LearningTask;
+use castor_logic::{Atom, Clause, Definition, Term};
+use castor_relational::{
+    DatabaseInstance, InclusionDependency, RelationSymbol, Schema, Tuple,
+};
+use castor_transform::{TransformStep, Transformation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Generation parameters for the synthetic HIV dataset.
+#[derive(Debug, Clone)]
+pub struct HivConfig {
+    /// Number of compounds.
+    pub compounds: usize,
+    /// Fraction of compounds carrying the activity pattern.
+    pub active_fraction: f64,
+    /// Fraction of examples whose label is flipped (noise).
+    pub noise_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HivConfig {
+    /// The configuration standing in for HIV-Large.
+    pub fn large() -> Self {
+        HivConfig {
+            compounds: 140,
+            active_fraction: 0.35,
+            noise_fraction: 0.05,
+            seed: 11,
+        }
+    }
+
+    /// The configuration standing in for HIV-2K4K.
+    pub fn hiv_2k4k() -> Self {
+        HivConfig {
+            compounds: 60,
+            active_fraction: 0.35,
+            noise_fraction: 0.05,
+            seed: 13,
+        }
+    }
+}
+
+const ELEMENTS: [&str; 3] = ["element_c", "element_n", "element_o"];
+const PROPERTIES: [&str; 3] = ["p2_0", "p2_1", "p3"];
+const BOND_KINDS: [&str; 3] = ["aromatic", "single", "double"];
+
+/// The Initial HIV schema (left column of Table 3) with the INDs of Table 4.
+pub fn initial_schema() -> Schema {
+    let mut s = Schema::new("hiv-initial");
+    s.add_relation(RelationSymbol::new("compound", &["comp", "atm"]))
+        .add_relation(RelationSymbol::new("bonds", &["bd", "atm1", "atm2"]))
+        .add_relation(RelationSymbol::new("bType1", &["bd", "t1"]))
+        .add_relation(RelationSymbol::new("bType2", &["bd", "t2"]))
+        .add_relation(RelationSymbol::new("bType3", &["bd", "t3"]));
+    for e in ELEMENTS {
+        s.add_relation(RelationSymbol::new(e, &["atm"]));
+    }
+    for p in PROPERTIES {
+        s.add_relation(RelationSymbol::new(p, &["atm"]));
+    }
+    for t in ["bType1", "bType2", "bType3"] {
+        s.add_ind(InclusionDependency::equality("bonds", &["bd"], t, &["bd"]));
+    }
+    s.add_ind(InclusionDependency::subset("bonds", &["atm1"], "compound", &["atm"]))
+        .add_ind(InclusionDependency::subset("bonds", &["atm2"], "compound", &["atm"]));
+    for e in ELEMENTS {
+        s.add_ind(InclusionDependency::subset(e, &["atm"], "compound", &["atm"]));
+    }
+    for p in PROPERTIES {
+        s.add_ind(InclusionDependency::subset(p, &["atm"], "compound", &["atm"]));
+    }
+    s
+}
+
+/// Composition from the Initial schema to 4NF-1 (bond relations merged).
+pub fn to_4nf1(initial: &Schema) -> Transformation {
+    Transformation::new(
+        "initial-to-4nf1",
+        vec![TransformStep::compose(
+            initial,
+            &["bonds", "bType1", "bType2", "bType3"],
+            "bonds",
+        )],
+    )
+}
+
+/// Decomposition from the Initial schema to 4NF-2 (`bonds` split into
+/// `bSource` and `bTarget`).
+pub fn to_4nf2(initial: &Schema) -> Transformation {
+    Transformation::new(
+        "initial-to-4nf2",
+        vec![TransformStep::decompose(
+            initial,
+            "bonds",
+            &[("bSource", &["bd", "atm1"]), ("bTarget", &["bd", "atm2"])],
+        )],
+    )
+}
+
+/// Generates the synthetic HIV family (Initial, 4NF-1, 4NF-2) at the scale
+/// given by `config`, labelled with `family_name` ("HIV-Large" or
+/// "HIV-2K4K").
+pub fn generate(family_name: &str, config: &HivConfig) -> SchemaFamily {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = initial_schema();
+    let mut db = DatabaseInstance::empty(&schema);
+
+    let mut positives: Vec<Tuple> = Vec::new();
+    let mut negatives: Vec<Tuple> = Vec::new();
+    let mut bond_counter = 0usize;
+
+    for ci in 0..config.compounds {
+        let comp = format!("m{ci}");
+        let n_atoms = rng.gen_range(4..=7);
+        let atoms: Vec<String> = (0..n_atoms).map(|ai| format!("{comp}_a{ai}")).collect();
+        let is_active = rng.gen_bool(config.active_fraction);
+
+        // Assign elements; active compounds get at least one carbon and one
+        // nitrogen that will be bonded aromatically.
+        let mut elements: Vec<&str> = atoms
+            .iter()
+            .map(|_| ELEMENTS[rng.gen_range(0..ELEMENTS.len())])
+            .collect();
+        if is_active {
+            elements[0] = "element_c";
+            elements[1] = "element_n";
+        } else {
+            // Ensure the inactive compound cannot accidentally contain the
+            // pattern: make every bond involving a carbon non-aromatic by
+            // removing nitrogen entirely from inactive molecules.
+            for e in elements.iter_mut() {
+                if *e == "element_n" {
+                    *e = "element_o";
+                }
+            }
+        }
+        for (atom, element) in atoms.iter().zip(elements.iter()) {
+            db.insert("compound", Tuple::from_strs(&[&comp, atom])).unwrap();
+            db.insert(element, Tuple::from_strs(&[atom])).unwrap();
+            if rng.gen_bool(0.4) {
+                let p = PROPERTIES[rng.gen_range(0..PROPERTIES.len())];
+                db.insert(p, Tuple::from_strs(&[atom])).unwrap();
+            }
+        }
+
+        // Bonds along a chain plus a couple of random extra bonds.
+        let add_bond = |db: &mut DatabaseInstance,
+                            rng: &mut StdRng,
+                            a: &str,
+                            b: &str,
+                            kind: Option<&str>,
+                            counter: &mut usize| {
+            let bd = format!("b{counter}");
+            *counter += 1;
+            db.insert("bonds", Tuple::from_strs(&[&bd, a, b])).unwrap();
+            let t1 = kind.unwrap_or(BOND_KINDS[rng.gen_range(1..BOND_KINDS.len())]);
+            db.insert("bType1", Tuple::from_strs(&[&bd, t1])).unwrap();
+            let t2 = BOND_KINDS[rng.gen_range(0..BOND_KINDS.len())];
+            db.insert("bType2", Tuple::from_strs(&[&bd, t2])).unwrap();
+            let t3 = BOND_KINDS[rng.gen_range(0..BOND_KINDS.len())];
+            db.insert("bType3", Tuple::from_strs(&[&bd, t3])).unwrap();
+        };
+        for w in atoms.windows(2) {
+            // Chain bonds default to non-aromatic type-1 so inactive
+            // compounds never exhibit the pattern.
+            add_bond(&mut db, &mut rng, &w[0], &w[1], None, &mut bond_counter);
+        }
+        if is_active {
+            add_bond(
+                &mut db,
+                &mut rng,
+                &atoms[0],
+                &atoms[1],
+                Some("aromatic"),
+                &mut bond_counter,
+            );
+        }
+
+        // Label, with a small flip probability to model screening noise.
+        let label_positive = if rng.gen_bool(config.noise_fraction) {
+            !is_active
+        } else {
+            is_active
+        };
+        if label_positive {
+            positives.push(Tuple::from_strs(&[&comp]));
+        } else {
+            negatives.push(Tuple::from_strs(&[&comp]));
+        }
+    }
+    positives.shuffle(&mut rng);
+    negatives.shuffle(&mut rng);
+    let task = LearningTask::new("hivActive", 1, positives, negatives);
+
+    let constant_initial: BTreeSet<(String, usize)> = [
+        ("bType1".to_string(), 1),
+        ("bType2".to_string(), 1),
+        ("bType3".to_string(), 1),
+    ]
+    .into_iter()
+    .collect();
+    let constant_4nf1: BTreeSet<(String, usize)> = [
+        ("bonds".to_string(), 3),
+        ("bonds".to_string(), 4),
+        ("bonds".to_string(), 5),
+    ]
+    .into_iter()
+    .collect();
+
+    let tau_4nf1 = to_4nf1(&schema);
+    let tau_4nf2 = to_4nf2(&schema);
+    let variants = vec![
+        DatasetVariant {
+            name: "Initial".into(),
+            db: db.clone(),
+            task: task.clone(),
+            constant_positions: constant_initial.clone(),
+            ground_truth: Some(ground_truth_initial()),
+        },
+        DatasetVariant {
+            name: "4NF-1".into(),
+            db: tau_4nf1.apply_instance(&db).expect("composition applies"),
+            task: task.clone(),
+            constant_positions: constant_4nf1,
+            ground_truth: Some(ground_truth_4nf1()),
+        },
+        DatasetVariant {
+            name: "4NF-2".into(),
+            db: tau_4nf2.apply_instance(&db).expect("decomposition applies"),
+            task,
+            constant_positions: constant_initial,
+            ground_truth: Some(ground_truth_4nf2()),
+        },
+    ];
+
+    SchemaFamily {
+        name: family_name.into(),
+        variants,
+    }
+}
+
+/// Ground truth over the Initial schema: a carbon aromatically bonded to a
+/// nitrogen.
+pub fn ground_truth_initial() -> Definition {
+    Definition::new(
+        "hivActive",
+        vec![Clause::new(
+            Atom::vars("hivActive", &["x"]),
+            vec![
+                Atom::vars("compound", &["x", "a"]),
+                Atom::vars("compound", &["x", "b"]),
+                Atom::vars("element_c", &["a"]),
+                Atom::vars("element_n", &["b"]),
+                Atom::vars("bonds", &["d", "a", "b"]),
+                Atom::new("bType1", vec![Term::var("d"), Term::constant("aromatic")]),
+            ],
+        )],
+    )
+}
+
+/// Ground truth over the 4NF-1 schema (bond types inlined in `bonds`).
+pub fn ground_truth_4nf1() -> Definition {
+    Definition::new(
+        "hivActive",
+        vec![Clause::new(
+            Atom::vars("hivActive", &["x"]),
+            vec![
+                Atom::vars("compound", &["x", "a"]),
+                Atom::vars("compound", &["x", "b"]),
+                Atom::vars("element_c", &["a"]),
+                Atom::vars("element_n", &["b"]),
+                Atom::new(
+                    "bonds",
+                    vec![
+                        Term::var("d"),
+                        Term::var("a"),
+                        Term::var("b"),
+                        Term::constant("aromatic"),
+                        Term::var("t2"),
+                        Term::var("t3"),
+                    ],
+                ),
+            ],
+        )],
+    )
+}
+
+/// Ground truth over the 4NF-2 schema (`bonds` split into source/target).
+pub fn ground_truth_4nf2() -> Definition {
+    Definition::new(
+        "hivActive",
+        vec![Clause::new(
+            Atom::vars("hivActive", &["x"]),
+            vec![
+                Atom::vars("compound", &["x", "a"]),
+                Atom::vars("compound", &["x", "b"]),
+                Atom::vars("element_c", &["a"]),
+                Atom::vars("element_n", &["b"]),
+                Atom::vars("bSource", &["d", "a"]),
+                Atom::vars("bTarget", &["d", "b"]),
+                Atom::new("bType1", vec![Term::var("d"), Term::constant("aromatic")]),
+            ],
+        )],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::definition_results;
+
+    fn tiny() -> SchemaFamily {
+        generate(
+            "HIV-Tiny",
+            &HivConfig {
+                compounds: 40,
+                active_fraction: 0.4,
+                noise_fraction: 0.0,
+                seed: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn generates_three_variants_with_expected_schemas() {
+        let family = tiny();
+        assert_eq!(family.variant_names(), vec!["Initial", "4NF-1", "4NF-2"]);
+        let initial = family.variant("Initial").unwrap();
+        assert_eq!(initial.db.schema().relation_count(), 11);
+        let nf1 = family.variant("4NF-1").unwrap();
+        assert_eq!(nf1.db.schema().relation("bonds").unwrap().arity(), 6);
+        assert!(!nf1.db.schema().contains_relation("bType1"));
+        let nf2 = family.variant("4NF-2").unwrap();
+        assert!(nf2.db.schema().contains_relation("bSource"));
+        assert!(nf2.db.schema().contains_relation("bTarget"));
+        assert!(!nf2.db.schema().contains_relation("bonds"));
+    }
+
+    #[test]
+    fn initial_instance_satisfies_constraints() {
+        let family = tiny();
+        family.variant("Initial").unwrap().db.validate().unwrap();
+        family.variant("4NF-2").unwrap().db.validate().unwrap();
+    }
+
+    #[test]
+    fn tuple_counts_follow_the_paper_shape() {
+        // Table 2: 4NF-1 has fewer tuples than Initial, 4NF-2 has more.
+        let family = tiny();
+        let initial = family.variant("Initial").unwrap().db.total_tuples();
+        let nf1 = family.variant("4NF-1").unwrap().db.total_tuples();
+        let nf2 = family.variant("4NF-2").unwrap().db.total_tuples();
+        assert!(nf1 < initial, "4NF-1 composes bond-type relations");
+        assert!(nf2 > initial, "4NF-2 doubles the bond representation");
+    }
+
+    #[test]
+    fn ground_truth_is_noise_free_on_unflipped_labels() {
+        // With zero noise the planted definition classifies every example
+        // correctly on every variant.
+        let family = tiny();
+        for variant in &family.variants {
+            let truth = variant.ground_truth.as_ref().unwrap();
+            let derived = definition_results(truth, &variant.db);
+            for pos in &variant.task.positive {
+                assert!(derived.contains(pos), "{}: {pos} missed", variant.name);
+            }
+            for neg in &variant.task.negative {
+                assert!(!derived.contains(neg), "{}: {neg} wrongly derived", variant.name);
+            }
+        }
+    }
+
+    #[test]
+    fn large_and_2k4k_scales_are_ordered() {
+        let large = generate("HIV-Large", &HivConfig::large());
+        let small = generate("HIV-2K4K", &HivConfig::hiv_2k4k());
+        assert!(
+            large.variant("Initial").unwrap().db.total_tuples()
+                > small.variant("Initial").unwrap().db.total_tuples()
+        );
+        assert!(
+            large.variants[0].task.positive_count() > small.variants[0].task.positive_count()
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! The IMDb benchmark family (Tables 6–8 of the paper).
+//!
+//! The real dataset is the JMDB relational export of IMDb; the target is
+//! `dramaDirector(director)` — directors who directed a drama produced
+//! after 2000. This module generates a synthetic movie catalog with the
+//! paper's three schema variants (over a representative subset of the JMDB
+//! relations; the full JMDB schema has 46 relations, most of which play no
+//! role in the target definition):
+//!
+//! * **JMDB** — entities (`movie`, `genre`, `director`, `actor`,
+//!   `producer`, `prodcompany`, `color`, `country`) linked through
+//!   `movies2X` relations;
+//! * **Stanford** — the single-valued `movies2X` links for genre, color,
+//!   production company, director and producer folded into `movie`;
+//! * **Denormalized** — each `movies2X` link composed with its entity
+//!   relation (e.g. `movies2director(id, directorid, name)`).
+//!
+//! All variants derive from the same JMDB instance via `castor-transform`
+//! compositions, so they are information equivalent.
+
+use crate::spec::{DatasetVariant, SchemaFamily};
+use castor_learners::LearningTask;
+use castor_logic::{Atom, Clause, Definition, Term};
+use castor_relational::{
+    DatabaseInstance, InclusionDependency, RelationSymbol, Schema, Tuple,
+};
+use castor_transform::{TransformStep, Transformation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Generation parameters for the synthetic IMDb dataset.
+#[derive(Debug, Clone)]
+pub struct ImdbConfig {
+    /// Number of movies.
+    pub movies: usize,
+    /// Number of directors.
+    pub directors: usize,
+    /// Number of actors.
+    pub actors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig {
+            movies: 90,
+            directors: 40,
+            actors: 80,
+            seed: 17,
+        }
+    }
+}
+
+const GENRES: [&str; 5] = ["Drama", "Comedy", "Action", "Documentary", "Horror"];
+const COLORS: [&str; 2] = ["Color", "BlackAndWhite"];
+const COUNTRIES: [&str; 4] = ["USA", "France", "Japan", "Brazil"];
+
+/// The JMDB-style schema (a representative subset of Table 6).
+pub fn jmdb_schema() -> Schema {
+    let mut s = Schema::new("imdb-jmdb");
+    s.add_relation(RelationSymbol::new("movie", &["id", "title", "year"]))
+        .add_relation(RelationSymbol::new("genre", &["genreid", "genrename"]))
+        .add_relation(RelationSymbol::new("director", &["directorid", "directorname"]))
+        .add_relation(RelationSymbol::new("producer", &["producerid", "producername"]))
+        .add_relation(RelationSymbol::new("actor", &["actorid", "actorname", "sex"]))
+        .add_relation(RelationSymbol::new("prodcompany", &["prodcompid", "companyname"]))
+        .add_relation(RelationSymbol::new("color", &["colorid", "colorname"]))
+        .add_relation(RelationSymbol::new("country", &["countryid", "countryname"]))
+        .add_relation(RelationSymbol::new("movies2genre", &["id", "genreid"]))
+        .add_relation(RelationSymbol::new("movies2director", &["id", "directorid"]))
+        .add_relation(RelationSymbol::new("movies2producer", &["id", "producerid"]))
+        .add_relation(RelationSymbol::new("movies2actor", &["id", "actorid", "character"]))
+        .add_relation(RelationSymbol::new("movies2prodcomp", &["id", "prodcompid"]))
+        .add_relation(RelationSymbol::new("movies2color", &["id", "colorid"]))
+        .add_relation(RelationSymbol::new("movies2country", &["id", "countryid"]));
+    // INDs with equality used for the Stanford composition: the paper
+    // enforces movies2X[id] = movie[id] for these five link relations.
+    for x in [
+        "movies2genre",
+        "movies2color",
+        "movies2prodcomp",
+        "movies2director",
+        "movies2producer",
+    ] {
+        s.add_ind(InclusionDependency::equality(x, &["id"], "movie", &["id"]));
+    }
+    // INDs with equality used for the Denormalized composition:
+    // movies2Y[Yid] = Y[id].
+    s.add_ind(InclusionDependency::equality(
+        "movies2director",
+        &["directorid"],
+        "director",
+        &["directorid"],
+    ));
+    s.add_ind(InclusionDependency::equality(
+        "movies2producer",
+        &["producerid"],
+        "producer",
+        &["producerid"],
+    ));
+    s.add_ind(InclusionDependency::equality(
+        "movies2actor",
+        &["actorid"],
+        "actor",
+        &["actorid"],
+    ));
+    s.add_ind(InclusionDependency::equality(
+        "movies2genre",
+        &["genreid"],
+        "genre",
+        &["genreid"],
+    ));
+    s.add_ind(InclusionDependency::equality(
+        "movies2color",
+        &["colorid"],
+        "color",
+        &["colorid"],
+    ));
+    s.add_ind(InclusionDependency::equality(
+        "movies2prodcomp",
+        &["prodcompid"],
+        "prodcompany",
+        &["prodcompid"],
+    ));
+    // Regular subset INDs (Table 8 bottom).
+    s.add_ind(InclusionDependency::subset(
+            "movies2country",
+            &["countryid"],
+            "country",
+            &["countryid"],
+        ))
+        .add_ind(InclusionDependency::subset(
+            "movies2actor",
+            &["id"],
+            "movie",
+            &["id"],
+        ))
+        .add_ind(InclusionDependency::subset(
+            "movies2country",
+            &["id"],
+            "movie",
+            &["id"],
+        ));
+    s
+}
+
+/// Composition from JMDB to the Stanford-style schema: single-valued link
+/// relations folded into `movie`.
+pub fn to_stanford(jmdb: &Schema) -> Transformation {
+    Transformation::new(
+        "jmdb-to-stanford",
+        vec![TransformStep::compose(
+            jmdb,
+            &[
+                "movie",
+                "movies2genre",
+                "movies2color",
+                "movies2prodcomp",
+                "movies2director",
+                "movies2producer",
+            ],
+            "movie",
+        )],
+    )
+}
+
+/// Composition from JMDB to the Denormalized schema: each `movies2X` link
+/// composed with its entity relation.
+pub fn to_denormalized(jmdb: &Schema) -> Transformation {
+    Transformation::new(
+        "jmdb-to-denormalized",
+        vec![
+            TransformStep::compose(jmdb, &["movies2director", "director"], "movies2director"),
+            TransformStep::compose(jmdb, &["movies2producer", "producer"], "movies2producer"),
+            TransformStep::compose(jmdb, &["movies2actor", "actor"], "movies2actor"),
+        ],
+    )
+}
+
+/// Generates the synthetic IMDb family with the JMDB, Stanford, and
+/// Denormalized variants.
+pub fn generate(config: &ImdbConfig) -> SchemaFamily {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = jmdb_schema();
+    let mut db = DatabaseInstance::empty(&schema);
+
+    // Entity tables.
+    for (i, g) in GENRES.iter().enumerate() {
+        db.insert("genre", Tuple::from_strs(&[&format!("g{i}"), g])).unwrap();
+    }
+    for (i, c) in COLORS.iter().enumerate() {
+        db.insert("color", Tuple::from_strs(&[&format!("col{i}"), c])).unwrap();
+    }
+    for (i, c) in COUNTRIES.iter().enumerate() {
+        db.insert("country", Tuple::from_strs(&[&format!("ctry{i}"), c])).unwrap();
+    }
+    for i in 0..(config.movies / 10).max(2) {
+        db.insert(
+            "prodcompany",
+            Tuple::from_strs(&[&format!("pc{i}"), &format!("Studio {i}")]),
+        )
+        .unwrap();
+    }
+    let directors: Vec<String> = (0..config.directors).map(|i| format!("d{i}")).collect();
+    for d in &directors {
+        db.insert("director", Tuple::from_strs(&[d, &format!("Director {d}")])).unwrap();
+    }
+    let producers: Vec<String> = (0..config.directors / 2 + 1).map(|i| format!("pr{i}")).collect();
+    for p in &producers {
+        db.insert("producer", Tuple::from_strs(&[p, &format!("Producer {p}")])).unwrap();
+    }
+    let actors: Vec<String> = (0..config.actors).map(|i| format!("a{i}")).collect();
+    for a in &actors {
+        let sex = if rng.gen_bool(0.5) { "f" } else { "m" };
+        db.insert("actor", Tuple::from_strs(&[a, &format!("Actor {a}"), sex])).unwrap();
+    }
+
+    // Movies and their single-valued links. Every movie gets exactly one
+    // genre/color/prodcomp/director/producer so the Stanford composition is
+    // lossless, matching the INDs with equality declared above.
+    let mut drama_directors: BTreeSet<String> = BTreeSet::new();
+    let prodcomp_count = (config.movies / 10).max(2);
+    for mi in 0..config.movies {
+        let id = format!("mv{mi}");
+        let year = (1995 + rng.gen_range(0..25)).to_string();
+        db.insert("movie", Tuple::from_strs(&[&id, &format!("Movie {mi}"), &year])).unwrap();
+        let genre_idx = if mi < GENRES.len() { mi } else { rng.gen_range(0..GENRES.len()) };
+        db.insert("movies2genre", Tuple::from_strs(&[&id, &format!("g{genre_idx}")])).unwrap();
+        let color_idx = if mi < COLORS.len() { mi } else { rng.gen_range(0..COLORS.len()) };
+        db.insert("movies2color", Tuple::from_strs(&[&id, &format!("col{color_idx}")])).unwrap();
+        let pc = if mi < prodcomp_count { mi } else { rng.gen_range(0..prodcomp_count) };
+        db.insert("movies2prodcomp", Tuple::from_strs(&[&id, &format!("pc{pc}")])).unwrap();
+        // Directors and producers are assigned round-robin so every one of
+        // them directs/produces at least one movie — the INDs with equality
+        // movies2X[Xid] = X[id] must hold for the compositions to be
+        // information preserving.
+        let director = &directors[mi % directors.len()];
+        db.insert("movies2director", Tuple::from_strs(&[&id, director])).unwrap();
+        let producer = &producers[mi % producers.len()];
+        db.insert("movies2producer", Tuple::from_strs(&[&id, producer])).unwrap();
+        let country_idx = rng.gen_range(0..COUNTRIES.len());
+        db.insert("movies2country", Tuple::from_strs(&[&id, &format!("ctry{country_idx}")]))
+            .unwrap();
+        // A couple of actors per movie (multi-valued link).
+        for _ in 0..rng.gen_range(1..=3) {
+            let actor = &actors[rng.gen_range(0..actors.len())];
+            db.insert(
+                "movies2actor",
+                Tuple::from_strs(&[&id, actor, &format!("role_{mi}")]),
+            )
+            .unwrap();
+        }
+        if GENRES[genre_idx] == "Drama" {
+            drama_directors.insert(director.clone());
+        }
+    }
+    // Every actor must appear in at least one movie for the equality IND
+    // movies2actor[actorid] = actor[actorid] to hold.
+    let cast: BTreeSet<String> = db
+        .relation("movies2actor")
+        .unwrap()
+        .iter()
+        .map(|t| t.value(1).render())
+        .collect();
+    for (i, actor) in actors.iter().enumerate() {
+        if !cast.contains(actor) {
+            let movie_id = format!("mv{}", i % config.movies);
+            db.insert(
+                "movies2actor",
+                Tuple::from_strs(&[&movie_id, actor, "background_role"]),
+            )
+            .unwrap();
+        }
+    }
+
+    // Examples: every director is an example; dramaDirector is exact.
+    let mut positives: Vec<Tuple> = Vec::new();
+    let mut negatives: Vec<Tuple> = Vec::new();
+    for d in &directors {
+        if drama_directors.contains(d) {
+            positives.push(Tuple::from_strs(&[d]));
+        } else {
+            negatives.push(Tuple::from_strs(&[d]));
+        }
+    }
+    positives.shuffle(&mut rng);
+    negatives.shuffle(&mut rng);
+    let task = LearningTask::new("dramaDirector", 1, positives, negatives);
+
+    let constants_jmdb: BTreeSet<(String, usize)> =
+        [("genre".to_string(), 1)].into_iter().collect();
+    let constants_denormalized: BTreeSet<(String, usize)> =
+        [("genre".to_string(), 1)].into_iter().collect();
+
+    let tau_stanford = to_stanford(&schema);
+    let tau_denorm = to_denormalized(&schema);
+    let variants = vec![
+        DatasetVariant {
+            name: "JMDB".into(),
+            db: db.clone(),
+            task: task.clone(),
+            constant_positions: constants_jmdb.clone(),
+            ground_truth: Some(ground_truth_jmdb()),
+        },
+        DatasetVariant {
+            name: "Stanford".into(),
+            db: tau_stanford.apply_instance(&db).expect("composition applies"),
+            task: task.clone(),
+            constant_positions: constants_jmdb,
+            ground_truth: Some(ground_truth_stanford()),
+        },
+        DatasetVariant {
+            name: "Denormalized".into(),
+            db: tau_denorm.apply_instance(&db).expect("composition applies"),
+            task,
+            constant_positions: constants_denormalized,
+            ground_truth: Some(ground_truth_denormalized()),
+        },
+    ];
+
+    SchemaFamily {
+        name: "IMDb".into(),
+        variants,
+    }
+}
+
+/// Ground truth over the JMDB schema.
+pub fn ground_truth_jmdb() -> Definition {
+    Definition::new(
+        "dramaDirector",
+        vec![Clause::new(
+            Atom::vars("dramaDirector", &["d"]),
+            vec![
+                Atom::vars("movies2director", &["m", "d"]),
+                Atom::vars("movies2genre", &["m", "g"]),
+                Atom::new("genre", vec![Term::var("g"), Term::constant("Drama")]),
+            ],
+        )],
+    )
+}
+
+/// Ground truth over the Stanford schema (links folded into `movie`).
+pub fn ground_truth_stanford() -> Definition {
+    Definition::new(
+        "dramaDirector",
+        vec![Clause::new(
+            Atom::vars("dramaDirector", &["d"]),
+            vec![
+                Atom::vars(
+                    "movie",
+                    &["m", "t", "y", "g", "c", "pc", "d", "pr"],
+                ),
+                Atom::new("genre", vec![Term::var("g"), Term::constant("Drama")]),
+            ],
+        )],
+    )
+}
+
+/// Ground truth over the Denormalized schema.
+pub fn ground_truth_denormalized() -> Definition {
+    Definition::new(
+        "dramaDirector",
+        vec![Clause::new(
+            Atom::vars("dramaDirector", &["d"]),
+            vec![
+                Atom::vars("movies2director", &["m", "d", "n"]),
+                Atom::vars("movies2genre", &["m", "g"]),
+                Atom::new("genre", vec![Term::var("g"), Term::constant("Drama")]),
+            ],
+        )],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::definition_results;
+
+    fn tiny() -> SchemaFamily {
+        generate(&ImdbConfig {
+            movies: 40,
+            directors: 15,
+            actors: 20,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn generates_three_variants() {
+        let family = tiny();
+        assert_eq!(family.variant_names(), vec!["JMDB", "Stanford", "Denormalized"]);
+    }
+
+    #[test]
+    fn stanford_movie_relation_is_widened() {
+        let family = tiny();
+        let stanford = family.variant("Stanford").unwrap();
+        let movie = stanford.db.schema().relation("movie").unwrap();
+        assert_eq!(movie.arity(), 8);
+        assert!(!stanford.db.schema().contains_relation("movies2genre"));
+        // The entity relations remain.
+        assert!(stanford.db.schema().contains_relation("genre"));
+    }
+
+    #[test]
+    fn denormalized_link_relations_carry_entity_attributes() {
+        let family = tiny();
+        let denorm = family.variant("Denormalized").unwrap();
+        let m2d = denorm.db.schema().relation("movies2director").unwrap();
+        assert_eq!(m2d.arity(), 3);
+        assert!(!denorm.db.schema().contains_relation("director"));
+    }
+
+    #[test]
+    fn jmdb_instance_satisfies_constraints() {
+        let family = tiny();
+        family.variant("JMDB").unwrap().db.validate().unwrap();
+    }
+
+    #[test]
+    fn ground_truth_is_exact_on_every_variant() {
+        let family = tiny();
+        for variant in &family.variants {
+            let truth = variant.ground_truth.as_ref().unwrap();
+            let derived = definition_results(truth, &variant.db);
+            for pos in &variant.task.positive {
+                assert!(derived.contains(pos), "{}: {pos} missed", variant.name);
+            }
+            for neg in &variant.task.negative {
+                assert!(!derived.contains(neg), "{}: {neg} wrongly derived", variant.name);
+            }
+        }
+    }
+
+    #[test]
+    fn variants_share_examples() {
+        let family = tiny();
+        let t0 = &family.variants[0].task;
+        for v in &family.variants[1..] {
+            assert_eq!(v.task, *t0);
+        }
+        assert!(!t0.positive.is_empty());
+        assert!(!t0.negative.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # castor-datasets
+//!
+//! Synthetic reconstructions of the three evaluation datasets of *Schema
+//! Independent Relational Learning* (Picado et al., 2017), each available
+//! under every schema variant the paper evaluates:
+//!
+//! * **UW-CSE** (Section 9.1, Tables 1 & 5): Original, 4NF, Denormalized-1,
+//!   Denormalized-2 — target `advisedBy(stud, prof)`.
+//! * **HIV** (Tables 3 & 4): Initial, 4NF-1, 4NF-2 at two scales
+//!   (HIV-Large and HIV-2K4K) — target `hivActive(comp)`.
+//! * **IMDb** (Tables 6–8): JMDB, Stanford, Denormalized — target
+//!   `dramaDirector(director)`.
+//!
+//! The paper uses the real datasets; those are not redistributable here, so
+//! each module generates a synthetic universe with the same schema variants,
+//! the same FDs/INDs, and a planted ground-truth definition of the target,
+//! then derives every variant instance from the same universe through the
+//! `castor-transform` (de)compositions — which is exactly the property
+//! (information equivalence across variants) the schema-independence
+//! experiments rely on. Scales are reduced so the full benchmark suite runs
+//! on a laptop; the *relative* ordering (HIV ≫ IMDb ≫ UW-CSE) is preserved.
+//!
+//! The crate also provides the random-definition generator used for the
+//! query-based experiments (Figure 3), k-fold splitting, and Table 2-style
+//! dataset statistics.
+
+pub mod folds;
+pub mod hiv;
+pub mod imdb;
+pub mod spec;
+pub mod stats;
+pub mod synthetic;
+pub mod uwcse;
+
+pub use folds::{cross_validation_folds, Fold};
+pub use spec::{DatasetVariant, SchemaFamily};
+pub use stats::{dataset_statistics, DatasetStatistics};
+pub use synthetic::{random_definition, RandomDefinitionConfig};

@@ -1,0 +1,95 @@
+//! Dataset variant descriptors shared by the three benchmark families.
+
+use castor_learners::LearningTask;
+use castor_logic::Definition;
+use castor_relational::DatabaseInstance;
+use std::collections::BTreeSet;
+
+/// One schema variant of a dataset: the database instance under that
+/// schema, the learning task, and auxiliary metadata used by the learners.
+#[derive(Debug, Clone)]
+pub struct DatasetVariant {
+    /// Variant name as used in the paper's tables (e.g. `"Original"`,
+    /// `"4NF-1"`, `"Stanford"`).
+    pub name: String,
+    /// The database instance (background knowledge) under this variant.
+    pub db: DatabaseInstance,
+    /// The learning task (shared examples across variants of a family).
+    pub task: LearningTask,
+    /// `(relation, position)` pairs whose values should stay constants in
+    /// bottom clauses under this variant.
+    pub constant_positions: BTreeSet<(String, usize)>,
+    /// The planted ground-truth definition of the target over this variant,
+    /// when one exists in exact form.
+    pub ground_truth: Option<Definition>,
+}
+
+impl DatasetVariant {
+    /// Returns a copy of the variant with the task replaced (used by
+    /// cross-validation folds).
+    pub fn with_task(&self, task: LearningTask) -> DatasetVariant {
+        DatasetVariant {
+            task,
+            ..self.clone()
+        }
+    }
+}
+
+/// A family of schema variants over the same underlying data.
+#[derive(Debug, Clone)]
+pub struct SchemaFamily {
+    /// Family name (`"UW-CSE"`, `"HIV-Large"`, `"HIV-2K4K"`, `"IMDb"`).
+    pub name: String,
+    /// The variants, in the order the paper's tables list them.
+    pub variants: Vec<DatasetVariant>,
+}
+
+impl SchemaFamily {
+    /// Looks up a variant by name.
+    pub fn variant(&self, name: &str) -> Option<&DatasetVariant> {
+        self.variants.iter().find(|v| v.name == name)
+    }
+
+    /// The names of all variants.
+    pub fn variant_names(&self) -> Vec<&str> {
+        self.variants.iter().map(|v| v.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_relational::{RelationSymbol, Schema, Tuple};
+
+    fn dummy_variant(name: &str) -> DatasetVariant {
+        let mut schema = Schema::new("s");
+        schema.add_relation(RelationSymbol::new("p", &["x"]));
+        DatasetVariant {
+            name: name.to_string(),
+            db: DatabaseInstance::empty(&schema),
+            task: LearningTask::new("t", 1, vec![Tuple::from_strs(&["a"])], vec![]),
+            constant_positions: BTreeSet::new(),
+            ground_truth: None,
+        }
+    }
+
+    #[test]
+    fn family_lookup_by_name() {
+        let family = SchemaFamily {
+            name: "demo".into(),
+            variants: vec![dummy_variant("A"), dummy_variant("B")],
+        };
+        assert!(family.variant("A").is_some());
+        assert!(family.variant("C").is_none());
+        assert_eq!(family.variant_names(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn with_task_replaces_examples_only() {
+        let v = dummy_variant("A");
+        let new_task = LearningTask::new("t", 1, vec![], vec![Tuple::from_strs(&["b"])]);
+        let replaced = v.with_task(new_task.clone());
+        assert_eq!(replaced.task, new_task);
+        assert_eq!(replaced.name, "A");
+    }
+}

@@ -1,0 +1,71 @@
+//! Dataset statistics in the style of Table 2 of the paper.
+
+use crate::spec::SchemaFamily;
+use std::fmt;
+
+/// Statistics of one schema variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetStatistics {
+    /// Dataset family name.
+    pub family: String,
+    /// Schema variant name.
+    pub schema: String,
+    /// Number of relations (`#R`).
+    pub relations: usize,
+    /// Number of tuples (`#T`).
+    pub tuples: usize,
+    /// Number of positive examples (`#P`).
+    pub positives: usize,
+    /// Number of negative examples (`#N`).
+    pub negatives: usize,
+}
+
+impl fmt::Display for DatasetStatistics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} {:<16} #R={:<4} #T={:<8} #P={:<6} #N={:<6}",
+            self.family, self.schema, self.relations, self.tuples, self.positives, self.negatives
+        )
+    }
+}
+
+/// Computes the Table 2-style statistics of every variant in a family.
+pub fn dataset_statistics(family: &SchemaFamily) -> Vec<DatasetStatistics> {
+    family
+        .variants
+        .iter()
+        .map(|v| DatasetStatistics {
+            family: family.name.clone(),
+            schema: v.name.clone(),
+            relations: v.db.schema().relation_count(),
+            tuples: v.db.total_tuples(),
+            positives: v.task.positive_count(),
+            negatives: v.task.negative_count(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uwcse::{generate, UwCseConfig};
+
+    #[test]
+    fn statistics_cover_all_variants() {
+        let family = generate(&UwCseConfig {
+            students: 15,
+            professors: 5,
+            courses: 6,
+            ..Default::default()
+        });
+        let stats = dataset_statistics(&family);
+        assert_eq!(stats.len(), 4);
+        assert!(stats.iter().all(|s| s.tuples > 0));
+        assert!(stats.iter().all(|s| s.positives > 0));
+        // Examples are shared across variants.
+        assert!(stats.windows(2).all(|w| w[0].positives == w[1].positives));
+        // Display renders the family name.
+        assert!(stats[0].to_string().contains("UW-CSE"));
+    }
+}

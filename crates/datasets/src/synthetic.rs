@@ -1,0 +1,190 @@
+//! Random Horn-definition generator for the query-based experiments
+//! (Figure 3, Section 9.4).
+//!
+//! The paper generates random Horn definitions over the Denormalized-2
+//! UW-CSE schema — 1 to 5 clauses, 4 to 8 variables per clause, bodies made
+//! of randomly chosen schema relations populated with new or already-used
+//! variables, every head variable appearing in the body — and then
+//! transforms them to the more decomposed schemas by vertical decomposition
+//! of each clause.
+
+use castor_logic::{Atom, Clause, Definition, Term};
+use castor_relational::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the random-definition generator.
+#[derive(Debug, Clone)]
+pub struct RandomDefinitionConfig {
+    /// Number of clauses in the definition.
+    pub clauses: usize,
+    /// Exact number of distinct variables each clause must use.
+    pub variables_per_clause: usize,
+    /// Arity of the (new) target relation; the paper picks it at random
+    /// between 1 and the maximum arity of the schema.
+    pub target_arity: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDefinitionConfig {
+    fn default() -> Self {
+        RandomDefinitionConfig {
+            clauses: 1,
+            variables_per_clause: 5,
+            target_arity: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random Horn definition for a fresh target relation over the
+/// relations of `schema`, following the protocol of Section 9.4: bodies are
+/// built from randomly chosen schema relations, argument positions are
+/// filled with new variables until the per-clause variable budget is
+/// reached and with already-used variables afterwards, and literals are
+/// added until every head variable occurs in the body.
+pub fn random_definition(
+    schema: &Schema,
+    target_name: &str,
+    config: &RandomDefinitionConfig,
+) -> Definition {
+    assert!(
+        config.target_arity <= config.variables_per_clause,
+        "target arity cannot exceed the variable budget"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let relations: Vec<_> = schema.relations().cloned().collect();
+    assert!(!relations.is_empty(), "schema must declare relations");
+
+    let mut clauses = Vec::new();
+    for clause_idx in 0..config.clauses.max(1) {
+        let var_name = |i: usize| format!("v{clause_idx}_{i}");
+        let head_vars: Vec<String> = (0..config.target_arity).map(var_name).collect();
+        let head = Atom::new(
+            target_name,
+            head_vars.iter().map(|v| Term::var(v.clone())).collect(),
+        );
+
+        let mut used: Vec<String> = head_vars.clone();
+        let mut next_var = config.target_arity;
+        let mut body: Vec<Atom> = Vec::new();
+
+        // Keep adding literals until every head variable appears in the body
+        // and the variable budget has been consumed.
+        let max_literals = 4 * config.variables_per_clause;
+        while body.len() < max_literals {
+            let relation = &relations[rng.gen_range(0..relations.len())];
+            let mut terms = Vec::with_capacity(relation.arity());
+            for _ in 0..relation.arity() {
+                let can_create = next_var < config.variables_per_clause;
+                let create = can_create && (used.is_empty() || rng.gen_bool(0.5));
+                if create {
+                    let v = var_name(next_var);
+                    next_var += 1;
+                    used.push(v.clone());
+                    terms.push(Term::var(v));
+                } else {
+                    let v = &used[rng.gen_range(0..used.len())];
+                    terms.push(Term::var(v.clone()));
+                }
+            }
+            body.push(Atom::new(relation.name(), terms));
+
+            let body_vars: std::collections::BTreeSet<String> =
+                body.iter().flat_map(|a| a.variables()).collect();
+            let head_covered = head_vars.iter().all(|v| body_vars.contains(v));
+            let budget_used = next_var >= config.variables_per_clause;
+            if head_covered && budget_used {
+                break;
+            }
+        }
+        clauses.push(Clause::new(head, body));
+    }
+    Definition::new(target_name, clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uwcse;
+    use castor_logic::is_safe;
+
+    fn denorm2_schema() -> Schema {
+        let original = uwcse::original_schema();
+        uwcse::to_denormalized2(&original).apply_schema(&original)
+    }
+
+    #[test]
+    fn generated_definitions_are_safe() {
+        let schema = denorm2_schema();
+        for vars in 4..=8 {
+            let def = random_definition(
+                &schema,
+                "target",
+                &RandomDefinitionConfig {
+                    clauses: 2,
+                    variables_per_clause: vars,
+                    target_arity: 2,
+                    seed: vars as u64,
+                },
+            );
+            assert_eq!(def.len(), 2);
+            for clause in &def.clauses {
+                assert!(is_safe(clause), "clause {clause} is unsafe");
+            }
+        }
+    }
+
+    #[test]
+    fn variable_budget_is_respected() {
+        let schema = denorm2_schema();
+        for vars in 4..=8 {
+            let def = random_definition(
+                &schema,
+                "target",
+                &RandomDefinitionConfig {
+                    clauses: 1,
+                    variables_per_clause: vars,
+                    target_arity: 1,
+                    seed: 42 + vars as u64,
+                },
+            );
+            assert!(def.clauses[0].distinct_variable_count() <= vars);
+        }
+    }
+
+    #[test]
+    fn definitions_use_schema_relations_only() {
+        let schema = denorm2_schema();
+        let def = random_definition(&schema, "target", &RandomDefinitionConfig::default());
+        for clause in &def.clauses {
+            for atom in &clause.body {
+                assert!(schema.contains_relation(&atom.relation));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let schema = denorm2_schema();
+        let a = random_definition(&schema, "t", &RandomDefinitionConfig::default());
+        let b = random_definition(&schema, "t", &RandomDefinitionConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "target arity")]
+    fn arity_larger_than_budget_is_rejected() {
+        let schema = denorm2_schema();
+        let _ = random_definition(
+            &schema,
+            "t",
+            &RandomDefinitionConfig {
+                target_arity: 9,
+                variables_per_clause: 4,
+                ..Default::default()
+            },
+        );
+    }
+}

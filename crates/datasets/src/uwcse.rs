@@ -1,0 +1,514 @@
+//! The UW-CSE benchmark family (Section 9.1, Tables 1 & 5 of the paper).
+//!
+//! The real UW-CSE dataset describes an academic department; the target is
+//! `advisedBy(stud, prof)`. This module generates a synthetic department
+//! with the same schema variants:
+//!
+//! * **Original** — the highly decomposed schema designed by relational
+//!   learning experts (`student`, `inPhase`, `yearsInProgram`, `professor`,
+//!   `hasPosition`, `publication`, `courseLevel`, `taughtBy`, `ta`);
+//! * **4NF** — `student` and `professor` recomposed;
+//! * **Denormalized-1** — additionally `courseLevel ⋈ taughtBy`;
+//! * **Denormalized-2** — additionally `professor` folded into the course
+//!   relation.
+//!
+//! All variants are derived from the same Original instance through
+//! `castor-transform` compositions, so they are information equivalent by
+//! construction. The planted advising signal is structural: an advisor and
+//! their student co-author publications.
+
+use crate::spec::{DatasetVariant, SchemaFamily};
+use castor_learners::LearningTask;
+use castor_logic::{Atom, Clause, Definition, Term};
+use castor_relational::{
+    DatabaseInstance, FunctionalDependency, InclusionDependency, RelationSymbol, Schema, Tuple,
+};
+use castor_transform::{TransformStep, Transformation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Generation parameters for the synthetic UW-CSE universe.
+#[derive(Debug, Clone)]
+pub struct UwCseConfig {
+    /// Number of students.
+    pub students: usize,
+    /// Number of professors.
+    pub professors: usize,
+    /// Number of courses.
+    pub courses: usize,
+    /// Fraction of students that have an advisor.
+    pub advised_fraction: f64,
+    /// Fraction of negative pairs that nevertheless co-author (label noise).
+    pub noise_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UwCseConfig {
+    fn default() -> Self {
+        UwCseConfig {
+            students: 40,
+            professors: 10,
+            courses: 14,
+            advised_fraction: 0.8,
+            noise_fraction: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+const PHASES: [&str; 3] = ["pre_quals", "post_quals", "post_generals"];
+const POSITIONS: [&str; 3] = ["faculty", "affiliate", "adjunct"];
+const LEVELS: [&str; 3] = ["level_300", "level_400", "level_500"];
+const TERMS: [&str; 4] = ["autumn", "winter", "spring", "summer"];
+
+/// The Original UW-CSE schema (left column of Table 1) with its INDs
+/// (Table 5).
+pub fn original_schema() -> Schema {
+    let mut s = Schema::new("uwcse-original");
+    s.add_relation(RelationSymbol::new("student", &["stud"]))
+        .add_relation(RelationSymbol::new("inPhase", &["stud", "phase"]))
+        .add_relation(RelationSymbol::new("yearsInProgram", &["stud", "years"]))
+        .add_relation(RelationSymbol::new("professor", &["prof"]))
+        .add_relation(RelationSymbol::new("hasPosition", &["prof", "position"]))
+        .add_relation(RelationSymbol::new("publication", &["title", "person"]))
+        .add_relation(RelationSymbol::new("courseLevel", &["crs", "level"]))
+        .add_relation(RelationSymbol::new("taughtBy", &["crs", "prof", "term"]))
+        .add_relation(RelationSymbol::new("ta", &["crs", "stud", "term"]));
+    // INDs with equality used for the composition transformations.
+    s.add_ind(InclusionDependency::equality("student", &["stud"], "inPhase", &["stud"]))
+        .add_ind(InclusionDependency::equality(
+            "student",
+            &["stud"],
+            "yearsInProgram",
+            &["stud"],
+        ))
+        .add_ind(InclusionDependency::equality(
+            "professor",
+            &["prof"],
+            "hasPosition",
+            &["prof"],
+        ))
+        .add_ind(InclusionDependency::equality(
+            "courseLevel",
+            &["crs"],
+            "taughtBy",
+            &["crs"],
+        ))
+        .add_ind(InclusionDependency::equality(
+            "taughtBy",
+            &["prof"],
+            "professor",
+            &["prof"],
+        ));
+    // Regular (subset) INDs.
+    s.add_ind(InclusionDependency::subset("ta", &["stud"], "student", &["stud"]))
+        .add_ind(InclusionDependency::subset("ta", &["crs"], "courseLevel", &["crs"]));
+    // FDs.
+    s.add_fd(FunctionalDependency::new("inPhase", &["stud"], &["phase"]))
+        .add_fd(FunctionalDependency::new("yearsInProgram", &["stud"], &["years"]))
+        .add_fd(FunctionalDependency::new("hasPosition", &["prof"], &["position"]))
+        .add_fd(FunctionalDependency::new("courseLevel", &["crs"], &["level"]));
+    s
+}
+
+/// The composition from the Original schema to the 4NF schema.
+pub fn to_4nf(original: &Schema) -> Transformation {
+    Transformation::new(
+        "original-to-4nf",
+        vec![
+            TransformStep::compose(
+                original,
+                &["student", "inPhase", "yearsInProgram"],
+                "student",
+            ),
+            TransformStep::compose(original, &["professor", "hasPosition"], "professor"),
+        ],
+    )
+}
+
+/// The composition from the Original schema to Denormalized-1
+/// (4NF + `courseLevel ⋈ taughtBy`).
+pub fn to_denormalized1(original: &Schema) -> Transformation {
+    let mut steps = to_4nf(original).steps().to_vec();
+    steps.push(TransformStep::compose(
+        original,
+        &["courseLevel", "taughtBy"],
+        "taughtBy",
+    ));
+    Transformation::new("original-to-denormalized1", steps)
+}
+
+/// The composition from the Original schema to Denormalized-2
+/// (4NF + `courseLevel ⋈ taughtBy ⋈ professor`).
+pub fn to_denormalized2(original: &Schema) -> Transformation {
+    Transformation::new(
+        "original-to-denormalized2",
+        vec![
+            TransformStep::compose(
+                original,
+                &["student", "inPhase", "yearsInProgram"],
+                "student",
+            ),
+            TransformStep::compose(
+                original,
+                &["courseLevel", "taughtBy", "professor", "hasPosition"],
+                "taughtBy",
+            ),
+        ],
+    )
+}
+
+/// Generates the synthetic UW-CSE family with all four schema variants.
+pub fn generate(config: &UwCseConfig) -> SchemaFamily {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = original_schema();
+    let mut db = DatabaseInstance::empty(&schema);
+
+    let students: Vec<String> = (0..config.students).map(|i| format!("s{i}")).collect();
+    let professors: Vec<String> = (0..config.professors).map(|i| format!("prof{i}")).collect();
+    let courses: Vec<String> = (0..config.courses).map(|i| format!("c{i}")).collect();
+
+    for s in &students {
+        db.insert("student", Tuple::from_strs(&[s])).unwrap();
+        let phase = PHASES[rng.gen_range(0..PHASES.len())];
+        db.insert("inPhase", Tuple::from_strs(&[s, phase])).unwrap();
+        let years = rng.gen_range(1..=8).to_string();
+        db.insert("yearsInProgram", Tuple::from_strs(&[s, &years])).unwrap();
+    }
+    for p in &professors {
+        db.insert("professor", Tuple::from_strs(&[p])).unwrap();
+        let pos = POSITIONS[rng.gen_range(0..POSITIONS.len())];
+        db.insert("hasPosition", Tuple::from_strs(&[p, pos])).unwrap();
+    }
+    for (i, c) in courses.iter().enumerate() {
+        let level = LEVELS[rng.gen_range(0..LEVELS.len())];
+        db.insert("courseLevel", Tuple::from_strs(&[c, level])).unwrap();
+        // Round-robin guarantees every professor teaches (the equality IND
+        // taughtBy[prof] = professor[prof] must hold).
+        let prof = &professors[i % config.professors];
+        let term = TERMS[rng.gen_range(0..TERMS.len())];
+        db.insert("taughtBy", Tuple::from_strs(&[c, prof, term])).unwrap();
+        let ta = &students[rng.gen_range(0..students.len())];
+        db.insert("ta", Tuple::from_strs(&[c, ta, term])).unwrap();
+    }
+    // Extra teaching assignments so some professors teach several courses.
+    for c in courses.iter().take(config.courses / 2) {
+        let prof = &professors[rng.gen_range(0..professors.len())];
+        let term = TERMS[rng.gen_range(0..TERMS.len())];
+        db.insert("taughtBy", Tuple::from_strs(&[c, prof, term])).unwrap();
+    }
+
+    // Advising pairs and the co-authorship signal.
+    let mut positives: Vec<Tuple> = Vec::new();
+    let mut pub_counter = 0usize;
+    let mut advised_pairs: BTreeSet<(String, String)> = BTreeSet::new();
+    for s in &students {
+        if rng.gen_bool(config.advised_fraction) {
+            let prof = professors[rng.gen_range(0..professors.len())].clone();
+            advised_pairs.insert((s.clone(), prof.clone()));
+            positives.push(Tuple::from_strs(&[s, &prof]));
+            let n_pubs = rng.gen_range(1..=2);
+            for _ in 0..n_pubs {
+                let title = format!("pub{pub_counter}");
+                pub_counter += 1;
+                db.insert("publication", Tuple::from_strs(&[&title, s])).unwrap();
+                db.insert("publication", Tuple::from_strs(&[&title, &prof])).unwrap();
+            }
+        }
+    }
+    // Solo publications (no advising signal).
+    for s in students.iter().step_by(3) {
+        let title = format!("pub{pub_counter}");
+        pub_counter += 1;
+        db.insert("publication", Tuple::from_strs(&[&title, s])).unwrap();
+    }
+
+    // Negative examples: non-advising (student, professor) pairs; a fraction
+    // of them co-author anyway (label noise).
+    let mut negatives: Vec<Tuple> = Vec::new();
+    let target_negatives = positives.len() * 2;
+    let mut attempts = 0;
+    while negatives.len() < target_negatives && attempts < target_negatives * 20 {
+        attempts += 1;
+        let s = &students[rng.gen_range(0..students.len())];
+        let p = &professors[rng.gen_range(0..professors.len())];
+        if advised_pairs.contains(&(s.clone(), p.clone())) {
+            continue;
+        }
+        let pair = Tuple::from_strs(&[s, p]);
+        if negatives.contains(&pair) {
+            continue;
+        }
+        if rng.gen_bool(config.noise_fraction) {
+            // Noise: make this non-advising pair co-author a publication.
+            let title = format!("pub{pub_counter}");
+            pub_counter += 1;
+            db.insert("publication", Tuple::from_strs(&[&title, s])).unwrap();
+            db.insert("publication", Tuple::from_strs(&[&title, p])).unwrap();
+        }
+        negatives.push(pair);
+    }
+    positives.shuffle(&mut rng);
+    negatives.shuffle(&mut rng);
+
+    let task = LearningTask::new("advisedBy", 2, positives, negatives);
+
+    // Build the variant instances by applying the compositions.
+    let original_variant = DatasetVariant {
+        name: "Original".into(),
+        db: db.clone(),
+        task: task.clone(),
+        constant_positions: constant_positions_original(),
+        ground_truth: Some(ground_truth_original()),
+    };
+    let make = |name: &str, tau: Transformation, consts, truth| {
+        let transformed = tau.apply_instance(&db).expect("composition applies");
+        DatasetVariant {
+            name: name.into(),
+            db: transformed,
+            task: task.clone(),
+            constant_positions: consts,
+            ground_truth: truth,
+        }
+    };
+    let variants = vec![
+        original_variant,
+        make(
+            "4NF",
+            to_4nf(&schema),
+            constant_positions_4nf(),
+            Some(ground_truth_4nf()),
+        ),
+        make(
+            "Denormalized-1",
+            to_denormalized1(&schema),
+            constant_positions_4nf(),
+            Some(ground_truth_4nf()),
+        ),
+        make(
+            "Denormalized-2",
+            to_denormalized2(&schema),
+            constant_positions_denorm2(),
+            Some(ground_truth_denorm2()),
+        ),
+    ];
+
+    SchemaFamily {
+        name: "UW-CSE".into(),
+        variants,
+    }
+}
+
+fn constant_positions_original() -> BTreeSet<(String, usize)> {
+    [
+        ("inPhase".to_string(), 1),
+        ("yearsInProgram".to_string(), 1),
+        ("hasPosition".to_string(), 1),
+        ("courseLevel".to_string(), 1),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn constant_positions_4nf() -> BTreeSet<(String, usize)> {
+    [
+        ("student".to_string(), 1),
+        ("student".to_string(), 2),
+        ("professor".to_string(), 1),
+        ("courseLevel".to_string(), 1),
+        ("taughtBy".to_string(), 1),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn constant_positions_denorm2() -> BTreeSet<(String, usize)> {
+    [
+        ("student".to_string(), 1),
+        ("student".to_string(), 2),
+        ("taughtBy".to_string(), 1),
+        ("taughtBy".to_string(), 4),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Ground truth over the Original schema: advisor and student co-author.
+pub fn ground_truth_original() -> Definition {
+    Definition::new(
+        "advisedBy",
+        vec![Clause::new(
+            Atom::vars("advisedBy", &["x", "y"]),
+            vec![
+                Atom::vars("student", &["x"]),
+                Atom::vars("professor", &["y"]),
+                Atom::vars("publication", &["p", "x"]),
+                Atom::vars("publication", &["p", "y"]),
+            ],
+        )],
+    )
+}
+
+/// Ground truth over the 4NF / Denormalized-1 schemas.
+pub fn ground_truth_4nf() -> Definition {
+    Definition::new(
+        "advisedBy",
+        vec![Clause::new(
+            Atom::vars("advisedBy", &["x", "y"]),
+            vec![
+                Atom::vars("student", &["x", "ph", "yr"]),
+                Atom::vars("professor", &["y", "pos"]),
+                Atom::vars("publication", &["p", "x"]),
+                Atom::vars("publication", &["p", "y"]),
+            ],
+        )],
+    )
+}
+
+/// Ground truth over the Denormalized-2 schema (professor folded into the
+/// course relation).
+pub fn ground_truth_denorm2() -> Definition {
+    Definition::new(
+        "advisedBy",
+        vec![Clause::new(
+            Atom::vars("advisedBy", &["x", "y"]),
+            vec![
+                Atom::vars("student", &["x", "ph", "yr"]),
+                Atom::new(
+                    "taughtBy",
+                    vec![
+                        Term::var("c"),
+                        Term::var("lvl"),
+                        Term::var("y"),
+                        Term::var("tm"),
+                        Term::var("pos"),
+                    ],
+                ),
+                Atom::vars("publication", &["p", "x"]),
+                Atom::vars("publication", &["p", "y"]),
+            ],
+        )],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::definition_results;
+
+    fn small() -> SchemaFamily {
+        generate(&UwCseConfig {
+            students: 20,
+            professors: 6,
+            courses: 8,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generates_all_four_variants() {
+        let family = small();
+        assert_eq!(
+            family.variant_names(),
+            vec!["Original", "4NF", "Denormalized-1", "Denormalized-2"]
+        );
+    }
+
+    #[test]
+    fn original_instance_satisfies_declared_constraints() {
+        let family = small();
+        let original = family.variant("Original").unwrap();
+        original.db.validate().expect("constraints must hold");
+    }
+
+    #[test]
+    fn variants_have_expected_relation_counts() {
+        // Table 2: Original 9 relations, 4NF 6, Denormalized-1 5,
+        // Denormalized-2 4.
+        let family = small();
+        let counts: Vec<usize> = family
+            .variants
+            .iter()
+            .map(|v| v.db.schema().relation_count())
+            .collect();
+        assert_eq!(counts, vec![9, 6, 5, 4]);
+    }
+
+    #[test]
+    fn variants_are_information_equivalent_with_original() {
+        // Composing loses no tuples: the 4NF student relation has exactly
+        // one row per student.
+        let family = small();
+        let original = family.variant("Original").unwrap();
+        let nf4 = family.variant("4NF").unwrap();
+        assert_eq!(
+            original.db.relation("student").unwrap().len(),
+            nf4.db.relation("student").unwrap().len()
+        );
+        assert_eq!(
+            original.db.relation("publication").unwrap().len(),
+            nf4.db.relation("publication").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn ground_truth_covers_all_positive_examples_on_every_variant() {
+        let family = small();
+        for variant in &family.variants {
+            let truth = variant.ground_truth.as_ref().unwrap();
+            let results = definition_results(truth, &variant.db);
+            for pos in &variant.task.positive {
+                assert!(
+                    results.contains(pos),
+                    "variant {}: positive {pos} not derivable from ground truth",
+                    variant.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_results_agree_across_variants() {
+        // The planted definition is schema independent: evaluating the
+        // per-variant ground truths over the corresponding instances yields
+        // the same relation.
+        let family = small();
+        let reference = {
+            let v = family.variant("Original").unwrap();
+            definition_results(v.ground_truth.as_ref().unwrap(), &v.db)
+        };
+        for variant in &family.variants[1..] {
+            let results =
+                definition_results(variant.ground_truth.as_ref().unwrap(), &variant.db);
+            assert_eq!(results, reference, "variant {} diverges", variant.name);
+        }
+    }
+
+    #[test]
+    fn examples_are_shared_and_disjoint() {
+        let family = small();
+        let task = &family.variants[0].task;
+        assert!(!task.positive.is_empty());
+        assert!(task.negative.len() >= task.positive.len());
+        for p in &task.positive {
+            assert!(!task.negative.contains(p));
+        }
+        for v in &family.variants[1..] {
+            assert_eq!(v.task, *task);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = generate(&UwCseConfig::default());
+        let b = generate(&UwCseConfig::default());
+        assert_eq!(a.variants[0].task, b.variants[0].task);
+        assert_eq!(
+            a.variants[0].db.total_tuples(),
+            b.variants[0].db.total_tuples()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Precision and recall of learned definitions (Section 9.1.3).
+
+use castor_logic::{covers_example, Definition};
+use castor_relational::{DatabaseInstance, Tuple};
+
+/// Precision/recall of a definition over a test split.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvaluationResult {
+    /// True positives: covered test positives.
+    pub true_positives: usize,
+    /// Covered test negatives.
+    pub false_positives: usize,
+    /// Uncovered test positives.
+    pub false_negatives: usize,
+}
+
+impl EvaluationResult {
+    /// Proportion of covered examples that are true positives. An empty
+    /// definition (covering nothing) has precision 0.
+    pub fn precision(&self) -> f64 {
+        let covered = self.true_positives + self.false_positives;
+        if covered == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / covered as f64
+        }
+    }
+
+    /// Proportion of test positives covered.
+    pub fn recall(&self) -> f64 {
+        let positives = self.true_positives + self.false_negatives;
+        if positives == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / positives as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accumulates another fold's counts (micro-averaging across folds).
+    pub fn accumulate(&mut self, other: &EvaluationResult) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+/// Evaluates a learned definition on held-out positive and negative
+/// examples relative to the background database.
+pub fn evaluate_definition(
+    definition: &Definition,
+    db: &DatabaseInstance,
+    test_positive: &[Tuple],
+    test_negative: &[Tuple],
+) -> EvaluationResult {
+    let covers = |e: &Tuple| definition.clauses.iter().any(|c| covers_example(c, db, e));
+    let true_positives = test_positive.iter().filter(|e| covers(e)).count();
+    let false_positives = test_negative.iter().filter(|e| covers(e)).count();
+    EvaluationResult {
+        true_positives,
+        false_positives,
+        false_negatives: test_positive.len() - true_positives,
+    }
+}
+
+/// Whether a set of per-variant results is schema independent in the sense
+/// used by the paper's tables: equal precision and recall (within a small
+/// tolerance) across every schema variant.
+pub fn schema_independent(results: &[EvaluationResult], tolerance: f64) -> bool {
+    let Some(first) = results.first() else {
+        return true;
+    };
+    results.iter().all(|r| {
+        (r.precision() - first.precision()).abs() <= tolerance
+            && (r.recall() - first.recall()).abs() <= tolerance
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::{Atom, Clause};
+    use castor_relational::{RelationSymbol, Schema};
+
+    fn db() -> DatabaseInstance {
+        let mut schema = Schema::new("t");
+        schema.add_relation(RelationSymbol::new("p", &["x"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for v in ["a", "b", "c"] {
+            db.insert("p", Tuple::from_strs(&[v])).unwrap();
+        }
+        db
+    }
+
+    fn p_definition() -> Definition {
+        Definition::new(
+            "t",
+            vec![Clause::new(
+                Atom::vars("t", &["x"]),
+                vec![Atom::vars("p", &["x"])],
+            )],
+        )
+    }
+
+    #[test]
+    fn precision_recall_computation() {
+        let db = db();
+        let result = evaluate_definition(
+            &p_definition(),
+            &db,
+            &[Tuple::from_strs(&["a"]), Tuple::from_strs(&["zz"])],
+            &[Tuple::from_strs(&["b"]), Tuple::from_strs(&["yy"])],
+        );
+        assert_eq!(result.true_positives, 1);
+        assert_eq!(result.false_positives, 1);
+        assert_eq!(result.false_negatives, 1);
+        assert!((result.precision() - 0.5).abs() < 1e-9);
+        assert!((result.recall() - 0.5).abs() < 1e-9);
+        assert!((result.f1() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_definition_scores_zero() {
+        let db = db();
+        let result = evaluate_definition(
+            &Definition::empty("t"),
+            &db,
+            &[Tuple::from_strs(&["a"])],
+            &[Tuple::from_strs(&["b"])],
+        );
+        assert_eq!(result.precision(), 0.0);
+        assert_eq!(result.recall(), 0.0);
+        assert_eq!(result.f1(), 0.0);
+    }
+
+    #[test]
+    fn accumulation_micro_averages() {
+        let mut total = EvaluationResult::default();
+        total.accumulate(&EvaluationResult {
+            true_positives: 3,
+            false_positives: 1,
+            false_negatives: 0,
+        });
+        total.accumulate(&EvaluationResult {
+            true_positives: 1,
+            false_positives: 1,
+            false_negatives: 2,
+        });
+        assert_eq!(total.true_positives, 4);
+        assert!((total.precision() - 4.0 / 6.0).abs() < 1e-9);
+        assert!((total.recall() - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schema_independence_check() {
+        let same = vec![
+            EvaluationResult {
+                true_positives: 5,
+                false_positives: 1,
+                false_negatives: 1,
+            };
+            3
+        ];
+        assert!(schema_independent(&same, 1e-9));
+        let mut different = same.clone();
+        different[2].false_positives = 4;
+        assert!(!schema_independent(&different, 1e-9));
+        assert!(schema_independent(&[], 1e-9));
+    }
+}

@@ -1,0 +1,114 @@
+//! Plain-text rendering of experiment results in the shape of the paper's
+//! tables (algorithm × schema variant, reporting precision / recall / time).
+
+use crate::experiment::ExperimentRow;
+use std::collections::BTreeSet;
+
+/// Renders rows grouped by algorithm with one column per schema variant,
+/// mirroring the layout of Tables 9–11.
+pub fn render_table(title: &str, rows: &[ExperimentRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    if rows.is_empty() {
+        out.push_str("(no rows)\n");
+        return out;
+    }
+    let schemas: Vec<String> = {
+        let mut seen = BTreeSet::new();
+        let mut ordered = Vec::new();
+        for r in rows {
+            if seen.insert(r.schema.clone()) {
+                ordered.push(r.schema.clone());
+            }
+        }
+        ordered
+    };
+    let algorithms: Vec<String> = {
+        let mut seen = BTreeSet::new();
+        let mut ordered = Vec::new();
+        for r in rows {
+            if seen.insert(r.algorithm.clone()) {
+                ordered.push(r.algorithm.clone());
+            }
+        }
+        ordered
+    };
+
+    out.push_str(&format!("{:<24} {:<12}", "Algorithm", "Metric"));
+    for s in &schemas {
+        out.push_str(&format!(" {s:>16}"));
+    }
+    out.push('\n');
+
+    for algorithm in &algorithms {
+        for metric in ["Precision", "Recall", "Time (s)"] {
+            out.push_str(&format!("{algorithm:<24} {metric:<12}"));
+            for schema in &schemas {
+                let cell = rows
+                    .iter()
+                    .find(|r| &r.algorithm == algorithm && &r.schema == schema)
+                    .map(|r| match metric {
+                        "Precision" => format!("{:.2}", r.precision()),
+                        "Recall" => format!("{:.2}", r.recall()),
+                        _ => format!("{:.2}", r.learning_time.as_secs_f64()),
+                    })
+                    .unwrap_or_else(|| "-".into());
+                out.push_str(&format!(" {cell:>16}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EvaluationResult;
+    use castor_logic::Definition;
+    use std::time::Duration;
+
+    fn row(algorithm: &str, schema: &str, tp: usize, fp: usize) -> ExperimentRow {
+        ExperimentRow {
+            algorithm: algorithm.into(),
+            family: "demo".into(),
+            schema: schema.into(),
+            evaluation: EvaluationResult {
+                true_positives: tp,
+                false_positives: fp,
+                false_negatives: 1,
+            },
+            learning_time: Duration::from_millis(1500),
+            sample_definition: Definition::empty("t"),
+        }
+    }
+
+    #[test]
+    fn table_has_one_column_per_schema_and_three_rows_per_algorithm() {
+        let rows = vec![
+            row("Castor", "Original", 9, 0),
+            row("Castor", "4NF", 9, 0),
+            row("FOIL", "Original", 5, 3),
+            row("FOIL", "4NF", 7, 1),
+        ];
+        let text = render_table("Table 10: UW-CSE", &rows);
+        assert!(text.contains("Table 10"));
+        assert!(text.contains("Original"));
+        assert!(text.contains("4NF"));
+        // 2 algorithms × 3 metric lines + header + title.
+        assert_eq!(text.lines().count(), 2 + 2 * 3);
+        assert!(text.contains("0.90")); // Castor precision 9/10
+    }
+
+    #[test]
+    fn missing_cells_render_dashes() {
+        let rows = vec![row("Castor", "Original", 1, 0)];
+        let text = render_table("t", &rows);
+        assert!(!text.contains('-') || text.contains("Original"));
+    }
+
+    #[test]
+    fn empty_rows_render_placeholder() {
+        assert!(render_table("t", &[]).contains("no rows"));
+    }
+}

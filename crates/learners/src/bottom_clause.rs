@@ -1,0 +1,279 @@
+//! Standard (depth-bounded) bottom-clause construction — Section 6.1.
+//!
+//! The bottom-clause `⊥_{e,I}` associated with a positive example `e`
+//! relative to database instance `I` is the most specific clause covering
+//! `e`. The standard algorithm starts from the constants of `e`, repeatedly
+//! pulls in every tuple containing a known constant, and variablizes the
+//! resulting ground literals with a consistent constant→variable mapping.
+//! Iterations are bounded by a depth parameter — which, as Lemma 6.3 shows,
+//! makes the construction schema dependent. Castor's IND-aware variant (in
+//! `castor-core`) fixes this by following inclusion dependencies and
+//! bounding on distinct variables instead.
+
+use castor_logic::{Atom, Clause, Term, VariableMap};
+use castor_relational::{DatabaseInstance, Tuple, Value};
+use std::collections::{BTreeSet, HashSet};
+
+/// Configuration of the standard bottom-clause construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BottomClauseConfig {
+    /// Maximum number of iterations (each iteration adds literals of one
+    /// more depth level).
+    pub max_iterations: usize,
+    /// Maximum number of tuples of one relation added for a single probe
+    /// constant in one iteration (the paper caps this at 10 on IMDb).
+    pub max_recall_per_relation: usize,
+    /// Hard cap on body literals, as a safety net on very dense databases.
+    pub max_body_literals: usize,
+    /// `(relation, position)` pairs whose values stay constants during
+    /// variablization — the equivalent of `#`-marked arguments in ILP mode
+    /// declarations (e.g. `inPhase.phase`, `yearsInProgram.years`), which is
+    /// how clauses like those of Examples 1.1 and 6.5 can mention constants.
+    pub constant_positions: BTreeSet<(String, usize)>,
+}
+
+impl Default for BottomClauseConfig {
+    fn default() -> Self {
+        BottomClauseConfig {
+            max_iterations: 3,
+            max_recall_per_relation: 10,
+            max_body_literals: 5_000,
+            constant_positions: BTreeSet::new(),
+        }
+    }
+}
+
+/// Builds the *ground* bottom clause (saturation) of `example`: the head is
+/// the example itself as a ground atom and the body contains the ground
+/// literals of every tuple reachable from the example's constants within the
+/// configured number of iterations.
+pub fn ground_bottom_clause(
+    db: &DatabaseInstance,
+    target: &str,
+    example: &Tuple,
+    config: &BottomClauseConfig,
+) -> Clause {
+    let head = Atom::ground(target, example);
+    let mut body: Vec<Atom> = Vec::new();
+    let mut seen_literals: HashSet<(String, Tuple)> = HashSet::new();
+    let mut known: BTreeSet<Value> = example.iter().cloned().collect();
+    let mut frontier: Vec<Value> = known.iter().cloned().collect();
+
+    for _ in 0..config.max_iterations {
+        if frontier.is_empty() || body.len() >= config.max_body_literals {
+            break;
+        }
+        let mut next_frontier: BTreeSet<Value> = BTreeSet::new();
+        for constant in &frontier {
+            let mut per_relation: std::collections::HashMap<&str, usize> = Default::default();
+            for (relation, tuple) in db.tuples_containing(constant) {
+                let count = per_relation.entry(relation).or_insert(0);
+                if *count >= config.max_recall_per_relation {
+                    continue;
+                }
+                if body.len() >= config.max_body_literals {
+                    break;
+                }
+                let key = (relation.to_string(), tuple.clone());
+                if seen_literals.contains(&key) {
+                    continue;
+                }
+                *count += 1;
+                seen_literals.insert(key);
+                body.push(Atom::ground(relation, tuple));
+                for v in tuple.iter() {
+                    if !known.contains(v) {
+                        next_frontier.insert(v.clone());
+                    }
+                }
+            }
+        }
+        known.extend(next_frontier.iter().cloned());
+        frontier = next_frontier.into_iter().collect();
+    }
+    Clause::new(head, body)
+}
+
+/// Builds the variablized bottom clause of `example`: the ground bottom
+/// clause with each distinct constant consistently replaced by a fresh
+/// variable.
+pub fn variablized_bottom_clause(
+    db: &DatabaseInstance,
+    target: &str,
+    example: &Tuple,
+    config: &BottomClauseConfig,
+) -> Clause {
+    let ground = ground_bottom_clause(db, target, example, config);
+    variablize_with(&ground, &config.constant_positions)
+}
+
+/// Variablizes a ground clause with a fresh, consistent constant→variable
+/// mapping (the inverse step of saturation).
+pub fn variablize(ground: &Clause) -> Clause {
+    variablize_with(ground, &BTreeSet::new())
+}
+
+/// Variablizes a ground clause but keeps the values at the listed
+/// `(relation, position)` pairs as constants.
+pub fn variablize_with(
+    ground: &Clause,
+    constant_positions: &BTreeSet<(String, usize)>,
+) -> Clause {
+    let mut map = VariableMap::new();
+    let lift = |atom: &Atom, map: &mut VariableMap, is_head: bool| Atom {
+        relation: atom.relation.clone(),
+        terms: atom
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(pos, t)| match t {
+                Term::Const(v) => {
+                    let keep = !is_head
+                        && constant_positions.contains(&(atom.relation.clone(), pos));
+                    if keep {
+                        t.clone()
+                    } else {
+                        Term::var(map.variable_for(v))
+                    }
+                }
+                Term::Var(_) => t.clone(),
+            })
+            .collect(),
+    };
+    let head = lift(&ground.head, &mut map, true);
+    let body = ground
+        .body
+        .iter()
+        .map(|a| lift(a, &mut map, false))
+        .collect();
+    Clause::new(head, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::covers_example;
+    use castor_relational::{RelationSymbol, Schema};
+
+    /// A small UW-CSE-like instance under the Original schema.
+    fn uwcse_db() -> DatabaseInstance {
+        let mut schema = Schema::new("uwcse-original");
+        schema
+            .add_relation(RelationSymbol::new("student", &["stud"]))
+            .add_relation(RelationSymbol::new("inPhase", &["stud", "phase"]))
+            .add_relation(RelationSymbol::new("yearsInProgram", &["stud", "years"]))
+            .add_relation(RelationSymbol::new("professor", &["prof"]))
+            .add_relation(RelationSymbol::new("publication", &["title", "person"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        db.insert("student", Tuple::from_strs(&["sara"])).unwrap();
+        db.insert("inPhase", Tuple::from_strs(&["sara", "prelim"])).unwrap();
+        db.insert("yearsInProgram", Tuple::from_strs(&["sara", "3"])).unwrap();
+        db.insert("professor", Tuple::from_strs(&["pat"])).unwrap();
+        db.insert("publication", Tuple::from_strs(&["paper1", "sara"])).unwrap();
+        db.insert("publication", Tuple::from_strs(&["paper1", "pat"])).unwrap();
+        db.insert("publication", Tuple::from_strs(&["paper1", "carol"])).unwrap();
+        db.insert("publication", Tuple::from_strs(&["paper2", "carol"])).unwrap();
+        db
+    }
+
+    #[test]
+    fn ground_bottom_clause_contains_example_related_tuples() {
+        let db = uwcse_db();
+        let example = Tuple::from_strs(&["sara", "pat"]);
+        let bottom = ground_bottom_clause(&db, "advisedBy", &example, &BottomClauseConfig::default());
+        assert!(bottom.is_ground());
+        let relations: BTreeSet<&str> =
+            bottom.body.iter().map(|a| a.relation.as_str()).collect();
+        assert!(relations.contains("student"));
+        assert!(relations.contains("publication"));
+        assert!(relations.contains("professor"));
+    }
+
+    #[test]
+    fn depth_limit_restricts_reachable_literals() {
+        let db = uwcse_db();
+        let example = Tuple::from_strs(&["sara", "pat"]);
+        let shallow = ground_bottom_clause(
+            &db,
+            "advisedBy",
+            &example,
+            &BottomClauseConfig {
+                max_iterations: 1,
+                ..Default::default()
+            },
+        );
+        let deep = ground_bottom_clause(&db, "advisedBy", &example, &BottomClauseConfig::default());
+        assert!(shallow.body_len() <= deep.body_len());
+        // paper2 is only reachable through paper1→carol→paper2, which needs
+        // three iterations; with one iteration it must be absent.
+        assert!(!shallow
+            .body
+            .iter()
+            .any(|a| a.constants().contains(&Value::str("paper2"))));
+    }
+
+    #[test]
+    fn recall_limit_caps_tuples_per_relation() {
+        let mut schema = Schema::new("s");
+        schema.add_relation(RelationSymbol::new("likes", &["person", "thing"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for i in 0..50 {
+            db.insert("likes", Tuple::new(vec![Value::str("ann"), Value::int(i)])).unwrap();
+        }
+        let bottom = ground_bottom_clause(
+            &db,
+            "t",
+            &Tuple::from_strs(&["ann"]),
+            &BottomClauseConfig {
+                max_recall_per_relation: 10,
+                ..Default::default()
+            },
+        );
+        assert!(bottom.body_len() <= 10 + 10); // first iteration capped at 10 per probe
+    }
+
+    #[test]
+    fn variablized_bottom_clause_covers_its_own_example() {
+        let db = uwcse_db();
+        let example = Tuple::from_strs(&["sara", "pat"]);
+        let bottom =
+            variablized_bottom_clause(&db, "advisedBy", &example, &BottomClauseConfig::default());
+        assert!(!bottom.is_ground());
+        assert!(covers_example(&bottom, &db, &example));
+    }
+
+    #[test]
+    fn variablize_maps_same_constant_to_same_variable() {
+        let ground = Clause::new(
+            Atom::ground("t", &Tuple::from_strs(&["a", "b"])),
+            vec![
+                Atom::ground("p", &Tuple::from_strs(&["a", "c"])),
+                Atom::ground("q", &Tuple::from_strs(&["c", "b"])),
+            ],
+        );
+        let lifted = variablize(&ground);
+        assert!(!lifted.is_ground());
+        // The variable standing for "c" must be shared between p and q.
+        assert_eq!(lifted.body[0].terms[1], lifted.body[1].terms[0]);
+        // Head variables are reused in the body.
+        assert_eq!(lifted.head.terms[0], lifted.body[0].terms[0]);
+        assert_eq!(lifted.distinct_variable_count(), 3);
+    }
+
+    #[test]
+    fn empty_database_yields_bodyless_bottom_clause() {
+        let schema = {
+            let mut s = Schema::new("s");
+            s.add_relation(RelationSymbol::new("p", &["x"]));
+            s
+        };
+        let db = DatabaseInstance::empty(&schema);
+        let bottom = ground_bottom_clause(
+            &db,
+            "t",
+            &Tuple::from_strs(&["a"]),
+            &BottomClauseConfig::default(),
+        );
+        assert_eq!(bottom.body_len(), 0);
+    }
+}

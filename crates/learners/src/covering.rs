@@ -1,0 +1,178 @@
+//! The generic covering loop (Algorithm 1 of the paper).
+//!
+//! Every sample-based learner in the paper — top-down or bottom-up —
+//! follows the same outer loop: repeatedly learn one clause, keep it if it
+//! meets the minimum condition, remove the positive examples it covers, and
+//! continue until no positive examples remain (or no acceptable clause can
+//! be found). Only the `LearnClause` procedure differs between algorithms.
+
+use crate::params::LearnerParams;
+use crate::scoring::{clause_coverage, covered_examples};
+use crate::task::LearningTask;
+use castor_logic::{Clause, Definition};
+use castor_relational::{DatabaseInstance, Tuple};
+
+/// The per-algorithm `LearnClause` procedure plugged into the covering loop.
+pub trait ClauseLearner {
+    /// Learns one clause from the database, the remaining (uncovered)
+    /// positive examples, and the negative examples. Returning `None` stops
+    /// the covering loop early (no acceptable clause could be built).
+    fn learn_clause(
+        &mut self,
+        db: &DatabaseInstance,
+        uncovered: &[Tuple],
+        negative: &[Tuple],
+        params: &LearnerParams,
+    ) -> Option<Clause>;
+}
+
+/// Runs the covering loop of Algorithm 1 with the given `LearnClause`
+/// procedure, producing a Horn definition for the task's target.
+pub fn covering_loop<L: ClauseLearner>(
+    learner: &mut L,
+    db: &DatabaseInstance,
+    task: &LearningTask,
+    params: &LearnerParams,
+) -> Definition {
+    let mut definition = Definition::empty(task.target.clone());
+    let mut uncovered: Vec<Tuple> = task.positive.clone();
+    // Guard against learners that keep returning clauses covering nothing:
+    // the loop must strictly shrink `uncovered` to continue.
+    while !uncovered.is_empty() {
+        let Some(clause) = learner.learn_clause(db, &uncovered, &task.negative, params) else {
+            break;
+        };
+        let coverage = clause_coverage(&clause, db, &uncovered, &task.negative);
+        if !params.meets_minimum(coverage.positive, coverage.negative) {
+            break;
+        }
+        let newly_covered: Vec<Tuple> = covered_examples(&clause, db, &uncovered)
+            .into_iter()
+            .cloned()
+            .collect();
+        if newly_covered.is_empty() {
+            break;
+        }
+        uncovered.retain(|e| !newly_covered.contains(e));
+        definition.push(clause);
+    }
+    definition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::Atom;
+    use castor_relational::{RelationSymbol, Schema};
+
+    /// A stub learner that returns a fixed sequence of clauses.
+    struct Scripted {
+        clauses: Vec<Option<Clause>>,
+        calls: usize,
+    }
+
+    impl ClauseLearner for Scripted {
+        fn learn_clause(
+            &mut self,
+            _db: &DatabaseInstance,
+            _uncovered: &[Tuple],
+            _negative: &[Tuple],
+            _params: &LearnerParams,
+        ) -> Option<Clause> {
+            let i = self.calls;
+            self.calls += 1;
+            self.clauses.get(i).cloned().flatten()
+        }
+    }
+
+    fn db() -> DatabaseInstance {
+        let mut schema = Schema::new("t");
+        schema.add_relation(RelationSymbol::new("p", &["x"]));
+        schema.add_relation(RelationSymbol::new("q", &["x"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for v in ["a", "b"] {
+            db.insert("p", Tuple::from_strs(&[v])).unwrap();
+        }
+        for v in ["c", "d"] {
+            db.insert("q", Tuple::from_strs(&[v])).unwrap();
+        }
+        db
+    }
+
+    fn task() -> LearningTask {
+        LearningTask::new(
+            "t",
+            1,
+            vec![
+                Tuple::from_strs(&["a"]),
+                Tuple::from_strs(&["b"]),
+                Tuple::from_strs(&["c"]),
+                Tuple::from_strs(&["d"]),
+            ],
+            vec![Tuple::from_strs(&["z"])],
+        )
+    }
+
+    #[test]
+    fn covering_loop_accumulates_clauses_until_all_covered() {
+        let p_clause = Clause::new(Atom::vars("t", &["x"]), vec![Atom::vars("p", &["x"])]);
+        let q_clause = Clause::new(Atom::vars("t", &["x"]), vec![Atom::vars("q", &["x"])]);
+        let mut learner = Scripted {
+            clauses: vec![Some(p_clause), Some(q_clause)],
+            calls: 0,
+        };
+        let def = covering_loop(&mut learner, &db(), &task(), &LearnerParams::default());
+        assert_eq!(def.len(), 2);
+    }
+
+    #[test]
+    fn loop_stops_when_learner_returns_none() {
+        let p_clause = Clause::new(Atom::vars("t", &["x"]), vec![Atom::vars("p", &["x"])]);
+        let mut learner = Scripted {
+            clauses: vec![Some(p_clause), None],
+            calls: 0,
+        };
+        let def = covering_loop(&mut learner, &db(), &task(), &LearnerParams::default());
+        assert_eq!(def.len(), 1); // c and d remain uncovered
+    }
+
+    #[test]
+    fn clause_below_minimum_condition_is_rejected() {
+        // A clause covering only one positive fails minpos = 2.
+        let mut schema = Schema::new("t");
+        schema.add_relation(RelationSymbol::new("only_a", &["x"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        db.insert("only_a", Tuple::from_strs(&["a"])).unwrap();
+        let weak = Clause::new(Atom::vars("t", &["x"]), vec![Atom::vars("only_a", &["x"])]);
+        let mut learner = Scripted {
+            clauses: vec![Some(weak)],
+            calls: 0,
+        };
+        let task = LearningTask::new(
+            "t",
+            1,
+            vec![Tuple::from_strs(&["a"]), Tuple::from_strs(&["b"])],
+            vec![],
+        );
+        let def = covering_loop(&mut learner, &db, &task, &LearnerParams::default());
+        assert!(def.is_empty());
+    }
+
+    #[test]
+    fn clause_covering_nothing_terminates_loop() {
+        let mut schema = Schema::new("t");
+        schema.add_relation(RelationSymbol::new("empty_rel", &["x"]));
+        let db = DatabaseInstance::empty(&schema);
+        let useless = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("empty_rel", &["x"])],
+        );
+        let mut learner = Scripted {
+            clauses: vec![Some(useless.clone()), Some(useless)],
+            calls: 0,
+        };
+        let task = LearningTask::new("t", 1, vec![Tuple::from_strs(&["a"])], vec![]);
+        let def = covering_loop(&mut learner, &db, &task, &LearnerParams::default());
+        assert!(def.is_empty());
+    }
+}

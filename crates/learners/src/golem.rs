@@ -1,0 +1,251 @@
+//! Golem: bottom-up learning with relative least general generalization
+//! (Muggleton & Feng 1990; Section 6.3 of the paper).
+//!
+//! Golem's `LearnClause` samples `K` positive examples, computes the rlgg of
+//! pairs of their saturations (ground bottom clauses), keeps the candidates
+//! meeting the minimum condition, and greedily folds further examples into
+//! the best candidate while its score improves (Algorithm 2). The rlgg
+//! operator itself is schema independent (Theorem 6.4), but the lgg of two
+//! clauses can be as large as the product of their lengths, so Golem's
+//! clauses — and its running time — grow exponentially with the number of
+//! examples generalized, which is why it only scales to small databases.
+
+use crate::bottom_clause::{ground_bottom_clause, BottomClauseConfig};
+use crate::covering::{covering_loop, ClauseLearner};
+use crate::params::LearnerParams;
+use crate::scoring::clause_coverage;
+use crate::task::LearningTask;
+use castor_logic::{lgg_clauses, minimize_clause, Clause, Definition};
+use castor_relational::{DatabaseInstance, Tuple};
+
+/// The Golem learner.
+#[derive(Debug, Default)]
+pub struct Golem {
+    /// Cap on the body size of intermediate lgg clauses; candidates growing
+    /// beyond it are abandoned (mirrors Golem's practical limits).
+    pub max_lgg_body: usize,
+}
+
+impl Golem {
+    /// Creates a Golem learner with the default lgg size cap.
+    pub fn new() -> Self {
+        Golem { max_lgg_body: 600 }
+    }
+
+    /// Learns a Horn definition for the task over `db`.
+    pub fn learn(
+        &mut self,
+        db: &DatabaseInstance,
+        task: &LearningTask,
+        params: &LearnerParams,
+    ) -> Definition {
+        let mut adapter = GolemClauseLearner {
+            target: task.target.clone(),
+            max_lgg_body: self.max_lgg_body,
+        };
+        covering_loop(&mut adapter, db, task, params)
+    }
+}
+
+struct GolemClauseLearner {
+    target: String,
+    max_lgg_body: usize,
+}
+
+impl GolemClauseLearner {
+    fn saturation(
+        &self,
+        db: &DatabaseInstance,
+        example: &Tuple,
+        params: &LearnerParams,
+    ) -> Clause {
+        let config = BottomClauseConfig {
+            max_iterations: params.max_iterations,
+            max_recall_per_relation: params.max_recall_per_relation,
+            ..Default::default()
+        };
+        ground_bottom_clause(db, &self.target, example, &config)
+    }
+}
+
+impl ClauseLearner for GolemClauseLearner {
+    fn learn_clause(
+        &mut self,
+        db: &DatabaseInstance,
+        uncovered: &[Tuple],
+        negative: &[Tuple],
+        params: &LearnerParams,
+    ) -> Option<Clause> {
+        // Sample E+_S: the first K uncovered positives (deterministic order
+        // keeps the experiments reproducible; the paper samples randomly).
+        let sample: Vec<&Tuple> = uncovered.iter().take(params.sample_size.max(2)).collect();
+        if sample.is_empty() {
+            return None;
+        }
+        let saturations: Vec<Clause> = sample
+            .iter()
+            .map(|e| self.saturation(db, e, params))
+            .collect();
+
+        // Candidate clauses: rlgg of every pair of sampled saturations that
+        // meets the minimum condition.
+        let mut best: Option<(Clause, i64)> = None;
+        for i in 0..saturations.len() {
+            for j in (i + 1)..saturations.len() {
+                let Some(lgg) = lgg_clauses(&saturations[i], &saturations[j]) else {
+                    continue;
+                };
+                if lgg.body.len() > self.max_lgg_body {
+                    continue;
+                }
+                // The lgg of two ground clauses *is* the rlgg: shared
+                // constants stay constants, differing ones became variables.
+                let candidate = minimize_clause(&lgg);
+                let cov = clause_coverage(&candidate, db, uncovered, negative);
+                if !params.meets_minimum(cov.positive, cov.negative) {
+                    continue;
+                }
+                let score = cov.score();
+                if best.as_ref().map_or(true, |(_, s)| score > *s) {
+                    best = Some((candidate, score));
+                }
+            }
+        }
+        let (mut current, mut current_score) = best?;
+
+        // Greedily fold further examples into the generalization while the
+        // score improves.
+        loop {
+            let mut improved = false;
+            for example in uncovered {
+                if castor_logic::covers_example(&current, db, example) {
+                    continue;
+                }
+                let saturation = self.saturation(db, example, params);
+                let Some(lgg) = lgg_clauses(&current, &saturation) else {
+                    continue;
+                };
+                if lgg.body.len() > self.max_lgg_body {
+                    continue;
+                }
+                let candidate = minimize_clause(&lgg);
+                let cov = clause_coverage(&candidate, db, uncovered, negative);
+                if !params.meets_minimum(cov.positive, cov.negative) {
+                    continue;
+                }
+                if cov.score() > current_score {
+                    current = candidate;
+                    current_score = cov.score();
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_relational::{RelationSymbol, Schema};
+
+    fn db() -> DatabaseInstance {
+        let mut schema = Schema::new("t");
+        schema
+            .add_relation(RelationSymbol::new("publication", &["title", "person"]))
+            .add_relation(RelationSymbol::new("professor", &["p"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for (t, person) in [
+            ("a", "prof1"),
+            ("a", "stud1"),
+            ("b", "prof2"),
+            ("b", "stud2"),
+            ("c", "prof3"),
+            ("c", "stud3"),
+            ("d", "stud4"),
+        ] {
+            db.insert("publication", Tuple::from_strs(&[t, person])).unwrap();
+        }
+        for p in ["prof1", "prof2", "prof3"] {
+            db.insert("professor", Tuple::from_strs(&[p])).unwrap();
+        }
+        db
+    }
+
+    fn task() -> LearningTask {
+        LearningTask::new(
+            "advisedBy",
+            2,
+            vec![
+                Tuple::from_strs(&["stud1", "prof1"]),
+                Tuple::from_strs(&["stud2", "prof2"]),
+                Tuple::from_strs(&["stud3", "prof3"]),
+            ],
+            vec![
+                Tuple::from_strs(&["stud1", "prof2"]),
+                Tuple::from_strs(&["stud4", "prof1"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn golem_learns_generalization_covering_positives() {
+        let db = db();
+        let params = LearnerParams {
+            sample_size: 3,
+            min_pos: 2,
+            ..Default::default()
+        };
+        let def = Golem::new().learn(&db, &task(), &params);
+        assert!(!def.is_empty());
+        let t = task();
+        let covered = t
+            .positive
+            .iter()
+            .filter(|e| def.clauses.iter().any(|c| castor_logic::covers_example(c, &db, e)))
+            .count();
+        assert_eq!(covered, 3, "rlgg generalization should cover all positives");
+        for neg in &t.negative {
+            let covered_neg = def
+                .clauses
+                .iter()
+                .any(|c| castor_logic::covers_example(c, &db, neg));
+            assert!(!covered_neg, "negative {neg} should not be covered");
+        }
+    }
+
+    #[test]
+    fn lgg_size_cap_prevents_blowup() {
+        let db = db();
+        let mut learner = GolemClauseLearner {
+            target: "advisedBy".into(),
+            max_lgg_body: 0, // nothing fits
+        };
+        let t = task();
+        let clause = learner.learn_clause(&db, &t.positive, &t.negative, &LearnerParams::default());
+        assert!(clause.is_none());
+    }
+
+    #[test]
+    fn needs_at_least_two_examples_to_pair() {
+        let db = db();
+        let params = LearnerParams {
+            min_pos: 1,
+            ..Default::default()
+        };
+        let single = LearningTask::new(
+            "advisedBy",
+            2,
+            vec![Tuple::from_strs(&["stud1", "prof1"])],
+            vec![],
+        );
+        // With a single positive the pair loop still works because the sample
+        // floor is 2 but only one saturation exists — no pair, no clause.
+        let def = Golem::new().learn(&db, &single, &params);
+        assert!(def.is_empty());
+    }
+}

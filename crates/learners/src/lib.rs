@@ -1,0 +1,44 @@
+//! # castor-learners
+//!
+//! Baseline relational-learning algorithms analyzed by *Schema Independent
+//! Relational Learning* (Picado et al., 2017), implemented from scratch:
+//!
+//! * **Top-down** learners (Section 5): [`foil::Foil`] — greedy
+//!   general-to-specific search à la FOIL/Aleph-FOIL — and
+//!   [`progol::Progol`] — bottom-clause-bounded top-down beam search à la
+//!   Progol/Aleph-Progol. Both restrict the hypothesis space with a
+//!   `clauselength` parameter, which is exactly what makes them schema
+//!   dependent (Theorem 5.1).
+//! * **Bottom-up** learners (Section 6): [`golem::Golem`] (rlgg-based) and
+//!   [`progolem::ProGolem`] (ARMG-based), together with the standard
+//!   depth-bounded bottom-clause construction of Section 6.1.
+//! * **Query-based** learning (Section 8): [`query_based::LogAnH`], an
+//!   A2-style learner that interacts with an automatic
+//!   [`query_based::Oracle`] through equivalence and membership queries and
+//!   reports its query counts (Figure 3).
+//!
+//! The paper's own algorithm, Castor, lives in the `castor-core` crate and
+//! reuses the shared infrastructure defined here ([`task`], [`params`],
+//! [`scoring`], [`covering`], [`bottom_clause`]).
+
+pub mod bottom_clause;
+pub mod covering;
+pub mod foil;
+pub mod golem;
+pub mod params;
+pub mod progol;
+pub mod progolem;
+pub mod query_based;
+pub mod scoring;
+pub mod task;
+
+pub use bottom_clause::{ground_bottom_clause, variablized_bottom_clause, BottomClauseConfig};
+pub use covering::{covering_loop, ClauseLearner};
+pub use foil::Foil;
+pub use golem::Golem;
+pub use params::LearnerParams;
+pub use progol::Progol;
+pub use progolem::ProGolem;
+pub use query_based::{LogAnH, Oracle, QueryStats};
+pub use scoring::{clause_coverage, clause_precision, ClauseCoverage};
+pub use task::LearningTask;

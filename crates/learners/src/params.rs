@@ -1,0 +1,151 @@
+//! Learner parameters θ.
+//!
+//! The paper models an algorithm's hypothesis space `L_{A,R,θ}` as a
+//! function of its parameters. The parameters below cover every knob used in
+//! the experimental section: `clauselength` for top-down learners, the
+//! bottom-clause depth/recall limits for bottom-up learners, the minimum
+//! precision (`minacc`/`minprec` = 0.67) and minimum positive coverage
+//! (`minpos` = 2) thresholds, beam width, and the sample size `K` used by
+//! Golem/ProGolem/Castor when picking examples to generalize against.
+
+use std::collections::BTreeSet;
+
+/// Parameters shared by the learners in this workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnerParams {
+    /// `(relation, position)` pairs whose values are kept as constants in
+    /// bottom clauses (the equivalent of `#`-marked mode-declaration
+    /// arguments). Dataset definitions provide these.
+    pub constant_positions: BTreeSet<(String, usize)>,
+    /// Maximum number of body literals in a clause considered by top-down
+    /// learners (`clauselength` in Aleph).
+    pub clause_length: usize,
+    /// Maximum variable depth of bottom clauses (Section 6.1).
+    pub max_depth: usize,
+    /// Maximum number of iterations of bottom-clause construction (each
+    /// iteration can only create literals of one additional depth level).
+    pub max_iterations: usize,
+    /// Minimum precision a clause must reach to be added to the hypothesis
+    /// (the paper uses 2:1, i.e. 0.67, across all systems).
+    pub min_precision: f64,
+    /// Minimum number of positive examples a clause must cover.
+    pub min_pos: usize,
+    /// Beam width for beam-search learners (ProGolem, Castor, Progol).
+    pub beam_width: usize,
+    /// Number of positive examples sampled per generalization round (`K`).
+    pub sample_size: usize,
+    /// Maximum number of tuples of one relation joined with the current
+    /// tuple during bottom-clause construction (the paper uses 10).
+    pub max_recall_per_relation: usize,
+    /// Maximum number of distinct variables in a bottom clause — Castor's
+    /// schema-independent stopping condition (Section 7.1).
+    pub max_distinct_variables: usize,
+    /// Whether top-down learners may place constants in candidate literals.
+    pub allow_constants: bool,
+    /// Cap on candidate constants per attribute when `allow_constants`.
+    pub max_constants_per_attribute: usize,
+    /// Number of coverage-testing worker threads (Castor; Figure 2).
+    pub threads: usize,
+}
+
+impl Default for LearnerParams {
+    fn default() -> Self {
+        LearnerParams {
+            constant_positions: BTreeSet::new(),
+            clause_length: 4,
+            max_depth: 3,
+            max_iterations: 3,
+            min_precision: 2.0 / 3.0,
+            min_pos: 2,
+            beam_width: 3,
+            sample_size: 20,
+            max_recall_per_relation: 10,
+            max_distinct_variables: 20,
+            allow_constants: true,
+            max_constants_per_attribute: 8,
+            threads: 1,
+        }
+    }
+}
+
+impl LearnerParams {
+    /// The paper's default configuration for small datasets (UW-CSE).
+    pub fn uwcse() -> Self {
+        LearnerParams {
+            sample_size: 20,
+            beam_width: 3,
+            ..LearnerParams::default()
+        }
+    }
+
+    /// The paper's configuration for large datasets (HIV, IMDb): sample and
+    /// beam width of 1.
+    pub fn large_dataset() -> Self {
+        LearnerParams {
+            sample_size: 1,
+            beam_width: 1,
+            clause_length: 10,
+            max_iterations: 2,
+            max_distinct_variables: 60,
+            ..LearnerParams::default()
+        }
+    }
+
+    /// Returns a copy with a different `clauselength` (used when sweeping
+    /// clauselength = 10 / 15 as in Table 9).
+    pub fn with_clause_length(mut self, clause_length: usize) -> Self {
+        self.clause_length = clause_length;
+        self
+    }
+
+    /// Returns a copy with a different thread count (Figure 2 sweep).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Whether a clause covering `pos` positive and `neg` negative examples
+    /// meets the minimum-condition thresholds.
+    pub fn meets_minimum(&self, pos: usize, neg: usize) -> bool {
+        if pos < self.min_pos {
+            return false;
+        }
+        if pos + neg == 0 {
+            return false;
+        }
+        let precision = pos as f64 / (pos + neg) as f64;
+        precision + 1e-9 >= self.min_precision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let p = LearnerParams::default();
+        assert!((p.min_precision - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.min_pos, 2);
+        assert_eq!(p.max_recall_per_relation, 10);
+    }
+
+    #[test]
+    fn minimum_condition_enforces_precision_and_minpos() {
+        let p = LearnerParams::default();
+        assert!(p.meets_minimum(4, 2)); // precision 0.67
+        assert!(!p.meets_minimum(1, 0)); // below minpos
+        assert!(!p.meets_minimum(2, 3)); // precision 0.4
+        assert!(!p.meets_minimum(0, 0));
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let p = LearnerParams::large_dataset()
+            .with_clause_length(15)
+            .with_threads(0);
+        assert_eq!(p.clause_length, 15);
+        assert_eq!(p.threads, 1); // clamped
+        assert_eq!(p.sample_size, 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Progol-style learning: bottom-clause-bounded top-down beam search.
+//!
+//! Progol (Muggleton 1995) — and Aleph in its default configuration, which
+//! the paper calls *Aleph-Progol* — constrains the top-down search with the
+//! bottom clause of a seed example: candidate clauses only contain literals
+//! drawn from `⊥_e`, are at most `clauselength` literals long, and are
+//! scored by coverage. The `clauselength` bound makes Progol's hypothesis
+//! space schema dependent for exactly the reason given in Theorem 5.1.
+
+use crate::bottom_clause::{variablized_bottom_clause, BottomClauseConfig};
+use crate::covering::{covering_loop, ClauseLearner};
+use crate::params::LearnerParams;
+use crate::scoring::clause_coverage;
+use crate::task::LearningTask;
+use castor_logic::{minimize_clause, Atom, Clause, Definition};
+use castor_relational::{DatabaseInstance, Tuple};
+use std::collections::BTreeSet;
+
+/// The Progol/Aleph-Progol learner.
+#[derive(Debug, Default)]
+pub struct Progol;
+
+impl Progol {
+    /// Creates a Progol learner.
+    pub fn new() -> Self {
+        Progol
+    }
+
+    /// Learns a Horn definition for the task over `db`.
+    pub fn learn(
+        &mut self,
+        db: &DatabaseInstance,
+        task: &LearningTask,
+        params: &LearnerParams,
+    ) -> Definition {
+        let mut adapter = ProgolClauseLearner {
+            target: task.target.clone(),
+        };
+        covering_loop(&mut adapter, db, task, params)
+    }
+}
+
+struct ProgolClauseLearner {
+    target: String,
+}
+
+impl ClauseLearner for ProgolClauseLearner {
+    fn learn_clause(
+        &mut self,
+        db: &DatabaseInstance,
+        uncovered: &[Tuple],
+        negative: &[Tuple],
+        params: &LearnerParams,
+    ) -> Option<Clause> {
+        let seed = uncovered.first()?;
+        let config = BottomClauseConfig {
+            max_iterations: params.max_iterations,
+            max_recall_per_relation: params.max_recall_per_relation,
+            constant_positions: params.constant_positions.clone(),
+            ..Default::default()
+        };
+        let bottom = variablized_bottom_clause(db, &self.target, seed, &config);
+        let bottom = minimize_clause(&bottom);
+        if bottom.body.is_empty() {
+            return None;
+        }
+
+        // Beam search over subsets of the bottom clause's body, growing one
+        // literal at a time, keeping clauses head-connected and at most
+        // `clauselength` body literals long.
+        let root = Clause::fact(bottom.head.clone());
+        let mut beam: Vec<(Clause, i64)> = vec![(root, i64::MIN)];
+        let mut best: Option<(Clause, i64, usize)> = None;
+
+        for _ in 0..params.clause_length {
+            let mut next: Vec<(Clause, i64)> = Vec::new();
+            for (clause, _) in &beam {
+                for literal in admissible_extensions(clause, &bottom) {
+                    let mut extended = clause.clone();
+                    extended.push(literal);
+                    let cov = clause_coverage(&extended, db, uncovered, negative);
+                    if cov.positive == 0 {
+                        continue;
+                    }
+                    let score = cov.score();
+                    if params.meets_minimum(cov.positive, cov.negative) {
+                        let replace = match &best {
+                            None => true,
+                            Some((_, best_score, best_len)) => {
+                                score > *best_score
+                                    || (score == *best_score
+                                        && extended.body_len() < *best_len)
+                            }
+                        };
+                        if replace {
+                            best = Some((extended.clone(), score, extended.body_len()));
+                        }
+                    }
+                    next.push((extended, score));
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            next.sort_by(|a, b| b.1.cmp(&a.1));
+            next.truncate(params.beam_width.max(1));
+            beam = next;
+        }
+
+        best.map(|(clause, _, _)| minimize_clause(&clause))
+    }
+}
+
+/// Literals of the bottom clause that can extend `clause`: not already
+/// present and sharing a variable with the clause (head included), so the
+/// result stays head-connected.
+fn admissible_extensions(clause: &Clause, bottom: &Clause) -> Vec<Atom> {
+    let present: BTreeSet<&Atom> = clause.body.iter().collect();
+    let mut vars = clause.head.variables();
+    for a in &clause.body {
+        vars.extend(a.variables());
+    }
+    bottom
+        .body
+        .iter()
+        .filter(|a| !present.contains(a))
+        .filter(|a| a.shares_variable_with(&vars))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_relational::{RelationSymbol, Schema};
+
+    fn db() -> DatabaseInstance {
+        let mut schema = Schema::new("t");
+        schema
+            .add_relation(RelationSymbol::new("professor", &["p"]))
+            .add_relation(RelationSymbol::new("student", &["s"]))
+            .add_relation(RelationSymbol::new("publication", &["title", "person"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for p in ["prof1", "prof2"] {
+            db.insert("professor", Tuple::from_strs(&[p])).unwrap();
+        }
+        for s in ["stud1", "stud2", "stud3"] {
+            db.insert("student", Tuple::from_strs(&[s])).unwrap();
+        }
+        for (t, person) in [
+            ("a", "prof1"),
+            ("a", "stud1"),
+            ("b", "prof2"),
+            ("b", "stud2"),
+            ("c", "stud3"),
+            ("c", "prof1"),
+        ] {
+            db.insert("publication", Tuple::from_strs(&[t, person])).unwrap();
+        }
+        db
+    }
+
+    fn task() -> LearningTask {
+        LearningTask::new(
+            "advisedBy",
+            2,
+            vec![
+                Tuple::from_strs(&["stud1", "prof1"]),
+                Tuple::from_strs(&["stud2", "prof2"]),
+                Tuple::from_strs(&["stud3", "prof1"]),
+            ],
+            vec![
+                Tuple::from_strs(&["stud1", "prof2"]),
+                Tuple::from_strs(&["stud2", "prof1"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn progol_learns_covering_definition() {
+        let db = db();
+        let params = LearnerParams {
+            clause_length: 4,
+            beam_width: 5,
+            min_pos: 2,
+            ..Default::default()
+        };
+        let def = Progol::new().learn(&db, &task(), &params);
+        assert!(!def.is_empty());
+        let t = task();
+        let covered = t
+            .positive
+            .iter()
+            .filter(|e| def.clauses.iter().any(|c| castor_logic::covers_example(c, &db, e)))
+            .count();
+        assert!(covered >= 2);
+        // No clause may cover both negatives (precision threshold 0.67).
+        for c in &def.clauses {
+            let cov = clause_coverage(&c.clone(), &db, &t.positive, &t.negative);
+            assert!(cov.precision() >= 0.66);
+        }
+    }
+
+    #[test]
+    fn clause_length_one_cannot_express_join() {
+        let db = db();
+        let params = LearnerParams {
+            clause_length: 1,
+            min_pos: 2,
+            ..Default::default()
+        };
+        let def = Progol::new().learn(&db, &task(), &params);
+        for c in &def.clauses {
+            assert!(c.body_len() <= 1);
+        }
+    }
+
+    #[test]
+    fn admissible_extensions_stay_head_connected() {
+        let bottom = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![
+                Atom::vars("p", &["x", "y"]),
+                Atom::vars("q", &["y", "z"]),
+                Atom::vars("r", &["w"]), // never connected
+            ],
+        );
+        let root = Clause::fact(Atom::vars("t", &["x"]));
+        let first = admissible_extensions(&root, &bottom);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].relation, "p");
+        let mut extended = root.clone();
+        extended.push(first[0].clone());
+        let second = admissible_extensions(&extended, &bottom);
+        assert!(second.iter().any(|a| a.relation == "q"));
+        assert!(!second.iter().any(|a| a.relation == "r"));
+    }
+
+    #[test]
+    fn empty_database_learns_nothing() {
+        let mut schema = Schema::new("t");
+        schema.add_relation(RelationSymbol::new("p", &["x"]));
+        let db = DatabaseInstance::empty(&schema);
+        let task = LearningTask::new("t", 1, vec![Tuple::from_strs(&["a"])], vec![]);
+        let def = Progol::new().learn(&db, &task, &LearnerParams::default());
+        assert!(def.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! The A2-style query-based learner (LogAn-H).
+//!
+//! The learner maintains a sequence `S` of ground counterexamples. Each
+//! round it variablizes `S` into a hypothesis and asks an equivalence query;
+//! on a counterexample it (1) *minimizes* the counterexample by dropping
+//! body literals whose removal keeps the example positive — one membership
+//! query per literal — and (2) tries to *pair* it with an existing element
+//! of `S` through the lgg, accepting the merge only if a membership query
+//! confirms the merged clause is still implied by the target. This is the
+//! structure of Khardon's A2 algorithm as implemented in LogAn-H; the MQ
+//! count therefore scales with counterexample size (literal count), which is
+//! exactly what makes decomposed schemas — whose counterexamples have more,
+//! smaller literals — cost more queries (Figure 3).
+
+use super::oracle::{EquivalenceAnswer, Oracle};
+use crate::bottom_clause::variablize;
+use castor_logic::{lgg_clauses, minimize_clause, Clause, Definition};
+
+/// Query counts reported by a learning run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Number of equivalence queries asked.
+    pub equivalence_queries: usize,
+    /// Number of membership queries asked.
+    pub membership_queries: usize,
+    /// Number of rounds (counterexamples processed).
+    pub rounds: usize,
+}
+
+/// The A2-style learner.
+#[derive(Debug, Clone)]
+pub struct LogAnH {
+    /// Safety bound on the number of equivalence queries, so malformed
+    /// targets can never loop forever.
+    pub max_rounds: usize,
+}
+
+impl Default for LogAnH {
+    fn default() -> Self {
+        LogAnH { max_rounds: 200 }
+    }
+}
+
+impl LogAnH {
+    /// Creates a learner with the default round bound.
+    pub fn new() -> Self {
+        LogAnH::default()
+    }
+
+    /// Learns the target definition known to `oracle`, returning the learned
+    /// hypothesis and the query counts.
+    pub fn learn(&self, oracle: &mut Oracle, target_name: &str) -> (Definition, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut sequence: Vec<Clause> = Vec::new();
+
+        for _ in 0..self.max_rounds {
+            let hypothesis = self.hypothesis_from(&sequence, target_name);
+            stats.equivalence_queries += 1;
+            match oracle.equivalence(&hypothesis) {
+                EquivalenceAnswer::Correct => return (hypothesis, stats),
+                EquivalenceAnswer::CounterExample(ground) => {
+                    stats.rounds += 1;
+                    let minimized = self.minimize_counterexample(oracle, &ground, &mut stats);
+                    self.incorporate(oracle, minimized, &mut sequence, &mut stats);
+                }
+            }
+        }
+        (self.hypothesis_from(&sequence, target_name), stats)
+    }
+
+    /// Drops body literals whose removal keeps the counterexample positive
+    /// (one membership query per literal).
+    fn minimize_counterexample(
+        &self,
+        oracle: &Oracle,
+        ground: &Clause,
+        stats: &mut QueryStats,
+    ) -> Clause {
+        let mut current = ground.clone();
+        let mut i = 0;
+        while i < current.body.len() {
+            let mut candidate = current.clone();
+            candidate.body.remove(i);
+            stats.membership_queries += 1;
+            if oracle.membership(&candidate) {
+                current = candidate;
+            } else {
+                i += 1;
+            }
+        }
+        current
+    }
+
+    /// Tries to merge the minimized counterexample into an existing sequence
+    /// element via the lgg; otherwise appends it.
+    fn incorporate(
+        &self,
+        oracle: &Oracle,
+        example: Clause,
+        sequence: &mut Vec<Clause>,
+        stats: &mut QueryStats,
+    ) {
+        for slot in sequence.iter_mut() {
+            let Some(merged) = lgg_clauses(slot, &example) else {
+                continue;
+            };
+            let merged = minimize_clause(&merged);
+            // Validate the merge with a membership query on a fresh
+            // instantiation of the merged clause.
+            let mut probe_oracle = oracle.clone();
+            let ground_probe = probe_oracle.instantiate(&merged);
+            stats.membership_queries += 1;
+            if oracle.membership(&ground_probe) {
+                *slot = merged;
+                return;
+            }
+        }
+        sequence.push(example);
+    }
+
+    /// Builds the hypothesis from the sequence: each element is variablized
+    /// (counterexamples are ground; merged elements may already contain
+    /// variables, which `variablize` leaves untouched).
+    fn hypothesis_from(&self, sequence: &[Clause], target_name: &str) -> Definition {
+        let mut def = Definition::empty(target_name);
+        for clause in sequence {
+            let lifted = variablize(clause);
+            if lifted.head.relation == target_name {
+                def.push(lifted);
+            }
+        }
+        def
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::Atom;
+    use castor_relational::{RelationSymbol, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("s");
+        s.add_relation(RelationSymbol::new("p", &["a", "b"]));
+        s.add_relation(RelationSymbol::new("q", &["a"]));
+        s.add_relation(RelationSymbol::new("r", &["a", "b"]));
+        s
+    }
+
+    fn single_clause_target() -> Definition {
+        Definition::new(
+            "t",
+            vec![Clause::new(
+                Atom::vars("t", &["x"]),
+                vec![Atom::vars("p", &["x", "y"]), Atom::vars("q", &["y"])],
+            )],
+        )
+    }
+
+    fn two_clause_target() -> Definition {
+        Definition::new(
+            "t",
+            vec![
+                Clause::new(
+                    Atom::vars("t", &["x"]),
+                    vec![Atom::vars("p", &["x", "y"]), Atom::vars("q", &["y"])],
+                ),
+                Clause::new(
+                    Atom::vars("t", &["x"]),
+                    vec![Atom::vars("r", &["x", "z"])],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn learns_single_clause_target_exactly() {
+        let target = single_clause_target();
+        let mut oracle = Oracle::new(schema(), target.clone());
+        let (hypothesis, stats) = LogAnH::new().learn(&mut oracle, "t");
+        assert_eq!(oracle.equivalence(&hypothesis), EquivalenceAnswer::Correct);
+        assert!(stats.equivalence_queries >= 2); // one failure + one success
+        assert!(stats.membership_queries >= 2); // one per body literal at least
+    }
+
+    #[test]
+    fn learns_multi_clause_target() {
+        let target = two_clause_target();
+        let mut oracle = Oracle::new(schema(), target.clone());
+        let (hypothesis, stats) = LogAnH::new().learn(&mut oracle, "t");
+        assert_eq!(oracle.equivalence(&hypothesis), EquivalenceAnswer::Correct);
+        assert!(hypothesis.len() >= 2);
+        assert!(stats.rounds >= 2);
+    }
+
+    #[test]
+    fn membership_queries_grow_with_clause_size() {
+        // A target whose single clause has more body literals forces more
+        // MQs during counterexample minimization.
+        let small = single_clause_target();
+        let large = Definition::new(
+            "t",
+            vec![Clause::new(
+                Atom::vars("t", &["x"]),
+                vec![
+                    Atom::vars("p", &["x", "y"]),
+                    Atom::vars("q", &["y"]),
+                    Atom::vars("r", &["y", "z"]),
+                    Atom::vars("p", &["z", "w"]),
+                    Atom::vars("q", &["w"]),
+                ],
+            )],
+        );
+        let mut o1 = Oracle::new(schema(), small);
+        let mut o2 = Oracle::new(schema(), large);
+        let (_, s1) = LogAnH::new().learn(&mut o1, "t");
+        let (_, s2) = LogAnH::new().learn(&mut o2, "t");
+        assert!(s2.membership_queries > s1.membership_queries);
+        // EQ counts stay comparable (both single-clause targets).
+        assert!(s2.equivalence_queries <= s1.equivalence_queries + 2);
+    }
+
+    #[test]
+    fn round_bound_prevents_infinite_loops() {
+        let target = single_clause_target();
+        let mut oracle = Oracle::new(schema(), target);
+        let learner = LogAnH { max_rounds: 1 };
+        let (_, stats) = learner.learn(&mut oracle, "t");
+        assert!(stats.equivalence_queries <= 2);
+    }
+}

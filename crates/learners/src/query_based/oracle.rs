@@ -1,0 +1,214 @@
+//! The automatic oracle used by the query-based learning experiments.
+//!
+//! The oracle knows the target Horn definition. It answers membership
+//! queries by evaluating the target over the canonical database of the
+//! queried clause body, and answers equivalence queries by instantiating
+//! each target clause with fresh constants and checking whether the
+//! hypothesis derives the corresponding head (returning the instantiation
+//! as a counterexample when it does not). This mirrors LogAn-H's
+//! "interactive algorithm with automatic user mode" (Section 9.4).
+
+use castor_logic::{covers_example, Atom, Clause, Definition, Term};
+use castor_relational::{DatabaseInstance, RelationSymbol, Schema, Value};
+use std::collections::BTreeMap;
+
+/// The oracle's answer to an equivalence query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquivalenceAnswer {
+    /// The hypothesis is (extensionally) equivalent to the target.
+    Correct,
+    /// A ground counterexample: a saturation (ground head + ground body
+    /// facts) that the target derives but the hypothesis does not.
+    CounterExample(Clause),
+}
+
+/// An oracle that knows the target definition over a given schema.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    schema: Schema,
+    target: Definition,
+    /// Counter used to mint fresh constants for clause instantiations.
+    instantiation_counter: u64,
+}
+
+impl Oracle {
+    /// Creates an oracle for the target definition over `schema`.
+    pub fn new(schema: Schema, target: Definition) -> Self {
+        Oracle {
+            schema,
+            target,
+            instantiation_counter: 0,
+        }
+    }
+
+    /// The target definition (used by experiments to report its size).
+    pub fn target(&self) -> &Definition {
+        &self.target
+    }
+
+    /// Instantiates a clause by mapping every variable to a fresh constant,
+    /// returning the ground clause.
+    pub fn instantiate(&mut self, clause: &Clause) -> Clause {
+        self.instantiation_counter += 1;
+        let tag = self.instantiation_counter;
+        let mut mapping: BTreeMap<String, Value> = BTreeMap::new();
+        let ground_atom = |atom: &Atom, mapping: &mut BTreeMap<String, Value>| Atom {
+            relation: atom.relation.clone(),
+            terms: atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(_) => t.clone(),
+                    Term::Var(name) => {
+                        let value = mapping
+                            .entry(name.clone())
+                            .or_insert_with(|| Value::str(format!("c{tag}_{name}")))
+                            .clone();
+                        Term::Const(value)
+                    }
+                })
+                .collect(),
+        };
+        let head = ground_atom(&clause.head, &mut mapping);
+        let body = clause
+            .body
+            .iter()
+            .map(|a| ground_atom(a, &mut mapping))
+            .collect();
+        Clause::new(head, body)
+    }
+
+    /// Builds the canonical database instance of a ground clause body: one
+    /// tuple per body literal. Relations not declared in the schema are
+    /// added on the fly (the random target heads of Figure 3 are new
+    /// relations).
+    pub fn canonical_database(&self, ground: &Clause) -> DatabaseInstance {
+        let mut schema = self.schema.clone();
+        for atom in &ground.body {
+            if !schema.contains_relation(&atom.relation) {
+                let attrs: Vec<String> =
+                    (0..atom.arity()).map(|i| format!("a{i}")).collect();
+                schema.add_relation(RelationSymbol::new(atom.relation.clone(), &attrs));
+            }
+        }
+        let mut db = DatabaseInstance::empty(&schema);
+        for atom in &ground.body {
+            let tuple = atom.to_tuple().expect("canonical database needs ground atoms");
+            db.insert(&atom.relation, tuple).expect("arity checked above");
+        }
+        db
+    }
+
+    /// Membership query: does the target derive `head_example` from the
+    /// ground facts in `body`? (`body` is the body of a ground clause.)
+    pub fn membership(&self, ground: &Clause) -> bool {
+        let db = self.canonical_database(ground);
+        let Some(example) = ground.head.to_tuple() else {
+            return false;
+        };
+        self.target
+            .clauses
+            .iter()
+            .any(|c| covers_example(c, &db, &example))
+    }
+
+    /// Equivalence query: checks whether `hypothesis` derives the head of a
+    /// fresh instantiation of every target clause. Returns the first failing
+    /// instantiation as a counterexample.
+    pub fn equivalence(&mut self, hypothesis: &Definition) -> EquivalenceAnswer {
+        let clauses = self.target.clauses.clone();
+        for clause in &clauses {
+            let ground = self.instantiate(clause);
+            let db = self.canonical_database(&ground);
+            let example = ground
+                .head
+                .to_tuple()
+                .expect("instantiated head is ground");
+            let derived = hypothesis
+                .clauses
+                .iter()
+                .any(|c| covers_example(c, &db, &example));
+            if !derived {
+                return EquivalenceAnswer::CounterExample(ground);
+            }
+        }
+        EquivalenceAnswer::Correct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_relational::{RelationSymbol, Tuple};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("s");
+        s.add_relation(RelationSymbol::new("p", &["a", "b"]));
+        s.add_relation(RelationSymbol::new("q", &["a"]));
+        s
+    }
+
+    fn target() -> Definition {
+        Definition::new(
+            "t",
+            vec![Clause::new(
+                Atom::vars("t", &["x"]),
+                vec![Atom::vars("p", &["x", "y"]), Atom::vars("q", &["y"])],
+            )],
+        )
+    }
+
+    #[test]
+    fn instantiation_produces_ground_clause_with_shared_constants() {
+        let mut oracle = Oracle::new(schema(), target());
+        let ground = oracle.instantiate(&target().clauses[0]);
+        assert!(ground.is_ground());
+        // The y constant is shared between the p and q literals.
+        assert_eq!(ground.body[0].terms[1], ground.body[1].terms[0]);
+        // Two instantiations use different constants.
+        let ground2 = oracle.instantiate(&target().clauses[0]);
+        assert_ne!(ground.head, ground2.head);
+    }
+
+    #[test]
+    fn membership_follows_target_semantics() {
+        let oracle = Oracle::new(schema(), target());
+        let mut oracle_mut = oracle.clone();
+        let ground = oracle_mut.instantiate(&target().clauses[0]);
+        assert!(oracle.membership(&ground));
+        // Dropping the q literal makes the body insufficient.
+        let mut weaker = ground.clone();
+        weaker.body.retain(|a| a.relation != "q");
+        assert!(!oracle.membership(&weaker));
+    }
+
+    #[test]
+    fn equivalence_accepts_the_target_itself() {
+        let mut oracle = Oracle::new(schema(), target());
+        assert_eq!(oracle.equivalence(&target()), EquivalenceAnswer::Correct);
+    }
+
+    #[test]
+    fn equivalence_returns_counterexample_for_empty_hypothesis() {
+        let mut oracle = Oracle::new(schema(), target());
+        let empty = Definition::empty("t");
+        match oracle.equivalence(&empty) {
+            EquivalenceAnswer::CounterExample(ground) => {
+                assert!(ground.is_ground());
+                assert_eq!(ground.head.relation, "t");
+            }
+            EquivalenceAnswer::Correct => panic!("empty hypothesis cannot be correct"),
+        }
+    }
+
+    #[test]
+    fn canonical_database_adds_unknown_relations() {
+        let oracle = Oracle::new(schema(), target());
+        let ground = Clause::new(
+            Atom::ground("t", &Tuple::from_strs(&["a"])),
+            vec![Atom::ground("brand_new_rel", &Tuple::from_strs(&["a", "b"]))],
+        );
+        let db = oracle.canonical_database(&ground);
+        assert_eq!(db.relation("brand_new_rel").unwrap().len(), 1);
+    }
+}

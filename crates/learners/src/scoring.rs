@@ -1,0 +1,163 @@
+//! Coverage counting and clause scoring.
+//!
+//! Every learner in the paper scores candidate clauses by how many positive
+//! and negative examples they cover relative to the background database.
+//! Coverage of an example is body-satisfiability with the head bound to the
+//! example (see `castor_logic::covers_example`).
+
+use castor_logic::{covers_example, Clause, Definition};
+use castor_relational::{DatabaseInstance, Tuple};
+
+/// The positive/negative coverage of one clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClauseCoverage {
+    /// Number of positive examples covered.
+    pub positive: usize,
+    /// Number of negative examples covered.
+    pub negative: usize,
+}
+
+impl ClauseCoverage {
+    /// The coverage score used by the bottom-up learners: positives minus
+    /// negatives.
+    pub fn score(&self) -> i64 {
+        self.positive as i64 - self.negative as i64
+    }
+
+    /// Precision (positives over all covered). Zero when nothing is covered.
+    pub fn precision(&self) -> f64 {
+        if self.positive + self.negative == 0 {
+            0.0
+        } else {
+            self.positive as f64 / (self.positive + self.negative) as f64
+        }
+    }
+}
+
+/// Counts how many positive and negative examples the clause covers.
+pub fn clause_coverage(
+    clause: &Clause,
+    db: &DatabaseInstance,
+    positive: &[Tuple],
+    negative: &[Tuple],
+) -> ClauseCoverage {
+    ClauseCoverage {
+        positive: positive
+            .iter()
+            .filter(|e| covers_example(clause, db, e))
+            .count(),
+        negative: negative
+            .iter()
+            .filter(|e| covers_example(clause, db, e))
+            .count(),
+    }
+}
+
+/// Precision of the clause over the given examples.
+pub fn clause_precision(
+    clause: &Clause,
+    db: &DatabaseInstance,
+    positive: &[Tuple],
+    negative: &[Tuple],
+) -> f64 {
+    clause_coverage(clause, db, positive, negative).precision()
+}
+
+/// The examples from `examples` covered by the clause.
+pub fn covered_examples<'a>(
+    clause: &Clause,
+    db: &DatabaseInstance,
+    examples: &'a [Tuple],
+) -> Vec<&'a Tuple> {
+    examples
+        .iter()
+        .filter(|e| covers_example(clause, db, e))
+        .collect()
+}
+
+/// The examples from `examples` *not* covered by any clause of the
+/// definition — the remaining uncovered positives the covering loop keeps
+/// working on.
+pub fn uncovered_examples(
+    def: &Definition,
+    db: &DatabaseInstance,
+    examples: &[Tuple],
+) -> Vec<Tuple> {
+    examples
+        .iter()
+        .filter(|e| !def.clauses.iter().any(|c| covers_example(c, db, e)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::Atom;
+    use castor_relational::{RelationSymbol, Schema};
+
+    fn db() -> DatabaseInstance {
+        let mut schema = Schema::new("t");
+        schema.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for (t, p) in [("p1", "ann"), ("p1", "bob"), ("p2", "carol")] {
+            db.insert("publication", Tuple::from_strs(&[t, p])).unwrap();
+        }
+        db
+    }
+
+    fn clause() -> Clause {
+        Clause::new(
+            Atom::vars("collaborated", &["x", "y"]),
+            vec![
+                Atom::vars("publication", &["p", "x"]),
+                Atom::vars("publication", &["p", "y"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn coverage_counts_positives_and_negatives() {
+        let db = db();
+        let pos = vec![Tuple::from_strs(&["ann", "bob"])];
+        let neg = vec![
+            Tuple::from_strs(&["ann", "carol"]),
+            Tuple::from_strs(&["bob", "bob"]), // self pair, covered
+        ];
+        let cov = clause_coverage(&clause(), &db, &pos, &neg);
+        assert_eq!(cov.positive, 1);
+        assert_eq!(cov.negative, 1);
+        assert_eq!(cov.score(), 0);
+        assert!((cov.precision() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_coverage_has_zero_precision() {
+        assert_eq!(ClauseCoverage::default().precision(), 0.0);
+    }
+
+    #[test]
+    fn uncovered_examples_shrink_as_clauses_are_added() {
+        let db = db();
+        let pos = vec![
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["ann", "zoe"]),
+        ];
+        let mut def = Definition::empty("collaborated");
+        assert_eq!(uncovered_examples(&def, &db, &pos).len(), 2);
+        def.push(clause());
+        let remaining = uncovered_examples(&def, &db, &pos);
+        assert_eq!(remaining, vec![Tuple::from_strs(&["ann", "zoe"])]);
+    }
+
+    #[test]
+    fn covered_examples_returns_references() {
+        let db = db();
+        let examples = vec![
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["ann", "carol"]),
+        ];
+        let covered = covered_examples(&clause(), &db, &examples);
+        assert_eq!(covered.len(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Learning tasks: a target relation plus labeled examples.
+
+use castor_relational::Tuple;
+
+/// The input to a sample-based relational learning algorithm (Definition
+/// 3.1): a target relation `T`, positive examples `E+`, and negative
+/// examples `E−`. The background knowledge (database instance) is passed
+/// separately so the same task can be evaluated over several schema
+/// variants of the same data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearningTask {
+    /// Name of the target relation being learned.
+    pub target: String,
+    /// Arity of the target relation.
+    pub target_arity: usize,
+    /// Positive examples (tuples of the target relation).
+    pub positive: Vec<Tuple>,
+    /// Negative examples.
+    pub negative: Vec<Tuple>,
+}
+
+impl LearningTask {
+    /// Creates a learning task, checking that every example has the target
+    /// arity.
+    pub fn new(
+        target: impl Into<String>,
+        target_arity: usize,
+        positive: Vec<Tuple>,
+        negative: Vec<Tuple>,
+    ) -> Self {
+        let target = target.into();
+        for e in positive.iter().chain(negative.iter()) {
+            assert_eq!(
+                e.arity(),
+                target_arity,
+                "example {e} does not match target arity {target_arity}"
+            );
+        }
+        LearningTask {
+            target,
+            target_arity,
+            positive,
+            negative,
+        }
+    }
+
+    /// Number of positive examples.
+    pub fn positive_count(&self) -> usize {
+        self.positive.len()
+    }
+
+    /// Number of negative examples.
+    pub fn negative_count(&self) -> usize {
+        self.negative.len()
+    }
+
+    /// A copy of the task restricted to the given example index ranges;
+    /// used by cross-validation to build folds.
+    pub fn with_examples(&self, positive: Vec<Tuple>, negative: Vec<Tuple>) -> LearningTask {
+        LearningTask {
+            target: self.target.clone(),
+            target_arity: self.target_arity,
+            positive,
+            negative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_counts_examples() {
+        let task = LearningTask::new(
+            "advisedBy",
+            2,
+            vec![Tuple::from_strs(&["s1", "p1"])],
+            vec![Tuple::from_strs(&["s1", "p2"]), Tuple::from_strs(&["s2", "p1"])],
+        );
+        assert_eq!(task.positive_count(), 1);
+        assert_eq!(task.negative_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match target arity")]
+    fn arity_mismatch_is_rejected() {
+        let _ = LearningTask::new("t", 2, vec![Tuple::from_strs(&["only-one"])], vec![]);
+    }
+
+    #[test]
+    fn with_examples_preserves_target() {
+        let task = LearningTask::new("t", 1, vec![Tuple::from_strs(&["a"])], vec![]);
+        let sub = task.with_examples(vec![], vec![Tuple::from_strs(&["b"])]);
+        assert_eq!(sub.target, "t");
+        assert_eq!(sub.positive_count(), 0);
+        assert_eq!(sub.negative_count(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Atoms: a relation symbol applied to a list of terms.
+
+use crate::term::Term;
+use castor_relational::{Tuple, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atom `R(u1, ..., un)` where each `ui` is a variable or constant.
+///
+/// The paper's literals are atoms or negated atoms, but Horn-clause bodies
+/// only contain positive literals, so a plain atom suffices everywhere in
+/// this codebase.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The relation (predicate) symbol.
+    pub relation: String,
+    /// The argument terms, positionally aligned with the relation's sort.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// Creates an atom whose arguments are all variables with the given names.
+    pub fn vars(relation: impl Into<String>, names: &[&str]) -> Self {
+        Atom {
+            relation: relation.into(),
+            terms: names.iter().map(|n| Term::var(*n)).collect(),
+        }
+    }
+
+    /// Creates a ground atom from a tuple of constants.
+    pub fn ground(relation: impl Into<String>, tuple: &Tuple) -> Self {
+        Atom {
+            relation: relation.into(),
+            terms: tuple.iter().map(|v| Term::Const(v.clone())).collect(),
+        }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(Term::is_const)
+    }
+
+    /// The set of variable names appearing in the atom.
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.terms
+            .iter()
+            .filter_map(|t| t.var_name().map(|s| s.to_string()))
+            .collect()
+    }
+
+    /// The constants appearing in the atom, in positional order (with
+    /// duplicates).
+    pub fn constants(&self) -> Vec<Value> {
+        self.terms
+            .iter()
+            .filter_map(|t| t.const_value().cloned())
+            .collect()
+    }
+
+    /// Converts a ground atom to the corresponding database tuple.
+    /// Returns `None` if any argument is a variable.
+    pub fn to_tuple(&self) -> Option<Tuple> {
+        let values: Option<Vec<Value>> = self
+            .terms
+            .iter()
+            .map(|t| t.const_value().cloned())
+            .collect();
+        values.map(Tuple::new)
+    }
+
+    /// Whether two atoms are *compatible* in the lgg sense: same relation
+    /// symbol and same arity.
+    pub fn compatible_with(&self, other: &Atom) -> bool {
+        self.relation == other.relation && self.arity() == other.arity()
+    }
+
+    /// Whether the atom shares at least one variable with the given set.
+    pub fn shares_variable_with(&self, vars: &BTreeSet<String>) -> bool {
+        self.terms
+            .iter()
+            .any(|t| t.var_name().is_some_and(|v| vars.contains(v)))
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.terms.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}({})", self.relation, args.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_atom_roundtrips_through_tuple() {
+        let t = Tuple::from_strs(&["c1", "alice", "t1"]);
+        let a = Atom::ground("ta", &t);
+        assert!(a.is_ground());
+        assert_eq!(a.to_tuple(), Some(t));
+    }
+
+    #[test]
+    fn non_ground_atom_has_no_tuple() {
+        let a = Atom::new("p", vec![Term::var("x"), Term::constant("c")]);
+        assert!(!a.is_ground());
+        assert_eq!(a.to_tuple(), None);
+        assert_eq!(a.constants(), vec![Value::str("c")]);
+    }
+
+    #[test]
+    fn variables_are_collected_as_a_set() {
+        let a = Atom::vars("publication", &["p", "x", "p"]);
+        assert_eq!(a.variables().len(), 2);
+    }
+
+    #[test]
+    fn compatibility_requires_same_relation_and_arity() {
+        let a = Atom::vars("r", &["x", "y"]);
+        let b = Atom::vars("r", &["u", "v"]);
+        let c = Atom::vars("r", &["u"]);
+        let d = Atom::vars("s", &["u", "v"]);
+        assert!(a.compatible_with(&b));
+        assert!(!a.compatible_with(&c));
+        assert!(!a.compatible_with(&d));
+    }
+
+    #[test]
+    fn shares_variable_with_set() {
+        let a = Atom::vars("r", &["x", "y"]);
+        let mut vars = BTreeSet::new();
+        vars.insert("y".to_string());
+        assert!(a.shares_variable_with(&vars));
+        vars.clear();
+        vars.insert("z".to_string());
+        assert!(!a.shares_variable_with(&vars));
+    }
+
+    #[test]
+    fn display_format() {
+        let a = Atom::new("advisedBy", vec![Term::var("x"), Term::constant("ann")]);
+        assert_eq!(a.to_string(), "advisedBy(x,'ann')");
+    }
+}

@@ -1,0 +1,154 @@
+//! Horn definitions: unions of conjunctive queries with a common head
+//! relation.
+
+use crate::clause::Clause;
+use std::fmt;
+
+/// A Horn definition for a target relation: a set of Horn clauses whose
+/// heads all use the target relation symbol.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Definition {
+    /// The name of the target relation being defined.
+    pub target: String,
+    /// The clauses of the definition.
+    pub clauses: Vec<Clause>,
+}
+
+impl Definition {
+    /// Creates an empty definition for `target`.
+    pub fn empty(target: impl Into<String>) -> Self {
+        Definition {
+            target: target.into(),
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Creates a definition from clauses. Panics if any clause head uses a
+    /// different relation than `target`.
+    pub fn new(target: impl Into<String>, clauses: Vec<Clause>) -> Self {
+        let target = target.into();
+        for c in &clauses {
+            assert_eq!(
+                c.head.relation, target,
+                "clause head `{}` does not match target `{}`",
+                c.head.relation, target
+            );
+        }
+        Definition { target, clauses }
+    }
+
+    /// Adds a clause to the definition.
+    pub fn push(&mut self, clause: Clause) {
+        assert_eq!(
+            clause.head.relation, self.target,
+            "clause head `{}` does not match target `{}`",
+            clause.head.relation, self.target
+        );
+        self.clauses.push(clause);
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the definition has no clauses (covers nothing).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Iterates over clauses.
+    pub fn iter(&self) -> impl Iterator<Item = &Clause> {
+        self.clauses.iter()
+    }
+
+    /// Total number of body literals across all clauses, a rough size
+    /// measure used in experiment reports.
+    pub fn total_body_literals(&self) -> usize {
+        self.clauses.iter().map(|c| c.body_len()).sum()
+    }
+
+    /// The largest number of distinct variables in any clause; the `k`
+    /// parameter in the query-complexity analysis of Section 8.
+    pub fn max_variables(&self) -> usize {
+        self.clauses
+            .iter()
+            .map(|c| c.distinct_variable_count())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Definition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "{} ← ⊥ (empty definition)", self.target);
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    #[test]
+    fn push_enforces_target_relation() {
+        let mut d = Definition::empty("advisedBy");
+        d.push(Clause::new(
+            Atom::vars("advisedBy", &["x", "y"]),
+            vec![Atom::vars("publication", &["p", "x"])],
+        ));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match target")]
+    fn mismatched_head_rejected() {
+        let mut d = Definition::empty("advisedBy");
+        d.push(Clause::fact(Atom::vars("other", &["x"])));
+    }
+
+    #[test]
+    fn size_measures() {
+        let d = Definition::new(
+            "t",
+            vec![
+                Clause::new(
+                    Atom::vars("t", &["x"]),
+                    vec![Atom::vars("p", &["x", "y"]), Atom::vars("q", &["y"])],
+                ),
+                Clause::new(Atom::vars("t", &["x"]), vec![Atom::vars("r", &["x"])]),
+            ],
+        );
+        assert_eq!(d.total_body_literals(), 3);
+        assert_eq!(d.max_variables(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn display_lists_clauses_on_lines() {
+        let d = Definition::new(
+            "t",
+            vec![
+                Clause::new(Atom::vars("t", &["x"]), vec![Atom::vars("p", &["x"])]),
+                Clause::new(Atom::vars("t", &["x"]), vec![Atom::vars("q", &["x"])]),
+            ],
+        );
+        let s = d.to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_definition_display() {
+        let d = Definition::empty("t");
+        assert!(d.to_string().contains("empty"));
+    }
+}

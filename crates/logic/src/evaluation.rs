@@ -1,0 +1,335 @@
+//! Clause and definition evaluation over database instances.
+//!
+//! The result of applying a Horn definition `h_R` to an instance `I`
+//! (written `h_R(I)` in Section 3.2.2) is the set of head instantiations
+//! whose body is satisfied in `I`. This module evaluates clauses with a
+//! backtracking join that drives candidate generation from the per-attribute
+//! hash indexes of [`castor_relational::RelationInstance`].
+
+use crate::atom::Atom;
+use crate::clause::Clause;
+use crate::definition::Definition;
+use crate::substitution::Substitution;
+use crate::term::Term;
+use castor_relational::{DatabaseInstance, Tuple, Value};
+use std::collections::HashSet;
+
+/// Backtracking budget for one clause evaluation / coverage test. Body
+/// satisfiability over a database is NP-hard in the clause size; bounding
+/// the number of candidate tuples explored keeps coverage testing
+/// predictable on the long clauses bottom-up learners produce (an exhausted
+/// budget is treated as "not satisfiable", mirroring the approximate
+/// subsumption the paper uses).
+const EVAL_NODE_BUDGET: usize = 30_000;
+
+/// Evaluates a clause over `db`, returning every head tuple derivable from
+/// the instance. Unsafe clauses (head variables not bound by the body) yield
+/// only the instantiations justified by the body; unbound head variables
+/// make the clause produce no tuples, mirroring the finite-answer semantics
+/// used in the paper's discussion of safe clauses.
+pub fn clause_results(clause: &Clause, db: &DatabaseInstance) -> HashSet<Tuple> {
+    let mut results = HashSet::new();
+    let mut theta = Substitution::new();
+    let mut budget = EVAL_NODE_BUDGET;
+    enumerate(db, &clause.body, &mut theta, &mut budget, &mut |theta| {
+        let head = theta.apply_atom(&clause.head);
+        if let Some(tuple) = head.to_tuple() {
+            results.insert(tuple);
+        }
+        false // keep enumerating: we want every result
+    });
+    results
+}
+
+/// Evaluates a definition (union of clauses) over `db`.
+pub fn definition_results(def: &Definition, db: &DatabaseInstance) -> HashSet<Tuple> {
+    let mut out = HashSet::new();
+    for clause in &def.clauses {
+        out.extend(clause_results(clause, db));
+    }
+    out
+}
+
+/// Whether the clause covers `example` relative to `db`: binding the head
+/// arguments to the example's constants, is the body satisfiable in `db`?
+pub fn covers_example(clause: &Clause, db: &DatabaseInstance, example: &Tuple) -> bool {
+    if clause.head.arity() != example.arity() {
+        return false;
+    }
+    let mut theta = Substitution::new();
+    for (term, value) in clause.head.terms.iter().zip(example.iter()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Var(name) => {
+                if !theta.try_bind(name, &Term::Const(value.clone())) {
+                    return false;
+                }
+            }
+        }
+    }
+    let mut found = false;
+    let mut budget = EVAL_NODE_BUDGET;
+    enumerate(db, &clause.body, &mut theta, &mut budget, &mut |_| {
+        found = true;
+        true // stop at the first satisfying assignment
+    });
+    found
+}
+
+/// Whether any clause of the definition covers the example.
+pub fn definition_covers(def: &Definition, db: &DatabaseInstance, example: &Tuple) -> bool {
+    def.clauses.iter().any(|c| covers_example(c, db, example))
+}
+
+/// Counts how many of `examples` are covered by the definition.
+pub fn covered_count(def: &Definition, db: &DatabaseInstance, examples: &[Tuple]) -> usize {
+    examples
+        .iter()
+        .filter(|e| definition_covers(def, db, e))
+        .count()
+}
+
+/// Backtracking evaluation of the remaining body literals under θ, invoking
+/// `on_solution` for every satisfying assignment. `on_solution` returns
+/// `true` to stop the search early (used by boolean coverage tests);
+/// `enumerate` propagates that signal back up as its own return value.
+fn enumerate(
+    db: &DatabaseInstance,
+    remaining: &[Atom],
+    theta: &mut Substitution,
+    budget: &mut usize,
+    on_solution: &mut dyn FnMut(&Substitution) -> bool,
+) -> bool {
+    // Pick the next literal to solve: the one with the most bound arguments
+    // (most selective first). This mirrors how an RDBMS would choose an
+    // index-backed access path.
+    let Some((pos, _)) = remaining
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, atom)| bound_positions(atom, theta).len())
+    else {
+        return on_solution(theta);
+    };
+    let atom = &remaining[pos];
+    let rest: Vec<Atom> = remaining
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != pos)
+        .map(|(_, a)| a.clone())
+        .collect();
+
+    let Some(instance) = db.relation(&atom.relation) else {
+        return false; // unknown relation ⇒ body unsatisfiable
+    };
+
+    let bound = bound_positions(atom, theta);
+    let candidates: Vec<&Tuple> = if bound.is_empty() {
+        instance.iter().collect()
+    } else {
+        let positions: Vec<usize> = bound.iter().map(|(p, _)| *p).collect();
+        let key: Vec<Value> = bound.iter().map(|(_, v)| v.clone()).collect();
+        instance.select_on_positions(&positions, &key)
+    };
+
+    for tuple in candidates {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        let mut attempt = theta.clone();
+        if unify_with_tuple(atom, tuple, &mut attempt)
+            && enumerate(db, &rest, &mut attempt, budget, on_solution)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// The argument positions of `atom` that are constants or θ-bound variables,
+/// together with the constant each must equal.
+fn bound_positions(atom: &Atom, theta: &Substitution) -> Vec<(usize, Value)> {
+    let mut out = Vec::new();
+    for (i, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(v) => out.push((i, v.clone())),
+            Term::Var(name) => {
+                if let Some(Term::Const(v)) = theta.get(name) {
+                    out.push((i, v.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extends θ so that `atom` matches the ground `tuple`.
+fn unify_with_tuple(atom: &Atom, tuple: &Tuple, theta: &mut Substitution) -> bool {
+    if atom.arity() != tuple.arity() {
+        return false;
+    }
+    for (term, value) in atom.terms.iter().zip(tuple.iter()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Var(name) => {
+                if !theta.try_bind(name, &Term::Const(value.clone())) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_relational::{RelationSymbol, Schema};
+
+    fn collaboration_db() -> DatabaseInstance {
+        let mut schema = Schema::new("test");
+        schema
+            .add_relation(RelationSymbol::new("publication", &["title", "person"]))
+            .add_relation(RelationSymbol::new("professor", &["prof"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for (t, p) in [
+            ("p1", "ann"),
+            ("p1", "bob"),
+            ("p2", "ann"),
+            ("p3", "carol"),
+        ] {
+            db.insert("publication", Tuple::from_strs(&[t, p])).unwrap();
+        }
+        db.insert("professor", Tuple::from_strs(&["ann"])).unwrap();
+        db.insert("professor", Tuple::from_strs(&["bob"])).unwrap();
+        db
+    }
+
+    fn collaborated_clause() -> Clause {
+        Clause::new(
+            Atom::vars("collaborated", &["x", "y"]),
+            vec![
+                Atom::vars("publication", &["p", "x"]),
+                Atom::vars("publication", &["p", "y"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn clause_results_enumerate_head_tuples() {
+        let db = collaboration_db();
+        let results = clause_results(&collaborated_clause(), &db);
+        // Co-authorship pairs including self-pairs: (ann,ann),(ann,bob),
+        // (bob,ann),(bob,bob),(carol,carol).
+        assert!(results.contains(&Tuple::from_strs(&["ann", "bob"])));
+        assert!(results.contains(&Tuple::from_strs(&["bob", "ann"])));
+        assert!(results.contains(&Tuple::from_strs(&["carol", "carol"])));
+        assert!(!results.contains(&Tuple::from_strs(&["ann", "carol"])));
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn covers_example_checks_body_satisfiability() {
+        let db = collaboration_db();
+        let c = collaborated_clause();
+        assert!(covers_example(&c, &db, &Tuple::from_strs(&["ann", "bob"])));
+        assert!(!covers_example(&c, &db, &Tuple::from_strs(&["ann", "carol"])));
+    }
+
+    #[test]
+    fn constants_in_body_restrict_results() {
+        let db = collaboration_db();
+        let c = Clause::new(
+            Atom::vars("hasPub", &["x"]),
+            vec![Atom::new(
+                "publication",
+                vec![Term::constant("p1"), Term::var("x")],
+            )],
+        );
+        let results = clause_results(&c, &db);
+        assert_eq!(results.len(), 2);
+        assert!(results.contains(&Tuple::from_strs(&["ann"])));
+    }
+
+    #[test]
+    fn definition_union_semantics() {
+        let db = collaboration_db();
+        let def = Definition::new(
+            "person",
+            vec![
+                Clause::new(
+                    Atom::vars("person", &["x"]),
+                    vec![Atom::vars("professor", &["x"])],
+                ),
+                Clause::new(
+                    Atom::vars("person", &["x"]),
+                    vec![Atom::vars("publication", &["p", "x"])],
+                ),
+            ],
+        );
+        let results = definition_results(&def, &db);
+        assert_eq!(results.len(), 3); // ann, bob, carol
+        assert!(definition_covers(&def, &db, &Tuple::from_strs(&["carol"])));
+        assert_eq!(
+            covered_count(
+                &def,
+                &db,
+                &[Tuple::from_strs(&["ann"]), Tuple::from_strs(&["nobody"])]
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn unknown_relation_in_body_yields_nothing() {
+        let db = collaboration_db();
+        let c = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("missingRelation", &["x"])],
+        );
+        assert!(clause_results(&c, &db).is_empty());
+        assert!(!covers_example(&c, &db, &Tuple::from_strs(&["ann"])));
+    }
+
+    #[test]
+    fn unsafe_clause_produces_no_tuples() {
+        let db = collaboration_db();
+        // Head variable y never appears in the body.
+        let c = Clause::new(
+            Atom::vars("t", &["x", "y"]),
+            vec![Atom::vars("professor", &["x"])],
+        );
+        assert!(clause_results(&c, &db).is_empty());
+    }
+
+    #[test]
+    fn empty_body_clause_with_ground_head() {
+        let db = collaboration_db();
+        let c = Clause::fact(Atom::new(
+            "t",
+            vec![Term::constant("a"), Term::constant("b")],
+        ));
+        let results = clause_results(&c, &db);
+        assert_eq!(results.len(), 1);
+        assert!(results.contains(&Tuple::from_strs(&["a", "b"])));
+    }
+
+    #[test]
+    fn head_with_constant_filters_examples() {
+        let db = collaboration_db();
+        let c = Clause::new(
+            Atom::new("t", vec![Term::constant("ann")]),
+            vec![Atom::vars("professor", &["x"])],
+        );
+        assert!(covers_example(&c, &db, &Tuple::from_strs(&["ann"])));
+        assert!(!covers_example(&c, &db, &Tuple::from_strs(&["bob"])));
+    }
+}

@@ -1,0 +1,201 @@
+//! Plotkin's least general generalization (lgg) over atoms and clauses.
+//!
+//! Golem's `rlgg` operator (Section 6.3 of the paper) computes the lgg of
+//! pairs of saturations (ground bottom-clauses). The lgg of two clauses is
+//! the set of pairwise lggs of *compatible* literals (same relation symbol),
+//! where each distinct pair of differing terms is consistently replaced by
+//! the same fresh variable. The size of the lgg of two clauses is bounded by
+//! the product of their lengths — the exponential growth that makes Golem
+//! impractical and motivates ProGolem and Castor.
+
+use crate::atom::Atom;
+use crate::clause::Clause;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// Tracks the fresh variables introduced for pairs of differing terms so the
+/// same pair always maps to the same variable across the whole lgg.
+#[derive(Debug, Default)]
+pub struct LggContext {
+    pairs: HashMap<(Term, Term), String>,
+    counter: usize,
+}
+
+impl LggContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        LggContext::default()
+    }
+
+    /// The lgg of two terms: identical terms generalize to themselves,
+    /// differing terms to a shared fresh variable for that ordered pair.
+    pub fn lgg_terms(&mut self, a: &Term, b: &Term) -> Term {
+        if a == b {
+            return a.clone();
+        }
+        let key = (a.clone(), b.clone());
+        if let Some(existing) = self.pairs.get(&key) {
+            return Term::var(existing.clone());
+        }
+        let name = format!("G{}", self.counter);
+        self.counter += 1;
+        self.pairs.insert(key, name.clone());
+        Term::var(name)
+    }
+
+    /// Number of fresh variables introduced so far.
+    pub fn introduced_variables(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// The lgg of two compatible atoms under a shared context. Returns `None`
+/// when the atoms are incompatible (different relation or arity).
+pub fn lgg_atoms(a: &Atom, b: &Atom, ctx: &mut LggContext) -> Option<Atom> {
+    if !a.compatible_with(b) {
+        return None;
+    }
+    Some(Atom {
+        relation: a.relation.clone(),
+        terms: a
+            .terms
+            .iter()
+            .zip(b.terms.iter())
+            .map(|(ta, tb)| ctx.lgg_terms(ta, tb))
+            .collect(),
+    })
+}
+
+/// The lgg of two clauses: the head lgg plus all pairwise lggs of compatible
+/// body literals. Returns `None` if the heads are incompatible.
+pub fn lgg_clauses(a: &Clause, b: &Clause) -> Option<Clause> {
+    let mut ctx = LggContext::new();
+    let head = lgg_atoms(&a.head, &b.head, &mut ctx)?;
+    let mut body = Vec::new();
+    for la in &a.body {
+        for lb in &b.body {
+            if let Some(atom) = lgg_atoms(la, lb, &mut ctx) {
+                if !body.contains(&atom) {
+                    body.push(atom);
+                }
+            }
+        }
+    }
+    Some(Clause { head, body })
+}
+
+/// The lgg of a set of clauses, computed by folding pairwise lggs
+/// (the lgg operator is associative and commutative up to equivalence).
+pub fn lgg_all(clauses: &[Clause]) -> Option<Clause> {
+    let mut iter = clauses.iter();
+    let mut acc = iter.next()?.clone();
+    for c in iter {
+        acc = lgg_clauses(&acc, c)?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsumption::subsumes;
+
+    fn ground(rel: &str, args: &[&str]) -> Atom {
+        Atom::new(rel, args.iter().map(|a| Term::constant(*a)).collect())
+    }
+
+    #[test]
+    fn lgg_of_identical_atoms_is_the_atom() {
+        let mut ctx = LggContext::new();
+        let a = ground("p", &["a", "b"]);
+        assert_eq!(lgg_atoms(&a, &a, &mut ctx), Some(a.clone()));
+        assert_eq!(ctx.introduced_variables(), 0);
+    }
+
+    #[test]
+    fn differing_constants_generalize_to_shared_variable() {
+        let mut ctx = LggContext::new();
+        // lgg(p(a,a), p(b,b)) = p(X,X): the pair (a,b) maps to one variable.
+        let g = lgg_atoms(&ground("p", &["a", "a"]), &ground("p", &["b", "b"]), &mut ctx).unwrap();
+        assert_eq!(g.terms[0], g.terms[1]);
+        assert!(g.terms[0].is_var());
+    }
+
+    #[test]
+    fn different_pairs_get_different_variables() {
+        let mut ctx = LggContext::new();
+        let g = lgg_atoms(&ground("p", &["a", "c"]), &ground("p", &["b", "d"]), &mut ctx).unwrap();
+        assert_ne!(g.terms[0], g.terms[1]);
+        assert_eq!(ctx.introduced_variables(), 2);
+    }
+
+    #[test]
+    fn incompatible_atoms_have_no_lgg() {
+        let mut ctx = LggContext::new();
+        assert!(lgg_atoms(&ground("p", &["a"]), &ground("q", &["a"]), &mut ctx).is_none());
+        assert!(lgg_atoms(&ground("p", &["a"]), &ground("p", &["a", "b"]), &mut ctx).is_none());
+    }
+
+    #[test]
+    fn clause_lgg_generalizes_both_inputs() {
+        // Saturations for two positive collaborated examples.
+        let c1 = Clause::new(
+            ground("collaborated", &["ann", "bob"]),
+            vec![
+                ground("publication", &["p1", "ann"]),
+                ground("publication", &["p1", "bob"]),
+            ],
+        );
+        let c2 = Clause::new(
+            ground("collaborated", &["carol", "dave"]),
+            vec![
+                ground("publication", &["p2", "carol"]),
+                ground("publication", &["p2", "dave"]),
+            ],
+        );
+        let g = lgg_clauses(&c1, &c2).unwrap();
+        // The lgg must θ-subsume both ground clauses.
+        assert!(subsumes(&g, &c1));
+        assert!(subsumes(&g, &c2));
+        // And it should capture the shared-publication structure: some body
+        // literal pair shares the publication variable.
+        assert!(!g.body.is_empty());
+    }
+
+    #[test]
+    fn lgg_size_is_bounded_by_product_of_lengths() {
+        let c1 = Clause::new(
+            ground("t", &["a"]),
+            vec![ground("p", &["a", "x1"]), ground("p", &["a", "x2"])],
+        );
+        let c2 = Clause::new(
+            ground("t", &["b"]),
+            vec![ground("p", &["b", "y1"]), ground("p", &["b", "y2"])],
+        );
+        let g = lgg_clauses(&c1, &c2).unwrap();
+        assert!(g.body.len() <= c1.body.len() * c2.body.len());
+        assert!(g.body.len() >= c1.body.len().max(c2.body.len()).min(4));
+    }
+
+    #[test]
+    fn lgg_all_folds_pairwise() {
+        let clauses: Vec<Clause> = ["a", "b", "c"]
+            .iter()
+            .map(|x| {
+                Clause::new(
+                    ground("t", &[x]),
+                    vec![ground("p", &[x])],
+                )
+            })
+            .collect();
+        let g = lgg_all(&clauses).unwrap();
+        for c in &clauses {
+            assert!(subsumes(&g, c));
+        }
+    }
+
+    #[test]
+    fn lgg_all_of_empty_set_is_none() {
+        assert!(lgg_all(&[]).is_none());
+    }
+}

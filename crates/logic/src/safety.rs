@@ -1,0 +1,98 @@
+//! Safety of clauses and definitions.
+//!
+//! A clause is *safe* if every head variable also appears in some body
+//! literal; a definition is safe if all of its clauses are (Section 7.3).
+//! Safe definitions produce finite answers over finite databases, which
+//! matters for applications such as learning database queries by example.
+
+use crate::clause::Clause;
+use crate::definition::Definition;
+use std::collections::BTreeSet;
+
+/// Whether every head variable of the clause appears in its body.
+pub fn is_safe(clause: &Clause) -> bool {
+    let body_vars: BTreeSet<String> = clause
+        .body
+        .iter()
+        .flat_map(|a| a.variables())
+        .collect();
+    clause
+        .head_variables()
+        .iter()
+        .all(|v| body_vars.contains(v))
+}
+
+/// Whether every clause of the definition is safe.
+pub fn is_safe_definition(def: &Definition) -> bool {
+    def.clauses.iter().all(is_safe)
+}
+
+/// The head variables of `clause` that do not appear in its body (empty for
+/// safe clauses). Castor's safe negative reduction uses this to decide which
+/// inclusion-class instances must be retained.
+pub fn unbound_head_variables(clause: &Clause) -> BTreeSet<String> {
+    let body_vars: BTreeSet<String> = clause
+        .body
+        .iter()
+        .flat_map(|a| a.variables())
+        .collect();
+    clause
+        .head_variables()
+        .into_iter()
+        .filter(|v| !body_vars.contains(v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    #[test]
+    fn ground_head_is_safe() {
+        let c = Clause::fact(Atom::ground(
+            "t",
+            &castor_relational::Tuple::from_strs(&["a"]),
+        ));
+        assert!(is_safe(&c));
+    }
+
+    #[test]
+    fn clause_with_all_head_vars_in_body_is_safe() {
+        let c = Clause::new(
+            Atom::vars("t", &["x", "y"]),
+            vec![Atom::vars("p", &["x", "z"]), Atom::vars("q", &["z", "y"])],
+        );
+        assert!(is_safe(&c));
+        assert!(unbound_head_variables(&c).is_empty());
+    }
+
+    #[test]
+    fn clause_with_free_head_variable_is_unsafe() {
+        let c = Clause::new(
+            Atom::vars("t", &["x", "y"]),
+            vec![Atom::vars("p", &["x"])],
+        );
+        assert!(!is_safe(&c));
+        assert_eq!(
+            unbound_head_variables(&c),
+            ["y".to_string()].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn empty_body_with_variables_is_unsafe() {
+        let c = Clause::fact(Atom::vars("t", &["x"]));
+        assert!(!is_safe(&c));
+    }
+
+    #[test]
+    fn definition_safety_requires_all_clauses_safe() {
+        let safe = Clause::new(Atom::vars("t", &["x"]), vec![Atom::vars("p", &["x"])]);
+        let unsafe_c = Clause::new(Atom::vars("t", &["x"]), vec![Atom::vars("p", &["y"])]);
+        let d1 = Definition::new("t", vec![safe.clone()]);
+        let d2 = Definition::new("t", vec![safe, unsafe_c]);
+        assert!(is_safe_definition(&d1));
+        assert!(!is_safe_definition(&d2));
+    }
+}

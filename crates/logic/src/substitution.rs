@@ -1,0 +1,174 @@
+//! Substitutions: finite mappings from variables to terms.
+
+use crate::atom::Atom;
+use crate::clause::Clause;
+use crate::term::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A substitution θ mapping variable names to terms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Substitution {
+    map: BTreeMap<String, Term>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Substitution::default()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the substitution has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Binds a variable to a term. Overwrites an existing binding.
+    pub fn bind(&mut self, var: impl Into<String>, term: Term) {
+        self.map.insert(var.into(), term);
+    }
+
+    /// Attempts to bind `var` to `term`; fails (returns `false`) if `var` is
+    /// already bound to a different term. Used during subsumption search.
+    pub fn try_bind(&mut self, var: &str, term: &Term) -> bool {
+        match self.map.get(var) {
+            Some(existing) => existing == term,
+            None => {
+                self.map.insert(var.to_string(), term.clone());
+                true
+            }
+        }
+    }
+
+    /// The binding for a variable, if any.
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    /// Whether the variable has a binding.
+    pub fn binds(&self, var: &str) -> bool {
+        self.map.contains_key(var)
+    }
+
+    /// Removes a binding (used when backtracking).
+    pub fn unbind(&mut self, var: &str) {
+        self.map.remove(var);
+    }
+
+    /// Applies the substitution to a term.
+    pub fn apply_term(&self, term: &Term) -> Term {
+        match term {
+            Term::Var(name) => self.map.get(name).cloned().unwrap_or_else(|| term.clone()),
+            Term::Const(_) => term.clone(),
+        }
+    }
+
+    /// Applies the substitution to an atom.
+    pub fn apply_atom(&self, atom: &Atom) -> Atom {
+        Atom {
+            relation: atom.relation.clone(),
+            terms: atom.terms.iter().map(|t| self.apply_term(t)).collect(),
+        }
+    }
+
+    /// Applies the substitution to a clause (head and body).
+    pub fn apply_clause(&self, clause: &Clause) -> Clause {
+        Clause {
+            head: self.apply_atom(&clause.head),
+            body: clause.body.iter().map(|a| self.apply_atom(a)).collect(),
+        }
+    }
+
+    /// Composes this substitution with `other`: the result first applies
+    /// `self`, then `other` (i.e. `(self ∘ other)(t) = other(self(t))`).
+    pub fn compose(&self, other: &Substitution) -> Substitution {
+        let mut map = BTreeMap::new();
+        for (var, term) in &self.map {
+            map.insert(var.clone(), other.apply_term(term));
+        }
+        for (var, term) in &other.map {
+            map.entry(var.clone()).or_insert_with(|| term.clone());
+        }
+        Substitution { map }
+    }
+
+    /// Iterates over `(variable, term)` bindings in variable-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Term)> {
+        self.map.iter()
+    }
+}
+
+impl fmt::Display for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .map
+            .iter()
+            .map(|(v, t)| format!("{v}/{t}"))
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+impl FromIterator<(String, Term)> for Substitution {
+    fn from_iter<I: IntoIterator<Item = (String, Term)>>(iter: I) -> Self {
+        Substitution {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_to_atom_replaces_bound_variables_only() {
+        let mut s = Substitution::new();
+        s.bind("x", Term::constant("alice"));
+        let a = Atom::vars("advisedBy", &["x", "y"]);
+        let applied = s.apply_atom(&a);
+        assert_eq!(applied.terms[0], Term::constant("alice"));
+        assert_eq!(applied.terms[1], Term::var("y"));
+    }
+
+    #[test]
+    fn try_bind_respects_existing_bindings() {
+        let mut s = Substitution::new();
+        assert!(s.try_bind("x", &Term::constant("a")));
+        assert!(s.try_bind("x", &Term::constant("a")));
+        assert!(!s.try_bind("x", &Term::constant("b")));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn unbind_supports_backtracking() {
+        let mut s = Substitution::new();
+        s.bind("x", Term::constant("a"));
+        s.unbind("x");
+        assert!(!s.binds("x"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn composition_applies_left_then_right() {
+        let mut first = Substitution::new();
+        first.bind("x", Term::var("y"));
+        let mut second = Substitution::new();
+        second.bind("y", Term::constant("c"));
+        let composed = first.compose(&second);
+        assert_eq!(composed.apply_term(&Term::var("x")), Term::constant("c"));
+        assert_eq!(composed.apply_term(&Term::var("y")), Term::constant("c"));
+    }
+
+    #[test]
+    fn display_lists_bindings() {
+        let mut s = Substitution::new();
+        s.bind("x", Term::constant("a"));
+        assert_eq!(s.to_string(), "{x/'a'}");
+    }
+}

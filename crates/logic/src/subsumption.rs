@@ -1,0 +1,313 @@
+//! θ-subsumption.
+//!
+//! Clause `C` θ-subsumes clause `D` iff there is a substitution θ such that
+//! `Cθ ⊆ D` (treating clauses as sets of literals). Castor's coverage test
+//! is exactly θ-subsumption of a candidate clause against the ground
+//! bottom-clause of an example (Section 7.5.3); the paper delegates this to
+//! the Resumer2 engine, which this module replaces with a backtracking
+//! matcher with literal ordering and forward-pruning heuristics.
+
+use crate::atom::Atom;
+use crate::clause::Clause;
+use crate::substitution::Substitution;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// Backtracking budget for one subsumption test. θ-subsumption is
+/// NP-complete; like the paper's implementation (which uses a restarting
+/// engine and a polynomial approximation for clause minimization), we bound
+/// the search and treat an exhausted budget as "does not subsume". The
+/// budget is generous enough that it is only hit on pathological clauses.
+const NODE_BUDGET: usize = 4_000;
+
+/// Whether `general` θ-subsumes `specific`.
+pub fn subsumes(general: &Clause, specific: &Clause) -> bool {
+    subsumes_with(general, specific).is_some()
+}
+
+/// Whether `general` θ-subsumes `specific`, returning the witnessing
+/// substitution when it does.
+pub fn subsumes_with(general: &Clause, specific: &Clause) -> Option<Substitution> {
+    // The head must match under θ as well: heads of both clauses use the
+    // target relation, so this amounts to unifying the head arguments.
+    if general.head.relation != specific.head.relation
+        || general.head.arity() != specific.head.arity()
+    {
+        return None;
+    }
+    let mut theta = Substitution::new();
+    if !match_atom(&general.head, &specific.head, &mut theta) {
+        return None;
+    }
+
+    // Index the specific clause's body literals by relation name so each
+    // general literal only tries compatible candidates.
+    let mut by_relation: HashMap<&str, Vec<&Atom>> = HashMap::new();
+    for atom in &specific.body {
+        by_relation.entry(atom.relation.as_str()).or_default().push(atom);
+    }
+
+    // Deduplicate general body literals (duplicates map to the same target
+    // and only multiply the search), then order them: fewest candidate
+    // matches first, and among those prefer literals connected by shared
+    // variables to the ones already placed — both prune the search
+    // dramatically on the long clauses produced by bottom-up learners.
+    let mut unique: Vec<&Atom> = Vec::new();
+    for atom in &general.body {
+        if !unique.contains(&atom) {
+            unique.push(atom);
+        }
+    }
+    // Fail fast: a general literal whose relation does not appear in the
+    // specific clause can never be matched.
+    if unique
+        .iter()
+        .any(|a| !by_relation.contains_key(a.relation.as_str()))
+    {
+        return None;
+    }
+    unique.sort_by_key(|a| by_relation.get(a.relation.as_str()).map_or(0, |v| v.len()));
+    let mut ordered: Vec<&Atom> = Vec::new();
+    let mut placed_vars: std::collections::BTreeSet<String> = general.head.variables();
+    let mut remaining = unique;
+    while !remaining.is_empty() {
+        let pos = remaining
+            .iter()
+            .position(|a| a.shares_variable_with(&placed_vars))
+            .unwrap_or(0);
+        let atom = remaining.remove(pos);
+        placed_vars.extend(atom.variables());
+        ordered.push(atom);
+    }
+
+    let mut budget = NODE_BUDGET;
+    if search(&ordered, 0, &by_relation, &mut theta, &mut budget) {
+        Some(theta)
+    } else {
+        None
+    }
+}
+
+/// Attempts to extend θ so that `general` maps onto the (possibly
+/// non-ground) atom `specific`. Constants must match exactly; variables of
+/// the general atom may bind to any term of the specific atom.
+fn match_atom(general: &Atom, specific: &Atom, theta: &mut Substitution) -> bool {
+    if general.relation != specific.relation || general.arity() != specific.arity() {
+        return false;
+    }
+    let mut bound_here: Vec<String> = Vec::new();
+    for (g, s) in general.terms.iter().zip(specific.terms.iter()) {
+        let ok = match g {
+            Term::Const(_) => g == s,
+            Term::Var(name) => {
+                if theta.binds(name) {
+                    theta.get(name) == Some(s)
+                } else {
+                    theta.bind(name.clone(), s.clone());
+                    bound_here.push(name.clone());
+                    true
+                }
+            }
+        };
+        if !ok {
+            for v in bound_here {
+                theta.unbind(&v);
+            }
+            return false;
+        }
+    }
+    // Note: callers that need to backtrack past this atom must snapshot θ.
+    // `search` handles that by cloning θ per candidate.
+    let _ = bound_here;
+    true
+}
+
+fn search(
+    ordered: &[&Atom],
+    index: usize,
+    by_relation: &HashMap<&str, Vec<&Atom>>,
+    theta: &mut Substitution,
+    budget: &mut usize,
+) -> bool {
+    let Some(general) = ordered.get(index) else {
+        return true;
+    };
+    let candidates = by_relation
+        .get(general.relation.as_str())
+        .map(|v| v.as_slice())
+        .unwrap_or(&[]);
+    for candidate in candidates {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        let mut attempt = theta.clone();
+        if match_atom(general, candidate, &mut attempt)
+            && search(ordered, index + 1, by_relation, &mut attempt, budget)
+        {
+            *theta = attempt;
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether two clauses are θ-equivalent (each subsumes the other). This is
+/// the syntactic notion of clause equivalence used when checking that two
+/// learned definitions are "the same" across schemas.
+pub fn theta_equivalent(a: &Clause, b: &Clause) -> bool {
+    subsumes(a, b) && subsumes(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::term::Term;
+
+    fn a(rel: &str, vars: &[&str]) -> Atom {
+        Atom::vars(rel, vars)
+    }
+
+    #[test]
+    fn clause_subsumes_itself() {
+        let c = Clause::new(
+            a("t", &["x", "y"]),
+            vec![a("p", &["x", "z"]), a("q", &["z", "y"])],
+        );
+        assert!(subsumes(&c, &c));
+        assert!(theta_equivalent(&c, &c));
+    }
+
+    #[test]
+    fn more_general_clause_subsumes_specialization() {
+        let general = Clause::new(a("t", &["x", "y"]), vec![a("p", &["x", "z"])]);
+        let specific = Clause::new(
+            a("t", &["x", "y"]),
+            vec![a("p", &["x", "y"]), a("q", &["y"])],
+        );
+        assert!(subsumes(&general, &specific));
+        assert!(!subsumes(&specific, &general));
+    }
+
+    #[test]
+    fn subsumption_of_ground_bottom_clause() {
+        // Candidate: collaborated(x,y) ← publication(p,x), publication(p,y)
+        // Ground ⊥e: collaborated(ann,bob) ← publication(pl1,ann), publication(pl1,bob)
+        let candidate = Clause::new(
+            a("collaborated", &["x", "y"]),
+            vec![a("publication", &["p", "x"]), a("publication", &["p", "y"])],
+        );
+        let ground = Clause::new(
+            Atom::new(
+                "collaborated",
+                vec![Term::constant("ann"), Term::constant("bob")],
+            ),
+            vec![
+                Atom::new(
+                    "publication",
+                    vec![Term::constant("pl1"), Term::constant("ann")],
+                ),
+                Atom::new(
+                    "publication",
+                    vec![Term::constant("pl1"), Term::constant("bob")],
+                ),
+            ],
+        );
+        let theta = subsumes_with(&candidate, &ground).expect("should subsume");
+        assert_eq!(theta.get("x"), Some(&Term::constant("ann")));
+        assert_eq!(theta.get("y"), Some(&Term::constant("bob")));
+    }
+
+    #[test]
+    fn subsumption_fails_when_shared_variable_cannot_be_consistent() {
+        // Candidate requires the same publication p for both authors; the
+        // ground clause has different publications.
+        let candidate = Clause::new(
+            a("collaborated", &["x", "y"]),
+            vec![a("publication", &["p", "x"]), a("publication", &["p", "y"])],
+        );
+        let ground = Clause::new(
+            Atom::new(
+                "collaborated",
+                vec![Term::constant("ann"), Term::constant("bob")],
+            ),
+            vec![
+                Atom::new(
+                    "publication",
+                    vec![Term::constant("pl1"), Term::constant("ann")],
+                ),
+                Atom::new(
+                    "publication",
+                    vec![Term::constant("pl2"), Term::constant("bob")],
+                ),
+            ],
+        );
+        assert!(!subsumes(&candidate, &ground));
+    }
+
+    #[test]
+    fn constants_in_candidate_must_match_exactly() {
+        let candidate = Clause::new(
+            a("t", &["x"]),
+            vec![Atom::new(
+                "yearsInProgram",
+                vec![Term::var("x"), Term::constant(seven())],
+            )],
+        );
+        let ground_match = Clause::new(
+            Atom::new("t", vec![Term::constant("s1")]),
+            vec![Atom::new(
+                "yearsInProgram",
+                vec![Term::constant("s1"), Term::constant(seven())],
+            )],
+        );
+        let ground_mismatch = Clause::new(
+            Atom::new("t", vec![Term::constant("s1")]),
+            vec![Atom::new(
+                "yearsInProgram",
+                vec![Term::constant("s1"), Term::Const(castor_relational::Value::int(3))],
+            )],
+        );
+        assert!(subsumes(&candidate, &ground_match));
+        assert!(!subsumes(&candidate, &ground_mismatch));
+    }
+
+    fn seven() -> castor_relational::Value {
+        castor_relational::Value::int(7)
+    }
+
+    #[test]
+    fn missing_relation_fails_fast() {
+        let candidate = Clause::new(a("t", &["x"]), vec![a("nonexistent", &["x"])]);
+        let ground = Clause::new(
+            Atom::new("t", vec![Term::constant("a")]),
+            vec![Atom::new("p", vec![Term::constant("a")])],
+        );
+        assert!(!subsumes(&candidate, &ground));
+    }
+
+    #[test]
+    fn different_heads_never_subsume() {
+        let c1 = Clause::new(a("t", &["x"]), vec![a("p", &["x"])]);
+        let c2 = Clause::new(a("u", &["x"]), vec![a("p", &["x"])]);
+        assert!(!subsumes(&c1, &c2));
+    }
+
+    #[test]
+    fn theta_equivalence_of_variable_renamings() {
+        let c1 = Clause::new(a("t", &["x", "y"]), vec![a("p", &["x", "y"])]);
+        let c2 = Clause::new(a("t", &["u", "v"]), vec![a("p", &["u", "v"])]);
+        assert!(theta_equivalent(&c1, &c2));
+    }
+
+    #[test]
+    fn redundant_literals_do_not_affect_equivalence() {
+        let minimal = Clause::new(a("t", &["x"]), vec![a("p", &["x", "y"])]);
+        let redundant = Clause::new(
+            a("t", &["x"]),
+            vec![a("p", &["x", "y"]), a("p", &["x", "z"])],
+        );
+        assert!(theta_equivalent(&minimal, &redundant));
+    }
+}

@@ -1,0 +1,95 @@
+//! Terms: variables and constants.
+
+use castor_relational::Value;
+use std::fmt;
+
+/// A term appearing in an atom: either a variable or a constant from the
+/// database domain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A first-order variable, identified by name (e.g. `x`, `V12`).
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Creates a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// Creates a constant term from a symbolic value.
+    pub fn constant(value: impl Into<Value>) -> Self {
+        Term::Const(value.into())
+    }
+
+    /// Whether the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Whether the term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn var_name(&self) -> Option<&str> {
+        match self {
+            Term::Var(name) => Some(name),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, if this is a constant.
+    pub fn const_value(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(name) => write!(f, "{name}"),
+            Term::Const(v) => write!(f, "'{v}'"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_and_constant_accessors() {
+        let v = Term::var("x");
+        let c = Term::constant("alice");
+        assert!(v.is_var() && !v.is_const());
+        assert!(c.is_const() && !c.is_var());
+        assert_eq!(v.var_name(), Some("x"));
+        assert_eq!(c.const_value(), Some(&Value::str("alice")));
+        assert_eq!(v.const_value(), None);
+        assert_eq!(c.var_name(), None);
+    }
+
+    #[test]
+    fn variables_and_constants_never_equal() {
+        assert_ne!(Term::var("alice"), Term::constant("alice"));
+    }
+
+    #[test]
+    fn display_quotes_constants_only() {
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::constant("bob").to_string(), "'bob'");
+    }
+}

@@ -1,0 +1,106 @@
+//! Consistent constant→variable mapping used by bottom-clause construction.
+//!
+//! Every bottom-clause construction algorithm (the standard one of Section
+//! 6.1, and Castor's IND-aware one of Section 7.1) maintains a one-to-one
+//! mapping from the constants encountered in database tuples to fresh
+//! variables, so that the same constant is always replaced by the same
+//! variable across literals.
+
+use crate::atom::Atom;
+use crate::term::Term;
+use castor_relational::{Tuple, Value};
+use std::collections::HashMap;
+
+/// A bijective mapping between constants and variable names.
+#[derive(Debug, Clone, Default)]
+pub struct VariableMap {
+    to_var: HashMap<Value, String>,
+    counter: usize,
+}
+
+impl VariableMap {
+    /// Creates an empty mapping.
+    pub fn new() -> Self {
+        VariableMap::default()
+    }
+
+    /// Returns the variable assigned to `value`, creating a fresh variable
+    /// (`V0`, `V1`, ...) on first sight.
+    pub fn variable_for(&mut self, value: &Value) -> String {
+        if let Some(v) = self.to_var.get(value) {
+            return v.clone();
+        }
+        let name = format!("V{}", self.counter);
+        self.counter += 1;
+        self.to_var.insert(value.clone(), name.clone());
+        name
+    }
+
+    /// Returns the variable assigned to `value` if one exists, without
+    /// creating a new one.
+    pub fn existing_variable(&self, value: &Value) -> Option<&str> {
+        self.to_var.get(value).map(|s| s.as_str())
+    }
+
+    /// Whether the constant has already been seen.
+    pub fn has_seen(&self, value: &Value) -> bool {
+        self.to_var.contains_key(value)
+    }
+
+    /// Number of distinct constants mapped so far. Because the mapping is
+    /// one-to-one, this equals the number of distinct variables, which is
+    /// Castor's bottom-clause stopping condition.
+    pub fn distinct_variables(&self) -> usize {
+        self.to_var.len()
+    }
+
+    /// Converts a database tuple into a "variablized" atom for `relation`,
+    /// assigning fresh variables to unseen constants.
+    pub fn variablize(&mut self, relation: &str, tuple: &Tuple) -> Atom {
+        Atom {
+            relation: relation.to_string(),
+            terms: tuple
+                .iter()
+                .map(|v| Term::var(self.variable_for(v)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_constant_gets_same_variable() {
+        let mut m = VariableMap::new();
+        let a = m.variable_for(&Value::str("alice"));
+        let b = m.variable_for(&Value::str("bob"));
+        let a2 = m.variable_for(&Value::str("alice"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(m.distinct_variables(), 2);
+    }
+
+    #[test]
+    fn variablize_builds_atom_with_shared_variables() {
+        let mut m = VariableMap::new();
+        let t1 = Tuple::from_strs(&["c1", "alice"]);
+        let t2 = Tuple::from_strs(&["c1", "bob"]);
+        let a1 = m.variablize("ta", &t1);
+        let a2 = m.variablize("ta", &t2);
+        // The shared constant "c1" maps to the same variable in both atoms.
+        assert_eq!(a1.terms[0], a2.terms[0]);
+        assert_ne!(a1.terms[1], a2.terms[1]);
+    }
+
+    #[test]
+    fn existing_variable_does_not_allocate() {
+        let mut m = VariableMap::new();
+        assert!(m.existing_variable(&Value::str("x")).is_none());
+        assert!(!m.has_seen(&Value::str("x")));
+        m.variable_for(&Value::str("x"));
+        assert!(m.has_seen(&Value::str("x")));
+        assert_eq!(m.distinct_variables(), 1);
+    }
+}

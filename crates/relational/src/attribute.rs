@@ -1,0 +1,212 @@
+//! Attribute names and relation sorts.
+//!
+//! Each relation symbol `R` is associated with a set of attribute symbols
+//! `sort(R)` (Section 2.2 of the paper). We keep the sort as an *ordered*
+//! list of attribute names because tuples are positional, but expose
+//! set-style operations (intersection, containment) which the
+//! (de)composition machinery relies on.
+
+use std::fmt;
+
+/// The name of an attribute, e.g. `stud` or `crs`.
+///
+/// Attribute names are compared case-sensitively and are cheap to clone.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrName(pub String);
+
+impl AttrName {
+    /// Creates a new attribute name.
+    pub fn new(name: impl Into<String>) -> Self {
+        AttrName(name.into())
+    }
+
+    /// Returns the attribute name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for AttrName {
+    fn from(s: &str) -> Self {
+        AttrName::new(s)
+    }
+}
+
+impl From<String> for AttrName {
+    fn from(s: String) -> Self {
+        AttrName(s)
+    }
+}
+
+/// The ordered attribute list (`sort`) of a relation symbol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Sort {
+    attrs: Vec<AttrName>,
+}
+
+impl Sort {
+    /// Builds a sort from attribute names. Panics if an attribute repeats:
+    /// the relational model of the paper assumes distinct attribute symbols
+    /// per relation.
+    pub fn new<I, S>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<AttrName>,
+    {
+        let attrs: Vec<AttrName> = attrs.into_iter().map(Into::into).collect();
+        let mut seen = std::collections::HashSet::new();
+        for a in &attrs {
+            assert!(seen.insert(a.clone()), "duplicate attribute {a} in sort");
+        }
+        Sort { attrs }
+    }
+
+    /// Number of attributes (the arity of the relation).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the sort has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterates over attribute names in positional order.
+    pub fn iter(&self) -> impl Iterator<Item = &AttrName> {
+        self.attrs.iter()
+    }
+
+    /// The attribute at position `i`.
+    pub fn attr(&self, i: usize) -> &AttrName {
+        &self.attrs[i]
+    }
+
+    /// Position of an attribute name, if present.
+    pub fn position(&self, name: &AttrName) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+
+    /// Positions of all of `names` (in the order given). Returns `None` if
+    /// any name is missing.
+    pub fn positions(&self, names: &[AttrName]) -> Option<Vec<usize>> {
+        names.iter().map(|n| self.position(n)).collect()
+    }
+
+    /// Whether the sort contains `name`.
+    pub fn contains(&self, name: &AttrName) -> bool {
+        self.position(name).is_some()
+    }
+
+    /// Attributes shared with `other`, in this sort's positional order.
+    pub fn intersection(&self, other: &Sort) -> Vec<AttrName> {
+        self.attrs
+            .iter()
+            .filter(|a| other.contains(a))
+            .cloned()
+            .collect()
+    }
+
+    /// Whether every attribute of `other` appears in this sort.
+    pub fn contains_all(&self, other: &Sort) -> bool {
+        other.iter().all(|a| self.contains(a))
+    }
+
+    /// Union of attributes preserving this sort's order first, then the
+    /// remaining attributes of `other` in their order. Used when composing
+    /// relations via natural join.
+    pub fn union(&self, other: &Sort) -> Sort {
+        let mut attrs = self.attrs.clone();
+        for a in other.iter() {
+            if !self.contains(a) {
+                attrs.push(a.clone());
+            }
+        }
+        Sort { attrs }
+    }
+
+    /// The underlying attribute vector.
+    pub fn as_slice(&self) -> &[AttrName] {
+        &self.attrs
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.attrs.iter().map(|a| a.as_str()).collect();
+        write!(f, "({})", names.join(","))
+    }
+}
+
+impl<'a> IntoIterator for &'a Sort {
+    type Item = &'a AttrName;
+    type IntoIter = std::slice::Iter<'a, AttrName>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.attrs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort(names: &[&str]) -> Sort {
+        Sort::new(names.iter().copied())
+    }
+
+    #[test]
+    fn arity_and_positions() {
+        let s = sort(&["crs", "stud", "term"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position(&"stud".into()), Some(1));
+        assert_eq!(s.position(&"missing".into()), None);
+        assert_eq!(
+            s.positions(&["term".into(), "crs".into()]),
+            Some(vec![2, 0])
+        );
+        assert_eq!(s.positions(&["term".into(), "nope".into()]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attributes_rejected() {
+        let _ = sort(&["a", "a"]);
+    }
+
+    #[test]
+    fn intersection_preserves_left_order() {
+        let a = sort(&["id", "title", "year"]);
+        let b = sort(&["year", "id"]);
+        assert_eq!(
+            a.intersection(&b),
+            vec![AttrName::new("id"), AttrName::new("year")]
+        );
+    }
+
+    #[test]
+    fn union_appends_new_attributes() {
+        let a = sort(&["stud", "phase"]);
+        let b = sort(&["stud", "years"]);
+        let u = a.union(&b);
+        assert_eq!(u.arity(), 3);
+        assert_eq!(u.attr(2), &AttrName::new("years"));
+    }
+
+    #[test]
+    fn contains_all_is_subset_check() {
+        let a = sort(&["a", "b", "c"]);
+        let b = sort(&["c", "a"]);
+        assert!(a.contains_all(&b));
+        assert!(!b.contains_all(&a));
+    }
+
+    #[test]
+    fn display_renders_parenthesized_list() {
+        assert_eq!(sort(&["x", "y"]).to_string(), "(x,y)");
+    }
+}

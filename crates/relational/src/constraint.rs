@@ -1,0 +1,249 @@
+//! Schema constraints: functional dependencies and inclusion dependencies.
+//!
+//! Inclusion dependencies (INDs) are central to the paper: Castor achieves
+//! schema independence by integrating INDs — in particular INDs *with
+//! equality* (`R[X] = S[X]`, i.e. both `R[X] ⊆ S[X]` and `S[X] ⊆ R[X]`) —
+//! into bottom-clause construction, ARMG generalization, and negative
+//! reduction (Section 7).
+
+use crate::attribute::AttrName;
+use std::fmt;
+
+/// A functional dependency `X → Y` over a single relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FunctionalDependency {
+    /// The relation the FD applies to.
+    pub relation: String,
+    /// Determinant attributes `X`.
+    pub lhs: Vec<AttrName>,
+    /// Dependent attributes `Y`.
+    pub rhs: Vec<AttrName>,
+}
+
+impl FunctionalDependency {
+    /// Creates a functional dependency `relation: lhs → rhs`.
+    pub fn new<S: AsRef<str>>(relation: impl Into<String>, lhs: &[S], rhs: &[S]) -> Self {
+        FunctionalDependency {
+            relation: relation.into(),
+            lhs: lhs.iter().map(|a| AttrName::new(a.as_ref())).collect(),
+            rhs: rhs.iter().map(|a| AttrName::new(a.as_ref())).collect(),
+        }
+    }
+}
+
+impl fmt::Display for FunctionalDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lhs: Vec<&str> = self.lhs.iter().map(|a| a.as_str()).collect();
+        let rhs: Vec<&str> = self.rhs.iter().map(|a| a.as_str()).collect();
+        write!(
+            f,
+            "{}: {} -> {}",
+            self.relation,
+            lhs.join(","),
+            rhs.join(",")
+        )
+    }
+}
+
+/// An inclusion dependency `R[X] ⊆ S[Y]` or, when `with_equality` is set,
+/// an IND with equality `R[X] = S[Y]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InclusionDependency {
+    /// The left-hand relation `R`.
+    pub lhs_relation: String,
+    /// The projected attributes `X` of `R`.
+    pub lhs_attrs: Vec<AttrName>,
+    /// The right-hand relation `S`.
+    pub rhs_relation: String,
+    /// The projected attributes `Y` of `S`.
+    pub rhs_attrs: Vec<AttrName>,
+    /// Whether the IND holds in both directions (`R[X] = S[Y]`).
+    pub with_equality: bool,
+}
+
+impl InclusionDependency {
+    /// Creates a subset-form IND `lhs_relation[lhs_attrs] ⊆ rhs_relation[rhs_attrs]`.
+    pub fn subset<S: AsRef<str>>(
+        lhs_relation: impl Into<String>,
+        lhs_attrs: &[S],
+        rhs_relation: impl Into<String>,
+        rhs_attrs: &[S],
+    ) -> Self {
+        let ind = InclusionDependency {
+            lhs_relation: lhs_relation.into(),
+            lhs_attrs: lhs_attrs.iter().map(|a| AttrName::new(a.as_ref())).collect(),
+            rhs_relation: rhs_relation.into(),
+            rhs_attrs: rhs_attrs.iter().map(|a| AttrName::new(a.as_ref())).collect(),
+            with_equality: false,
+        };
+        assert_eq!(
+            ind.lhs_attrs.len(),
+            ind.rhs_attrs.len(),
+            "IND attribute lists must have equal length"
+        );
+        ind
+    }
+
+    /// Creates an IND with equality `lhs_relation[attrs] = rhs_relation[attrs]`.
+    pub fn equality<S: AsRef<str>>(
+        lhs_relation: impl Into<String>,
+        lhs_attrs: &[S],
+        rhs_relation: impl Into<String>,
+        rhs_attrs: &[S],
+    ) -> Self {
+        let mut ind = Self::subset(lhs_relation, lhs_attrs, rhs_relation, rhs_attrs);
+        ind.with_equality = true;
+        ind
+    }
+
+    /// The IND with the two sides swapped. For INDs with equality the
+    /// reversed IND holds as well; for subset INDs it expresses the converse
+    /// containment (which may not hold).
+    pub fn reversed(&self) -> InclusionDependency {
+        InclusionDependency {
+            lhs_relation: self.rhs_relation.clone(),
+            lhs_attrs: self.rhs_attrs.clone(),
+            rhs_relation: self.lhs_relation.clone(),
+            rhs_attrs: self.lhs_attrs.clone(),
+            with_equality: self.with_equality,
+        }
+    }
+
+    /// Whether the IND mentions `relation` on either side.
+    pub fn mentions(&self, relation: &str) -> bool {
+        self.lhs_relation == relation || self.rhs_relation == relation
+    }
+
+    /// Returns the attribute list of the given side if `relation` appears
+    /// there (`lhs` first).
+    pub fn attrs_of(&self, relation: &str) -> Option<&[AttrName]> {
+        if self.lhs_relation == relation {
+            Some(&self.lhs_attrs)
+        } else if self.rhs_relation == relation {
+            Some(&self.rhs_attrs)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for InclusionDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l: Vec<&str> = self.lhs_attrs.iter().map(|a| a.as_str()).collect();
+        let r: Vec<&str> = self.rhs_attrs.iter().map(|a| a.as_str()).collect();
+        let op = if self.with_equality { "=" } else { "⊆" };
+        write!(
+            f,
+            "{}[{}] {} {}[{}]",
+            self.lhs_relation,
+            l.join(","),
+            op,
+            self.rhs_relation,
+            r.join(",")
+        )
+    }
+}
+
+/// A schema constraint: either a functional dependency or an inclusion
+/// dependency.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// A functional dependency.
+    Fd(FunctionalDependency),
+    /// An inclusion dependency.
+    Ind(InclusionDependency),
+}
+
+impl Constraint {
+    /// Returns the contained IND, if any.
+    pub fn as_ind(&self) -> Option<&InclusionDependency> {
+        match self {
+            Constraint::Ind(ind) => Some(ind),
+            Constraint::Fd(_) => None,
+        }
+    }
+
+    /// Returns the contained FD, if any.
+    pub fn as_fd(&self) -> Option<&FunctionalDependency> {
+        match self {
+            Constraint::Fd(fd) => Some(fd),
+            Constraint::Ind(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Fd(fd) => write!(f, "{fd}"),
+            Constraint::Ind(ind) => write!(f, "{ind}"),
+        }
+    }
+}
+
+impl From<FunctionalDependency> for Constraint {
+    fn from(fd: FunctionalDependency) -> Self {
+        Constraint::Fd(fd)
+    }
+}
+
+impl From<InclusionDependency> for Constraint {
+    fn from(ind: InclusionDependency) -> Self {
+        Constraint::Ind(ind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_display() {
+        let fd = FunctionalDependency::new("student", &["stud"], &["phase", "years"]);
+        assert_eq!(fd.to_string(), "student: stud -> phase,years");
+    }
+
+    #[test]
+    fn ind_equality_and_subset_forms() {
+        let e = InclusionDependency::equality("student", &["stud"], "inPhase", &["stud"]);
+        assert!(e.with_equality);
+        let s = InclusionDependency::subset("ta", &["stud"], "student", &["stud"]);
+        assert!(!s.with_equality);
+        assert_eq!(e.to_string(), "student[stud] = inPhase[stud]");
+        assert_eq!(s.to_string(), "ta[stud] ⊆ student[stud]");
+    }
+
+    #[test]
+    fn reversed_swaps_sides() {
+        let e = InclusionDependency::equality("a", &["x"], "b", &["y"]);
+        let r = e.reversed();
+        assert_eq!(r.lhs_relation, "b");
+        assert_eq!(r.rhs_relation, "a");
+        assert_eq!(r.lhs_attrs, vec![AttrName::new("y")]);
+    }
+
+    #[test]
+    fn mentions_and_attrs_of() {
+        let e = InclusionDependency::equality("bonds", &["bd"], "bondType1", &["bd"]);
+        assert!(e.mentions("bonds"));
+        assert!(e.mentions("bondType1"));
+        assert!(!e.mentions("compound"));
+        assert_eq!(e.attrs_of("bonds"), Some(&[AttrName::new("bd")][..]));
+        assert_eq!(e.attrs_of("compound"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_attr_lists_rejected() {
+        let _ = InclusionDependency::subset("a", &["x", "y"], "b", &["z"]);
+    }
+
+    #[test]
+    fn constraint_accessors() {
+        let c: Constraint = FunctionalDependency::new("r", &["a"], &["b"]).into();
+        assert!(c.as_fd().is_some());
+        assert!(c.as_ind().is_none());
+        let c: Constraint = InclusionDependency::equality("r", &["a"], "s", &["a"]).into();
+        assert!(c.as_ind().is_some());
+    }
+}

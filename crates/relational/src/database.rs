@@ -1,0 +1,243 @@
+//! Database instances: a schema together with an instance for every
+//! relation symbol, plus cross-relation lookups and constraint checking.
+
+use crate::constraint::{Constraint, InclusionDependency};
+use crate::error::RelationalError;
+use crate::instance::RelationInstance;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::collections::BTreeMap;
+
+/// An instance `I` of a schema `R`: a mapping that associates each relation
+/// symbol with a relation instance satisfying the schema's constraints.
+#[derive(Debug, Clone)]
+pub struct DatabaseInstance {
+    schema: Schema,
+    relations: BTreeMap<String, RelationInstance>,
+}
+
+impl DatabaseInstance {
+    /// Creates an empty instance of `schema`.
+    pub fn empty(schema: &Schema) -> Self {
+        let relations = schema
+            .relations()
+            .map(|r| (r.name().to_string(), RelationInstance::empty(r.clone())))
+            .collect();
+        DatabaseInstance {
+            schema: schema.clone(),
+            relations,
+        }
+    }
+
+    /// The schema this instance conforms to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Inserts a tuple into the named relation.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
+        let inst = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| RelationalError::UnknownRelation(relation.to_string()))?;
+        inst.insert(tuple)
+    }
+
+    /// Inserts many tuples into the named relation.
+    pub fn insert_all<I>(&mut self, relation: &str, tuples: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut added = 0;
+        for t in tuples {
+            if self.insert(relation, t)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Looks up the instance of a relation.
+    pub fn relation(&self, name: &str) -> Option<&RelationInstance> {
+        self.relations.get(name)
+    }
+
+    /// Looks up the instance of a relation, failing for unknown names.
+    pub fn require_relation(&self, name: &str) -> Result<&RelationInstance> {
+        self.relation(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Iterates over all relation instances in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationInstance> {
+        self.relations.values()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Whether any relation contains exactly this tuple.
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
+        self.relation(relation).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Every `(relation name, tuple)` pair in the database whose tuple
+    /// contains the constant `value`. This is the workhorse query of
+    /// bottom-clause construction.
+    pub fn tuples_containing(&self, value: &Value) -> Vec<(&str, &Tuple)> {
+        let mut out = Vec::new();
+        for (name, inst) in &self.relations {
+            for t in inst.tuples_containing(value) {
+                out.push((name.as_str(), t));
+            }
+        }
+        out
+    }
+
+    /// Checks whether a single inclusion dependency holds over this instance.
+    pub fn satisfies_ind(&self, ind: &InclusionDependency) -> Result<bool> {
+        let lhs_pos = self.schema.attr_positions(&ind.lhs_relation, &ind.lhs_attrs)?;
+        let rhs_pos = self.schema.attr_positions(&ind.rhs_relation, &ind.rhs_attrs)?;
+        let lhs = self.require_relation(&ind.lhs_relation)?.project(&lhs_pos);
+        let rhs = self.require_relation(&ind.rhs_relation)?.project(&rhs_pos);
+        let forward = lhs.is_subset(&rhs);
+        if ind.with_equality {
+            Ok(forward && rhs.is_subset(&lhs))
+        } else {
+            Ok(forward)
+        }
+    }
+
+    /// Checks every constraint of the schema over this instance, returning
+    /// the first violation found.
+    pub fn validate(&self) -> Result<()> {
+        for c in self.schema.constraints() {
+            match c {
+                Constraint::Fd(fd) => {
+                    let lhs = self.schema.attr_positions(&fd.relation, &fd.lhs)?;
+                    let rhs = self.schema.attr_positions(&fd.relation, &fd.rhs)?;
+                    let inst = self.require_relation(&fd.relation)?;
+                    if !inst.satisfies_fd(&lhs, &rhs) {
+                        return Err(RelationalError::ConstraintViolation(fd.to_string()));
+                    }
+                }
+                Constraint::Ind(ind) => {
+                    if !self.satisfies_ind(ind)? {
+                        return Err(RelationalError::ConstraintViolation(ind.to_string()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-relation tuple counts, useful when reporting dataset statistics
+    /// (Table 2 of the paper).
+    pub fn relation_sizes(&self) -> BTreeMap<String, usize> {
+        self.relations
+            .iter()
+            .map(|(name, inst)| (name.clone(), inst.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::FunctionalDependency;
+    use crate::relation::RelationSymbol;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("test");
+        s.add_relation(RelationSymbol::new("student", &["stud"]))
+            .add_relation(RelationSymbol::new("inPhase", &["stud", "phase"]))
+            .add_ind(InclusionDependency::equality(
+                "student",
+                &["stud"],
+                "inPhase",
+                &["stud"],
+            ))
+            .add_fd(FunctionalDependency::new("inPhase", &["stud"], &["phase"]));
+        s
+    }
+
+    fn populated() -> DatabaseInstance {
+        let mut db = DatabaseInstance::empty(&schema());
+        db.insert("student", Tuple::from_strs(&["alice"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["bob"])).unwrap();
+        db.insert("inPhase", Tuple::from_strs(&["alice", "prelim"])).unwrap();
+        db.insert("inPhase", Tuple::from_strs(&["bob", "post"])).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let db = populated();
+        assert_eq!(db.total_tuples(), 4);
+        assert_eq!(db.relation("student").unwrap().len(), 2);
+        assert!(db.contains("inPhase", &Tuple::from_strs(&["bob", "post"])));
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let mut db = populated();
+        assert!(db.insert("professor", Tuple::from_strs(&["x"])).is_err());
+        assert!(db.require_relation("professor").is_err());
+    }
+
+    #[test]
+    fn tuples_containing_spans_relations() {
+        let db = populated();
+        let hits = db.tuples_containing(&Value::str("alice"));
+        assert_eq!(hits.len(), 2);
+        let names: Vec<&str> = hits.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"student"));
+        assert!(names.contains(&"inPhase"));
+    }
+
+    #[test]
+    fn constraint_validation_passes_and_fails() {
+        let mut db = populated();
+        assert!(db.validate().is_ok());
+        // Violate the IND with equality: a student without a phase.
+        db.insert("student", Tuple::from_strs(&["carol"])).unwrap();
+        assert!(matches!(
+            db.validate(),
+            Err(RelationalError::ConstraintViolation(_))
+        ));
+    }
+
+    #[test]
+    fn fd_violation_detected() {
+        let mut db = populated();
+        db.insert("inPhase", Tuple::from_strs(&["alice", "post"])).unwrap();
+        assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn subset_ind_is_one_directional() {
+        let mut s = Schema::new("t");
+        s.add_relation(RelationSymbol::new("a", &["x"]))
+            .add_relation(RelationSymbol::new("b", &["x"]));
+        let mut db = DatabaseInstance::empty(&s);
+        db.insert("a", Tuple::from_strs(&["1"])).unwrap();
+        db.insert("b", Tuple::from_strs(&["1"])).unwrap();
+        db.insert("b", Tuple::from_strs(&["2"])).unwrap();
+        let subset = InclusionDependency::subset("a", &["x"], "b", &["x"]);
+        let equality = InclusionDependency::equality("a", &["x"], "b", &["x"]);
+        assert!(db.satisfies_ind(&subset).unwrap());
+        assert!(!db.satisfies_ind(&equality).unwrap());
+    }
+
+    #[test]
+    fn relation_sizes_reports_all() {
+        let db = populated();
+        let sizes = db.relation_sizes();
+        assert_eq!(sizes["student"], 2);
+        assert_eq!(sizes["inPhase"], 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the relational engine.
+
+use std::fmt;
+
+/// Errors raised by schema and instance operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A relation name was not found in the schema or instance.
+    UnknownRelation(String),
+    /// An attribute name was not found in a relation's sort.
+    UnknownAttribute {
+        /// The relation searched.
+        relation: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// A tuple's arity does not match the relation's sort.
+    ArityMismatch {
+        /// The relation being inserted into.
+        relation: String,
+        /// The arity the relation expects.
+        expected: usize,
+        /// The arity of the offending tuple.
+        actual: usize,
+    },
+    /// A constraint does not hold over an instance.
+    ConstraintViolation(String),
+    /// A relation was declared twice in a schema.
+    DuplicateRelation(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            RelationalError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` has no attribute `{attribute}`")
+            }
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch inserting into `{relation}`: expected {expected}, got {actual}"
+            ),
+            RelationalError::ConstraintViolation(msg) => write!(f, "constraint violation: {msg}"),
+            RelationalError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` declared more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_helpful_messages() {
+        let e = RelationalError::ArityMismatch {
+            relation: "student".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("student"));
+        assert!(e.to_string().contains("expected 3"));
+        let e = RelationalError::UnknownAttribute {
+            relation: "r".into(),
+            attribute: "a".into(),
+        };
+        assert!(e.to_string().contains("no attribute"));
+    }
+}

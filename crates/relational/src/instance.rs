@@ -1,0 +1,279 @@
+//! Relation instances with per-attribute hash indexes.
+//!
+//! Bottom-clause construction (Section 6.1 / 7.1 of the paper) repeatedly
+//! asks "which tuples of relation `R` contain constant `c`?" and "which
+//! tuples of `R` agree with tuple `t` on attribute set `X`?". Both queries
+//! are answered from hash indexes maintained on every attribute position,
+//! which is the role the in-memory RDBMS (VoltDB) plays in the paper's
+//! implementation.
+
+use crate::error::RelationalError;
+use crate::relation::RelationSymbol;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::collections::{HashMap, HashSet};
+
+/// An instance of a single relation symbol: a set of tuples plus hash
+/// indexes on every attribute position.
+#[derive(Debug, Clone)]
+pub struct RelationInstance {
+    symbol: RelationSymbol,
+    tuples: Vec<Tuple>,
+    /// `indexes[pos][value]` = row ids of tuples whose `pos`-th value is `value`.
+    indexes: Vec<HashMap<Value, Vec<usize>>>,
+    /// Set of tuples for O(1) duplicate elimination (set semantics).
+    present: HashSet<Tuple>,
+}
+
+impl RelationInstance {
+    /// Creates an empty instance of the given relation symbol.
+    pub fn empty(symbol: RelationSymbol) -> Self {
+        let arity = symbol.arity();
+        RelationInstance {
+            symbol,
+            tuples: Vec::new(),
+            indexes: vec![HashMap::new(); arity],
+            present: HashSet::new(),
+        }
+    }
+
+    /// The relation symbol this instance belongs to.
+    pub fn symbol(&self) -> &RelationSymbol {
+        &self.symbol
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        self.symbol.name()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the instance has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple. Duplicate tuples are ignored (relations are sets).
+    /// Returns `true` if the tuple was newly inserted.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        if tuple.arity() != self.symbol.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: self.name().to_string(),
+                expected: self.symbol.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        if self.present.contains(&tuple) {
+            return Ok(false);
+        }
+        let row = self.tuples.len();
+        for (pos, value) in tuple.iter().enumerate() {
+            self.indexes[pos].entry(value.clone()).or_default().push(row);
+        }
+        self.present.insert(tuple.clone());
+        self.tuples.push(tuple);
+        Ok(true)
+    }
+
+    /// Whether the instance contains exactly this tuple.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.present.contains(tuple)
+    }
+
+    /// Iterates over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples as a slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Tuples whose value at `pos` equals `value` (index lookup).
+    pub fn select_eq(&self, pos: usize, value: &Value) -> Vec<&Tuple> {
+        match self.indexes.get(pos).and_then(|idx| idx.get(value)) {
+            Some(rows) => rows.iter().map(|&r| &self.tuples[r]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Tuples that agree with `key` on the attribute positions `positions`
+    /// (a multi-column index lookup implemented by probing the most
+    /// selective single-column index and post-filtering).
+    pub fn select_on_positions(&self, positions: &[usize], key: &[Value]) -> Vec<&Tuple> {
+        assert_eq!(positions.len(), key.len(), "key length must match positions");
+        if positions.is_empty() {
+            return self.tuples.iter().collect();
+        }
+        // Probe the column whose posting list is shortest.
+        let mut best: Option<(usize, &Vec<usize>)> = None;
+        for (i, (&pos, value)) in positions.iter().zip(key.iter()).enumerate() {
+            match self.indexes.get(pos).and_then(|idx| idx.get(value)) {
+                Some(rows) => {
+                    if best.map_or(true, |(_, b)| rows.len() < b.len()) {
+                        best = Some((i, rows));
+                    }
+                }
+                None => return Vec::new(),
+            }
+        }
+        let (_, rows) = best.expect("non-empty positions");
+        rows.iter()
+            .map(|&r| &self.tuples[r])
+            .filter(|t| {
+                positions
+                    .iter()
+                    .zip(key.iter())
+                    .all(|(&pos, v)| t.value(pos) == v)
+            })
+            .collect()
+    }
+
+    /// Tuples containing `value` at *any* position. Used by bottom-clause
+    /// construction to pull in every tuple mentioning a constant seen so far.
+    pub fn tuples_containing(&self, value: &Value) -> Vec<&Tuple> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for idx in &self.indexes {
+            if let Some(rows) = idx.get(value) {
+                for &r in rows {
+                    if seen.insert(r) {
+                        out.push(&self.tuples[r]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The projection `π_positions` of the instance, as a set of tuples.
+    pub fn project(&self, positions: &[usize]) -> HashSet<Tuple> {
+        self.tuples.iter().map(|t| t.project(positions)).collect()
+    }
+
+    /// The set of distinct values appearing at attribute position `pos`.
+    pub fn active_domain_at(&self, pos: usize) -> HashSet<Value> {
+        self.indexes
+            .get(pos)
+            .map(|idx| idx.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The set of distinct values appearing anywhere in the instance.
+    pub fn active_domain(&self) -> HashSet<Value> {
+        let mut out = HashSet::new();
+        for t in &self.tuples {
+            out.extend(t.iter().cloned());
+        }
+        out
+    }
+
+    /// Checks the functional dependency `lhs → rhs` (given as attribute
+    /// positions) over this instance.
+    pub fn satisfies_fd(&self, lhs: &[usize], rhs: &[usize]) -> bool {
+        let mut seen: HashMap<Tuple, Tuple> = HashMap::new();
+        for t in &self.tuples {
+            let key = t.project(lhs);
+            let val = t.project(rhs);
+            match seen.get(&key) {
+                Some(existing) if existing != &val => return false,
+                Some(_) => {}
+                None => {
+                    seen.insert(key, val);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ta_instance() -> RelationInstance {
+        let mut inst = RelationInstance::empty(RelationSymbol::new("ta", &["crs", "stud", "term"]));
+        inst.insert(Tuple::from_strs(&["c1", "alice", "t1"])).unwrap();
+        inst.insert(Tuple::from_strs(&["c1", "bob", "t1"])).unwrap();
+        inst.insert(Tuple::from_strs(&["c2", "alice", "t2"])).unwrap();
+        inst
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut inst = ta_instance();
+        assert!(matches!(
+            inst.insert(Tuple::from_strs(&["only-two", "values"])),
+            Err(RelationalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let mut inst = ta_instance();
+        let added = inst.insert(Tuple::from_strs(&["c1", "alice", "t1"])).unwrap();
+        assert!(!added);
+        assert_eq!(inst.len(), 3);
+    }
+
+    #[test]
+    fn select_eq_uses_index() {
+        let inst = ta_instance();
+        let hits = inst.select_eq(1, &Value::str("alice"));
+        assert_eq!(hits.len(), 2);
+        assert!(inst.select_eq(1, &Value::str("carol")).is_empty());
+    }
+
+    #[test]
+    fn select_on_positions_multi_column() {
+        let inst = ta_instance();
+        let hits = inst.select_on_positions(&[0, 1], &[Value::str("c1"), Value::str("alice")]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0], &Tuple::from_strs(&["c1", "alice", "t1"]));
+        let empty = inst.select_on_positions(&[0, 1], &[Value::str("c2"), Value::str("bob")]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn tuples_containing_deduplicates_rows() {
+        let mut inst =
+            RelationInstance::empty(RelationSymbol::new("pair", &["a", "b"]));
+        inst.insert(Tuple::from_strs(&["x", "x"])).unwrap();
+        inst.insert(Tuple::from_strs(&["x", "y"])).unwrap();
+        let hits = inst.tuples_containing(&Value::str("x"));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn projection_is_a_set() {
+        let inst = ta_instance();
+        let proj = inst.project(&[0]);
+        assert_eq!(proj.len(), 2); // c1, c2
+    }
+
+    #[test]
+    fn fd_checking() {
+        let mut inst =
+            RelationInstance::empty(RelationSymbol::new("student", &["stud", "phase"]));
+        inst.insert(Tuple::from_strs(&["alice", "prelim"])).unwrap();
+        inst.insert(Tuple::from_strs(&["bob", "post"])).unwrap();
+        assert!(inst.satisfies_fd(&[0], &[1]));
+        inst.insert(Tuple::from_strs(&["alice", "post"])).unwrap();
+        assert!(!inst.satisfies_fd(&[0], &[1]));
+    }
+
+    #[test]
+    fn active_domain_collects_all_values() {
+        let inst = ta_instance();
+        let dom = inst.active_domain();
+        assert!(dom.contains(&Value::str("alice")));
+        assert!(dom.contains(&Value::str("c2")));
+        assert_eq!(inst.active_domain_at(2).len(), 2);
+    }
+}

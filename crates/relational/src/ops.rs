@@ -1,0 +1,254 @@
+//! Relational operators: projection, selection, and natural join.
+//!
+//! The (de)composition transformations of Section 4 are exactly projection
+//! (decomposition) and natural join (composition), so these operators are
+//! what `castor-transform` uses to map instances between schemas.
+
+use crate::attribute::AttrName;
+use crate::instance::RelationInstance;
+use crate::relation::RelationSymbol;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Projects `input` onto the attribute list `attrs`, producing a new
+/// instance named `output_name`. Duplicate tuples collapse (set semantics).
+pub fn project(
+    input: &RelationInstance,
+    attrs: &[AttrName],
+    output_name: &str,
+) -> Result<RelationInstance> {
+    let positions = input
+        .symbol()
+        .sort()
+        .positions(attrs)
+        .ok_or_else(|| crate::RelationalError::UnknownAttribute {
+            relation: input.name().to_string(),
+            attribute: attrs
+                .iter()
+                .find(|a| !input.symbol().sort().contains(a))
+                .map(|a| a.as_str().to_string())
+                .unwrap_or_default(),
+        })?;
+    let symbol = RelationSymbol::with_sort(
+        output_name,
+        crate::attribute::Sort::new(attrs.iter().map(|a| a.as_str().to_string())),
+    );
+    let mut out = RelationInstance::empty(symbol);
+    for t in input.iter() {
+        out.insert(t.project(&positions))?;
+    }
+    Ok(out)
+}
+
+/// Selects the tuples of `input` whose value at the position of `attr`
+/// equals `value`, as a new instance with the same sort.
+pub fn select_eq(
+    input: &RelationInstance,
+    attr: &AttrName,
+    value: &Value,
+    output_name: &str,
+) -> Result<RelationInstance> {
+    let pos = input
+        .symbol()
+        .attr_position(attr)
+        .ok_or_else(|| crate::RelationalError::UnknownAttribute {
+            relation: input.name().to_string(),
+            attribute: attr.as_str().to_string(),
+        })?;
+    let symbol = RelationSymbol::with_sort(output_name, input.symbol().sort().clone());
+    let mut out = RelationInstance::empty(symbol);
+    for t in input.select_eq(pos, value) {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// Natural join of two instances on their shared attribute names.
+///
+/// Following the paper we require at least one shared attribute so that the
+/// join never degenerates into a Cartesian product.
+pub fn natural_join(
+    left: &RelationInstance,
+    right: &RelationInstance,
+    output_name: &str,
+) -> Result<RelationInstance> {
+    let shared = left.symbol().common_attrs(right.symbol());
+    assert!(
+        !shared.is_empty(),
+        "natural join requires at least one shared attribute between {} and {}",
+        left.name(),
+        right.name()
+    );
+    let left_sort = left.symbol().sort();
+    let right_sort = right.symbol().sort();
+    let out_sort = left_sort.union(right_sort);
+    let symbol = RelationSymbol::with_sort(output_name, out_sort.clone());
+    let mut out = RelationInstance::empty(symbol);
+
+    let left_key_pos: Vec<usize> = shared
+        .iter()
+        .map(|a| left_sort.position(a).expect("shared attr in left"))
+        .collect();
+    let right_key_pos: Vec<usize> = shared
+        .iter()
+        .map(|a| right_sort.position(a).expect("shared attr in right"))
+        .collect();
+    // Positions of the right tuple's non-shared attributes, in output order.
+    let right_extra_pos: Vec<usize> = out_sort
+        .iter()
+        .skip(left_sort.arity())
+        .map(|a| right_sort.position(a).expect("extra attr in right"))
+        .collect();
+
+    // Hash join: build on the smaller side conceptually; here build on right.
+    let mut table: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+    for rt in right.iter() {
+        table.entry(rt.project(&right_key_pos)).or_default().push(rt);
+    }
+    for lt in left.iter() {
+        let key = lt.project(&left_key_pos);
+        if let Some(matches) = table.get(&key) {
+            for rt in matches {
+                let extra = rt.project(&right_extra_pos);
+                out.insert(lt.concat(&extra))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Natural join of a sequence of instances, left to right.
+///
+/// Panics if fewer than one instance is given. A single instance is returned
+/// unchanged (renamed to `output_name`).
+pub fn natural_join_all(
+    instances: &[&RelationInstance],
+    output_name: &str,
+) -> Result<RelationInstance> {
+    assert!(!instances.is_empty(), "natural_join_all needs at least one input");
+    if instances.len() == 1 {
+        let symbol =
+            RelationSymbol::with_sort(output_name, instances[0].symbol().sort().clone());
+        let mut out = RelationInstance::empty(symbol);
+        for t in instances[0].iter() {
+            out.insert(t.clone())?;
+        }
+        return Ok(out);
+    }
+    let mut acc = natural_join(instances[0], instances[1], output_name)?;
+    for inst in &instances[2..] {
+        acc = natural_join(&acc, inst, output_name)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttrName;
+
+    fn inst(name: &str, attrs: &[&str], rows: &[&[&str]]) -> RelationInstance {
+        let mut i = RelationInstance::empty(RelationSymbol::new(name, attrs));
+        for r in rows {
+            i.insert(Tuple::from_strs(r)).unwrap();
+        }
+        i
+    }
+
+    #[test]
+    fn project_collapses_duplicates() {
+        let i = inst(
+            "inPhase",
+            &["stud", "phase"],
+            &[&["a", "pre"], &["b", "pre"], &["c", "post"]],
+        );
+        let p = project(&i, &[AttrName::new("phase")], "phases").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.symbol().arity(), 1);
+    }
+
+    #[test]
+    fn project_unknown_attribute_errors() {
+        let i = inst("r", &["a"], &[&["1"]]);
+        assert!(project(&i, &[AttrName::new("missing")], "out").is_err());
+    }
+
+    #[test]
+    fn select_eq_filters_rows() {
+        let i = inst(
+            "inPhase",
+            &["stud", "phase"],
+            &[&["a", "pre"], &["b", "post"]],
+        );
+        let s = select_eq(&i, &AttrName::new("phase"), &Value::str("pre"), "pre_only").unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Tuple::from_strs(&["a", "pre"])));
+    }
+
+    #[test]
+    fn natural_join_on_shared_attribute() {
+        let student = inst("student", &["stud"], &[&["a"], &["b"]]);
+        let phase = inst("inPhase", &["stud", "phase"], &[&["a", "pre"], &["b", "post"]]);
+        let j = natural_join(&student, &phase, "joined").unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.symbol().arity(), 2);
+        assert!(j.contains(&Tuple::from_strs(&["a", "pre"])));
+    }
+
+    #[test]
+    fn natural_join_drops_dangling_tuples() {
+        let a = inst("a", &["x", "y"], &[&["1", "u"], &["2", "v"]]);
+        let b = inst("b", &["x", "z"], &[&["1", "w"]]);
+        let j = natural_join(&a, &b, "ab").unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&Tuple::from_strs(&["1", "u", "w"])));
+    }
+
+    #[test]
+    #[should_panic(expected = "shared attribute")]
+    fn join_without_shared_attributes_panics() {
+        let a = inst("a", &["x"], &[&["1"]]);
+        let b = inst("b", &["y"], &[&["2"]]);
+        let _ = natural_join(&a, &b, "ab");
+    }
+
+    #[test]
+    fn join_all_recomposes_decomposed_relation() {
+        // student(stud), inPhase(stud,phase), yearsInProgram(stud,years)
+        // should join back to student(stud,phase,years).
+        let s = inst("student", &["stud"], &[&["a"], &["b"]]);
+        let p = inst("inPhase", &["stud", "phase"], &[&["a", "pre"], &["b", "post"]]);
+        let y = inst(
+            "yearsInProgram",
+            &["stud", "years"],
+            &[&["a", "3"], &["b", "7"]],
+        );
+        let j = natural_join_all(&[&s, &p, &y], "student4nf").unwrap();
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&Tuple::from_strs(&["a", "pre", "3"])));
+        assert!(j.contains(&Tuple::from_strs(&["b", "post", "7"])));
+    }
+
+    #[test]
+    fn join_all_single_input_is_identity() {
+        let s = inst("student", &["stud"], &[&["a"]]);
+        let j = natural_join_all(&[&s], "copy").unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.name(), "copy");
+    }
+
+    #[test]
+    fn join_is_commutative_up_to_column_order() {
+        let a = inst("a", &["x", "y"], &[&["1", "u"]]);
+        let b = inst("b", &["x", "z"], &[&["1", "w"]]);
+        let ab = natural_join(&a, &b, "o").unwrap();
+        let ba = natural_join(&b, &a, "o").unwrap();
+        assert_eq!(ab.len(), ba.len());
+        // Same set of x values regardless of order.
+        let xa = ab.project(&[0]);
+        let xb = ba.project(&[0]);
+        assert_eq!(xa, xb);
+    }
+}

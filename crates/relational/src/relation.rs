@@ -1,0 +1,90 @@
+//! Relation symbols: a name plus an attribute sort.
+
+use crate::attribute::{AttrName, Sort};
+use std::fmt;
+
+/// A relation symbol `R` with its attribute sort `sort(R)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelationSymbol {
+    name: String,
+    sort: Sort,
+}
+
+impl RelationSymbol {
+    /// Creates a relation symbol with the given attribute names.
+    pub fn new<S>(name: impl Into<String>, attrs: &[S]) -> Self
+    where
+        S: AsRef<str>,
+    {
+        RelationSymbol {
+            name: name.into(),
+            sort: Sort::new(attrs.iter().map(|a| a.as_ref().to_string())),
+        }
+    }
+
+    /// Creates a relation symbol from an existing sort.
+    pub fn with_sort(name: impl Into<String>, sort: Sort) -> Self {
+        RelationSymbol {
+            name: name.into(),
+            sort,
+        }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's attribute sort.
+    pub fn sort(&self) -> &Sort {
+        &self.sort
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.sort.arity()
+    }
+
+    /// Position of an attribute within the relation, if present.
+    pub fn attr_position(&self, attr: &AttrName) -> Option<usize> {
+        self.sort.position(attr)
+    }
+
+    /// Attributes shared with another relation symbol. Natural join between
+    /// the two relations equates exactly these attributes.
+    pub fn common_attrs(&self, other: &RelationSymbol) -> Vec<AttrName> {
+        self.sort.intersection(other.sort())
+    }
+}
+
+impl fmt::Display for RelationSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.name, self.sort)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let r = RelationSymbol::new("taughtBy", &["crs", "prof", "term"]);
+        assert_eq!(r.name(), "taughtBy");
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.attr_position(&"prof".into()), Some(1));
+    }
+
+    #[test]
+    fn common_attrs_between_relations() {
+        let a = RelationSymbol::new("ta", &["crs", "stud", "term"]);
+        let b = RelationSymbol::new("courseLevel", &["crs", "level"]);
+        assert_eq!(a.common_attrs(&b), vec![AttrName::new("crs")]);
+    }
+
+    #[test]
+    fn display_includes_sort() {
+        let r = RelationSymbol::new("student", &["stud"]);
+        assert_eq!(r.to_string(), "student(stud)");
+    }
+}

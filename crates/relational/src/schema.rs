@@ -1,0 +1,279 @@
+//! Schemas: a set of relation symbols plus a set of constraints.
+
+use crate::attribute::AttrName;
+use crate::constraint::{Constraint, FunctionalDependency, InclusionDependency};
+use crate::error::RelationalError;
+use crate::relation::RelationSymbol;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A schema `R = (R, Σ)`: a finite set of relation symbols and a finite set
+/// of constraints (Section 2.2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    relations: BTreeMap<String, RelationSymbol>,
+    constraints: Vec<Constraint>,
+}
+
+impl Schema {
+    /// Creates an empty schema with the given name (e.g. `"uwcse-original"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Schema {
+            name: name.into(),
+            relations: BTreeMap::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The schema's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a relation symbol. Panics if the relation is already declared;
+    /// use [`Schema::try_add_relation`] for a fallible variant.
+    pub fn add_relation(&mut self, rel: RelationSymbol) -> &mut Self {
+        self.try_add_relation(rel).expect("duplicate relation");
+        self
+    }
+
+    /// Adds a relation symbol, failing if the name is already used.
+    pub fn try_add_relation(&mut self, rel: RelationSymbol) -> Result<&mut Self> {
+        if self.relations.contains_key(rel.name()) {
+            return Err(RelationalError::DuplicateRelation(rel.name().to_string()));
+        }
+        self.relations.insert(rel.name().to_string(), rel);
+        Ok(self)
+    }
+
+    /// Removes a relation symbol and every constraint mentioning it.
+    /// Returns the removed symbol if it existed.
+    pub fn remove_relation(&mut self, name: &str) -> Option<RelationSymbol> {
+        let removed = self.relations.remove(name);
+        if removed.is_some() {
+            self.constraints.retain(|c| match c {
+                Constraint::Fd(fd) => fd.relation != name,
+                Constraint::Ind(ind) => !ind.mentions(name),
+            });
+        }
+        removed
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, c: impl Into<Constraint>) -> &mut Self {
+        self.constraints.push(c.into());
+        self
+    }
+
+    /// Adds a functional dependency.
+    pub fn add_fd(&mut self, fd: FunctionalDependency) -> &mut Self {
+        self.add_constraint(Constraint::Fd(fd))
+    }
+
+    /// Adds an inclusion dependency.
+    pub fn add_ind(&mut self, ind: InclusionDependency) -> &mut Self {
+        self.add_constraint(Constraint::Ind(ind))
+    }
+
+    /// Looks up a relation symbol by name.
+    pub fn relation(&self, name: &str) -> Option<&RelationSymbol> {
+        self.relations.get(name)
+    }
+
+    /// Looks up a relation symbol, returning an error for unknown names.
+    pub fn require_relation(&self, name: &str) -> Result<&RelationSymbol> {
+        self.relation(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether the schema declares `name`.
+    pub fn contains_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterates over relation symbols in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationSymbol> {
+        self.relations.values()
+    }
+
+    /// Relation names in name order.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of relation symbols.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// All functional dependencies.
+    pub fn fds(&self) -> impl Iterator<Item = &FunctionalDependency> {
+        self.constraints.iter().filter_map(|c| c.as_fd())
+    }
+
+    /// All inclusion dependencies (both subset-form and with-equality).
+    pub fn inds(&self) -> impl Iterator<Item = &InclusionDependency> {
+        self.constraints.iter().filter_map(|c| c.as_ind())
+    }
+
+    /// All INDs with equality.
+    pub fn equality_inds(&self) -> Vec<&InclusionDependency> {
+        self.inds().filter(|i| i.with_equality).collect()
+    }
+
+    /// The INDs (of any form) in which `relation` participates.
+    pub fn inds_of(&self, relation: &str) -> Vec<&InclusionDependency> {
+        self.inds().filter(|i| i.mentions(relation)).collect()
+    }
+
+    /// The INDs with equality in which `relation` participates.
+    pub fn equality_inds_of(&self, relation: &str) -> Vec<&InclusionDependency> {
+        self.inds()
+            .filter(|i| i.with_equality && i.mentions(relation))
+            .collect()
+    }
+
+    /// Positions (within `relation`'s sort) of the attribute list `attrs`.
+    pub fn attr_positions(&self, relation: &str, attrs: &[AttrName]) -> Result<Vec<usize>> {
+        let rel = self.require_relation(relation)?;
+        attrs
+            .iter()
+            .map(|a| {
+                rel.attr_position(a).ok_or_else(|| RelationalError::UnknownAttribute {
+                    relation: relation.to_string(),
+                    attribute: a.as_str().to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Validates that every constraint mentions only declared relations and
+    /// attributes. Returns the first problem found.
+    pub fn validate(&self) -> Result<()> {
+        for c in &self.constraints {
+            match c {
+                Constraint::Fd(fd) => {
+                    self.attr_positions(&fd.relation, &fd.lhs)?;
+                    self.attr_positions(&fd.relation, &fd.rhs)?;
+                }
+                Constraint::Ind(ind) => {
+                    self.attr_positions(&ind.lhs_relation, &ind.lhs_attrs)?;
+                    self.attr_positions(&ind.rhs_relation, &ind.rhs_attrs)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of attributes across all relations; a rough size measure
+    /// used in reports.
+    pub fn total_arity(&self) -> usize {
+        self.relations.values().map(|r| r.arity()).sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schema {} {{", self.name)?;
+        for r in self.relations.values() {
+            writeln!(f, "  {r}")?;
+        }
+        for c in &self.constraints {
+            writeln!(f, "  constraint {c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uwcse_original() -> Schema {
+        let mut s = Schema::new("uwcse-original");
+        s.add_relation(RelationSymbol::new("student", &["stud"]))
+            .add_relation(RelationSymbol::new("inPhase", &["stud", "phase"]))
+            .add_relation(RelationSymbol::new("yearsInProgram", &["stud", "years"]))
+            .add_ind(InclusionDependency::equality(
+                "student",
+                &["stud"],
+                "inPhase",
+                &["stud"],
+            ))
+            .add_ind(InclusionDependency::equality(
+                "student",
+                &["stud"],
+                "yearsInProgram",
+                &["stud"],
+            ));
+        s
+    }
+
+    #[test]
+    fn add_and_lookup_relations() {
+        let s = uwcse_original();
+        assert_eq!(s.relation_count(), 3);
+        assert!(s.contains_relation("inPhase"));
+        assert!(s.relation("professor").is_none());
+        assert!(s.require_relation("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut s = Schema::new("t");
+        s.add_relation(RelationSymbol::new("r", &["a"]));
+        assert_eq!(
+            s.try_add_relation(RelationSymbol::new("r", &["b"])).unwrap_err(),
+            RelationalError::DuplicateRelation("r".into())
+        );
+    }
+
+    #[test]
+    fn equality_inds_filtering() {
+        let mut s = uwcse_original();
+        s.add_ind(InclusionDependency::subset(
+            "inPhase",
+            &["stud"],
+            "student",
+            &["stud"],
+        ));
+        assert_eq!(s.equality_inds().len(), 2);
+        assert_eq!(s.inds_of("inPhase").len(), 2);
+        assert_eq!(s.equality_inds_of("yearsInProgram").len(), 1);
+    }
+
+    #[test]
+    fn validation_detects_unknown_attribute() {
+        let mut s = uwcse_original();
+        assert!(s.validate().is_ok());
+        s.add_fd(FunctionalDependency::new("student", &["stud"], &["nonexistent"]));
+        assert!(matches!(
+            s.validate(),
+            Err(RelationalError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_relation_drops_its_constraints() {
+        let mut s = uwcse_original();
+        s.remove_relation("inPhase");
+        assert_eq!(s.relation_count(), 2);
+        assert_eq!(s.inds().count(), 1);
+    }
+
+    #[test]
+    fn attr_positions_resolve_in_order() {
+        let s = uwcse_original();
+        let pos = s
+            .attr_positions("inPhase", &[AttrName::new("phase"), AttrName::new("stud")])
+            .unwrap();
+        assert_eq!(pos, vec![1, 0]);
+    }
+}

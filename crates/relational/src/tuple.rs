@@ -1,0 +1,130 @@
+//! Positional tuples of constant values.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A database tuple: an ordered list of constants whose positions correspond
+/// to the attribute positions of a relation's sort.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Creates a tuple of symbolic constants, convenient in tests and data
+    /// generators.
+    pub fn from_strs(values: &[&str]) -> Self {
+        Tuple {
+            values: values.iter().map(|s| Value::str(*s)).collect(),
+        }
+    }
+
+    /// Number of values in the tuple (the arity).
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the tuple is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at position `i`.
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// All values in positional order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterates over values.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.values.iter()
+    }
+
+    /// Projects the tuple onto the given positions, in the given order.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple {
+            values: positions.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Whether the tuple contains the constant `v` at any position.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.values.iter().any(|x| x == v)
+    }
+
+    /// Appends the values of `other`, producing a wider tuple. Used when
+    /// materializing joins.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = self.values.clone();
+        values.extend(other.values.iter().cloned());
+        Tuple { values }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.values.iter().map(|v| v.to_string()).collect();
+        write!(f, "({})", parts.join(","))
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl IntoIterator for Tuple {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_reorders_values() {
+        let t = Tuple::from_strs(&["a", "b", "c"]);
+        let p = t.project(&[2, 0]);
+        assert_eq!(p, Tuple::from_strs(&["c", "a"]));
+    }
+
+    #[test]
+    fn contains_checks_any_position() {
+        let t = Tuple::new(vec![Value::str("x"), Value::int(3)]);
+        assert!(t.contains(&Value::int(3)));
+        assert!(t.contains(&Value::str("x")));
+        assert!(!t.contains(&Value::str("3")));
+    }
+
+    #[test]
+    fn concat_widens_tuple() {
+        let a = Tuple::from_strs(&["a"]);
+        let b = Tuple::from_strs(&["b", "c"]);
+        assert_eq!(a.concat(&b), Tuple::from_strs(&["a", "b", "c"]));
+    }
+
+    #[test]
+    fn display_renders_comma_separated() {
+        assert_eq!(Tuple::from_strs(&["a", "b"]).to_string(), "(a,b)");
+    }
+
+    #[test]
+    fn empty_projection_is_empty_tuple() {
+        let t = Tuple::from_strs(&["a", "b"]);
+        assert!(t.project(&[]).is_empty());
+    }
+}

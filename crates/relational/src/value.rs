@@ -1,0 +1,157 @@
+//! Constant values stored in database tuples.
+//!
+//! The paper fixes a countably infinite domain of constants `D`. We model it
+//! with a small enum covering the value kinds actually needed by the
+//! benchmark datasets (symbolic identifiers, integers) while keeping cheap
+//! clones: symbolic values are reference-counted so that tuples, indexes,
+//! ground bottom-clauses and substitutions can share the same allocation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant from the database domain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A symbolic constant such as `"alice"` or `"post_generals"`.
+    Str(Arc<str>),
+    /// An integer constant such as a year-in-program or a bond type.
+    Int(i64),
+}
+
+impl Value {
+    /// Creates a symbolic constant.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Creates an integer constant.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the symbolic content if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Returns the integer content if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// A canonical textual rendering used for display and for deriving fresh
+    /// variable names during bottom-clause construction.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Str(s) => s.to_string(),
+            Value::Int(i) => i.to_string(),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            // Integers sort before strings; the order is arbitrary but total.
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn string_values_compare_by_content() {
+        assert_eq!(Value::str("abc"), Value::str("abc"));
+        assert_ne!(Value::str("abc"), Value::str("abd"));
+    }
+
+    #[test]
+    fn int_and_string_are_distinct() {
+        assert_ne!(Value::int(1), Value::str("1"));
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let mut vs = vec![Value::str("b"), Value::int(3), Value::str("a"), Value::int(1)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::int(1), Value::int(3), Value::str("a"), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn values_hash_consistently() {
+        let mut set = HashSet::new();
+        set.insert(Value::str("x"));
+        set.insert(Value::str("x"));
+        set.insert(Value::int(7));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn render_and_display_agree() {
+        for v in [Value::str("hello"), Value::int(-42)] {
+            assert_eq!(v.render(), format!("{v}"));
+        }
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        let v: Value = "abc".into();
+        assert_eq!(v, Value::str("abc"));
+        let v: Value = 9i64.into();
+        assert_eq!(v, Value::int(9));
+        let v: Value = String::from("s").into();
+        assert_eq!(v.as_str(), Some("s"));
+        assert_eq!(v.as_int(), None);
+        assert_eq!(Value::int(3).as_int(), Some(3));
+    }
+}

@@ -1,0 +1,221 @@
+//! Acyclicity of joins and inclusion-dependency sets.
+//!
+//! The paper restricts decompositions to those whose reconstructing natural
+//! join is *acyclic* (Section 4): acyclic joins cover most real-world
+//! normal forms, and by Proposition 7.4 acyclicity guarantees that the INDs
+//! with equality induced by the decomposition are not cyclic, which is what
+//! lets Castor find joining tuples by following INDs pairwise.
+
+use castor_relational::{AttrName, InclusionDependency, Sort};
+use std::collections::BTreeSet;
+
+/// Whether the hypergraph formed by the given sorts (one hyperedge per
+/// relation, vertices are attribute names) is α-acyclic, decided with the
+/// GYO (Graham–Yu–Özsoyoğlu) reduction:
+/// repeatedly remove *ears* — edges whose non-isolated vertices are all
+/// contained in some other edge — until no edge remains (acyclic) or no ear
+/// can be removed (cyclic).
+pub fn join_is_acyclic(sorts: &[Sort]) -> bool {
+    let mut edges: Vec<BTreeSet<AttrName>> = sorts
+        .iter()
+        .map(|s| s.iter().cloned().collect())
+        .collect();
+
+    loop {
+        if edges.len() <= 1 {
+            return true;
+        }
+        let mut removed = false;
+
+        // Remove vertices that appear in only one edge (they cannot create
+        // cycles), then remove edges contained in another edge.
+        let mut counts: std::collections::BTreeMap<AttrName, usize> = Default::default();
+        for e in &edges {
+            for v in e {
+                *counts.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+        for e in &mut edges {
+            let before = e.len();
+            e.retain(|v| counts[v] > 1);
+            if e.len() != before {
+                removed = true;
+            }
+        }
+        // Drop empty edges and edges contained in some other edge.
+        let snapshot = edges.clone();
+        let mut next: Vec<BTreeSet<AttrName>> = Vec::new();
+        for (i, e) in snapshot.iter().enumerate() {
+            if e.is_empty() {
+                removed = true;
+                continue;
+            }
+            let contained = snapshot
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && e.is_subset(other) && (e != other || j < i));
+            if contained {
+                removed = true;
+            } else {
+                next.push(e.clone());
+            }
+        }
+        edges = next;
+
+        if edges.is_empty() {
+            return true;
+        }
+        if !removed {
+            return false;
+        }
+    }
+}
+
+/// Whether a set of INDs with equality is cyclic per Definition 7.3: there
+/// is a cycle of relations connected by INDs in which some step changes the
+/// attribute set it joins on. Cycles where every step uses the same
+/// attribute list are harmless (Castor can still follow them), matching the
+/// definition's requirement that some `Y_i ≠ X_{i+1}`.
+pub fn inds_are_cyclic(inds: &[InclusionDependency]) -> bool {
+    // Build a graph whose nodes are relations and whose edges carry the
+    // attribute lists used on each endpoint. Then look for a cycle in which
+    // consecutive edges meet at a relation through *different* attribute
+    // lists.
+    #[derive(Clone)]
+    struct Edge {
+        to: String,
+        attrs_at_from: Vec<AttrName>,
+        attrs_at_to: Vec<AttrName>,
+    }
+    let mut graph: std::collections::BTreeMap<String, Vec<Edge>> = Default::default();
+    for ind in inds {
+        graph
+            .entry(ind.lhs_relation.clone())
+            .or_default()
+            .push(Edge {
+                to: ind.rhs_relation.clone(),
+                attrs_at_from: ind.lhs_attrs.clone(),
+                attrs_at_to: ind.rhs_attrs.clone(),
+            });
+        graph
+            .entry(ind.rhs_relation.clone())
+            .or_default()
+            .push(Edge {
+                to: ind.lhs_relation.clone(),
+                attrs_at_from: ind.rhs_attrs.clone(),
+                attrs_at_to: ind.lhs_attrs.clone(),
+            });
+    }
+
+    // DFS from every node tracking the attribute list we arrived through; a
+    // cyclic IND set shows up as returning to a visited node through a
+    // different attribute list (attribute-switching walk).
+    fn dfs(
+        graph: &std::collections::BTreeMap<String, Vec<Edge>>,
+        node: &str,
+        arrived_attrs: &[AttrName],
+        start: &str,
+        visited: &mut Vec<String>,
+        depth: usize,
+    ) -> bool {
+        if depth > graph.len() + 1 {
+            return false;
+        }
+        for edge in graph.get(node).into_iter().flatten() {
+            // A walk "switches attributes" at `node` when the attributes it
+            // arrived on differ from the attributes it leaves on.
+            let switches = !arrived_attrs.is_empty() && arrived_attrs != edge.attrs_at_from.as_slice();
+            if edge.to == start && switches {
+                return true;
+            }
+            if !visited.contains(&edge.to) {
+                visited.push(edge.to.clone());
+                if dfs(graph, &edge.to, &edge.attrs_at_to, start, visited, depth + 1) {
+                    return true;
+                }
+                visited.pop();
+            }
+        }
+        false
+    }
+
+    for start in graph.keys() {
+        let mut visited = vec![start.clone()];
+        if dfs(&graph.clone(), start, &[], start, &mut visited, 0) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort(attrs: &[&str]) -> Sort {
+        Sort::new(attrs.iter().copied())
+    }
+
+    #[test]
+    fn chain_join_is_acyclic() {
+        // S1(A,B) ⋈ S2(A,C): acyclic (the paper's example).
+        assert!(join_is_acyclic(&[sort(&["A", "B"]), sort(&["A", "C"])]));
+    }
+
+    #[test]
+    fn star_decomposition_is_acyclic() {
+        // student(stud), inPhase(stud,phase), yearsInProgram(stud,years).
+        assert!(join_is_acyclic(&[
+            sort(&["stud"]),
+            sort(&["stud", "phase"]),
+            sort(&["stud", "years"]),
+        ]));
+    }
+
+    #[test]
+    fn triangle_join_is_cyclic() {
+        // S3(A,B) ⋈ S4(B,C) ⋈ S5(C,A): the paper's cyclic example
+        // (written there as S3(A,B), S4(B,C), S5(B,A); any 3-cycle works).
+        assert!(!join_is_acyclic(&[
+            sort(&["A", "B"]),
+            sort(&["B", "C"]),
+            sort(&["C", "A"]),
+        ]));
+    }
+
+    #[test]
+    fn single_relation_join_is_trivially_acyclic() {
+        assert!(join_is_acyclic(&[sort(&["A", "B", "C"])]));
+        assert!(join_is_acyclic(&[]));
+    }
+
+    #[test]
+    fn acyclic_ind_set_from_star_decomposition() {
+        let inds = vec![
+            InclusionDependency::equality("student", &["stud"], "inPhase", &["stud"]),
+            InclusionDependency::equality("student", &["stud"], "yearsInProgram", &["stud"]),
+        ];
+        assert!(!inds_are_cyclic(&inds));
+    }
+
+    #[test]
+    fn cyclic_ind_set_detected() {
+        // The example below Definition 7.3: S1[B]=S2[B], S2[C]=S3[A],
+        // S3[A]=S1[A] — walking the cycle switches attributes at S3 (arrives
+        // on A from S2, leaves to S1 on A — but at S1 it arrives on A and
+        // the cycle closes on B), so the set is cyclic.
+        let inds = vec![
+            InclusionDependency::equality("S1", &["B"], "S2", &["B"]),
+            InclusionDependency::equality("S2", &["C"], "S3", &["A"]),
+            InclusionDependency::equality("S3", &["A"], "S1", &["A"]),
+        ];
+        assert!(inds_are_cyclic(&inds));
+    }
+
+    #[test]
+    fn two_relation_cycle_on_same_attrs_is_not_cyclic() {
+        // R[X]=S[X] alone never counts as cyclic: all steps use X.
+        let inds = vec![InclusionDependency::equality("R", &["X"], "S", &["X"])];
+        assert!(!inds_are_cyclic(&inds));
+    }
+}

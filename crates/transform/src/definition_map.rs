@@ -1,0 +1,193 @@
+//! The definition mapping δτ for decomposition steps.
+//!
+//! By Proposition 3.7 a bijective Horn transformation τ induces a mapping
+//! δτ(h) = h ∘ τ⁻¹ between Horn definitions such that `h(I) = δτ(h)(τ(I))`.
+//! For a *decomposition* this mapping is syntactically simple: every literal
+//! over the decomposed relation `R(u)` is replaced by literals over the
+//! parts, each projecting `u` onto the part's attributes — exactly the
+//! rewriting the paper applies in the proofs of Lemmas 7.5–7.8.
+//!
+//! The composition direction requires recognizing joinable groups of
+//! literals (and padding missing parts using the INDs); the experiments in
+//! this repository only ever need the decomposition direction because every
+//! dataset's ground-truth definition is authored over its most composed
+//! schema variant and mapped "downwards" to the decomposed variants.
+
+use crate::step::{RelationSpec, TransformStep};
+use crate::transformation::Transformation;
+use castor_logic::{Atom, Clause, Definition};
+
+/// Maps a definition through one decomposition step (literal splitting).
+/// Literals over relations other than the decomposed one are unchanged.
+/// `Compose` steps are ignored (identity), consistent with the module-level
+/// note above.
+pub fn map_definition_through_step(def: &Definition, step: &TransformStep) -> Definition {
+    let TransformStep::Decompose { source, parts } = step else {
+        return def.clone();
+    };
+    let clauses = def
+        .clauses
+        .iter()
+        .map(|c| map_clause(c, source, parts))
+        .collect();
+    Definition::new(def.target.clone(), clauses)
+}
+
+/// Maps a definition through every decomposition step of a transformation,
+/// in order.
+pub fn map_definition_through_decomposition(
+    def: &Definition,
+    tau: &Transformation,
+) -> Definition {
+    let mut current = def.clone();
+    for step in tau.steps() {
+        current = map_definition_through_step(&current, step);
+    }
+    current
+}
+
+fn map_clause(clause: &Clause, source: &RelationSpec, parts: &[RelationSpec]) -> Clause {
+    let mut body = Vec::new();
+    for atom in &clause.body {
+        if atom.relation == source.name && atom.arity() == source.attrs.len() {
+            for part in parts {
+                let terms = part
+                    .attrs
+                    .iter()
+                    .map(|a| {
+                        let pos = source
+                            .attrs
+                            .iter()
+                            .position(|x| x == a)
+                            .expect("part attribute must exist in source");
+                        atom.terms[pos].clone()
+                    })
+                    .collect();
+                body.push(Atom::new(part.name.clone(), terms));
+            }
+        } else {
+            body.push(atom.clone());
+        }
+    }
+    Clause::new(clause.head.clone(), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::Term;
+    use castor_relational::{RelationSymbol, Schema};
+
+    fn schema_4nf() -> Schema {
+        let mut s = Schema::new("uwcse-4nf");
+        s.add_relation(RelationSymbol::new("student", &["stud", "phase", "years"]));
+        s.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+        s
+    }
+
+    fn decomposition(schema: &Schema) -> Transformation {
+        Transformation::new(
+            "to-original",
+            vec![TransformStep::decompose(
+                schema,
+                "student",
+                &[
+                    ("student", &["stud"]),
+                    ("inPhase", &["stud", "phase"]),
+                    ("yearsInProgram", &["stud", "years"]),
+                ],
+            )],
+        )
+    }
+
+    #[test]
+    fn literal_over_decomposed_relation_is_split() {
+        // hardWorking(x) ← student(x, prelim, 3)   (Example 6.5, 4NF form)
+        let def = Definition::new(
+            "hardWorking",
+            vec![Clause::new(
+                Atom::vars("hardWorking", &["x"]),
+                vec![Atom::new(
+                    "student",
+                    vec![Term::var("x"), Term::constant("prelim"), Term::constant("3")],
+                )],
+            )],
+        );
+        let s = schema_4nf();
+        let mapped = map_definition_through_decomposition(&def, &decomposition(&s));
+        let body = &mapped.clauses[0].body;
+        assert_eq!(body.len(), 3);
+        assert_eq!(body[0], Atom::new("student", vec![Term::var("x")]));
+        assert_eq!(
+            body[1],
+            Atom::new("inPhase", vec![Term::var("x"), Term::constant("prelim")])
+        );
+        assert_eq!(
+            body[2],
+            Atom::new(
+                "yearsInProgram",
+                vec![Term::var("x"), Term::constant("3")]
+            )
+        );
+    }
+
+    #[test]
+    fn untouched_literals_are_preserved() {
+        let def = Definition::new(
+            "collaborated",
+            vec![Clause::new(
+                Atom::vars("collaborated", &["x", "y"]),
+                vec![
+                    Atom::vars("publication", &["p", "x"]),
+                    Atom::vars("publication", &["p", "y"]),
+                ],
+            )],
+        );
+        let s = schema_4nf();
+        let mapped = map_definition_through_decomposition(&def, &decomposition(&s));
+        assert_eq!(mapped, def);
+    }
+
+    #[test]
+    fn semantics_preserved_on_corresponding_instances() {
+        use castor_logic::definition_results;
+        use castor_relational::{DatabaseInstance, Tuple};
+        // h(I) over the 4NF instance must equal δτ(h)(τ(I)).
+        let s = schema_4nf();
+        let tau = decomposition(&s);
+        let mut db = DatabaseInstance::empty(&s);
+        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["bob", "post", "7"])).unwrap();
+        let def = Definition::new(
+            "hardWorking",
+            vec![Clause::new(
+                Atom::vars("hardWorking", &["x"]),
+                vec![Atom::new(
+                    "student",
+                    vec![Term::var("x"), Term::constant("prelim"), Term::constant("3")],
+                )],
+            )],
+        );
+        let mapped = map_definition_through_decomposition(&def, &tau);
+        let transformed = tau.apply_instance(&db).unwrap();
+        assert_eq!(
+            definition_results(&def, &db),
+            definition_results(&mapped, &transformed)
+        );
+    }
+
+    #[test]
+    fn compose_steps_are_identity_for_definitions() {
+        let s = schema_4nf();
+        let tau = decomposition(&s);
+        let inverse = tau.invert();
+        let def = Definition::new(
+            "t",
+            vec![Clause::new(
+                Atom::vars("t", &["x"]),
+                vec![Atom::vars("publication", &["p", "x"])],
+            )],
+        );
+        assert_eq!(map_definition_through_decomposition(&def, &inverse), def);
+    }
+}

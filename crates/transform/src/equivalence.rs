@@ -1,0 +1,149 @@
+//! Information-equivalence verification.
+//!
+//! Two schemas are information equivalent via τ when τ is bijective
+//! (Section 3.2.1). For the (de)compositions used in this repository we can
+//! verify bijectivity empirically on a given instance by round-tripping:
+//! `τ⁻¹(τ(I)) = I`. The verifier below does exactly that, and additionally
+//! checks that the transformed instance satisfies the transformed schema's
+//! constraints (lossless join plus the induced INDs with equality).
+
+use crate::transformation::Transformation;
+use castor_relational::{DatabaseInstance, Result};
+
+/// The outcome of verifying information equivalence on one instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceReport {
+    /// Whether the transformed instance satisfies the transformed schema's
+    /// constraints.
+    pub transformed_valid: bool,
+    /// Whether applying τ then τ⁻¹ reproduced the original instance exactly.
+    pub round_trip_identity: bool,
+    /// Tuples in the original instance.
+    pub original_tuples: usize,
+    /// Tuples in the transformed instance.
+    pub transformed_tuples: usize,
+}
+
+impl EquivalenceReport {
+    /// Whether both checks passed.
+    pub fn is_equivalent(&self) -> bool {
+        self.transformed_valid && self.round_trip_identity
+    }
+}
+
+/// Verifies on a concrete instance that τ behaves like an
+/// information-preserving bijection: τ(I) satisfies the target schema and
+/// τ⁻¹(τ(I)) = I.
+pub fn verify_information_equivalence(
+    tau: &Transformation,
+    db: &DatabaseInstance,
+) -> Result<EquivalenceReport> {
+    let transformed = tau.apply_instance(db)?;
+    let transformed_valid = transformed.validate().is_ok();
+    let back = tau.invert().apply_instance(&transformed)?;
+
+    let round_trip_identity = instances_equal(db, &back);
+    Ok(EquivalenceReport {
+        transformed_valid,
+        round_trip_identity,
+        original_tuples: db.total_tuples(),
+        transformed_tuples: transformed.total_tuples(),
+    })
+}
+
+/// Whether two instances have the same relations with the same tuple sets.
+pub fn instances_equal(a: &DatabaseInstance, b: &DatabaseInstance) -> bool {
+    let names_a: Vec<&str> = a.relations().map(|r| r.name()).collect();
+    let names_b: Vec<&str> = b.relations().map(|r| r.name()).collect();
+    if names_a != names_b {
+        return false;
+    }
+    for inst in a.relations() {
+        let Some(other) = b.relation(inst.name()) else {
+            return false;
+        };
+        if inst.len() != other.len() {
+            return false;
+        }
+        if !inst.iter().all(|t| other.contains(t)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::TransformStep;
+    use castor_relational::{FunctionalDependency, RelationSymbol, Schema, Tuple};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("s");
+        s.add_relation(RelationSymbol::new("student", &["stud", "phase", "years"]));
+        s.add_fd(FunctionalDependency::new(
+            "student",
+            &["stud"],
+            &["phase", "years"],
+        ));
+        s
+    }
+
+    fn tau(s: &Schema) -> Transformation {
+        Transformation::new(
+            "decompose",
+            vec![TransformStep::decompose(
+                s,
+                "student",
+                &[
+                    ("student", &["stud"]),
+                    ("inPhase", &["stud", "phase"]),
+                    ("yearsInProgram", &["stud", "years"]),
+                ],
+            )],
+        )
+    }
+
+    #[test]
+    fn lossless_decomposition_is_equivalent() {
+        let s = schema();
+        let mut db = DatabaseInstance::empty(&s);
+        db.insert("student", Tuple::from_strs(&["a", "pre", "1"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["b", "post", "2"])).unwrap();
+        let report = verify_information_equivalence(&tau(&s), &db).unwrap();
+        assert!(report.is_equivalent());
+        assert_eq!(report.original_tuples, 2);
+        assert_eq!(report.transformed_tuples, 6);
+    }
+
+    #[test]
+    fn lossy_composition_is_detected() {
+        // Composing two relations where one has a dangling tuple loses it;
+        // the round trip then fails.
+        let mut s = Schema::new("s");
+        s.add_relation(RelationSymbol::new("a", &["x", "y"]));
+        s.add_relation(RelationSymbol::new("b", &["x", "z"]));
+        let compose = Transformation::new(
+            "compose",
+            vec![TransformStep::compose(&s, &["a", "b"], "ab")],
+        );
+        let mut db = DatabaseInstance::empty(&s);
+        db.insert("a", Tuple::from_strs(&["1", "u"])).unwrap();
+        db.insert("a", Tuple::from_strs(&["2", "v"])).unwrap(); // dangling
+        db.insert("b", Tuple::from_strs(&["1", "w"])).unwrap();
+        let report = verify_information_equivalence(&compose, &db).unwrap();
+        assert!(!report.round_trip_identity);
+        assert!(!report.is_equivalent());
+    }
+
+    #[test]
+    fn instances_equal_requires_same_relations_and_tuples() {
+        let s = schema();
+        let mut db1 = DatabaseInstance::empty(&s);
+        let mut db2 = DatabaseInstance::empty(&s);
+        db1.insert("student", Tuple::from_strs(&["a", "pre", "1"])).unwrap();
+        assert!(!instances_equal(&db1, &db2));
+        db2.insert("student", Tuple::from_strs(&["a", "pre", "1"])).unwrap();
+        assert!(instances_equal(&db1, &db2));
+    }
+}

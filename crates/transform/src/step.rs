@@ -1,0 +1,461 @@
+//! Single (de)composition steps over one relation (or one group of
+//! relations) of a schema.
+
+use castor_relational::{
+    AttrName, Constraint, DatabaseInstance, FunctionalDependency, InclusionDependency,
+    RelationSymbol, Schema, Sort,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relation name together with the attribute list it carries in a
+/// transformation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSpec {
+    /// The relation name.
+    pub name: String,
+    /// The attributes of the relation, in positional order.
+    pub attrs: Vec<AttrName>,
+}
+
+impl RelationSpec {
+    /// Creates a relation spec.
+    pub fn new<S: AsRef<str>>(name: impl Into<String>, attrs: &[S]) -> Self {
+        RelationSpec {
+            name: name.into(),
+            attrs: attrs.iter().map(|a| AttrName::new(a.as_ref())).collect(),
+        }
+    }
+
+    /// Builds the spec of an existing schema relation.
+    pub fn from_schema(schema: &Schema, name: &str) -> Option<Self> {
+        schema.relation(name).map(|r| RelationSpec {
+            name: name.to_string(),
+            attrs: r.sort().iter().cloned().collect(),
+        })
+    }
+
+    fn sort(&self) -> Sort {
+        Sort::new(self.attrs.iter().map(|a| a.as_str().to_string()))
+    }
+
+    fn symbol(&self) -> RelationSymbol {
+        RelationSymbol::with_sort(self.name.clone(), self.sort())
+    }
+}
+
+/// One vertical (de)composition step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformStep {
+    /// Replace `source` by its projections onto `parts` (Definition 4.1).
+    Decompose {
+        /// The relation being decomposed.
+        source: RelationSpec,
+        /// The projections that replace it.
+        parts: Vec<RelationSpec>,
+    },
+    /// Replace `sources` by their natural join `target` (the inverse of a
+    /// decomposition).
+    Compose {
+        /// The relations being joined.
+        sources: Vec<RelationSpec>,
+        /// The composed relation that replaces them.
+        target: RelationSpec,
+    },
+}
+
+impl TransformStep {
+    /// Builds a decomposition step for a relation of `schema`. Each part is
+    /// a `(name, attributes)` pair; the union of the parts' attributes must
+    /// equal the source's sort.
+    pub fn decompose<S: AsRef<str>>(
+        schema: &Schema,
+        source: &str,
+        parts: &[(&str, &[S])],
+    ) -> Self {
+        let source_spec =
+            RelationSpec::from_schema(schema, source).expect("source relation must exist");
+        let parts: Vec<RelationSpec> = parts
+            .iter()
+            .map(|(name, attrs)| RelationSpec::new(*name, attrs))
+            .collect();
+        let covered: BTreeSet<&AttrName> = parts.iter().flat_map(|p| p.attrs.iter()).collect();
+        let original: BTreeSet<&AttrName> = source_spec.attrs.iter().collect();
+        assert_eq!(
+            covered, original,
+            "decomposition parts must cover exactly the source attributes"
+        );
+        TransformStep::Decompose {
+            source: source_spec,
+            parts,
+        }
+    }
+
+    /// Builds a composition step joining existing relations of `schema`
+    /// into `target`. The target's attribute order is the order attributes
+    /// first appear across the sources.
+    pub fn compose(schema: &Schema, sources: &[&str], target: &str) -> Self {
+        let sources: Vec<RelationSpec> = sources
+            .iter()
+            .map(|s| RelationSpec::from_schema(schema, s).expect("source relation must exist"))
+            .collect();
+        let mut attrs: Vec<AttrName> = Vec::new();
+        for s in &sources {
+            for a in &s.attrs {
+                if !attrs.contains(a) {
+                    attrs.push(a.clone());
+                }
+            }
+        }
+        TransformStep::Compose {
+            sources,
+            target: RelationSpec {
+                name: target.to_string(),
+                attrs,
+            },
+        }
+    }
+
+    /// The inverse step: a decomposition inverts to the composition of its
+    /// parts and vice versa.
+    pub fn invert(&self) -> TransformStep {
+        match self {
+            TransformStep::Decompose { source, parts } => TransformStep::Compose {
+                sources: parts.clone(),
+                target: source.clone(),
+            },
+            TransformStep::Compose { sources, target } => TransformStep::Decompose {
+                source: target.clone(),
+                parts: sources.clone(),
+            },
+        }
+    }
+
+    /// Relations consumed (removed from the schema) by this step.
+    pub fn consumed(&self) -> Vec<&str> {
+        match self {
+            TransformStep::Decompose { source, .. } => vec![source.name.as_str()],
+            TransformStep::Compose { sources, .. } => {
+                sources.iter().map(|s| s.name.as_str()).collect()
+            }
+        }
+    }
+
+    /// Relations produced (added to the schema) by this step.
+    pub fn produced(&self) -> Vec<&RelationSpec> {
+        match self {
+            TransformStep::Decompose { parts, .. } => parts.iter().collect(),
+            TransformStep::Compose { target, .. } => vec![target],
+        }
+    }
+
+    /// Applies the step to a schema, producing the transformed schema.
+    ///
+    /// Constraints are rewritten conservatively:
+    /// * FDs whose attributes all fall in a produced relation move to it;
+    /// * INDs whose side's attributes all fall in a produced relation are
+    ///   re-targeted to it; INDs that only connected consumed relations to
+    ///   each other are dropped (their join condition becomes internal);
+    /// * a decomposition additionally adds INDs with equality between every
+    ///   pair of parts that share attributes, per Definition 4.1.
+    pub fn apply_schema(&self, schema: &Schema) -> Schema {
+        let mut out = Schema::new(schema.name());
+        let consumed: BTreeSet<&str> = self.consumed().into_iter().collect();
+
+        // Copy untouched relations.
+        for r in schema.relations() {
+            if !consumed.contains(r.name()) {
+                out.add_relation(r.clone());
+            }
+        }
+        // Add produced relations.
+        for p in self.produced() {
+            out.add_relation(p.symbol());
+        }
+
+        // Rewrite constraints.
+        for c in schema.constraints() {
+            match c {
+                Constraint::Fd(fd) => {
+                    if !consumed.contains(fd.relation.as_str()) {
+                        out.add_fd(fd.clone());
+                    } else if let Some(home) = self.produced().into_iter().find(|p| {
+                        fd.lhs.iter().chain(fd.rhs.iter()).all(|a| p.attrs.contains(a))
+                    }) {
+                        out.add_fd(FunctionalDependency {
+                            relation: home.name.clone(),
+                            lhs: fd.lhs.clone(),
+                            rhs: fd.rhs.clone(),
+                        });
+                    }
+                }
+                Constraint::Ind(ind) => {
+                    let lhs_consumed = consumed.contains(ind.lhs_relation.as_str());
+                    let rhs_consumed = consumed.contains(ind.rhs_relation.as_str());
+                    if lhs_consumed && rhs_consumed {
+                        continue; // internal join condition, now implicit
+                    }
+                    let mut rewritten = ind.clone();
+                    if lhs_consumed {
+                        match self
+                            .produced()
+                            .into_iter()
+                            .find(|p| ind.lhs_attrs.iter().all(|a| p.attrs.contains(a)))
+                        {
+                            Some(home) => rewritten.lhs_relation = home.name.clone(),
+                            None => continue,
+                        }
+                    }
+                    if rhs_consumed {
+                        match self
+                            .produced()
+                            .into_iter()
+                            .find(|p| ind.rhs_attrs.iter().all(|a| p.attrs.contains(a)))
+                        {
+                            Some(home) => rewritten.rhs_relation = home.name.clone(),
+                            None => continue,
+                        }
+                    }
+                    out.add_ind(rewritten);
+                }
+            }
+        }
+
+        // A decomposition introduces INDs with equality between parts that
+        // share attributes (second condition of Definition 4.1).
+        if let TransformStep::Decompose { parts, .. } = self {
+            for (i, a) in parts.iter().enumerate() {
+                for b in parts.iter().skip(i + 1) {
+                    let shared: Vec<&AttrName> =
+                        a.attrs.iter().filter(|x| b.attrs.contains(x)).collect();
+                    if !shared.is_empty() {
+                        let attrs: Vec<&str> = shared.iter().map(|x| x.as_str()).collect();
+                        out.add_ind(InclusionDependency::equality(
+                            a.name.clone(),
+                            &attrs,
+                            b.name.clone(),
+                            &attrs,
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the step to a database instance of the source schema,
+    /// producing an instance of `target_schema` (which must be the result of
+    /// [`TransformStep::apply_schema`] on the instance's schema).
+    pub fn apply_instance(
+        &self,
+        db: &DatabaseInstance,
+        target_schema: &Schema,
+    ) -> castor_relational::Result<DatabaseInstance> {
+        let mut out = DatabaseInstance::empty(target_schema);
+        let consumed: BTreeSet<&str> = self.consumed().into_iter().collect();
+
+        // Copy untouched relations verbatim.
+        for inst in db.relations() {
+            if !consumed.contains(inst.name()) && target_schema.contains_relation(inst.name()) {
+                for t in inst.iter() {
+                    out.insert(inst.name(), t.clone())?;
+                }
+            }
+        }
+
+        match self {
+            TransformStep::Decompose { source, parts } => {
+                let src = db.require_relation(&source.name)?;
+                for part in parts {
+                    let positions: Vec<usize> = part
+                        .attrs
+                        .iter()
+                        .map(|a| {
+                            src.symbol()
+                                .attr_position(a)
+                                .expect("part attribute must exist in source")
+                        })
+                        .collect();
+                    for t in src.iter() {
+                        out.insert(&part.name, t.project(&positions))?;
+                    }
+                }
+            }
+            TransformStep::Compose { sources, target } => {
+                let instances: Vec<&castor_relational::RelationInstance> = sources
+                    .iter()
+                    .map(|s| db.require_relation(&s.name))
+                    .collect::<castor_relational::Result<Vec<_>>>()?;
+                let joined = castor_relational::natural_join_all(&instances, &target.name)?;
+                // Re-project onto the target's declared attribute order (the
+                // join may produce a different column order when sources are
+                // listed differently).
+                let positions: Vec<usize> = target
+                    .attrs
+                    .iter()
+                    .map(|a| {
+                        joined
+                            .symbol()
+                            .attr_position(a)
+                            .expect("target attribute must appear in join result")
+                    })
+                    .collect();
+                for t in joined.iter() {
+                    out.insert(&target.name, t.project(&positions))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for TransformStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformStep::Decompose { source, parts } => {
+                let names: Vec<&str> = parts.iter().map(|p| p.name.as_str()).collect();
+                write!(f, "decompose {} -> {}", source.name, names.join(", "))
+            }
+            TransformStep::Compose { sources, target } => {
+                let names: Vec<&str> = sources.iter().map(|p| p.name.as_str()).collect();
+                write!(f, "compose {} -> {}", names.join(" ⋈ "), target.name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_relational::Tuple;
+
+    fn uwcse_4nf() -> Schema {
+        let mut s = Schema::new("uwcse-4nf");
+        s.add_relation(RelationSymbol::new("student", &["stud", "phase", "years"]));
+        s.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+        s.add_fd(FunctionalDependency::new(
+            "student",
+            &["stud"],
+            &["phase", "years"],
+        ));
+        s
+    }
+
+    fn decomposition_step(schema: &Schema) -> TransformStep {
+        TransformStep::decompose(
+            schema,
+            "student",
+            &[
+                ("student", &["stud"]),
+                ("inPhase", &["stud", "phase"]),
+                ("yearsInProgram", &["stud", "years"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn decompose_schema_adds_parts_and_equality_inds() {
+        let s = uwcse_4nf();
+        let step = decomposition_step(&s);
+        let out = step.apply_schema(&s);
+        assert!(out.contains_relation("inPhase"));
+        assert!(out.contains_relation("yearsInProgram"));
+        assert!(out.contains_relation("publication"));
+        assert_eq!(out.relation("student").unwrap().arity(), 1);
+        // Equality INDs between the three parts sharing `stud`.
+        assert_eq!(out.equality_inds().len(), 3);
+        // The FD stud->phase lands in inPhase? The original FD covers phase
+        // and years which no single part holds, so it is dropped.
+        assert_eq!(out.fds().count(), 0);
+    }
+
+    #[test]
+    fn decompose_instance_projects_tuples() {
+        let s = uwcse_4nf();
+        let step = decomposition_step(&s);
+        let target = step.apply_schema(&s);
+        let mut db = DatabaseInstance::empty(&s);
+        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["bob", "post", "7"])).unwrap();
+        db.insert("publication", Tuple::from_strs(&["p1", "alice"])).unwrap();
+        let out = step.apply_instance(&db, &target).unwrap();
+        assert_eq!(out.relation("student").unwrap().len(), 2);
+        assert!(out.contains("inPhase", &Tuple::from_strs(&["alice", "prelim"])));
+        assert!(out.contains("yearsInProgram", &Tuple::from_strs(&["bob", "7"])));
+        assert!(out.contains("publication", &Tuple::from_strs(&["p1", "alice"])));
+        assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn compose_is_inverse_of_decompose_on_instances() {
+        let s = uwcse_4nf();
+        let step = decomposition_step(&s);
+        let decomposed_schema = step.apply_schema(&s);
+        let mut db = DatabaseInstance::empty(&s);
+        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["bob", "post", "7"])).unwrap();
+        let decomposed = step.apply_instance(&db, &decomposed_schema).unwrap();
+
+        let inverse = step.invert();
+        let recomposed_schema = inverse.apply_schema(&decomposed_schema);
+        let recomposed = inverse.apply_instance(&decomposed, &recomposed_schema).unwrap();
+        assert_eq!(recomposed.relation("student").unwrap().len(), 2);
+        assert!(recomposed.contains("student", &Tuple::from_strs(&["alice", "prelim", "3"])));
+        assert!(recomposed.contains("student", &Tuple::from_strs(&["bob", "post", "7"])));
+    }
+
+    #[test]
+    fn compose_step_from_schema_relations() {
+        let s = uwcse_4nf();
+        let step = decomposition_step(&s);
+        let decomposed_schema = step.apply_schema(&s);
+        let compose = TransformStep::compose(
+            &decomposed_schema,
+            &["student", "inPhase", "yearsInProgram"],
+            "student",
+        );
+        let recomposed = compose.apply_schema(&decomposed_schema);
+        assert_eq!(recomposed.relation("student").unwrap().arity(), 3);
+        assert!(!recomposed.contains_relation("inPhase"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover exactly")]
+    fn decomposition_must_cover_all_attributes() {
+        let s = uwcse_4nf();
+        let _ = TransformStep::decompose(
+            &s,
+            "student",
+            &[("student", &["stud"]), ("inPhase", &["stud", "phase"])],
+        );
+    }
+
+    #[test]
+    fn display_summarizes_step() {
+        let s = uwcse_4nf();
+        let step = decomposition_step(&s);
+        assert!(step.to_string().starts_with("decompose student"));
+        assert!(step.invert().to_string().starts_with("compose"));
+    }
+
+    #[test]
+    fn ind_touching_composed_relation_is_rewritten() {
+        // publication[person] ⊆ student[stud] must survive the decomposition
+        // by re-targeting to the part that holds `stud`.
+        let mut s = uwcse_4nf();
+        s.add_ind(InclusionDependency::subset(
+            "publication",
+            &["person"],
+            "student",
+            &["stud"],
+        ));
+        let step = decomposition_step(&s);
+        let out = step.apply_schema(&s);
+        let rewritten: Vec<_> = out
+            .inds()
+            .filter(|i| i.lhs_relation == "publication")
+            .collect();
+        assert_eq!(rewritten.len(), 1);
+        assert_eq!(rewritten[0].rhs_relation, "student");
+    }
+}

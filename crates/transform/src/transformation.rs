@@ -1,0 +1,209 @@
+//! Multi-step schema transformations τ : R → S.
+//!
+//! A (de)composition of a schema with several relations is a finite set of
+//! per-relation (de)composition steps (Section 4). [`Transformation`] keeps
+//! the ordered list of steps and can map schemas and instances forwards and
+//! backwards; because every step is bijective, the whole transformation is
+//! bijective and therefore (by Proposition 3.7) definition bijective.
+
+use crate::step::TransformStep;
+use castor_relational::{DatabaseInstance, Schema};
+use std::fmt;
+
+/// A named sequence of (de)composition steps.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Transformation {
+    name: String,
+    steps: Vec<TransformStep>,
+}
+
+impl Transformation {
+    /// Creates an empty (identity) transformation.
+    pub fn identity(name: impl Into<String>) -> Self {
+        Transformation {
+            name: name.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Creates a transformation from steps.
+    pub fn new(name: impl Into<String>, steps: Vec<TransformStep>) -> Self {
+        Transformation {
+            name: name.into(),
+            steps,
+        }
+    }
+
+    /// The transformation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The steps, in application order.
+    pub fn steps(&self) -> &[TransformStep] {
+        &self.steps
+    }
+
+    /// Whether the transformation has no steps.
+    pub fn is_identity(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: TransformStep) -> &mut Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// The inverse transformation τ⁻¹ (steps inverted and reversed).
+    pub fn invert(&self) -> Transformation {
+        Transformation {
+            name: format!("{}⁻¹", self.name),
+            steps: self.steps.iter().rev().map(TransformStep::invert).collect(),
+        }
+    }
+
+    /// Applies the transformation to a schema.
+    pub fn apply_schema(&self, schema: &Schema) -> Schema {
+        let mut current = schema.clone();
+        for step in &self.steps {
+            current = step.apply_schema(&current);
+        }
+        current
+    }
+
+    /// Applies the transformation to a database instance, returning the
+    /// transformed instance (over the transformed schema).
+    pub fn apply_instance(
+        &self,
+        db: &DatabaseInstance,
+    ) -> castor_relational::Result<DatabaseInstance> {
+        let mut current_schema = db.schema().clone();
+        let mut current = db.clone();
+        for step in &self.steps {
+            let next_schema = step.apply_schema(&current_schema);
+            current = step.apply_instance(&current, &next_schema)?;
+            current_schema = next_schema;
+        }
+        Ok(current)
+    }
+}
+
+impl fmt::Display for Transformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "transformation {} {{", self.name)?;
+        for s in &self.steps {
+            writeln!(f, "  {s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_relational::{FunctionalDependency, RelationSymbol, Tuple};
+
+    /// The 4NF UW-CSE schema fragment of Table 1 (student and professor
+    /// composed, publication untouched).
+    fn schema_4nf() -> Schema {
+        let mut s = Schema::new("uwcse-4nf");
+        s.add_relation(RelationSymbol::new("student", &["stud", "phase", "years"]));
+        s.add_relation(RelationSymbol::new("professor", &["prof", "position"]));
+        s.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+        s.add_fd(FunctionalDependency::new("student", &["stud"], &["phase", "years"]));
+        s.add_fd(FunctionalDependency::new("professor", &["prof"], &["position"]));
+        s
+    }
+
+    /// The transformation from the 4NF schema to the Original schema
+    /// (Example 3.6 in reverse: decompose student and professor).
+    fn to_original(schema: &Schema) -> Transformation {
+        Transformation::new(
+            "4nf-to-original",
+            vec![
+                TransformStep::decompose(
+                    schema,
+                    "student",
+                    &[
+                        ("student", &["stud"]),
+                        ("inPhase", &["stud", "phase"]),
+                        ("yearsInProgram", &["stud", "years"]),
+                    ],
+                ),
+                TransformStep::decompose(
+                    schema,
+                    "professor",
+                    &[
+                        ("professor", &["prof"]),
+                        ("hasPosition", &["prof", "position"]),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    fn instance_4nf() -> DatabaseInstance {
+        let mut db = DatabaseInstance::empty(&schema_4nf());
+        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["bob", "post_generals", "5"])).unwrap();
+        db.insert("professor", Tuple::from_strs(&["carol", "faculty"])).unwrap();
+        db.insert("publication", Tuple::from_strs(&["p1", "alice"])).unwrap();
+        db.insert("publication", Tuple::from_strs(&["p1", "carol"])).unwrap();
+        db
+    }
+
+    #[test]
+    fn multi_step_schema_mapping() {
+        let s = schema_4nf();
+        let tau = to_original(&s);
+        let original = tau.apply_schema(&s);
+        assert_eq!(original.relation_count(), 6);
+        assert!(original.contains_relation("hasPosition"));
+        assert_eq!(original.relation("student").unwrap().arity(), 1);
+        // Equality INDs: 3 among student parts + 1 among professor parts.
+        assert_eq!(original.equality_inds().len(), 4);
+    }
+
+    #[test]
+    fn instance_round_trip_is_identity() {
+        let s = schema_4nf();
+        let tau = to_original(&s);
+        let db = instance_4nf();
+        let transformed = tau.apply_instance(&db).unwrap();
+        assert_eq!(transformed.relation("inPhase").unwrap().len(), 2);
+        let back = tau.invert().apply_instance(&transformed).unwrap();
+        assert_eq!(back.relation("student").unwrap().len(), 2);
+        assert!(back.contains("student", &Tuple::from_strs(&["alice", "prelim", "3"])));
+        assert!(back.contains("professor", &Tuple::from_strs(&["carol", "faculty"])));
+        assert_eq!(back.total_tuples(), db.total_tuples());
+    }
+
+    #[test]
+    fn identity_transformation_copies_instance() {
+        let db = instance_4nf();
+        let tau = Transformation::identity("id");
+        assert!(tau.is_identity());
+        let out = tau.apply_instance(&db).unwrap();
+        assert_eq!(out.total_tuples(), db.total_tuples());
+    }
+
+    #[test]
+    fn invert_reverses_step_order() {
+        let s = schema_4nf();
+        let tau = to_original(&s);
+        let inv = tau.invert();
+        assert_eq!(inv.steps().len(), 2);
+        // First inverse step must recompose professor (the last forward step).
+        assert!(inv.steps()[0].to_string().contains("professor"));
+    }
+
+    #[test]
+    fn display_lists_steps() {
+        let s = schema_4nf();
+        let tau = to_original(&s);
+        let text = tau.to_string();
+        assert!(text.contains("decompose student"));
+        assert!(text.contains("decompose professor"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Schema independence in action: the same UW-CSE data under the Original
+//! and 4NF schemas, learned with a schema-dependent baseline (ProGolem) and
+//! with Castor.
+//!
+//! This reproduces the qualitative story of Examples 1.1 / 6.5 / 7.6 of the
+//! paper: baselines learn different definitions over the two schemas, while
+//! Castor — by following the inclusion dependencies — learns equivalent
+//! ones.
+//!
+//! Run with `cargo run --example schema_independence`.
+
+use castor_core::{Castor, CastorConfig};
+use castor_datasets::uwcse::{generate, UwCseConfig};
+use castor_eval::evaluate_definition;
+use castor_learners::{LearnerParams, ProGolem};
+
+fn main() {
+    let family = generate(&UwCseConfig {
+        students: 40,
+        professors: 10,
+        courses: 12,
+        ..Default::default()
+    });
+
+    println!("UW-CSE schema variants: {:?}\n", family.variant_names());
+
+    for variant in &family.variants {
+        let params = LearnerParams {
+            constant_positions: variant.constant_positions.clone(),
+            ..LearnerParams::uwcse()
+        };
+
+        // Baseline: ProGolem (schema dependent).
+        let progolem_def = ProGolem::new().learn(&variant.db, &variant.task, &params);
+        let progolem_eval = evaluate_definition(
+            &progolem_def,
+            &variant.db,
+            &variant.task.positive,
+            &variant.task.negative,
+        );
+
+        // Castor (schema independent).
+        let mut config = CastorConfig::uwcse();
+        config.params = params.clone();
+        let castor_out = Castor::new(config).learn(&variant.db, &variant.task);
+        let castor_eval = evaluate_definition(
+            &castor_out.definition,
+            &variant.db,
+            &variant.task.positive,
+            &variant.task.negative,
+        );
+
+        println!("=== Schema variant: {} ===", variant.name);
+        println!(
+            "ProGolem  P={:.2} R={:.2}   first clause: {}",
+            progolem_eval.precision(),
+            progolem_eval.recall(),
+            progolem_def
+                .clauses
+                .first()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "(none)".into())
+        );
+        println!(
+            "Castor    P={:.2} R={:.2}   first clause: {}",
+            castor_eval.precision(),
+            castor_eval.recall(),
+            castor_out
+                .definition
+                .clauses
+                .first()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "(none)".into())
+        );
+        println!();
+    }
+    println!(
+        "Castor's precision/recall are identical across variants; the baseline's vary \
+         with the schema."
+    );
+}

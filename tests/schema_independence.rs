@@ -1,0 +1,90 @@
+//! Cross-crate integration tests: the end-to-end schema-independence
+//! property on the synthetic UW-CSE family, exercised through the public
+//! APIs of `castor-datasets`, `castor-core`, `castor-learners`,
+//! `castor-transform`, and `castor-eval` together.
+
+use castor_core::{Castor, CastorConfig};
+use castor_datasets::uwcse::{generate, UwCseConfig};
+use castor_datasets::SchemaFamily;
+use castor_eval::{evaluate_definition, schema_independent, EvaluationResult};
+use castor_learners::LearnerParams;
+use castor_transform::verify_information_equivalence;
+
+fn tiny_family() -> SchemaFamily {
+    generate(&UwCseConfig {
+        students: 12,
+        professors: 4,
+        courses: 5,
+        noise_fraction: 0.0,
+        seed: 21,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn uwcse_variants_are_information_equivalent() {
+    // The 4NF variant is obtained from the Original instance through the
+    // composition; round-tripping through the transformation and back must
+    // reproduce the instance (bijectivity on this instance).
+    let family = tiny_family();
+    let original = family.variant("Original").unwrap();
+    let schema = castor_datasets::uwcse::original_schema();
+    for tau in [
+        castor_datasets::uwcse::to_4nf(&schema),
+        castor_datasets::uwcse::to_denormalized1(&schema),
+        castor_datasets::uwcse::to_denormalized2(&schema),
+    ] {
+        let report = verify_information_equivalence(&tau, &original.db).unwrap();
+        assert!(
+            report.is_equivalent(),
+            "transformation {} must be information preserving",
+            tau.name()
+        );
+    }
+}
+
+#[test]
+fn castor_is_schema_independent_end_to_end() {
+    let family = tiny_family();
+    let mut evaluations: Vec<EvaluationResult> = Vec::new();
+    for variant in &family.variants {
+        let mut config = CastorConfig::uwcse();
+        config.params = LearnerParams {
+            constant_positions: variant.constant_positions.clone(),
+            ..LearnerParams::uwcse()
+        };
+        let outcome = Castor::new(config).learn(&variant.db, &variant.task);
+        let eval = evaluate_definition(
+            &outcome.definition,
+            &variant.db,
+            &variant.task.positive,
+            &variant.task.negative,
+        );
+        evaluations.push(eval);
+    }
+    assert!(
+        schema_independent(&evaluations, 1e-9),
+        "Castor must deliver equal precision/recall across schema variants: {:?}",
+        evaluations
+            .iter()
+            .map(|e| (e.precision(), e.recall()))
+            .collect::<Vec<_>>()
+    );
+    assert!(evaluations[0].recall() > 0.5);
+}
+
+#[test]
+fn ground_truth_definitions_agree_across_variants() {
+    let family = tiny_family();
+    let reference = {
+        let v = family.variant("Original").unwrap();
+        castor_logic::definition_results(v.ground_truth.as_ref().unwrap(), &v.db)
+    };
+    for variant in &family.variants {
+        let results = castor_logic::definition_results(
+            variant.ground_truth.as_ref().unwrap(),
+            &variant.db,
+        );
+        assert_eq!(results, reference, "variant {} diverges", variant.name);
+    }
+}
