@@ -12,27 +12,29 @@
 //! `yearsInProgram(x,3)` over the decomposed one.
 
 use crate::plan::BottomClausePlan;
+use castor_engine::Engine;
 use castor_learners::progolem::blocking_atom_index;
-use castor_logic::{covers_example, Atom, Clause, Term};
-use castor_relational::{DatabaseInstance, Schema};
+use castor_logic::{Atom, Clause, Term};
+use castor_relational::Schema;
 
 /// Castor's ARMG: generalizes `clause` to cover `example`, enforcing IND
 /// consistency after every blocking-atom removal. Returns `None` when the
-/// head cannot match the example at all.
+/// head cannot match the example at all. Prefix coverage tests go through
+/// the evaluation engine, so overlapping armg calls share cached results.
 pub fn castor_armg(
     clause: &Clause,
-    db: &DatabaseInstance,
+    engine: &Engine,
     plan: &BottomClausePlan,
     example: &castor_relational::Tuple,
 ) -> Option<Clause> {
     let mut current = clause.clone();
     loop {
-        if covers_example(&current, db, example) {
+        if engine.covers(&current, example) {
             return Some(current);
         }
-        let blocking = blocking_atom_index(&current, db, example)?;
+        let blocking = blocking_atom_index(&current, engine, example)?;
         current.body.remove(blocking);
-        enforce_ind_consistency(&mut current, db.schema(), plan);
+        enforce_ind_consistency(&mut current, engine.db().schema(), plan);
         current.remove_unconnected();
     }
 }
@@ -84,7 +86,9 @@ fn project_terms<'a>(atom: &'a Atom, positions: &[usize]) -> Vec<&'a Term> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use castor_relational::{InclusionDependency, RelationSymbol, Schema, Tuple};
+    use castor_engine::EngineConfig;
+    use castor_logic::covers_example;
+    use castor_relational::{DatabaseInstance, InclusionDependency, RelationSymbol, Schema, Tuple};
 
     /// Original UW-CSE fragment with INDs with equality among the student
     /// parts (the setting of Examples 6.5 / 7.6).
@@ -93,7 +97,12 @@ mod tests {
         s.add_relation(RelationSymbol::new("student", &["stud"]))
             .add_relation(RelationSymbol::new("inPhase", &["stud", "phase"]))
             .add_relation(RelationSymbol::new("yearsInProgram", &["stud", "years"]))
-            .add_ind(InclusionDependency::equality("student", &["stud"], "inPhase", &["stud"]))
+            .add_ind(InclusionDependency::equality(
+                "student",
+                &["stud"],
+                "inPhase",
+                &["stud"],
+            ))
             .add_ind(InclusionDependency::equality(
                 "student",
                 &["stud"],
@@ -108,7 +117,8 @@ mod tests {
         for (s, phase, years) in [("ann", "prelim", "3"), ("carl", "post", "7")] {
             db.insert("student", Tuple::from_strs(&[s])).unwrap();
             db.insert("inPhase", Tuple::from_strs(&[s, phase])).unwrap();
-            db.insert("yearsInProgram", Tuple::from_strs(&[s, years])).unwrap();
+            db.insert("yearsInProgram", Tuple::from_strs(&[s, years]))
+                .unwrap();
         }
         db
     }
@@ -119,14 +129,8 @@ mod tests {
             Atom::vars("hardWorking", &["x"]),
             vec![
                 Atom::vars("student", &["x"]),
-                Atom::new(
-                    "inPhase",
-                    vec![Term::var("x"), Term::constant("prelim")],
-                ),
-                Atom::new(
-                    "yearsInProgram",
-                    vec![Term::var("x"), Term::constant("3")],
-                ),
+                Atom::new("inPhase", vec![Term::var("x"), Term::constant("prelim")]),
+                Atom::new("yearsInProgram", vec![Term::var("x"), Term::constant("3")]),
             ],
         )
     }
@@ -140,9 +144,14 @@ mod tests {
         let db = db_original();
         let plan = BottomClausePlan::compile(db.schema(), false);
         let clause = hard_working_original();
+        let engine = Engine::new(&db, EngineConfig::default());
         let generalized =
-            castor_armg(&clause, &db, &plan, &Tuple::from_strs(&["carl"])).unwrap();
-        assert!(covers_example(&generalized, &db, &Tuple::from_strs(&["carl"])));
+            castor_armg(&clause, &engine, &plan, &Tuple::from_strs(&["carl"])).unwrap();
+        assert!(covers_example(
+            &generalized,
+            &db,
+            &Tuple::from_strs(&["carl"])
+        ));
         // All three literals of the inclusion instance are gone: the result
         // is the empty-bodied (most general) clause, exactly what ARMG over
         // the composed schema produces after dropping student(x,prelim,3).
@@ -155,8 +164,10 @@ mod tests {
         // survives, which is the source of schema dependence.
         let db = db_original();
         let clause = hard_working_original();
+        let engine = Engine::new(&db, EngineConfig::default());
         let generalized =
-            castor_learners::progolem::armg(&clause, &db, &Tuple::from_strs(&["carl"])).unwrap();
+            castor_learners::progolem::armg(&clause, &engine, &Tuple::from_strs(&["carl"]))
+                .unwrap();
         assert!(generalized.body.iter().any(|a| a.relation == "student"));
     }
 
@@ -202,7 +213,8 @@ mod tests {
             Atom::new("t", vec![Term::constant("ann")]),
             vec![Atom::vars("student", &["x"])],
         );
-        assert!(castor_armg(&clause, &db, &plan, &Tuple::from_strs(&["carl"])).is_none());
+        let engine = Engine::new(&db, EngineConfig::default());
+        assert!(castor_armg(&clause, &engine, &plan, &Tuple::from_strs(&["carl"])).is_none());
     }
 
     #[test]

@@ -167,9 +167,12 @@ mod tests {
 
     fn db_4nf() -> DatabaseInstance {
         let mut db = DatabaseInstance::empty(&schema_4nf());
-        db.insert("student", Tuple::from_strs(&["abe", "prelim", "2"])).unwrap();
-        db.insert("student", Tuple::from_strs(&["bea", "post", "7"])).unwrap();
-        db.insert("publication", Tuple::from_strs(&["p1", "abe"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["abe", "prelim", "2"]))
+            .unwrap();
+        db.insert("student", Tuple::from_strs(&["bea", "post", "7"]))
+            .unwrap();
+        db.insert("publication", Tuple::from_strs(&["p1", "abe"]))
+            .unwrap();
         db
     }
 
@@ -233,7 +236,11 @@ mod tests {
             castor_bottom_clause(&db_orig, &plan_orig, "hardWorking", &example, &config);
 
         assert!(castor_logic::covers_example(&bottom4, &db4, &example));
-        assert!(castor_logic::covers_example(&bottom_orig, &db_orig, &example));
+        assert!(castor_logic::covers_example(
+            &bottom_orig,
+            &db_orig,
+            &example
+        ));
         assert_eq!(
             bottom4.distinct_variable_count(),
             bottom_orig.distinct_variable_count()
@@ -255,13 +262,7 @@ mod tests {
         let mut config = CastorConfig::default();
         config.params.max_distinct_variables = 3;
         config.params.max_iterations = 5;
-        let bottom = castor_bottom_clause(
-            &db,
-            &plan,
-            "t",
-            &Tuple::from_strs(&["abe"]),
-            &config,
-        );
+        let bottom = castor_bottom_clause(&db, &plan, "t", &Tuple::from_strs(&["abe"]), &config);
         // The budget is checked at iteration boundaries, so the clause stays
         // close to the cap instead of saturating the whole database.
         assert!(bottom.distinct_variable_count() <= 6);
@@ -279,21 +280,18 @@ mod tests {
             &["stud"],
         ));
         let mut db = DatabaseInstance::empty(&schema);
-        db.insert("student", Tuple::from_strs(&["abe", "prelim", "2"])).unwrap();
-        db.insert("publication", Tuple::from_strs(&["p1", "abe"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["abe", "prelim", "2"]))
+            .unwrap();
+        db.insert("publication", Tuple::from_strs(&["p1", "abe"]))
+            .unwrap();
         let plan_eq = BottomClausePlan::compile(&schema, false);
         let plan_gen = BottomClausePlan::compile(&schema, true);
         assert!(plan_eq.class_of("publication").is_none());
         assert!(plan_gen.class_of("publication").is_some());
         let mut config = CastorConfig::default();
         config.params.max_iterations = 1;
-        let bottom = castor_ground_bottom_clause(
-            &db,
-            &plan_gen,
-            "t",
-            &Tuple::from_strs(&["abe"]),
-            &config,
-        );
+        let bottom =
+            castor_ground_bottom_clause(&db, &plan_gen, "t", &Tuple::from_strs(&["abe"]), &config);
         assert!(bottom.body.iter().any(|a| a.relation == "publication"));
     }
 }

@@ -1,5 +1,5 @@
 //! Coverage testing by θ-subsumption with caching and parallelism
-//! (Sections 7.5.3–7.5.4).
+//! (Sections 7.5.3–7.5.4), built on the `castor-engine` subsystem.
 //!
 //! Castor evaluates a candidate clause by checking, for each example,
 //! whether the clause θ-subsumes the example's *ground bottom clause* — the
@@ -9,31 +9,44 @@
 //!
 //! * materializes the ground bottom clause of every example once (the
 //!   "stored procedure" call per example in the paper's implementation);
-//! * splits the example set across worker threads (Figure 2's ablation);
-//! * exploits the generality order: if a clause is known to cover an
-//!   example, any of its generalizations covers it too, so the caller can
-//!   pass the already-covered set and skip those tests.
+//! * runs pending tests on the persistent [`WorkerPool`] with work-stealing
+//!   over examples (Figure 2's ablation) — no per-call thread spawning, and
+//!   the pool can be shared with the database-evaluation [`castor_engine::Engine`]
+//!   so one learner run drives a single set of workers;
+//! * memoizes results per canonical clause through the shared
+//!   [`castor_engine::CoverageRuntime`], so the covering loop's re-scoring
+//!   of α-equivalent candidates is free;
+//! * exploits the generality order as an engine invariant: pass
+//!   [`Prior::GeneralizationOf`] and everything the parent is known to
+//!   cover is accepted without a test;
+//! * reports subsumption-budget exhaustions (the bounded θ-subsumption
+//!   search treating "ran out of nodes" as "not covered") through the
+//!   engine counters instead of hiding them.
 
 use crate::config::CastorConfig;
 use crate::plan::BottomClausePlan;
-use castor_logic::{subsumes, Clause};
+use castor_engine::{
+    canonicalize, CoverageRuntime, CoverageTester, EngineReport, EngineStats, Prior, WorkerPool,
+};
+use castor_logic::{subsumes_budgeted_with, Clause, CoverageOutcome};
 use castor_relational::{DatabaseInstance, Tuple};
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Coverage-testing engine holding the ground bottom clauses of the
 /// training examples.
 #[derive(Debug)]
 pub struct CoverageEngine {
-    ground: HashMap<Tuple, Clause>,
-    threads: usize,
-    tests_performed: AtomicUsize,
+    ground: Arc<HashMap<Tuple, Clause>>,
+    runtime: CoverageRuntime,
+    node_budget: usize,
 }
 
 impl CoverageEngine {
     /// Materializes ground bottom clauses for every positive and negative
-    /// example of the task.
+    /// example of the task and spins up a private worker pool sized by
+    /// `config.params` (see [`CoverageEngine::build_with_pool`] to share
+    /// an existing pool instead).
     pub fn build(
         db: &DatabaseInstance,
         plan: &BottomClausePlan,
@@ -42,88 +55,70 @@ impl CoverageEngine {
         negative: &[Tuple],
         config: &CastorConfig,
     ) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.params.threads.max(1)));
+        CoverageEngine::build_with_pool(db, plan, target, positive, negative, config, pool)
+    }
+
+    /// [`CoverageEngine::build`] reusing the caller's worker pool (the
+    /// Castor learner passes its evaluation engine's pool so one run drives
+    /// a single set of workers). Cache capacity and the parallel threshold
+    /// come from `config.params.engine_config()`.
+    pub fn build_with_pool(
+        db: &DatabaseInstance,
+        plan: &BottomClausePlan,
+        target: &str,
+        positive: &[Tuple],
+        negative: &[Tuple],
+        config: &CastorConfig,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
         let mut ground = HashMap::new();
         for example in positive.iter().chain(negative.iter()) {
             ground.entry(example.clone()).or_insert_with(|| {
-                crate::bottom_clause::castor_ground_bottom_clause(
-                    db, plan, target, example, config,
-                )
+                crate::bottom_clause::castor_ground_bottom_clause(db, plan, target, example, config)
             });
         }
+        let engine_config = config.params.engine_config();
         CoverageEngine {
-            ground,
-            threads: config.params.threads.max(1),
-            tests_performed: AtomicUsize::new(0),
+            ground: Arc::new(ground),
+            runtime: CoverageRuntime::new(&engine_config, pool),
+            node_budget: engine_config.eval_budget,
         }
     }
 
     /// Number of subsumption tests performed so far (used by the ablation
-    /// reports).
+    /// reports). Cache hits do not count: no test ran.
     pub fn tests_performed(&self) -> usize {
-        self.tests_performed.load(Ordering::Relaxed)
+        self.report().coverage_tests
+    }
+
+    /// Snapshot of the full engine counters (tests, cache behavior,
+    /// generality skips, subsumption-budget exhaustions).
+    pub fn report(&self) -> EngineReport {
+        self.runtime.report()
     }
 
     /// Whether `clause` covers `example` (θ-subsumes its ground bottom
-    /// clause).
+    /// clause), going through the memo cache.
     pub fn covers(&self, clause: &Clause, example: &Tuple) -> bool {
-        let Some(ground) = self.ground.get(example) else {
-            return false;
-        };
-        self.tests_performed.fetch_add(1, Ordering::Relaxed);
-        subsumes(clause, ground)
+        let canonical = canonicalize(clause);
+        self.runtime
+            .try_covers(self, &canonical, example)
+            .is_covered()
     }
 
-    /// The subset of `examples` covered by `clause`. Examples present in
-    /// `known_covered` are assumed covered without re-testing (valid when
-    /// `clause` generalizes a clause already known to cover them).
+    /// The subset of `examples` covered by `clause`. `prior` carries the
+    /// generality order: with [`Prior::GeneralizationOf`], every example
+    /// the parent clause is cached as covering is accepted without a test
+    /// (valid because generalization can only grow the covered set).
     pub fn covered_set(
         &self,
         clause: &Clause,
         examples: &[Tuple],
-        known_covered: Option<&HashSet<Tuple>>,
+        prior: Prior<'_>,
     ) -> HashSet<Tuple> {
-        let mut result: HashSet<Tuple> = HashSet::new();
-        let mut to_test: Vec<&Tuple> = Vec::new();
-        for e in examples {
-            if known_covered.is_some_and(|k| k.contains(e)) {
-                result.insert(e.clone());
-            } else {
-                to_test.push(e);
-            }
-        }
-        if to_test.is_empty() {
-            return result;
-        }
-        if self.threads <= 1 || to_test.len() < 8 {
-            for e in to_test {
-                if self.covers(clause, e) {
-                    result.insert(e.clone());
-                }
-            }
-            return result;
-        }
-
-        // Parallel coverage testing: split the pending examples into chunks,
-        // one per worker thread.
-        let covered = Mutex::new(Vec::new());
-        let chunk_size = to_test.len().div_ceil(self.threads);
-        std::thread::scope(|scope| {
-            for chunk in to_test.chunks(chunk_size) {
-                let covered = &covered;
-                let engine = &*self;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    for e in chunk {
-                        if engine.covers(clause, e) {
-                            local.push((*e).clone());
-                        }
-                    }
-                    covered.lock().extend(local);
-                });
-            }
-        });
-        result.extend(covered.into_inner());
-        result
+        let canonical = canonicalize(clause);
+        self.runtime.covered_set(self, &canonical, examples, prior)
     }
 
     /// Positive/negative coverage counts for `clause`.
@@ -133,9 +128,59 @@ impl CoverageEngine {
         positive: &[Tuple],
         negative: &[Tuple],
     ) -> (usize, usize) {
-        let pos = self.covered_set(clause, positive, None).len();
-        let neg = self.covered_set(clause, negative, None).len();
+        let pos = self.covered_set(clause, positive, Prior::None).len();
+        let neg = self.covered_set(clause, negative, Prior::None).len();
         (pos, neg)
+    }
+}
+
+impl CoverageTester for CoverageEngine {
+    fn test(&self, canonical: &Clause, example: &Tuple) -> CoverageOutcome {
+        test_subsumption(
+            &self.ground,
+            self.runtime.metrics(),
+            canonical,
+            example,
+            self.node_budget,
+        )
+    }
+
+    fn parallel_task(
+        &self,
+        canonical: &Clause,
+        examples: &Arc<Vec<Tuple>>,
+    ) -> Box<dyn Fn(usize) -> CoverageOutcome + Send + Sync + 'static> {
+        let ground = Arc::clone(&self.ground);
+        let metrics = Arc::clone(self.runtime.metrics());
+        let clause = canonical.clone();
+        let examples = Arc::clone(examples);
+        let node_budget = self.node_budget;
+        Box::new(move |i| test_subsumption(&ground, &metrics, &clause, &examples[i], node_budget))
+    }
+}
+
+/// One θ-subsumption test against an example's ground bottom clause. An
+/// exhausted search budget is reported as [`CoverageOutcome::Exhausted`]
+/// (and counted) rather than conflated with "not covered".
+fn test_subsumption(
+    ground: &HashMap<Tuple, Clause>,
+    metrics: &EngineStats,
+    clause: &Clause,
+    example: &Tuple,
+    node_budget: usize,
+) -> CoverageOutcome {
+    let Some(bottom) = ground.get(example) else {
+        return CoverageOutcome::NotCovered;
+    };
+    EngineStats::bump(&metrics.coverage_tests);
+    let outcome = subsumes_budgeted_with(clause, bottom, node_budget);
+    if outcome.subsumes() {
+        CoverageOutcome::Covered
+    } else if outcome.exhausted {
+        EngineStats::bump(&metrics.budget_exhausted);
+        CoverageOutcome::Exhausted
+    } else {
+        CoverageOutcome::NotCovered
     }
 }
 
@@ -228,18 +273,31 @@ mod tests {
             Tuple::from_strs(&["ann", "carol"]),
             Tuple::from_strs(&["eve", "bob"]),
         ];
-        // Force the parallel path by lowering the threshold: duplicate the
-        // example list so it exceeds the small-input cutoff.
-        let many: Vec<Tuple> = examples
-            .iter()
-            .cycle()
-            .take(32)
-            .cloned()
-            .collect();
+        // Exceed the parallel threshold so the pool path actually runs.
+        let many: Vec<Tuple> = examples.iter().cycle().take(32).cloned().collect();
         assert_eq!(
-            sequential.covered_set(&clause, &many, None),
-            parallel.covered_set(&clause, &many, None)
+            sequential.covered_set(&clause, &many, Prior::None),
+            parallel.covered_set(&clause, &many, Prior::None)
         );
+    }
+
+    #[test]
+    fn shared_pool_is_reused() {
+        let db = db();
+        let plan = BottomClausePlan::compile(db.schema(), false);
+        let config = CastorConfig::default().with_threads(3);
+        let pool = Arc::new(WorkerPool::new(3));
+        let engine = CoverageEngine::build_with_pool(
+            &db,
+            &plan,
+            "collaborated",
+            &[Tuple::from_strs(&["ann", "bob"])],
+            &[],
+            &config,
+            Arc::clone(&pool),
+        );
+        assert!(Arc::ptr_eq(engine.runtime.pool(), &pool));
+        assert!(engine.covers(&collaborated(), &Tuple::from_strs(&["ann", "bob"])));
     }
 
     #[test]
@@ -251,10 +309,66 @@ mod tests {
         let covered = engine.covered_set(
             &clause,
             &[Tuple::from_strs(&["ann", "bob"])],
-            Some(&known),
+            Prior::Known(&known),
         );
         assert_eq!(covered.len(), 1);
         assert_eq!(engine.tests_performed(), before); // no new test ran
+        assert_eq!(engine.report().generality_skips, 1);
+    }
+
+    #[test]
+    fn known_prior_does_not_poison_the_cache() {
+        let engine = engine(1);
+        let clause = collaborated();
+        // The caller (wrongly) claims a negative example is covered.
+        let bogus: HashSet<Tuple> = [Tuple::from_strs(&["ann", "carol"])].into_iter().collect();
+        let claimed = engine.covered_set(
+            &clause,
+            &[Tuple::from_strs(&["ann", "carol"])],
+            Prior::Known(&bogus),
+        );
+        assert_eq!(claimed.len(), 1); // the per-call result honors the claim
+                                      // ...but the memo cache does not: a fresh query re-tests and gets
+                                      // the true answer.
+        assert!(!engine.covers(&clause, &Tuple::from_strs(&["ann", "carol"])));
+    }
+
+    #[test]
+    fn generalizations_inherit_parent_coverage_from_cache() {
+        let engine = engine(1);
+        let parent = collaborated();
+        let examples = [
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["ann", "carol"]),
+        ];
+        engine.covered_set(&parent, &examples, Prior::None);
+        let child = Clause::new(
+            Atom::vars("collaborated", &["x", "y"]),
+            vec![Atom::vars("publication", &["p", "x"])],
+        );
+        let tests_before = engine.tests_performed();
+        let covered = engine.covered_set(&child, &examples, Prior::GeneralizationOf(&parent));
+        assert!(covered.contains(&Tuple::from_strs(&["ann", "bob"])));
+        // Only the example the parent did NOT cover needed a test.
+        assert_eq!(engine.tests_performed(), tests_before + 1);
+    }
+
+    #[test]
+    fn alpha_equivalent_candidates_share_the_cache() {
+        let engine = engine(1);
+        let a = collaborated();
+        let b = Clause::new(
+            Atom::vars("collaborated", &["u", "v"]),
+            vec![
+                Atom::vars("publication", &["w", "u"]),
+                Atom::vars("publication", &["w", "v"]),
+            ],
+        );
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        engine.covers(&a, &e);
+        let tests_before = engine.tests_performed();
+        assert!(engine.covers(&b, &e));
+        assert_eq!(engine.tests_performed(), tests_before);
     }
 
     #[test]

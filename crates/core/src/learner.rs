@@ -7,6 +7,7 @@ use crate::config::CastorConfig;
 use crate::coverage::CoverageEngine;
 use crate::plan::BottomClausePlan;
 use crate::reduction::negative_reduce;
+use castor_engine::{Engine, EngineReport, Prior};
 use castor_learners::LearningTask;
 use castor_logic::{is_safe, minimize_clause, Clause, Definition};
 use castor_relational::{DatabaseInstance, InclusionDependency, Schema, Tuple};
@@ -23,6 +24,11 @@ pub struct LearnOutcome {
     pub elapsed: Duration,
     /// Number of coverage (subsumption) tests performed.
     pub coverage_tests: usize,
+    /// Combined engine counters for the whole run — the θ-subsumption
+    /// coverage engine plus the ARMG evaluation engine: cache behavior,
+    /// generality skips, and budget exhaustions (exhaustions flag
+    /// approximate coverage counts).
+    pub engine: EngineReport,
     /// Average fraction of bottom-clause literals removed by minimization.
     pub minimization_reduction: f64,
 }
@@ -59,13 +65,19 @@ impl Castor {
         let mut plan = BottomClausePlan::compile(&schema, self.config.use_general_inds);
         plan.use_indexes = self.config.use_stored_procedures;
 
-        let engine = CoverageEngine::build(
+        // Database-backed evaluation engine used by ARMG's prefix coverage
+        // tests (compiled plans + memoized prefixes); the subsumption-based
+        // coverage engine shares its worker pool so one learner run drives
+        // a single set of workers.
+        let eval_engine = Engine::new(db, self.config.params.engine_config());
+        let engine = CoverageEngine::build_with_pool(
             db,
             &plan,
             &task.target,
             &task.positive,
             &task.negative,
             &self.config,
+            std::sync::Arc::clone(eval_engine.pool()),
         );
 
         let mut definition = Definition::empty(task.target.clone());
@@ -77,6 +89,7 @@ impl Castor {
                 db,
                 &plan,
                 &engine,
+                &eval_engine,
                 &task.target,
                 &uncovered,
                 &task.negative,
@@ -84,8 +97,8 @@ impl Castor {
             ) else {
                 break;
             };
-            let covered_pos = engine.covered_set(&clause, &uncovered, None);
-            let covered_neg = engine.covered_set(&clause, &task.negative, None);
+            let covered_pos = engine.covered_set(&clause, &uncovered, Prior::None);
+            let covered_neg = engine.covered_set(&clause, &task.negative, Prior::None);
             if !self
                 .config
                 .params
@@ -104,6 +117,7 @@ impl Castor {
             definition,
             elapsed: start.elapsed(),
             coverage_tests: engine.tests_performed(),
+            engine: engine.report().combined(&eval_engine.report()),
             minimization_reduction: if reduction_samples.is_empty() {
                 0.0
             } else {
@@ -121,6 +135,7 @@ impl Castor {
         db: &DatabaseInstance,
         plan: &BottomClausePlan,
         engine: &CoverageEngine,
+        eval_engine: &Engine,
         target: &str,
         uncovered: &[Tuple],
         negative: &[Tuple],
@@ -142,13 +157,10 @@ impl Castor {
 
         // Beam of candidates, each carrying the set of positives it is known
         // to cover (used to skip redundant coverage tests, Section 7.5.4).
-        let initial_cov = engine.covered_set(&bottom, uncovered, None);
-        let initial_neg = engine.covered_set(&bottom, negative, None);
-        let mut beam: Vec<(Clause, HashSet<Tuple>, usize)> = vec![(
-            bottom.clone(),
-            initial_cov.clone(),
-            initial_neg.len(),
-        )];
+        let initial_cov = engine.covered_set(&bottom, uncovered, Prior::None);
+        let initial_neg = engine.covered_set(&bottom, negative, Prior::None);
+        let mut beam: Vec<(Clause, HashSet<Tuple>, usize)> =
+            vec![(bottom.clone(), initial_cov.clone(), initial_neg.len())];
         let mut best: (Clause, i64) = (
             bottom.clone(),
             initial_cov.len() as i64 - initial_neg.len() as i64,
@@ -162,7 +174,7 @@ impl Castor {
                     if known_cov.contains(*example) {
                         continue;
                     }
-                    let Some(generalized) = castor_armg(clause, db, plan, example) else {
+                    let Some(generalized) = castor_armg(clause, eval_engine, plan, example) else {
                         continue;
                     };
                     if generalized.body.is_empty() {
@@ -171,9 +183,21 @@ impl Castor {
                     if self.config.safe_clauses && !is_safe(&generalized) {
                         continue;
                     }
-                    // Generalizations cover everything the parent covered.
-                    let cov = engine.covered_set(&generalized, uncovered, Some(known_cov));
-                    let neg = engine.covered_set(&generalized, negative, None);
+                    // Generality-order invariant: the engine accepts every
+                    // example the parent clause is cached as covering, and
+                    // `known_cov` (always a subset of `uncovered`, since it
+                    // came from covered_set over it) adds what this beam
+                    // entry accumulated even if the cache evicted it.
+                    let cov = {
+                        let mut cov = engine.covered_set(
+                            &generalized,
+                            uncovered,
+                            Prior::GeneralizationOf(clause),
+                        );
+                        cov.extend(known_cov.iter().cloned());
+                        cov
+                    };
+                    let neg = engine.covered_set(&generalized, negative, Prior::None);
                     let score = cov.len() as i64 - neg.len() as i64;
                     if score > best.1 {
                         candidates.push((generalized, cov, neg.len()));
@@ -229,9 +253,7 @@ pub fn promote_general_inds(db: &DatabaseInstance) -> Schema {
     }
     for c in schema.constraints() {
         match c {
-            castor_relational::Constraint::Ind(ind)
-                if promoted.iter().any(|p| p == ind) =>
-            {
+            castor_relational::Constraint::Ind(ind) if promoted.iter().any(|p| p == ind) => {
                 let mut eq = ind.clone();
                 eq.with_equality = true;
                 out.add_ind(eq);
@@ -326,7 +348,9 @@ mod tests {
             ..Default::default()
         };
         let outcome = Castor::new(config).learn(&db, &task);
-        assert!(castor_logic::safety::is_safe_definition(&outcome.definition));
+        assert!(castor_logic::safety::is_safe_definition(
+            &outcome.definition
+        ));
     }
 
     #[test]
@@ -337,7 +361,12 @@ mod tests {
         let without =
             Castor::new(CastorConfig::default().without_stored_procedures()).learn(&db, &task);
         assert_eq!(with.definition.len(), without.definition.len());
-        for (a, b) in with.definition.clauses.iter().zip(without.definition.clauses.iter()) {
+        for (a, b) in with
+            .definition
+            .clauses
+            .iter()
+            .zip(without.definition.clauses.iter())
+        {
             assert!(castor_logic::subsumption::theta_equivalent(a, b));
         }
     }

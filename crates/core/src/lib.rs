@@ -68,7 +68,7 @@ pub mod plan;
 pub mod reduction;
 
 pub use armg::castor_armg;
-pub use bottom_clause::{castor_ground_bottom_clause, castor_bottom_clause};
+pub use bottom_clause::{castor_bottom_clause, castor_ground_bottom_clause};
 pub use config::CastorConfig;
 pub use coverage::CoverageEngine;
 pub use learner::{Castor, LearnOutcome};

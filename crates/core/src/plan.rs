@@ -151,7 +151,12 @@ mod tests {
             .add_relation(RelationSymbol::new("inPhase", &["stud", "phase"]))
             .add_relation(RelationSymbol::new("yearsInProgram", &["stud", "years"]))
             .add_relation(RelationSymbol::new("publication", &["title", "person"]))
-            .add_ind(InclusionDependency::equality("student", &["stud"], "inPhase", &["stud"]))
+            .add_ind(InclusionDependency::equality(
+                "student",
+                &["stud"],
+                "inPhase",
+                &["stud"],
+            ))
             .add_ind(InclusionDependency::equality(
                 "student",
                 &["stud"],
@@ -170,11 +175,15 @@ mod tests {
     fn db() -> DatabaseInstance {
         let mut db = DatabaseInstance::empty(&schema());
         db.insert("student", Tuple::from_strs(&["abe"])).unwrap();
-        db.insert("inPhase", Tuple::from_strs(&["abe", "prelim"])).unwrap();
-        db.insert("yearsInProgram", Tuple::from_strs(&["abe", "2"])).unwrap();
+        db.insert("inPhase", Tuple::from_strs(&["abe", "prelim"]))
+            .unwrap();
+        db.insert("yearsInProgram", Tuple::from_strs(&["abe", "2"]))
+            .unwrap();
         db.insert("student", Tuple::from_strs(&["bea"])).unwrap();
-        db.insert("inPhase", Tuple::from_strs(&["bea", "post"])).unwrap();
-        db.insert("yearsInProgram", Tuple::from_strs(&["bea", "7"])).unwrap();
+        db.insert("inPhase", Tuple::from_strs(&["bea", "post"]))
+            .unwrap();
+        db.insert("yearsInProgram", Tuple::from_strs(&["bea", "7"]))
+            .unwrap();
         db
     }
 
@@ -240,7 +249,8 @@ mod tests {
         let mut db = DatabaseInstance::empty(&s);
         db.insert("a", Tuple::from_strs(&["k"])).unwrap();
         for i in 0..20 {
-            db.insert("b", Tuple::new(vec![Value::str("k"), Value::int(i)])).unwrap();
+            db.insert("b", Tuple::new(vec![Value::str("k"), Value::int(i)]))
+                .unwrap();
         }
         let plan = BottomClausePlan::compile(&s, false);
         let edge = plan

@@ -10,6 +10,7 @@
 
 use crate::coverage::CoverageEngine;
 use crate::plan::BottomClausePlan;
+use castor_engine::Prior;
 use castor_logic::Clause;
 use castor_relational::Tuple;
 use std::collections::{BTreeSet, HashSet};
@@ -72,10 +73,7 @@ pub fn inclusion_instances(clause: &Clause, plan: &BottomClausePlan) -> Vec<Incl
 
 /// Builds the clause whose body consists of the literals of the given
 /// instances (in original clause order).
-fn clause_from_instances(
-    clause: &Clause,
-    instances: &[InclusionInstance],
-) -> Clause {
+fn clause_from_instances(clause: &Clause, instances: &[InclusionInstance]) -> Clause {
     let mut indices: Vec<usize> = instances.iter().flat_map(|i| i.literals.clone()).collect();
     indices.sort_unstable();
     indices.dedup();
@@ -147,7 +145,7 @@ pub fn negative_reduce(
     plan: &BottomClausePlan,
     safe: bool,
 ) -> Clause {
-    let covered_full = engine.covered_set(clause, negative, None);
+    let covered_full = engine.covered_set(clause, negative, Prior::None);
     let mut instances = inclusion_instances(clause, plan);
     if safe {
         // Sort by the number of head variables appearing in the instance
@@ -168,7 +166,7 @@ pub fn negative_reduce(
         let mut cut: Option<usize> = None;
         for i in 0..instances.len() {
             let prefix = clause_from_instances(clause, &instances[..=i]);
-            let covered_prefix: HashSet<Tuple> = engine.covered_set(&prefix, negative, None);
+            let covered_prefix: HashSet<Tuple> = engine.covered_set(&prefix, negative, Prior::None);
             if covered_prefix == covered_full {
                 cut = Some(i);
                 break;
@@ -238,7 +236,12 @@ mod tests {
         s.add_relation(RelationSymbol::new("student", &["stud"]))
             .add_relation(RelationSymbol::new("inPhase", &["stud", "phase"]))
             .add_relation(RelationSymbol::new("publication", &["title", "person"]))
-            .add_ind(InclusionDependency::equality("student", &["stud"], "inPhase", &["stud"]));
+            .add_ind(InclusionDependency::equality(
+                "student",
+                &["stud"],
+                "inPhase",
+                &["stud"],
+            ));
         s
     }
 
@@ -248,13 +251,22 @@ mod tests {
             db.insert("student", Tuple::from_strs(&[s])).unwrap();
             db.insert("inPhase", Tuple::from_strs(&[s, phase])).unwrap();
         }
-        for (t, p) in [("p1", "ann"), ("p1", "prof1"), ("p2", "bob"), ("p2", "prof2")] {
+        for (t, p) in [
+            ("p1", "ann"),
+            ("p1", "prof1"),
+            ("p2", "bob"),
+            ("p2", "prof2"),
+        ] {
             db.insert("publication", Tuple::from_strs(&[t, p])).unwrap();
         }
         db
     }
 
-    fn engine_for(pos: &[Tuple], neg: &[Tuple], target: &str) -> (CoverageEngine, BottomClausePlan) {
+    fn engine_for(
+        pos: &[Tuple],
+        neg: &[Tuple],
+        target: &str,
+    ) -> (CoverageEngine, BottomClausePlan) {
         let db = db();
         let plan = BottomClausePlan::compile(db.schema(), false);
         let config = CastorConfig::default();
@@ -308,8 +320,8 @@ mod tests {
         assert!(reduced.body.iter().all(|a| a.relation != "inPhase"));
         // Reduction must not increase negative coverage.
         assert_eq!(
-            engine.covered_set(&reduced, &neg, None),
-            engine.covered_set(&clause, &neg, None)
+            engine.covered_set(&reduced, &neg, Prior::None),
+            engine.covered_set(&clause, &neg, Prior::None)
         );
     }
 

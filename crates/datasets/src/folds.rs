@@ -54,8 +54,12 @@ mod tests {
         LearningTask::new(
             "t",
             1,
-            (0..n_pos).map(|i| Tuple::from_strs(&[&format!("p{i}")])).collect(),
-            (0..n_neg).map(|i| Tuple::from_strs(&[&format!("n{i}")])).collect(),
+            (0..n_pos)
+                .map(|i| Tuple::from_strs(&[&format!("p{i}")]))
+                .collect(),
+            (0..n_neg)
+                .map(|i| Tuple::from_strs(&[&format!("n{i}")]))
+                .collect(),
         )
     }
 

@@ -21,9 +21,7 @@
 use crate::spec::{DatasetVariant, SchemaFamily};
 use castor_learners::LearningTask;
 use castor_logic::{Atom, Clause, Definition, Term};
-use castor_relational::{
-    DatabaseInstance, InclusionDependency, RelationSymbol, Schema, Tuple,
-};
+use castor_relational::{DatabaseInstance, InclusionDependency, RelationSymbol, Schema, Tuple};
 use castor_transform::{TransformStep, Transformation};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -86,13 +84,33 @@ pub fn initial_schema() -> Schema {
     for t in ["bType1", "bType2", "bType3"] {
         s.add_ind(InclusionDependency::equality("bonds", &["bd"], t, &["bd"]));
     }
-    s.add_ind(InclusionDependency::subset("bonds", &["atm1"], "compound", &["atm"]))
-        .add_ind(InclusionDependency::subset("bonds", &["atm2"], "compound", &["atm"]));
+    s.add_ind(InclusionDependency::subset(
+        "bonds",
+        &["atm1"],
+        "compound",
+        &["atm"],
+    ))
+    .add_ind(InclusionDependency::subset(
+        "bonds",
+        &["atm2"],
+        "compound",
+        &["atm"],
+    ));
     for e in ELEMENTS {
-        s.add_ind(InclusionDependency::subset(e, &["atm"], "compound", &["atm"]));
+        s.add_ind(InclusionDependency::subset(
+            e,
+            &["atm"],
+            "compound",
+            &["atm"],
+        ));
     }
     for p in PROPERTIES {
-        s.add_ind(InclusionDependency::subset(p, &["atm"], "compound", &["atm"]));
+        s.add_ind(InclusionDependency::subset(
+            p,
+            &["atm"],
+            "compound",
+            &["atm"],
+        ));
     }
     s
 }
@@ -160,7 +178,8 @@ pub fn generate(family_name: &str, config: &HivConfig) -> SchemaFamily {
             }
         }
         for (atom, element) in atoms.iter().zip(elements.iter()) {
-            db.insert("compound", Tuple::from_strs(&[&comp, atom])).unwrap();
+            db.insert("compound", Tuple::from_strs(&[&comp, atom]))
+                .unwrap();
             db.insert(element, Tuple::from_strs(&[atom])).unwrap();
             if rng.gen_bool(0.4) {
                 let p = PROPERTIES[rng.gen_range(0..PROPERTIES.len())];
@@ -170,11 +189,11 @@ pub fn generate(family_name: &str, config: &HivConfig) -> SchemaFamily {
 
         // Bonds along a chain plus a couple of random extra bonds.
         let add_bond = |db: &mut DatabaseInstance,
-                            rng: &mut StdRng,
-                            a: &str,
-                            b: &str,
-                            kind: Option<&str>,
-                            counter: &mut usize| {
+                        rng: &mut StdRng,
+                        a: &str,
+                        b: &str,
+                        kind: Option<&str>,
+                        counter: &mut usize| {
             let bd = format!("b{counter}");
             *counter += 1;
             db.insert("bonds", Tuple::from_strs(&[&bd, a, b])).unwrap();
@@ -391,7 +410,11 @@ mod tests {
                 assert!(derived.contains(pos), "{}: {pos} missed", variant.name);
             }
             for neg in &variant.task.negative {
-                assert!(!derived.contains(neg), "{}: {neg} wrongly derived", variant.name);
+                assert!(
+                    !derived.contains(neg),
+                    "{}: {neg} wrongly derived",
+                    variant.name
+                );
             }
         }
     }
@@ -404,8 +427,6 @@ mod tests {
             large.variant("Initial").unwrap().db.total_tuples()
                 > small.variant("Initial").unwrap().db.total_tuples()
         );
-        assert!(
-            large.variants[0].task.positive_count() > small.variants[0].task.positive_count()
-        );
+        assert!(large.variants[0].task.positive_count() > small.variants[0].task.positive_count());
     }
 }

@@ -21,9 +21,7 @@
 use crate::spec::{DatasetVariant, SchemaFamily};
 use castor_learners::LearningTask;
 use castor_logic::{Atom, Clause, Definition, Term};
-use castor_relational::{
-    DatabaseInstance, InclusionDependency, RelationSymbol, Schema, Tuple,
-};
+use castor_relational::{DatabaseInstance, InclusionDependency, RelationSymbol, Schema, Tuple};
 use castor_transform::{TransformStep, Transformation};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -63,17 +61,44 @@ pub fn jmdb_schema() -> Schema {
     let mut s = Schema::new("imdb-jmdb");
     s.add_relation(RelationSymbol::new("movie", &["id", "title", "year"]))
         .add_relation(RelationSymbol::new("genre", &["genreid", "genrename"]))
-        .add_relation(RelationSymbol::new("director", &["directorid", "directorname"]))
-        .add_relation(RelationSymbol::new("producer", &["producerid", "producername"]))
-        .add_relation(RelationSymbol::new("actor", &["actorid", "actorname", "sex"]))
-        .add_relation(RelationSymbol::new("prodcompany", &["prodcompid", "companyname"]))
+        .add_relation(RelationSymbol::new(
+            "director",
+            &["directorid", "directorname"],
+        ))
+        .add_relation(RelationSymbol::new(
+            "producer",
+            &["producerid", "producername"],
+        ))
+        .add_relation(RelationSymbol::new(
+            "actor",
+            &["actorid", "actorname", "sex"],
+        ))
+        .add_relation(RelationSymbol::new(
+            "prodcompany",
+            &["prodcompid", "companyname"],
+        ))
         .add_relation(RelationSymbol::new("color", &["colorid", "colorname"]))
-        .add_relation(RelationSymbol::new("country", &["countryid", "countryname"]))
+        .add_relation(RelationSymbol::new(
+            "country",
+            &["countryid", "countryname"],
+        ))
         .add_relation(RelationSymbol::new("movies2genre", &["id", "genreid"]))
-        .add_relation(RelationSymbol::new("movies2director", &["id", "directorid"]))
-        .add_relation(RelationSymbol::new("movies2producer", &["id", "producerid"]))
-        .add_relation(RelationSymbol::new("movies2actor", &["id", "actorid", "character"]))
-        .add_relation(RelationSymbol::new("movies2prodcomp", &["id", "prodcompid"]))
+        .add_relation(RelationSymbol::new(
+            "movies2director",
+            &["id", "directorid"],
+        ))
+        .add_relation(RelationSymbol::new(
+            "movies2producer",
+            &["id", "producerid"],
+        ))
+        .add_relation(RelationSymbol::new(
+            "movies2actor",
+            &["id", "actorid", "character"],
+        ))
+        .add_relation(RelationSymbol::new(
+            "movies2prodcomp",
+            &["id", "prodcompid"],
+        ))
         .add_relation(RelationSymbol::new("movies2color", &["id", "colorid"]))
         .add_relation(RelationSymbol::new("movies2country", &["id", "countryid"]));
     // INDs with equality used for the Stanford composition: the paper
@@ -127,23 +152,23 @@ pub fn jmdb_schema() -> Schema {
     ));
     // Regular subset INDs (Table 8 bottom).
     s.add_ind(InclusionDependency::subset(
-            "movies2country",
-            &["countryid"],
-            "country",
-            &["countryid"],
-        ))
-        .add_ind(InclusionDependency::subset(
-            "movies2actor",
-            &["id"],
-            "movie",
-            &["id"],
-        ))
-        .add_ind(InclusionDependency::subset(
-            "movies2country",
-            &["id"],
-            "movie",
-            &["id"],
-        ));
+        "movies2country",
+        &["countryid"],
+        "country",
+        &["countryid"],
+    ))
+    .add_ind(InclusionDependency::subset(
+        "movies2actor",
+        &["id"],
+        "movie",
+        &["id"],
+    ))
+    .add_ind(InclusionDependency::subset(
+        "movies2country",
+        &["id"],
+        "movie",
+        &["id"],
+    ));
     s
 }
 
@@ -189,13 +214,16 @@ pub fn generate(config: &ImdbConfig) -> SchemaFamily {
 
     // Entity tables.
     for (i, g) in GENRES.iter().enumerate() {
-        db.insert("genre", Tuple::from_strs(&[&format!("g{i}"), g])).unwrap();
+        db.insert("genre", Tuple::from_strs(&[&format!("g{i}"), g]))
+            .unwrap();
     }
     for (i, c) in COLORS.iter().enumerate() {
-        db.insert("color", Tuple::from_strs(&[&format!("col{i}"), c])).unwrap();
+        db.insert("color", Tuple::from_strs(&[&format!("col{i}"), c]))
+            .unwrap();
     }
     for (i, c) in COUNTRIES.iter().enumerate() {
-        db.insert("country", Tuple::from_strs(&[&format!("ctry{i}"), c])).unwrap();
+        db.insert("country", Tuple::from_strs(&[&format!("ctry{i}"), c]))
+            .unwrap();
     }
     for i in 0..(config.movies / 10).max(2) {
         db.insert(
@@ -206,16 +234,21 @@ pub fn generate(config: &ImdbConfig) -> SchemaFamily {
     }
     let directors: Vec<String> = (0..config.directors).map(|i| format!("d{i}")).collect();
     for d in &directors {
-        db.insert("director", Tuple::from_strs(&[d, &format!("Director {d}")])).unwrap();
+        db.insert("director", Tuple::from_strs(&[d, &format!("Director {d}")]))
+            .unwrap();
     }
-    let producers: Vec<String> = (0..config.directors / 2 + 1).map(|i| format!("pr{i}")).collect();
+    let producers: Vec<String> = (0..config.directors / 2 + 1)
+        .map(|i| format!("pr{i}"))
+        .collect();
     for p in &producers {
-        db.insert("producer", Tuple::from_strs(&[p, &format!("Producer {p}")])).unwrap();
+        db.insert("producer", Tuple::from_strs(&[p, &format!("Producer {p}")]))
+            .unwrap();
     }
     let actors: Vec<String> = (0..config.actors).map(|i| format!("a{i}")).collect();
     for a in &actors {
         let sex = if rng.gen_bool(0.5) { "f" } else { "m" };
-        db.insert("actor", Tuple::from_strs(&[a, &format!("Actor {a}"), sex])).unwrap();
+        db.insert("actor", Tuple::from_strs(&[a, &format!("Actor {a}"), sex]))
+            .unwrap();
     }
 
     // Movies and their single-valued links. Every movie gets exactly one
@@ -226,24 +259,57 @@ pub fn generate(config: &ImdbConfig) -> SchemaFamily {
     for mi in 0..config.movies {
         let id = format!("mv{mi}");
         let year = (1995 + rng.gen_range(0..25)).to_string();
-        db.insert("movie", Tuple::from_strs(&[&id, &format!("Movie {mi}"), &year])).unwrap();
-        let genre_idx = if mi < GENRES.len() { mi } else { rng.gen_range(0..GENRES.len()) };
-        db.insert("movies2genre", Tuple::from_strs(&[&id, &format!("g{genre_idx}")])).unwrap();
-        let color_idx = if mi < COLORS.len() { mi } else { rng.gen_range(0..COLORS.len()) };
-        db.insert("movies2color", Tuple::from_strs(&[&id, &format!("col{color_idx}")])).unwrap();
-        let pc = if mi < prodcomp_count { mi } else { rng.gen_range(0..prodcomp_count) };
-        db.insert("movies2prodcomp", Tuple::from_strs(&[&id, &format!("pc{pc}")])).unwrap();
+        db.insert(
+            "movie",
+            Tuple::from_strs(&[&id, &format!("Movie {mi}"), &year]),
+        )
+        .unwrap();
+        let genre_idx = if mi < GENRES.len() {
+            mi
+        } else {
+            rng.gen_range(0..GENRES.len())
+        };
+        db.insert(
+            "movies2genre",
+            Tuple::from_strs(&[&id, &format!("g{genre_idx}")]),
+        )
+        .unwrap();
+        let color_idx = if mi < COLORS.len() {
+            mi
+        } else {
+            rng.gen_range(0..COLORS.len())
+        };
+        db.insert(
+            "movies2color",
+            Tuple::from_strs(&[&id, &format!("col{color_idx}")]),
+        )
+        .unwrap();
+        let pc = if mi < prodcomp_count {
+            mi
+        } else {
+            rng.gen_range(0..prodcomp_count)
+        };
+        db.insert(
+            "movies2prodcomp",
+            Tuple::from_strs(&[&id, &format!("pc{pc}")]),
+        )
+        .unwrap();
         // Directors and producers are assigned round-robin so every one of
         // them directs/produces at least one movie — the INDs with equality
         // movies2X[Xid] = X[id] must hold for the compositions to be
         // information preserving.
         let director = &directors[mi % directors.len()];
-        db.insert("movies2director", Tuple::from_strs(&[&id, director])).unwrap();
-        let producer = &producers[mi % producers.len()];
-        db.insert("movies2producer", Tuple::from_strs(&[&id, producer])).unwrap();
-        let country_idx = rng.gen_range(0..COUNTRIES.len());
-        db.insert("movies2country", Tuple::from_strs(&[&id, &format!("ctry{country_idx}")]))
+        db.insert("movies2director", Tuple::from_strs(&[&id, director]))
             .unwrap();
+        let producer = &producers[mi % producers.len()];
+        db.insert("movies2producer", Tuple::from_strs(&[&id, producer]))
+            .unwrap();
+        let country_idx = rng.gen_range(0..COUNTRIES.len());
+        db.insert(
+            "movies2country",
+            Tuple::from_strs(&[&id, &format!("ctry{country_idx}")]),
+        )
+        .unwrap();
         // A couple of actors per movie (multi-valued link).
         for _ in 0..rng.gen_range(1..=3) {
             let actor = &actors[rng.gen_range(0..actors.len())];
@@ -307,7 +373,9 @@ pub fn generate(config: &ImdbConfig) -> SchemaFamily {
         },
         DatasetVariant {
             name: "Stanford".into(),
-            db: tau_stanford.apply_instance(&db).expect("composition applies"),
+            db: tau_stanford
+                .apply_instance(&db)
+                .expect("composition applies"),
             task: task.clone(),
             constant_positions: constants_jmdb,
             ground_truth: Some(ground_truth_stanford()),
@@ -349,10 +417,7 @@ pub fn ground_truth_stanford() -> Definition {
         vec![Clause::new(
             Atom::vars("dramaDirector", &["d"]),
             vec![
-                Atom::vars(
-                    "movie",
-                    &["m", "t", "y", "g", "c", "pc", "d", "pr"],
-                ),
+                Atom::vars("movie", &["m", "t", "y", "g", "c", "pc", "d", "pr"]),
                 Atom::new("genre", vec![Term::var("g"), Term::constant("Drama")]),
             ],
         )],
@@ -391,7 +456,10 @@ mod tests {
     #[test]
     fn generates_three_variants() {
         let family = tiny();
-        assert_eq!(family.variant_names(), vec!["JMDB", "Stanford", "Denormalized"]);
+        assert_eq!(
+            family.variant_names(),
+            vec!["JMDB", "Stanford", "Denormalized"]
+        );
     }
 
     #[test]
@@ -430,7 +498,11 @@ mod tests {
                 assert!(derived.contains(pos), "{}: {pos} missed", variant.name);
             }
             for neg in &variant.task.negative {
-                assert!(!derived.contains(neg), "{}: {neg} wrongly derived", variant.name);
+                assert!(
+                    !derived.contains(neg),
+                    "{}: {neg} wrongly derived",
+                    variant.name
+                );
             }
         }
     }

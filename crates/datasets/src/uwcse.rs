@@ -78,39 +78,66 @@ pub fn original_schema() -> Schema {
         .add_relation(RelationSymbol::new("taughtBy", &["crs", "prof", "term"]))
         .add_relation(RelationSymbol::new("ta", &["crs", "stud", "term"]));
     // INDs with equality used for the composition transformations.
-    s.add_ind(InclusionDependency::equality("student", &["stud"], "inPhase", &["stud"]))
-        .add_ind(InclusionDependency::equality(
-            "student",
-            &["stud"],
-            "yearsInProgram",
-            &["stud"],
-        ))
-        .add_ind(InclusionDependency::equality(
-            "professor",
-            &["prof"],
-            "hasPosition",
-            &["prof"],
-        ))
-        .add_ind(InclusionDependency::equality(
-            "courseLevel",
-            &["crs"],
-            "taughtBy",
-            &["crs"],
-        ))
-        .add_ind(InclusionDependency::equality(
-            "taughtBy",
-            &["prof"],
-            "professor",
-            &["prof"],
-        ));
+    s.add_ind(InclusionDependency::equality(
+        "student",
+        &["stud"],
+        "inPhase",
+        &["stud"],
+    ))
+    .add_ind(InclusionDependency::equality(
+        "student",
+        &["stud"],
+        "yearsInProgram",
+        &["stud"],
+    ))
+    .add_ind(InclusionDependency::equality(
+        "professor",
+        &["prof"],
+        "hasPosition",
+        &["prof"],
+    ))
+    .add_ind(InclusionDependency::equality(
+        "courseLevel",
+        &["crs"],
+        "taughtBy",
+        &["crs"],
+    ))
+    .add_ind(InclusionDependency::equality(
+        "taughtBy",
+        &["prof"],
+        "professor",
+        &["prof"],
+    ));
     // Regular (subset) INDs.
-    s.add_ind(InclusionDependency::subset("ta", &["stud"], "student", &["stud"]))
-        .add_ind(InclusionDependency::subset("ta", &["crs"], "courseLevel", &["crs"]));
+    s.add_ind(InclusionDependency::subset(
+        "ta",
+        &["stud"],
+        "student",
+        &["stud"],
+    ))
+    .add_ind(InclusionDependency::subset(
+        "ta",
+        &["crs"],
+        "courseLevel",
+        &["crs"],
+    ));
     // FDs.
     s.add_fd(FunctionalDependency::new("inPhase", &["stud"], &["phase"]))
-        .add_fd(FunctionalDependency::new("yearsInProgram", &["stud"], &["years"]))
-        .add_fd(FunctionalDependency::new("hasPosition", &["prof"], &["position"]))
-        .add_fd(FunctionalDependency::new("courseLevel", &["crs"], &["level"]));
+        .add_fd(FunctionalDependency::new(
+            "yearsInProgram",
+            &["stud"],
+            &["years"],
+        ))
+        .add_fd(FunctionalDependency::new(
+            "hasPosition",
+            &["prof"],
+            &["position"],
+        ))
+        .add_fd(FunctionalDependency::new(
+            "courseLevel",
+            &["crs"],
+            &["level"],
+        ));
     s
 }
 
@@ -176,21 +203,25 @@ pub fn generate(config: &UwCseConfig) -> SchemaFamily {
         let phase = PHASES[rng.gen_range(0..PHASES.len())];
         db.insert("inPhase", Tuple::from_strs(&[s, phase])).unwrap();
         let years = rng.gen_range(1..=8).to_string();
-        db.insert("yearsInProgram", Tuple::from_strs(&[s, &years])).unwrap();
+        db.insert("yearsInProgram", Tuple::from_strs(&[s, &years]))
+            .unwrap();
     }
     for p in &professors {
         db.insert("professor", Tuple::from_strs(&[p])).unwrap();
         let pos = POSITIONS[rng.gen_range(0..POSITIONS.len())];
-        db.insert("hasPosition", Tuple::from_strs(&[p, pos])).unwrap();
+        db.insert("hasPosition", Tuple::from_strs(&[p, pos]))
+            .unwrap();
     }
     for (i, c) in courses.iter().enumerate() {
         let level = LEVELS[rng.gen_range(0..LEVELS.len())];
-        db.insert("courseLevel", Tuple::from_strs(&[c, level])).unwrap();
+        db.insert("courseLevel", Tuple::from_strs(&[c, level]))
+            .unwrap();
         // Round-robin guarantees every professor teaches (the equality IND
         // taughtBy[prof] = professor[prof] must hold).
         let prof = &professors[i % config.professors];
         let term = TERMS[rng.gen_range(0..TERMS.len())];
-        db.insert("taughtBy", Tuple::from_strs(&[c, prof, term])).unwrap();
+        db.insert("taughtBy", Tuple::from_strs(&[c, prof, term]))
+            .unwrap();
         let ta = &students[rng.gen_range(0..students.len())];
         db.insert("ta", Tuple::from_strs(&[c, ta, term])).unwrap();
     }
@@ -198,7 +229,8 @@ pub fn generate(config: &UwCseConfig) -> SchemaFamily {
     for c in courses.iter().take(config.courses / 2) {
         let prof = &professors[rng.gen_range(0..professors.len())];
         let term = TERMS[rng.gen_range(0..TERMS.len())];
-        db.insert("taughtBy", Tuple::from_strs(&[c, prof, term])).unwrap();
+        db.insert("taughtBy", Tuple::from_strs(&[c, prof, term]))
+            .unwrap();
     }
 
     // Advising pairs and the co-authorship signal.
@@ -214,8 +246,10 @@ pub fn generate(config: &UwCseConfig) -> SchemaFamily {
             for _ in 0..n_pubs {
                 let title = format!("pub{pub_counter}");
                 pub_counter += 1;
-                db.insert("publication", Tuple::from_strs(&[&title, s])).unwrap();
-                db.insert("publication", Tuple::from_strs(&[&title, &prof])).unwrap();
+                db.insert("publication", Tuple::from_strs(&[&title, s]))
+                    .unwrap();
+                db.insert("publication", Tuple::from_strs(&[&title, &prof]))
+                    .unwrap();
             }
         }
     }
@@ -223,7 +257,8 @@ pub fn generate(config: &UwCseConfig) -> SchemaFamily {
     for s in students.iter().step_by(3) {
         let title = format!("pub{pub_counter}");
         pub_counter += 1;
-        db.insert("publication", Tuple::from_strs(&[&title, s])).unwrap();
+        db.insert("publication", Tuple::from_strs(&[&title, s]))
+            .unwrap();
     }
 
     // Negative examples: non-advising (student, professor) pairs; a fraction
@@ -246,8 +281,10 @@ pub fn generate(config: &UwCseConfig) -> SchemaFamily {
             // Noise: make this non-advising pair co-author a publication.
             let title = format!("pub{pub_counter}");
             pub_counter += 1;
-            db.insert("publication", Tuple::from_strs(&[&title, s])).unwrap();
-            db.insert("publication", Tuple::from_strs(&[&title, p])).unwrap();
+            db.insert("publication", Tuple::from_strs(&[&title, s]))
+                .unwrap();
+            db.insert("publication", Tuple::from_strs(&[&title, p]))
+                .unwrap();
         }
         negatives.push(pair);
     }
@@ -481,8 +518,7 @@ mod tests {
             definition_results(v.ground_truth.as_ref().unwrap(), &v.db)
         };
         for variant in &family.variants[1..] {
-            let results =
-                definition_results(variant.ground_truth.as_ref().unwrap(), &variant.db);
+            let results = definition_results(variant.ground_truth.as_ref().unwrap(), &variant.db);
             assert_eq!(results, reference, "variant {} diverges", variant.name);
         }
     }

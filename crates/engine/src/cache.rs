@@ -1,0 +1,217 @@
+//! Memoized coverage results keyed by canonical (variable-renamed) clauses.
+//!
+//! The covering loop re-scores near-identical candidates constantly: beam
+//! search re-evaluates surviving clauses, ARMG produces the same
+//! generalization from different parents, and negative reduction tests
+//! prefixes that earlier iterations already tested. Clauses that differ
+//! only in variable names have identical coverage, so results are cached
+//! under a canonical renaming: variables are numbered in first-occurrence
+//! order (head first, then body), making any two α-equivalent clauses
+//! collide on purpose.
+//!
+//! The cache also records enough to make the generality order an engine
+//! invariant (Section 7.5.4): when a caller declares that clause `C`
+//! generalizes clause `P`, every example cached as covered by `P` is
+//! covered by `C` without a test.
+
+use crate::fx::FxHashMap;
+use castor_logic::{Clause, CoverageOutcome, Term};
+use castor_relational::Tuple;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Renames the clause's variables to `_0, _1, ...` in first-occurrence
+/// order (head first, then body literals in clause order). α-equivalent
+/// clauses map to the same canonical clause; the renaming is a bijection,
+/// so equal canonical forms imply isomorphic clauses and therefore equal
+/// coverage.
+pub fn canonicalize(clause: &Clause) -> Clause {
+    let mut names: HashMap<String, String> = HashMap::new();
+    let mut rename = |atom: &castor_logic::Atom| castor_logic::Atom {
+        relation: atom.relation.clone(),
+        terms: atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(name) => {
+                    let next = names.len();
+                    Term::Var(
+                        names
+                            .entry(name.clone())
+                            .or_insert_with(|| format!("_{next}"))
+                            .clone(),
+                    )
+                }
+                Term::Const(_) => t.clone(),
+            })
+            .collect(),
+    };
+    let head = rename(&clause.head);
+    let body = clause.body.iter().map(&mut rename).collect();
+    Clause { head, body }
+}
+
+/// A thread-safe memo table from (canonical clause, example) to the cached
+/// coverage outcome. Bounded: when the number of distinct clauses exceeds
+/// the capacity the table is cleared wholesale (coverage runs are phased,
+/// so a full reset loses little and keeps memory flat).
+#[derive(Debug)]
+pub struct CoverageCache {
+    entries: Mutex<FxHashMap<Clause, FxHashMap<Tuple, CoverageOutcome>>>,
+    capacity: usize,
+}
+
+impl CoverageCache {
+    /// Creates a cache holding at most `capacity` distinct clauses.
+    pub fn new(capacity: usize) -> Self {
+        CoverageCache {
+            entries: Mutex::new(FxHashMap::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The cached outcome for `(canonical, example)`, if any.
+    pub fn get(&self, canonical: &Clause, example: &Tuple) -> Option<CoverageOutcome> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.get(canonical).and_then(|m| m.get(example)).copied()
+    }
+
+    /// Records an outcome for `(canonical, example)`.
+    pub fn insert(&self, canonical: &Clause, example: &Tuple, outcome: CoverageOutcome) {
+        self.insert_many(canonical, std::iter::once((example.clone(), outcome)));
+    }
+
+    /// Records a batch of outcomes for one clause under a single lock.
+    pub fn insert_many<I>(&self, canonical: &Clause, outcomes: I)
+    where
+        I: IntoIterator<Item = (Tuple, CoverageOutcome)>,
+    {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if !entries.contains_key(canonical) && entries.len() >= self.capacity {
+            entries.clear();
+        }
+        entries
+            .entry(canonical.clone())
+            .or_default()
+            .extend(outcomes);
+    }
+
+    /// Cached outcomes for a whole batch of examples under one lock (and
+    /// one hashing of the clause key) — the covering loop re-scores the
+    /// same candidate over many examples, so per-example locking dominates
+    /// the hit path otherwise.
+    pub fn get_batch(
+        &self,
+        canonical: &Clause,
+        examples: &[Tuple],
+    ) -> Vec<Option<CoverageOutcome>> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        match entries.get(canonical) {
+            None => vec![None; examples.len()],
+            Some(cached) => examples.iter().map(|e| cached.get(e).copied()).collect(),
+        }
+    }
+
+    /// The examples from `examples` cached as covered by `canonical` —
+    /// the generality-order shortcut: callers pass a *parent* clause here
+    /// and skip testing these examples on its generalizations.
+    pub fn covered_subset(&self, canonical: &Clause, examples: &[Tuple]) -> Vec<Tuple> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(cached) = entries.get(canonical) else {
+            return Vec::new();
+        };
+        examples
+            .iter()
+            .filter(|e| cached.get(*e).copied() == Some(CoverageOutcome::Covered))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of distinct clauses currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for CoverageCache {
+    fn default() -> Self {
+        CoverageCache::new(16_384)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::Atom;
+
+    fn clause(x: &str, y: &str, p: &str) -> Clause {
+        Clause::new(
+            Atom::vars("collaborated", &[x, y]),
+            vec![
+                Atom::vars("publication", &[p, x]),
+                Atom::vars("publication", &[p, y]),
+            ],
+        )
+    }
+
+    #[test]
+    fn alpha_equivalent_clauses_share_a_key() {
+        let a = canonicalize(&clause("x", "y", "p"));
+        let b = canonicalize(&clause("u", "v", "w"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_structure_keeps_distinct_keys() {
+        let a = canonicalize(&clause("x", "y", "p"));
+        // Same variable in both head positions is a different clause.
+        let b = canonicalize(&clause("x", "x", "p"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constants_survive_canonicalization() {
+        let c = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![Atom::new("r", vec![Term::var("x"), Term::constant("k")])],
+        );
+        let canon = canonicalize(&c);
+        assert_eq!(canon.body[0].terms[1], Term::constant("k"));
+    }
+
+    #[test]
+    fn cache_roundtrip_and_covered_subset() {
+        let cache = CoverageCache::default();
+        let key = canonicalize(&clause("x", "y", "p"));
+        let e1 = Tuple::from_strs(&["ann", "bob"]);
+        let e2 = Tuple::from_strs(&["ann", "carol"]);
+        cache.insert(&key, &e1, CoverageOutcome::Covered);
+        cache.insert(&key, &e2, CoverageOutcome::NotCovered);
+        assert_eq!(cache.get(&key, &e1), Some(CoverageOutcome::Covered));
+        assert_eq!(cache.get(&key, &e2), Some(CoverageOutcome::NotCovered));
+        assert_eq!(
+            cache.covered_subset(&key, &[e1.clone(), e2.clone()]),
+            vec![e1]
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_overflow_clears_instead_of_growing() {
+        let cache = CoverageCache::new(2);
+        let e = Tuple::from_strs(&["a", "b"]);
+        for i in 0..5 {
+            let key = canonicalize(&Clause::new(
+                Atom::vars(format!("t{i}"), &["x", "y"]),
+                vec![],
+            ));
+            cache.insert(&key, &e, CoverageOutcome::Covered);
+        }
+        assert!(cache.len() <= 2);
+    }
+}

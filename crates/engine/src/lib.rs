@@ -1,0 +1,613 @@
+//! # castor-engine
+//!
+//! The compiled clause-evaluation and coverage subsystem of the Castor
+//! reproduction. The paper credits Castor's speed to treating coverage
+//! testing as a database problem — stored-procedure-style evaluation
+//! (Section 7.5.2), parallel coverage tests (Figure 2), and aggressive
+//! reuse of results across candidate clauses (Sections 7.5.3–7.5.4). This
+//! crate owns that machinery for the whole workspace:
+//!
+//! * [`stats`] — per-relation/per-attribute selectivity statistics read off
+//!   the database's hash indexes when the engine is built;
+//! * [`plan`] — compiled per-clause join orders chosen once from those
+//!   statistics instead of re-ranking literals at every backtracking node;
+//! * [`executor`] — budgeted execution of a compiled plan against the
+//!   positional hash indexes;
+//! * [`cache`] — a memoized coverage cache keyed by canonical
+//!   (variable-renamed) clauses, with generality-order propagation
+//!   ([`Prior::GeneralizationOf`]) promoted to an engine invariant;
+//! * [`pool`] — a persistent worker pool with work-stealing over examples,
+//!   replacing per-call thread spawning.
+//!
+//! The [`Engine`] front end combines all five; every learner in the
+//! workspace (Castor, FOIL, Golem, Progol, ProGolem) routes coverage tests
+//! through it.
+
+pub mod cache;
+pub mod executor;
+pub mod fx;
+pub mod plan;
+pub mod pool;
+pub mod stats;
+
+pub use cache::{canonicalize, CoverageCache};
+pub use castor_logic::{CoverageOutcome, EvalBudget, DEFAULT_EVAL_NODE_BUDGET};
+pub use fx::{FxBuildHasher, FxHashMap, FxHasher};
+pub use plan::{ClausePlan, PlanStep};
+pub use pool::WorkerPool;
+pub use stats::{DatabaseStatistics, EngineReport, EngineStats};
+
+use castor_logic::Clause;
+use castor_relational::{DatabaseInstance, Tuple};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// Engine construction knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for parallel coverage testing (1 = inline).
+    pub threads: usize,
+    /// Node budget per coverage test (replaces the old hardcoded
+    /// `EVAL_NODE_BUDGET`); exhaustions are counted and reported.
+    pub eval_budget: usize,
+    /// Memoize coverage results per canonical clause.
+    pub cache_coverage: bool,
+    /// Maximum distinct clauses held by the coverage cache.
+    pub cache_capacity: usize,
+    /// Compile and reuse per-clause join plans; when disabled every test
+    /// falls back to the interpreted evaluator (the ablation baseline).
+    pub compile_plans: bool,
+    /// Minimum pending examples before a `covered_set` call is spread over
+    /// the worker pool.
+    pub parallel_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1,
+            eval_budget: DEFAULT_EVAL_NODE_BUDGET,
+            cache_coverage: true,
+            cache_capacity: 16_384,
+            compile_plans: true,
+            parallel_threshold: 8,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Returns a copy with the given worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy with the given per-test node budget.
+    pub fn with_eval_budget(mut self, budget: usize) -> Self {
+        self.eval_budget = budget;
+        self
+    }
+
+    /// Returns a copy with memoization disabled (benchmark baseline).
+    pub fn without_cache(mut self) -> Self {
+        self.cache_coverage = false;
+        self
+    }
+
+    /// Returns a copy with plan compilation disabled (benchmark baseline).
+    pub fn without_compiled_plans(mut self) -> Self {
+        self.compile_plans = false;
+        self
+    }
+}
+
+/// Prior knowledge a caller can hand to [`Engine::covered_set`] to skip
+/// redundant tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Prior<'a> {
+    /// No prior knowledge: test every example (cache permitting).
+    #[default]
+    None,
+    /// These examples are known covered (legacy explicit form).
+    Known(&'a HashSet<Tuple>),
+    /// The queried clause generalizes this clause, so everything the parent
+    /// is cached as covering is covered — the generality order of
+    /// Section 7.5.4 as an engine invariant.
+    GeneralizationOf(&'a Clause),
+}
+
+/// A pluggable per-example coverage test driven by [`CoverageRuntime`]:
+/// the database-evaluation engine and the subsumption-based coverage engine
+/// in `castor-core` differ only in this trait's two methods.
+pub trait CoverageTester {
+    /// Evaluates one (canonical clause, example) pair, counting the test in
+    /// the runtime's metrics.
+    fn test(&self, canonical: &Clause, example: &Tuple) -> CoverageOutcome;
+
+    /// Builds the `'static` task executed by worker threads for a batch:
+    /// the closure must own (`Arc`-clone) everything it touches.
+    fn parallel_task(
+        &self,
+        canonical: &Clause,
+        examples: &Arc<Vec<Tuple>>,
+    ) -> Box<dyn Fn(usize) -> CoverageOutcome + Send + Sync + 'static>;
+}
+
+/// The orchestration shared by every coverage engine: canonical-clause
+/// keying, prior handling (including the generality order), batched memo
+/// lookup/writeback, and worker-pool dispatch. Parameterized by a
+/// [`CoverageTester`] so the database executor and the θ-subsumption tester
+/// stay a single code path.
+#[derive(Debug)]
+pub struct CoverageRuntime {
+    cache: CoverageCache,
+    pool: Arc<WorkerPool>,
+    metrics: Arc<EngineStats>,
+    cache_coverage: bool,
+    parallel_threshold: usize,
+}
+
+impl CoverageRuntime {
+    /// Builds a runtime from the engine configuration and a (possibly
+    /// shared) worker pool.
+    pub fn new(config: &EngineConfig, pool: Arc<WorkerPool>) -> Self {
+        CoverageRuntime {
+            cache: CoverageCache::new(config.cache_capacity),
+            pool,
+            metrics: Arc::new(EngineStats::new()),
+            cache_coverage: config.cache_coverage,
+            parallel_threshold: config.parallel_threshold,
+        }
+    }
+
+    /// The worker pool this runtime dispatches on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The shared counters (testers bump `coverage_tests` and
+    /// `budget_exhausted` through this handle).
+    pub fn metrics(&self) -> &Arc<EngineStats> {
+        &self.metrics
+    }
+
+    /// Snapshot of the runtime counters.
+    pub fn report(&self) -> EngineReport {
+        self.metrics.snapshot()
+    }
+
+    /// Tri-state coverage test for one example through the memo cache.
+    pub fn try_covers<T: CoverageTester>(
+        &self,
+        tester: &T,
+        canonical: &Clause,
+        example: &Tuple,
+    ) -> CoverageOutcome {
+        if self.cache_coverage {
+            if let Some(outcome) = self.cache.get(canonical, example) {
+                EngineStats::bump(&self.metrics.cache_hits);
+                return outcome;
+            }
+            EngineStats::bump(&self.metrics.cache_misses);
+        }
+        let outcome = tester.test(canonical, example);
+        if self.cache_coverage {
+            self.cache.insert(canonical, example, outcome);
+        }
+        outcome
+    }
+
+    /// The subset of `examples` covered by the canonical clause. `prior`
+    /// feeds the generality order; pending examples are spread over the
+    /// worker pool when there are enough of them.
+    pub fn covered_set<T: CoverageTester>(
+        &self,
+        tester: &T,
+        canonical: &Clause,
+        examples: &[Tuple],
+        prior: Prior<'_>,
+    ) -> HashSet<Tuple> {
+        let mut covered: HashSet<Tuple> = HashSet::new();
+        let mut skip: HashSet<Tuple> = HashSet::new();
+        // `cacheable_skips`: only generality-derived facts go into the memo
+        // table. Entries from Prior::Known are the *caller's* claim — they
+        // shape this result but must not poison the shared cache.
+        let mut cacheable_skips = false;
+        match prior {
+            Prior::None => {}
+            Prior::Known(known) => {
+                for e in examples {
+                    if known.contains(e) {
+                        covered.insert(e.clone());
+                        skip.insert(e.clone());
+                    }
+                }
+            }
+            Prior::GeneralizationOf(parent) => {
+                let parent_key = canonicalize(parent);
+                for e in self.cache.covered_subset(&parent_key, examples) {
+                    covered.insert(e.clone());
+                    skip.insert(e);
+                }
+                cacheable_skips = true;
+            }
+        }
+        if !skip.is_empty() {
+            EngineStats::add(&self.metrics.generality_skips, skip.len());
+            if self.cache_coverage && cacheable_skips {
+                self.cache.insert_many(
+                    canonical,
+                    skip.iter().map(|e| (e.clone(), CoverageOutcome::Covered)),
+                );
+            }
+        }
+
+        // Answer what the cache can (one lock for the whole batch), then
+        // evaluate the remainder.
+        let mut pending: Vec<Tuple> = Vec::new();
+        let cached = if self.cache_coverage {
+            self.cache.get_batch(canonical, examples)
+        } else {
+            vec![None; examples.len()]
+        };
+        let mut hits = 0usize;
+        for (e, cached) in examples.iter().zip(cached) {
+            if skip.contains(e) || covered.contains(e) {
+                continue;
+            }
+            match cached {
+                Some(outcome) => {
+                    hits += 1;
+                    if outcome.is_covered() {
+                        covered.insert(e.clone());
+                    }
+                }
+                None => pending.push(e.clone()),
+            }
+        }
+        if self.cache_coverage {
+            EngineStats::add(&self.metrics.cache_hits, hits);
+            EngineStats::add(&self.metrics.cache_misses, pending.len());
+        }
+        if pending.is_empty() {
+            return covered;
+        }
+
+        let outcomes: Vec<CoverageOutcome> =
+            if self.pool.size() > 1 && pending.len() >= self.parallel_threshold {
+                let examples = Arc::new(pending.clone());
+                let task = tester.parallel_task(canonical, &examples);
+                self.pool.map_indices(examples.len(), task)
+            } else {
+                pending.iter().map(|e| tester.test(canonical, e)).collect()
+            };
+        if self.cache_coverage {
+            self.cache.insert_many(
+                canonical,
+                pending.iter().cloned().zip(outcomes.iter().copied()),
+            );
+        }
+        for (e, outcome) in pending.into_iter().zip(outcomes) {
+            if outcome.is_covered() {
+                covered.insert(e);
+            }
+        }
+        covered
+    }
+}
+
+/// The database-backed evaluation engine: statistics, compiled plans,
+/// memoized coverage, and a persistent worker pool behind one front end.
+#[derive(Debug)]
+pub struct Engine {
+    db: Arc<DatabaseInstance>,
+    db_stats: DatabaseStatistics,
+    plans: Mutex<fx::FxHashMap<Clause, Arc<ClausePlan>>>,
+    runtime: CoverageRuntime,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Builds an engine over a snapshot of `db`. The instance is deep-cloned
+    /// once (tuples and indexes) so worker threads can share it; callers
+    /// that already hold an `Arc` should use [`Engine::from_arc`] instead.
+    pub fn new(db: &DatabaseInstance, config: EngineConfig) -> Self {
+        Engine::from_arc(Arc::new(db.clone()), config)
+    }
+
+    /// Builds an engine sharing `db` without copying it.
+    pub fn from_arc(db: Arc<DatabaseInstance>, config: EngineConfig) -> Self {
+        let db_stats = DatabaseStatistics::gather(&db);
+        let pool = Arc::new(WorkerPool::new(config.threads));
+        Engine {
+            db_stats,
+            plans: Mutex::new(fx::FxHashMap::default()),
+            runtime: CoverageRuntime::new(&config, pool),
+            config,
+            db,
+        }
+    }
+
+    /// The database the engine evaluates against.
+    pub fn db(&self) -> &DatabaseInstance {
+        &self.db
+    }
+
+    /// The statistics snapshot taken at build time.
+    pub fn statistics(&self) -> &DatabaseStatistics {
+        &self.db_stats
+    }
+
+    /// The engine's worker pool. `castor-core`'s subsumption coverage
+    /// engine accepts this handle so one learner run drives a single pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        self.runtime.pool()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Snapshot of the engine counters.
+    pub fn report(&self) -> EngineReport {
+        self.runtime.report()
+    }
+
+    /// The compiled plan for a canonical clause, compiling on first use.
+    /// Bounded like the coverage cache: at capacity the table is cleared
+    /// rather than growing without limit.
+    fn plan_for(&self, canonical: &Clause) -> Arc<ClausePlan> {
+        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(plan) = plans.get(canonical) {
+            EngineStats::bump(&self.runtime.metrics().plan_cache_hits);
+            return Arc::clone(plan);
+        }
+        if plans.len() >= self.config.cache_capacity {
+            plans.clear();
+        }
+        let plan = Arc::new(ClausePlan::compile(canonical, &self.db_stats));
+        EngineStats::bump(&self.runtime.metrics().plans_compiled);
+        plans.insert(canonical.clone(), Arc::clone(&plan));
+        plan
+    }
+
+    /// Tri-state coverage test for one example, going through the cache and
+    /// the compiled plan.
+    pub fn try_covers(&self, clause: &Clause, example: &Tuple) -> CoverageOutcome {
+        let canonical = canonicalize(clause);
+        self.runtime.try_covers(self, &canonical, example)
+    }
+
+    /// Boolean coverage test (exhausted budgets count as "not covered").
+    pub fn covers(&self, clause: &Clause, example: &Tuple) -> bool {
+        self.try_covers(clause, example).is_covered()
+    }
+
+    /// The subset of `examples` covered by `clause`. `prior` feeds the
+    /// generality order: examples covered by a clause this one generalizes
+    /// are accepted without a test. Pending examples are spread over the
+    /// worker pool when there are enough of them.
+    pub fn covered_set(
+        &self,
+        clause: &Clause,
+        examples: &[Tuple],
+        prior: Prior<'_>,
+    ) -> HashSet<Tuple> {
+        let canonical = canonicalize(clause);
+        self.runtime.covered_set(self, &canonical, examples, prior)
+    }
+
+    /// Positive/negative coverage counts for `clause`.
+    pub fn coverage_counts(
+        &self,
+        clause: &Clause,
+        positive: &[Tuple],
+        negative: &[Tuple],
+    ) -> (usize, usize) {
+        let pos = self.covered_set(clause, positive, Prior::None).len();
+        let neg = self.covered_set(clause, negative, Prior::None).len();
+        (pos, neg)
+    }
+}
+
+impl CoverageTester for Engine {
+    fn test(&self, canonical: &Clause, example: &Tuple) -> CoverageOutcome {
+        let metrics = self.runtime.metrics();
+        EngineStats::bump(&metrics.coverage_tests);
+        let mut budget = EvalBudget::new(self.config.eval_budget);
+        let outcome = if self.config.compile_plans {
+            let plan = self.plan_for(canonical);
+            executor::covers_with_plan(canonical, &plan, &self.db, example, &mut budget)
+        } else {
+            castor_logic::covers_example_budgeted(canonical, &self.db, example, &mut budget)
+        };
+        if outcome.is_exhausted() {
+            EngineStats::bump(&metrics.budget_exhausted);
+        }
+        outcome
+    }
+
+    fn parallel_task(
+        &self,
+        canonical: &Clause,
+        examples: &Arc<Vec<Tuple>>,
+    ) -> Box<dyn Fn(usize) -> CoverageOutcome + Send + Sync + 'static> {
+        let db = Arc::clone(&self.db);
+        let metrics = Arc::clone(self.runtime.metrics());
+        let clause = canonical.clone();
+        let budget = self.config.eval_budget;
+        let examples = Arc::clone(examples);
+        let plan = self.config.compile_plans.then(|| self.plan_for(canonical));
+        Box::new(move |i| {
+            EngineStats::bump(&metrics.coverage_tests);
+            let mut node_budget = EvalBudget::new(budget);
+            let outcome = match &plan {
+                Some(plan) => {
+                    executor::covers_with_plan(&clause, plan, &db, &examples[i], &mut node_budget)
+                }
+                None => castor_logic::covers_example_budgeted(
+                    &clause,
+                    &db,
+                    &examples[i],
+                    &mut node_budget,
+                ),
+            };
+            if outcome.is_exhausted() {
+                EngineStats::bump(&metrics.budget_exhausted);
+            }
+            outcome
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::Atom;
+    use castor_relational::{RelationSymbol, Schema};
+
+    fn db() -> DatabaseInstance {
+        let mut schema = Schema::new("demo");
+        schema.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for (t, p) in [
+            ("p1", "ann"),
+            ("p1", "bob"),
+            ("p2", "carol"),
+            ("p2", "dan"),
+            ("p3", "eve"),
+        ] {
+            db.insert("publication", Tuple::from_strs(&[t, p])).unwrap();
+        }
+        db
+    }
+
+    fn collaborated(x: &str, y: &str, p: &str) -> Clause {
+        Clause::new(
+            Atom::vars("collaborated", &[x, y]),
+            vec![
+                Atom::vars("publication", &[p, x]),
+                Atom::vars("publication", &[p, y]),
+            ],
+        )
+    }
+
+    #[test]
+    fn engine_coverage_matches_reference_semantics() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let clause = collaborated("x", "y", "p");
+        for example in [
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["ann", "carol"]),
+            Tuple::from_strs(&["eve", "eve"]),
+        ] {
+            assert_eq!(
+                engine.covers(&clause, &example),
+                castor_logic::covers_example(&clause, &db, &example),
+                "engine disagrees on {example}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_scoring_hits_the_cache() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let examples = [
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["carol", "dan"]),
+        ];
+        // Alpha-variant clauses must share cache entries.
+        engine.covered_set(&collaborated("x", "y", "p"), &examples, Prior::None);
+        let before = engine.report();
+        engine.covered_set(&collaborated("u", "v", "w"), &examples, Prior::None);
+        let after = engine.report();
+        assert_eq!(after.coverage_tests, before.coverage_tests);
+        assert_eq!(after.cache_hits, before.cache_hits + examples.len());
+        assert_eq!(after.plans_compiled, 1);
+    }
+
+    #[test]
+    fn generality_prior_skips_parent_covered_examples() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let parent = collaborated("x", "y", "p");
+        let examples = [
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["ann", "carol"]),
+        ];
+        let parent_covered = engine.covered_set(&parent, &examples, Prior::None);
+        assert_eq!(parent_covered.len(), 1);
+        // A strictly more general clause (one literal dropped).
+        let child = Clause::new(
+            Atom::vars("collaborated", &["x", "y"]),
+            vec![Atom::vars("publication", &["p", "x"])],
+        );
+        let before = engine.report();
+        let child_covered = engine.covered_set(&child, &examples, Prior::GeneralizationOf(&parent));
+        let after = engine.report();
+        assert!(child_covered.contains(&Tuple::from_strs(&["ann", "bob"])));
+        assert_eq!(after.generality_skips, before.generality_skips + 1);
+    }
+
+    #[test]
+    fn uncached_config_reevaluates_every_time() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default().without_cache());
+        let clause = collaborated("x", "y", "p");
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        engine.covers(&clause, &e);
+        engine.covers(&clause, &e);
+        let report = engine.report();
+        assert_eq!(report.coverage_tests, 2);
+        assert_eq!(report.cache_hits, 0);
+    }
+
+    #[test]
+    fn interpreted_fallback_agrees_with_compiled_plans() {
+        let db = db();
+        let compiled = Engine::new(&db, EngineConfig::default());
+        let interpreted = Engine::new(&db, EngineConfig::default().without_compiled_plans());
+        let clause = collaborated("x", "y", "p");
+        let examples: Vec<Tuple> = vec![
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["carol", "dan"]),
+            Tuple::from_strs(&["ann", "dan"]),
+            Tuple::from_strs(&["eve", "eve"]),
+        ];
+        assert_eq!(
+            compiled.covered_set(&clause, &examples, Prior::None),
+            interpreted.covered_set(&clause, &examples, Prior::None)
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_paths_agree() {
+        let db = db();
+        let sequential = Engine::new(&db, EngineConfig::default());
+        let parallel = Engine::new(&db, EngineConfig::default().with_threads(4));
+        let clause = collaborated("x", "y", "p");
+        let base = [
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["carol", "dan"]),
+            Tuple::from_strs(&["ann", "dan"]),
+            Tuple::from_strs(&["eve", "eve"]),
+        ];
+        let many: Vec<Tuple> = base.iter().cycle().take(64).cloned().collect();
+        assert_eq!(
+            sequential.covered_set(&clause, &many, Prior::None),
+            parallel.covered_set(&clause, &many, Prior::None)
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_silent() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default().with_eval_budget(0));
+        let clause = collaborated("x", "y", "p");
+        assert!(!engine.covers(&clause, &Tuple::from_strs(&["ann", "bob"])));
+        assert_eq!(engine.report().budget_exhausted, 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Compiled clause plans: a join order chosen once per clause.
+//!
+//! The interpreted evaluator in `castor_logic::evaluation` re-ranks the
+//! remaining body literals at every backtracking node (an O(body²) choice
+//! per node). A [`ClausePlan`] makes that decision once, at compile time,
+//! from the selectivity statistics gathered when the engine was built —
+//! exactly the stored-procedure-style preparation the paper attributes
+//! Castor's speed to (Section 7.5.2). The executor then walks the fixed
+//! order with index lookups and never reconsiders it.
+
+use crate::stats::DatabaseStatistics;
+use castor_logic::{Clause, Term};
+use std::collections::BTreeSet;
+
+/// One step of a compiled plan: which body literal to solve next, and which
+/// of its argument positions are already bound (by the head binding, by a
+/// constant, or by an earlier step) when the step runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Index of the literal in the clause body.
+    pub literal: usize,
+    /// Argument positions guaranteed to be bound when this step executes.
+    pub bound_positions: Vec<usize>,
+}
+
+/// A compiled evaluation plan for one clause, assuming the head variables
+/// are bound to an example before execution (the coverage-test calling
+/// convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClausePlan {
+    /// The body literal order to execute.
+    pub steps: Vec<PlanStep>,
+    /// Sum of estimated candidate counts along the chosen order (kept for
+    /// introspection and tests; not used at execution time).
+    pub estimated_cost: f64,
+}
+
+impl ClausePlan {
+    /// Compiles a join order for `clause` using greedy cost estimation:
+    /// starting from the bound set {head variables ∪ constants}, repeatedly
+    /// pick the literal with the smallest estimated candidate count given
+    /// the current bound set, then mark its variables bound.
+    pub fn compile(clause: &Clause, stats: &DatabaseStatistics) -> ClausePlan {
+        let mut bound: BTreeSet<&str> = clause
+            .head
+            .terms
+            .iter()
+            .filter_map(Term::var_name)
+            .collect();
+        let mut remaining: Vec<usize> = (0..clause.body.len()).collect();
+        let mut steps = Vec::with_capacity(clause.body.len());
+        let mut estimated_cost = 0.0;
+
+        while !remaining.is_empty() {
+            let mut best: Option<(usize, f64)> = None;
+            for (slot, &lit) in remaining.iter().enumerate() {
+                let cost = estimate(clause, lit, &bound, stats);
+                let better = match best {
+                    None => true,
+                    Some((_, best_cost)) => cost < best_cost,
+                };
+                if better {
+                    best = Some((slot, cost));
+                }
+            }
+            let (slot, cost) = best.expect("remaining is non-empty");
+            let lit = remaining.remove(slot);
+            estimated_cost += cost;
+            let atom = &clause.body[lit];
+            let bound_positions: Vec<usize> = atom
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(_, term)| match term {
+                    Term::Const(_) => true,
+                    Term::Var(name) => bound.contains(name.as_str()),
+                })
+                .map(|(i, _)| i)
+                .collect();
+            bound.extend(atom.terms.iter().filter_map(Term::var_name));
+            steps.push(PlanStep {
+                literal: lit,
+                bound_positions,
+            });
+        }
+
+        ClausePlan {
+            steps,
+            estimated_cost,
+        }
+    }
+}
+
+/// Estimated number of candidate tuples for solving body literal `lit`
+/// given the currently bound variables: the smallest expected posting-list
+/// size over its bound positions, or the full relation cardinality when no
+/// position is bound. Unknown relations cost 0 — probing them first fails
+/// the whole body immediately, which is the cheapest possible outcome.
+fn estimate(
+    clause: &Clause,
+    lit: usize,
+    bound: &BTreeSet<&str>,
+    stats: &DatabaseStatistics,
+) -> f64 {
+    let atom = &clause.body[lit];
+    let Some(rel) = stats.relation(&atom.relation) else {
+        return 0.0;
+    };
+    let mut best: Option<f64> = None;
+    for (pos, term) in atom.terms.iter().enumerate() {
+        let is_bound = match term {
+            Term::Const(_) => true,
+            Term::Var(name) => bound.contains(name.as_str()),
+        };
+        if is_bound {
+            let expected = rel.expected_matches(pos);
+            if best.is_none_or(|b| expected < b) {
+                best = Some(expected);
+            }
+        }
+    }
+    best.unwrap_or(rel.cardinality as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::Atom;
+    use castor_relational::{DatabaseInstance, RelationSymbol, Schema, Tuple};
+
+    fn stats() -> DatabaseStatistics {
+        let mut schema = Schema::new("s");
+        schema
+            .add_relation(RelationSymbol::new("big", &["a", "b"]))
+            .add_relation(RelationSymbol::new("small", &["a"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for i in 0..100 {
+            db.insert(
+                "big",
+                Tuple::from_strs(&[&format!("k{}", i % 10), &i.to_string()]),
+            )
+            .unwrap();
+        }
+        db.insert("small", Tuple::from_strs(&["k1"])).unwrap();
+        db.insert("small", Tuple::from_strs(&["k2"])).unwrap();
+        DatabaseStatistics::gather(&db)
+    }
+
+    #[test]
+    fn selective_literal_is_scheduled_first() {
+        // t(x) ← big(x, y), small(x): both have x bound by the head, but
+        // small has 2 expected matches vs big's 10, so small goes first.
+        let clause = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("big", &["x", "y"]), Atom::vars("small", &["x"])],
+        );
+        let plan = ClausePlan::compile(&clause, &stats());
+        assert_eq!(plan.steps[0].literal, 1, "small(x) should be probed first");
+        assert_eq!(plan.steps[0].bound_positions, vec![0]);
+        // After solving small(x), big's position 0 is still the bound one.
+        assert_eq!(plan.steps[1].literal, 0);
+        assert_eq!(plan.steps[1].bound_positions, vec![0]);
+    }
+
+    #[test]
+    fn unknown_relation_short_circuits_to_front() {
+        let clause = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![
+                Atom::vars("big", &["x", "y"]),
+                Atom::vars("missing", &["x"]),
+            ],
+        );
+        let plan = ClausePlan::compile(&clause, &stats());
+        assert_eq!(plan.steps[0].literal, 1);
+    }
+
+    #[test]
+    fn constants_count_as_bound() {
+        // z is not a head variable, so only the constant position is bound.
+        let clause = Clause::new(
+            Atom::vars("t", &["y"]),
+            vec![
+                Atom::vars("small", &["y"]),
+                Atom::new("big", vec![Term::constant("k1"), Term::var("z")]),
+            ],
+        );
+        let plan = ClausePlan::compile(&clause, &stats());
+        let big_step = plan.steps.iter().find(|s| s.literal == 1).unwrap();
+        assert_eq!(big_step.bound_positions, vec![0]);
+        assert!(plan.estimated_cost < 100.0);
+    }
+
+    #[test]
+    fn empty_body_compiles_to_empty_plan() {
+        let clause = Clause::fact(Atom::vars("t", &["x"]));
+        let plan = ClausePlan::compile(&clause, &stats());
+        assert!(plan.steps.is_empty());
+        assert_eq!(plan.estimated_cost, 0.0);
+    }
+}

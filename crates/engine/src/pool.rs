@@ -1,0 +1,187 @@
+//! A persistent worker pool for parallel coverage testing.
+//!
+//! The original implementation spawned a fresh `std::thread::scope` per
+//! `covered_set` call and split the examples into fixed per-thread chunks.
+//! A covering run performs thousands of such calls, so thread creation
+//! dominated at small batch sizes and a single slow chunk (one example with
+//! a pathological subsumption test) idled every other worker. This pool is
+//! created once per engine and reused; batches are distributed by an atomic
+//! cursor, so workers *steal* the next pending example as soon as they
+//! finish the previous one — the Figure 2 parallelism ablation runs against
+//! this executor.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads living as long as the pool value.
+///
+/// A pool of size 0 or 1 runs everything inline on the calling thread and
+/// spawns no threads at all.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `size` workers (0 and 1 both mean "inline").
+    pub fn new(size: usize) -> Self {
+        if size <= 1 {
+            return WorkerPool {
+                sender: None,
+                workers: Vec::new(),
+                size: 1,
+            };
+        }
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("castor-engine-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            // A panicking job must not take the worker down:
+                            // later batches would deadlock waiting for it.
+                            Ok(job) => {
+                                let _ = catch_unwind(AssertUnwindSafe(job));
+                            }
+                            Err(_) => return, // pool dropped
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+            size,
+        }
+    }
+
+    /// Number of worker threads (1 for an inline pool).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Applies `f` to every index in `0..count`, in parallel, returning the
+    /// results in index order. Work is distributed by an atomic cursor:
+    /// each worker repeatedly claims the next unprocessed index, so uneven
+    /// per-item costs do not idle the other workers.
+    ///
+    /// Panics if a worker panicked while processing an item.
+    pub fn map_indices<R, F>(&self, count: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        if self.size <= 1 || count <= 1 {
+            return (0..count).map(f).collect();
+        }
+        let f = Arc::new(f);
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel::<(usize, R)>();
+        let workers = self.size.min(count);
+        for _ in 0..workers {
+            let f = Arc::clone(&f);
+            let cursor = Arc::clone(&cursor);
+            let tx = tx.clone();
+            self.submit(Box::new(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    return;
+                }
+            }));
+        }
+        drop(tx); // the channel closes once every worker job finishes
+        let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        let mut received = 0;
+        for (i, r) in rx {
+            slots[i] = Some(r);
+            received += 1;
+        }
+        assert!(
+            received == count,
+            "worker panicked: {received}/{count} results produced"
+        );
+        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    }
+
+    fn submit(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("submit called on inline pool")
+            .send(job)
+            .expect("worker threads outlive the pool");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // closes the channel; workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_pool_spawns_no_threads() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.size(), 1);
+        assert_eq!(pool.map_indices(4, |i| i * 2), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.map_indices(100, |i| i + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_across_batches() {
+        let pool = WorkerPool::new(3);
+        for round in 0..10 {
+            let out = pool.map_indices(17, move |i| i * round);
+            assert_eq!(out.len(), 17);
+        }
+    }
+
+    #[test]
+    fn uneven_workloads_complete() {
+        let pool = WorkerPool::new(4);
+        let out = pool.map_indices(32, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<usize> = pool.map_indices(0, |i| i);
+        assert!(out.is_empty());
+    }
+}

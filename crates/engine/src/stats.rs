@@ -1,0 +1,200 @@
+//! Database-wide selectivity statistics and engine counters.
+//!
+//! The statistics snapshot is taken once when the engine is built (reading
+//! only the per-attribute hash indexes the database already maintains) and
+//! drives clause-plan compilation: join orders are chosen from estimated
+//! access-path costs instead of being re-derived at every backtracking
+//! node. The counters mirror what the paper's implementation reports for
+//! its ablations: number of coverage tests, cache behavior, and — new in
+//! this reproduction — how many tests ended by budget exhaustion rather
+//! than a definite verdict.
+
+use castor_relational::{DatabaseInstance, RelationStatistics};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-relation selectivity statistics for a whole database instance.
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseStatistics {
+    relations: HashMap<String, RelationStatistics>,
+}
+
+impl DatabaseStatistics {
+    /// Snapshots statistics for every relation of `db`.
+    pub fn gather(db: &DatabaseInstance) -> Self {
+        DatabaseStatistics {
+            relations: db
+                .relations()
+                .map(|r| (r.name().to_string(), r.statistics()))
+                .collect(),
+        }
+    }
+
+    /// Statistics for one relation, if it exists.
+    pub fn relation(&self, name: &str) -> Option<&RelationStatistics> {
+        self.relations.get(name)
+    }
+
+    /// Number of relations covered by the snapshot.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+/// Monotonic engine counters, updated atomically from every worker thread.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Coverage tests actually evaluated (cache misses included, hits not).
+    pub coverage_tests: AtomicUsize,
+    /// Tests answered from the memoized coverage cache.
+    pub cache_hits: AtomicUsize,
+    /// Tests that had to be evaluated and were then cached.
+    pub cache_misses: AtomicUsize,
+    /// Tests skipped through the generality order (a generalization covers
+    /// everything its parent covered).
+    pub generality_skips: AtomicUsize,
+    /// Tests whose node budget ran out before a definite verdict.
+    pub budget_exhausted: AtomicUsize,
+    /// Clause plans compiled (one per distinct canonical clause).
+    pub plans_compiled: AtomicUsize,
+    /// Plan lookups answered from the plan cache.
+    pub plan_cache_hits: AtomicUsize,
+}
+
+impl EngineStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        EngineStats::default()
+    }
+
+    /// Atomically increments a counter (shared with the subsumption-based
+    /// coverage engine in `castor-core`).
+    pub fn bump(counter: &AtomicUsize) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Atomically adds `n` to a counter.
+    pub fn add(counter: &AtomicUsize, n: usize) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of every counter.
+    pub fn snapshot(&self) -> EngineReport {
+        EngineReport {
+            coverage_tests: self.coverage_tests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            generality_skips: self.generality_skips.load(Ordering::Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
+            plans_compiled: self.plans_compiled.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data snapshot of [`EngineStats`], reported by the experiment
+/// harnesses alongside timing numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Coverage tests actually evaluated.
+    pub coverage_tests: usize,
+    /// Tests answered from the coverage cache.
+    pub cache_hits: usize,
+    /// Tests evaluated and cached.
+    pub cache_misses: usize,
+    /// Tests skipped through the generality order.
+    pub generality_skips: usize,
+    /// Tests that ended by budget exhaustion (approximate "not covered").
+    pub budget_exhausted: usize,
+    /// Distinct clause plans compiled.
+    pub plans_compiled: usize,
+    /// Plan lookups served from cache.
+    pub plan_cache_hits: usize,
+}
+
+impl EngineReport {
+    /// Element-wise sum of two reports (used to aggregate the subsumption
+    /// coverage engine and the ARMG evaluation engine of one learner run).
+    pub fn combined(&self, other: &EngineReport) -> EngineReport {
+        EngineReport {
+            coverage_tests: self.coverage_tests + other.coverage_tests,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            generality_skips: self.generality_skips + other.generality_skips,
+            budget_exhausted: self.budget_exhausted + other.budget_exhausted,
+            plans_compiled: self.plans_compiled + other.plans_compiled,
+            plan_cache_hits: self.plan_cache_hits + other.plan_cache_hits,
+        }
+    }
+
+    /// Fraction of lookups answered from the cache (0 when nothing ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tests={} cache={}/{} ({:.0}% hit) generality-skips={} budget-exhausted={} plans={} (+{} reused)",
+            self.coverage_tests,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            100.0 * self.cache_hit_rate(),
+            self.generality_skips,
+            self.budget_exhausted,
+            self.plans_compiled,
+            self.plan_cache_hits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_relational::{RelationSymbol, Schema, Tuple};
+
+    #[test]
+    fn gather_reads_every_relation() {
+        let mut schema = Schema::new("s");
+        schema
+            .add_relation(RelationSymbol::new("a", &["x", "y"]))
+            .add_relation(RelationSymbol::new("b", &["z"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        db.insert("a", Tuple::from_strs(&["1", "2"])).unwrap();
+        db.insert("a", Tuple::from_strs(&["1", "3"])).unwrap();
+        let stats = DatabaseStatistics::gather(&db);
+        assert_eq!(stats.len(), 2);
+        let a = stats.relation("a").unwrap();
+        assert_eq!(a.cardinality, 2);
+        assert_eq!(a.distinct_per_position, vec![1, 2]);
+        assert_eq!(stats.relation("b").unwrap().cardinality, 0);
+        assert!(stats.relation("missing").is_none());
+    }
+
+    #[test]
+    fn report_formats_and_computes_hit_rate() {
+        let stats = EngineStats::new();
+        EngineStats::bump(&stats.cache_hits);
+        EngineStats::bump(&stats.cache_hits);
+        EngineStats::bump(&stats.cache_misses);
+        EngineStats::bump(&stats.coverage_tests);
+        let report = stats.snapshot();
+        assert!((report.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        let text = report.to_string();
+        assert!(text.contains("tests=1"));
+        assert!(text.contains("cache=2/3"));
+    }
+}

@@ -1,9 +1,10 @@
 //! Cross-validated experiment runs over the schema variants of a dataset
 //! family, producing the rows of the paper's result tables.
 
-use crate::metrics::{evaluate_definition, EvaluationResult};
+use crate::metrics::{evaluate_definition_with_engine, EvaluationResult};
 use castor_core::{Castor, CastorConfig};
 use castor_datasets::{cross_validation_folds, DatasetVariant, SchemaFamily};
+use castor_engine::Engine;
 use castor_learners::{Foil, Golem, LearnerParams, ProGolem, Progol};
 use castor_logic::Definition;
 use std::time::{Duration, Instant};
@@ -94,41 +95,55 @@ pub fn run_algorithm_on_variant(
     let mut evaluation = EvaluationResult::default();
     let mut total_time = Duration::ZERO;
     let mut sample_definition = Definition::empty(variant.task.target.clone());
+    // One evaluation engine per variant: its coverage cache and compiled
+    // plans are shared across every fold of the run, and test-split
+    // evaluation reuses results the learner already computed.
+    let engine = Engine::new(
+        &variant.db,
+        params_for(variant, base_params).engine_config(),
+    );
 
-    for (i, fold) in cross_validation_folds(&variant.task, folds).iter().enumerate() {
+    for (i, fold) in cross_validation_folds(&variant.task, folds)
+        .iter()
+        .enumerate()
+    {
         let params = params_for(variant, base_params);
         let start = Instant::now();
         let definition = match algorithm {
             AlgorithmKind::Foil => {
                 let mut params = params.clone();
                 params.allow_constants = true;
-                Foil::new().learn(&variant.db, &fold.train, &params)
+                Foil::new().learn_with_engine(&engine, &fold.train, &params)
             }
             AlgorithmKind::AlephFoil(clause_length) => {
                 let mut params = params.clone();
                 params.clause_length = *clause_length;
                 params.beam_width = 1; // greedy (openlist = 1)
-                Progol::new().learn(&variant.db, &fold.train, &params)
+                Progol::new().learn_with_engine(&engine, &fold.train, &params)
             }
             AlgorithmKind::AlephProgol(clause_length) => {
                 let mut params = params.clone();
                 params.clause_length = *clause_length;
                 params.beam_width = params.beam_width.max(3);
-                Progol::new().learn(&variant.db, &fold.train, &params)
+                Progol::new().learn_with_engine(&engine, &fold.train, &params)
             }
-            AlgorithmKind::Golem => Golem::new().learn(&variant.db, &fold.train, &params),
-            AlgorithmKind::ProGolem => ProGolem::new().learn(&variant.db, &fold.train, &params),
+            AlgorithmKind::Golem => Golem::new().learn_with_engine(&engine, &fold.train, &params),
+            AlgorithmKind::ProGolem => {
+                ProGolem::new().learn_with_engine(&engine, &fold.train, &params)
+            }
             AlgorithmKind::Castor(config) => {
                 let mut config = config.clone();
                 config.params = params.clone();
                 config.params.threads = config.params.threads.max(base_params.threads);
-                Castor::new(config).learn(&variant.db, &fold.train).definition
+                Castor::new(config)
+                    .learn(&variant.db, &fold.train)
+                    .definition
             }
         };
         total_time += start.elapsed();
-        let fold_eval = evaluate_definition(
+        let fold_eval = evaluate_definition_with_engine(
+            &engine,
             &definition,
-            &variant.db,
             &fold.test_positive,
             &fold.test_negative,
         );

@@ -10,5 +10,7 @@ pub mod metrics;
 pub mod report;
 
 pub use experiment::{run_algorithm_over_family, AlgorithmKind, ExperimentRow};
-pub use metrics::{evaluate_definition, schema_independent, EvaluationResult};
+pub use metrics::{
+    evaluate_definition, evaluate_definition_with_engine, schema_independent, EvaluationResult,
+};
 pub use report::render_table;

@@ -1,5 +1,6 @@
 //! Precision and recall of learned definitions (Section 9.1.3).
 
+use castor_engine::Engine;
 use castor_logic::{covers_example, Definition};
 use castor_relational::{DatabaseInstance, Tuple};
 
@@ -55,8 +56,27 @@ impl EvaluationResult {
     }
 }
 
+/// Evaluates a learned definition through a shared evaluation engine
+/// (compiled plans + memoized coverage), so repeated evaluations of
+/// overlapping definitions across folds reuse cached results.
+pub fn evaluate_definition_with_engine(
+    engine: &Engine,
+    definition: &Definition,
+    test_positive: &[Tuple],
+    test_negative: &[Tuple],
+) -> EvaluationResult {
+    let covers = |e: &Tuple| definition.clauses.iter().any(|c| engine.covers(c, e));
+    let true_positives = test_positive.iter().filter(|e| covers(e)).count();
+    let false_positives = test_negative.iter().filter(|e| covers(e)).count();
+    EvaluationResult {
+        true_positives,
+        false_positives,
+        false_negatives: test_positive.len() - true_positives,
+    }
+}
+
 /// Evaluates a learned definition on held-out positive and negative
-/// examples relative to the background database.
+/// examples relative to the background database (uncached reference path).
 pub fn evaluate_definition(
     definition: &Definition,
     db: &DatabaseInstance,
@@ -127,6 +147,18 @@ mod tests {
         assert!((result.precision() - 0.5).abs() < 1e-9);
         assert!((result.recall() - 0.5).abs() < 1e-9);
         assert!((result.f1() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_evaluation_matches_reference() {
+        let db = db();
+        let engine = Engine::new(&db, castor_engine::EngineConfig::default());
+        let pos = [Tuple::from_strs(&["a"]), Tuple::from_strs(&["zz"])];
+        let neg = [Tuple::from_strs(&["b"]), Tuple::from_strs(&["yy"])];
+        assert_eq!(
+            evaluate_definition_with_engine(&engine, &p_definition(), &pos, &neg),
+            evaluate_definition(&p_definition(), &db, &pos, &neg)
+        );
     }
 
     #[test]

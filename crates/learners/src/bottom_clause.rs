@@ -115,10 +115,7 @@ pub fn variablize(ground: &Clause) -> Clause {
 
 /// Variablizes a ground clause but keeps the values at the listed
 /// `(relation, position)` pairs as constants.
-pub fn variablize_with(
-    ground: &Clause,
-    constant_positions: &BTreeSet<(String, usize)>,
-) -> Clause {
+pub fn variablize_with(ground: &Clause, constant_positions: &BTreeSet<(String, usize)>) -> Clause {
     let mut map = VariableMap::new();
     let lift = |atom: &Atom, map: &mut VariableMap, is_head: bool| Atom {
         relation: atom.relation.clone(),
@@ -128,8 +125,8 @@ pub fn variablize_with(
             .enumerate()
             .map(|(pos, t)| match t {
                 Term::Const(v) => {
-                    let keep = !is_head
-                        && constant_positions.contains(&(atom.relation.clone(), pos));
+                    let keep =
+                        !is_head && constant_positions.contains(&(atom.relation.clone(), pos));
                     if keep {
                         t.clone()
                     } else {
@@ -166,13 +163,19 @@ mod tests {
             .add_relation(RelationSymbol::new("publication", &["title", "person"]));
         let mut db = DatabaseInstance::empty(&schema);
         db.insert("student", Tuple::from_strs(&["sara"])).unwrap();
-        db.insert("inPhase", Tuple::from_strs(&["sara", "prelim"])).unwrap();
-        db.insert("yearsInProgram", Tuple::from_strs(&["sara", "3"])).unwrap();
+        db.insert("inPhase", Tuple::from_strs(&["sara", "prelim"]))
+            .unwrap();
+        db.insert("yearsInProgram", Tuple::from_strs(&["sara", "3"]))
+            .unwrap();
         db.insert("professor", Tuple::from_strs(&["pat"])).unwrap();
-        db.insert("publication", Tuple::from_strs(&["paper1", "sara"])).unwrap();
-        db.insert("publication", Tuple::from_strs(&["paper1", "pat"])).unwrap();
-        db.insert("publication", Tuple::from_strs(&["paper1", "carol"])).unwrap();
-        db.insert("publication", Tuple::from_strs(&["paper2", "carol"])).unwrap();
+        db.insert("publication", Tuple::from_strs(&["paper1", "sara"]))
+            .unwrap();
+        db.insert("publication", Tuple::from_strs(&["paper1", "pat"]))
+            .unwrap();
+        db.insert("publication", Tuple::from_strs(&["paper1", "carol"]))
+            .unwrap();
+        db.insert("publication", Tuple::from_strs(&["paper2", "carol"]))
+            .unwrap();
         db
     }
 
@@ -180,10 +183,10 @@ mod tests {
     fn ground_bottom_clause_contains_example_related_tuples() {
         let db = uwcse_db();
         let example = Tuple::from_strs(&["sara", "pat"]);
-        let bottom = ground_bottom_clause(&db, "advisedBy", &example, &BottomClauseConfig::default());
+        let bottom =
+            ground_bottom_clause(&db, "advisedBy", &example, &BottomClauseConfig::default());
         assert!(bottom.is_ground());
-        let relations: BTreeSet<&str> =
-            bottom.body.iter().map(|a| a.relation.as_str()).collect();
+        let relations: BTreeSet<&str> = bottom.body.iter().map(|a| a.relation.as_str()).collect();
         assert!(relations.contains("student"));
         assert!(relations.contains("publication"));
         assert!(relations.contains("professor"));
@@ -218,7 +221,8 @@ mod tests {
         schema.add_relation(RelationSymbol::new("likes", &["person", "thing"]));
         let mut db = DatabaseInstance::empty(&schema);
         for i in 0..50 {
-            db.insert("likes", Tuple::new(vec![Value::str("ann"), Value::int(i)])).unwrap();
+            db.insert("likes", Tuple::new(vec![Value::str("ann"), Value::int(i)]))
+                .unwrap();
         }
         let bottom = ground_bottom_clause(
             &db,

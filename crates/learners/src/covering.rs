@@ -5,21 +5,28 @@
 //! meets the minimum condition, remove the positive examples it covers, and
 //! continue until no positive examples remain (or no acceptable clause can
 //! be found). Only the `LearnClause` procedure differs between algorithms.
+//!
+//! All coverage tests go through a shared [`Engine`], so clauses re-scored
+//! across iterations hit the memoized coverage cache and large example sets
+//! are evaluated on the worker pool.
 
 use crate::params::LearnerParams;
-use crate::scoring::{clause_coverage, covered_examples};
+use crate::scoring::{clause_coverage_engine, covered_examples_engine};
 use crate::task::LearningTask;
+use castor_engine::Engine;
 use castor_logic::{Clause, Definition};
-use castor_relational::{DatabaseInstance, Tuple};
+use castor_relational::Tuple;
 
 /// The per-algorithm `LearnClause` procedure plugged into the covering loop.
 pub trait ClauseLearner {
-    /// Learns one clause from the database, the remaining (uncovered)
-    /// positive examples, and the negative examples. Returning `None` stops
-    /// the covering loop early (no acceptable clause could be built).
+    /// Learns one clause from the engine's database, the remaining
+    /// (uncovered) positive examples, and the negative examples. Returning
+    /// `None` stops the covering loop early (no acceptable clause could be
+    /// built). Coverage tests inside the procedure should go through
+    /// `engine` so they share its cache and statistics.
     fn learn_clause(
         &mut self,
-        db: &DatabaseInstance,
+        engine: &Engine,
         uncovered: &[Tuple],
         negative: &[Tuple],
         params: &LearnerParams,
@@ -30,7 +37,7 @@ pub trait ClauseLearner {
 /// procedure, producing a Horn definition for the task's target.
 pub fn covering_loop<L: ClauseLearner>(
     learner: &mut L,
-    db: &DatabaseInstance,
+    engine: &Engine,
     task: &LearningTask,
     params: &LearnerParams,
 ) -> Definition {
@@ -39,14 +46,14 @@ pub fn covering_loop<L: ClauseLearner>(
     // Guard against learners that keep returning clauses covering nothing:
     // the loop must strictly shrink `uncovered` to continue.
     while !uncovered.is_empty() {
-        let Some(clause) = learner.learn_clause(db, &uncovered, &task.negative, params) else {
+        let Some(clause) = learner.learn_clause(engine, &uncovered, &task.negative, params) else {
             break;
         };
-        let coverage = clause_coverage(&clause, db, &uncovered, &task.negative);
+        let coverage = clause_coverage_engine(engine, &clause, &uncovered, &task.negative);
         if !params.meets_minimum(coverage.positive, coverage.negative) {
             break;
         }
-        let newly_covered: Vec<Tuple> = covered_examples(&clause, db, &uncovered)
+        let newly_covered: Vec<Tuple> = covered_examples_engine(engine, &clause, &uncovered)
             .into_iter()
             .cloned()
             .collect();
@@ -62,8 +69,9 @@ pub fn covering_loop<L: ClauseLearner>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use castor_engine::EngineConfig;
     use castor_logic::Atom;
-    use castor_relational::{RelationSymbol, Schema};
+    use castor_relational::{DatabaseInstance, RelationSymbol, Schema};
 
     /// A stub learner that returns a fixed sequence of clauses.
     struct Scripted {
@@ -74,7 +82,7 @@ mod tests {
     impl ClauseLearner for Scripted {
         fn learn_clause(
             &mut self,
-            _db: &DatabaseInstance,
+            _engine: &Engine,
             _uncovered: &[Tuple],
             _negative: &[Tuple],
             _params: &LearnerParams,
@@ -99,6 +107,10 @@ mod tests {
         db
     }
 
+    fn engine(db: &DatabaseInstance) -> Engine {
+        Engine::new(db, EngineConfig::default())
+    }
+
     fn task() -> LearningTask {
         LearningTask::new(
             "t",
@@ -121,7 +133,13 @@ mod tests {
             clauses: vec![Some(p_clause), Some(q_clause)],
             calls: 0,
         };
-        let def = covering_loop(&mut learner, &db(), &task(), &LearnerParams::default());
+        let db = db();
+        let def = covering_loop(
+            &mut learner,
+            &engine(&db),
+            &task(),
+            &LearnerParams::default(),
+        );
         assert_eq!(def.len(), 2);
     }
 
@@ -132,7 +150,13 @@ mod tests {
             clauses: vec![Some(p_clause), None],
             calls: 0,
         };
-        let def = covering_loop(&mut learner, &db(), &task(), &LearnerParams::default());
+        let db = db();
+        let def = covering_loop(
+            &mut learner,
+            &engine(&db),
+            &task(),
+            &LearnerParams::default(),
+        );
         assert_eq!(def.len(), 1); // c and d remain uncovered
     }
 
@@ -154,7 +178,7 @@ mod tests {
             vec![Tuple::from_strs(&["a"]), Tuple::from_strs(&["b"])],
             vec![],
         );
-        let def = covering_loop(&mut learner, &db, &task, &LearnerParams::default());
+        let def = covering_loop(&mut learner, &engine(&db), &task, &LearnerParams::default());
         assert!(def.is_empty());
     }
 
@@ -172,7 +196,7 @@ mod tests {
             calls: 0,
         };
         let task = LearningTask::new("t", 1, vec![Tuple::from_strs(&["a"])], vec![]);
-        let def = covering_loop(&mut learner, &db, &task, &LearnerParams::default());
+        let def = covering_loop(&mut learner, &engine(&db), &task, &LearnerParams::default());
         assert!(def.is_empty());
     }
 }

@@ -9,8 +9,9 @@
 
 use crate::covering::{covering_loop, ClauseLearner};
 use crate::params::LearnerParams;
-use crate::scoring::clause_coverage;
+use crate::scoring::clause_coverage_engine;
 use crate::task::LearningTask;
+use castor_engine::Engine;
 use castor_logic::{Atom, Clause, Definition, Term};
 use castor_relational::{DatabaseInstance, Tuple, Value};
 
@@ -26,14 +27,16 @@ impl Foil {
         Foil::default()
     }
 
-    /// Learns a Horn definition for the task over `db`.
+    /// Learns a Horn definition for the task over `db`, building a private
+    /// evaluation engine from `params`.
     pub fn learn(
         &mut self,
         db: &DatabaseInstance,
         task: &LearningTask,
         params: &LearnerParams,
     ) -> Definition {
-        self.learn_with_target(db, task, params)
+        let engine = Engine::new(db, params.engine_config());
+        self.learn_with_engine(&engine, task, params)
     }
 
     fn fresh_var(&mut self) -> String {
@@ -77,10 +80,8 @@ impl Foil {
                             if const_pos == pos {
                                 continue;
                             }
-                            let mut values: Vec<Value> = instance
-                                .active_domain_at(const_pos)
-                                .into_iter()
-                                .collect();
+                            let mut values: Vec<Value> =
+                                instance.active_domain_at(const_pos).into_iter().collect();
                             values.sort();
                             values.truncate(params.max_constants_per_attribute);
                             for value in values {
@@ -147,11 +148,12 @@ struct FoilWithTarget<'a> {
 impl ClauseLearner for FoilWithTarget<'_> {
     fn learn_clause(
         &mut self,
-        db: &DatabaseInstance,
+        engine: &Engine,
         uncovered: &[Tuple],
         negative: &[Tuple],
         params: &LearnerParams,
     ) -> Option<Clause> {
+        let db = engine.db();
         let head_vars: Vec<&str> = HEAD_VAR_NAMES
             .iter()
             .take(self.target_arity)
@@ -174,7 +176,7 @@ impl ClauseLearner for FoilWithTarget<'_> {
                 }
                 let mut extended = clause.clone();
                 extended.push(literal.clone());
-                let cov = clause_coverage(&extended, db, uncovered, negative);
+                let cov = clause_coverage_engine(engine, &extended, uncovered, negative);
                 if cov.positive == 0 {
                     continue;
                 }
@@ -216,11 +218,13 @@ impl ClauseLearner for FoilWithTarget<'_> {
 }
 
 impl Foil {
-    /// Learns a definition, binding the task's target relation name into the
-    /// clause heads (the public entry point used by the experiments).
-    pub fn learn_with_target(
+    /// Learns a definition over a shared evaluation engine, binding the
+    /// task's target relation name into the clause heads (the entry point
+    /// used by the experiment harness, which reuses one engine — and its
+    /// coverage cache — across folds and algorithms).
+    pub fn learn_with_engine(
         &mut self,
-        db: &DatabaseInstance,
+        engine: &Engine,
         task: &LearningTask,
         params: &LearnerParams,
     ) -> Definition {
@@ -229,7 +233,17 @@ impl Foil {
             target_arity: task.target_arity,
             inner: self,
         };
-        covering_loop(&mut adapter, db, task, params)
+        covering_loop(&mut adapter, engine, task, params)
+    }
+
+    /// Backwards-compatible alias for [`Foil::learn`].
+    pub fn learn_with_target(
+        &mut self,
+        db: &DatabaseInstance,
+        task: &LearningTask,
+        params: &LearnerParams,
+    ) -> Definition {
+        self.learn(db, task, params)
     }
 }
 
@@ -260,7 +274,8 @@ mod tests {
             ("b", "stud2"),
             ("c", "stud3"),
         ] {
-            db.insert("publication", Tuple::from_strs(&[t, person])).unwrap();
+            db.insert("publication", Tuple::from_strs(&[t, person]))
+                .unwrap();
         }
         db
     }

@@ -13,8 +13,9 @@
 use crate::bottom_clause::{ground_bottom_clause, BottomClauseConfig};
 use crate::covering::{covering_loop, ClauseLearner};
 use crate::params::LearnerParams;
-use crate::scoring::clause_coverage;
+use crate::scoring::clause_coverage_engine;
 use crate::task::LearningTask;
+use castor_engine::Engine;
 use castor_logic::{lgg_clauses, minimize_clause, Clause, Definition};
 use castor_relational::{DatabaseInstance, Tuple};
 
@@ -32,10 +33,22 @@ impl Golem {
         Golem { max_lgg_body: 600 }
     }
 
-    /// Learns a Horn definition for the task over `db`.
+    /// Learns a Horn definition for the task over `db`, building a private
+    /// evaluation engine from `params`.
     pub fn learn(
         &mut self,
         db: &DatabaseInstance,
+        task: &LearningTask,
+        params: &LearnerParams,
+    ) -> Definition {
+        let engine = Engine::new(db, params.engine_config());
+        self.learn_with_engine(&engine, task, params)
+    }
+
+    /// Learns a definition over a shared evaluation engine.
+    pub fn learn_with_engine(
+        &mut self,
+        engine: &Engine,
         task: &LearningTask,
         params: &LearnerParams,
     ) -> Definition {
@@ -43,7 +56,7 @@ impl Golem {
             target: task.target.clone(),
             max_lgg_body: self.max_lgg_body,
         };
-        covering_loop(&mut adapter, db, task, params)
+        covering_loop(&mut adapter, engine, task, params)
     }
 }
 
@@ -53,12 +66,7 @@ struct GolemClauseLearner {
 }
 
 impl GolemClauseLearner {
-    fn saturation(
-        &self,
-        db: &DatabaseInstance,
-        example: &Tuple,
-        params: &LearnerParams,
-    ) -> Clause {
+    fn saturation(&self, db: &DatabaseInstance, example: &Tuple, params: &LearnerParams) -> Clause {
         let config = BottomClauseConfig {
             max_iterations: params.max_iterations,
             max_recall_per_relation: params.max_recall_per_relation,
@@ -71,11 +79,12 @@ impl GolemClauseLearner {
 impl ClauseLearner for GolemClauseLearner {
     fn learn_clause(
         &mut self,
-        db: &DatabaseInstance,
+        engine: &Engine,
         uncovered: &[Tuple],
         negative: &[Tuple],
         params: &LearnerParams,
     ) -> Option<Clause> {
+        let db = engine.db();
         // Sample E+_S: the first K uncovered positives (deterministic order
         // keeps the experiments reproducible; the paper samples randomly).
         let sample: Vec<&Tuple> = uncovered.iter().take(params.sample_size.max(2)).collect();
@@ -101,12 +110,12 @@ impl ClauseLearner for GolemClauseLearner {
                 // The lgg of two ground clauses *is* the rlgg: shared
                 // constants stay constants, differing ones became variables.
                 let candidate = minimize_clause(&lgg);
-                let cov = clause_coverage(&candidate, db, uncovered, negative);
+                let cov = clause_coverage_engine(engine, &candidate, uncovered, negative);
                 if !params.meets_minimum(cov.positive, cov.negative) {
                     continue;
                 }
                 let score = cov.score();
-                if best.as_ref().map_or(true, |(_, s)| score > *s) {
+                if best.as_ref().is_none_or(|(_, s)| score > *s) {
                     best = Some((candidate, score));
                 }
             }
@@ -118,7 +127,7 @@ impl ClauseLearner for GolemClauseLearner {
         loop {
             let mut improved = false;
             for example in uncovered {
-                if castor_logic::covers_example(&current, db, example) {
+                if engine.covers(&current, example) {
                     continue;
                 }
                 let saturation = self.saturation(db, example, params);
@@ -129,7 +138,7 @@ impl ClauseLearner for GolemClauseLearner {
                     continue;
                 }
                 let candidate = minimize_clause(&lgg);
-                let cov = clause_coverage(&candidate, db, uncovered, negative);
+                let cov = clause_coverage_engine(engine, &candidate, uncovered, negative);
                 if !params.meets_minimum(cov.positive, cov.negative) {
                     continue;
                 }
@@ -168,7 +177,8 @@ mod tests {
             ("c", "stud3"),
             ("d", "stud4"),
         ] {
-            db.insert("publication", Tuple::from_strs(&[t, person])).unwrap();
+            db.insert("publication", Tuple::from_strs(&[t, person]))
+                .unwrap();
         }
         for p in ["prof1", "prof2", "prof3"] {
             db.insert("professor", Tuple::from_strs(&[p])).unwrap();
@@ -206,7 +216,11 @@ mod tests {
         let covered = t
             .positive
             .iter()
-            .filter(|e| def.clauses.iter().any(|c| castor_logic::covers_example(c, &db, e)))
+            .filter(|e| {
+                def.clauses
+                    .iter()
+                    .any(|c| castor_logic::covers_example(c, &db, e))
+            })
             .count();
         assert_eq!(covered, 3, "rlgg generalization should cover all positives");
         for neg in &t.negative {
@@ -226,7 +240,9 @@ mod tests {
             max_lgg_body: 0, // nothing fits
         };
         let t = task();
-        let clause = learner.learn_clause(&db, &t.positive, &t.negative, &LearnerParams::default());
+        let engine = Engine::new(&db, LearnerParams::default().engine_config());
+        let clause =
+            learner.learn_clause(&engine, &t.positive, &t.negative, &LearnerParams::default());
         assert!(clause.is_none());
     }
 

@@ -40,5 +40,8 @@ pub use params::LearnerParams;
 pub use progol::Progol;
 pub use progolem::ProGolem;
 pub use query_based::{LogAnH, Oracle, QueryStats};
-pub use scoring::{clause_coverage, clause_precision, ClauseCoverage};
+pub use scoring::{
+    clause_coverage, clause_coverage_engine, clause_precision, covered_examples_engine,
+    ClauseCoverage,
+};
 pub use task::LearningTask;

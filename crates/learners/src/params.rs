@@ -8,6 +8,8 @@
 //! (`minpos` = 2) thresholds, beam width, and the sample size `K` used by
 //! Golem/ProGolem/Castor when picking examples to generalize against.
 
+use castor_engine::EngineConfig;
+use castor_logic::DEFAULT_EVAL_NODE_BUDGET;
 use std::collections::BTreeSet;
 
 /// Parameters shared by the learners in this workspace.
@@ -46,6 +48,11 @@ pub struct LearnerParams {
     pub max_constants_per_attribute: usize,
     /// Number of coverage-testing worker threads (Castor; Figure 2).
     pub threads: usize,
+    /// Node budget per coverage test — both database evaluation and
+    /// θ-subsumption against ground bottom clauses. Exhausted budgets are
+    /// counted and reported by the evaluation engine instead of silently
+    /// skewing coverage counts.
+    pub eval_budget: usize,
 }
 
 impl Default for LearnerParams {
@@ -64,6 +71,7 @@ impl Default for LearnerParams {
             allow_constants: true,
             max_constants_per_attribute: 8,
             threads: 1,
+            eval_budget: DEFAULT_EVAL_NODE_BUDGET,
         }
     }
 }
@@ -104,6 +112,14 @@ impl LearnerParams {
         self
     }
 
+    /// The evaluation-engine configuration induced by these parameters
+    /// (thread count and node budget).
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig::default()
+            .with_threads(self.threads)
+            .with_eval_budget(self.eval_budget)
+    }
+
     /// Whether a clause covering `pos` positive and `neg` negative examples
     /// meets the minimum-condition thresholds.
     pub fn meets_minimum(&self, pos: usize, neg: usize) -> bool {
@@ -137,6 +153,18 @@ mod tests {
         assert!(!p.meets_minimum(1, 0)); // below minpos
         assert!(!p.meets_minimum(2, 3)); // precision 0.4
         assert!(!p.meets_minimum(0, 0));
+    }
+
+    #[test]
+    fn engine_config_carries_threads_and_budget() {
+        let p = LearnerParams {
+            threads: 4,
+            eval_budget: 1234,
+            ..Default::default()
+        };
+        let config = p.engine_config();
+        assert_eq!(config.threads, 4);
+        assert_eq!(config.eval_budget, 1234);
     }
 
     #[test]

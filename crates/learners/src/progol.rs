@@ -10,8 +10,9 @@
 use crate::bottom_clause::{variablized_bottom_clause, BottomClauseConfig};
 use crate::covering::{covering_loop, ClauseLearner};
 use crate::params::LearnerParams;
-use crate::scoring::clause_coverage;
+use crate::scoring::clause_coverage_engine;
 use crate::task::LearningTask;
+use castor_engine::Engine;
 use castor_logic::{minimize_clause, Atom, Clause, Definition};
 use castor_relational::{DatabaseInstance, Tuple};
 use std::collections::BTreeSet;
@@ -26,17 +27,29 @@ impl Progol {
         Progol
     }
 
-    /// Learns a Horn definition for the task over `db`.
+    /// Learns a Horn definition for the task over `db`, building a private
+    /// evaluation engine from `params`.
     pub fn learn(
         &mut self,
         db: &DatabaseInstance,
         task: &LearningTask,
         params: &LearnerParams,
     ) -> Definition {
+        let engine = Engine::new(db, params.engine_config());
+        self.learn_with_engine(&engine, task, params)
+    }
+
+    /// Learns a definition over a shared evaluation engine.
+    pub fn learn_with_engine(
+        &mut self,
+        engine: &Engine,
+        task: &LearningTask,
+        params: &LearnerParams,
+    ) -> Definition {
         let mut adapter = ProgolClauseLearner {
             target: task.target.clone(),
         };
-        covering_loop(&mut adapter, db, task, params)
+        covering_loop(&mut adapter, engine, task, params)
     }
 }
 
@@ -47,11 +60,12 @@ struct ProgolClauseLearner {
 impl ClauseLearner for ProgolClauseLearner {
     fn learn_clause(
         &mut self,
-        db: &DatabaseInstance,
+        engine: &Engine,
         uncovered: &[Tuple],
         negative: &[Tuple],
         params: &LearnerParams,
     ) -> Option<Clause> {
+        let db = engine.db();
         let seed = uncovered.first()?;
         let config = BottomClauseConfig {
             max_iterations: params.max_iterations,
@@ -78,7 +92,7 @@ impl ClauseLearner for ProgolClauseLearner {
                 for literal in admissible_extensions(clause, &bottom) {
                     let mut extended = clause.clone();
                     extended.push(literal);
-                    let cov = clause_coverage(&extended, db, uncovered, negative);
+                    let cov = clause_coverage_engine(engine, &extended, uncovered, negative);
                     if cov.positive == 0 {
                         continue;
                     }
@@ -88,8 +102,7 @@ impl ClauseLearner for ProgolClauseLearner {
                             None => true,
                             Some((_, best_score, best_len)) => {
                                 score > *best_score
-                                    || (score == *best_score
-                                        && extended.body_len() < *best_len)
+                                    || (score == *best_score && extended.body_len() < *best_len)
                             }
                         };
                         if replace {
@@ -102,7 +115,7 @@ impl ClauseLearner for ProgolClauseLearner {
             if next.is_empty() {
                 break;
             }
-            next.sort_by(|a, b| b.1.cmp(&a.1));
+            next.sort_by_key(|(_, score)| std::cmp::Reverse(*score));
             next.truncate(params.beam_width.max(1));
             beam = next;
         }
@@ -155,7 +168,8 @@ mod tests {
             ("c", "stud3"),
             ("c", "prof1"),
         ] {
-            db.insert("publication", Tuple::from_strs(&[t, person])).unwrap();
+            db.insert("publication", Tuple::from_strs(&[t, person]))
+                .unwrap();
         }
         db
     }
@@ -191,12 +205,16 @@ mod tests {
         let covered = t
             .positive
             .iter()
-            .filter(|e| def.clauses.iter().any(|c| castor_logic::covers_example(c, &db, e)))
+            .filter(|e| {
+                def.clauses
+                    .iter()
+                    .any(|c| castor_logic::covers_example(c, &db, e))
+            })
             .count();
         assert!(covered >= 2);
         // No clause may cover both negatives (precision threshold 0.67).
         for c in &def.clauses {
-            let cov = clause_coverage(&c.clone(), &db, &t.positive, &t.negative);
+            let cov = crate::scoring::clause_coverage(&c.clone(), &db, &t.positive, &t.negative);
             assert!(cov.precision() >= 0.66);
         }
     }

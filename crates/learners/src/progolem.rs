@@ -15,9 +15,10 @@
 use crate::bottom_clause::{variablized_bottom_clause, BottomClauseConfig};
 use crate::covering::{covering_loop, ClauseLearner};
 use crate::params::LearnerParams;
-use crate::scoring::clause_coverage;
+use crate::scoring::clause_coverage_engine;
 use crate::task::LearningTask;
-use castor_logic::{covers_example, minimize_clause, Clause, Definition};
+use castor_engine::Engine;
+use castor_logic::{minimize_clause, Clause, Definition};
 use castor_relational::{DatabaseInstance, Tuple};
 
 /// The ProGolem learner.
@@ -30,17 +31,29 @@ impl ProGolem {
         ProGolem
     }
 
-    /// Learns a Horn definition for the task over `db`.
+    /// Learns a Horn definition for the task over `db`, building a private
+    /// evaluation engine from `params`.
     pub fn learn(
         &mut self,
         db: &DatabaseInstance,
         task: &LearningTask,
         params: &LearnerParams,
     ) -> Definition {
+        let engine = Engine::new(db, params.engine_config());
+        self.learn_with_engine(&engine, task, params)
+    }
+
+    /// Learns a definition over a shared evaluation engine.
+    pub fn learn_with_engine(
+        &mut self,
+        engine: &Engine,
+        task: &LearningTask,
+        params: &LearnerParams,
+    ) -> Definition {
         let mut adapter = ProGolemClauseLearner {
             target: task.target.clone(),
         };
-        covering_loop(&mut adapter, db, task, params)
+        covering_loop(&mut adapter, engine, task, params)
     }
 }
 
@@ -48,18 +61,16 @@ impl ProGolem {
 /// example `e'` (Algorithm 3): repeatedly remove the blocking atom and any
 /// literal left unconnected to the head, until the clause covers `e'`.
 /// Returns `None` if even the empty-bodied clause fails to cover `e'`
-/// (which can only happen if the head constants conflict).
-pub fn armg(
-    clause: &Clause,
-    db: &DatabaseInstance,
-    example: &Tuple,
-) -> Option<Clause> {
+/// (which can only happen if the head constants conflict). Prefix coverage
+/// tests run through the engine, so the repeated prefixes of one armg call
+/// — and of armg calls on overlapping clauses — hit the memo cache.
+pub fn armg(clause: &Clause, engine: &Engine, example: &Tuple) -> Option<Clause> {
     let mut current = clause.clone();
     loop {
-        if covers_example(&current, db, example) {
+        if engine.covers(&current, example) {
             return Some(current);
         }
-        let Some(blocking) = blocking_atom_index(&current, db, example) else {
+        let Some(blocking) = blocking_atom_index(&current, engine, example) else {
             // No blocking atom means even the empty prefix fails: give up.
             return None;
         };
@@ -71,20 +82,16 @@ pub fn armg(
 /// The index of the blocking atom of `clause` with respect to `example`: the
 /// least `i` such that the prefix clause `T ← L1, ..., L_{i+1}` does not
 /// cover the example. Returns `None` when the head itself cannot match.
-pub fn blocking_atom_index(
-    clause: &Clause,
-    db: &DatabaseInstance,
-    example: &Tuple,
-) -> Option<usize> {
+pub fn blocking_atom_index(clause: &Clause, engine: &Engine, example: &Tuple) -> Option<usize> {
     // Check the empty prefix first: if the head cannot bind to the example
     // there is no blocking atom to remove.
     let empty_prefix = Clause::fact(clause.head.clone());
-    if !covers_example(&empty_prefix, db, example) {
+    if !engine.covers(&empty_prefix, example) {
         return None;
     }
     for i in 0..clause.body.len() {
         let prefix = Clause::new(clause.head.clone(), clause.body[..=i].to_vec());
-        if !covers_example(&prefix, db, example) {
+        if !engine.covers(&prefix, example) {
             return Some(i);
         }
     }
@@ -98,11 +105,12 @@ struct ProGolemClauseLearner {
 impl ClauseLearner for ProGolemClauseLearner {
     fn learn_clause(
         &mut self,
-        db: &DatabaseInstance,
+        engine: &Engine,
         uncovered: &[Tuple],
         negative: &[Tuple],
         params: &LearnerParams,
     ) -> Option<Clause> {
+        let db = engine.db();
         let seed = uncovered.first()?;
         let config = BottomClauseConfig {
             max_iterations: params.max_iterations,
@@ -115,7 +123,7 @@ impl ClauseLearner for ProGolemClauseLearner {
             return None;
         }
 
-        let score_of = |c: &Clause| clause_coverage(c, db, uncovered, negative).score();
+        let score_of = |c: &Clause| clause_coverage_engine(engine, c, uncovered, negative).score();
         let mut beam: Vec<(Clause, i64)> = vec![(bottom.clone(), score_of(&bottom))];
         let mut best = beam[0].clone();
 
@@ -126,10 +134,10 @@ impl ClauseLearner for ProGolemClauseLearner {
             let mut candidates: Vec<(Clause, i64)> = Vec::new();
             for (clause, _) in &beam {
                 for example in &sample {
-                    if covers_example(clause, db, example) {
+                    if engine.covers(clause, example) {
                         continue;
                     }
-                    let Some(generalized) = armg(clause, db, example) else {
+                    let Some(generalized) = armg(clause, engine, example) else {
                         continue;
                     };
                     if generalized.body.is_empty() {
@@ -144,7 +152,7 @@ impl ClauseLearner for ProGolemClauseLearner {
             if candidates.is_empty() {
                 break;
             }
-            candidates.sort_by(|a, b| b.1.cmp(&a.1));
+            candidates.sort_by_key(|(_, score)| std::cmp::Reverse(*score));
             candidates.truncate(params.beam_width.max(1));
             if candidates[0].1 > best.1 {
                 best = candidates[0].clone();
@@ -152,7 +160,7 @@ impl ClauseLearner for ProGolemClauseLearner {
             beam = candidates;
         }
 
-        let cov = clause_coverage(&best.0, db, uncovered, negative);
+        let cov = clause_coverage_engine(engine, &best.0, uncovered, negative);
         if cov.positive == 0 {
             return None;
         }
@@ -163,8 +171,12 @@ impl ClauseLearner for ProGolemClauseLearner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use castor_logic::Atom;
+    use castor_logic::{covers_example, Atom};
     use castor_relational::{RelationSymbol, Schema};
+
+    fn engine_for(db: &DatabaseInstance) -> Engine {
+        Engine::new(db, LearnerParams::default().engine_config())
+    }
 
     /// Example 6.5: hardWorking over the Original UW-CSE schema.
     fn uwcse_original_db() -> DatabaseInstance {
@@ -181,7 +193,8 @@ mod tests {
         ] {
             db.insert("student", Tuple::from_strs(&[s])).unwrap();
             db.insert("inPhase", Tuple::from_strs(&[s, phase])).unwrap();
-            db.insert("yearsInProgram", Tuple::from_strs(&[s, years])).unwrap();
+            db.insert("yearsInProgram", Tuple::from_strs(&[s, years]))
+                .unwrap();
         }
         db
     }
@@ -196,17 +209,28 @@ mod tests {
                 Atom::vars("student", &["x"]),
                 Atom::new(
                     "inPhase",
-                    vec![castor_logic::Term::var("x"), castor_logic::Term::constant("prelim")],
+                    vec![
+                        castor_logic::Term::var("x"),
+                        castor_logic::Term::constant("prelim"),
+                    ],
                 ),
                 Atom::new(
                     "yearsInProgram",
-                    vec![castor_logic::Term::var("x"), castor_logic::Term::constant("3")],
+                    vec![
+                        castor_logic::Term::var("x"),
+                        castor_logic::Term::constant("3"),
+                    ],
                 ),
             ],
         );
         // carl is in phase post with 7 years: both constant literals block.
-        let generalized = armg(&clause, &db, &Tuple::from_strs(&["carl"])).unwrap();
-        assert!(covers_example(&generalized, &db, &Tuple::from_strs(&["carl"])));
+        let engine = engine_for(&db);
+        let generalized = armg(&clause, &engine, &Tuple::from_strs(&["carl"])).unwrap();
+        assert!(covers_example(
+            &generalized,
+            &db,
+            &Tuple::from_strs(&["carl"])
+        ));
         // student(x) survives — the schema-dependence example relies on this.
         assert!(generalized.body.iter().any(|a| a.relation == "student"));
         assert!(generalized
@@ -224,18 +248,22 @@ mod tests {
                 Atom::vars("student", &["x"]),
                 Atom::new(
                     "inPhase",
-                    vec![castor_logic::Term::var("x"), castor_logic::Term::constant("post")],
+                    vec![
+                        castor_logic::Term::var("x"),
+                        castor_logic::Term::constant("post"),
+                    ],
                 ),
             ],
         );
+        let engine = engine_for(&db);
         // For ann, student(x) holds but inPhase(x,post) fails → index 1.
         assert_eq!(
-            blocking_atom_index(&clause, &db, &Tuple::from_strs(&["ann"])),
+            blocking_atom_index(&clause, &engine, &Tuple::from_strs(&["ann"])),
             Some(1)
         );
         // For carl, both hold → no blocking atom.
         assert_eq!(
-            blocking_atom_index(&clause, &db, &Tuple::from_strs(&["carl"])),
+            blocking_atom_index(&clause, &engine, &Tuple::from_strs(&["carl"])),
             None
         );
     }
@@ -247,7 +275,8 @@ mod tests {
             Atom::vars("hardWorking", &["x"]),
             vec![Atom::vars("student", &["x"])],
         );
-        let out = armg(&clause, &db, &Tuple::from_strs(&["ann"])).unwrap();
+        let engine = engine_for(&db);
+        let out = armg(&clause, &engine, &Tuple::from_strs(&["ann"])).unwrap();
         assert_eq!(out, clause);
     }
 
@@ -275,10 +304,7 @@ mod tests {
         let def = ProGolem::new().learn(&db, &task, &params);
         assert!(!def.is_empty());
         for pos in &task.positive {
-            assert!(def
-                .clauses
-                .iter()
-                .any(|c| covers_example(c, &db, pos)));
+            assert!(def.clauses.iter().any(|c| covers_example(c, &db, pos)));
         }
         for neg in &task.negative {
             assert!(def.clauses.iter().all(|c| !covers_example(c, &db, neg)));

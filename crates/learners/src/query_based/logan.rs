@@ -165,10 +165,7 @@ mod tests {
                     Atom::vars("t", &["x"]),
                     vec![Atom::vars("p", &["x", "y"]), Atom::vars("q", &["y"])],
                 ),
-                Clause::new(
-                    Atom::vars("t", &["x"]),
-                    vec![Atom::vars("r", &["x", "z"])],
-                ),
+                Clause::new(Atom::vars("t", &["x"]), vec![Atom::vars("r", &["x", "z"])]),
             ],
         )
     }

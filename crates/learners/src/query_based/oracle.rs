@@ -86,15 +86,17 @@ impl Oracle {
         let mut schema = self.schema.clone();
         for atom in &ground.body {
             if !schema.contains_relation(&atom.relation) {
-                let attrs: Vec<String> =
-                    (0..atom.arity()).map(|i| format!("a{i}")).collect();
+                let attrs: Vec<String> = (0..atom.arity()).map(|i| format!("a{i}")).collect();
                 schema.add_relation(RelationSymbol::new(atom.relation.clone(), &attrs));
             }
         }
         let mut db = DatabaseInstance::empty(&schema);
         for atom in &ground.body {
-            let tuple = atom.to_tuple().expect("canonical database needs ground atoms");
-            db.insert(&atom.relation, tuple).expect("arity checked above");
+            let tuple = atom
+                .to_tuple()
+                .expect("canonical database needs ground atoms");
+            db.insert(&atom.relation, tuple)
+                .expect("arity checked above");
         }
         db
     }
@@ -120,10 +122,7 @@ impl Oracle {
         for clause in &clauses {
             let ground = self.instantiate(clause);
             let db = self.canonical_database(&ground);
-            let example = ground
-                .head
-                .to_tuple()
-                .expect("instantiated head is ground");
+            let example = ground.head.to_tuple().expect("instantiated head is ground");
             let derived = hypothesis
                 .clauses
                 .iter()
@@ -206,7 +205,10 @@ mod tests {
         let oracle = Oracle::new(schema(), target());
         let ground = Clause::new(
             Atom::ground("t", &Tuple::from_strs(&["a"])),
-            vec![Atom::ground("brand_new_rel", &Tuple::from_strs(&["a", "b"]))],
+            vec![Atom::ground(
+                "brand_new_rel",
+                &Tuple::from_strs(&["a", "b"]),
+            )],
         );
         let db = oracle.canonical_database(&ground);
         assert_eq!(db.relation("brand_new_rel").unwrap().len(), 1);

@@ -4,7 +4,13 @@
 //! and negative examples they cover relative to the background database.
 //! Coverage of an example is body-satisfiability with the head bound to the
 //! example (see `castor_logic::covers_example`).
+//!
+//! The hot paths route through a [`castor_engine::Engine`], which compiles
+//! a join plan per clause, memoizes results per canonical clause, and runs
+//! large batches on its worker pool; the direct `DatabaseInstance`-backed
+//! functions remain as the uncached reference semantics.
 
+use castor_engine::{Engine, Prior};
 use castor_logic::{covers_example, Clause, Definition};
 use castor_relational::{DatabaseInstance, Tuple};
 
@@ -32,6 +38,29 @@ impl ClauseCoverage {
             self.positive as f64 / (self.positive + self.negative) as f64
         }
     }
+}
+
+/// Counts positive/negative coverage through the evaluation engine
+/// (compiled plans + memoized cache + worker pool).
+pub fn clause_coverage_engine(
+    engine: &Engine,
+    clause: &Clause,
+    positive: &[Tuple],
+    negative: &[Tuple],
+) -> ClauseCoverage {
+    let (positive, negative) = engine.coverage_counts(clause, positive, negative);
+    ClauseCoverage { positive, negative }
+}
+
+/// The examples from `examples` covered by the clause, tested through the
+/// engine.
+pub fn covered_examples_engine<'a>(
+    engine: &Engine,
+    clause: &Clause,
+    examples: &'a [Tuple],
+) -> Vec<&'a Tuple> {
+    let covered = engine.covered_set(clause, examples, Prior::None);
+    examples.iter().filter(|e| covered.contains(*e)).collect()
 }
 
 /// Counts how many positive and negative examples the clause covers.
@@ -114,6 +143,26 @@ mod tests {
                 Atom::vars("publication", &["p", "y"]),
             ],
         )
+    }
+
+    #[test]
+    fn engine_scoring_matches_direct_scoring() {
+        let db = db();
+        let engine = Engine::new(&db, castor_engine::EngineConfig::default());
+        let pos = vec![Tuple::from_strs(&["ann", "bob"])];
+        let neg = vec![
+            Tuple::from_strs(&["ann", "carol"]),
+            Tuple::from_strs(&["bob", "bob"]),
+        ];
+        assert_eq!(
+            clause_coverage_engine(&engine, &clause(), &pos, &neg),
+            clause_coverage(&clause(), &db, &pos, &neg)
+        );
+        let all: Vec<Tuple> = pos.iter().chain(neg.iter()).cloned().collect();
+        assert_eq!(
+            covered_examples_engine(&engine, &clause(), &all),
+            covered_examples(&clause(), &db, &all)
+        );
     }
 
     #[test]

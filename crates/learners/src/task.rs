@@ -76,7 +76,10 @@ mod tests {
             "advisedBy",
             2,
             vec![Tuple::from_strs(&["s1", "p1"])],
-            vec![Tuple::from_strs(&["s1", "p2"]), Tuple::from_strs(&["s2", "p1"])],
+            vec![
+                Tuple::from_strs(&["s1", "p2"]),
+                Tuple::from_strs(&["s2", "p1"]),
+            ],
         );
         assert_eq!(task.positive_count(), 1);
         assert_eq!(task.negative_count(), 2);

@@ -101,11 +101,7 @@ impl Clause {
             let mut changed = false;
             for atom in &self.body {
                 let vars: Vec<String> = atom.variables().into_iter().collect();
-                let min_depth = vars
-                    .iter()
-                    .map(|v| depths[v])
-                    .min()
-                    .unwrap_or(usize::MAX);
+                let min_depth = vars.iter().map(|v| depths[v]).min().unwrap_or(usize::MAX);
                 if min_depth == usize::MAX {
                     continue;
                 }
@@ -131,13 +127,7 @@ impl Clause {
         let depths = self.variable_depths();
         self.body
             .iter()
-            .map(|a| {
-                a.variables()
-                    .iter()
-                    .map(|v| depths[v])
-                    .max()
-                    .unwrap_or(0)
-            })
+            .map(|a| a.variables().iter().map(|v| depths[v]).max().unwrap_or(0))
             .max()
             .unwrap_or(0)
     }
@@ -320,10 +310,7 @@ mod tests {
 
     #[test]
     fn standardize_apart_removes_shared_variables() {
-        let c = clause(
-            Atom::vars("t", &["x"]),
-            vec![Atom::vars("p", &["x", "y"])],
-        );
+        let c = clause(Atom::vars("t", &["x"]), vec![Atom::vars("p", &["x", "y"])]);
         let c1 = c.standardize_apart(1);
         let c2 = c.standardize_apart(2);
         assert!(c1.variables().is_disjoint(&c2.variables()));

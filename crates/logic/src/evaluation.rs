@@ -5,6 +5,13 @@
 //! whose body is satisfied in `I`. This module evaluates clauses with a
 //! backtracking join that drives candidate generation from the per-attribute
 //! hash indexes of [`castor_relational::RelationInstance`].
+//!
+//! Evaluation is *budgeted*: body satisfiability over a database is NP-hard
+//! in the clause size, so each test explores at most a configurable number
+//! of candidate tuples. Unlike the original implementation, an exhausted
+//! budget is reported as [`CoverageOutcome::Exhausted`] rather than silently
+//! conflated with "not covered" — callers (notably `castor-engine`) surface
+//! the distinction through their statistics.
 
 use crate::atom::Atom;
 use crate::clause::Clause;
@@ -14,13 +21,81 @@ use crate::term::Term;
 use castor_relational::{DatabaseInstance, Tuple, Value};
 use std::collections::HashSet;
 
-/// Backtracking budget for one clause evaluation / coverage test. Body
-/// satisfiability over a database is NP-hard in the clause size; bounding
-/// the number of candidate tuples explored keeps coverage testing
+/// Default backtracking budget for one clause evaluation / coverage test.
+/// Bounding the number of candidate tuples explored keeps coverage testing
 /// predictable on the long clauses bottom-up learners produce (an exhausted
-/// budget is treated as "not satisfiable", mirroring the approximate
-/// subsumption the paper uses).
-const EVAL_NODE_BUDGET: usize = 30_000;
+/// budget mirrors the approximate subsumption the paper uses).
+pub const DEFAULT_EVAL_NODE_BUDGET: usize = 30_000;
+
+/// The outcome of one budgeted coverage test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoverageOutcome {
+    /// A satisfying assignment of the body was found.
+    Covered,
+    /// The search space was exhausted without finding one.
+    NotCovered,
+    /// The node budget ran out before the search completed; the example is
+    /// *treated* as not covered, but the caller can tell the difference.
+    Exhausted,
+}
+
+impl CoverageOutcome {
+    /// Whether the example counts as covered.
+    pub fn is_covered(self) -> bool {
+        matches!(self, CoverageOutcome::Covered)
+    }
+
+    /// Whether the verdict is approximate (budget ran out).
+    pub fn is_exhausted(self) -> bool {
+        matches!(self, CoverageOutcome::Exhausted)
+    }
+}
+
+/// A consumable node budget for one evaluation, tracking whether it ever ran
+/// dry (which downgrades a "not covered" verdict to "exhausted").
+#[derive(Debug, Clone)]
+pub struct EvalBudget {
+    remaining: usize,
+    exhausted: bool,
+}
+
+impl EvalBudget {
+    /// A budget of `nodes` candidate tuples.
+    pub fn new(nodes: usize) -> Self {
+        EvalBudget {
+            remaining: nodes,
+            exhausted: false,
+        }
+    }
+
+    /// Consumes one node; returns `false` (and records exhaustion) when the
+    /// budget has run out. Public so alternative executors (the compiled
+    /// plans of `castor-engine`) share the same accounting.
+    pub fn consume(&mut self) -> bool {
+        if self.remaining == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
+
+    /// Whether the budget ran out at any point during the search.
+    pub fn was_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Nodes still available.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Default for EvalBudget {
+    fn default() -> Self {
+        EvalBudget::new(DEFAULT_EVAL_NODE_BUDGET)
+    }
+}
 
 /// Evaluates a clause over `db`, returning every head tuple derivable from
 /// the instance. Unsafe clauses (head variables not bound by the body) yield
@@ -28,10 +103,19 @@ const EVAL_NODE_BUDGET: usize = 30_000;
 /// make the clause produce no tuples, mirroring the finite-answer semantics
 /// used in the paper's discussion of safe clauses.
 pub fn clause_results(clause: &Clause, db: &DatabaseInstance) -> HashSet<Tuple> {
+    clause_results_budgeted(clause, db, &mut EvalBudget::default())
+}
+
+/// [`clause_results`] with an explicit, reusable budget.
+pub fn clause_results_budgeted(
+    clause: &Clause,
+    db: &DatabaseInstance,
+    budget: &mut EvalBudget,
+) -> HashSet<Tuple> {
     let mut results = HashSet::new();
     let mut theta = Substitution::new();
-    let mut budget = EVAL_NODE_BUDGET;
-    enumerate(db, &clause.body, &mut theta, &mut budget, &mut |theta| {
+    let mut search = Search::new(db, &clause.body, budget);
+    search.run(&mut theta, &mut |theta| {
         let head = theta.apply_atom(&clause.head);
         if let Some(tuple) = head.to_tuple() {
             results.insert(tuple);
@@ -52,32 +136,60 @@ pub fn definition_results(def: &Definition, db: &DatabaseInstance) -> HashSet<Tu
 
 /// Whether the clause covers `example` relative to `db`: binding the head
 /// arguments to the example's constants, is the body satisfiable in `db`?
+/// An exhausted budget counts as "not covered"; use
+/// [`covers_example_budgeted`] to observe the distinction.
 pub fn covers_example(clause: &Clause, db: &DatabaseInstance, example: &Tuple) -> bool {
+    covers_example_budgeted(clause, db, example, &mut EvalBudget::default()).is_covered()
+}
+
+/// Budgeted coverage test with a tri-state outcome.
+pub fn covers_example_budgeted(
+    clause: &Clause,
+    db: &DatabaseInstance,
+    example: &Tuple,
+    budget: &mut EvalBudget,
+) -> CoverageOutcome {
+    let Some(mut theta) = bind_head(clause, example) else {
+        return CoverageOutcome::NotCovered;
+    };
+    let mut found = false;
+    let mut search = Search::new(db, &clause.body, budget);
+    search.run(&mut theta, &mut |_| {
+        found = true;
+        true // stop at the first satisfying assignment
+    });
+    if found {
+        CoverageOutcome::Covered
+    } else if budget.was_exhausted() {
+        CoverageOutcome::Exhausted
+    } else {
+        CoverageOutcome::NotCovered
+    }
+}
+
+/// Binds the clause head to the example's constants, or `None` when a head
+/// constant conflicts with the example (in which case the clause can never
+/// cover it).
+pub fn bind_head(clause: &Clause, example: &Tuple) -> Option<Substitution> {
     if clause.head.arity() != example.arity() {
-        return false;
+        return None;
     }
     let mut theta = Substitution::new();
     for (term, value) in clause.head.terms.iter().zip(example.iter()) {
         match term {
             Term::Const(c) => {
                 if c != value {
-                    return false;
+                    return None;
                 }
             }
             Term::Var(name) => {
                 if !theta.try_bind(name, &Term::Const(value.clone())) {
-                    return false;
+                    return None;
                 }
             }
         }
     }
-    let mut found = false;
-    let mut budget = EVAL_NODE_BUDGET;
-    enumerate(db, &clause.body, &mut theta, &mut budget, &mut |_| {
-        found = true;
-        true // stop at the first satisfying assignment
-    });
-    found
+    Some(theta)
 }
 
 /// Whether any clause of the definition covers the example.
@@ -93,61 +205,92 @@ pub fn covered_count(def: &Definition, db: &DatabaseInstance, examples: &[Tuple]
         .count()
 }
 
-/// Backtracking evaluation of the remaining body literals under θ, invoking
-/// `on_solution` for every satisfying assignment. `on_solution` returns
-/// `true` to stop the search early (used by boolean coverage tests);
-/// `enumerate` propagates that signal back up as its own return value.
-fn enumerate(
-    db: &DatabaseInstance,
-    remaining: &[Atom],
-    theta: &mut Substitution,
-    budget: &mut usize,
-    on_solution: &mut dyn FnMut(&Substitution) -> bool,
-) -> bool {
-    // Pick the next literal to solve: the one with the most bound arguments
-    // (most selective first). This mirrors how an RDBMS would choose an
-    // index-backed access path.
-    let Some((pos, _)) = remaining
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, atom)| bound_positions(atom, theta).len())
-    else {
-        return on_solution(theta);
-    };
-    let atom = &remaining[pos];
-    let rest: Vec<Atom> = remaining
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i != pos)
-        .map(|(_, a)| a.clone())
-        .collect();
+/// Backtracking evaluation of a clause body under θ. Literals are selected
+/// dynamically (most θ-bound arguments first, mirroring an index-backed
+/// access path), tracked through a boolean mask over the body instead of
+/// re-allocating the remaining-literal vector at every node, and bindings
+/// are undone through a trail instead of cloning θ per candidate tuple.
+struct Search<'a> {
+    db: &'a DatabaseInstance,
+    body: &'a [Atom],
+    used: Vec<bool>,
+    trail: Vec<String>,
+    budget: &'a mut EvalBudget,
+}
 
-    let Some(instance) = db.relation(&atom.relation) else {
-        return false; // unknown relation ⇒ body unsatisfiable
-    };
-
-    let bound = bound_positions(atom, theta);
-    let candidates: Vec<&Tuple> = if bound.is_empty() {
-        instance.iter().collect()
-    } else {
-        let positions: Vec<usize> = bound.iter().map(|(p, _)| *p).collect();
-        let key: Vec<Value> = bound.iter().map(|(_, v)| v.clone()).collect();
-        instance.select_on_positions(&positions, &key)
-    };
-
-    for tuple in candidates {
-        if *budget == 0 {
-            return false;
-        }
-        *budget -= 1;
-        let mut attempt = theta.clone();
-        if unify_with_tuple(atom, tuple, &mut attempt)
-            && enumerate(db, &rest, &mut attempt, budget, on_solution)
-        {
-            return true;
+impl<'a> Search<'a> {
+    fn new(db: &'a DatabaseInstance, body: &'a [Atom], budget: &'a mut EvalBudget) -> Self {
+        Search {
+            db,
+            body,
+            used: vec![false; body.len()],
+            trail: Vec::new(),
+            budget,
         }
     }
-    false
+
+    /// Runs the search, invoking `on_solution` for every satisfying
+    /// assignment; `on_solution` returns `true` to stop early.
+    fn run(
+        &mut self,
+        theta: &mut Substitution,
+        on_solution: &mut dyn FnMut(&Substitution) -> bool,
+    ) -> bool {
+        self.enumerate(self.body.len(), theta, on_solution)
+    }
+
+    fn enumerate(
+        &mut self,
+        remaining: usize,
+        theta: &mut Substitution,
+        on_solution: &mut dyn FnMut(&Substitution) -> bool,
+    ) -> bool {
+        if remaining == 0 {
+            return on_solution(theta);
+        }
+        // Pick the next literal to solve: the unused one with the most bound
+        // arguments (most selective first).
+        let pos = (0..self.body.len())
+            .filter(|&i| !self.used[i])
+            .max_by_key(|&i| bound_positions(&self.body[i], theta).len())
+            .expect("remaining > 0 implies an unused literal");
+        let atom = &self.body[pos];
+
+        let Some(instance) = self.db.relation(&atom.relation) else {
+            return false; // unknown relation ⇒ body unsatisfiable
+        };
+
+        let bound = bound_positions(atom, theta);
+        let candidates: Vec<&Tuple> = if bound.is_empty() {
+            instance.iter().collect()
+        } else {
+            let positions: Vec<usize> = bound.iter().map(|(p, _)| *p).collect();
+            let key: Vec<Value> = bound.iter().map(|(_, v)| v.clone()).collect();
+            instance.select_on_positions(&positions, &key)
+        };
+
+        self.used[pos] = true;
+        let mut stop = false;
+        for tuple in candidates {
+            if !self.budget.consume() {
+                break;
+            }
+            let mark = self.trail.len();
+            if unify_with_tuple(atom, tuple, theta, &mut self.trail)
+                && self.enumerate(remaining - 1, theta, on_solution)
+            {
+                stop = true;
+            }
+            for name in self.trail.drain(mark..) {
+                theta.unbind(&name);
+            }
+            if stop {
+                break;
+            }
+        }
+        self.used[pos] = false;
+        stop
+    }
 }
 
 /// The argument positions of `atom` that are constants or θ-bound variables,
@@ -167,8 +310,16 @@ fn bound_positions(atom: &Atom, theta: &Substitution) -> Vec<(usize, Value)> {
     out
 }
 
-/// Extends θ so that `atom` matches the ground `tuple`.
-fn unify_with_tuple(atom: &Atom, tuple: &Tuple, theta: &mut Substitution) -> bool {
+/// Extends θ so that `atom` matches the ground `tuple`, recording every
+/// newly created binding on `trail` so the caller can undo it. Public so
+/// the compiled-plan executor in `castor-engine` shares the same
+/// unification kernel.
+pub fn unify_with_tuple(
+    atom: &Atom,
+    tuple: &Tuple,
+    theta: &mut Substitution,
+    trail: &mut Vec<String>,
+) -> bool {
     if atom.arity() != tuple.arity() {
         return false;
     }
@@ -180,8 +331,13 @@ fn unify_with_tuple(atom: &Atom, tuple: &Tuple, theta: &mut Substitution) -> boo
                 }
             }
             Term::Var(name) => {
-                if !theta.try_bind(name, &Term::Const(value.clone())) {
-                    return false;
+                if theta.binds(name) {
+                    if theta.get(name) != Some(&Term::Const(value.clone())) {
+                        return false;
+                    }
+                } else {
+                    theta.bind(name.clone(), Term::Const(value.clone()));
+                    trail.push(name.clone());
                 }
             }
         }
@@ -200,12 +356,7 @@ mod tests {
             .add_relation(RelationSymbol::new("publication", &["title", "person"]))
             .add_relation(RelationSymbol::new("professor", &["prof"]));
         let mut db = DatabaseInstance::empty(&schema);
-        for (t, p) in [
-            ("p1", "ann"),
-            ("p1", "bob"),
-            ("p2", "ann"),
-            ("p3", "carol"),
-        ] {
+        for (t, p) in [("p1", "ann"), ("p1", "bob"), ("p2", "ann"), ("p3", "carol")] {
             db.insert("publication", Tuple::from_strs(&[t, p])).unwrap();
         }
         db.insert("professor", Tuple::from_strs(&["ann"])).unwrap();
@@ -241,7 +392,11 @@ mod tests {
         let db = collaboration_db();
         let c = collaborated_clause();
         assert!(covers_example(&c, &db, &Tuple::from_strs(&["ann", "bob"])));
-        assert!(!covers_example(&c, &db, &Tuple::from_strs(&["ann", "carol"])));
+        assert!(!covers_example(
+            &c,
+            &db,
+            &Tuple::from_strs(&["ann", "carol"])
+        ));
     }
 
     #[test]
@@ -331,5 +486,49 @@ mod tests {
         );
         assert!(covers_example(&c, &db, &Tuple::from_strs(&["ann"])));
         assert!(!covers_example(&c, &db, &Tuple::from_strs(&["bob"])));
+    }
+
+    #[test]
+    fn exhausted_budget_is_distinguished_from_not_covered() {
+        let db = collaboration_db();
+        let c = collaborated_clause();
+        // Zero budget: cannot even look at one candidate tuple.
+        let mut starved = EvalBudget::new(0);
+        let outcome =
+            covers_example_budgeted(&c, &db, &Tuple::from_strs(&["ann", "bob"]), &mut starved);
+        assert_eq!(outcome, CoverageOutcome::Exhausted);
+        assert!(starved.was_exhausted());
+        // A genuinely uncovered example with ample budget is NotCovered.
+        let mut ample = EvalBudget::default();
+        let outcome =
+            covers_example_budgeted(&c, &db, &Tuple::from_strs(&["ann", "carol"]), &mut ample);
+        assert_eq!(outcome, CoverageOutcome::NotCovered);
+        assert!(!ample.was_exhausted());
+    }
+
+    #[test]
+    fn head_constant_conflict_short_circuits() {
+        let db = collaboration_db();
+        let c = Clause::new(
+            Atom::new("t", vec![Term::constant("ann")]),
+            vec![Atom::vars("professor", &["x"])],
+        );
+        assert!(bind_head(&c, &Tuple::from_strs(&["bob"])).is_none());
+        let mut budget = EvalBudget::default();
+        assert_eq!(
+            covers_example_budgeted(&c, &db, &Tuple::from_strs(&["bob"]), &mut budget),
+            CoverageOutcome::NotCovered
+        );
+        assert_eq!(budget.remaining(), DEFAULT_EVAL_NODE_BUDGET);
+    }
+
+    #[test]
+    fn budget_is_shared_across_calls() {
+        let db = collaboration_db();
+        let c = collaborated_clause();
+        let mut budget = EvalBudget::new(1_000);
+        let before = budget.remaining();
+        covers_example_budgeted(&c, &db, &Tuple::from_strs(&["ann", "bob"]), &mut budget);
+        assert!(budget.remaining() < before);
     }
 }

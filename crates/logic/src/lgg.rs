@@ -116,7 +116,12 @@ mod tests {
     fn differing_constants_generalize_to_shared_variable() {
         let mut ctx = LggContext::new();
         // lgg(p(a,a), p(b,b)) = p(X,X): the pair (a,b) maps to one variable.
-        let g = lgg_atoms(&ground("p", &["a", "a"]), &ground("p", &["b", "b"]), &mut ctx).unwrap();
+        let g = lgg_atoms(
+            &ground("p", &["a", "a"]),
+            &ground("p", &["b", "b"]),
+            &mut ctx,
+        )
+        .unwrap();
         assert_eq!(g.terms[0], g.terms[1]);
         assert!(g.terms[0].is_var());
     }
@@ -124,7 +129,12 @@ mod tests {
     #[test]
     fn different_pairs_get_different_variables() {
         let mut ctx = LggContext::new();
-        let g = lgg_atoms(&ground("p", &["a", "c"]), &ground("p", &["b", "d"]), &mut ctx).unwrap();
+        let g = lgg_atoms(
+            &ground("p", &["a", "c"]),
+            &ground("p", &["b", "d"]),
+            &mut ctx,
+        )
+        .unwrap();
         assert_ne!(g.terms[0], g.terms[1]);
         assert_eq!(ctx.introduced_variables(), 2);
     }
@@ -181,12 +191,7 @@ mod tests {
     fn lgg_all_folds_pairwise() {
         let clauses: Vec<Clause> = ["a", "b", "c"]
             .iter()
-            .map(|x| {
-                Clause::new(
-                    ground("t", &[x]),
-                    vec![ground("p", &[x])],
-                )
-            })
+            .map(|x| Clause::new(ground("t", &[x]), vec![ground("p", &[x])]))
             .collect();
         let g = lgg_all(&clauses).unwrap();
         for c in &clauses {

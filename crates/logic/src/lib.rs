@@ -36,11 +36,16 @@ pub mod varmap;
 pub use atom::Atom;
 pub use clause::Clause;
 pub use definition::Definition;
-pub use evaluation::{clause_results, covers_example, definition_results};
+pub use evaluation::{
+    clause_results, covers_example, covers_example_budgeted, definition_results, CoverageOutcome,
+    EvalBudget, DEFAULT_EVAL_NODE_BUDGET,
+};
 pub use lgg::{lgg_atoms, lgg_clauses};
 pub use minimize::minimize_clause;
 pub use safety::is_safe;
 pub use substitution::Substitution;
-pub use subsumption::{subsumes, subsumes_with};
+pub use subsumption::{
+    subsumes, subsumes_budgeted, subsumes_budgeted_with, subsumes_with, SubsumptionOutcome,
+};
 pub use term::Term;
 pub use varmap::VariableMap;

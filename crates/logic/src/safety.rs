@@ -11,11 +11,7 @@ use std::collections::BTreeSet;
 
 /// Whether every head variable of the clause appears in its body.
 pub fn is_safe(clause: &Clause) -> bool {
-    let body_vars: BTreeSet<String> = clause
-        .body
-        .iter()
-        .flat_map(|a| a.variables())
-        .collect();
+    let body_vars: BTreeSet<String> = clause.body.iter().flat_map(|a| a.variables()).collect();
     clause
         .head_variables()
         .iter()
@@ -31,11 +27,7 @@ pub fn is_safe_definition(def: &Definition) -> bool {
 /// safe clauses). Castor's safe negative reduction uses this to decide which
 /// inclusion-class instances must be retained.
 pub fn unbound_head_variables(clause: &Clause) -> BTreeSet<String> {
-    let body_vars: BTreeSet<String> = clause
-        .body
-        .iter()
-        .flat_map(|a| a.variables())
-        .collect();
+    let body_vars: BTreeSet<String> = clause.body.iter().flat_map(|a| a.variables()).collect();
     clause
         .head_variables()
         .into_iter()
@@ -69,10 +61,7 @@ mod tests {
 
     #[test]
     fn clause_with_free_head_variable_is_unsafe() {
-        let c = Clause::new(
-            Atom::vars("t", &["x", "y"]),
-            vec![Atom::vars("p", &["x"])],
-        );
+        let c = Clause::new(Atom::vars("t", &["x", "y"]), vec![Atom::vars("p", &["x"])]);
         assert!(!is_safe(&c));
         assert_eq!(
             unbound_head_variables(&c),

@@ -105,11 +105,7 @@ impl Substitution {
 
 impl fmt::Display for Substitution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> = self
-            .map
-            .iter()
-            .map(|(v, t)| format!("{v}/{t}"))
-            .collect();
+        let parts: Vec<String> = self.map.iter().map(|(v, t)| format!("{v}/{t}")).collect();
         write!(f, "{{{}}}", parts.join(", "))
     }
 }

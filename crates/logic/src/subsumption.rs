@@ -20,7 +20,26 @@ use std::collections::HashMap;
 /// budget is generous enough that it is only hit on pathological clauses.
 const NODE_BUDGET: usize = 4_000;
 
-/// Whether `general` θ-subsumes `specific`.
+/// The result of a budgeted subsumption test: the witnessing substitution
+/// (when one was found) plus whether the node budget ran out, in which case
+/// a `None` witness means "unknown", not "does not subsume".
+#[derive(Debug, Clone)]
+pub struct SubsumptionOutcome {
+    /// The witnessing substitution, if subsumption was established.
+    pub witness: Option<Substitution>,
+    /// Whether the search budget was exhausted before completing.
+    pub exhausted: bool,
+}
+
+impl SubsumptionOutcome {
+    /// Whether subsumption was established.
+    pub fn subsumes(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+/// Whether `general` θ-subsumes `specific` (an exhausted budget counts as
+/// "does not subsume"; use [`subsumes_budgeted`] to tell the difference).
 pub fn subsumes(general: &Clause, specific: &Clause) -> bool {
     subsumes_with(general, specific).is_some()
 }
@@ -28,23 +47,47 @@ pub fn subsumes(general: &Clause, specific: &Clause) -> bool {
 /// Whether `general` θ-subsumes `specific`, returning the witnessing
 /// substitution when it does.
 pub fn subsumes_with(general: &Clause, specific: &Clause) -> Option<Substitution> {
+    subsumes_budgeted(general, specific).witness
+}
+
+/// Budgeted subsumption test reporting budget exhaustion instead of
+/// conflating it with a negative answer, using the default node budget.
+pub fn subsumes_budgeted(general: &Clause, specific: &Clause) -> SubsumptionOutcome {
+    subsumes_budgeted_with(general, specific, NODE_BUDGET)
+}
+
+/// [`subsumes_budgeted`] with an explicit node budget (the coverage engine
+/// passes its configured evaluation budget here, so the knob governs both
+/// database evaluation and θ-subsumption coverage testing).
+pub fn subsumes_budgeted_with(
+    general: &Clause,
+    specific: &Clause,
+    node_budget: usize,
+) -> SubsumptionOutcome {
     // The head must match under θ as well: heads of both clauses use the
     // target relation, so this amounts to unifying the head arguments.
+    let decided = |witness| SubsumptionOutcome {
+        witness,
+        exhausted: false,
+    };
     if general.head.relation != specific.head.relation
         || general.head.arity() != specific.head.arity()
     {
-        return None;
+        return decided(None);
     }
     let mut theta = Substitution::new();
     if !match_atom(&general.head, &specific.head, &mut theta) {
-        return None;
+        return decided(None);
     }
 
     // Index the specific clause's body literals by relation name so each
     // general literal only tries compatible candidates.
     let mut by_relation: HashMap<&str, Vec<&Atom>> = HashMap::new();
     for atom in &specific.body {
-        by_relation.entry(atom.relation.as_str()).or_default().push(atom);
+        by_relation
+            .entry(atom.relation.as_str())
+            .or_default()
+            .push(atom);
     }
 
     // Deduplicate general body literals (duplicates map to the same target
@@ -64,7 +107,7 @@ pub fn subsumes_with(general: &Clause, specific: &Clause) -> Option<Substitution
         .iter()
         .any(|a| !by_relation.contains_key(a.relation.as_str()))
     {
-        return None;
+        return decided(None);
     }
     unique.sort_by_key(|a| by_relation.get(a.relation.as_str()).map_or(0, |v| v.len()));
     let mut ordered: Vec<&Atom> = Vec::new();
@@ -80,11 +123,25 @@ pub fn subsumes_with(general: &Clause, specific: &Clause) -> Option<Substitution
         ordered.push(atom);
     }
 
-    let mut budget = NODE_BUDGET;
-    if search(&ordered, 0, &by_relation, &mut theta, &mut budget) {
-        Some(theta)
+    let mut budget = node_budget;
+    let mut exhausted = false;
+    if search(
+        &ordered,
+        0,
+        &by_relation,
+        &mut theta,
+        &mut budget,
+        &mut exhausted,
+    ) {
+        SubsumptionOutcome {
+            witness: Some(theta),
+            exhausted: false,
+        }
     } else {
-        None
+        SubsumptionOutcome {
+            witness: None,
+            exhausted,
+        }
     }
 }
 
@@ -128,6 +185,7 @@ fn search(
     by_relation: &HashMap<&str, Vec<&Atom>>,
     theta: &mut Substitution,
     budget: &mut usize,
+    exhausted: &mut bool,
 ) -> bool {
     let Some(general) = ordered.get(index) else {
         return true;
@@ -138,12 +196,23 @@ fn search(
         .unwrap_or(&[]);
     for candidate in candidates {
         if *budget == 0 {
+            // The search was actually cut short: only now is a negative
+            // answer approximate (a run that consumed its whole budget on
+            // its final node still decided the question exactly).
+            *exhausted = true;
             return false;
         }
         *budget -= 1;
         let mut attempt = theta.clone();
         if match_atom(general, candidate, &mut attempt)
-            && search(ordered, index + 1, by_relation, &mut attempt, budget)
+            && search(
+                ordered,
+                index + 1,
+                by_relation,
+                &mut attempt,
+                budget,
+                exhausted,
+            )
         {
             *theta = attempt;
             return true;
@@ -266,7 +335,10 @@ mod tests {
             Atom::new("t", vec![Term::constant("s1")]),
             vec![Atom::new(
                 "yearsInProgram",
-                vec![Term::constant("s1"), Term::Const(castor_relational::Value::int(3))],
+                vec![
+                    Term::constant("s1"),
+                    Term::Const(castor_relational::Value::int(3)),
+                ],
             )],
         );
         assert!(subsumes(&candidate, &ground_match));

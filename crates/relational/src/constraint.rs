@@ -71,9 +71,15 @@ impl InclusionDependency {
     ) -> Self {
         let ind = InclusionDependency {
             lhs_relation: lhs_relation.into(),
-            lhs_attrs: lhs_attrs.iter().map(|a| AttrName::new(a.as_ref())).collect(),
+            lhs_attrs: lhs_attrs
+                .iter()
+                .map(|a| AttrName::new(a.as_ref()))
+                .collect(),
             rhs_relation: rhs_relation.into(),
-            rhs_attrs: rhs_attrs.iter().map(|a| AttrName::new(a.as_ref())).collect(),
+            rhs_attrs: rhs_attrs
+                .iter()
+                .map(|a| AttrName::new(a.as_ref()))
+                .collect(),
             with_equality: false,
         };
         assert_eq!(

@@ -100,8 +100,12 @@ impl DatabaseInstance {
 
     /// Checks whether a single inclusion dependency holds over this instance.
     pub fn satisfies_ind(&self, ind: &InclusionDependency) -> Result<bool> {
-        let lhs_pos = self.schema.attr_positions(&ind.lhs_relation, &ind.lhs_attrs)?;
-        let rhs_pos = self.schema.attr_positions(&ind.rhs_relation, &ind.rhs_attrs)?;
+        let lhs_pos = self
+            .schema
+            .attr_positions(&ind.lhs_relation, &ind.lhs_attrs)?;
+        let rhs_pos = self
+            .schema
+            .attr_positions(&ind.rhs_relation, &ind.rhs_attrs)?;
         let lhs = self.require_relation(&ind.lhs_relation)?.project(&lhs_pos);
         let rhs = self.require_relation(&ind.rhs_relation)?.project(&rhs_pos);
         let forward = lhs.is_subset(&rhs);
@@ -169,8 +173,10 @@ mod tests {
         let mut db = DatabaseInstance::empty(&schema());
         db.insert("student", Tuple::from_strs(&["alice"])).unwrap();
         db.insert("student", Tuple::from_strs(&["bob"])).unwrap();
-        db.insert("inPhase", Tuple::from_strs(&["alice", "prelim"])).unwrap();
-        db.insert("inPhase", Tuple::from_strs(&["bob", "post"])).unwrap();
+        db.insert("inPhase", Tuple::from_strs(&["alice", "prelim"]))
+            .unwrap();
+        db.insert("inPhase", Tuple::from_strs(&["bob", "post"]))
+            .unwrap();
         db
     }
 
@@ -214,7 +220,8 @@ mod tests {
     #[test]
     fn fd_violation_detected() {
         let mut db = populated();
-        db.insert("inPhase", Tuple::from_strs(&["alice", "post"])).unwrap();
+        db.insert("inPhase", Tuple::from_strs(&["alice", "post"]))
+            .unwrap();
         assert!(db.validate().is_err());
     }
 

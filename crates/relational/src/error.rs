@@ -33,7 +33,10 @@ impl fmt::Display for RelationalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelationalError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
-            RelationalError::UnknownAttribute { relation, attribute } => {
+            RelationalError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
                 write!(f, "relation `{relation}` has no attribute `{attribute}`")
             }
             RelationalError::ArityMismatch {

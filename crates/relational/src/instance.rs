@@ -14,6 +14,31 @@ use crate::value::Value;
 use crate::Result;
 use std::collections::{HashMap, HashSet};
 
+/// Selectivity statistics for one relation instance, read off the hash
+/// indexes in O(arity): cardinality and the number of distinct values per
+/// attribute position. The evaluation engine uses these to choose join
+/// orders once per clause instead of re-ranking literals at every
+/// backtracking node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationStatistics {
+    /// Number of tuples in the instance.
+    pub cardinality: usize,
+    /// Number of distinct values at each attribute position.
+    pub distinct_per_position: Vec<usize>,
+}
+
+impl RelationStatistics {
+    /// Expected number of tuples matching an equality selection on `pos`
+    /// (cardinality divided by the distinct count; the classic uniform
+    /// selectivity estimate).
+    pub fn expected_matches(&self, pos: usize) -> f64 {
+        match self.distinct_per_position.get(pos) {
+            Some(&d) if d > 0 => self.cardinality as f64 / d as f64,
+            _ => self.cardinality as f64,
+        }
+    }
+}
+
 /// An instance of a single relation symbol: a set of tuples plus hash
 /// indexes on every attribute position.
 #[derive(Debug, Clone)]
@@ -73,7 +98,10 @@ impl RelationInstance {
         }
         let row = self.tuples.len();
         for (pos, value) in tuple.iter().enumerate() {
-            self.indexes[pos].entry(value.clone()).or_default().push(row);
+            self.indexes[pos]
+                .entry(value.clone())
+                .or_default()
+                .push(row);
         }
         self.present.insert(tuple.clone());
         self.tuples.push(tuple);
@@ -107,7 +135,11 @@ impl RelationInstance {
     /// (a multi-column index lookup implemented by probing the most
     /// selective single-column index and post-filtering).
     pub fn select_on_positions(&self, positions: &[usize], key: &[Value]) -> Vec<&Tuple> {
-        assert_eq!(positions.len(), key.len(), "key length must match positions");
+        assert_eq!(
+            positions.len(),
+            key.len(),
+            "key length must match positions"
+        );
         if positions.is_empty() {
             return self.tuples.iter().collect();
         }
@@ -116,7 +148,7 @@ impl RelationInstance {
         for (i, (&pos, value)) in positions.iter().zip(key.iter()).enumerate() {
             match self.indexes.get(pos).and_then(|idx| idx.get(value)) {
                 Some(rows) => {
-                    if best.map_or(true, |(_, b)| rows.len() < b.len()) {
+                    if best.is_none_or(|(_, b)| rows.len() < b.len()) {
                         best = Some((i, rows));
                     }
                 }
@@ -174,6 +206,15 @@ impl RelationInstance {
         out
     }
 
+    /// Snapshot of the instance's selectivity statistics, computed from the
+    /// maintained indexes (no data scan).
+    pub fn statistics(&self) -> RelationStatistics {
+        RelationStatistics {
+            cardinality: self.tuples.len(),
+            distinct_per_position: self.indexes.iter().map(|idx| idx.len()).collect(),
+        }
+    }
+
     /// Checks the functional dependency `lhs → rhs` (given as attribute
     /// positions) over this instance.
     pub fn satisfies_fd(&self, lhs: &[usize], rhs: &[usize]) -> bool {
@@ -199,9 +240,11 @@ mod tests {
 
     fn ta_instance() -> RelationInstance {
         let mut inst = RelationInstance::empty(RelationSymbol::new("ta", &["crs", "stud", "term"]));
-        inst.insert(Tuple::from_strs(&["c1", "alice", "t1"])).unwrap();
+        inst.insert(Tuple::from_strs(&["c1", "alice", "t1"]))
+            .unwrap();
         inst.insert(Tuple::from_strs(&["c1", "bob", "t1"])).unwrap();
-        inst.insert(Tuple::from_strs(&["c2", "alice", "t2"])).unwrap();
+        inst.insert(Tuple::from_strs(&["c2", "alice", "t2"]))
+            .unwrap();
         inst
     }
 
@@ -217,7 +260,9 @@ mod tests {
     #[test]
     fn duplicate_insert_is_ignored() {
         let mut inst = ta_instance();
-        let added = inst.insert(Tuple::from_strs(&["c1", "alice", "t1"])).unwrap();
+        let added = inst
+            .insert(Tuple::from_strs(&["c1", "alice", "t1"]))
+            .unwrap();
         assert!(!added);
         assert_eq!(inst.len(), 3);
     }
@@ -242,8 +287,7 @@ mod tests {
 
     #[test]
     fn tuples_containing_deduplicates_rows() {
-        let mut inst =
-            RelationInstance::empty(RelationSymbol::new("pair", &["a", "b"]));
+        let mut inst = RelationInstance::empty(RelationSymbol::new("pair", &["a", "b"]));
         inst.insert(Tuple::from_strs(&["x", "x"])).unwrap();
         inst.insert(Tuple::from_strs(&["x", "y"])).unwrap();
         let hits = inst.tuples_containing(&Value::str("x"));
@@ -259,13 +303,23 @@ mod tests {
 
     #[test]
     fn fd_checking() {
-        let mut inst =
-            RelationInstance::empty(RelationSymbol::new("student", &["stud", "phase"]));
+        let mut inst = RelationInstance::empty(RelationSymbol::new("student", &["stud", "phase"]));
         inst.insert(Tuple::from_strs(&["alice", "prelim"])).unwrap();
         inst.insert(Tuple::from_strs(&["bob", "post"])).unwrap();
         assert!(inst.satisfies_fd(&[0], &[1]));
         inst.insert(Tuple::from_strs(&["alice", "post"])).unwrap();
         assert!(!inst.satisfies_fd(&[0], &[1]));
+    }
+
+    #[test]
+    fn statistics_reflect_indexes() {
+        let inst = ta_instance();
+        let stats = inst.statistics();
+        assert_eq!(stats.cardinality, 3);
+        assert_eq!(stats.distinct_per_position, vec![2, 2, 2]);
+        assert!((stats.expected_matches(0) - 1.5).abs() < 1e-9);
+        // Out-of-range position falls back to the full cardinality.
+        assert!((stats.expected_matches(9) - 3.0).abs() < 1e-9);
     }
 
     #[test]

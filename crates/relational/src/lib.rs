@@ -44,7 +44,7 @@ pub use attribute::{AttrName, Sort};
 pub use constraint::{Constraint, FunctionalDependency, InclusionDependency};
 pub use database::DatabaseInstance;
 pub use error::RelationalError;
-pub use instance::RelationInstance;
+pub use instance::{RelationInstance, RelationStatistics};
 pub use ops::{natural_join, natural_join_all, project, select_eq};
 pub use relation::RelationSymbol;
 pub use schema::Schema;

@@ -19,18 +19,16 @@ pub fn project(
     attrs: &[AttrName],
     output_name: &str,
 ) -> Result<RelationInstance> {
-    let positions = input
-        .symbol()
-        .sort()
-        .positions(attrs)
-        .ok_or_else(|| crate::RelationalError::UnknownAttribute {
+    let positions = input.symbol().sort().positions(attrs).ok_or_else(|| {
+        crate::RelationalError::UnknownAttribute {
             relation: input.name().to_string(),
             attribute: attrs
                 .iter()
                 .find(|a| !input.symbol().sort().contains(a))
                 .map(|a| a.as_str().to_string())
                 .unwrap_or_default(),
-        })?;
+        }
+    })?;
     let symbol = RelationSymbol::with_sort(
         output_name,
         crate::attribute::Sort::new(attrs.iter().map(|a| a.as_str().to_string())),
@@ -50,13 +48,12 @@ pub fn select_eq(
     value: &Value,
     output_name: &str,
 ) -> Result<RelationInstance> {
-    let pos = input
-        .symbol()
-        .attr_position(attr)
-        .ok_or_else(|| crate::RelationalError::UnknownAttribute {
+    let pos = input.symbol().attr_position(attr).ok_or_else(|| {
+        crate::RelationalError::UnknownAttribute {
             relation: input.name().to_string(),
             attribute: attr.as_str().to_string(),
-        })?;
+        }
+    })?;
     let symbol = RelationSymbol::with_sort(output_name, input.symbol().sort().clone());
     let mut out = RelationInstance::empty(symbol);
     for t in input.select_eq(pos, value) {
@@ -105,7 +102,10 @@ pub fn natural_join(
     // Hash join: build on the smaller side conceptually; here build on right.
     let mut table: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
     for rt in right.iter() {
-        table.entry(rt.project(&right_key_pos)).or_default().push(rt);
+        table
+            .entry(rt.project(&right_key_pos))
+            .or_default()
+            .push(rt);
     }
     for lt in left.iter() {
         let key = lt.project(&left_key_pos);
@@ -127,10 +127,12 @@ pub fn natural_join_all(
     instances: &[&RelationInstance],
     output_name: &str,
 ) -> Result<RelationInstance> {
-    assert!(!instances.is_empty(), "natural_join_all needs at least one input");
+    assert!(
+        !instances.is_empty(),
+        "natural_join_all needs at least one input"
+    );
     if instances.len() == 1 {
-        let symbol =
-            RelationSymbol::with_sort(output_name, instances[0].symbol().sort().clone());
+        let symbol = RelationSymbol::with_sort(output_name, instances[0].symbol().sort().clone());
         let mut out = RelationInstance::empty(symbol);
         for t in instances[0].iter() {
             out.insert(t.clone())?;
@@ -190,7 +192,11 @@ mod tests {
     #[test]
     fn natural_join_on_shared_attribute() {
         let student = inst("student", &["stud"], &[&["a"], &["b"]]);
-        let phase = inst("inPhase", &["stud", "phase"], &[&["a", "pre"], &["b", "post"]]);
+        let phase = inst(
+            "inPhase",
+            &["stud", "phase"],
+            &[&["a", "pre"], &["b", "post"]],
+        );
         let j = natural_join(&student, &phase, "joined").unwrap();
         assert_eq!(j.len(), 2);
         assert_eq!(j.symbol().arity(), 2);
@@ -219,7 +225,11 @@ mod tests {
         // student(stud), inPhase(stud,phase), yearsInProgram(stud,years)
         // should join back to student(stud,phase,years).
         let s = inst("student", &["stud"], &[&["a"], &["b"]]);
-        let p = inst("inPhase", &["stud", "phase"], &[&["a", "pre"], &["b", "post"]]);
+        let p = inst(
+            "inPhase",
+            &["stud", "phase"],
+            &[&["a", "pre"], &["b", "post"]],
+        );
         let y = inst(
             "yearsInProgram",
             &["stud", "years"],

@@ -146,10 +146,11 @@ impl Schema {
         attrs
             .iter()
             .map(|a| {
-                rel.attr_position(a).ok_or_else(|| RelationalError::UnknownAttribute {
-                    relation: relation.to_string(),
-                    attribute: a.as_str().to_string(),
-                })
+                rel.attr_position(a)
+                    .ok_or_else(|| RelationalError::UnknownAttribute {
+                        relation: relation.to_string(),
+                        attribute: a.as_str().to_string(),
+                    })
             })
             .collect()
     }
@@ -230,7 +231,8 @@ mod tests {
         let mut s = Schema::new("t");
         s.add_relation(RelationSymbol::new("r", &["a"]));
         assert_eq!(
-            s.try_add_relation(RelationSymbol::new("r", &["b"])).unwrap_err(),
+            s.try_add_relation(RelationSymbol::new("r", &["b"]))
+                .unwrap_err(),
             RelationalError::DuplicateRelation("r".into())
         );
     }
@@ -253,7 +255,11 @@ mod tests {
     fn validation_detects_unknown_attribute() {
         let mut s = uwcse_original();
         assert!(s.validate().is_ok());
-        s.add_fd(FunctionalDependency::new("student", &["stud"], &["nonexistent"]));
+        s.add_fd(FunctionalDependency::new(
+            "student",
+            &["stud"],
+            &["nonexistent"],
+        ));
         assert!(matches!(
             s.validate(),
             Err(RelationalError::UnknownAttribute { .. })

@@ -119,11 +119,21 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_consistent() {
-        let mut vs = vec![Value::str("b"), Value::int(3), Value::str("a"), Value::int(1)];
+        let mut vs = vec![
+            Value::str("b"),
+            Value::int(3),
+            Value::str("a"),
+            Value::int(1),
+        ];
         vs.sort();
         assert_eq!(
             vs,
-            vec![Value::int(1), Value::int(3), Value::str("a"), Value::str("b")]
+            vec![
+                Value::int(1),
+                Value::int(3),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

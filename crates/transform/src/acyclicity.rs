@@ -16,10 +16,8 @@ use std::collections::BTreeSet;
 /// contained in some other edge — until no edge remains (acyclic) or no ear
 /// can be removed (cyclic).
 pub fn join_is_acyclic(sorts: &[Sort]) -> bool {
-    let mut edges: Vec<BTreeSet<AttrName>> = sorts
-        .iter()
-        .map(|s| s.iter().cloned().collect())
-        .collect();
+    let mut edges: Vec<BTreeSet<AttrName>> =
+        sorts.iter().map(|s| s.iter().cloned().collect()).collect();
 
     loop {
         if edges.len() <= 1 {
@@ -124,13 +122,21 @@ pub fn inds_are_cyclic(inds: &[InclusionDependency]) -> bool {
         for edge in graph.get(node).into_iter().flatten() {
             // A walk "switches attributes" at `node` when the attributes it
             // arrived on differ from the attributes it leaves on.
-            let switches = !arrived_attrs.is_empty() && arrived_attrs != edge.attrs_at_from.as_slice();
+            let switches =
+                !arrived_attrs.is_empty() && arrived_attrs != edge.attrs_at_from.as_slice();
             if edge.to == start && switches {
                 return true;
             }
             if !visited.contains(&edge.to) {
                 visited.push(edge.to.clone());
-                if dfs(graph, &edge.to, &edge.attrs_at_to, start, visited, depth + 1) {
+                if dfs(
+                    graph,
+                    &edge.to,
+                    &edge.attrs_at_to,
+                    start,
+                    visited,
+                    depth + 1,
+                ) {
                     return true;
                 }
                 visited.pop();

@@ -35,10 +35,7 @@ pub fn map_definition_through_step(def: &Definition, step: &TransformStep) -> De
 
 /// Maps a definition through every decomposition step of a transformation,
 /// in order.
-pub fn map_definition_through_decomposition(
-    def: &Definition,
-    tau: &Transformation,
-) -> Definition {
+pub fn map_definition_through_decomposition(def: &Definition, tau: &Transformation) -> Definition {
     let mut current = def.clone();
     for step in tau.steps() {
         current = map_definition_through_step(&current, step);
@@ -109,7 +106,11 @@ mod tests {
                 Atom::vars("hardWorking", &["x"]),
                 vec![Atom::new(
                     "student",
-                    vec![Term::var("x"), Term::constant("prelim"), Term::constant("3")],
+                    vec![
+                        Term::var("x"),
+                        Term::constant("prelim"),
+                        Term::constant("3"),
+                    ],
                 )],
             )],
         );
@@ -124,10 +125,7 @@ mod tests {
         );
         assert_eq!(
             body[2],
-            Atom::new(
-                "yearsInProgram",
-                vec![Term::var("x"), Term::constant("3")]
-            )
+            Atom::new("yearsInProgram", vec![Term::var("x"), Term::constant("3")])
         );
     }
 
@@ -156,15 +154,21 @@ mod tests {
         let s = schema_4nf();
         let tau = decomposition(&s);
         let mut db = DatabaseInstance::empty(&s);
-        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"])).unwrap();
-        db.insert("student", Tuple::from_strs(&["bob", "post", "7"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"]))
+            .unwrap();
+        db.insert("student", Tuple::from_strs(&["bob", "post", "7"]))
+            .unwrap();
         let def = Definition::new(
             "hardWorking",
             vec![Clause::new(
                 Atom::vars("hardWorking", &["x"]),
                 vec![Atom::new(
                     "student",
-                    vec![Term::var("x"), Term::constant("prelim"), Term::constant("3")],
+                    vec![
+                        Term::var("x"),
+                        Term::constant("prelim"),
+                        Term::constant("3"),
+                    ],
                 )],
             )],
         );

@@ -108,8 +108,10 @@ mod tests {
     fn lossless_decomposition_is_equivalent() {
         let s = schema();
         let mut db = DatabaseInstance::empty(&s);
-        db.insert("student", Tuple::from_strs(&["a", "pre", "1"])).unwrap();
-        db.insert("student", Tuple::from_strs(&["b", "post", "2"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["a", "pre", "1"]))
+            .unwrap();
+        db.insert("student", Tuple::from_strs(&["b", "post", "2"]))
+            .unwrap();
         let report = verify_information_equivalence(&tau(&s), &db).unwrap();
         assert!(report.is_equivalent());
         assert_eq!(report.original_tuples, 2);
@@ -141,9 +143,11 @@ mod tests {
         let s = schema();
         let mut db1 = DatabaseInstance::empty(&s);
         let mut db2 = DatabaseInstance::empty(&s);
-        db1.insert("student", Tuple::from_strs(&["a", "pre", "1"])).unwrap();
+        db1.insert("student", Tuple::from_strs(&["a", "pre", "1"]))
+            .unwrap();
         assert!(!instances_equal(&db1, &db2));
-        db2.insert("student", Tuple::from_strs(&["a", "pre", "1"])).unwrap();
+        db2.insert("student", Tuple::from_strs(&["a", "pre", "1"]))
+            .unwrap();
         assert!(instances_equal(&db1, &db2));
     }
 }

@@ -130,7 +130,12 @@ mod tests {
         ] {
             s.add_relation(RelationSymbol::new(name, &attrs));
         }
-        s.add_ind(InclusionDependency::equality("student", &["stud"], "inPhase", &["stud"]));
+        s.add_ind(InclusionDependency::equality(
+            "student",
+            &["stud"],
+            "inPhase",
+            &["stud"],
+        ));
         s.add_ind(InclusionDependency::equality(
             "student",
             &["stud"],
@@ -200,7 +205,10 @@ mod tests {
         let mut seen = BTreeSet::new();
         for c in &classes {
             for r in &c.relations {
-                assert!(seen.insert(r.clone()), "relation {r} appears in two classes");
+                assert!(
+                    seen.insert(r.clone()),
+                    "relation {r} appears in two classes"
+                );
             }
         }
     }

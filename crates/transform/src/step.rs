@@ -68,11 +68,7 @@ impl TransformStep {
     /// Builds a decomposition step for a relation of `schema`. Each part is
     /// a `(name, attributes)` pair; the union of the parts' attributes must
     /// equal the source's sort.
-    pub fn decompose<S: AsRef<str>>(
-        schema: &Schema,
-        source: &str,
-        parts: &[(&str, &[S])],
-    ) -> Self {
+    pub fn decompose<S: AsRef<str>>(schema: &Schema, source: &str, parts: &[(&str, &[S])]) -> Self {
         let source_spec =
             RelationSpec::from_schema(schema, source).expect("source relation must exist");
         let parts: Vec<RelationSpec> = parts
@@ -180,7 +176,10 @@ impl TransformStep {
                     if !consumed.contains(fd.relation.as_str()) {
                         out.add_fd(fd.clone());
                     } else if let Some(home) = self.produced().into_iter().find(|p| {
-                        fd.lhs.iter().chain(fd.rhs.iter()).all(|a| p.attrs.contains(a))
+                        fd.lhs
+                            .iter()
+                            .chain(fd.rhs.iter())
+                            .all(|a| p.attrs.contains(a))
                     }) {
                         out.add_fd(FunctionalDependency {
                             relation: home.name.clone(),
@@ -375,9 +374,12 @@ mod tests {
         let step = decomposition_step(&s);
         let target = step.apply_schema(&s);
         let mut db = DatabaseInstance::empty(&s);
-        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"])).unwrap();
-        db.insert("student", Tuple::from_strs(&["bob", "post", "7"])).unwrap();
-        db.insert("publication", Tuple::from_strs(&["p1", "alice"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"]))
+            .unwrap();
+        db.insert("student", Tuple::from_strs(&["bob", "post", "7"]))
+            .unwrap();
+        db.insert("publication", Tuple::from_strs(&["p1", "alice"]))
+            .unwrap();
         let out = step.apply_instance(&db, &target).unwrap();
         assert_eq!(out.relation("student").unwrap().len(), 2);
         assert!(out.contains("inPhase", &Tuple::from_strs(&["alice", "prelim"])));
@@ -392,13 +394,17 @@ mod tests {
         let step = decomposition_step(&s);
         let decomposed_schema = step.apply_schema(&s);
         let mut db = DatabaseInstance::empty(&s);
-        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"])).unwrap();
-        db.insert("student", Tuple::from_strs(&["bob", "post", "7"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"]))
+            .unwrap();
+        db.insert("student", Tuple::from_strs(&["bob", "post", "7"]))
+            .unwrap();
         let decomposed = step.apply_instance(&db, &decomposed_schema).unwrap();
 
         let inverse = step.invert();
         let recomposed_schema = inverse.apply_schema(&decomposed_schema);
-        let recomposed = inverse.apply_instance(&decomposed, &recomposed_schema).unwrap();
+        let recomposed = inverse
+            .apply_instance(&decomposed, &recomposed_schema)
+            .unwrap();
         assert_eq!(recomposed.relation("student").unwrap().len(), 2);
         assert!(recomposed.contains("student", &Tuple::from_strs(&["alice", "prelim", "3"])));
         assert!(recomposed.contains("student", &Tuple::from_strs(&["bob", "post", "7"])));

@@ -111,8 +111,16 @@ mod tests {
         s.add_relation(RelationSymbol::new("student", &["stud", "phase", "years"]));
         s.add_relation(RelationSymbol::new("professor", &["prof", "position"]));
         s.add_relation(RelationSymbol::new("publication", &["title", "person"]));
-        s.add_fd(FunctionalDependency::new("student", &["stud"], &["phase", "years"]));
-        s.add_fd(FunctionalDependency::new("professor", &["prof"], &["position"]));
+        s.add_fd(FunctionalDependency::new(
+            "student",
+            &["stud"],
+            &["phase", "years"],
+        ));
+        s.add_fd(FunctionalDependency::new(
+            "professor",
+            &["prof"],
+            &["position"],
+        ));
         s
     }
 
@@ -145,11 +153,16 @@ mod tests {
 
     fn instance_4nf() -> DatabaseInstance {
         let mut db = DatabaseInstance::empty(&schema_4nf());
-        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"])).unwrap();
-        db.insert("student", Tuple::from_strs(&["bob", "post_generals", "5"])).unwrap();
-        db.insert("professor", Tuple::from_strs(&["carol", "faculty"])).unwrap();
-        db.insert("publication", Tuple::from_strs(&["p1", "alice"])).unwrap();
-        db.insert("publication", Tuple::from_strs(&["p1", "carol"])).unwrap();
+        db.insert("student", Tuple::from_strs(&["alice", "prelim", "3"]))
+            .unwrap();
+        db.insert("student", Tuple::from_strs(&["bob", "post_generals", "5"]))
+            .unwrap();
+        db.insert("professor", Tuple::from_strs(&["carol", "faculty"]))
+            .unwrap();
+        db.insert("publication", Tuple::from_strs(&["p1", "alice"]))
+            .unwrap();
+        db.insert("publication", Tuple::from_strs(&["p1", "carol"]))
+            .unwrap();
         db
     }
 

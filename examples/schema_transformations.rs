@@ -23,9 +23,11 @@ fn main() {
         ("bob", "post_generals", "5"),
         ("carol", "post_quals", "4"),
     ] {
-        db.insert("student", Tuple::from_strs(&[s, phase, years])).unwrap();
+        db.insert("student", Tuple::from_strs(&[s, phase, years]))
+            .unwrap();
     }
-    db.insert("publication", Tuple::from_strs(&["p1", "alice"])).unwrap();
+    db.insert("publication", Tuple::from_strs(&["p1", "alice"]))
+        .unwrap();
 
     // Decompose student(stud, phase, years) into the Original-schema shape.
     let tau = Transformation::new(

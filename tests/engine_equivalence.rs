@@ -1,0 +1,157 @@
+//! Property-style tests for the `castor-engine` subsystem: engine-based
+//! coverage must agree with the direct database semantics
+//! (`castor_logic::covers_example`) on randomly generated clauses and
+//! example tuples, and the parallel worker-pool path must agree with the
+//! sequential one.
+
+use castor_datasets::synthetic::{random_definition, RandomDefinitionConfig};
+use castor_datasets::uwcse;
+use castor_engine::{Engine, EngineConfig, Prior};
+use castor_logic::{covers_example, Clause};
+use castor_relational::{DatabaseInstance, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The Denormalized-2 UW-CSE schema: the widest relations, which makes the
+/// random clauses join-heavy.
+fn schema() -> Schema {
+    let original = uwcse::original_schema();
+    uwcse::to_denormalized2(&original).apply_schema(&original)
+}
+
+/// A random instance of `schema`: every relation gets `rows` tuples over a
+/// small shared constant pool, so joins actually connect.
+fn random_instance(schema: &Schema, rows: usize, rng: &mut StdRng) -> DatabaseInstance {
+    let mut db = DatabaseInstance::empty(schema);
+    let pool: Vec<String> = (0..12).map(|i| format!("c{i}")).collect();
+    for relation in schema.relations() {
+        for _ in 0..rows {
+            let tuple = Tuple::new(
+                (0..relation.arity())
+                    .map(|_| Value::str(pool[rng.gen_range(0..pool.len())].clone()))
+                    .collect::<Vec<_>>(),
+            );
+            db.insert(relation.name(), tuple).expect("schema relation");
+        }
+    }
+    db
+}
+
+/// Random candidate example tuples for a clause head of the given arity.
+fn random_examples(arity: usize, count: usize, rng: &mut StdRng) -> Vec<Tuple> {
+    (0..count)
+        .map(|_| {
+            Tuple::new(
+                (0..arity)
+                    .map(|_| Value::str(format!("c{}", rng.gen_range(0..12))))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// Random clauses shaped like learner candidates, drawn through the
+/// dataset crate's generator plus their ARMG-style prefixes.
+fn random_clauses(schema: &Schema, seed: u64) -> Vec<Clause> {
+    let mut out = Vec::new();
+    for (i, vars) in (4..=7).enumerate() {
+        let def = random_definition(
+            schema,
+            "target",
+            &RandomDefinitionConfig {
+                clauses: 2,
+                variables_per_clause: vars,
+                target_arity: 2,
+                seed: seed + i as u64,
+            },
+        );
+        for clause in def.clauses {
+            for len in 1..=clause.body.len() {
+                let mut prefix = Clause::new(clause.head.clone(), clause.body[..len].to_vec());
+                prefix.remove_unconnected();
+                out.push(prefix);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn engine_coverage_agrees_with_database_semantics() {
+    let schema = schema();
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let db = random_instance(&schema, 25, &mut rng);
+        let engine = Engine::new(&db, EngineConfig::default());
+        let clauses = random_clauses(&schema, 7 * seed);
+        let examples = random_examples(2, 20, &mut rng);
+        for clause in &clauses {
+            for example in &examples {
+                assert_eq!(
+                    engine.covers(clause, example),
+                    covers_example(clause, &db, example),
+                    "seed {seed}: engine disagrees with covers_example on \
+                     clause `{clause}` and example {example}"
+                );
+            }
+        }
+        // The report must account for real work without budget exhaustion
+        // (otherwise the equivalence above would be vacuous).
+        let report = engine.report();
+        assert!(report.coverage_tests > 0);
+        assert_eq!(report.budget_exhausted, 0, "budget too small for test db");
+    }
+}
+
+#[test]
+fn parallel_and_sequential_engine_paths_agree() {
+    let schema = schema();
+    for seed in 0..2u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let db = random_instance(&schema, 25, &mut rng);
+        let sequential = Engine::new(&db, EngineConfig::default());
+        let parallel = Engine::new(&db, EngineConfig::default().with_threads(4));
+        let clauses = random_clauses(&schema, 31 * seed);
+        let examples = random_examples(2, 48, &mut rng);
+        for clause in &clauses {
+            let seq: HashSet<Tuple> = sequential.covered_set(clause, &examples, Prior::None);
+            let par: HashSet<Tuple> = parallel.covered_set(clause, &examples, Prior::None);
+            assert_eq!(
+                seq, par,
+                "seed {seed}: worker-pool path diverged on clause `{clause}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn generality_prior_never_invents_coverage() {
+    // Soundness of the generality-order shortcut: a covered_set computed
+    // with Prior::GeneralizationOf(parent) must equal the one computed from
+    // scratch whenever the child really is more general (here: a prefix of
+    // the parent's body, which can only cover more).
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(3000);
+    let db = random_instance(&schema, 25, &mut rng);
+    let engine = Engine::new(&db, EngineConfig::default());
+    let fresh = Engine::new(&db, EngineConfig::default());
+    let examples = random_examples(2, 20, &mut rng);
+    for clause in random_clauses(&schema, 5) {
+        if clause.body.len() < 2 {
+            continue;
+        }
+        let mut child = Clause::new(
+            clause.head.clone(),
+            clause.body[..clause.body.len() - 1].to_vec(),
+        );
+        child.remove_unconnected();
+        engine.covered_set(&clause, &examples, Prior::None);
+        let with_prior = engine.covered_set(&child, &examples, Prior::GeneralizationOf(&clause));
+        let from_scratch = fresh.covered_set(&child, &examples, Prior::None);
+        assert_eq!(
+            with_prior, from_scratch,
+            "prior changed semantics on `{child}`"
+        );
+    }
+}

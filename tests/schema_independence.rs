@@ -81,10 +81,8 @@ fn ground_truth_definitions_agree_across_variants() {
         castor_logic::definition_results(v.ground_truth.as_ref().unwrap(), &v.db)
     };
     for variant in &family.variants {
-        let results = castor_logic::definition_results(
-            variant.ground_truth.as_ref().unwrap(),
-            &variant.db,
-        );
+        let results =
+            castor_logic::definition_results(variant.ground_truth.as_ref().unwrap(), &variant.db);
         assert_eq!(results, reference, "variant {} diverges", variant.name);
     }
 }
