@@ -98,7 +98,7 @@ fn bench_engine_coverage_cache(c: &mut Criterion) {
         .cloned()
         .collect();
 
-    let engine = Engine::new(&variant.db, EngineConfig::default());
+    let engine = Engine::from_arc(std::sync::Arc::clone(&variant.db), EngineConfig::default());
     c.bench_function("engine_coverage_cached_compiled_plans", |b| {
         b.iter(|| {
             let mut covered = 0usize;
@@ -125,12 +125,60 @@ fn bench_engine_coverage_cache(c: &mut Criterion) {
     });
 }
 
+/// The batched-beam acceptance benchmark: score one level of sibling
+/// candidates (shared ground-truth prefix, one trailing literal each)
+/// through `coverage_counts_batch` versus one `covered_set` call per
+/// candidate. Caches are disabled on both sides so every iteration measures
+/// real evaluation: the comparison is shared-prefix execution against
+/// repeated per-clause prefix joins, expected ≥ 1.5× (and in practice far
+/// more as the beam widens).
+fn bench_engine_batched_beam_vs_sequential(c: &mut Criterion) {
+    let family = generate(&UwCseConfig {
+        students: 120,
+        professors: 25,
+        courses: 40,
+        ..Default::default()
+    });
+    let variant = family.variant("Original").unwrap();
+    let beam = castor_bench::beam_candidate_batch(variant, 24);
+    let examples: Vec<Tuple> = variant
+        .task
+        .positive
+        .iter()
+        .chain(variant.task.negative.iter())
+        .cloned()
+        .collect();
+
+    let config = EngineConfig::default().without_cache();
+    let batched = Engine::from_arc(std::sync::Arc::clone(&variant.db), config.clone());
+    c.bench_function("engine_batched_beam_vs_sequential/batched", |b| {
+        b.iter(|| {
+            let sets = batched.covered_sets_batch(black_box(&beam), black_box(&examples));
+            black_box(sets.iter().map(|s| s.len()).sum::<usize>())
+        })
+    });
+
+    let sequential = Engine::from_arc(std::sync::Arc::clone(&variant.db), config);
+    c.bench_function("engine_batched_beam_vs_sequential/sequential", |b| {
+        b.iter(|| {
+            let mut covered = 0usize;
+            for clause in &beam {
+                covered += sequential
+                    .covered_set(black_box(clause), black_box(&examples), Prior::None)
+                    .len();
+            }
+            black_box(covered)
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_subsumption,
     bench_bottom_clause,
     bench_natural_join,
     bench_lgg,
-    bench_engine_coverage_cache
+    bench_engine_coverage_cache,
+    bench_engine_batched_beam_vs_sequential
 );
 criterion_main!(benches);

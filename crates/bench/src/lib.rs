@@ -53,6 +53,57 @@ pub fn coverage_candidate_sequence(variant: &castor_datasets::DatasetVariant) ->
     out
 }
 
+/// A beam of sibling candidate clauses shaped like one level of beam
+/// refinement: the variant's ground-truth body is the shared prefix, and
+/// each sibling appends one distinct trailing literal (every relation ×
+/// position × existing-variable placement, FOIL-style, until `width`
+/// candidates exist). Scoring this beam per clause re-joins the shared
+/// prefix `width` times per example; the batched engine path joins it
+/// once. Shared by the batched-evaluation micro-benchmark and the CI
+/// speedup guard so both measure the same workload.
+pub fn beam_candidate_batch(
+    variant: &castor_datasets::DatasetVariant,
+    width: usize,
+) -> Vec<Clause> {
+    use castor_logic::{Atom, Term};
+    let base = variant
+        .ground_truth
+        .clone()
+        .expect("variant has a ground truth")
+        .clauses[0]
+        .clone();
+    let vars: Vec<String> = base.variables().into_iter().collect();
+    let mut out = Vec::new();
+    let mut fresh = 0usize;
+    'outer: for relation in variant.db.schema().relations() {
+        let arity = relation.arity();
+        if arity == 0 {
+            continue;
+        }
+        for pos in 0..arity {
+            for var in &vars {
+                let terms: Vec<Term> = (0..arity)
+                    .map(|i| {
+                        if i == pos {
+                            Term::var(var.clone())
+                        } else {
+                            fresh += 1;
+                            Term::var(format!("F{fresh}"))
+                        }
+                    })
+                    .collect();
+                let mut sibling = base.clone();
+                sibling.push(Atom::new(relation.name(), terms));
+                out.push(sibling);
+                if out.len() == width {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Builds the (reduced-scale) UW-CSE family used by the harness.
 pub fn uwcse_family() -> SchemaFamily {
     uwcse::generate(&uwcse::UwCseConfig::default())
@@ -201,7 +252,7 @@ pub fn table12_general_inds() -> String {
     let mut out = String::new();
     for mut family in [hiv_2k4k_family(), uwcse_family(), imdb_family()] {
         for variant in family.variants.iter_mut() {
-            variant.db = weaken_equality_inds(&variant.db);
+            variant.db = std::sync::Arc::new(weaken_equality_inds(&variant.db));
         }
         let params = if family.name == "UW-CSE" {
             LearnerParams::uwcse()
@@ -253,7 +304,7 @@ pub fn table13_stored_procedures() -> String {
             let mut config = config;
             config.params = params.clone();
             let start = Instant::now();
-            let outcome = castor_core::Castor::new(config).learn(&variant.db, &variant.task);
+            let outcome = castor_core::Castor::new(config).learn_shared(&variant.db, &variant.task);
             (start.elapsed().as_secs_f64(), outcome.definition.len())
         };
         let (with_plan, _) = timed(config.clone());
@@ -290,7 +341,7 @@ pub fn figure2_parallelism(threads: &[usize]) -> String {
             let mut config = CastorConfig::large_dataset().with_threads(t);
             config.params.constant_positions = variant.constant_positions.clone();
             let start = Instant::now();
-            let outcome = castor_core::Castor::new(config).learn(&variant.db, &variant.task);
+            let outcome = castor_core::Castor::new(config).learn_shared(&variant.db, &variant.task);
             let _ = write!(out, " {:>10.3}", start.elapsed().as_secs_f64());
             last_report = Some(outcome.engine);
         }

@@ -132,6 +132,34 @@ impl CoverageEngine {
         let neg = self.covered_set(clause, negative, Prior::None).len();
         (pos, neg)
     }
+
+    /// The covered subsets for a whole beam of candidate clauses at once:
+    /// candidates are deduplicated per canonical clause, the memo cache is
+    /// probed under one lock for the entire beam, and the remaining
+    /// (candidate, example) subsumption tests run as one flat work list on
+    /// the worker pool instead of one pool dispatch per candidate.
+    pub fn covered_sets_batch(
+        &self,
+        clauses: &[Clause],
+        examples: &[Tuple],
+    ) -> Vec<HashSet<Tuple>> {
+        self.runtime
+            .covered_sets_batch(self, clauses, examples, &[])
+    }
+
+    /// [`CoverageEngine::covered_sets_batch`] with one [`Prior`] per
+    /// candidate — the beam loop passes `Prior::GeneralizationOf(parent)`
+    /// so every example a candidate's beam parent is cached as covering is
+    /// accepted without a subsumption test.
+    pub fn covered_sets_batch_with_priors(
+        &self,
+        clauses: &[Clause],
+        priors: &[Prior<'_>],
+        examples: &[Tuple],
+    ) -> Vec<HashSet<Tuple>> {
+        self.runtime
+            .covered_sets_batch(self, clauses, examples, priors)
+    }
 }
 
 impl CoverageTester for CoverageEngine {
@@ -156,6 +184,30 @@ impl CoverageTester for CoverageEngine {
         let examples = Arc::clone(examples);
         let node_budget = self.node_budget;
         Box::new(move |i| test_subsumption(&ground, &metrics, &clause, &examples[i], node_budget))
+    }
+
+    fn pair_task(
+        &self,
+        canonicals: &Arc<Vec<Clause>>,
+        examples: &Arc<Vec<Tuple>>,
+        pairs: &Arc<Vec<(usize, usize)>>,
+    ) -> Box<dyn Fn(usize) -> CoverageOutcome + Send + Sync + 'static> {
+        let ground = Arc::clone(&self.ground);
+        let metrics = Arc::clone(self.runtime.metrics());
+        let canonicals = Arc::clone(canonicals);
+        let examples = Arc::clone(examples);
+        let pairs = Arc::clone(pairs);
+        let node_budget = self.node_budget;
+        Box::new(move |i| {
+            let (slot, ei) = pairs[i];
+            test_subsumption(
+                &ground,
+                &metrics,
+                &canonicals[slot],
+                &examples[ei],
+                node_budget,
+            )
+        })
     }
 }
 
@@ -369,6 +421,39 @@ mod tests {
         let tests_before = engine.tests_performed();
         assert!(engine.covers(&b, &e));
         assert_eq!(engine.tests_performed(), tests_before);
+    }
+
+    #[test]
+    fn batched_beam_matches_per_clause_covered_sets() {
+        let batched = engine(1);
+        let solo = engine(1);
+        let examples: Vec<Tuple> = vec![
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["carol", "dan"]),
+            Tuple::from_strs(&["ann", "carol"]),
+            Tuple::from_strs(&["eve", "bob"]),
+        ];
+        let parent = collaborated();
+        let child = Clause::new(
+            Atom::vars("collaborated", &["x", "y"]),
+            vec![Atom::vars("publication", &["p", "x"])],
+        );
+        let beam = vec![parent.clone(), child.clone()];
+        let sets = batched.covered_sets_batch(&beam, &examples);
+        for (clause, set) in beam.iter().zip(&sets) {
+            assert_eq!(set, &solo.covered_set(clause, &examples, Prior::None));
+        }
+        // With the parent's coverage now cached, a prior-carrying batch
+        // skips the parent-covered examples.
+        let tests_before = batched.tests_performed();
+        let priors = vec![Prior::GeneralizationOf(&parent)];
+        let with_prior = batched.covered_sets_batch_with_priors(
+            std::slice::from_ref(&child),
+            &priors,
+            &examples,
+        );
+        assert_eq!(with_prior[0], sets[1]);
+        assert_eq!(batched.tests_performed(), tests_before); // all answered by cache/prior
     }
 
     #[test]

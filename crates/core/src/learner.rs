@@ -12,6 +12,7 @@ use castor_learners::LearningTask;
 use castor_logic::{is_safe, minimize_clause, Clause, Definition};
 use castor_relational::{DatabaseInstance, InclusionDependency, Schema, Tuple};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The result of a Castor run, with the measurements the experiment harness
@@ -50,8 +51,21 @@ impl Castor {
         &self.config
     }
 
-    /// Learns a Horn definition for `task` over `db`.
+    /// Learns a Horn definition for `task` over `db`. The instance is
+    /// deep-cloned once so the engine's worker threads can share it; callers
+    /// that already hold an `Arc` (the experiment harness, dataset variants)
+    /// should use [`Castor::learn_shared`] and skip the copy.
     pub fn learn(&mut self, db: &DatabaseInstance, task: &LearningTask) -> LearnOutcome {
+        self.learn_shared(&Arc::new(db.clone()), task)
+    }
+
+    /// Learns a Horn definition for `task` over a shared database instance,
+    /// without copying it (zero-copy engine construction).
+    pub fn learn_shared(
+        &mut self,
+        db: &Arc<DatabaseInstance>,
+        task: &LearningTask,
+    ) -> LearnOutcome {
         let start = Instant::now();
 
         // Section 7.4 preprocessing: promote subset INDs that hold with
@@ -69,7 +83,7 @@ impl Castor {
         // tests (compiled plans + memoized prefixes); the subsumption-based
         // coverage engine shares its worker pool so one learner run drives
         // a single set of workers.
-        let eval_engine = Engine::new(db, self.config.params.engine_config());
+        let eval_engine = Engine::from_arc(Arc::clone(db), self.config.params.engine_config());
         let engine = CoverageEngine::build_with_pool(
             db,
             &plan,
@@ -77,7 +91,7 @@ impl Castor {
             &task.positive,
             &task.negative,
             &self.config,
-            std::sync::Arc::clone(eval_engine.pool()),
+            Arc::clone(eval_engine.pool()),
         );
 
         let mut definition = Definition::empty(task.target.clone());
@@ -168,8 +182,12 @@ impl Castor {
 
         loop {
             let sample: Vec<&Tuple> = uncovered.iter().take(params.sample_size.max(1)).collect();
-            let mut candidates: Vec<(Clause, HashSet<Tuple>, usize)> = Vec::new();
-            for (clause, known_cov, _) in &beam {
+            // Generate the whole round's ARMG candidates first: sibling
+            // generalizations of one beam share long body prefixes, so the
+            // round is scored in one batched engine call instead of one
+            // covered_set per candidate.
+            let mut generated: Vec<(Clause, usize)> = Vec::new();
+            for (parent_idx, (clause, known_cov, _)) in beam.iter().enumerate() {
                 for example in &sample {
                     if known_cov.contains(*example) {
                         continue;
@@ -183,25 +201,32 @@ impl Castor {
                     if self.config.safe_clauses && !is_safe(&generalized) {
                         continue;
                     }
-                    // Generality-order invariant: the engine accepts every
-                    // example the parent clause is cached as covering, and
-                    // `known_cov` (always a subset of `uncovered`, since it
-                    // came from covered_set over it) adds what this beam
-                    // entry accumulated even if the cache evicted it.
-                    let cov = {
-                        let mut cov = engine.covered_set(
-                            &generalized,
-                            uncovered,
-                            Prior::GeneralizationOf(clause),
-                        );
-                        cov.extend(known_cov.iter().cloned());
-                        cov
-                    };
-                    let neg = engine.covered_set(&generalized, negative, Prior::None);
-                    let score = cov.len() as i64 - neg.len() as i64;
-                    if score > best.1 {
-                        candidates.push((generalized, cov, neg.len()));
-                    }
+                    generated.push((generalized, parent_idx));
+                }
+            }
+            if generated.is_empty() {
+                break;
+            }
+            // Generality-order invariant, batched: the engine accepts every
+            // example a candidate's beam parent is cached as covering, and
+            // `known_cov` (always a subset of `uncovered`, since it came
+            // from covered_set over it) adds what the beam entry accumulated
+            // even if the cache evicted it.
+            let clauses: Vec<Clause> = generated.iter().map(|(c, _)| c.clone()).collect();
+            let priors: Vec<Prior> = generated
+                .iter()
+                .map(|&(_, parent_idx)| Prior::GeneralizationOf(&beam[parent_idx].0))
+                .collect();
+            let pos_sets = engine.covered_sets_batch_with_priors(&clauses, &priors, uncovered);
+            let neg_sets = engine.covered_sets_batch(&clauses, negative);
+            let mut candidates: Vec<(Clause, HashSet<Tuple>, usize)> = Vec::new();
+            for (((generalized, parent_idx), mut cov), neg) in
+                generated.into_iter().zip(pos_sets).zip(neg_sets)
+            {
+                cov.extend(beam[parent_idx].1.iter().cloned());
+                let score = cov.len() as i64 - neg.len() as i64;
+                if score > best.1 {
+                    candidates.push((generalized, cov, neg.len()));
                 }
             }
             if candidates.is_empty() {

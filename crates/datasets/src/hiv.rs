@@ -256,21 +256,21 @@ pub fn generate(family_name: &str, config: &HivConfig) -> SchemaFamily {
     let variants = vec![
         DatasetVariant {
             name: "Initial".into(),
-            db: db.clone(),
+            db: std::sync::Arc::new(db.clone()),
             task: task.clone(),
             constant_positions: constant_initial.clone(),
             ground_truth: Some(ground_truth_initial()),
         },
         DatasetVariant {
             name: "4NF-1".into(),
-            db: tau_4nf1.apply_instance(&db).expect("composition applies"),
+            db: std::sync::Arc::new(tau_4nf1.apply_instance(&db).expect("composition applies")),
             task: task.clone(),
             constant_positions: constant_4nf1,
             ground_truth: Some(ground_truth_4nf1()),
         },
         DatasetVariant {
             name: "4NF-2".into(),
-            db: tau_4nf2.apply_instance(&db).expect("decomposition applies"),
+            db: std::sync::Arc::new(tau_4nf2.apply_instance(&db).expect("decomposition applies")),
             task,
             constant_positions: constant_initial,
             ground_truth: Some(ground_truth_4nf2()),

@@ -366,23 +366,25 @@ pub fn generate(config: &ImdbConfig) -> SchemaFamily {
     let variants = vec![
         DatasetVariant {
             name: "JMDB".into(),
-            db: db.clone(),
+            db: std::sync::Arc::new(db.clone()),
             task: task.clone(),
             constant_positions: constants_jmdb.clone(),
             ground_truth: Some(ground_truth_jmdb()),
         },
         DatasetVariant {
             name: "Stanford".into(),
-            db: tau_stanford
-                .apply_instance(&db)
-                .expect("composition applies"),
+            db: std::sync::Arc::new(
+                tau_stanford
+                    .apply_instance(&db)
+                    .expect("composition applies"),
+            ),
             task: task.clone(),
             constant_positions: constants_jmdb,
             ground_truth: Some(ground_truth_stanford()),
         },
         DatasetVariant {
             name: "Denormalized".into(),
-            db: tau_denorm.apply_instance(&db).expect("composition applies"),
+            db: std::sync::Arc::new(tau_denorm.apply_instance(&db).expect("composition applies")),
             task,
             constant_positions: constants_denormalized,
             ground_truth: Some(ground_truth_denormalized()),

@@ -4,6 +4,7 @@ use castor_learners::LearningTask;
 use castor_logic::Definition;
 use castor_relational::DatabaseInstance;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// One schema variant of a dataset: the database instance under that
 /// schema, the learning task, and auxiliary metadata used by the learners.
@@ -12,8 +13,11 @@ pub struct DatasetVariant {
     /// Variant name as used in the paper's tables (e.g. `"Original"`,
     /// `"4NF-1"`, `"Stanford"`).
     pub name: String,
-    /// The database instance (background knowledge) under this variant.
-    pub db: DatabaseInstance,
+    /// The database instance (background knowledge) under this variant,
+    /// shared: engines built over it (`Engine::from_arc`) and
+    /// cross-validation folds (`DatasetVariant::with_task`) clone the `Arc`,
+    /// not the tuples and indexes.
+    pub db: Arc<DatabaseInstance>,
     /// The learning task (shared examples across variants of a family).
     pub task: LearningTask,
     /// `(relation, position)` pairs whose values should stay constants in
@@ -66,7 +70,7 @@ mod tests {
         schema.add_relation(RelationSymbol::new("p", &["x"]));
         DatasetVariant {
             name: name.to_string(),
-            db: DatabaseInstance::empty(&schema),
+            db: Arc::new(DatabaseInstance::empty(&schema)),
             task: LearningTask::new("t", 1, vec![Tuple::from_strs(&["a"])], vec![]),
             constant_positions: BTreeSet::new(),
             ground_truth: None,

@@ -296,7 +296,7 @@ pub fn generate(config: &UwCseConfig) -> SchemaFamily {
     // Build the variant instances by applying the compositions.
     let original_variant = DatasetVariant {
         name: "Original".into(),
-        db: db.clone(),
+        db: std::sync::Arc::new(db.clone()),
         task: task.clone(),
         constant_positions: constant_positions_original(),
         ground_truth: Some(ground_truth_original()),
@@ -305,7 +305,7 @@ pub fn generate(config: &UwCseConfig) -> SchemaFamily {
         let transformed = tau.apply_instance(&db).expect("composition applies");
         DatasetVariant {
             name: name.into(),
-            db: transformed,
+            db: std::sync::Arc::new(transformed),
             task: task.clone(),
             constant_positions: consts,
             ground_truth: truth,

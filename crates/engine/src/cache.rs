@@ -13,12 +13,17 @@
 //! invariant (Section 7.5.4): when a caller declares that clause `C`
 //! generalizes clause `P`, every example cached as covered by `P` is
 //! covered by `C` without a test.
+//!
+//! Eviction is LRU over canonical clauses: at capacity the least recently
+//! *touched* clause is dropped (reads count as touches), so the hot
+//! candidates a covering loop re-scores across iterations survive instead
+//! of being wiped by the old clear-at-capacity policy.
 
 use crate::fx::FxHashMap;
 use castor_logic::{Clause, CoverageOutcome, Term};
 use castor_relational::Tuple;
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Renames the clause's variables to `_0, _1, ...` in first-occurrence
 /// order (head first, then body literals in clause order). α-equivalent
@@ -51,13 +56,61 @@ pub fn canonicalize(clause: &Clause) -> Clause {
     Clause { head, body }
 }
 
+/// One cached clause: its per-example outcomes plus the recency stamp the
+/// LRU order is kept under.
+#[derive(Debug, Default)]
+struct CacheSlot {
+    outcomes: FxHashMap<Tuple, CoverageOutcome>,
+    stamp: u64,
+}
+
+/// The lock-guarded cache state: clause slots plus a recency index mapping
+/// stamps back to clauses (stamps are unique, so the index is a total LRU
+/// order with O(log n) touches and evictions). Keys are `Arc`-shared
+/// between the two maps, so a touch on the hot read path moves a pointer —
+/// it never deep-clones a clause while holding the lock.
+#[derive(Debug, Default)]
+struct CacheInner {
+    slots: FxHashMap<Arc<Clause>, CacheSlot>,
+    recency: BTreeMap<u64, Arc<Clause>>,
+    clock: u64,
+}
+
+impl CacheInner {
+    /// Marks `canonical` as most recently used (no-op when absent).
+    fn touch(&mut self, canonical: &Clause) {
+        let Some((key, slot)) = self.slots.get_key_value(canonical) else {
+            return;
+        };
+        let key = Arc::clone(key);
+        let old_stamp = slot.stamp;
+        self.recency.remove(&old_stamp);
+        self.clock += 1;
+        let stamp = self.clock;
+        self.recency.insert(stamp, key);
+        if let Some(slot) = self.slots.get_mut(canonical) {
+            slot.stamp = stamp;
+        }
+    }
+
+    /// Evicts least-recently-used clauses until at most `capacity` remain.
+    fn evict_to(&mut self, capacity: usize) {
+        while self.slots.len() > capacity {
+            let Some((_, oldest)) = self.recency.pop_first() else {
+                break;
+            };
+            self.slots.remove(oldest.as_ref());
+        }
+    }
+}
+
 /// A thread-safe memo table from (canonical clause, example) to the cached
-/// coverage outcome. Bounded: when the number of distinct clauses exceeds
-/// the capacity the table is cleared wholesale (coverage runs are phased,
-/// so a full reset loses little and keeps memory flat).
+/// coverage outcome. Bounded: at capacity the least-recently-used clause is
+/// evicted, so candidates that keep being re-scored across covering
+/// iterations stay resident while one-shot candidates age out.
 #[derive(Debug)]
 pub struct CoverageCache {
-    entries: Mutex<FxHashMap<Clause, FxHashMap<Tuple, CoverageOutcome>>>,
+    inner: Mutex<CacheInner>,
     capacity: usize,
 }
 
@@ -65,15 +118,24 @@ impl CoverageCache {
     /// Creates a cache holding at most `capacity` distinct clauses.
     pub fn new(capacity: usize) -> Self {
         CoverageCache {
-            entries: Mutex::new(FxHashMap::default()),
+            inner: Mutex::new(CacheInner::default()),
             capacity: capacity.max(1),
         }
     }
 
-    /// The cached outcome for `(canonical, example)`, if any.
+    /// The cached outcome for `(canonical, example)`, if any. A hit counts
+    /// as a use in the LRU order.
     pub fn get(&self, canonical: &Clause, example: &Tuple) -> Option<CoverageOutcome> {
-        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        entries.get(canonical).and_then(|m| m.get(example)).copied()
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let outcome = inner
+            .slots
+            .get(canonical)
+            .and_then(|slot| slot.outcomes.get(example))
+            .copied();
+        if outcome.is_some() {
+            inner.touch(canonical);
+        }
+        outcome
     }
 
     /// Records an outcome for `(canonical, example)`.
@@ -86,14 +148,20 @@ impl CoverageCache {
     where
         I: IntoIterator<Item = (Tuple, CoverageOutcome)>,
     {
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if !entries.contains_key(canonical) && entries.len() >= self.capacity {
-            entries.clear();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.slots.get_mut(canonical) {
+            Some(slot) => slot.outcomes.extend(outcomes),
+            None => {
+                // The only place a clause key is ever cloned: first insert.
+                let mut slot = CacheSlot::default();
+                slot.outcomes.extend(outcomes);
+                inner.slots.insert(Arc::new(canonical.clone()), slot);
+            }
         }
-        entries
-            .entry(canonical.clone())
-            .or_default()
-            .extend(outcomes);
+        inner.touch(canonical);
+        // The just-inserted clause holds the freshest stamp, so it can never
+        // evict itself.
+        inner.evict_to(self.capacity);
     }
 
     /// Cached outcomes for a whole batch of examples under one lock (and
@@ -105,31 +173,64 @@ impl CoverageCache {
         canonical: &Clause,
         examples: &[Tuple],
     ) -> Vec<Option<CoverageOutcome>> {
-        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        match entries.get(canonical) {
-            None => vec![None; examples.len()],
-            Some(cached) => examples.iter().map(|e| cached.get(e).copied()).collect(),
-        }
+        self.get_batch_multi(std::slice::from_ref(canonical), examples)
+            .pop()
+            .expect("one clause in, one row out")
+    }
+
+    /// Cached outcomes for a whole batch of clauses × examples under a
+    /// single lock — the beam-evaluation entry point: one memo probe per
+    /// beam instead of one per candidate.
+    pub fn get_batch_multi(
+        &self,
+        canonicals: &[Clause],
+        examples: &[Tuple],
+    ) -> Vec<Vec<Option<CoverageOutcome>>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        canonicals
+            .iter()
+            .map(|canonical| match inner.slots.get(canonical) {
+                None => vec![None; examples.len()],
+                Some(slot) => {
+                    let row: Vec<Option<CoverageOutcome>> = examples
+                        .iter()
+                        .map(|e| slot.outcomes.get(e).copied())
+                        .collect();
+                    if row.iter().any(Option::is_some) {
+                        inner.touch(canonical);
+                    }
+                    row
+                }
+            })
+            .collect()
     }
 
     /// The examples from `examples` cached as covered by `canonical` —
     /// the generality-order shortcut: callers pass a *parent* clause here
     /// and skip testing these examples on its generalizations.
     pub fn covered_subset(&self, canonical: &Clause, examples: &[Tuple]) -> Vec<Tuple> {
-        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        let Some(cached) = entries.get(canonical) else {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(slot) = inner.slots.get(canonical) else {
             return Vec::new();
         };
-        examples
+        let covered: Vec<Tuple> = examples
             .iter()
-            .filter(|e| cached.get(*e).copied() == Some(CoverageOutcome::Covered))
+            .filter(|e| slot.outcomes.get(*e).copied() == Some(CoverageOutcome::Covered))
             .cloned()
-            .collect()
+            .collect();
+        if !covered.is_empty() {
+            inner.touch(canonical);
+        }
+        covered
     }
 
     /// Number of distinct clauses currently cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .slots
+            .len()
     }
 
     /// Whether the cache is empty.
@@ -202,7 +303,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_overflow_clears_instead_of_growing() {
+    fn capacity_overflow_evicts_instead_of_growing() {
         let cache = CoverageCache::new(2);
         let e = Tuple::from_strs(&["a", "b"]);
         for i in 0..5 {
@@ -212,6 +313,52 @@ mod tests {
             ));
             cache.insert(&key, &e, CoverageOutcome::Covered);
         }
-        assert!(cache.len() <= 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_hot_clauses() {
+        let cache = CoverageCache::new(2);
+        let e = Tuple::from_strs(&["a", "b"]);
+        let key_of = |name: &str| canonicalize(&Clause::new(Atom::vars(name, &["x", "y"]), vec![]));
+        let hot = key_of("hot");
+        cache.insert(&hot, &e, CoverageOutcome::Covered);
+        // Keep touching the hot clause while cold clauses stream through.
+        for i in 0..6 {
+            cache.insert(
+                &key_of(&format!("cold{i}")),
+                &e,
+                CoverageOutcome::NotCovered,
+            );
+            assert_eq!(
+                cache.get(&hot, &e),
+                Some(CoverageOutcome::Covered),
+                "hot clause evicted after cold{i}"
+            );
+        }
+        // The most recent cold clause survived; earlier ones were evicted.
+        assert_eq!(
+            cache.get(&key_of("cold5"), &e),
+            Some(CoverageOutcome::NotCovered)
+        );
+        assert_eq!(cache.get(&key_of("cold0"), &e), None);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn batch_reads_touch_the_lru_order() {
+        let cache = CoverageCache::new(2);
+        let e = Tuple::from_strs(&["a", "b"]);
+        let key_of = |name: &str| canonicalize(&Clause::new(Atom::vars(name, &["x", "y"]), vec![]));
+        let (a, b) = (key_of("a"), key_of("b"));
+        cache.insert(&a, &e, CoverageOutcome::Covered);
+        cache.insert(&b, &e, CoverageOutcome::Covered);
+        // Touch `a` through the multi-clause read path, then overflow: `b`
+        // must be the eviction victim.
+        let rows = cache.get_batch_multi(std::slice::from_ref(&a), std::slice::from_ref(&e));
+        assert_eq!(rows[0][0], Some(CoverageOutcome::Covered));
+        cache.insert(&key_of("c"), &e, CoverageOutcome::Covered);
+        assert!(cache.get(&a, &e).is_some());
+        assert!(cache.get(&b, &e).is_none());
     }
 }

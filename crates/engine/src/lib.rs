@@ -23,6 +23,7 @@
 //! workspace (Castor, FOIL, Golem, Progol, ProGolem) routes coverage tests
 //! through it.
 
+pub mod batch;
 pub mod cache;
 pub mod executor;
 pub mod fx;
@@ -30,6 +31,7 @@ pub mod plan;
 pub mod pool;
 pub mod stats;
 
+pub use batch::{BatchItemStats, BatchPlan};
 pub use cache::{canonicalize, CoverageCache};
 pub use castor_logic::{CoverageOutcome, EvalBudget, DEFAULT_EVAL_NODE_BUDGET};
 pub use fx::{FxBuildHasher, FxHashMap, FxHasher};
@@ -37,7 +39,7 @@ pub use plan::{ClausePlan, PlanStep};
 pub use pool::WorkerPool;
 pub use stats::{DatabaseStatistics, EngineReport, EngineStats};
 
-use castor_logic::Clause;
+use castor_logic::{Atom, Clause};
 use castor_relational::{DatabaseInstance, Tuple};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
@@ -116,9 +118,19 @@ pub enum Prior<'a> {
     GeneralizationOf(&'a Clause),
 }
 
+/// Positive/negative coverage counts for one clause of a batch — the
+/// engine-level shape of the learners' `ClauseCoverage`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClauseCounts {
+    /// Number of positive examples covered.
+    pub positive: usize,
+    /// Number of negative examples covered.
+    pub negative: usize,
+}
+
 /// A pluggable per-example coverage test driven by [`CoverageRuntime`]:
 /// the database-evaluation engine and the subsumption-based coverage engine
-/// in `castor-core` differ only in this trait's two methods.
+/// in `castor-core` differ only in this trait's methods.
 pub trait CoverageTester {
     /// Evaluates one (canonical clause, example) pair, counting the test in
     /// the runtime's metrics.
@@ -130,6 +142,17 @@ pub trait CoverageTester {
         &self,
         canonical: &Clause,
         examples: &Arc<Vec<Tuple>>,
+    ) -> Box<dyn Fn(usize) -> CoverageOutcome + Send + Sync + 'static>;
+
+    /// Builds the `'static` task evaluating `(clause slot, example index)`
+    /// pairs from a multi-clause batch — the worker-side counterpart of
+    /// [`CoverageRuntime::covered_sets_batch`]. The closure must own
+    /// (`Arc`-clone) everything it touches.
+    fn pair_task(
+        &self,
+        canonicals: &Arc<Vec<Clause>>,
+        examples: &Arc<Vec<Tuple>>,
+        pairs: &Arc<Vec<(usize, usize)>>,
     ) -> Box<dyn Fn(usize) -> CoverageOutcome + Send + Sync + 'static>;
 }
 
@@ -294,6 +317,222 @@ impl CoverageRuntime {
         }
         covered
     }
+
+    /// Per-clause covered subsets for a whole batch of candidate clauses,
+    /// generic over the tester: α-equivalent candidates are deduplicated,
+    /// priors and the memo cache are consulted once per batch (single cache
+    /// lock), and the remaining (clause, example) pairs are evaluated as one
+    /// flat work list on the pool. This is the fallback the trie-backed
+    /// [`Engine`] path shares its pre/post-processing with, and the primary
+    /// batch path of the θ-subsumption coverage engine in `castor-core`.
+    ///
+    /// `priors` is either empty (no prior knowledge) or exactly one
+    /// [`Prior`] per clause.
+    pub fn covered_sets_batch<T: CoverageTester>(
+        &self,
+        tester: &T,
+        clauses: &[Clause],
+        examples: &[Tuple],
+        priors: &[Prior<'_>],
+    ) -> Vec<HashSet<Tuple>> {
+        if clauses.is_empty() {
+            return Vec::new();
+        }
+        let mut prep = self.prepare_batch(clauses, priors, examples);
+        let pairs: Vec<(usize, usize)> = prep
+            .pending
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, exs)| exs.iter().map(move |&ei| (slot, ei)))
+            .collect();
+        if !pairs.is_empty() {
+            let outcomes = self.evaluate_pairs(tester, &prep.unique, examples, &pairs);
+            self.absorb_pair_outcomes(&prep.unique, examples, &pairs, &outcomes, &mut prep.covered);
+        }
+        prep.finish()
+    }
+
+    /// The batch pre-pass shared by every batched path: canonicalize and
+    /// deduplicate the candidates, fold per-candidate priors into known
+    /// coverage (counting generality skips and caching the sound ones), and
+    /// answer what the memo cache can under a single lock. What remains is
+    /// the per-slot list of example indices that genuinely need evaluation.
+    fn prepare_batch(
+        &self,
+        clauses: &[Clause],
+        priors: &[Prior<'_>],
+        examples: &[Tuple],
+    ) -> BatchPrep {
+        debug_assert!(
+            priors.is_empty() || priors.len() == clauses.len(),
+            "priors must be empty or parallel to the clause batch"
+        );
+        let mut unique: Vec<Clause> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(clauses.len());
+        let mut index: fx::FxHashMap<Clause, usize> = fx::FxHashMap::default();
+        for clause in clauses {
+            let canonical = canonicalize(clause);
+            let slot = *index.entry(canonical.clone()).or_insert_with(|| {
+                unique.push(canonical);
+                unique.len() - 1
+            });
+            slot_of.push(slot);
+        }
+
+        let mut covered: Vec<HashSet<Tuple>> = vec![HashSet::new(); unique.len()];
+        // Only generality-derived skips may be written back to the shared
+        // cache; `Prior::Known` entries are the caller's claim.
+        let mut cacheable: Vec<Vec<Tuple>> = vec![Vec::new(); unique.len()];
+        for (i, prior) in priors.iter().enumerate() {
+            let slot = slot_of[i];
+            match prior {
+                Prior::None => {}
+                Prior::Known(known) => {
+                    for e in examples {
+                        if known.contains(e) {
+                            covered[slot].insert(e.clone());
+                        }
+                    }
+                }
+                Prior::GeneralizationOf(parent) => {
+                    let parent_key = canonicalize(parent);
+                    for e in self.cache.covered_subset(&parent_key, examples) {
+                        if covered[slot].insert(e.clone()) {
+                            cacheable[slot].push(e);
+                        }
+                    }
+                }
+            }
+        }
+        let skips: usize = covered.iter().map(HashSet::len).sum();
+        if skips > 0 {
+            EngineStats::add(&self.metrics.generality_skips, skips);
+        }
+        if self.cache_coverage {
+            for (slot, derived) in cacheable.into_iter().enumerate() {
+                if !derived.is_empty() {
+                    self.cache.insert_many(
+                        &unique[slot],
+                        derived.into_iter().map(|e| (e, CoverageOutcome::Covered)),
+                    );
+                }
+            }
+        }
+
+        let rows = if self.cache_coverage {
+            self.cache.get_batch_multi(&unique, examples)
+        } else {
+            vec![vec![None; examples.len()]; unique.len()]
+        };
+        let mut pending: Vec<Vec<usize>> = vec![Vec::new(); unique.len()];
+        let mut hits = 0usize;
+        let mut misses = 0usize;
+        for (slot, row) in rows.into_iter().enumerate() {
+            for (ei, cached) in row.into_iter().enumerate() {
+                if covered[slot].contains(&examples[ei]) {
+                    continue;
+                }
+                match cached {
+                    Some(outcome) => {
+                        hits += 1;
+                        if outcome.is_covered() {
+                            covered[slot].insert(examples[ei].clone());
+                        }
+                    }
+                    None => {
+                        misses += 1;
+                        pending[slot].push(ei);
+                    }
+                }
+            }
+        }
+        if self.cache_coverage {
+            EngineStats::add(&self.metrics.cache_hits, hits);
+            EngineStats::add(&self.metrics.cache_misses, misses);
+        }
+        BatchPrep {
+            unique,
+            slot_of,
+            covered,
+            pending,
+        }
+    }
+
+    /// Evaluates a flat `(slot, example index)` work list, on the pool when
+    /// it is large enough. Testers bump `coverage_tests`/`budget_exhausted`
+    /// themselves.
+    fn evaluate_pairs<T: CoverageTester>(
+        &self,
+        tester: &T,
+        unique: &[Clause],
+        examples: &[Tuple],
+        pairs: &[(usize, usize)],
+    ) -> Vec<CoverageOutcome> {
+        if self.pool.size() > 1 && pairs.len() >= self.parallel_threshold {
+            let canonicals = Arc::new(unique.to_vec());
+            let examples = Arc::new(examples.to_vec());
+            let pairs = Arc::new(pairs.to_vec());
+            let task = tester.pair_task(&canonicals, &examples, &pairs);
+            self.pool.map_indices(pairs.len(), task)
+        } else {
+            pairs
+                .iter()
+                .map(|&(slot, ei)| tester.test(&unique[slot], &examples[ei]))
+                .collect()
+        }
+    }
+
+    /// Writes evaluated pair outcomes back to the memo cache (grouped per
+    /// clause, one lock each) and folds covered verdicts into the per-slot
+    /// covered sets.
+    fn absorb_pair_outcomes(
+        &self,
+        unique: &[Clause],
+        examples: &[Tuple],
+        pairs: &[(usize, usize)],
+        outcomes: &[CoverageOutcome],
+        covered: &mut [HashSet<Tuple>],
+    ) {
+        if self.cache_coverage {
+            // One pass: bucket outcomes by slot, then one insert_many per
+            // clause that actually evaluated something.
+            let mut by_slot: Vec<Vec<(Tuple, CoverageOutcome)>> = vec![Vec::new(); unique.len()];
+            for (&(slot, ei), &outcome) in pairs.iter().zip(outcomes) {
+                by_slot[slot].push((examples[ei].clone(), outcome));
+            }
+            for (slot, slot_outcomes) in by_slot.into_iter().enumerate() {
+                if !slot_outcomes.is_empty() {
+                    self.cache.insert_many(&unique[slot], slot_outcomes);
+                }
+            }
+        }
+        for (&(slot, ei), outcome) in pairs.iter().zip(outcomes) {
+            if outcome.is_covered() {
+                covered[slot].insert(examples[ei].clone());
+            }
+        }
+    }
+}
+
+/// The shared pre-pass state of one batched evaluation: canonical unique
+/// clauses, the mapping from the caller's clause order onto them, known
+/// coverage (priors + cache), and the (slot → example indices) work that
+/// still needs evaluation.
+struct BatchPrep {
+    unique: Vec<Clause>,
+    slot_of: Vec<usize>,
+    covered: Vec<HashSet<Tuple>>,
+    pending: Vec<Vec<usize>>,
+}
+
+impl BatchPrep {
+    /// Maps the per-slot covered sets back onto the caller's clause order.
+    fn finish(self) -> Vec<HashSet<Tuple>> {
+        let BatchPrep {
+            slot_of, covered, ..
+        } = self;
+        slot_of.iter().map(|&s| covered[s].clone()).collect()
+    }
 }
 
 /// The database-backed evaluation engine: statistics, compiled plans,
@@ -409,6 +648,208 @@ impl Engine {
         let neg = self.covered_set(clause, negative, Prior::None).len();
         (pos, neg)
     }
+
+    /// Positive/negative coverage counts for a whole beam of candidate
+    /// clauses through the batched (shared join-prefix) evaluation path —
+    /// the entry point the beam learners score candidates with.
+    pub fn coverage_counts_batch(
+        &self,
+        clauses: &[Clause],
+        positive: &[Tuple],
+        negative: &[Tuple],
+    ) -> Vec<ClauseCounts> {
+        let pos = self.covered_sets_batch(clauses, positive);
+        let neg = self.covered_sets_batch(clauses, negative);
+        pos.into_iter()
+            .zip(neg)
+            .map(|(p, n)| ClauseCounts {
+                positive: p.len(),
+                negative: n.len(),
+            })
+            .collect()
+    }
+
+    /// The subset of `examples` covered by each clause of a candidate
+    /// batch, with no prior knowledge. See
+    /// [`Engine::covered_sets_batch_with_priors`].
+    pub fn covered_sets_batch(
+        &self,
+        clauses: &[Clause],
+        examples: &[Tuple],
+    ) -> Vec<HashSet<Tuple>> {
+        self.covered_sets_batch_with_priors(clauses, &[], examples)
+    }
+
+    /// The subset of `examples` covered by each clause of a candidate
+    /// batch. Sibling candidates produced by beam refinement share a head
+    /// and a body prefix; the engine folds them into a literal trie
+    /// ([`BatchPlan`]), executes the shared prefix join once per example,
+    /// and forks per-candidate suffixes off the materialized prefix
+    /// bindings — one index probe feeds every candidate in the beam.
+    ///
+    /// `priors` is empty or one [`Prior`] per clause (the generality order,
+    /// exactly as in [`Engine::covered_set`]). The engine falls back to
+    /// per-clause compiled plans when batching cannot help: plan compilation
+    /// disabled, a batch of fewer than two clauses, or candidates that share
+    /// no head with any other candidate.
+    pub fn covered_sets_batch_with_priors(
+        &self,
+        clauses: &[Clause],
+        priors: &[Prior<'_>],
+        examples: &[Tuple],
+    ) -> Vec<HashSet<Tuple>> {
+        if clauses.is_empty() {
+            return Vec::new();
+        }
+        let metrics = self.runtime.metrics();
+        EngineStats::add(&metrics.batch_clauses, clauses.len());
+        if !self.config.compile_plans || clauses.len() < 2 || examples.is_empty() {
+            return self
+                .runtime
+                .covered_sets_batch(self, clauses, examples, priors);
+        }
+        let mut prep = self.runtime.prepare_batch(clauses, priors, examples);
+        self.evaluate_batch_pending(&mut prep, examples);
+        prep.finish()
+    }
+
+    /// Evaluates every pending (slot, example) pair of a prepared batch:
+    /// head-groups with at least two candidates run through a shared-prefix
+    /// trie (work-stolen over the subtree × example grid), lone candidates
+    /// take the per-clause compiled-plan path.
+    fn evaluate_batch_pending(&self, prep: &mut BatchPrep, examples: &[Tuple]) {
+        let metrics = self.runtime.metrics();
+        let slot_space = prep.unique.len();
+        let mut groups: fx::FxHashMap<&Atom, Vec<usize>> = fx::FxHashMap::default();
+        for (slot, clause) in prep.unique.iter().enumerate() {
+            if !prep.pending[slot].is_empty() {
+                groups.entry(&clause.head).or_default().push(slot);
+            }
+        }
+
+        let mut singles: Vec<(usize, usize)> = Vec::new();
+        let mut plans: Vec<Arc<BatchPlan>> = Vec::new();
+        // (slot, example index, outcome) verdicts settled without a search:
+        // empty-bodied candidates are covered iff the head binds.
+        let mut evaluated: Vec<(usize, usize, CoverageOutcome)> = Vec::new();
+        let mut trivial_tests = 0usize;
+        for (head, slots) in groups {
+            if slots.len() == 1 {
+                let s = slots[0];
+                singles.extend(prep.pending[s].iter().map(|&ei| (s, ei)));
+                continue;
+            }
+            let bodies: Vec<(usize, &[castor_logic::Atom])> = slots
+                .iter()
+                .map(|&s| (s, prep.unique[s].body.as_slice()))
+                .collect();
+            let plan = BatchPlan::compile(head, &bodies, &self.db_stats);
+            if !plan.root_accepting.is_empty() {
+                let head_clause = Clause::fact(head.clone());
+                for &s in &plan.root_accepting {
+                    for &ei in &prep.pending[s] {
+                        let outcome =
+                            if castor_logic::evaluation::bind_head(&head_clause, &examples[ei])
+                                .is_some()
+                            {
+                                CoverageOutcome::Covered
+                            } else {
+                                CoverageOutcome::NotCovered
+                            };
+                        evaluated.push((s, ei, outcome));
+                        trivial_tests += 1;
+                    }
+                }
+            }
+            plans.push(Arc::new(plan));
+        }
+
+        // The work grid: rows are trie subtrees (across all head groups),
+        // columns are examples; each cell decides every live candidate of
+        // its subtree for its example.
+        let subtrees: Vec<(usize, usize)> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, plan)| plan.roots.iter().map(move |&root| (pi, root)))
+            .collect();
+        let mut mask: Vec<Vec<bool>> = vec![vec![false; slot_space]; examples.len()];
+        for (slot, exs) in prep.pending.iter().enumerate() {
+            for &ei in exs {
+                mask[ei][slot] = true;
+            }
+        }
+        let budget = self.config.eval_budget;
+        let cells = subtrees.len() * examples.len();
+        type Item = (Vec<(usize, CoverageOutcome)>, BatchItemStats);
+        let items: Vec<Item> =
+            if self.runtime.pool().size() > 1 && cells >= self.config.parallel_threshold {
+                let plans = Arc::new(plans.clone());
+                let subtrees_shared = Arc::new(subtrees.clone());
+                let examples_shared = Arc::new(examples.to_vec());
+                let mask = Arc::new(mask);
+                let db = Arc::clone(&self.db);
+                self.runtime
+                    .pool()
+                    .map_grid(subtrees.len(), examples.len(), move |row, col| {
+                        let (pi, root) = subtrees_shared[row];
+                        batch::evaluate_subtree(
+                            &plans[pi],
+                            root,
+                            &db,
+                            &examples_shared[col],
+                            &mask[col],
+                            budget,
+                        )
+                    })
+            } else {
+                let mut out: Vec<Item> = Vec::with_capacity(cells);
+                for &(pi, root) in &subtrees {
+                    for (ei, example) in examples.iter().enumerate() {
+                        out.push(batch::evaluate_subtree(
+                            &plans[pi], root, &self.db, example, &mask[ei], budget,
+                        ));
+                    }
+                }
+                out
+            };
+
+        let mut agg = BatchItemStats::default();
+        for (idx, (outcomes, stats)) in items.into_iter().enumerate() {
+            // map_grid and the inline loop are both row-major over
+            // (subtree, example).
+            let ei = idx % examples.len();
+            agg.absorb(&stats);
+            evaluated.extend(outcomes.into_iter().map(|(slot, o)| (slot, ei, o)));
+        }
+        EngineStats::add(&metrics.coverage_tests, agg.tests + trivial_tests);
+        EngineStats::add(&metrics.budget_exhausted, agg.budget_exhausted);
+        EngineStats::add(&metrics.batch_prefix_hits, agg.prefix_hits);
+        EngineStats::add(&metrics.batch_suffix_forks, agg.suffix_forks);
+        EngineStats::add(&metrics.batches, plans.len());
+
+        let pairs: Vec<(usize, usize)> = evaluated.iter().map(|&(s, ei, _)| (s, ei)).collect();
+        let outcomes: Vec<CoverageOutcome> = evaluated.iter().map(|&(_, _, o)| o).collect();
+        self.runtime.absorb_pair_outcomes(
+            &prep.unique,
+            examples,
+            &pairs,
+            &outcomes,
+            &mut prep.covered,
+        );
+
+        if !singles.is_empty() {
+            let outcomes = self
+                .runtime
+                .evaluate_pairs(self, &prep.unique, examples, &singles);
+            self.runtime.absorb_pair_outcomes(
+                &prep.unique,
+                examples,
+                &singles,
+                &outcomes,
+                &mut prep.covered,
+            );
+        }
+    }
 }
 
 impl CoverageTester for Engine {
@@ -450,6 +891,48 @@ impl CoverageTester for Engine {
                     &clause,
                     &db,
                     &examples[i],
+                    &mut node_budget,
+                ),
+            };
+            if outcome.is_exhausted() {
+                EngineStats::bump(&metrics.budget_exhausted);
+            }
+            outcome
+        })
+    }
+
+    fn pair_task(
+        &self,
+        canonicals: &Arc<Vec<Clause>>,
+        examples: &Arc<Vec<Tuple>>,
+        pairs: &Arc<Vec<(usize, usize)>>,
+    ) -> Box<dyn Fn(usize) -> CoverageOutcome + Send + Sync + 'static> {
+        let db = Arc::clone(&self.db);
+        let metrics = Arc::clone(self.runtime.metrics());
+        let budget = self.config.eval_budget;
+        let canonicals = Arc::clone(canonicals);
+        let examples = Arc::clone(examples);
+        let pairs = Arc::clone(pairs);
+        let plans: Option<Vec<Arc<ClausePlan>>> = self
+            .config
+            .compile_plans
+            .then(|| canonicals.iter().map(|c| self.plan_for(c)).collect());
+        Box::new(move |i| {
+            let (slot, ei) = pairs[i];
+            EngineStats::bump(&metrics.coverage_tests);
+            let mut node_budget = EvalBudget::new(budget);
+            let outcome = match &plans {
+                Some(plans) => executor::covers_with_plan(
+                    &canonicals[slot],
+                    &plans[slot],
+                    &db,
+                    &examples[ei],
+                    &mut node_budget,
+                ),
+                None => castor_logic::covers_example_budgeted(
+                    &canonicals[slot],
+                    &db,
+                    &examples[ei],
                     &mut node_budget,
                 ),
             };
@@ -609,5 +1092,171 @@ mod tests {
         let clause = collaborated("x", "y", "p");
         assert!(!engine.covers(&clause, &Tuple::from_strs(&["ann", "bob"])));
         assert_eq!(engine.report().budget_exhausted, 1);
+    }
+
+    /// A beam of siblings sharing the collaborated-clause prefix.
+    fn sibling_beam() -> Vec<Clause> {
+        let mut base = collaborated("x", "y", "p");
+        base.push(Atom::vars("publication", &["q", "x"]));
+        let mut with_self = collaborated("x", "y", "p");
+        with_self.push(Atom::vars("publication", &["p", "p2"]));
+        vec![collaborated("x", "y", "p"), base, with_self]
+    }
+
+    fn batch_examples() -> Vec<Tuple> {
+        vec![
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["carol", "dan"]),
+            Tuple::from_strs(&["ann", "carol"]),
+            Tuple::from_strs(&["eve", "eve"]),
+        ]
+    }
+
+    #[test]
+    fn batched_counts_match_per_clause_scoring() {
+        let db = db();
+        let batched = Engine::new(&db, EngineConfig::default());
+        let solo = Engine::new(&db, EngineConfig::default());
+        let beam = sibling_beam();
+        let positive = batch_examples();
+        let negative = vec![Tuple::from_strs(&["bob", "nobody"])];
+        let counts = batched.coverage_counts_batch(&beam, &positive, &negative);
+        for (clause, counts) in beam.iter().zip(counts) {
+            let (pos, neg) = solo.coverage_counts(clause, &positive, &negative);
+            assert_eq!(
+                (counts.positive, counts.negative),
+                (pos, neg),
+                "on {clause}"
+            );
+        }
+        let report = batched.report();
+        assert!(report.batches >= 1, "trie path not taken: {report}");
+        assert_eq!(report.batch_clauses, beam.len() * 2); // pos + neg pass
+        assert!(report.batch_prefix_hits > 0, "no shared probes: {report}");
+    }
+
+    #[test]
+    fn batched_sets_share_cache_with_per_clause_path() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let beam = sibling_beam();
+        let examples = batch_examples();
+        let sets = engine.covered_sets_batch(&beam, &examples);
+        // Re-scoring the same candidates per-clause is pure cache hits.
+        let before = engine.report();
+        for (clause, set) in beam.iter().zip(&sets) {
+            assert_eq!(&engine.covered_set(clause, &examples, Prior::None), set);
+        }
+        let after = engine.report();
+        assert_eq!(after.coverage_tests, before.coverage_tests);
+        assert_eq!(
+            after.cache_hits,
+            before.cache_hits + beam.len() * examples.len()
+        );
+    }
+
+    #[test]
+    fn duplicate_candidates_are_deduplicated() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        // α-equivalent duplicates must share one evaluation.
+        let beam = vec![collaborated("x", "y", "p"), collaborated("u", "v", "w")];
+        let examples = batch_examples();
+        let sets = engine.covered_sets_batch(&beam, &examples);
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(engine.report().coverage_tests, examples.len());
+    }
+
+    #[test]
+    fn batched_parallel_and_sequential_agree() {
+        let db = db();
+        let sequential = Engine::new(&db, EngineConfig::default());
+        let parallel = Engine::new(&db, EngineConfig::default().with_threads(4));
+        let beam = sibling_beam();
+        let many: Vec<Tuple> = batch_examples().into_iter().cycle().take(64).collect();
+        assert_eq!(
+            sequential.covered_sets_batch(&beam, &many),
+            parallel.covered_sets_batch(&beam, &many)
+        );
+    }
+
+    #[test]
+    fn batch_falls_back_without_compiled_plans() {
+        let db = db();
+        let compiled = Engine::new(&db, EngineConfig::default());
+        let interpreted = Engine::new(&db, EngineConfig::default().without_compiled_plans());
+        let beam = sibling_beam();
+        let examples = batch_examples();
+        assert_eq!(
+            compiled.covered_sets_batch(&beam, &examples),
+            interpreted.covered_sets_batch(&beam, &examples)
+        );
+        // No trie ran on the interpreted side.
+        assert_eq!(interpreted.report().batches, 0);
+        assert_eq!(interpreted.report().batch_clauses, beam.len());
+    }
+
+    #[test]
+    fn batch_priors_apply_the_generality_order() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let parent = collaborated("x", "y", "p");
+        let examples = batch_examples();
+        engine.covered_set(&parent, &examples, Prior::None);
+        // Two children generalizing the parent (one literal dropped each).
+        let child_a = Clause::new(
+            Atom::vars("collaborated", &["x", "y"]),
+            vec![Atom::vars("publication", &["p", "x"])],
+        );
+        let child_b = Clause::new(
+            Atom::vars("collaborated", &["x", "y"]),
+            vec![Atom::vars("publication", &["p", "y"])],
+        );
+        let beam = vec![child_a.clone(), child_b.clone()];
+        let priors = vec![
+            Prior::GeneralizationOf(&parent),
+            Prior::GeneralizationOf(&parent),
+        ];
+        let before = engine.report();
+        let sets = engine.covered_sets_batch_with_priors(&beam, &priors, &examples);
+        let after = engine.report();
+        assert!(after.generality_skips > before.generality_skips);
+        let fresh = Engine::new(&db, EngineConfig::default());
+        assert_eq!(sets[0], fresh.covered_set(&child_a, &examples, Prior::None));
+        assert_eq!(sets[1], fresh.covered_set(&child_b, &examples, Prior::None));
+    }
+
+    #[test]
+    fn empty_bodied_candidates_resolve_by_head_binding() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let beam = vec![
+            Clause::fact(Atom::vars("collaborated", &["x", "y"])),
+            collaborated("x", "y", "p"),
+            Clause::new(
+                Atom::vars("collaborated", &["x", "y"]),
+                vec![Atom::vars("publication", &["p", "x"])],
+            ),
+        ];
+        let examples = batch_examples();
+        let sets = engine.covered_sets_batch(&beam, &examples);
+        // The most general clause covers everything its head binds — all
+        // examples here.
+        assert_eq!(sets[0].len(), examples.len());
+        let solo = Engine::new(&db, EngineConfig::default());
+        for (clause, set) in beam.iter().zip(&sets) {
+            assert_eq!(set, &solo.covered_set(clause, &examples, Prior::None));
+        }
+    }
+
+    #[test]
+    fn batched_budget_exhaustion_is_counted() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default().with_eval_budget(0));
+        let beam = sibling_beam();
+        let examples = batch_examples();
+        let sets = engine.covered_sets_batch(&beam, &examples);
+        assert!(sets.iter().all(HashSet::is_empty));
+        assert!(engine.report().budget_exhausted > 0);
     }
 }

@@ -92,17 +92,27 @@ impl ClausePlan {
 }
 
 /// Estimated number of candidate tuples for solving body literal `lit`
-/// given the currently bound variables: the smallest expected posting-list
-/// size over its bound positions, or the full relation cardinality when no
-/// position is bound. Unknown relations cost 0 — probing them first fails
-/// the whole body immediately, which is the cheapest possible outcome.
+/// given the currently bound variables.
 fn estimate(
     clause: &Clause,
     lit: usize,
     bound: &BTreeSet<&str>,
     stats: &DatabaseStatistics,
 ) -> f64 {
-    let atom = &clause.body[lit];
+    estimate_atom(&clause.body[lit], bound, stats)
+}
+
+/// Estimated number of candidate tuples for solving `atom` given the
+/// currently bound variables: the smallest expected posting-list size over
+/// its bound positions, or the full relation cardinality when no position
+/// is bound. Unknown relations cost 0 — probing them first fails the whole
+/// body immediately, which is the cheapest possible outcome. Shared with
+/// the batched trie planner in [`crate::batch`].
+pub(crate) fn estimate_atom(
+    atom: &castor_logic::Atom,
+    bound: &BTreeSet<&str>,
+    stats: &DatabaseStatistics,
+) -> f64 {
     let Some(rel) = stats.relation(&atom.relation) else {
         return 0.0;
     };

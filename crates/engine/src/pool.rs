@@ -121,6 +121,23 @@ impl WorkerPool {
         slots.into_iter().map(|s| s.expect("slot filled")).collect()
     }
 
+    /// Applies `f` to every cell of a `rows × cols` grid, in parallel,
+    /// returning results in row-major order. This is the batched-evaluation
+    /// work distribution: rows are trie subtrees, columns are example
+    /// chunks, and the atomic cursor of [`WorkerPool::map_indices`] lets
+    /// workers steal cells across both dimensions — a pathological subtree
+    /// on one example cannot idle the rest of the grid.
+    pub fn map_grid<R, F>(&self, rows: usize, cols: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize, usize) -> R + Send + Sync + 'static,
+    {
+        if cols == 0 {
+            return Vec::new();
+        }
+        self.map_indices(rows * cols, move |i| f(i / cols, i % cols))
+    }
+
     fn submit(&self, job: Job) {
         self.sender
             .as_ref()
@@ -183,5 +200,24 @@ mod tests {
         let pool = WorkerPool::new(2);
         let out: Vec<usize> = pool.map_indices(0, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grid_map_is_row_major_and_complete() {
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let out = pool.map_grid(3, 5, |r, c| (r, c));
+            assert_eq!(out.len(), 15);
+            assert_eq!(out[0], (0, 0));
+            assert_eq!(out[7], (1, 2));
+            assert_eq!(out[14], (2, 4));
+        }
+    }
+
+    #[test]
+    fn degenerate_grids_are_empty() {
+        let pool = WorkerPool::new(2);
+        assert!(pool.map_grid(0, 4, |r, _| r).is_empty());
+        assert!(pool.map_grid(4, 0, |r, _| r).is_empty());
     }
 }

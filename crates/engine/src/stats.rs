@@ -65,6 +65,17 @@ pub struct EngineStats {
     pub plans_compiled: AtomicUsize,
     /// Plan lookups answered from the plan cache.
     pub plan_cache_hits: AtomicUsize,
+    /// Batched evaluations executed through a shared-prefix trie.
+    pub batches: AtomicUsize,
+    /// Candidate clauses submitted through the batch API.
+    pub batch_clauses: AtomicUsize,
+    /// Index probes at shared trie nodes that fed more than one candidate
+    /// clause: for a probe serving `k` live candidates, `k - 1` per-clause
+    /// probes were saved.
+    pub batch_prefix_hits: AtomicUsize,
+    /// Per-candidate suffix evaluations forked off a materialized shared
+    /// binding (descents beyond the first live child of a trie node).
+    pub batch_suffix_forks: AtomicUsize,
 }
 
 impl EngineStats {
@@ -94,6 +105,10 @@ impl EngineStats {
             budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
             plans_compiled: self.plans_compiled.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_clauses: self.batch_clauses.load(Ordering::Relaxed),
+            batch_prefix_hits: self.batch_prefix_hits.load(Ordering::Relaxed),
+            batch_suffix_forks: self.batch_suffix_forks.load(Ordering::Relaxed),
         }
     }
 }
@@ -116,6 +131,14 @@ pub struct EngineReport {
     pub plans_compiled: usize,
     /// Plan lookups served from cache.
     pub plan_cache_hits: usize,
+    /// Batched (shared-prefix trie) evaluations executed.
+    pub batches: usize,
+    /// Candidate clauses submitted through the batch API.
+    pub batch_clauses: usize,
+    /// Per-clause index probes saved by shared trie-prefix probes.
+    pub batch_prefix_hits: usize,
+    /// Per-candidate suffix forks off materialized shared bindings.
+    pub batch_suffix_forks: usize,
 }
 
 impl EngineReport {
@@ -130,6 +153,10 @@ impl EngineReport {
             budget_exhausted: self.budget_exhausted + other.budget_exhausted,
             plans_compiled: self.plans_compiled + other.plans_compiled,
             plan_cache_hits: self.plan_cache_hits + other.plan_cache_hits,
+            batches: self.batches + other.batches,
+            batch_clauses: self.batch_clauses + other.batch_clauses,
+            batch_prefix_hits: self.batch_prefix_hits + other.batch_prefix_hits,
+            batch_suffix_forks: self.batch_suffix_forks + other.batch_suffix_forks,
         }
     }
 
@@ -148,7 +175,8 @@ impl fmt::Display for EngineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "tests={} cache={}/{} ({:.0}% hit) generality-skips={} budget-exhausted={} plans={} (+{} reused)",
+            "tests={} cache={}/{} ({:.0}% hit) generality-skips={} budget-exhausted={} plans={} (+{} reused) \
+             batches={}/{} clauses (prefix-hits={} suffix-forks={})",
             self.coverage_tests,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
@@ -157,6 +185,10 @@ impl fmt::Display for EngineReport {
             self.budget_exhausted,
             self.plans_compiled,
             self.plan_cache_hits,
+            self.batches,
+            self.batch_clauses,
+            self.batch_prefix_hits,
+            self.batch_suffix_forks,
         )
     }
 }
@@ -196,5 +228,21 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("tests=1"));
         assert!(text.contains("cache=2/3"));
+    }
+
+    #[test]
+    fn batch_counters_aggregate_and_render() {
+        let stats = EngineStats::new();
+        EngineStats::bump(&stats.batches);
+        EngineStats::add(&stats.batch_clauses, 6);
+        EngineStats::add(&stats.batch_prefix_hits, 10);
+        EngineStats::add(&stats.batch_suffix_forks, 4);
+        let report = stats.snapshot();
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.batch_clauses, 6);
+        let doubled = report.combined(&report);
+        assert_eq!(doubled.batch_prefix_hits, 20);
+        assert_eq!(doubled.batch_suffix_forks, 8);
+        assert!(report.to_string().contains("batches=1/6 clauses"));
     }
 }

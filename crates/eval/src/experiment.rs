@@ -97,9 +97,10 @@ pub fn run_algorithm_on_variant(
     let mut sample_definition = Definition::empty(variant.task.target.clone());
     // One evaluation engine per variant: its coverage cache and compiled
     // plans are shared across every fold of the run, and test-split
-    // evaluation reuses results the learner already computed.
-    let engine = Engine::new(
-        &variant.db,
+    // evaluation reuses results the learner already computed. The variant's
+    // instance is `Arc`-shared into the engine — no deep copy.
+    let engine = Engine::from_arc(
+        std::sync::Arc::clone(&variant.db),
         params_for(variant, base_params).engine_config(),
     );
 
@@ -136,7 +137,7 @@ pub fn run_algorithm_on_variant(
                 config.params = params.clone();
                 config.params.threads = config.params.threads.max(base_params.threads);
                 Castor::new(config)
-                    .learn(&variant.db, &fold.train)
+                    .learn_shared(&variant.db, &fold.train)
                     .definition
             }
         };

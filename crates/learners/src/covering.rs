@@ -8,7 +8,10 @@
 //!
 //! All coverage tests go through a shared [`Engine`], so clauses re-scored
 //! across iterations hit the memoized coverage cache and large example sets
-//! are evaluated on the worker pool.
+//! are evaluated on the worker pool. Re-scoring routes through the engine's
+//! batched scoring path (`Engine::coverage_counts_batch` via
+//! [`clause_coverage_engine`]), the same code path the beam learners submit
+//! whole candidate levels to.
 
 use crate::params::LearnerParams;
 use crate::scoring::{clause_coverage_engine, covered_examples_engine};

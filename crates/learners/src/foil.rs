@@ -9,7 +9,7 @@
 
 use crate::covering::{covering_loop, ClauseLearner};
 use crate::params::LearnerParams;
-use crate::scoring::clause_coverage_engine;
+use crate::scoring::clauses_coverage_engine;
 use crate::task::LearningTask;
 use castor_engine::Engine;
 use castor_logic::{Atom, Clause, Definition, Term};
@@ -168,15 +168,26 @@ impl ClauseLearner for FoilWithTarget<'_> {
         };
 
         while coverage.negative > 0 && clause.body_len() < params.clause_length {
-            let candidates = self.inner.candidate_literals(db, &clause, params);
+            // Every candidate literal extends the same clause, so the whole
+            // greedy choice is one sibling beam: score it in a single
+            // batched engine call (the shared body prefix joins once).
+            let candidates: Vec<Atom> = self
+                .inner
+                .candidate_literals(db, &clause, params)
+                .into_iter()
+                .filter(|literal| !clause.body.contains(literal)) // duplicates never help FOIL
+                .collect();
+            let extensions: Vec<Clause> = candidates
+                .iter()
+                .map(|literal| {
+                    let mut extended = clause.clone();
+                    extended.push(literal.clone());
+                    extended
+                })
+                .collect();
+            let coverages = clauses_coverage_engine(engine, &extensions, uncovered, negative);
             let mut best: Option<(f64, Atom, crate::scoring::ClauseCoverage)> = None;
-            for literal in candidates {
-                if clause.body.contains(&literal) {
-                    continue; // adding a duplicate literal never helps FOIL
-                }
-                let mut extended = clause.clone();
-                extended.push(literal.clone());
-                let cov = clause_coverage_engine(engine, &extended, uncovered, negative);
+            for (literal, cov) in candidates.into_iter().zip(coverages) {
                 if cov.positive == 0 {
                     continue;
                 }

@@ -13,7 +13,7 @@
 use crate::bottom_clause::{ground_bottom_clause, BottomClauseConfig};
 use crate::covering::{covering_loop, ClauseLearner};
 use crate::params::LearnerParams;
-use crate::scoring::clause_coverage_engine;
+use crate::scoring::{clause_coverage_engine, clauses_coverage_engine};
 use crate::task::LearningTask;
 use castor_engine::Engine;
 use castor_logic::{lgg_clauses, minimize_clause, Clause, Definition};
@@ -97,8 +97,10 @@ impl ClauseLearner for GolemClauseLearner {
             .collect();
 
         // Candidate clauses: rlgg of every pair of sampled saturations that
-        // meets the minimum condition.
-        let mut best: Option<(Clause, i64)> = None;
+        // meets the minimum condition — generated first, then scored as one
+        // batched engine call (rlggs of overlapping pairs share prefixes,
+        // and identical generalizations deduplicate inside the engine).
+        let mut candidates: Vec<Clause> = Vec::new();
         for i in 0..saturations.len() {
             for j in (i + 1)..saturations.len() {
                 let Some(lgg) = lgg_clauses(&saturations[i], &saturations[j]) else {
@@ -109,15 +111,18 @@ impl ClauseLearner for GolemClauseLearner {
                 }
                 // The lgg of two ground clauses *is* the rlgg: shared
                 // constants stay constants, differing ones became variables.
-                let candidate = minimize_clause(&lgg);
-                let cov = clause_coverage_engine(engine, &candidate, uncovered, negative);
-                if !params.meets_minimum(cov.positive, cov.negative) {
-                    continue;
-                }
-                let score = cov.score();
-                if best.as_ref().is_none_or(|(_, s)| score > *s) {
-                    best = Some((candidate, score));
-                }
+                candidates.push(minimize_clause(&lgg));
+            }
+        }
+        let coverages = clauses_coverage_engine(engine, &candidates, uncovered, negative);
+        let mut best: Option<(Clause, i64)> = None;
+        for (candidate, cov) in candidates.into_iter().zip(coverages) {
+            if !params.meets_minimum(cov.positive, cov.negative) {
+                continue;
+            }
+            let score = cov.score();
+            if best.as_ref().is_none_or(|(_, s)| score > *s) {
+                best = Some((candidate, score));
             }
         }
         let (mut current, mut current_score) = best?;

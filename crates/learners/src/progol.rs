@@ -10,7 +10,7 @@
 use crate::bottom_clause::{variablized_bottom_clause, BottomClauseConfig};
 use crate::covering::{covering_loop, ClauseLearner};
 use crate::params::LearnerParams;
-use crate::scoring::clause_coverage_engine;
+use crate::scoring::clauses_coverage_engine;
 use crate::task::LearningTask;
 use castor_engine::Engine;
 use castor_logic::{minimize_clause, Atom, Clause, Definition};
@@ -81,36 +81,45 @@ impl ClauseLearner for ProgolClauseLearner {
 
         // Beam search over subsets of the bottom clause's body, growing one
         // literal at a time, keeping clauses head-connected and at most
-        // `clauselength` body literals long.
+        // `clauselength` body literals long. Each level's candidates are
+        // siblings sharing their parent's body, so the whole level is scored
+        // in one batched engine call (shared prefix join).
         let root = Clause::fact(bottom.head.clone());
         let mut beam: Vec<(Clause, i64)> = vec![(root, i64::MIN)];
         let mut best: Option<(Clause, i64, usize)> = None;
 
         for _ in 0..params.clause_length {
-            let mut next: Vec<(Clause, i64)> = Vec::new();
+            let mut extensions: Vec<Clause> = Vec::new();
             for (clause, _) in &beam {
                 for literal in admissible_extensions(clause, &bottom) {
                     let mut extended = clause.clone();
                     extended.push(literal);
-                    let cov = clause_coverage_engine(engine, &extended, uncovered, negative);
-                    if cov.positive == 0 {
-                        continue;
-                    }
-                    let score = cov.score();
-                    if params.meets_minimum(cov.positive, cov.negative) {
-                        let replace = match &best {
-                            None => true,
-                            Some((_, best_score, best_len)) => {
-                                score > *best_score
-                                    || (score == *best_score && extended.body_len() < *best_len)
-                            }
-                        };
-                        if replace {
-                            best = Some((extended.clone(), score, extended.body_len()));
-                        }
-                    }
-                    next.push((extended, score));
+                    extensions.push(extended);
                 }
+            }
+            if extensions.is_empty() {
+                break;
+            }
+            let coverages = clauses_coverage_engine(engine, &extensions, uncovered, negative);
+            let mut next: Vec<(Clause, i64)> = Vec::new();
+            for (extended, cov) in extensions.into_iter().zip(coverages) {
+                if cov.positive == 0 {
+                    continue;
+                }
+                let score = cov.score();
+                if params.meets_minimum(cov.positive, cov.negative) {
+                    let replace = match &best {
+                        None => true,
+                        Some((_, best_score, best_len)) => {
+                            score > *best_score
+                                || (score == *best_score && extended.body_len() < *best_len)
+                        }
+                    };
+                    if replace {
+                        best = Some((extended.clone(), score, extended.body_len()));
+                    }
+                }
+                next.push((extended, score));
             }
             if next.is_empty() {
                 break;

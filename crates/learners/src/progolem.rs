@@ -15,7 +15,7 @@
 use crate::bottom_clause::{variablized_bottom_clause, BottomClauseConfig};
 use crate::covering::{covering_loop, ClauseLearner};
 use crate::params::LearnerParams;
-use crate::scoring::clause_coverage_engine;
+use crate::scoring::{clause_coverage_engine, clauses_coverage_engine};
 use crate::task::LearningTask;
 use castor_engine::Engine;
 use castor_logic::{minimize_clause, Clause, Definition};
@@ -129,9 +129,12 @@ impl ClauseLearner for ProGolemClauseLearner {
 
         loop {
             // Sample of positives to generalize towards (deterministic
-            // prefix, like our Golem implementation).
+            // prefix, like our Golem implementation). The round's armg
+            // products are gathered first and scored as one batch — armg
+            // drops literals, so generalizations of one beam round share
+            // long body prefixes.
             let sample: Vec<&Tuple> = uncovered.iter().take(params.sample_size.max(1)).collect();
-            let mut candidates: Vec<(Clause, i64)> = Vec::new();
+            let mut generalizations: Vec<Clause> = Vec::new();
             for (clause, _) in &beam {
                 for example in &sample {
                     if engine.covers(clause, example) {
@@ -143,12 +146,16 @@ impl ClauseLearner for ProGolemClauseLearner {
                     if generalized.body.is_empty() {
                         continue;
                     }
-                    let score = score_of(&generalized);
-                    if score > best.1 {
-                        candidates.push((generalized, score));
-                    }
+                    generalizations.push(generalized);
                 }
             }
+            let coverages = clauses_coverage_engine(engine, &generalizations, uncovered, negative);
+            let mut candidates: Vec<(Clause, i64)> = generalizations
+                .into_iter()
+                .zip(coverages)
+                .map(|(generalized, cov)| (generalized, cov.score()))
+                .filter(|&(_, score)| score > best.1)
+                .collect();
             if candidates.is_empty() {
                 break;
             }
@@ -175,7 +182,11 @@ mod tests {
     use castor_relational::{RelationSymbol, Schema};
 
     fn engine_for(db: &DatabaseInstance) -> Engine {
-        Engine::new(db, LearnerParams::default().engine_config())
+        // Exercise the zero-copy construction path (shared instance).
+        Engine::from_arc(
+            std::sync::Arc::new(db.clone()),
+            LearnerParams::default().engine_config(),
+        )
     }
 
     /// Example 6.5: hardWorking over the Original UW-CSE schema.

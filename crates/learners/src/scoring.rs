@@ -41,15 +41,38 @@ impl ClauseCoverage {
 }
 
 /// Counts positive/negative coverage through the evaluation engine
-/// (compiled plans + memoized cache + worker pool).
+/// (compiled plans + memoized cache + worker pool). Routed through the
+/// engine's batched scoring path so single-clause re-scoring and beam
+/// scoring share one code path (and one set of counters).
 pub fn clause_coverage_engine(
     engine: &Engine,
     clause: &Clause,
     positive: &[Tuple],
     negative: &[Tuple],
 ) -> ClauseCoverage {
-    let (positive, negative) = engine.coverage_counts(clause, positive, negative);
-    ClauseCoverage { positive, negative }
+    clauses_coverage_engine(engine, std::slice::from_ref(clause), positive, negative)
+        .pop()
+        .expect("one clause in, one coverage out")
+}
+
+/// Scores a whole beam of candidate clauses in one batched engine call:
+/// siblings sharing a body prefix share the prefix join (one index probe
+/// feeds every candidate), and α-equivalent candidates are deduplicated.
+/// This is the scoring entry point of every beam learner.
+pub fn clauses_coverage_engine(
+    engine: &Engine,
+    clauses: &[Clause],
+    positive: &[Tuple],
+    negative: &[Tuple],
+) -> Vec<ClauseCoverage> {
+    engine
+        .coverage_counts_batch(clauses, positive, negative)
+        .into_iter()
+        .map(|counts| ClauseCoverage {
+            positive: counts.positive,
+            negative: counts.negative,
+        })
+        .collect()
 }
 
 /// The examples from `examples` covered by the clause, tested through the
@@ -163,6 +186,26 @@ mod tests {
             covered_examples_engine(&engine, &clause(), &all),
             covered_examples(&clause(), &db, &all)
         );
+    }
+
+    #[test]
+    fn batched_beam_scoring_matches_direct_scoring() {
+        let db = db();
+        let engine = Engine::new(&db, castor_engine::EngineConfig::default());
+        let pos = vec![Tuple::from_strs(&["ann", "bob"])];
+        let neg = vec![
+            Tuple::from_strs(&["ann", "carol"]),
+            Tuple::from_strs(&["bob", "bob"]),
+        ];
+        // Siblings: shared prefix, one differing trailing literal.
+        let mut longer = clause();
+        longer.push(Atom::vars("publication", &["q", "x"]));
+        let beam = vec![clause(), longer];
+        let batched = clauses_coverage_engine(&engine, &beam, &pos, &neg);
+        for (c, batched) in beam.iter().zip(batched) {
+            assert_eq!(batched, clause_coverage(c, &db, &pos, &neg), "on {c}");
+        }
+        assert!(engine.report().batches >= 1);
     }
 
     #[test]

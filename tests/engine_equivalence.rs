@@ -126,6 +126,133 @@ fn parallel_and_sequential_engine_paths_agree() {
 }
 
 #[test]
+fn batched_beam_scoring_matches_per_clause_results() {
+    // coverage_counts_batch / covered_sets_batch over seeded-random clause
+    // beams must produce exactly the per-clause covered_set results. The
+    // random clause list mixes prefixes of several definitions, so one
+    // batch holds genuine sibling groups (shared prefixes) alongside
+    // unrelated candidates — both trie sharing and the per-clause fallback
+    // are exercised in the same call.
+    let schema = schema();
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let db = random_instance(&schema, 25, &mut rng);
+        let batched = Engine::new(&db, EngineConfig::default());
+        let solo = Engine::new(&db, EngineConfig::default());
+        let beam = random_clauses(&schema, 11 * seed);
+        let examples = random_examples(2, 20, &mut rng);
+        let sets = batched.covered_sets_batch(&beam, &examples);
+        assert_eq!(sets.len(), beam.len());
+        for (clause, set) in beam.iter().zip(&sets) {
+            assert_eq!(
+                set,
+                &solo.covered_set(clause, &examples, Prior::None),
+                "seed {seed}: batch diverged from per-clause scoring on `{clause}`"
+            );
+            // And against the direct database semantics.
+            let reference: HashSet<Tuple> = examples
+                .iter()
+                .filter(|e| covers_example(clause, &db, e))
+                .cloned()
+                .collect();
+            assert_eq!(
+                set, &reference,
+                "seed {seed}: batch diverged from covers_example on `{clause}`"
+            );
+        }
+        let report = batched.report();
+        assert_eq!(report.budget_exhausted, 0, "budget too small for test db");
+        assert!(report.batches >= 1, "no trie group formed: {report}");
+        // Batched and per-clause parallel paths agree too.
+        let parallel = Engine::new(&db, EngineConfig::default().with_threads(4));
+        let many: Vec<Tuple> = examples.iter().cycle().take(60).cloned().collect();
+        assert_eq!(
+            parallel.covered_sets_batch(&beam, &many),
+            Engine::new(&db, EngineConfig::default()).covered_sets_batch(&beam, &many)
+        );
+    }
+}
+
+#[test]
+fn batched_scoring_under_tight_budgets_stays_sound() {
+    // Mixed budget/exhaustion outcomes: under any budget the batched path
+    // may miss coverage (false negatives are the documented budget
+    // semantics) but must never invent it, must count its exhaustions, and
+    // with a zero budget must report every candidate as uncovered exactly
+    // like the per-clause path does.
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(5000);
+    let db = random_instance(&schema, 25, &mut rng);
+    let beam = random_clauses(&schema, 13);
+    let examples = random_examples(2, 16, &mut rng);
+    let ample = Engine::new(&db, EngineConfig::default());
+    let truth = ample.covered_sets_batch(&beam, &examples);
+    assert_eq!(ample.report().budget_exhausted, 0);
+
+    for budget in [0usize, 1, 8, 64] {
+        let starved = Engine::new(&db, EngineConfig::default().with_eval_budget(budget));
+        let sets = starved.covered_sets_batch(&beam, &examples);
+        for ((clause, set), full) in beam.iter().zip(&sets).zip(&truth) {
+            assert!(
+                set.is_subset(full),
+                "budget {budget}: batch invented coverage on `{clause}`"
+            );
+        }
+        if budget == 0 {
+            // With no nodes to spend, neither path explores a single tuple:
+            // only empty-bodied candidates (head-binding decides) can be
+            // covered, and the batched verdicts match per-clause verdicts
+            // exactly.
+            let solo = Engine::new(&db, EngineConfig::default().with_eval_budget(0));
+            for (clause, set) in beam.iter().zip(&sets) {
+                assert_eq!(
+                    set,
+                    &solo.covered_set(clause, &examples, Prior::None),
+                    "zero-budget batch diverged on `{clause}`"
+                );
+                assert!(set.is_empty() || clause.body.is_empty());
+            }
+            assert!(
+                starved.report().budget_exhausted > 0,
+                "zero budget must be reported as exhaustion"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_priors_match_scoring_from_scratch() {
+    // The generality order through the batched path: scoring children with
+    // Prior::GeneralizationOf(parent) must equal scoring them from scratch
+    // whenever the children really are more general (body prefixes).
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(6000);
+    let db = random_instance(&schema, 25, &mut rng);
+    let engine = Engine::new(&db, EngineConfig::default());
+    let fresh = Engine::new(&db, EngineConfig::default());
+    let examples = random_examples(2, 20, &mut rng);
+    for clause in random_clauses(&schema, 17) {
+        if clause.body.len() < 2 {
+            continue;
+        }
+        let mut child = Clause::new(
+            clause.head.clone(),
+            clause.body[..clause.body.len() - 1].to_vec(),
+        );
+        child.remove_unconnected();
+        engine.covered_set(&clause, &examples, Prior::None);
+        let beam = vec![child.clone()];
+        let priors = vec![Prior::GeneralizationOf(&clause)];
+        let with_prior = engine.covered_sets_batch_with_priors(&beam, &priors, &examples);
+        let from_scratch = fresh.covered_sets_batch(&beam, &examples);
+        assert_eq!(
+            with_prior, from_scratch,
+            "batched prior changed semantics on `{child}`"
+        );
+    }
+}
+
+#[test]
 fn generality_prior_never_invents_coverage() {
     // Soundness of the generality-order shortcut: a covered_set computed
     // with Prior::GeneralizationOf(parent) must equal the one computed from

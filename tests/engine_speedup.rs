@@ -41,7 +41,7 @@ fn cached_coverage_outpaces_uncached_baseline() {
     // minimum is the standard de-noised estimate for a deterministic loop.
     const MEASUREMENTS: usize = 3;
 
-    let engine = Engine::new(&variant.db, EngineConfig::default());
+    let engine = Engine::from_arc(std::sync::Arc::clone(&variant.db), EngineConfig::default());
     let mut engine_total = 0usize;
     let engine_time = (0..MEASUREMENTS)
         .map(|_| {
