@@ -34,7 +34,7 @@ pub fn castor_armg(
         }
         let blocking = blocking_atom_index(&current, engine, example)?;
         current.body.remove(blocking);
-        enforce_ind_consistency(&mut current, engine.db().schema(), plan);
+        enforce_ind_consistency(&mut current, engine.snapshot().schema(), plan);
         current.remove_unconnected();
     }
 }

@@ -28,7 +28,7 @@ use crate::plan::BottomClausePlan;
 use castor_engine::{
     canonicalize, CoverageRuntime, CoverageTester, EngineReport, EngineStats, Prior, WorkerPool,
 };
-use castor_logic::{subsumes_budgeted_with, Clause, CoverageOutcome};
+use castor_logic::{subsumes_with_eval_budget, Clause, CoverageOutcome, EvalBudget};
 use castor_relational::{DatabaseInstance, Tuple};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -39,7 +39,10 @@ use std::sync::Arc;
 pub struct CoverageEngine {
     ground: Arc<HashMap<Tuple, Clause>>,
     runtime: CoverageRuntime,
-    node_budget: usize,
+    /// Per-test budget template, cloned per subsumption test. Carries the
+    /// serving session's node-budget override and cancellation token when
+    /// installed through [`CoverageEngine::with_budget_template`].
+    budget: EvalBudget,
 }
 
 impl CoverageEngine {
@@ -82,8 +85,17 @@ impl CoverageEngine {
         CoverageEngine {
             ground: Arc::new(ground),
             runtime: CoverageRuntime::new(&engine_config, pool),
-            node_budget: engine_config.eval_budget,
+            budget: EvalBudget::new(engine_config.eval_budget),
         }
+    }
+
+    /// Replaces the per-test budget template (builder style). The Castor
+    /// learner passes its evaluation engine's live template here, so a
+    /// serving session's budget override and cancellation token govern the
+    /// θ-subsumption tests too.
+    pub fn with_budget_template(mut self, budget: EvalBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Number of subsumption tests performed so far (used by the ablation
@@ -169,7 +181,7 @@ impl CoverageTester for CoverageEngine {
             self.runtime.metrics(),
             canonical,
             example,
-            self.node_budget,
+            &self.budget,
         )
     }
 
@@ -182,8 +194,8 @@ impl CoverageTester for CoverageEngine {
         let metrics = Arc::clone(self.runtime.metrics());
         let clause = canonical.clone();
         let examples = Arc::clone(examples);
-        let node_budget = self.node_budget;
-        Box::new(move |i| test_subsumption(&ground, &metrics, &clause, &examples[i], node_budget))
+        let budget = self.budget.clone();
+        Box::new(move |i| test_subsumption(&ground, &metrics, &clause, &examples[i], &budget))
     }
 
     fn pair_task(
@@ -197,16 +209,10 @@ impl CoverageTester for CoverageEngine {
         let canonicals = Arc::clone(canonicals);
         let examples = Arc::clone(examples);
         let pairs = Arc::clone(pairs);
-        let node_budget = self.node_budget;
+        let budget = self.budget.clone();
         Box::new(move |i| {
             let (slot, ei) = pairs[i];
-            test_subsumption(
-                &ground,
-                &metrics,
-                &canonicals[slot],
-                &examples[ei],
-                node_budget,
-            )
+            test_subsumption(&ground, &metrics, &canonicals[slot], &examples[ei], &budget)
         })
     }
 }
@@ -219,13 +225,14 @@ fn test_subsumption(
     metrics: &EngineStats,
     clause: &Clause,
     example: &Tuple,
-    node_budget: usize,
+    budget_template: &EvalBudget,
 ) -> CoverageOutcome {
     let Some(bottom) = ground.get(example) else {
         return CoverageOutcome::NotCovered;
     };
     EngineStats::bump(&metrics.coverage_tests);
-    let outcome = subsumes_budgeted_with(clause, bottom, node_budget);
+    let mut budget = budget_template.clone();
+    let outcome = subsumes_with_eval_budget(clause, bottom, &mut budget);
     if outcome.subsumes() {
         CoverageOutcome::Covered
     } else if outcome.exhausted {
@@ -454,6 +461,22 @@ mod tests {
         );
         assert_eq!(with_prior[0], sets[1]);
         assert_eq!(batched.tests_performed(), tests_before); // all answered by cache/prior
+    }
+
+    #[test]
+    fn budget_template_carries_cancellation_into_subsumption() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let token = Arc::new(AtomicBool::new(false));
+        let engine =
+            engine(1).with_budget_template(EvalBudget::with_cancel(30_000, Arc::clone(&token)));
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        assert!(engine.covers(&collaborated(), &e));
+        token.store(true, Ordering::Relaxed);
+        // A different (uncached) example: the cancelled search aborts as an
+        // exhaustion and is counted.
+        let exhausted_before = engine.report().budget_exhausted;
+        assert!(!engine.covers(&collaborated(), &Tuple::from_strs(&["carol", "dan"])));
+        assert!(engine.report().budget_exhausted > exhausted_before);
     }
 
     #[test]

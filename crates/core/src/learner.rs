@@ -60,18 +60,33 @@ impl Castor {
     }
 
     /// Learns a Horn definition for `task` over a shared database instance,
-    /// without copying it (zero-copy engine construction).
+    /// without copying it (zero-copy engine construction). Builds a private
+    /// evaluation engine for the run; long-lived callers (the serving
+    /// layer's `LearnJob`) pass their own engine to [`Castor::learn_in`]
+    /// instead, so plans and cached coverage survive across jobs.
     pub fn learn_shared(
         &mut self,
         db: &Arc<DatabaseInstance>,
         task: &LearningTask,
     ) -> LearnOutcome {
+        let eval_engine = Engine::from_arc(Arc::clone(db), self.config.params.engine_config());
+        self.learn_in(&eval_engine, task)
+    }
+
+    /// Learns a Horn definition for `task` against an existing evaluation
+    /// engine: the run evaluates over the engine's current database
+    /// snapshot, shares its worker pool, and reports only the engine
+    /// activity this run caused (shared engines carry counters from earlier
+    /// runs).
+    pub fn learn_in(&mut self, eval_engine: &Engine, task: &LearningTask) -> LearnOutcome {
         let start = Instant::now();
+        let db = eval_engine.snapshot();
+        let eval_baseline = eval_engine.report();
 
         // Section 7.4 preprocessing: promote subset INDs that hold with
         // equality over this instance.
         let schema = if self.config.promote_general_inds {
-            promote_general_inds(db)
+            promote_general_inds(&db)
         } else {
             db.schema().clone()
         };
@@ -79,20 +94,23 @@ impl Castor {
         let mut plan = BottomClausePlan::compile(&schema, self.config.use_general_inds);
         plan.use_indexes = self.config.use_stored_procedures;
 
-        // Database-backed evaluation engine used by ARMG's prefix coverage
-        // tests (compiled plans + memoized prefixes); the subsumption-based
-        // coverage engine shares its worker pool so one learner run drives
-        // a single set of workers.
-        let eval_engine = Engine::from_arc(Arc::clone(db), self.config.params.engine_config());
+        // The subsumption-based coverage engine materializes ground bottom
+        // clauses for this run's examples and shares the evaluation
+        // engine's worker pool, so one learner run drives a single set of
+        // workers. ARMG's prefix coverage tests go through `eval_engine`
+        // (compiled plans + memoized prefixes). The eval engine's live
+        // budget template carries a serving session's node-budget override
+        // and cancellation token into the subsumption tests too.
         let engine = CoverageEngine::build_with_pool(
-            db,
+            &db,
             &plan,
             &task.target,
             &task.positive,
             &task.negative,
             &self.config,
             Arc::clone(eval_engine.pool()),
-        );
+        )
+        .with_budget_template(eval_engine.budget_template());
 
         let mut definition = Definition::empty(task.target.clone());
         let mut uncovered: Vec<Tuple> = task.positive.clone();
@@ -100,10 +118,10 @@ impl Castor {
 
         while !uncovered.is_empty() {
             let Some(clause) = self.learn_clause(
-                db,
+                &db,
                 &plan,
                 &engine,
-                &eval_engine,
+                eval_engine,
                 &task.target,
                 &uncovered,
                 &task.negative,
@@ -131,7 +149,9 @@ impl Castor {
             definition,
             elapsed: start.elapsed(),
             coverage_tests: engine.tests_performed(),
-            engine: engine.report().combined(&eval_engine.report()),
+            engine: engine
+                .report()
+                .combined(&eval_engine.report().delta_since(&eval_baseline)),
             minimization_reduction: if reduction_samples.is_empty() {
                 0.0
             } else {

@@ -58,6 +58,10 @@ pub struct BatchPlan {
     pub roots: Vec<usize>,
     /// Candidate slots with empty bodies: covered iff the head binds.
     pub root_accepting: Vec<usize>,
+    /// `(relation, epoch)` stamps for every body relation known to the
+    /// statistics the trie was costed against — same staleness contract as
+    /// [`crate::ClausePlan::epochs`].
+    pub epochs: Vec<(String, u64)>,
 }
 
 impl BatchPlan {
@@ -72,6 +76,10 @@ impl BatchPlan {
             nodes: Vec::new(),
             roots: Vec::new(),
             root_accepting: Vec::new(),
+            epochs: crate::ClausePlan::stamp_epochs(
+                bodies.iter().flat_map(|(_, body)| body.iter()),
+                stats,
+            ),
         };
         let head_vars: BTreeSet<String> = head
             .terms
@@ -191,6 +199,14 @@ impl BatchPlan {
         self.nodes.len()
     }
 
+    /// Whether the trie's costing is still current against `stats` (see
+    /// [`crate::ClausePlan::is_current`]).
+    pub fn is_current(&self, stats: &DatabaseStatistics) -> bool {
+        self.epochs
+            .iter()
+            .all(|(name, epoch)| stats.epoch_of(name) == Some(*epoch))
+    }
+
     /// Every candidate slot in the plan (root-accepting included).
     pub fn slots(&self) -> Vec<usize> {
         let mut out: Vec<usize> = self.root_accepting.clone();
@@ -247,7 +263,9 @@ struct BatchSearch<'a> {
 /// Evaluates one root subtree of `plan` against one example: every live
 /// candidate in the subtree gets a [`CoverageOutcome`]. `live` flags (in
 /// slot space) select which candidates this item must decide; slots outside
-/// the subtree are ignored. Returns `(slot, outcome)` pairs plus the item's
+/// the subtree are ignored. `budget` is a per-candidate budget *template*
+/// (cloned per slot), so a cancellation token installed on it aborts every
+/// candidate of the item. Returns `(slot, outcome)` pairs plus the item's
 /// counters.
 pub fn evaluate_subtree(
     plan: &BatchPlan,
@@ -255,7 +273,7 @@ pub fn evaluate_subtree(
     db: &DatabaseInstance,
     example: &Tuple,
     live: &[bool],
-    budget: usize,
+    budget: &EvalBudget,
 ) -> (Vec<(usize, CoverageOutcome)>, BatchItemStats) {
     let subtree = &plan.node(root).subtree;
     let wanted: Vec<usize> = subtree.iter().copied().filter(|&s| live[s]).collect();
@@ -291,7 +309,7 @@ pub fn evaluate_subtree(
             mask
         },
         outcomes: vec![None; slot_space],
-        budgets: (0..slot_space).map(|_| EvalBudget::new(budget)).collect(),
+        budgets: (0..slot_space).map(|_| budget.clone()).collect(),
         stats: BatchItemStats::default(),
     };
     search.explore(root);
@@ -477,8 +495,14 @@ mod tests {
             Tuple::from_strs(&["carol", "dan"]),
             Tuple::from_strs(&["dan", "dan"]),
         ] {
-            let (outcomes, stats) =
-                evaluate_subtree(&plan, plan.roots[0], &db, &example, &live, 10_000);
+            let (outcomes, stats) = evaluate_subtree(
+                &plan,
+                plan.roots[0],
+                &db,
+                &example,
+                &live,
+                &EvalBudget::new(10_000),
+            );
             assert_eq!(outcomes.len(), clauses.len());
             assert_eq!(stats.tests, clauses.len());
             for (slot, outcome) in outcomes {
@@ -503,7 +527,7 @@ mod tests {
             &db,
             &Tuple::from_strs(&["ann", "bob"]),
             &live,
-            10_000,
+            &EvalBudget::new(10_000),
         );
         assert!(stats.prefix_hits > 0, "no shared probes counted: {stats:?}");
         assert!(stats.suffix_forks > 0, "no suffix forks counted: {stats:?}");
@@ -521,7 +545,7 @@ mod tests {
             &db,
             &Tuple::from_strs(&["ann", "bob"]),
             &live,
-            0,
+            &EvalBudget::new(0),
         );
         assert!(outcomes.iter().all(|(_, o)| o.is_exhausted()));
         assert_eq!(stats.budget_exhausted, 3);
@@ -539,10 +563,27 @@ mod tests {
             &db,
             &Tuple::from_strs(&["ann", "bob"]),
             &live,
-            10_000,
+            &EvalBudget::new(10_000),
         );
         assert_eq!(outcomes.len(), 1);
         assert_eq!(outcomes[0].0, 1);
+    }
+
+    #[test]
+    fn trie_epoch_stamps_detect_mutated_relations() {
+        // BatchPlans are compiled per call today, but the epoch stamps are
+        // the invalidation contract a future cross-round trie cache (see
+        // ROADMAP) relies on — pin their semantics now.
+        let mut db = db();
+        let (head, bodies) = siblings();
+        let plan = plan_of(&head, &bodies, &db);
+        let names: Vec<&str> = plan.epochs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["professor", "publication", "student"]);
+        let mut stats = DatabaseStatistics::gather(&db);
+        assert!(plan.is_current(&stats));
+        db.insert("professor", Tuple::from_strs(&["dan"])).unwrap();
+        stats.refresh(&db);
+        assert!(!plan.is_current(&stats));
     }
 
     #[test]

@@ -144,10 +144,19 @@ impl CoverageCache {
     }
 
     /// Records a batch of outcomes for one clause under a single lock.
+    ///
+    /// [`CoverageOutcome::Exhausted`] verdicts are *not* memoized: an
+    /// exhaustion is a property of the (clause, example, **budget**) triple,
+    /// and the budget varies — serving sessions override it per job and
+    /// cancellation aborts searches as exhaustions — so caching one would
+    /// serve an approximate verdict to a caller with a larger budget.
     pub fn insert_many<I>(&self, canonical: &Clause, outcomes: I)
     where
         I: IntoIterator<Item = (Tuple, CoverageOutcome)>,
     {
+        let outcomes = outcomes
+            .into_iter()
+            .filter(|(_, outcome)| !outcome.is_exhausted());
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match inner.slots.get_mut(canonical) {
             Some(slot) => slot.outcomes.extend(outcomes),
@@ -155,6 +164,9 @@ impl CoverageCache {
                 // The only place a clause key is ever cloned: first insert.
                 let mut slot = CacheSlot::default();
                 slot.outcomes.extend(outcomes);
+                if slot.outcomes.is_empty() {
+                    return;
+                }
                 inner.slots.insert(Arc::new(canonical.clone()), slot);
             }
         }
@@ -222,6 +234,43 @@ impl CoverageCache {
             inner.touch(canonical);
         }
         covered
+    }
+
+    /// Drops every cached clause that references one of `relations` (in its
+    /// head or body), returning how many clauses were dropped. This is the
+    /// mutation-invalidation hook: after a batch changes a relation's
+    /// contents, only coverage results of clauses that actually read that
+    /// relation are stale — everything else stays resident.
+    pub fn invalidate_relations(&self, relations: &std::collections::BTreeSet<String>) -> usize {
+        if relations.is_empty() {
+            return 0;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let stale: Vec<Arc<Clause>> = inner
+            .slots
+            .keys()
+            .filter(|clause| {
+                relations.contains(&clause.head.relation)
+                    || clause
+                        .body
+                        .iter()
+                        .any(|atom| relations.contains(&atom.relation))
+            })
+            .cloned()
+            .collect();
+        for key in &stale {
+            if let Some(slot) = inner.slots.remove(key.as_ref()) {
+                inner.recency.remove(&slot.stamp);
+            }
+        }
+        stale.len()
+    }
+
+    /// Drops every cached result (administrative reset).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.slots.clear();
+        inner.recency.clear();
     }
 
     /// Number of distinct clauses currently cached.
@@ -343,6 +392,48 @@ mod tests {
         );
         assert_eq!(cache.get(&key_of("cold0"), &e), None);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn exhausted_verdicts_are_never_memoized() {
+        let cache = CoverageCache::default();
+        let key = canonicalize(&clause("x", "y", "p"));
+        let e1 = Tuple::from_strs(&["ann", "bob"]);
+        let e2 = Tuple::from_strs(&["ann", "carol"]);
+        cache.insert(&key, &e1, CoverageOutcome::Exhausted);
+        // An all-exhausted first insert must not even create the slot.
+        assert!(cache.is_empty());
+        cache.insert_many(
+            &key,
+            [
+                (e1.clone(), CoverageOutcome::Covered),
+                (e2.clone(), CoverageOutcome::Exhausted),
+            ],
+        );
+        assert_eq!(cache.get(&key, &e1), Some(CoverageOutcome::Covered));
+        assert_eq!(cache.get(&key, &e2), None);
+    }
+
+    #[test]
+    fn invalidation_targets_only_clauses_reading_the_relation() {
+        let cache = CoverageCache::default();
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        let pub_clause = canonicalize(&clause("x", "y", "p"));
+        let other = canonicalize(&Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("unrelated", &["x"])],
+        ));
+        cache.insert(&pub_clause, &e, CoverageOutcome::Covered);
+        cache.insert(&other, &e, CoverageOutcome::Covered);
+        let mutated: std::collections::BTreeSet<String> =
+            ["publication".to_string()].into_iter().collect();
+        assert_eq!(cache.invalidate_relations(&mutated), 1);
+        assert_eq!(cache.get(&pub_clause, &e), None);
+        assert_eq!(cache.get(&other, &e), Some(CoverageOutcome::Covered));
+        // Dropped clauses leave no recency residue: filling to capacity
+        // still evicts correctly.
+        assert_eq!(cache.invalidate_relations(&mutated), 0);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -40,9 +40,10 @@ pub use pool::WorkerPool;
 pub use stats::{DatabaseStatistics, EngineReport, EngineStats};
 
 use castor_logic::{Atom, Clause};
-use castor_relational::{DatabaseInstance, Tuple};
+use castor_relational::{DatabaseInstance, MutationBatch, MutationSummary, Tuple};
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Engine construction knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -197,6 +198,23 @@ impl CoverageRuntime {
     /// Snapshot of the runtime counters.
     pub fn report(&self) -> EngineReport {
         self.metrics.snapshot()
+    }
+
+    /// Drops cached coverage for every clause referencing one of
+    /// `relations` (the mutation-invalidation hook; see
+    /// [`CoverageCache::invalidate_relations`]). Returns the number of
+    /// clauses dropped.
+    pub fn invalidate_relations(&self, relations: &std::collections::BTreeSet<String>) -> usize {
+        let dropped = self.cache.invalidate_relations(relations);
+        if dropped > 0 {
+            EngineStats::add(&self.metrics.cache_clauses_invalidated, dropped);
+        }
+        dropped
+    }
+
+    /// Drops the whole coverage cache (see [`CoverageCache::clear`]).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 
     /// Tri-state coverage test for one example through the memo cache.
@@ -537,13 +555,32 @@ impl BatchPrep {
 
 /// The database-backed evaluation engine: statistics, compiled plans,
 /// memoized coverage, and a persistent worker pool behind one front end.
+///
+/// The engine is *versioned*: it owns a live database reference that a
+/// serving layer mutates through [`Engine::apply`]. Every compiled plan
+/// records the mutation epochs of the relations it was costed against and
+/// is re-planned lazily when a touched relation's epoch advances (the epoch
+/// check runs on every plan fetch, so stale-plan reuse is impossible by
+/// construction); the coverage cache drops exactly the clauses that
+/// reference a mutated relation. Evaluation entry points and mutations are
+/// serialized by a reader–writer gate: any number of concurrent evaluations
+/// run against one consistent snapshot, and a mutation batch applies only
+/// between them.
 #[derive(Debug)]
 pub struct Engine {
-    db: Arc<DatabaseInstance>,
-    db_stats: DatabaseStatistics,
+    db: RwLock<Arc<DatabaseInstance>>,
+    db_stats: RwLock<Arc<DatabaseStatistics>>,
     plans: Mutex<fx::FxHashMap<Clause, Arc<ClausePlan>>>,
     runtime: CoverageRuntime,
     config: EngineConfig,
+    /// Live per-test node budget (initialized from the config; a serving
+    /// session can override it for the duration of its jobs).
+    eval_budget: AtomicUsize,
+    /// Cancellation token installed by the current serving job, if any;
+    /// threaded into every [`EvalBudget`] the executors consume.
+    cancel: Mutex<Option<Arc<AtomicBool>>>,
+    /// Readers: evaluation entry points. Writer: [`Engine::apply`].
+    gate: RwLock<()>,
 }
 
 impl Engine {
@@ -554,27 +591,114 @@ impl Engine {
         Engine::from_arc(Arc::new(db.clone()), config)
     }
 
-    /// Builds an engine sharing `db` without copying it.
+    /// Builds an engine sharing `db` without copying it, with a private
+    /// worker pool sized by the configuration.
     pub fn from_arc(db: Arc<DatabaseInstance>, config: EngineConfig) -> Self {
-        let db_stats = DatabaseStatistics::gather(&db);
         let pool = Arc::new(WorkerPool::new(config.threads));
+        Engine::with_pool(db, config, pool)
+    }
+
+    /// Builds an engine sharing `db` and the caller's worker pool — the
+    /// serving layer registers many databases on one `Server` and drives
+    /// every engine off a single set of workers.
+    pub fn with_pool(
+        db: Arc<DatabaseInstance>,
+        config: EngineConfig,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
+        let db_stats = DatabaseStatistics::gather(&db);
         Engine {
-            db_stats,
+            db_stats: RwLock::new(Arc::new(db_stats)),
             plans: Mutex::new(fx::FxHashMap::default()),
             runtime: CoverageRuntime::new(&config, pool),
+            eval_budget: AtomicUsize::new(config.eval_budget),
+            cancel: Mutex::new(None),
+            gate: RwLock::new(()),
             config,
-            db,
+            db: RwLock::new(db),
         }
     }
 
-    /// The database the engine evaluates against.
-    pub fn db(&self) -> &DatabaseInstance {
-        &self.db
+    /// A consistent snapshot of the database the engine currently evaluates
+    /// against. Mutations applied later ([`Engine::apply`]) never alter a
+    /// snapshot already handed out (copy-on-write per relation).
+    pub fn snapshot(&self) -> Arc<DatabaseInstance> {
+        Arc::clone(&self.db.read().unwrap_or_else(|e| e.into_inner()))
     }
 
-    /// The statistics snapshot taken at build time.
-    pub fn statistics(&self) -> &DatabaseStatistics {
-        &self.db_stats
+    /// The current statistics snapshot (incrementally refreshed after every
+    /// mutation batch).
+    pub fn statistics(&self) -> Arc<DatabaseStatistics> {
+        Arc::clone(&self.db_stats.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Applies a mutation batch to the live database: per-relation indexes
+    /// and statistics are maintained incrementally, the mutated relations'
+    /// epochs advance (invalidating affected compiled plans on their next
+    /// fetch), and cached coverage for clauses referencing those relations
+    /// is dropped. The batch waits for in-flight evaluations to finish and
+    /// excludes new ones while it applies, so every evaluation sees either
+    /// the pre-batch or the post-batch state — never a mix.
+    pub fn apply(&self, batch: &MutationBatch) -> castor_relational::Result<MutationSummary> {
+        let _exclusive = self.gate.write().unwrap_or_else(|e| e.into_inner());
+        let metrics = self.runtime.metrics();
+        let result = {
+            let mut db = self.db.write().unwrap_or_else(|e| e.into_inner());
+            Arc::make_mut(&mut db).apply_batch(batch)
+        };
+        // Refresh statistics even on a mid-batch error: ops before the
+        // failing one are applied, and stale statistics would let an old
+        // plan pass its epoch check against data it was not costed for.
+        let changed = {
+            let db = self.snapshot();
+            let mut stats = self.db_stats.write().unwrap_or_else(|e| e.into_inner());
+            Arc::make_mut(&mut stats).refresh(&db)
+        };
+        if !changed.is_empty() {
+            let changed: std::collections::BTreeSet<String> = changed.into_iter().collect();
+            self.runtime.invalidate_relations(&changed);
+        }
+        if result.is_ok() {
+            EngineStats::bump(&metrics.mutation_batches);
+        }
+        result
+    }
+
+    /// Overrides the per-test node budget (serving sessions install their
+    /// override for the duration of their jobs; pass the config value to
+    /// restore the default).
+    pub fn set_eval_budget(&self, budget: usize) {
+        self.eval_budget.store(budget, Ordering::Relaxed);
+    }
+
+    /// The per-test node budget currently in effect.
+    pub fn current_eval_budget(&self) -> usize {
+        self.eval_budget.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or clears) the cancellation token checked by the executor
+    /// budget loop: once set, every in-flight coverage test unwinds through
+    /// its budget-exhaustion path within one candidate tuple.
+    pub fn set_cancel_token(&self, token: Option<Arc<AtomicBool>>) {
+        *self.cancel.lock().unwrap_or_else(|e| e.into_inner()) = token;
+    }
+
+    /// Drops every memoized coverage result (administrative reset; routine
+    /// mutation invalidation is relation-targeted and automatic).
+    pub fn clear_coverage_cache(&self) {
+        self.runtime.clear_cache();
+    }
+
+    /// A fresh budget for one coverage test: current node budget plus the
+    /// installed cancellation token, if any. Public so sibling coverage
+    /// engines (the θ-subsumption tester in `castor-core`) run their tests
+    /// under the same session overrides and cancellation as this engine.
+    pub fn budget_template(&self) -> EvalBudget {
+        let nodes = self.current_eval_budget();
+        match &*self.cancel.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(token) => EvalBudget::with_cancel(nodes, Arc::clone(token)),
+            None => EvalBudget::new(nodes),
+        }
     }
 
     /// The engine's worker pool. `castor-core`'s subsumption coverage
@@ -593,19 +717,33 @@ impl Engine {
         self.runtime.report()
     }
 
+    /// Takes the evaluation side of the mutation gate: mutations wait for
+    /// the guard to drop and evaluations started after a mutation see its
+    /// effects. Every public evaluation entry point takes this exactly once.
+    fn read_gate(&self) -> std::sync::RwLockReadGuard<'_, ()> {
+        self.gate.read().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// The compiled plan for a canonical clause, compiling on first use.
-    /// Bounded like the coverage cache: at capacity the table is cleared
-    /// rather than growing without limit.
-    fn plan_for(&self, canonical: &Clause) -> Arc<ClausePlan> {
+    /// Every fetch re-validates the cached plan's epoch stamps against the
+    /// live statistics: a plan costed before a mutation of any relation it
+    /// touches is discarded and recompiled, so a stale plan can never
+    /// execute. Bounded like the coverage cache: at capacity the table is
+    /// cleared rather than growing without limit.
+    fn plan_for(&self, canonical: &Clause, stats: &DatabaseStatistics) -> Arc<ClausePlan> {
         let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(plan) = plans.get(canonical) {
-            EngineStats::bump(&self.runtime.metrics().plan_cache_hits);
-            return Arc::clone(plan);
+            if plan.is_current(stats) {
+                EngineStats::bump(&self.runtime.metrics().plan_cache_hits);
+                return Arc::clone(plan);
+            }
+            EngineStats::bump(&self.runtime.metrics().plans_invalidated);
+            plans.remove(canonical);
         }
         if plans.len() >= self.config.cache_capacity {
             plans.clear();
         }
-        let plan = Arc::new(ClausePlan::compile(canonical, &self.db_stats));
+        let plan = Arc::new(ClausePlan::compile(canonical, stats));
         EngineStats::bump(&self.runtime.metrics().plans_compiled);
         plans.insert(canonical.clone(), Arc::clone(&plan));
         plan
@@ -614,13 +752,18 @@ impl Engine {
     /// Tri-state coverage test for one example, going through the cache and
     /// the compiled plan.
     pub fn try_covers(&self, clause: &Clause, example: &Tuple) -> CoverageOutcome {
+        let _gate = self.read_gate();
         let canonical = canonicalize(clause);
         self.runtime.try_covers(self, &canonical, example)
     }
 
     /// Boolean coverage test (exhausted budgets count as "not covered").
     pub fn covers(&self, clause: &Clause, example: &Tuple) -> bool {
-        self.try_covers(clause, example).is_covered()
+        let _gate = self.read_gate();
+        let canonical = canonicalize(clause);
+        self.runtime
+            .try_covers(self, &canonical, example)
+            .is_covered()
     }
 
     /// The subset of `examples` covered by `clause`. `prior` feeds the
@@ -633,6 +776,7 @@ impl Engine {
         examples: &[Tuple],
         prior: Prior<'_>,
     ) -> HashSet<Tuple> {
+        let _gate = self.read_gate();
         let canonical = canonicalize(clause);
         self.runtime.covered_set(self, &canonical, examples, prior)
     }
@@ -644,27 +788,43 @@ impl Engine {
         positive: &[Tuple],
         negative: &[Tuple],
     ) -> (usize, usize) {
-        let pos = self.covered_set(clause, positive, Prior::None).len();
-        let neg = self.covered_set(clause, negative, Prior::None).len();
+        let _gate = self.read_gate();
+        let canonical = canonicalize(clause);
+        let pos = self
+            .runtime
+            .covered_set(self, &canonical, positive, Prior::None)
+            .len();
+        let neg = self
+            .runtime
+            .covered_set(self, &canonical, negative, Prior::None)
+            .len();
         (pos, neg)
     }
 
     /// Positive/negative coverage counts for a whole beam of candidate
-    /// clauses through the batched (shared join-prefix) evaluation path —
-    /// the entry point the beam learners score candidates with.
+    /// clauses — the entry point the beam learners score candidates with.
+    ///
+    /// The positive and negative passes are *fused*: the engine walks the
+    /// shared-prefix trie once over the concatenated example list and splits
+    /// the per-clause covered sets back into per-class counts, halving
+    /// head-binding and trie-dispatch overhead relative to two passes.
     pub fn coverage_counts_batch(
         &self,
         clauses: &[Clause],
         positive: &[Tuple],
         negative: &[Tuple],
     ) -> Vec<ClauseCounts> {
-        let pos = self.covered_sets_batch(clauses, positive);
-        let neg = self.covered_sets_batch(clauses, negative);
-        pos.into_iter()
-            .zip(neg)
-            .map(|(p, n)| ClauseCounts {
-                positive: p.len(),
-                negative: n.len(),
+        let _gate = self.read_gate();
+        let mut fused: Vec<Tuple> = Vec::with_capacity(positive.len() + negative.len());
+        fused.extend_from_slice(positive);
+        fused.extend_from_slice(negative);
+        let sets = self.covered_sets_batch_gated(clauses, &[], &fused);
+        let pos_set: HashSet<&Tuple> = positive.iter().collect();
+        let neg_set: HashSet<&Tuple> = negative.iter().collect();
+        sets.into_iter()
+            .map(|covered| ClauseCounts {
+                positive: covered.iter().filter(|e| pos_set.contains(e)).count(),
+                negative: covered.iter().filter(|e| neg_set.contains(e)).count(),
             })
             .collect()
     }
@@ -677,7 +837,8 @@ impl Engine {
         clauses: &[Clause],
         examples: &[Tuple],
     ) -> Vec<HashSet<Tuple>> {
-        self.covered_sets_batch_with_priors(clauses, &[], examples)
+        let _gate = self.read_gate();
+        self.covered_sets_batch_gated(clauses, &[], examples)
     }
 
     /// The subset of `examples` covered by each clause of a candidate
@@ -693,6 +854,18 @@ impl Engine {
     /// disabled, a batch of fewer than two clauses, or candidates that share
     /// no head with any other candidate.
     pub fn covered_sets_batch_with_priors(
+        &self,
+        clauses: &[Clause],
+        priors: &[Prior<'_>],
+        examples: &[Tuple],
+    ) -> Vec<HashSet<Tuple>> {
+        let _gate = self.read_gate();
+        self.covered_sets_batch_gated(clauses, priors, examples)
+    }
+
+    /// [`Engine::covered_sets_batch_with_priors`] with the mutation gate
+    /// already held by the caller.
+    fn covered_sets_batch_gated(
         &self,
         clauses: &[Clause],
         priors: &[Prior<'_>],
@@ -719,6 +892,8 @@ impl Engine {
     /// take the per-clause compiled-plan path.
     fn evaluate_batch_pending(&self, prep: &mut BatchPrep, examples: &[Tuple]) {
         let metrics = self.runtime.metrics();
+        let db = self.snapshot();
+        let db_stats = self.statistics();
         let slot_space = prep.unique.len();
         let mut groups: fx::FxHashMap<&Atom, Vec<usize>> = fx::FxHashMap::default();
         for (slot, clause) in prep.unique.iter().enumerate() {
@@ -743,7 +918,10 @@ impl Engine {
                 .iter()
                 .map(|&s| (s, prep.unique[s].body.as_slice()))
                 .collect();
-            let plan = BatchPlan::compile(head, &bodies, &self.db_stats);
+            // Batch plans are compiled per call against this call's stats
+            // snapshot and never cached, so no staleness check is needed
+            // here — only cached `ClausePlan`s carry that risk.
+            let plan = BatchPlan::compile(head, &bodies, &db_stats);
             if !plan.root_accepting.is_empty() {
                 let head_clause = Clause::fact(head.clone());
                 for &s in &plan.root_accepting {
@@ -778,7 +956,7 @@ impl Engine {
                 mask[ei][slot] = true;
             }
         }
-        let budget = self.config.eval_budget;
+        let budget = self.budget_template();
         let cells = subtrees.len() * examples.len();
         type Item = (Vec<(usize, CoverageOutcome)>, BatchItemStats);
         let items: Vec<Item> =
@@ -787,7 +965,8 @@ impl Engine {
                 let subtrees_shared = Arc::new(subtrees.clone());
                 let examples_shared = Arc::new(examples.to_vec());
                 let mask = Arc::new(mask);
-                let db = Arc::clone(&self.db);
+                let db = Arc::clone(&db);
+                let budget = budget.clone();
                 self.runtime
                     .pool()
                     .map_grid(subtrees.len(), examples.len(), move |row, col| {
@@ -798,7 +977,7 @@ impl Engine {
                             &db,
                             &examples_shared[col],
                             &mask[col],
-                            budget,
+                            &budget,
                         )
                     })
             } else {
@@ -806,7 +985,7 @@ impl Engine {
                 for &(pi, root) in &subtrees {
                     for (ei, example) in examples.iter().enumerate() {
                         out.push(batch::evaluate_subtree(
-                            &plans[pi], root, &self.db, example, &mask[ei], budget,
+                            &plans[pi], root, &db, example, &mask[ei], &budget,
                         ));
                     }
                 }
@@ -856,12 +1035,13 @@ impl CoverageTester for Engine {
     fn test(&self, canonical: &Clause, example: &Tuple) -> CoverageOutcome {
         let metrics = self.runtime.metrics();
         EngineStats::bump(&metrics.coverage_tests);
-        let mut budget = EvalBudget::new(self.config.eval_budget);
+        let db = self.snapshot();
+        let mut budget = self.budget_template();
         let outcome = if self.config.compile_plans {
-            let plan = self.plan_for(canonical);
-            executor::covers_with_plan(canonical, &plan, &self.db, example, &mut budget)
+            let plan = self.plan_for(canonical, &self.statistics());
+            executor::covers_with_plan(canonical, &plan, &db, example, &mut budget)
         } else {
-            castor_logic::covers_example_budgeted(canonical, &self.db, example, &mut budget)
+            castor_logic::covers_example_budgeted(canonical, &db, example, &mut budget)
         };
         if outcome.is_exhausted() {
             EngineStats::bump(&metrics.budget_exhausted);
@@ -874,15 +1054,18 @@ impl CoverageTester for Engine {
         canonical: &Clause,
         examples: &Arc<Vec<Tuple>>,
     ) -> Box<dyn Fn(usize) -> CoverageOutcome + Send + Sync + 'static> {
-        let db = Arc::clone(&self.db);
+        let db = self.snapshot();
         let metrics = Arc::clone(self.runtime.metrics());
         let clause = canonical.clone();
-        let budget = self.config.eval_budget;
+        let budget = self.budget_template();
         let examples = Arc::clone(examples);
-        let plan = self.config.compile_plans.then(|| self.plan_for(canonical));
+        let plan = self
+            .config
+            .compile_plans
+            .then(|| self.plan_for(canonical, &self.statistics()));
         Box::new(move |i| {
             EngineStats::bump(&metrics.coverage_tests);
-            let mut node_budget = EvalBudget::new(budget);
+            let mut node_budget = budget.clone();
             let outcome = match &plan {
                 Some(plan) => {
                     executor::covers_with_plan(&clause, plan, &db, &examples[i], &mut node_budget)
@@ -907,20 +1090,23 @@ impl CoverageTester for Engine {
         examples: &Arc<Vec<Tuple>>,
         pairs: &Arc<Vec<(usize, usize)>>,
     ) -> Box<dyn Fn(usize) -> CoverageOutcome + Send + Sync + 'static> {
-        let db = Arc::clone(&self.db);
+        let db = self.snapshot();
         let metrics = Arc::clone(self.runtime.metrics());
-        let budget = self.config.eval_budget;
+        let budget = self.budget_template();
         let canonicals = Arc::clone(canonicals);
         let examples = Arc::clone(examples);
         let pairs = Arc::clone(pairs);
-        let plans: Option<Vec<Arc<ClausePlan>>> = self
-            .config
-            .compile_plans
-            .then(|| canonicals.iter().map(|c| self.plan_for(c)).collect());
+        let plans: Option<Vec<Arc<ClausePlan>>> = self.config.compile_plans.then(|| {
+            let stats = self.statistics();
+            canonicals
+                .iter()
+                .map(|c| self.plan_for(c, &stats))
+                .collect()
+        });
         Box::new(move |i| {
             let (slot, ei) = pairs[i];
             EngineStats::bump(&metrics.coverage_tests);
-            let mut node_budget = EvalBudget::new(budget);
+            let mut node_budget = budget.clone();
             let outcome = match &plans {
                 Some(plans) => executor::covers_with_plan(
                     &canonicals[slot],
@@ -1131,8 +1317,39 @@ mod tests {
         }
         let report = batched.report();
         assert!(report.batches >= 1, "trie path not taken: {report}");
-        assert_eq!(report.batch_clauses, beam.len() * 2); // pos + neg pass
+        // The positive and negative passes are fused into one trie walk:
+        // the beam is submitted once, not once per class.
+        assert_eq!(report.batch_clauses, beam.len());
         assert!(report.batch_prefix_hits > 0, "no shared probes: {report}");
+    }
+
+    #[test]
+    fn fused_counts_ignore_duplicate_examples_like_two_passes() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let beam = sibling_beam();
+        // Duplicates inside a class and across classes: counts stay
+        // set-semantic, exactly like two covered_set passes.
+        let positive = vec![
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["carol", "dan"]),
+        ];
+        let negative = vec![
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["eve", "eve"]),
+        ];
+        let counts = engine.coverage_counts_batch(&beam, &positive, &negative);
+        let solo = Engine::new(&db, EngineConfig::default());
+        for (clause, counts) in beam.iter().zip(counts) {
+            let pos = solo.covered_set(clause, &positive, Prior::None).len();
+            let neg = solo.covered_set(clause, &negative, Prior::None).len();
+            assert_eq!(
+                (counts.positive, counts.negative),
+                (pos, neg),
+                "on {clause}"
+            );
+        }
     }
 
     #[test]
@@ -1258,5 +1475,127 @@ mod tests {
         let sets = engine.covered_sets_batch(&beam, &examples);
         assert!(sets.iter().all(HashSet::is_empty));
         assert!(engine.report().budget_exhausted > 0);
+    }
+
+    #[test]
+    fn mutations_are_visible_and_invalidate_plans_and_cache() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let clause = collaborated("x", "y", "p");
+        let example = Tuple::from_strs(&["ann", "eve"]);
+        assert!(!engine.covers(&clause, &example));
+        // Make ann and eve co-authors after the engine was built.
+        let batch = MutationBatch::new().insert("publication", Tuple::from_strs(&["p3", "ann"]));
+        let summary = engine.apply(&batch).unwrap();
+        assert_eq!(summary.inserted, 1);
+        let report = engine.report();
+        assert_eq!(report.mutation_batches, 1);
+        assert!(
+            report.cache_clauses_invalidated >= 1,
+            "stale coverage survived: {report}"
+        );
+        // The next test sees the new tuple: the cached plan fails its epoch
+        // check, recompiles, and the stale cached verdict is gone.
+        assert!(engine.covers(&clause, &example));
+        assert!(engine.report().plans_invalidated >= 1);
+        // Equivalent to a fresh snapshot engine over the mutated database.
+        let fresh = Engine::from_arc(engine.snapshot(), EngineConfig::default());
+        let examples = batch_examples();
+        assert_eq!(
+            engine.covered_set(&clause, &examples, Prior::None),
+            fresh.covered_set(&clause, &examples, Prior::None)
+        );
+    }
+
+    #[test]
+    fn removal_revokes_previously_covered_examples() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let clause = collaborated("x", "y", "p");
+        let example = Tuple::from_strs(&["ann", "bob"]);
+        assert!(engine.covers(&clause, &example));
+        let batch = MutationBatch::new().remove("publication", Tuple::from_strs(&["p1", "bob"]));
+        engine.apply(&batch).unwrap();
+        assert!(!engine.covers(&clause, &example));
+        // Statistics were refreshed incrementally alongside the data.
+        assert_eq!(
+            engine
+                .statistics()
+                .relation("publication")
+                .unwrap()
+                .cardinality,
+            4
+        );
+    }
+
+    #[test]
+    fn failed_batches_are_not_counted_as_applied() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let batch = MutationBatch::new()
+            .insert("publication", Tuple::from_strs(&["p9", "zoe"]))
+            .insert("missing", Tuple::from_strs(&["x"]));
+        assert!(engine.apply(&batch).is_err());
+        assert_eq!(engine.report().mutation_batches, 0);
+        // The op before the failure is applied and statistics stayed in
+        // sync with it (refreshed even on the error path).
+        assert!(engine
+            .snapshot()
+            .contains("publication", &Tuple::from_strs(&["p9", "zoe"])));
+        assert_eq!(
+            engine
+                .statistics()
+                .relation("publication")
+                .unwrap()
+                .cardinality,
+            6
+        );
+    }
+
+    #[test]
+    fn mutations_of_unreferenced_relations_keep_the_cache() {
+        let mut schema = Schema::new("demo");
+        schema.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+        schema.add_relation(RelationSymbol::new("untouched", &["x"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        db.insert("publication", Tuple::from_strs(&["p1", "ann"]))
+            .unwrap();
+        db.insert("publication", Tuple::from_strs(&["p1", "bob"]))
+            .unwrap();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let clause = collaborated("x", "y", "p");
+        let example = Tuple::from_strs(&["ann", "bob"]);
+        engine.covers(&clause, &example);
+        let batch = MutationBatch::new().insert("untouched", Tuple::from_strs(&["v"]));
+        engine.apply(&batch).unwrap();
+        let before = engine.report();
+        assert!(engine.covers(&clause, &example));
+        let after = engine.report();
+        // Answered from cache: the mutated relation is not referenced.
+        assert_eq!(after.coverage_tests, before.coverage_tests);
+        assert_eq!(after.cache_clauses_invalidated, 0);
+        assert_eq!(after.plans_invalidated, 0);
+    }
+
+    #[test]
+    fn session_budget_override_and_cancellation_token() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default().without_cache());
+        let clause = collaborated("x", "y", "p");
+        let example = Tuple::from_strs(&["ann", "bob"]);
+        assert!(engine.covers(&clause, &example));
+        // Budget override: zero nodes → exhaustion.
+        engine.set_eval_budget(0);
+        assert!(!engine.covers(&clause, &example));
+        engine.set_eval_budget(engine.config().eval_budget);
+        assert!(engine.covers(&clause, &example));
+        // Cancellation: a set token aborts every test as an exhaustion.
+        let token = Arc::new(AtomicBool::new(true));
+        engine.set_cancel_token(Some(Arc::clone(&token)));
+        let before = engine.report().budget_exhausted;
+        assert!(!engine.covers(&clause, &example));
+        assert!(engine.report().budget_exhausted > before);
+        engine.set_cancel_token(None);
+        assert!(engine.covers(&clause, &example));
     }
 }

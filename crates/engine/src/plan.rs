@@ -26,6 +26,12 @@ pub struct PlanStep {
 /// A compiled evaluation plan for one clause, assuming the head variables
 /// are bound to an example before execution (the coverage-test calling
 /// convention).
+///
+/// The plan records the mutation epoch of every relation it was costed
+/// against ([`ClausePlan::epochs`]); [`ClausePlan::is_current`] compares
+/// them with the live statistics so a plan compiled before a mutation batch
+/// is detected as stale on the very next fetch and re-planned — stale-plan
+/// reuse is impossible by construction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClausePlan {
     /// The body literal order to execute.
@@ -33,9 +39,34 @@ pub struct ClausePlan {
     /// Sum of estimated candidate counts along the chosen order (kept for
     /// introspection and tests; not used at execution time).
     pub estimated_cost: f64,
+    /// `(relation, epoch)` for every body relation known to the statistics
+    /// the plan was costed against, in name order.
+    pub epochs: Vec<(String, u64)>,
 }
 
 impl ClausePlan {
+    /// Whether the plan's costing is still current: every relation it was
+    /// costed against sits at the same mutation epoch in `stats`.
+    pub fn is_current(&self, stats: &DatabaseStatistics) -> bool {
+        self.epochs
+            .iter()
+            .all(|(name, epoch)| stats.epoch_of(name) == Some(*epoch))
+    }
+
+    /// The `(relation, epoch)` stamps for every relation of `atoms` present
+    /// in `stats`, deduplicated in name order. Shared with the batched trie
+    /// planner in [`crate::batch`].
+    pub(crate) fn stamp_epochs<'a, I>(atoms: I, stats: &DatabaseStatistics) -> Vec<(String, u64)>
+    where
+        I: IntoIterator<Item = &'a castor_logic::Atom>,
+    {
+        let names: BTreeSet<&str> = atoms.into_iter().map(|a| a.relation.as_str()).collect();
+        names
+            .into_iter()
+            .filter_map(|name| stats.epoch_of(name).map(|e| (name.to_string(), e)))
+            .collect()
+    }
+
     /// Compiles a join order for `clause` using greedy cost estimation:
     /// starting from the bound set {head variables ∪ constants}, repeatedly
     /// pick the literal with the smallest estimated candidate count given
@@ -87,6 +118,7 @@ impl ClausePlan {
         ClausePlan {
             steps,
             estimated_cost,
+            epochs: ClausePlan::stamp_epochs(&clause.body, stats),
         }
     }
 }
@@ -207,5 +239,46 @@ mod tests {
         let plan = ClausePlan::compile(&clause, &stats());
         assert!(plan.steps.is_empty());
         assert_eq!(plan.estimated_cost, 0.0);
+        assert!(plan.epochs.is_empty());
+    }
+
+    #[test]
+    fn plans_record_epochs_and_detect_staleness() {
+        let mut schema = Schema::new("s");
+        schema
+            .add_relation(RelationSymbol::new("big", &["a", "b"]))
+            .add_relation(RelationSymbol::new("small", &["a"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        db.insert("big", Tuple::from_strs(&["k1", "1"])).unwrap();
+        db.insert("small", Tuple::from_strs(&["k1"])).unwrap();
+        let mut stats = DatabaseStatistics::gather(&db);
+        let clause = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("big", &["x", "y"]), Atom::vars("small", &["x"])],
+        );
+        let plan = ClausePlan::compile(&clause, &stats);
+        assert_eq!(
+            plan.epochs,
+            vec![("big".to_string(), 1), ("small".to_string(), 1)]
+        );
+        assert!(plan.is_current(&stats));
+        // Mutating a relation the plan was costed against makes it stale.
+        db.insert("big", Tuple::from_strs(&["k2", "2"])).unwrap();
+        stats.refresh(&db);
+        assert!(!plan.is_current(&stats));
+        let recompiled = ClausePlan::compile(&clause, &stats);
+        assert!(recompiled.is_current(&stats));
+    }
+
+    #[test]
+    fn unknown_relations_are_not_stamped() {
+        let clause = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("missing", &["x"]), Atom::vars("small", &["x"])],
+        );
+        let plan = ClausePlan::compile(&clause, &stats());
+        assert_eq!(plan.epochs.len(), 1);
+        assert_eq!(plan.epochs[0].0, "small");
+        assert!(plan.is_current(&stats()));
     }
 }

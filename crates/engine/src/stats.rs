@@ -1,23 +1,29 @@
 //! Database-wide selectivity statistics and engine counters.
 //!
-//! The statistics snapshot is taken once when the engine is built (reading
-//! only the per-attribute hash indexes the database already maintains) and
-//! drives clause-plan compilation: join orders are chosen from estimated
-//! access-path costs instead of being re-derived at every backtracking
-//! node. The counters mirror what the paper's implementation reports for
-//! its ablations: number of coverage tests, cache behavior, and — new in
-//! this reproduction — how many tests ended by budget exhaustion rather
-//! than a definite verdict.
+//! The statistics are read off the per-attribute hash indexes the database
+//! already maintains and drive clause-plan compilation: join orders are
+//! chosen from estimated access-path costs instead of being re-derived at
+//! every backtracking node. Each relation's entry is stamped with the
+//! *mutation epoch* it was read at, so after a mutation batch
+//! [`DatabaseStatistics::refresh`] re-reads only the relations whose epoch
+//! advanced — incremental maintenance instead of a full re-gather — and
+//! compiled plans can compare the epochs they were costed against with the
+//! current ones to detect staleness. The counters mirror what the paper's
+//! implementation reports for its ablations: number of coverage tests,
+//! cache behavior, and — new in this reproduction — how many tests ended by
+//! budget exhaustion rather than a definite verdict, plus plan/cache
+//! invalidation traffic caused by mutations.
 
 use castor_relational::{DatabaseInstance, RelationStatistics};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Per-relation selectivity statistics for a whole database instance.
+/// Per-relation selectivity statistics for a whole database instance, each
+/// entry stamped with the relation's mutation epoch at read time.
 #[derive(Debug, Clone, Default)]
 pub struct DatabaseStatistics {
-    relations: HashMap<String, RelationStatistics>,
+    relations: HashMap<String, (RelationStatistics, u64)>,
 }
 
 impl DatabaseStatistics {
@@ -26,14 +32,39 @@ impl DatabaseStatistics {
         DatabaseStatistics {
             relations: db
                 .relations()
-                .map(|r| (r.name().to_string(), r.statistics()))
+                .map(|r| (r.name().to_string(), (r.statistics(), r.epoch())))
                 .collect(),
         }
     }
 
+    /// Re-reads statistics for exactly the relations whose mutation epoch
+    /// advanced since this snapshot was taken, returning their names. This
+    /// is the incremental-maintenance entry point a serving layer calls
+    /// after applying a mutation batch.
+    pub fn refresh(&mut self, db: &DatabaseInstance) -> Vec<String> {
+        let mut changed = Vec::new();
+        for r in db.relations() {
+            let epoch = r.epoch();
+            match self.relations.get(r.name()) {
+                Some((_, stamped)) if *stamped == epoch => {}
+                _ => {
+                    self.relations
+                        .insert(r.name().to_string(), (r.statistics(), epoch));
+                    changed.push(r.name().to_string());
+                }
+            }
+        }
+        changed
+    }
+
     /// Statistics for one relation, if it exists.
     pub fn relation(&self, name: &str) -> Option<&RelationStatistics> {
-        self.relations.get(name)
+        self.relations.get(name).map(|(stats, _)| stats)
+    }
+
+    /// The mutation epoch one relation's statistics were read at.
+    pub fn epoch_of(&self, name: &str) -> Option<u64> {
+        self.relations.get(name).map(|(_, epoch)| *epoch)
     }
 
     /// Number of relations covered by the snapshot.
@@ -65,6 +96,15 @@ pub struct EngineStats {
     pub plans_compiled: AtomicUsize,
     /// Plan lookups answered from the plan cache.
     pub plan_cache_hits: AtomicUsize,
+    /// Cached plans discarded because a relation they were costed against
+    /// mutated (the epoch check on plan fetch failed); each is followed by
+    /// a recompilation against fresh statistics.
+    pub plans_invalidated: AtomicUsize,
+    /// Cached-coverage clauses dropped because they reference a mutated
+    /// relation.
+    pub cache_clauses_invalidated: AtomicUsize,
+    /// Mutation batches applied to the engine's live database.
+    pub mutation_batches: AtomicUsize,
     /// Batched evaluations executed through a shared-prefix trie.
     pub batches: AtomicUsize,
     /// Candidate clauses submitted through the batch API.
@@ -105,6 +145,9 @@ impl EngineStats {
             budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
             plans_compiled: self.plans_compiled.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plans_invalidated: self.plans_invalidated.load(Ordering::Relaxed),
+            cache_clauses_invalidated: self.cache_clauses_invalidated.load(Ordering::Relaxed),
+            mutation_batches: self.mutation_batches.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batch_clauses: self.batch_clauses.load(Ordering::Relaxed),
             batch_prefix_hits: self.batch_prefix_hits.load(Ordering::Relaxed),
@@ -131,6 +174,12 @@ pub struct EngineReport {
     pub plans_compiled: usize,
     /// Plan lookups served from cache.
     pub plan_cache_hits: usize,
+    /// Cached plans discarded by the epoch check after a mutation.
+    pub plans_invalidated: usize,
+    /// Cached-coverage clauses dropped because a referenced relation mutated.
+    pub cache_clauses_invalidated: usize,
+    /// Mutation batches applied to the live database.
+    pub mutation_batches: usize,
     /// Batched (shared-prefix trie) evaluations executed.
     pub batches: usize,
     /// Candidate clauses submitted through the batch API.
@@ -153,10 +202,53 @@ impl EngineReport {
             budget_exhausted: self.budget_exhausted + other.budget_exhausted,
             plans_compiled: self.plans_compiled + other.plans_compiled,
             plan_cache_hits: self.plan_cache_hits + other.plan_cache_hits,
+            plans_invalidated: self.plans_invalidated + other.plans_invalidated,
+            cache_clauses_invalidated: self.cache_clauses_invalidated
+                + other.cache_clauses_invalidated,
+            mutation_batches: self.mutation_batches + other.mutation_batches,
             batches: self.batches + other.batches,
             batch_clauses: self.batch_clauses + other.batch_clauses,
             batch_prefix_hits: self.batch_prefix_hits + other.batch_prefix_hits,
             batch_suffix_forks: self.batch_suffix_forks + other.batch_suffix_forks,
+        }
+    }
+
+    /// Element-wise difference against an earlier snapshot of the *same*
+    /// counters (saturating, since relaxed atomics may be read mid-update).
+    /// Serving sessions use this to attribute shared-engine activity to the
+    /// session whose job produced it.
+    pub fn delta_since(&self, baseline: &EngineReport) -> EngineReport {
+        EngineReport {
+            coverage_tests: self.coverage_tests.saturating_sub(baseline.coverage_tests),
+            cache_hits: self.cache_hits.saturating_sub(baseline.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(baseline.cache_misses),
+            generality_skips: self
+                .generality_skips
+                .saturating_sub(baseline.generality_skips),
+            budget_exhausted: self
+                .budget_exhausted
+                .saturating_sub(baseline.budget_exhausted),
+            plans_compiled: self.plans_compiled.saturating_sub(baseline.plans_compiled),
+            plan_cache_hits: self
+                .plan_cache_hits
+                .saturating_sub(baseline.plan_cache_hits),
+            plans_invalidated: self
+                .plans_invalidated
+                .saturating_sub(baseline.plans_invalidated),
+            cache_clauses_invalidated: self
+                .cache_clauses_invalidated
+                .saturating_sub(baseline.cache_clauses_invalidated),
+            mutation_batches: self
+                .mutation_batches
+                .saturating_sub(baseline.mutation_batches),
+            batches: self.batches.saturating_sub(baseline.batches),
+            batch_clauses: self.batch_clauses.saturating_sub(baseline.batch_clauses),
+            batch_prefix_hits: self
+                .batch_prefix_hits
+                .saturating_sub(baseline.batch_prefix_hits),
+            batch_suffix_forks: self
+                .batch_suffix_forks
+                .saturating_sub(baseline.batch_suffix_forks),
         }
     }
 
@@ -176,7 +268,8 @@ impl fmt::Display for EngineReport {
         write!(
             f,
             "tests={} cache={}/{} ({:.0}% hit) generality-skips={} budget-exhausted={} plans={} (+{} reused) \
-             batches={}/{} clauses (prefix-hits={} suffix-forks={})",
+             batches={}/{} clauses (prefix-hits={} suffix-forks={}) \
+             mutations={} (plans-invalidated={} cache-clauses-invalidated={})",
             self.coverage_tests,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
@@ -189,6 +282,9 @@ impl fmt::Display for EngineReport {
             self.batch_clauses,
             self.batch_prefix_hits,
             self.batch_suffix_forks,
+            self.mutation_batches,
+            self.plans_invalidated,
+            self.cache_clauses_invalidated,
         )
     }
 }
@@ -244,5 +340,38 @@ mod tests {
         assert_eq!(doubled.batch_prefix_hits, 20);
         assert_eq!(doubled.batch_suffix_forks, 8);
         assert!(report.to_string().contains("batches=1/6 clauses"));
+    }
+
+    #[test]
+    fn refresh_rereads_only_mutated_relations() {
+        let mut schema = Schema::new("s");
+        schema
+            .add_relation(RelationSymbol::new("a", &["x"]))
+            .add_relation(RelationSymbol::new("b", &["y"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        db.insert("a", Tuple::from_strs(&["1"])).unwrap();
+        let mut stats = DatabaseStatistics::gather(&db);
+        assert_eq!(stats.epoch_of("a"), Some(1));
+        assert_eq!(stats.refresh(&db), Vec::<String>::new());
+        db.insert("a", Tuple::from_strs(&["2"])).unwrap();
+        db.remove("a", &Tuple::from_strs(&["1"])).unwrap();
+        assert_eq!(stats.refresh(&db), vec!["a".to_string()]);
+        assert_eq!(stats.relation("a").unwrap().cardinality, 1);
+        assert_eq!(stats.epoch_of("a"), Some(3));
+        assert_eq!(stats.epoch_of("b"), Some(0));
+    }
+
+    #[test]
+    fn delta_since_isolates_new_activity() {
+        let stats = EngineStats::new();
+        EngineStats::add(&stats.coverage_tests, 5);
+        let baseline = stats.snapshot();
+        EngineStats::add(&stats.coverage_tests, 3);
+        EngineStats::bump(&stats.mutation_batches);
+        let delta = stats.snapshot().delta_since(&baseline);
+        assert_eq!(delta.coverage_tests, 3);
+        assert_eq!(delta.mutation_batches, 1);
+        assert_eq!(delta.cache_hits, 0);
+        assert!(delta.to_string().contains("mutations=1"));
     }
 }

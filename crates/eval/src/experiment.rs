@@ -1,12 +1,18 @@
 //! Cross-validated experiment runs over the schema variants of a dataset
 //! family, producing the rows of the paper's result tables.
+//!
+//! Runs go through the serving layer: one [`Server`] per variant run owns
+//! the variant's long-lived engine (coverage cache and compiled plans
+//! shared across every fold), and each fold's learner executes as a
+//! [`LearnJob`] on a [`castor_service::Session`] — the same code path a
+//! production deployment serves concurrent learning sessions with.
 
-use crate::metrics::{evaluate_definition_with_engine, EvaluationResult};
-use castor_core::{Castor, CastorConfig};
+use crate::metrics::{evaluate_definition_with_session, EvaluationResult};
+use castor_core::CastorConfig;
 use castor_datasets::{cross_validation_folds, DatasetVariant, SchemaFamily};
-use castor_engine::Engine;
-use castor_learners::{Foil, Golem, LearnerParams, ProGolem, Progol};
+use castor_learners::LearnerParams;
 use castor_logic::Definition;
+use castor_service::{LearnAlgorithm, LearnJob, Server, ServerConfig};
 use std::time::{Duration, Instant};
 
 /// The algorithms compared in the paper's experiments.
@@ -85,6 +91,42 @@ fn params_for(variant: &DatasetVariant, base: &LearnerParams) -> LearnerParams {
     }
 }
 
+/// The serving-layer learner selection for one algorithm kind, with the
+/// paper's per-algorithm parameter adjustments applied.
+fn learn_algorithm_for(
+    algorithm: &AlgorithmKind,
+    params: &LearnerParams,
+    base_params: &LearnerParams,
+) -> LearnAlgorithm {
+    match algorithm {
+        AlgorithmKind::Foil => {
+            let mut params = params.clone();
+            params.allow_constants = true;
+            LearnAlgorithm::Foil(params)
+        }
+        AlgorithmKind::AlephFoil(clause_length) => {
+            let mut params = params.clone();
+            params.clause_length = *clause_length;
+            params.beam_width = 1; // greedy (openlist = 1)
+            LearnAlgorithm::Progol(params)
+        }
+        AlgorithmKind::AlephProgol(clause_length) => {
+            let mut params = params.clone();
+            params.clause_length = *clause_length;
+            params.beam_width = params.beam_width.max(3);
+            LearnAlgorithm::Progol(params)
+        }
+        AlgorithmKind::Golem => LearnAlgorithm::Golem(params.clone()),
+        AlgorithmKind::ProGolem => LearnAlgorithm::ProGolem(params.clone()),
+        AlgorithmKind::Castor(config) => {
+            let mut config = config.clone();
+            config.params = params.clone();
+            config.params.threads = config.params.threads.max(base_params.threads);
+            LearnAlgorithm::Castor(Box::new(config))
+        }
+    }
+}
+
 /// Runs one algorithm on one variant with `folds`-fold cross validation.
 pub fn run_algorithm_on_variant(
     algorithm: &AlgorithmKind,
@@ -95,55 +137,37 @@ pub fn run_algorithm_on_variant(
     let mut evaluation = EvaluationResult::default();
     let mut total_time = Duration::ZERO;
     let mut sample_definition = Definition::empty(variant.task.target.clone());
-    // One evaluation engine per variant: its coverage cache and compiled
+    // One server-owned engine per variant: its coverage cache and compiled
     // plans are shared across every fold of the run, and test-split
     // evaluation reuses results the learner already computed. The variant's
     // instance is `Arc`-shared into the engine — no deep copy.
-    let engine = Engine::from_arc(
-        std::sync::Arc::clone(&variant.db),
-        params_for(variant, base_params).engine_config(),
+    let params = params_for(variant, base_params);
+    let server = Server::new(
+        ServerConfig::default()
+            .with_threads(params.threads)
+            .with_engine(params.engine_config()),
     );
+    server
+        .register(&variant.name, std::sync::Arc::clone(&variant.db))
+        .expect("variant registered once per run");
+    let session = server
+        .session(&variant.name)
+        .expect("variant was just registered");
 
     for (i, fold) in cross_validation_folds(&variant.task, folds)
         .iter()
         .enumerate()
     {
-        let params = params_for(variant, base_params);
         let start = Instant::now();
-        let definition = match algorithm {
-            AlgorithmKind::Foil => {
-                let mut params = params.clone();
-                params.allow_constants = true;
-                Foil::new().learn_with_engine(&engine, &fold.train, &params)
-            }
-            AlgorithmKind::AlephFoil(clause_length) => {
-                let mut params = params.clone();
-                params.clause_length = *clause_length;
-                params.beam_width = 1; // greedy (openlist = 1)
-                Progol::new().learn_with_engine(&engine, &fold.train, &params)
-            }
-            AlgorithmKind::AlephProgol(clause_length) => {
-                let mut params = params.clone();
-                params.clause_length = *clause_length;
-                params.beam_width = params.beam_width.max(3);
-                Progol::new().learn_with_engine(&engine, &fold.train, &params)
-            }
-            AlgorithmKind::Golem => Golem::new().learn_with_engine(&engine, &fold.train, &params),
-            AlgorithmKind::ProGolem => {
-                ProGolem::new().learn_with_engine(&engine, &fold.train, &params)
-            }
-            AlgorithmKind::Castor(config) => {
-                let mut config = config.clone();
-                config.params = params.clone();
-                config.params.threads = config.params.threads.max(base_params.threads);
-                Castor::new(config)
-                    .learn_shared(&variant.db, &fold.train)
-                    .definition
-            }
-        };
+        let definition = session
+            .learn(LearnJob {
+                task: fold.train.clone(),
+                algorithm: learn_algorithm_for(algorithm, &params, base_params),
+            })
+            .expect("experiment sessions are never cancelled");
         total_time += start.elapsed();
-        let fold_eval = evaluate_definition_with_engine(
-            &engine,
+        let fold_eval = evaluate_definition_with_session(
+            &session,
             &definition,
             &fold.test_positive,
             &fold.test_negative,

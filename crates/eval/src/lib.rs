@@ -11,6 +11,7 @@ pub mod report;
 
 pub use experiment::{run_algorithm_over_family, AlgorithmKind, ExperimentRow};
 pub use metrics::{
-    evaluate_definition, evaluate_definition_with_engine, schema_independent, EvaluationResult,
+    evaluate_definition, evaluate_definition_with_engine, evaluate_definition_with_session,
+    schema_independent, EvaluationResult,
 };
 pub use report::render_table;

@@ -56,6 +56,47 @@ impl EvaluationResult {
     }
 }
 
+/// Evaluates a learned definition through a serving-layer session: the
+/// definition's clauses and both test splits go to the session's database
+/// queue as one batched coverage job, so fold evaluation shares the
+/// engine's memoized coverage and compiled plans with the learner run that
+/// produced the definition.
+pub fn evaluate_definition_with_session(
+    session: &castor_service::Session,
+    definition: &Definition,
+    test_positive: &[Tuple],
+    test_negative: &[Tuple],
+) -> EvaluationResult {
+    if definition.clauses.is_empty() {
+        return EvaluationResult {
+            true_positives: 0,
+            false_positives: 0,
+            false_negatives: test_positive.len(),
+        };
+    }
+    let mut examples: Vec<Tuple> = Vec::with_capacity(test_positive.len() + test_negative.len());
+    examples.extend_from_slice(test_positive);
+    examples.extend_from_slice(test_negative);
+    let sets = session
+        .covered_sets(definition.clauses.clone(), examples)
+        .expect("evaluation sessions are never cancelled");
+    let covered_by_any: std::collections::HashSet<&Tuple> =
+        sets.iter().flat_map(|set| set.iter()).collect();
+    let true_positives = test_positive
+        .iter()
+        .filter(|e| covered_by_any.contains(e))
+        .count();
+    let false_positives = test_negative
+        .iter()
+        .filter(|e| covered_by_any.contains(e))
+        .count();
+    EvaluationResult {
+        true_positives,
+        false_positives,
+        false_negatives: test_positive.len() - true_positives,
+    }
+}
+
 /// Evaluates a learned definition through a shared evaluation engine
 /// (compiled plans + memoized coverage), so repeated evaluations of
 /// overlapping definitions across folds reuse cached results.
@@ -158,6 +199,27 @@ mod tests {
         assert_eq!(
             evaluate_definition_with_engine(&engine, &p_definition(), &pos, &neg),
             evaluate_definition(&p_definition(), &db, &pos, &neg)
+        );
+    }
+
+    #[test]
+    fn session_evaluation_matches_reference() {
+        let db = db();
+        let server = castor_service::Server::new(castor_service::ServerConfig::default());
+        server
+            .register("t", std::sync::Arc::new(db.clone()))
+            .unwrap();
+        let session = server.session("t").unwrap();
+        let pos = [Tuple::from_strs(&["a"]), Tuple::from_strs(&["zz"])];
+        let neg = [Tuple::from_strs(&["b"]), Tuple::from_strs(&["yy"])];
+        assert_eq!(
+            evaluate_definition_with_session(&session, &p_definition(), &pos, &neg),
+            evaluate_definition(&p_definition(), &db, &pos, &neg)
+        );
+        // Empty definitions never submit a job.
+        assert_eq!(
+            evaluate_definition_with_session(&session, &Definition::empty("t"), &pos, &neg),
+            evaluate_definition(&Definition::empty("t"), &db, &pos, &neg)
         );
     }
 

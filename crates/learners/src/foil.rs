@@ -153,7 +153,8 @@ impl ClauseLearner for FoilWithTarget<'_> {
         negative: &[Tuple],
         params: &LearnerParams,
     ) -> Option<Clause> {
-        let db = engine.db();
+        let db = engine.snapshot();
+        let db = db.as_ref();
         let head_vars: Vec<&str> = HEAD_VAR_NAMES
             .iter()
             .take(self.target_arity)

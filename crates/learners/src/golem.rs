@@ -84,7 +84,8 @@ impl ClauseLearner for GolemClauseLearner {
         negative: &[Tuple],
         params: &LearnerParams,
     ) -> Option<Clause> {
-        let db = engine.db();
+        let db = engine.snapshot();
+        let db = db.as_ref();
         // Sample E+_S: the first K uncovered positives (deterministic order
         // keeps the experiments reproducible; the paper samples randomly).
         let sample: Vec<&Tuple> = uncovered.iter().take(params.sample_size.max(2)).collect();

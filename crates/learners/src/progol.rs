@@ -65,7 +65,8 @@ impl ClauseLearner for ProgolClauseLearner {
         negative: &[Tuple],
         params: &LearnerParams,
     ) -> Option<Clause> {
-        let db = engine.db();
+        let db = engine.snapshot();
+        let db = db.as_ref();
         let seed = uncovered.first()?;
         let config = BottomClauseConfig {
             max_iterations: params.max_iterations,

@@ -53,10 +53,18 @@ impl CoverageOutcome {
 
 /// A consumable node budget for one evaluation, tracking whether it ever ran
 /// dry (which downgrades a "not covered" verdict to "exhausted").
+///
+/// A budget can additionally carry a *cancellation token* (an
+/// `Arc<AtomicBool>` shared with a serving layer): once the token is set,
+/// the next [`EvalBudget::consume`] fails exactly like an exhausted budget,
+/// so a long-running coverage job unwinds through its normal
+/// budget-exhaustion path within one candidate tuple of the cancel request.
 #[derive(Debug, Clone)]
 pub struct EvalBudget {
     remaining: usize,
     exhausted: bool,
+    cancelled: bool,
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl EvalBudget {
@@ -65,13 +73,37 @@ impl EvalBudget {
         EvalBudget {
             remaining: nodes,
             exhausted: false,
+            cancelled: false,
+            cancel: None,
+        }
+    }
+
+    /// A budget of `nodes` candidate tuples that also aborts (as an
+    /// exhaustion) once `cancel` is set.
+    pub fn with_cancel(
+        nodes: usize,
+        cancel: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) -> Self {
+        EvalBudget {
+            remaining: nodes,
+            exhausted: false,
+            cancelled: false,
+            cancel: Some(cancel),
         }
     }
 
     /// Consumes one node; returns `false` (and records exhaustion) when the
-    /// budget has run out. Public so alternative executors (the compiled
-    /// plans of `castor-engine`) share the same accounting.
+    /// budget has run out or the cancellation token was set. Public so
+    /// alternative executors (the compiled plans of `castor-engine`) share
+    /// the same accounting.
     pub fn consume(&mut self) -> bool {
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                self.cancelled = true;
+                self.exhausted = true;
+                return false;
+            }
+        }
         if self.remaining == 0 {
             self.exhausted = true;
             return false;
@@ -83,6 +115,12 @@ impl EvalBudget {
     /// Whether the budget ran out at any point during the search.
     pub fn was_exhausted(&self) -> bool {
         self.exhausted
+    }
+
+    /// Whether the search was aborted by the cancellation token (implies
+    /// [`EvalBudget::was_exhausted`]).
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled
     }
 
     /// Nodes still available.
@@ -530,5 +568,27 @@ mod tests {
         let before = budget.remaining();
         covers_example_budgeted(&c, &db, &Tuple::from_strs(&["ann", "bob"]), &mut budget);
         assert!(budget.remaining() < before);
+    }
+
+    #[test]
+    fn cancellation_token_aborts_as_exhaustion() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let token = Arc::new(AtomicBool::new(false));
+        let mut budget = EvalBudget::with_cancel(1_000, Arc::clone(&token));
+        assert!(budget.consume());
+        assert!(!budget.was_cancelled());
+        token.store(true, Ordering::Relaxed);
+        assert!(!budget.consume());
+        assert!(budget.was_exhausted());
+        assert!(budget.was_cancelled());
+        // A cancelled search reports Exhausted through the normal path.
+        let db = collaboration_db();
+        let c = collaborated_clause();
+        let mut cancelled = EvalBudget::with_cancel(1_000, token);
+        assert_eq!(
+            covers_example_budgeted(&c, &db, &Tuple::from_strs(&["ann", "bob"]), &mut cancelled),
+            CoverageOutcome::Exhausted
+        );
     }
 }

@@ -45,7 +45,8 @@ pub use minimize::minimize_clause;
 pub use safety::is_safe;
 pub use substitution::Substitution;
 pub use subsumption::{
-    subsumes, subsumes_budgeted, subsumes_budgeted_with, subsumes_with, SubsumptionOutcome,
+    subsumes, subsumes_budgeted, subsumes_budgeted_with, subsumes_with, subsumes_with_eval_budget,
+    SubsumptionOutcome,
 };
 pub use term::Term;
 pub use varmap::VariableMap;

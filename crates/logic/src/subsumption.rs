@@ -9,6 +9,7 @@
 
 use crate::atom::Atom;
 use crate::clause::Clause;
+use crate::evaluation::EvalBudget;
 use crate::substitution::Substitution;
 use crate::term::Term;
 use std::collections::HashMap;
@@ -63,6 +64,18 @@ pub fn subsumes_budgeted_with(
     general: &Clause,
     specific: &Clause,
     node_budget: usize,
+) -> SubsumptionOutcome {
+    subsumes_with_eval_budget(general, specific, &mut EvalBudget::new(node_budget))
+}
+
+/// [`subsumes_budgeted_with`] driven by a caller-supplied [`EvalBudget`],
+/// so a cancellation token installed on the budget aborts the subsumption
+/// search (as an exhaustion) within one candidate literal — the serving
+/// layer cancels θ-subsumption coverage tests through this entry point.
+pub fn subsumes_with_eval_budget(
+    general: &Clause,
+    specific: &Clause,
+    budget: &mut EvalBudget,
 ) -> SubsumptionOutcome {
     // The head must match under θ as well: heads of both clauses use the
     // target relation, so this amounts to unifying the head arguments.
@@ -123,14 +136,13 @@ pub fn subsumes_budgeted_with(
         ordered.push(atom);
     }
 
-    let mut budget = node_budget;
     let mut exhausted = false;
     if search(
         &ordered,
         0,
         &by_relation,
         &mut theta,
-        &mut budget,
+        budget,
         &mut exhausted,
     ) {
         SubsumptionOutcome {
@@ -184,7 +196,7 @@ fn search(
     index: usize,
     by_relation: &HashMap<&str, Vec<&Atom>>,
     theta: &mut Substitution,
-    budget: &mut usize,
+    budget: &mut EvalBudget,
     exhausted: &mut bool,
 ) -> bool {
     let Some(general) = ordered.get(index) else {
@@ -195,14 +207,14 @@ fn search(
         .map(|v| v.as_slice())
         .unwrap_or(&[]);
     for candidate in candidates {
-        if *budget == 0 {
-            // The search was actually cut short: only now is a negative
-            // answer approximate (a run that consumed its whole budget on
-            // its final node still decided the question exactly).
+        if !budget.consume() {
+            // The search was actually cut short (budget dry or the
+            // cancellation token set): only now is a negative answer
+            // approximate (a run that consumed its whole budget on its
+            // final node still decided the question exactly).
             *exhausted = true;
             return false;
         }
-        *budget -= 1;
         let mut attempt = theta.clone();
         if match_atom(general, candidate, &mut attempt)
             && search(

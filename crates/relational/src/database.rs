@@ -9,13 +9,20 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// An instance `I` of a schema `R`: a mapping that associates each relation
 /// symbol with a relation instance satisfying the schema's constraints.
+///
+/// Relation instances are held behind `Arc`, so cloning a database is a
+/// shallow copy-on-write snapshot: mutating one relation of a clone deep
+/// copies only that relation (and only when another snapshot still shares
+/// it). Long-lived engines take cheap snapshots per evaluation while a
+/// serving layer keeps mutating the live instance.
 #[derive(Debug, Clone)]
 pub struct DatabaseInstance {
     schema: Schema,
-    relations: BTreeMap<String, RelationInstance>,
+    relations: BTreeMap<String, Arc<RelationInstance>>,
 }
 
 impl DatabaseInstance {
@@ -23,7 +30,12 @@ impl DatabaseInstance {
     pub fn empty(schema: &Schema) -> Self {
         let relations = schema
             .relations()
-            .map(|r| (r.name().to_string(), RelationInstance::empty(r.clone())))
+            .map(|r| {
+                (
+                    r.name().to_string(),
+                    Arc::new(RelationInstance::empty(r.clone())),
+                )
+            })
             .collect();
         DatabaseInstance {
             schema: schema.clone(),
@@ -36,13 +48,18 @@ impl DatabaseInstance {
         &self.schema
     }
 
+    /// The named relation as a mutable reference, copy-on-write: if another
+    /// snapshot still shares the instance it is deep-cloned first.
+    fn relation_mut(&mut self, relation: &str) -> Result<&mut RelationInstance> {
+        self.relations
+            .get_mut(relation)
+            .map(Arc::make_mut)
+            .ok_or_else(|| RelationalError::UnknownRelation(relation.to_string()))
+    }
+
     /// Inserts a tuple into the named relation.
     pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
-        let inst = self
-            .relations
-            .get_mut(relation)
-            .ok_or_else(|| RelationalError::UnknownRelation(relation.to_string()))?;
-        inst.insert(tuple)
+        self.relation_mut(relation)?.insert(tuple)
     }
 
     /// Inserts many tuples into the named relation.
@@ -50,18 +67,54 @@ impl DatabaseInstance {
     where
         I: IntoIterator<Item = Tuple>,
     {
+        let inst = self.relation_mut(relation)?;
         let mut added = 0;
         for t in tuples {
-            if self.insert(relation, t)? {
+            if inst.insert(t)? {
                 added += 1;
             }
         }
         Ok(added)
     }
 
+    /// Removes a tuple from the named relation. Returns `true` if the tuple
+    /// was present.
+    pub fn remove(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        self.relation_mut(relation)?.remove(tuple)
+    }
+
+    /// Removes many tuples from the named relation, returning how many were
+    /// actually present.
+    pub fn remove_all<'a, I>(&mut self, relation: &str, tuples: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
+        let inst = self.relation_mut(relation)?;
+        let mut dropped = 0;
+        for t in tuples {
+            if inst.remove(t)? {
+                dropped += 1;
+            }
+        }
+        Ok(dropped)
+    }
+
+    /// The mutation epoch of one relation (see [`RelationInstance::epoch`]).
+    pub fn epoch_of(&self, relation: &str) -> Option<u64> {
+        self.relations.get(relation).map(|r| r.epoch())
+    }
+
+    /// Every relation's mutation epoch, in name order.
+    pub fn epochs(&self) -> BTreeMap<String, u64> {
+        self.relations
+            .iter()
+            .map(|(name, inst)| (name.clone(), inst.epoch()))
+            .collect()
+    }
+
     /// Looks up the instance of a relation.
     pub fn relation(&self, name: &str) -> Option<&RelationInstance> {
-        self.relations.get(name)
+        self.relations.get(name).map(Arc::as_ref)
     }
 
     /// Looks up the instance of a relation, failing for unknown names.
@@ -72,7 +125,7 @@ impl DatabaseInstance {
 
     /// Iterates over all relation instances in name order.
     pub fn relations(&self) -> impl Iterator<Item = &RelationInstance> {
-        self.relations.values()
+        self.relations.values().map(Arc::as_ref)
     }
 
     /// Total number of tuples across all relations.
@@ -238,6 +291,38 @@ mod tests {
         let equality = InclusionDependency::equality("a", &["x"], "b", &["x"]);
         assert!(db.satisfies_ind(&subset).unwrap());
         assert!(!db.satisfies_ind(&equality).unwrap());
+    }
+
+    #[test]
+    fn remove_and_epochs_track_mutations() {
+        let mut db = populated();
+        assert_eq!(db.epoch_of("student"), Some(2));
+        assert!(db.remove("student", &Tuple::from_strs(&["alice"])).unwrap());
+        assert!(!db.remove("student", &Tuple::from_strs(&["alice"])).unwrap());
+        assert_eq!(db.epoch_of("student"), Some(3));
+        assert_eq!(db.epoch_of("inPhase"), Some(2));
+        assert_eq!(db.relation("student").unwrap().len(), 1);
+        assert!(db.remove("professor", &Tuple::from_strs(&["x"])).is_err());
+        let epochs = db.epochs();
+        assert_eq!(epochs["student"], 3);
+        assert_eq!(epochs["inPhase"], 2);
+    }
+
+    #[test]
+    fn clones_are_copy_on_write_snapshots() {
+        let mut db = populated();
+        let snapshot = db.clone();
+        db.insert("student", Tuple::from_strs(&["carol"])).unwrap();
+        db.remove("inPhase", &Tuple::from_strs(&["bob", "post"]))
+            .unwrap();
+        // The snapshot is untouched by later mutations...
+        assert_eq!(snapshot.relation("student").unwrap().len(), 2);
+        assert!(snapshot.contains("inPhase", &Tuple::from_strs(&["bob", "post"])));
+        assert_eq!(snapshot.epoch_of("student"), Some(2));
+        // ...while the live instance advanced.
+        assert_eq!(db.relation("student").unwrap().len(), 3);
+        assert_eq!(db.epoch_of("student"), Some(3));
+        assert_eq!(db.epoch_of("inPhase"), Some(3));
     }
 
     #[test]

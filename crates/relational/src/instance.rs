@@ -41,6 +41,13 @@ impl RelationStatistics {
 
 /// An instance of a single relation symbol: a set of tuples plus hash
 /// indexes on every attribute position.
+///
+/// Every successful mutation ([`RelationInstance::insert`] /
+/// [`RelationInstance::remove`]) maintains the indexes incrementally and
+/// bumps the instance's *epoch* — a monotonic per-relation version counter
+/// that lets downstream consumers (compiled clause plans, coverage caches)
+/// detect that results costed or computed against an older state of this
+/// relation are stale.
 #[derive(Debug, Clone)]
 pub struct RelationInstance {
     symbol: RelationSymbol,
@@ -49,6 +56,8 @@ pub struct RelationInstance {
     indexes: Vec<HashMap<Value, Vec<usize>>>,
     /// Set of tuples for O(1) duplicate elimination (set semantics).
     present: HashSet<Tuple>,
+    /// Monotonic mutation counter, bumped on every successful insert/remove.
+    epoch: u64,
 }
 
 impl RelationInstance {
@@ -60,7 +69,15 @@ impl RelationInstance {
             tuples: Vec::new(),
             indexes: vec![HashMap::new(); arity],
             present: HashSet::new(),
+            epoch: 0,
         }
+    }
+
+    /// The instance's mutation epoch: 0 at creation, bumped by every
+    /// successful insert or remove. Clones inherit the epoch, so two
+    /// snapshots of the same lineage compare meaningfully.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The relation symbol this instance belongs to.
@@ -105,6 +122,60 @@ impl RelationInstance {
         }
         self.present.insert(tuple.clone());
         self.tuples.push(tuple);
+        self.epoch += 1;
+        Ok(true)
+    }
+
+    /// Removes a tuple, maintaining every positional index incrementally
+    /// (the removed row's posting entries are dropped and the last row is
+    /// swapped into its slot, so removal costs O(arity × posting list)
+    /// rather than a rebuild). Returns `true` if the tuple was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> Result<bool> {
+        if tuple.arity() != self.symbol.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: self.name().to_string(),
+                expected: self.symbol.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        if !self.present.remove(tuple) {
+            return Ok(false);
+        }
+        let row = match tuple.iter().next() {
+            // Locate the row through the first position's posting list.
+            Some(first) => self.indexes[0]
+                .get(first)
+                .and_then(|rows| rows.iter().copied().find(|&r| self.tuples[r] == *tuple))
+                .expect("present tuple must be indexed"),
+            // Zero-arity relation: the single possible tuple is row 0.
+            None => 0,
+        };
+        for (pos, value) in tuple.iter().enumerate() {
+            let list = self.indexes[pos]
+                .get_mut(value)
+                .expect("present tuple must be indexed at every position");
+            list.retain(|&r| r != row);
+            if list.is_empty() {
+                self.indexes[pos].remove(value);
+            }
+        }
+        let last = self.tuples.len() - 1;
+        if row != last {
+            // Re-point the swapped-in last row's posting entries at `row`.
+            let moved = self.tuples[last].clone();
+            for (pos, value) in moved.iter().enumerate() {
+                for r in self.indexes[pos]
+                    .get_mut(value)
+                    .expect("resident tuple must be indexed")
+                {
+                    if *r == last {
+                        *r = row;
+                    }
+                }
+            }
+        }
+        self.tuples.swap_remove(row);
+        self.epoch += 1;
         Ok(true)
     }
 
@@ -320,6 +391,66 @@ mod tests {
         assert!((stats.expected_matches(0) - 1.5).abs() < 1e-9);
         // Out-of-range position falls back to the full cardinality.
         assert!((stats.expected_matches(9) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_maintains_indexes_incrementally() {
+        let mut inst = ta_instance();
+        assert!(inst
+            .remove(&Tuple::from_strs(&["c1", "alice", "t1"]))
+            .unwrap());
+        assert_eq!(inst.len(), 2);
+        assert!(!inst.contains(&Tuple::from_strs(&["c1", "alice", "t1"])));
+        // Index lookups survive the swap-remove row compaction.
+        assert_eq!(inst.select_eq(1, &Value::str("alice")).len(), 1);
+        assert_eq!(inst.select_eq(1, &Value::str("bob")).len(), 1);
+        let hits = inst.select_on_positions(&[0, 1], &[Value::str("c2"), Value::str("alice")]);
+        assert_eq!(hits, vec![&Tuple::from_strs(&["c2", "alice", "t2"])]);
+        // Statistics (read off the indexes) reflect the removal.
+        let stats = inst.statistics();
+        assert_eq!(stats.cardinality, 2);
+        assert_eq!(stats.distinct_per_position, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn remove_absent_tuple_is_a_noop() {
+        let mut inst = ta_instance();
+        let epoch = inst.epoch();
+        assert!(!inst
+            .remove(&Tuple::from_strs(&["c9", "zoe", "t9"]))
+            .unwrap());
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst.epoch(), epoch);
+        assert!(matches!(
+            inst.remove(&Tuple::from_strs(&["wrong", "arity"])),
+            Err(RelationalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn epoch_counts_successful_mutations_only() {
+        let mut inst = ta_instance();
+        let base = inst.epoch();
+        inst.insert(Tuple::from_strs(&["c1", "alice", "t1"]))
+            .unwrap(); // duplicate
+        assert_eq!(inst.epoch(), base);
+        inst.insert(Tuple::from_strs(&["c3", "carol", "t3"]))
+            .unwrap();
+        assert_eq!(inst.epoch(), base + 1);
+        inst.remove(&Tuple::from_strs(&["c3", "carol", "t3"]))
+            .unwrap();
+        assert_eq!(inst.epoch(), base + 2);
+    }
+
+    #[test]
+    fn remove_then_reinsert_round_trips() {
+        let mut inst = ta_instance();
+        let t = Tuple::from_strs(&["c1", "bob", "t1"]);
+        assert!(inst.remove(&t).unwrap());
+        assert!(inst.insert(t.clone()).unwrap());
+        assert!(inst.contains(&t));
+        assert_eq!(inst.select_eq(1, &Value::str("bob")), vec![&t]);
+        assert_eq!(inst.statistics(), ta_instance().statistics());
     }
 
     #[test]

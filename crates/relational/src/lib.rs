@@ -34,6 +34,7 @@ pub mod constraint;
 pub mod database;
 pub mod error;
 pub mod instance;
+pub mod mutation;
 pub mod ops;
 pub mod relation;
 pub mod schema;
@@ -45,6 +46,7 @@ pub use constraint::{Constraint, FunctionalDependency, InclusionDependency};
 pub use database::DatabaseInstance;
 pub use error::RelationalError;
 pub use instance::{RelationInstance, RelationStatistics};
+pub use mutation::{MutationBatch, MutationOp, MutationSummary};
 pub use ops::{natural_join, natural_join_all, project, select_eq};
 pub use relation::RelationSymbol;
 pub use schema::Schema;

@@ -1,0 +1,243 @@
+//! Mutation batches: the unit of change a serving layer applies to a live
+//! database instance.
+//!
+//! A [`MutationBatch`] is an ordered list of inserts and removes across any
+//! number of relations. [`DatabaseInstance::apply_batch`] applies it
+//! in order (later ops see earlier ops, so an insert+remove of the same
+//! tuple in one batch nets out), maintains every positional index and
+//! per-relation epoch incrementally, and reports which relations actually
+//! changed — the invalidation set downstream engines use to drop stale
+//! compiled plans and cached coverage results.
+
+use crate::database::DatabaseInstance;
+use crate::tuple::Tuple;
+use crate::Result;
+use std::collections::BTreeSet;
+
+/// One insert or remove against a named relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Insert the tuple (duplicates are no-ops; relations are sets).
+    Insert {
+        /// Target relation name.
+        relation: String,
+        /// The tuple to insert.
+        tuple: Tuple,
+    },
+    /// Remove the tuple (absent tuples are no-ops).
+    Remove {
+        /// Target relation name.
+        relation: String,
+        /// The tuple to remove.
+        tuple: Tuple,
+    },
+}
+
+impl MutationOp {
+    /// The relation this op targets.
+    pub fn relation(&self) -> &str {
+        match self {
+            MutationOp::Insert { relation, .. } | MutationOp::Remove { relation, .. } => relation,
+        }
+    }
+}
+
+/// An ordered batch of inserts and removes, applied atomically with respect
+/// to the serving layer's job scheduling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationBatch {
+    ops: Vec<MutationOp>,
+}
+
+impl MutationBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        MutationBatch::default()
+    }
+
+    /// Appends an insert (builder style).
+    pub fn insert(mut self, relation: impl Into<String>, tuple: Tuple) -> Self {
+        self.ops.push(MutationOp::Insert {
+            relation: relation.into(),
+            tuple,
+        });
+        self
+    }
+
+    /// Appends a remove (builder style).
+    pub fn remove(mut self, relation: impl Into<String>, tuple: Tuple) -> Self {
+        self.ops.push(MutationOp::Remove {
+            relation: relation.into(),
+            tuple,
+        });
+        self
+    }
+
+    /// Appends many inserts into one relation.
+    pub fn insert_all<I>(mut self, relation: &str, tuples: I) -> Self
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        for tuple in tuples {
+            self.ops.push(MutationOp::Insert {
+                relation: relation.to_string(),
+                tuple,
+            });
+        }
+        self
+    }
+
+    /// The ops in application order.
+    pub fn ops(&self) -> &[MutationOp] {
+        &self.ops
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch contains no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The set of relation names the batch targets (whether or not an op
+    /// ends up changing anything).
+    pub fn touched_relations(&self) -> BTreeSet<String> {
+        self.ops
+            .iter()
+            .map(|op| op.relation().to_string())
+            .collect()
+    }
+}
+
+/// What applying a batch actually changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationSummary {
+    /// Tuples newly inserted (duplicates excluded).
+    pub inserted: usize,
+    /// Tuples actually removed (absent tuples excluded).
+    pub removed: usize,
+    /// Relations whose contents changed — the invalidation set for plans
+    /// and caches costed against the pre-batch state.
+    pub changed_relations: BTreeSet<String>,
+}
+
+impl MutationSummary {
+    /// Whether the batch changed anything at all.
+    pub fn changed(&self) -> bool {
+        !self.changed_relations.is_empty()
+    }
+}
+
+impl DatabaseInstance {
+    /// Applies a mutation batch in op order, maintaining indexes and epochs
+    /// incrementally. Fails fast on the first unknown relation or arity
+    /// mismatch; ops before the failing one remain applied (callers that
+    /// need atomicity validate the batch up front or apply to a clone).
+    pub fn apply_batch(&mut self, batch: &MutationBatch) -> Result<MutationSummary> {
+        let mut summary = MutationSummary::default();
+        for op in batch.ops() {
+            match op {
+                MutationOp::Insert { relation, tuple } => {
+                    if self.insert(relation, tuple.clone())? {
+                        summary.inserted += 1;
+                        summary.changed_relations.insert(relation.clone());
+                    }
+                }
+                MutationOp::Remove { relation, tuple } => {
+                    if self.remove(relation, tuple)? {
+                        summary.removed += 1;
+                        summary.changed_relations.insert(relation.clone());
+                    }
+                }
+            }
+        }
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationSymbol;
+    use crate::schema::Schema;
+
+    fn db() -> DatabaseInstance {
+        let mut schema = Schema::new("t");
+        schema
+            .add_relation(RelationSymbol::new("a", &["x"]))
+            .add_relation(RelationSymbol::new("b", &["x", "y"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        db.insert("a", Tuple::from_strs(&["1"])).unwrap();
+        db.insert("b", Tuple::from_strs(&["1", "2"])).unwrap();
+        db
+    }
+
+    #[test]
+    fn batch_applies_in_order_and_reports_changes() {
+        let mut db = db();
+        let batch = MutationBatch::new()
+            .insert("a", Tuple::from_strs(&["2"]))
+            .insert("a", Tuple::from_strs(&["2"])) // duplicate: no-op
+            .remove("b", Tuple::from_strs(&["1", "2"]))
+            .remove("b", Tuple::from_strs(&["9", "9"])); // absent: no-op
+        assert_eq!(batch.len(), 4);
+        assert_eq!(
+            batch.touched_relations(),
+            ["a", "b"].iter().map(|s| s.to_string()).collect()
+        );
+        let summary = db.apply_batch(&batch).unwrap();
+        assert_eq!(summary.inserted, 1);
+        assert_eq!(summary.removed, 1);
+        assert!(summary.changed());
+        assert_eq!(
+            summary.changed_relations,
+            ["a", "b"].iter().map(|s| s.to_string()).collect()
+        );
+        assert_eq!(db.relation("a").unwrap().len(), 2);
+        assert!(db.relation("b").unwrap().is_empty());
+    }
+
+    #[test]
+    fn noop_batch_changes_nothing() {
+        let mut db = db();
+        let epochs = db.epochs();
+        let batch = MutationBatch::new()
+            .insert("a", Tuple::from_strs(&["1"]))
+            .remove("b", Tuple::from_strs(&["7", "7"]));
+        let summary = db.apply_batch(&batch).unwrap();
+        assert!(!summary.changed());
+        assert_eq!(db.epochs(), epochs);
+    }
+
+    #[test]
+    fn insert_then_remove_nets_out_in_one_batch() {
+        let mut db = db();
+        let batch = MutationBatch::new()
+            .insert("a", Tuple::from_strs(&["9"]))
+            .remove("a", Tuple::from_strs(&["9"]));
+        let summary = db.apply_batch(&batch).unwrap();
+        assert_eq!((summary.inserted, summary.removed), (1, 1));
+        assert!(!db.contains("a", &Tuple::from_strs(&["9"])));
+    }
+
+    #[test]
+    fn unknown_relation_fails() {
+        let mut db = db();
+        let batch = MutationBatch::new().insert("missing", Tuple::from_strs(&["1"]));
+        assert!(db.apply_batch(&batch).is_err());
+    }
+
+    #[test]
+    fn insert_all_builder_appends_every_tuple() {
+        let mut db = db();
+        let batch = MutationBatch::new()
+            .insert_all("a", (2..5).map(|i| Tuple::from_strs(&[&i.to_string()])));
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        let summary = db.apply_batch(&batch).unwrap();
+        assert_eq!(summary.inserted, 3);
+    }
+}

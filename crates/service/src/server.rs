@@ -1,0 +1,318 @@
+//! The server: one long-lived versioned engine per registered database,
+//! a shared worker pool, and one runner thread per database draining a
+//! FIFO job queue.
+//!
+//! Concurrency model: *jobs of one database execute one at a time, in
+//! submission order*; parallelism comes from the engine's worker pool
+//! inside each job (work-stealing over clauses × examples) and from
+//! running different databases' queues on their own runner threads.
+//! Serializing per database is what makes per-session counter deltas and
+//! budget/cancellation overrides sound on a shared engine, and it gives
+//! mutation batches a natural atomicity point: a batch is a queue item
+//! like any other, so every job sees either the pre- or post-batch state.
+
+use crate::job::{Job, JobError, JobResult, JobShared, LearnAlgorithm};
+use crate::session::Session;
+use castor_core::Castor;
+use castor_engine::{Engine, EngineConfig, EngineReport, WorkerPool};
+use castor_learners::{Foil, Golem, ProGolem, Progol};
+use castor_relational::DatabaseInstance;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads in the pool shared by every registered engine
+    /// (1 = inline evaluation).
+    pub threads: usize,
+    /// Engine configuration applied to every registered database (its
+    /// `threads` field is overridden by the shared pool).
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 1,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Returns a copy with the given shared-pool size.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy with the given per-database engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Errors raised by server administration calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// A database name was registered twice.
+    DuplicateDatabase(String),
+    /// A session or report was requested for an unregistered database.
+    UnknownDatabase(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::DuplicateDatabase(name) => {
+                write!(f, "database `{name}` is already registered")
+            }
+            ServerError::UnknownDatabase(name) => write!(f, "unknown database `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Per-session state shared between the session handle and the runner.
+#[derive(Debug)]
+pub(crate) struct SessionCtx {
+    /// Cancellation token; also installed on the engine while the
+    /// session's jobs run.
+    pub(crate) cancel: Arc<AtomicBool>,
+    /// Per-test node budget override (meaningful when
+    /// `has_budget_override`).
+    pub(crate) eval_budget: AtomicUsize,
+    /// Whether `eval_budget` overrides the engine default.
+    pub(crate) has_budget_override: AtomicBool,
+    /// Engine-counter deltas attributed to this session's jobs.
+    pub(crate) consumed: Mutex<EngineReport>,
+}
+
+impl SessionCtx {
+    fn new() -> Self {
+        SessionCtx {
+            cancel: Arc::new(AtomicBool::new(false)),
+            eval_budget: AtomicUsize::new(0),
+            has_budget_override: AtomicBool::new(false),
+            consumed: Mutex::new(EngineReport::default()),
+        }
+    }
+}
+
+/// One queue item: the job, its result slot, and the submitting session.
+#[derive(Debug)]
+pub(crate) struct QueuedJob {
+    pub(crate) job: Job,
+    pub(crate) shared: Arc<JobShared>,
+    pub(crate) ctx: Arc<SessionCtx>,
+}
+
+struct DatabaseEntry {
+    engine: Arc<Engine>,
+    queue: Sender<QueuedJob>,
+}
+
+/// A multi-session serving facade: long-lived engines over mutating
+/// databases, one FIFO job queue per database, a worker pool shared by
+/// every engine.
+pub struct Server {
+    pool: Arc<WorkerPool>,
+    config: ServerConfig,
+    databases: Mutex<HashMap<String, DatabaseEntry>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self
+            .databases
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        f.debug_struct("Server")
+            .field("threads", &self.config.threads)
+            .field("databases", &names)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Creates a server with no registered databases.
+    pub fn new(config: ServerConfig) -> Self {
+        Server {
+            pool: Arc::new(WorkerPool::new(config.threads)),
+            config,
+            databases: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers a database under `name`: builds its versioned engine on
+    /// the shared pool and spawns its runner thread. The instance is shared,
+    /// not copied; the caller's `Arc` stays a pre-registration snapshot
+    /// once mutations start (copy-on-write).
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        db: Arc<DatabaseInstance>,
+    ) -> Result<(), ServerError> {
+        let name = name.into();
+        let mut databases = self.databases.lock().unwrap_or_else(|e| e.into_inner());
+        if databases.contains_key(&name) {
+            return Err(ServerError::DuplicateDatabase(name));
+        }
+        let mut engine_config = self.config.engine.clone();
+        engine_config.threads = self.config.threads;
+        let engine = Arc::new(Engine::with_pool(db, engine_config, Arc::clone(&self.pool)));
+        let (sender, receiver) = channel::<QueuedJob>();
+        let runner_engine = Arc::clone(&engine);
+        std::thread::Builder::new()
+            .name(format!("castor-service-runner-{name}"))
+            .spawn(move || run_queue(runner_engine, receiver))
+            .expect("failed to spawn runner thread");
+        databases.insert(
+            name,
+            DatabaseEntry {
+                engine,
+                queue: sender,
+            },
+        );
+        Ok(())
+    }
+
+    /// The names of every registered database, sorted.
+    pub fn databases(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .databases
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Opens a session on a registered database.
+    pub fn session(&self, database: &str) -> Result<Session, ServerError> {
+        let databases = self.databases.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = databases
+            .get(database)
+            .ok_or_else(|| ServerError::UnknownDatabase(database.to_string()))?;
+        Ok(Session::new(
+            database.to_string(),
+            Arc::clone(&entry.engine),
+            entry.queue.clone(),
+            Arc::new(SessionCtx::new()),
+        ))
+    }
+
+    /// The total engine counters of one database (every session's activity
+    /// combined).
+    pub fn report(&self, database: &str) -> Result<EngineReport, ServerError> {
+        let databases = self.databases.lock().unwrap_or_else(|e| e.into_inner());
+        databases
+            .get(database)
+            .map(|entry| entry.engine.report())
+            .ok_or_else(|| ServerError::UnknownDatabase(database.to_string()))
+    }
+}
+
+/// The runner loop of one database: drains the queue in FIFO order. Exits
+/// when every sender (the server entry plus all session clones) is gone —
+/// queued jobs are still drained first, so no handle is left hanging.
+fn run_queue(engine: Arc<Engine>, receiver: Receiver<QueuedJob>) {
+    while let Ok(QueuedJob { job, shared, ctx }) = receiver.recv() {
+        if ctx.cancel.load(Ordering::Relaxed) {
+            shared.complete(Err(JobError::Cancelled));
+            continue;
+        }
+        // Mutations don't run the executor, so cancellation cannot corrupt
+        // them; evaluation jobs cancelled mid-run are reported as such.
+        let cancellable = !matches!(job, Job::Mutate(_));
+        let default_budget = engine.config().eval_budget;
+        if ctx.has_budget_override.load(Ordering::Relaxed) {
+            engine.set_eval_budget(ctx.eval_budget.load(Ordering::Relaxed));
+        }
+        engine.set_cancel_token(Some(Arc::clone(&ctx.cancel)));
+        let before = engine.report();
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(&engine, job)));
+        let after = engine.report();
+        engine.set_cancel_token(None);
+        engine.set_eval_budget(default_budget);
+        {
+            let delta = after.delta_since(&before);
+            let mut consumed = ctx.consumed.lock().unwrap_or_else(|e| e.into_inner());
+            *consumed = consumed.combined(&delta);
+        }
+        let mut result = match outcome {
+            Ok(result) => result,
+            Err(panic) => Err(JobError::Panicked(panic_message(panic))),
+        };
+        if cancellable && ctx.cancel.load(Ordering::Relaxed) {
+            // The job was cancelled mid-run: its aborted searches ended as
+            // budget exhaustions, which the memo cache never stores, so no
+            // approximate verdict can leak to other sessions — the partial
+            // result is simply discarded.
+            result = Err(JobError::Cancelled);
+        }
+        shared.complete(result);
+    }
+}
+
+/// Executes one job against the database's engine.
+fn execute(engine: &Engine, job: Job) -> Result<JobResult, JobError> {
+    match job {
+        Job::Coverage(job) => Ok(JobResult::Covered(
+            engine.covered_sets_batch(&job.clauses, &job.examples),
+        )),
+        Job::Score(job) => Ok(JobResult::Scores(engine.coverage_counts_batch(
+            &job.clauses,
+            &job.positive,
+            &job.negative,
+        ))),
+        Job::Learn(job) => {
+            let definition = match &job.algorithm {
+                LearnAlgorithm::Foil(params) => {
+                    Foil::new().learn_with_engine(engine, &job.task, params)
+                }
+                LearnAlgorithm::Progol(params) => {
+                    Progol::new().learn_with_engine(engine, &job.task, params)
+                }
+                LearnAlgorithm::Golem(params) => {
+                    Golem::new().learn_with_engine(engine, &job.task, params)
+                }
+                LearnAlgorithm::ProGolem(params) => {
+                    ProGolem::new().learn_with_engine(engine, &job.task, params)
+                }
+                LearnAlgorithm::Castor(config) => {
+                    Castor::new((**config).clone())
+                        .learn_in(engine, &job.task)
+                        .definition
+                }
+            };
+            Ok(JobResult::Learned(definition))
+        }
+        Job::Mutate(batch) => engine
+            .apply(&batch)
+            .map(JobResult::Mutated)
+            .map_err(JobError::Mutation),
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(msg) = panic.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = panic.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`core`] — the Castor learner itself.
 //! * [`datasets`] — synthetic UW-CSE / HIV / IMDb families.
 //! * [`eval`] — cross-validated experiment harness and metrics.
-//! * [`bench`] — table/figure reproduction harnesses.
+//! * [`service`] — the multi-session serving facade: long-lived versioned
+//!   engines over mutating databases behind a `Server → Session → Job` API.
+//! * `bench` ([`castor_bench`]) — table/figure reproduction harnesses.
 
 pub use castor_bench as bench;
 pub use castor_core as core;
@@ -27,4 +29,5 @@ pub use castor_eval as eval;
 pub use castor_learners as learners;
 pub use castor_logic as logic;
 pub use castor_relational as relational;
+pub use castor_service as service;
 pub use castor_transform as transform;

@@ -96,3 +96,46 @@ fn batched_beam_scoring_outpaces_sequential_scoring() {
     );
     assert_eq!(report.budget_exhausted, 0, "budget too small for guard db");
 }
+
+/// `coverage_counts_batch` fuses the positive and negative passes into one
+/// trie walk over the concatenated example list; this guard pins the fused
+/// counts to the classic two-pass reference on the same beam workload.
+#[test]
+fn fused_scoring_counts_match_two_separate_passes() {
+    let family = generate(&UwCseConfig {
+        students: 60,
+        professors: 12,
+        courses: 20,
+        ..Default::default()
+    });
+    let variant = family.variant("Original").unwrap();
+    let beam = beam_candidate_batch(variant, 12);
+    let positive = variant.task.positive.clone();
+    let negative = variant.task.negative.clone();
+
+    let fused_engine = Engine::from_arc(
+        Arc::clone(&variant.db),
+        EngineConfig::default().without_cache(),
+    );
+    let fused = fused_engine.coverage_counts_batch(&beam, &positive, &negative);
+
+    let two_pass_engine = Engine::from_arc(
+        Arc::clone(&variant.db),
+        EngineConfig::default().without_cache(),
+    );
+    let pos_sets = two_pass_engine.covered_sets_batch(&beam, &positive);
+    let neg_sets = two_pass_engine.covered_sets_batch(&beam, &negative);
+
+    for (i, ((counts, pos), neg)) in fused.iter().zip(&pos_sets).zip(&neg_sets).enumerate() {
+        assert_eq!(
+            (counts.positive, counts.negative),
+            (pos.len(), neg.len()),
+            "fused and two-pass counts diverged on clause {i}"
+        );
+    }
+    // The fused pass submits the beam once; the reference submitted it
+    // twice — and both walked the trie, so the fusion halved dispatches.
+    assert_eq!(fused_engine.report().batch_clauses, beam.len());
+    assert_eq!(two_pass_engine.report().batch_clauses, beam.len() * 2);
+    assert!(fused_engine.report().batches >= 1);
+}

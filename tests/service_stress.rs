@@ -1,0 +1,156 @@
+//! Concurrency stress test for the serving layer: N sessions on one
+//! `Server` interleave coverage jobs with mutation batches from their own
+//! OS threads. Each session works a disjoint group of relations, so its
+//! results are deterministic regardless of how the server interleaves the
+//! sessions' jobs; the test asserts per-session determinism, that no lock
+//! is poisoned (the server keeps serving afterwards), and that the
+//! per-session `EngineReport` deltas sum exactly to the server total.
+//!
+//! CI runs this test in release mode as well (see the workflow), where the
+//! tighter timings shake out races the dev profile can mask.
+
+use castor_engine::EngineReport;
+use castor_logic::{covers_example, Atom, Clause};
+use castor_relational::{DatabaseInstance, MutationBatch, RelationSymbol, Schema, Tuple};
+use castor_service::{Server, ServerConfig};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const SESSIONS: usize = 4;
+const ROUNDS: usize = 8;
+
+fn pub_name(i: usize) -> String {
+    format!("pub{i}")
+}
+
+fn stress_schema() -> Schema {
+    let mut schema = Schema::new("stress");
+    for i in 0..SESSIONS {
+        schema.add_relation(RelationSymbol::new(pub_name(i), &["title", "person"]));
+    }
+    schema
+}
+
+/// collaborated_i(x, y) ← pub_i(p, x), pub_i(p, y)
+fn collab_clause(i: usize) -> Clause {
+    Clause::new(
+        Atom::vars("collaborated", &["x", "y"]),
+        vec![
+            Atom::vars(pub_name(i), &["p", "x"]),
+            Atom::vars(pub_name(i), &["p", "y"]),
+        ],
+    )
+}
+
+#[test]
+fn concurrent_sessions_with_interleaved_mutations_stay_deterministic() {
+    let server = Arc::new(Server::new(ServerConfig::default().with_threads(4)));
+    server
+        .register(
+            "stress",
+            Arc::new(DatabaseInstance::empty(&stress_schema())),
+        )
+        .unwrap();
+
+    let workers: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || -> EngineReport {
+                let session = server.session("stress").unwrap();
+                let relation = pub_name(i);
+                // A private mirror of this session's relation group, used
+                // to compute the expected answer independently.
+                let mut mirror = DatabaseInstance::empty(&stress_schema());
+                for round in 0..ROUNDS {
+                    let title = Tuple::from_strs(&[
+                        &format!("s{i}p{round}"),
+                        &format!("s{i}author{round}"),
+                    ]);
+                    let partner = Tuple::from_strs(&[
+                        &format!("s{i}p{round}"),
+                        &format!("s{i}partner{round}"),
+                    ]);
+                    let batch = MutationBatch::new()
+                        .insert(&relation, title.clone())
+                        .insert(&relation, partner.clone());
+                    // Occasionally remove an earlier round's tuple, so the
+                    // sequence exercises both maintenance directions.
+                    let batch = if round % 3 == 2 {
+                        batch.remove(
+                            &relation,
+                            Tuple::from_strs(&[
+                                &format!("s{i}p{}", round - 1),
+                                &format!("s{i}partner{}", round - 1),
+                            ]),
+                        )
+                    } else {
+                        batch
+                    };
+                    mirror.apply_batch(&batch).unwrap();
+                    session.apply(batch).unwrap();
+
+                    // Every pair seen so far: the live session must agree
+                    // with reference semantics over the mirror, no matter
+                    // what the other sessions are doing concurrently.
+                    let clause = collab_clause(i);
+                    let examples: Vec<Tuple> = (0..=round)
+                        .flat_map(|r| {
+                            [
+                                Tuple::from_strs(&[
+                                    &format!("s{i}author{r}"),
+                                    &format!("s{i}partner{r}"),
+                                ]),
+                                Tuple::from_strs(&[
+                                    &format!("s{i}author{r}"),
+                                    &format!("s{i}author{}", (r + 1) % ROUNDS),
+                                ]),
+                            ]
+                        })
+                        .collect();
+                    let got = session
+                        .covered_sets(vec![clause.clone()], examples.clone())
+                        .unwrap();
+                    let expected: HashSet<Tuple> = examples
+                        .iter()
+                        .filter(|e| covers_example(&clause, &mirror, e))
+                        .cloned()
+                        .collect();
+                    assert_eq!(
+                        got[0], expected,
+                        "session {i} diverged from its mirror in round {round}"
+                    );
+                }
+                session.report()
+            })
+        })
+        .collect();
+
+    let session_reports: Vec<EngineReport> = workers
+        .into_iter()
+        .map(|w| w.join().expect("session thread must not panic"))
+        .collect();
+
+    // Per-session deltas sum exactly to the server total: every counter
+    // bump happened inside some session's job window, and jobs of one
+    // database never overlap.
+    let summed = session_reports
+        .iter()
+        .fold(EngineReport::default(), |acc, r| acc.combined(r));
+    let total = server.report("stress").unwrap();
+    assert_eq!(
+        summed, total,
+        "session deltas do not sum to the server total"
+    );
+    assert_eq!(total.mutation_batches, SESSIONS * ROUNDS);
+    assert!(total.coverage_tests > 0);
+
+    // No poisoned locks anywhere: the server keeps serving new sessions.
+    let post = server.session("stress").unwrap();
+    let sets = post
+        .covered_sets(
+            vec![collab_clause(0)],
+            vec![Tuple::from_strs(&["s0author0", "s0partner0"])],
+        )
+        .unwrap();
+    assert_eq!(sets[0].len(), 1);
+}
