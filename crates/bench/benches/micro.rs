@@ -172,6 +172,46 @@ fn bench_engine_batched_beam_vs_sequential(c: &mut Criterion) {
     });
 }
 
+/// The adaptive-costing acceptance benchmark: one level of beam scoring on
+/// skewed synthetic data where the uniform selectivity estimate mis-orders
+/// the shared join prefix (hub keys hidden behind a high distinct count).
+/// The histogram cost model (plus feedback re-planning, both on by
+/// default) probes the selective literal first; the uniform baseline
+/// enumerates every hub row per negative example. Coverage caches are off
+/// on both sides so the comparison is pure join ordering; expected ≥ 1.3×
+/// (in practice well over 10×). The same workload runs in CI as
+/// `tests/engine_adaptive_costing.rs`.
+fn bench_engine_adaptive_recosting(c: &mut Criterion) {
+    let workload = castor_bench::skewed_costing_workload();
+
+    let histogram = Engine::from_arc(
+        std::sync::Arc::clone(&workload.db),
+        EngineConfig::default().without_cache(),
+    );
+    c.bench_function("engine_adaptive_recosting/histogram", |b| {
+        b.iter(|| {
+            let sets = histogram
+                .covered_sets_batch(black_box(&workload.beam), black_box(&workload.examples));
+            black_box(sets.iter().map(|s| s.len()).sum::<usize>())
+        })
+    });
+
+    let uniform = Engine::from_arc(
+        std::sync::Arc::clone(&workload.db),
+        EngineConfig::default()
+            .with_uniform_costs()
+            .without_feedback_replanning()
+            .without_cache(),
+    );
+    c.bench_function("engine_adaptive_recosting/uniform", |b| {
+        b.iter(|| {
+            let sets = uniform
+                .covered_sets_batch(black_box(&workload.beam), black_box(&workload.examples));
+            black_box(sets.iter().map(|s| s.len()).sum::<usize>())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_subsumption,
@@ -179,6 +219,7 @@ criterion_group!(
     bench_natural_join,
     bench_lgg,
     bench_engine_coverage_cache,
-    bench_engine_batched_beam_vs_sequential
+    bench_engine_batched_beam_vs_sequential,
+    bench_engine_adaptive_recosting
 );
 criterion_main!(benches);

@@ -104,6 +104,121 @@ pub fn beam_candidate_batch(
     out
 }
 
+/// A synthetic workload where the uniform selectivity estimate mis-orders
+/// joins: the decomposed-schema skew case of "SQL for SRL"-style costing.
+///
+/// `skewed(a, b)` hides ten hub keys (hundreds of rows each) behind
+/// thousands of singleton filler keys, so `cardinality / distinct` prices a
+/// bound-key probe at ~2 rows while a hub probe really returns hundreds.
+/// `mid(a, b)` is genuinely uniform (10 rows per key) and shares *both*
+/// variables with `skewed`, so running it first turns the skewed literal
+/// into an exact two-column probe. The uniform model schedules `skewed`
+/// first (2 < 10) and enumerates every hub row per negative example; the
+/// histogram model's frequency-weighted estimate (~hundreds vs 10) flips
+/// the order. The beam appends one `sel_k(y)` literal per sibling, so the
+/// mis-ordered join sits in the *shared* trie prefix.
+pub struct SkewedCostingWorkload {
+    /// The skewed database.
+    pub db: std::sync::Arc<DatabaseInstance>,
+    /// One level of beam siblings sharing the badly-ordered prefix.
+    pub beam: Vec<Clause>,
+    /// Probe examples for the unary head (hubs, fillers, and misses; most
+    /// are negative, which forces full prefix enumeration).
+    pub examples: Vec<castor_relational::Tuple>,
+}
+
+/// Builds the skewed-costing workload shared by the Criterion bench
+/// `engine_adaptive_recosting` and the CI guard
+/// `tests/engine_adaptive_costing.rs`.
+pub fn skewed_costing_workload() -> SkewedCostingWorkload {
+    use castor_logic::Atom;
+    use castor_relational::{RelationSymbol, Tuple};
+
+    const HUBS: usize = 10;
+    const ROWS_PER_HUB: usize = 600;
+    const FILLERS: usize = 5_000;
+    const MID_PER_HUB: usize = 10;
+    const SELS: usize = 8;
+
+    let mut schema = Schema::new("skew-cost");
+    schema
+        .add_relation(RelationSymbol::new("skewed", &["a", "b"]))
+        .add_relation(RelationSymbol::new("mid", &["a", "b"]));
+    for k in 0..SELS {
+        schema.add_relation(RelationSymbol::new(format!("sel{k}"), &["b"]));
+    }
+    let mut db = DatabaseInstance::empty(&schema);
+    for h in 0..HUBS {
+        for j in 0..ROWS_PER_HUB {
+            db.insert(
+                "skewed",
+                Tuple::from_strs(&[&format!("h{h}"), &format!("v{h}_{j}")]),
+            )
+            .unwrap();
+        }
+        // `mid` values mostly miss the skewed values (negative prefixes);
+        // the first two hubs get one join partner so coverage exists.
+        for j in 0..MID_PER_HUB {
+            db.insert(
+                "mid",
+                Tuple::from_strs(&[&format!("h{h}"), &format!("m{h}_{j}")]),
+            )
+            .unwrap();
+        }
+        if h < 2 {
+            db.insert(
+                "mid",
+                Tuple::from_strs(&[&format!("h{h}"), &format!("v{h}_0")]),
+            )
+            .unwrap();
+        }
+    }
+    for f in 0..FILLERS {
+        db.insert(
+            "skewed",
+            Tuple::from_strs(&[&format!("f{f}"), &format!("g{f}")]),
+        )
+        .unwrap();
+    }
+    for k in 0..SELS {
+        // Even selectors accept the joinable values, odd ones accept none.
+        if k % 2 == 0 {
+            for h in 0..HUBS {
+                db.insert(&format!("sel{k}"), Tuple::from_strs(&[&format!("v{h}_0")]))
+                    .unwrap();
+            }
+        } else {
+            db.insert(&format!("sel{k}"), Tuple::from_strs(&["nothing"]))
+                .unwrap();
+        }
+    }
+
+    let head = Atom::vars("t", &["x"]);
+    let prefix = vec![
+        Atom::vars("skewed", &["x", "y"]),
+        Atom::vars("mid", &["x", "y"]),
+    ];
+    let beam: Vec<Clause> = (0..SELS)
+        .map(|k| {
+            let mut body = prefix.clone();
+            body.push(Atom::vars(format!("sel{k}"), &["y"]));
+            Clause::new(head.clone(), body)
+        })
+        .collect();
+
+    let mut examples: Vec<Tuple> = (0..HUBS)
+        .map(|h| Tuple::from_strs(&[&format!("h{h}")]))
+        .collect();
+    examples.extend((0..5).map(|f| Tuple::from_strs(&[&format!("f{f}")])));
+    examples.extend((0..5).map(|m| Tuple::from_strs(&[&format!("absent{m}")])));
+
+    SkewedCostingWorkload {
+        db: std::sync::Arc::new(db),
+        beam,
+        examples,
+    }
+}
+
 /// Builds the (reduced-scale) UW-CSE family used by the harness.
 pub fn uwcse_family() -> SchemaFamily {
     uwcse::generate(&uwcse::UwCseConfig::default())

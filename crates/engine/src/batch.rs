@@ -19,7 +19,7 @@
 //! disjoint root subtrees — the trie generalizes gracefully to mixed-parent
 //! beams.
 
-use crate::plan::estimate_atom;
+use crate::cost::{CostModel, CostModelKind};
 use crate::stats::DatabaseStatistics;
 use castor_logic::evaluation::{bind_head, unify_with_tuple};
 use castor_logic::{Atom, Clause, CoverageOutcome, EvalBudget, Substitution, Term};
@@ -65,12 +65,26 @@ pub struct BatchPlan {
 }
 
 impl BatchPlan {
+    /// Compiles a literal trie with the uniform baseline model
+    /// (convenience wrapper over [`BatchPlan::compile_with`]).
+    pub fn compile(head: &Atom, bodies: &[(usize, &[Atom])], stats: &DatabaseStatistics) -> Self {
+        BatchPlan::compile_with(head, bodies, stats, CostModelKind::Uniform.model())
+    }
+
     /// Compiles a literal trie for candidates sharing `head`. Each entry of
     /// `bodies` is `(slot, body)`; the slot is echoed back by the executor.
     /// Bodies are inserted in literal order — canonicalized siblings produced
     /// by beam refinement share their parent prefix verbatim and therefore
-    /// share trie nodes.
-    pub fn compile(head: &Atom, bodies: &[(usize, &[Atom])], stats: &DatabaseStatistics) -> Self {
+    /// share trie nodes. After insertion, *shared prefix chains* (runs of
+    /// trie nodes every candidate in the subtree passes through) are
+    /// reordered by `model`'s selectivity estimates — the per-clause greedy
+    /// order, applied to the shared prefix without breaking sharing.
+    pub fn compile_with(
+        head: &Atom,
+        bodies: &[(usize, &[Atom])],
+        stats: &DatabaseStatistics,
+        model: &dyn CostModel,
+    ) -> Self {
         let mut plan = BatchPlan {
             head: head.clone(),
             nodes: Vec::new(),
@@ -117,7 +131,7 @@ impl BatchPlan {
                             })
                             .map(|(i, _)| i)
                             .collect();
-                        let estimated_cost = estimate_atom(atom, &borrowed, stats);
+                        let estimated_cost = model.estimate_atom(atom, &borrowed, stats);
                         let idx = plan.nodes.len();
                         plan.nodes.push(BatchNode {
                             atom: atom.clone(),
@@ -145,8 +159,74 @@ impl BatchPlan {
             let leaf = parent.expect("non-empty body created at least one node");
             plan.nodes[leaf].accepting.push(slot);
         }
+        let roots = plan.roots.clone();
+        for root in roots {
+            plan.reorder_chain(root, head_vars.clone(), model, stats);
+        }
         plan.finish();
         plan
+    }
+
+    /// Reorders the *shared prefix chains* of the trie by selectivity: a
+    /// maximal run of nodes in which every node has exactly one child and
+    /// accepts no candidate (except possibly the last) is a conjunction
+    /// every candidate in the subtree executes in full, so its literals can
+    /// be permuted freely — sharing, accepted bodies, and semantics are
+    /// unchanged. Each chain is re-ordered greedily (cheapest bindable
+    /// literal first, exactly like [`crate::ClausePlan`] does per clause)
+    /// and its nodes' access paths and cost estimates are recomputed for
+    /// the new positions. Recurses into the children of each chain end with
+    /// the accumulated bound set.
+    fn reorder_chain(
+        &mut self,
+        start: usize,
+        mut bound: BTreeSet<String>,
+        model: &dyn CostModel,
+        stats: &DatabaseStatistics,
+    ) {
+        // Collect the maximal chain: interior nodes must be non-accepting
+        // single-child links, so no candidate's body ends mid-chain.
+        let mut chain = vec![start];
+        loop {
+            let node = &self.nodes[*chain.last().expect("chain is non-empty")];
+            if node.children.len() == 1 && node.accepting.is_empty() {
+                chain.push(node.children[0]);
+            } else {
+                break;
+            }
+        }
+        if chain.len() > 1 {
+            // Greedy reorder of the chain's atoms under the entry bound
+            // set — the same schedule `ClausePlan` computes per clause.
+            let atoms: Vec<Atom> = chain.iter().map(|&i| self.nodes[i].atom.clone()).collect();
+            let atom_refs: Vec<&Atom> = atoms.iter().collect();
+            let ordered = crate::cost::greedy_order(&atom_refs, &mut bound, |_, atom, borrowed| {
+                model.estimate_atom(atom, borrowed, stats)
+            });
+            // Rewrite the chain nodes in the new order; the link structure
+            // (and the accepting slots of the chain end) stay put.
+            for (&idx, scheduled) in chain.iter().zip(ordered) {
+                let node = &mut self.nodes[idx];
+                node.atom = atoms[scheduled.index].clone();
+                node.bound_positions = scheduled.bound_positions;
+                node.estimated_cost = scheduled.estimated_rows;
+            }
+        } else {
+            for &idx in &chain {
+                bound.extend(
+                    self.nodes[idx]
+                        .atom
+                        .terms
+                        .iter()
+                        .filter_map(Term::var_name)
+                        .map(str::to_string),
+                );
+            }
+        }
+        let end = *chain.last().expect("chain is non-empty");
+        for child in self.nodes[end].children.clone() {
+            self.reorder_chain(child, bound.clone(), model, stats);
+        }
     }
 
     /// Computes subtree slot lists bottom-up and orders every child list by
@@ -584,6 +664,108 @@ mod tests {
         db.insert("professor", Tuple::from_strs(&["dan"])).unwrap();
         stats.refresh(&db);
         assert!(!plan.is_current(&stats));
+    }
+
+    #[test]
+    fn shared_prefix_chains_are_reordered_by_selectivity() {
+        // Siblings share the badly-ordered prefix [skewed(x,y), flat(x,z)]:
+        // the hub relation first, the selective one second. The histogram
+        // model must flip the *shared chain* without breaking sharing.
+        let mut schema = Schema::new("s");
+        schema
+            .add_relation(RelationSymbol::new("skewed", &["a", "b"]))
+            .add_relation(RelationSymbol::new("flat", &["a", "b"]))
+            .add_relation(RelationSymbol::new("p1", &["a"]))
+            .add_relation(RelationSymbol::new("p2", &["a"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for i in 0..120 {
+            db.insert("skewed", Tuple::from_strs(&["hub", &format!("v{i}")]))
+                .unwrap();
+        }
+        for i in 0..80 {
+            db.insert(
+                "skewed",
+                Tuple::from_strs(&[&format!("k{i}"), &format!("w{i}")]),
+            )
+            .unwrap();
+        }
+        for i in 0..60 {
+            db.insert(
+                "flat",
+                Tuple::from_strs(&[&format!("f{}", i % 20), &format!("x{i}")]),
+            )
+            .unwrap();
+        }
+        db.insert("flat", Tuple::from_strs(&["hub", "y0"])).unwrap();
+        db.insert("p1", Tuple::from_strs(&["v0"])).unwrap();
+        db.insert("p2", Tuple::from_strs(&["y0"])).unwrap();
+
+        let head = Atom::vars("t", &["_0"]);
+        let prefix = vec![
+            Atom::vars("skewed", &["_0", "_1"]),
+            Atom::vars("flat", &["_0", "_2"]),
+        ];
+        let mut with_p1 = prefix.clone();
+        with_p1.push(Atom::vars("p1", &["_1"]));
+        let mut with_p2 = prefix.clone();
+        with_p2.push(Atom::vars("p2", &["_2"]));
+        let bodies = [prefix.clone(), with_p1, with_p2];
+        let slotted: Vec<(usize, &[Atom])> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.as_slice()))
+            .collect();
+        let stats = DatabaseStatistics::gather(&db);
+
+        let uniform =
+            BatchPlan::compile_with(&head, &slotted, &stats, CostModelKind::Uniform.model());
+        assert_eq!(uniform.node(uniform.roots[0]).atom.relation, "skewed");
+
+        let hist =
+            BatchPlan::compile_with(&head, &slotted, &stats, CostModelKind::Histogram.model());
+        // Sharing intact: still 2 chain nodes + 2 suffix leaves...
+        assert_eq!(hist.node_count(), 4);
+        assert_eq!(hist.roots.len(), 1);
+        // ...but the selective literal now leads the shared chain.
+        let root = hist.node(hist.roots[0]);
+        assert_eq!(root.atom.relation, "flat");
+        let second = hist.node(root.children[0]);
+        assert_eq!(second.atom.relation, "skewed");
+        assert_eq!(second.accepting, vec![0]);
+        assert_eq!(second.children.len(), 2);
+        // Access paths were recomputed for the new positions.
+        assert_eq!(root.bound_positions, vec![0]);
+        assert_eq!(second.bound_positions, vec![0]);
+
+        // Semantics are untouched by the reorder.
+        let clauses: Vec<Clause> = bodies
+            .iter()
+            .map(|b| Clause::new(head.clone(), b.clone()))
+            .collect();
+        let live = vec![true; clauses.len()];
+        for example in [
+            Tuple::from_strs(&["hub"]),
+            Tuple::from_strs(&["k3"]),
+            Tuple::from_strs(&["f0"]),
+        ] {
+            for plan in [&uniform, &hist] {
+                let (outcomes, _) = evaluate_subtree(
+                    plan,
+                    plan.roots[0],
+                    &db,
+                    &example,
+                    &live,
+                    &EvalBudget::new(100_000),
+                );
+                for (slot, outcome) in outcomes {
+                    assert_eq!(
+                        outcome.is_covered(),
+                        castor_logic::covers_example(&clauses[slot], &db, &example),
+                        "slot {slot} diverged on {example}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

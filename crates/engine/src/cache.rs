@@ -18,9 +18,25 @@
 //! *touched* clause is dropped (reads count as touches), so the hot
 //! candidates a covering loop re-scores across iterations survive instead
 //! of being wiped by the old clear-at-capacity policy.
+//!
+//! [`CoverageOutcome::Exhausted`] verdicts get a *budget-aware tier*: an
+//! exhaustion is a property of the (clause, example, **budget**) triple, so
+//! it is memoized together with the node budget it was observed under and
+//! served only to probes running with an equal-or-smaller budget (a search
+//! that ran out of `B` nodes certainly runs out of `B' ≤ B`). Probes with a
+//! larger budget treat the entry as a miss and re-evaluate; definite
+//! verdicts always beat exhaustions on write-back.
+//!
+//! This module also hosts the [`BatchPlanCache`]: compiled [`BatchPlan`]
+//! tries keyed by canonical (head, body-set), re-validated against the
+//! statistics' `(relation, epoch)` stamps on every fetch — consecutive beam
+//! rounds re-score near-identical sibling groups, and this cache lets them
+//! reuse the trie instead of recompiling it per call.
 
+use crate::batch::BatchPlan;
 use crate::fx::FxHashMap;
-use castor_logic::{Clause, CoverageOutcome, Term};
+use crate::stats::DatabaseStatistics;
+use castor_logic::{Atom, Clause, CoverageOutcome, Term};
 use castor_relational::Tuple;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
@@ -56,12 +72,80 @@ pub fn canonicalize(clause: &Clause) -> Clause {
     Clause { head, body }
 }
 
+/// One memoized verdict. Definite verdicts are budget-independent;
+/// exhaustions remember the node budget they were observed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CachedVerdict {
+    /// The clause covers the example (budget-independent).
+    Covered,
+    /// The clause does not cover the example (budget-independent).
+    NotCovered,
+    /// The search exhausted a budget of this many nodes; servable to any
+    /// probe with an equal-or-smaller budget.
+    ExhaustedAt(usize),
+}
+
+impl CachedVerdict {
+    /// The verdict to store for `outcome`, or `None` when it must not be
+    /// memoized (an exhaustion with no comparable budget scope — e.g. a
+    /// cancellation-driven abort).
+    fn admit(outcome: CoverageOutcome, scope: Option<usize>) -> Option<CachedVerdict> {
+        match outcome {
+            CoverageOutcome::Covered => Some(CachedVerdict::Covered),
+            CoverageOutcome::NotCovered => Some(CachedVerdict::NotCovered),
+            CoverageOutcome::Exhausted => scope.map(CachedVerdict::ExhaustedAt),
+        }
+    }
+
+    /// The outcome this verdict answers for a probe running under `scope`,
+    /// or `None` when the entry is not servable (an exhaustion observed
+    /// under a smaller budget than the probe's, or a probe with no
+    /// comparable budget).
+    fn serve(self, scope: Option<usize>) -> Option<CoverageOutcome> {
+        match self {
+            CachedVerdict::Covered => Some(CoverageOutcome::Covered),
+            CachedVerdict::NotCovered => Some(CoverageOutcome::NotCovered),
+            CachedVerdict::ExhaustedAt(observed) => match scope {
+                Some(budget) if budget <= observed => Some(CoverageOutcome::Exhausted),
+                _ => None,
+            },
+        }
+    }
+
+    /// Merges a newly observed verdict into an existing entry: definite
+    /// verdicts always win over exhaustions, and of two exhaustions the
+    /// larger observed budget is kept (it answers more probes).
+    fn merge(&mut self, new: CachedVerdict) {
+        match (*self, new) {
+            (CachedVerdict::ExhaustedAt(old), CachedVerdict::ExhaustedAt(b)) => {
+                *self = CachedVerdict::ExhaustedAt(old.max(b));
+            }
+            (CachedVerdict::ExhaustedAt(_), definite) => *self = definite,
+            // A definite verdict is never downgraded.
+            (_, _) => {}
+        }
+    }
+}
+
 /// One cached clause: its per-example outcomes plus the recency stamp the
 /// LRU order is kept under.
 #[derive(Debug, Default)]
 struct CacheSlot {
-    outcomes: FxHashMap<Tuple, CoverageOutcome>,
+    outcomes: FxHashMap<Tuple, CachedVerdict>,
     stamp: u64,
+}
+
+impl CacheSlot {
+    /// Merges one observed verdict into the slot (see
+    /// [`CachedVerdict::merge`]).
+    fn absorb(&mut self, example: Tuple, verdict: CachedVerdict) {
+        match self.outcomes.entry(example) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(verdict),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(verdict);
+            }
+        }
+    }
 }
 
 /// The lock-guarded cache state: clause slots plus a recency index mapping
@@ -123,49 +207,78 @@ impl CoverageCache {
         }
     }
 
-    /// The cached outcome for `(canonical, example)`, if any. A hit counts
-    /// as a use in the LRU order.
-    pub fn get(&self, canonical: &Clause, example: &Tuple) -> Option<CoverageOutcome> {
+    /// The cached outcome for `(canonical, example)` servable under the
+    /// probe's exhaustion `scope` (its node budget, or `None` when
+    /// exhaustions are not comparable — see the module docs), if any. A hit
+    /// counts as a use in the LRU order.
+    pub fn get(
+        &self,
+        canonical: &Clause,
+        example: &Tuple,
+        scope: Option<usize>,
+    ) -> Option<CoverageOutcome> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let outcome = inner
             .slots
             .get(canonical)
             .and_then(|slot| slot.outcomes.get(example))
-            .copied();
+            .and_then(|verdict| verdict.serve(scope));
         if outcome.is_some() {
             inner.touch(canonical);
         }
         outcome
     }
 
-    /// Records an outcome for `(canonical, example)`.
-    pub fn insert(&self, canonical: &Clause, example: &Tuple, outcome: CoverageOutcome) {
-        self.insert_many(canonical, std::iter::once((example.clone(), outcome)));
+    /// Records an outcome for `(canonical, example)` observed under the
+    /// exhaustion `scope`.
+    pub fn insert(
+        &self,
+        canonical: &Clause,
+        example: &Tuple,
+        outcome: CoverageOutcome,
+        scope: Option<usize>,
+    ) {
+        self.insert_many(
+            canonical,
+            std::iter::once((example.clone(), outcome)),
+            scope,
+        );
     }
 
     /// Records a batch of outcomes for one clause under a single lock.
     ///
-    /// [`CoverageOutcome::Exhausted`] verdicts are *not* memoized: an
-    /// exhaustion is a property of the (clause, example, **budget**) triple,
-    /// and the budget varies — serving sessions override it per job and
-    /// cancellation aborts searches as exhaustions — so caching one would
-    /// serve an approximate verdict to a caller with a larger budget.
-    pub fn insert_many<I>(&self, canonical: &Clause, outcomes: I)
+    /// Definite verdicts are memoized unconditionally.
+    /// [`CoverageOutcome::Exhausted`] verdicts are memoized *keyed by the
+    /// budget they were observed under* (`scope`) and later served only to
+    /// probes with an equal-or-smaller budget; with `scope = None` (no
+    /// comparable budget — e.g. a cancellation token is installed, which
+    /// aborts searches through the exhaustion path) they are dropped, so
+    /// cancellation pollution stays impossible.
+    pub fn insert_many<I>(&self, canonical: &Clause, outcomes: I, scope: Option<usize>)
     where
         I: IntoIterator<Item = (Tuple, CoverageOutcome)>,
     {
-        let outcomes = outcomes
+        let verdicts: Vec<(Tuple, CachedVerdict)> = outcomes
             .into_iter()
-            .filter(|(_, outcome)| !outcome.is_exhausted());
+            .filter_map(|(example, outcome)| {
+                CachedVerdict::admit(outcome, scope).map(|v| (example, v))
+            })
+            .collect();
+        if verdicts.is_empty() {
+            return;
+        }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match inner.slots.get_mut(canonical) {
-            Some(slot) => slot.outcomes.extend(outcomes),
+            Some(slot) => {
+                for (example, verdict) in verdicts {
+                    slot.absorb(example, verdict);
+                }
+            }
             None => {
                 // The only place a clause key is ever cloned: first insert.
                 let mut slot = CacheSlot::default();
-                slot.outcomes.extend(outcomes);
-                if slot.outcomes.is_empty() {
-                    return;
+                for (example, verdict) in verdicts {
+                    slot.absorb(example, verdict);
                 }
                 inner.slots.insert(Arc::new(canonical.clone()), slot);
             }
@@ -184,8 +297,9 @@ impl CoverageCache {
         &self,
         canonical: &Clause,
         examples: &[Tuple],
+        scope: Option<usize>,
     ) -> Vec<Option<CoverageOutcome>> {
-        self.get_batch_multi(std::slice::from_ref(canonical), examples)
+        self.get_batch_multi(std::slice::from_ref(canonical), examples, scope)
             .pop()
             .expect("one clause in, one row out")
     }
@@ -197,6 +311,7 @@ impl CoverageCache {
         &self,
         canonicals: &[Clause],
         examples: &[Tuple],
+        scope: Option<usize>,
     ) -> Vec<Vec<Option<CoverageOutcome>>> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         canonicals
@@ -206,7 +321,7 @@ impl CoverageCache {
                 Some(slot) => {
                     let row: Vec<Option<CoverageOutcome>> = examples
                         .iter()
-                        .map(|e| slot.outcomes.get(e).copied())
+                        .map(|e| slot.outcomes.get(e).and_then(|v| v.serve(scope)))
                         .collect();
                     if row.iter().any(Option::is_some) {
                         inner.touch(canonical);
@@ -227,13 +342,62 @@ impl CoverageCache {
         };
         let covered: Vec<Tuple> = examples
             .iter()
-            .filter(|e| slot.outcomes.get(*e).copied() == Some(CoverageOutcome::Covered))
+            .filter(|e| slot.outcomes.get(*e).copied() == Some(CachedVerdict::Covered))
             .cloned()
             .collect();
         if !covered.is_empty() {
             inner.touch(canonical);
         }
         covered
+    }
+
+    /// Drops the cached *exhaustion* entries of one clause, keeping its
+    /// definite verdicts, and returns how many were dropped. An exhaustion
+    /// is budget-monotone only under a fixed plan; when the engine recosts
+    /// a clause's plan (feedback re-planning), exhaustions observed under
+    /// the discarded order may be beatable by the new one, so they must be
+    /// re-evaluated rather than served forever.
+    pub fn drop_exhausted(&self, canonical: &Clause) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(slot) = inner.slots.get_mut(canonical) else {
+            return 0;
+        };
+        let before = slot.outcomes.len();
+        slot.outcomes
+            .retain(|_, verdict| !matches!(verdict, CachedVerdict::ExhaustedAt(_)));
+        let dropped = before - slot.outcomes.len();
+        if slot.outcomes.is_empty() {
+            let stamp = slot.stamp;
+            inner.slots.remove(canonical);
+            inner.recency.remove(&stamp);
+        }
+        dropped
+    }
+
+    /// Drops every cached exhaustion entry across all clauses, returning
+    /// how many were dropped — the companion of [`drop_exhausted`] for the
+    /// rare plan-table capacity clear, which reverts every recosted join
+    /// order at once.
+    ///
+    /// [`drop_exhausted`]: CoverageCache::drop_exhausted
+    pub fn drop_all_exhausted(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut dropped = 0usize;
+        let mut emptied: Vec<(Arc<Clause>, u64)> = Vec::new();
+        for (key, slot) in inner.slots.iter_mut() {
+            let before = slot.outcomes.len();
+            slot.outcomes
+                .retain(|_, verdict| !matches!(verdict, CachedVerdict::ExhaustedAt(_)));
+            dropped += before - slot.outcomes.len();
+            if slot.outcomes.is_empty() {
+                emptied.push((Arc::clone(key), slot.stamp));
+            }
+        }
+        for (key, stamp) in emptied {
+            inner.slots.remove(key.as_ref());
+            inner.recency.remove(&stamp);
+        }
+        dropped
     }
 
     /// Drops every cached clause that references one of `relations` (in its
@@ -294,6 +458,147 @@ impl Default for CoverageCache {
     }
 }
 
+/// Sorts a sibling group into the canonical body order shared with the
+/// trie cache: the cached plan's *local* candidate slots are indices into
+/// the sorted body list, so consecutive beam rounds that re-score the same
+/// group (whatever order they submit it in) collide on purpose. Returns,
+/// per local slot, the caller identity that body arrived under, plus the
+/// sorted body slices.
+pub fn canonical_group<'a, T: Copy>(group: &[(T, &'a [Atom])]) -> (Vec<T>, Vec<&'a [Atom]>) {
+    let mut entries: Vec<(T, &[Atom])> = group.to_vec();
+    entries.sort_by(|a, b| a.1.cmp(b.1));
+    let slot_map: Vec<T> = entries.iter().map(|&(tag, _)| tag).collect();
+    let bodies: Vec<&[Atom]> = entries.iter().map(|&(_, b)| b).collect();
+    (slot_map, bodies)
+}
+
+/// Result of one [`BatchPlanCache::fetch`].
+#[derive(Debug)]
+pub enum BatchFetch {
+    /// A current cached trie (epoch stamps verified against the live
+    /// statistics).
+    Hit(Arc<BatchPlan>),
+    /// A cached trie existed but a relation it was costed against mutated;
+    /// the entry has been dropped and must be recompiled.
+    Stale,
+    /// Nothing cached under this key.
+    Miss,
+}
+
+/// One cached trie: the sorted canonical bodies it was compiled for (its
+/// local slot space) and the compiled plan.
+#[derive(Debug)]
+struct BatchEntry {
+    bodies: Vec<Vec<Atom>>,
+    plan: Arc<BatchPlan>,
+}
+
+/// Whether an entry's owned bodies equal a probe's borrowed body slices.
+fn bodies_match(owned: &[Vec<Atom>], probe: &[&[Atom]]) -> bool {
+    owned.len() == probe.len() && owned.iter().zip(probe).all(|(a, &b)| a.as_slice() == b)
+}
+
+/// Cross-round cache of compiled [`BatchPlan`] tries keyed by canonical
+/// (head, sorted body-set). Lookups take *borrowed* body slices — the hot
+/// path (consecutive beam rounds hitting the cache) never clones an atom;
+/// owned keys are built only when a freshly compiled trie is stored.
+/// Entries carry the same `(relation, epoch)` stamps as `ClausePlan`s and
+/// are re-validated on every fetch, so a mutation of any relation a trie
+/// reads invalidates it lazily — stale-trie reuse is impossible by
+/// construction. Bounded by clearing at capacity, like the per-clause plan
+/// table.
+#[derive(Debug)]
+pub struct BatchPlanCache {
+    /// Head → tries compiled for sibling groups under that head.
+    inner: Mutex<FxHashMap<Atom, Vec<BatchEntry>>>,
+    /// Total tries across all heads (maintained alongside `inner`).
+    len: std::sync::atomic::AtomicUsize,
+    capacity: usize,
+}
+
+impl BatchPlanCache {
+    /// Creates a cache holding at most `capacity` tries.
+    pub fn new(capacity: usize) -> Self {
+        BatchPlanCache {
+            inner: Mutex::new(FxHashMap::default()),
+            len: std::sync::atomic::AtomicUsize::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up the trie compiled for `(head, bodies)` (bodies in the
+    /// canonical sorted order from [`canonical_group`]), re-validating its
+    /// epoch stamps against `stats`. Stale entries are removed on the spot.
+    pub fn fetch(&self, head: &Atom, bodies: &[&[Atom]], stats: &DatabaseStatistics) -> BatchFetch {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(bucket) = inner.get_mut(head) else {
+            return BatchFetch::Miss;
+        };
+        let Some(pos) = bucket
+            .iter()
+            .position(|entry| bodies_match(&entry.bodies, bodies))
+        else {
+            return BatchFetch::Miss;
+        };
+        if bucket[pos].plan.is_current(stats) {
+            return BatchFetch::Hit(Arc::clone(&bucket[pos].plan));
+        }
+        bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            inner.remove(head);
+        }
+        self.len.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        BatchFetch::Stale
+    }
+
+    /// Stores a freshly compiled trie for `(head, bodies)`; this is the
+    /// only place the key is deep-cloned (miss/stale path). Replacing an
+    /// existing entry never evicts; only a genuinely new entry at capacity
+    /// clears the table.
+    pub fn store(&self, head: &Atom, bodies: &[&[Atom]], plan: Arc<BatchPlan>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(bucket) = inner.get_mut(head) {
+            if let Some(existing) = bucket.iter_mut().find(|e| bodies_match(&e.bodies, bodies)) {
+                existing.plan = plan;
+                return;
+            }
+        }
+        if self.len.load(std::sync::atomic::Ordering::Relaxed) >= self.capacity {
+            inner.clear();
+            self.len.store(0, std::sync::atomic::Ordering::Relaxed);
+        }
+        inner.entry(head.clone()).or_default().push(BatchEntry {
+            bodies: bodies.iter().map(|&b| b.to_vec()).collect(),
+            plan,
+        });
+        self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Number of cached tries.
+    pub fn len(&self) -> usize {
+        self.len.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached trie (administrative reset; routine invalidation
+    /// is epoch-driven and lazy).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.clear();
+        self.len.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Default for BatchPlanCache {
+    fn default() -> Self {
+        BatchPlanCache::new(4_096)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,10 +645,13 @@ mod tests {
         let key = canonicalize(&clause("x", "y", "p"));
         let e1 = Tuple::from_strs(&["ann", "bob"]);
         let e2 = Tuple::from_strs(&["ann", "carol"]);
-        cache.insert(&key, &e1, CoverageOutcome::Covered);
-        cache.insert(&key, &e2, CoverageOutcome::NotCovered);
-        assert_eq!(cache.get(&key, &e1), Some(CoverageOutcome::Covered));
-        assert_eq!(cache.get(&key, &e2), Some(CoverageOutcome::NotCovered));
+        cache.insert(&key, &e1, CoverageOutcome::Covered, None);
+        cache.insert(&key, &e2, CoverageOutcome::NotCovered, None);
+        assert_eq!(cache.get(&key, &e1, None), Some(CoverageOutcome::Covered));
+        assert_eq!(
+            cache.get(&key, &e2, None),
+            Some(CoverageOutcome::NotCovered)
+        );
         assert_eq!(
             cache.covered_subset(&key, &[e1.clone(), e2.clone()]),
             vec![e1]
@@ -360,7 +668,7 @@ mod tests {
                 Atom::vars(format!("t{i}"), &["x", "y"]),
                 vec![],
             ));
-            cache.insert(&key, &e, CoverageOutcome::Covered);
+            cache.insert(&key, &e, CoverageOutcome::Covered, None);
         }
         assert_eq!(cache.len(), 2);
     }
@@ -371,26 +679,27 @@ mod tests {
         let e = Tuple::from_strs(&["a", "b"]);
         let key_of = |name: &str| canonicalize(&Clause::new(Atom::vars(name, &["x", "y"]), vec![]));
         let hot = key_of("hot");
-        cache.insert(&hot, &e, CoverageOutcome::Covered);
+        cache.insert(&hot, &e, CoverageOutcome::Covered, None);
         // Keep touching the hot clause while cold clauses stream through.
         for i in 0..6 {
             cache.insert(
                 &key_of(&format!("cold{i}")),
                 &e,
                 CoverageOutcome::NotCovered,
+                None,
             );
             assert_eq!(
-                cache.get(&hot, &e),
+                cache.get(&hot, &e, None),
                 Some(CoverageOutcome::Covered),
                 "hot clause evicted after cold{i}"
             );
         }
         // The most recent cold clause survived; earlier ones were evicted.
         assert_eq!(
-            cache.get(&key_of("cold5"), &e),
+            cache.get(&key_of("cold5"), &e, None),
             Some(CoverageOutcome::NotCovered)
         );
-        assert_eq!(cache.get(&key_of("cold0"), &e), None);
+        assert_eq!(cache.get(&key_of("cold0"), &e, None), None);
         assert_eq!(cache.len(), 2);
     }
 
@@ -400,7 +709,7 @@ mod tests {
         let key = canonicalize(&clause("x", "y", "p"));
         let e1 = Tuple::from_strs(&["ann", "bob"]);
         let e2 = Tuple::from_strs(&["ann", "carol"]);
-        cache.insert(&key, &e1, CoverageOutcome::Exhausted);
+        cache.insert(&key, &e1, CoverageOutcome::Exhausted, None);
         // An all-exhausted first insert must not even create the slot.
         assert!(cache.is_empty());
         cache.insert_many(
@@ -409,9 +718,10 @@ mod tests {
                 (e1.clone(), CoverageOutcome::Covered),
                 (e2.clone(), CoverageOutcome::Exhausted),
             ],
+            None,
         );
-        assert_eq!(cache.get(&key, &e1), Some(CoverageOutcome::Covered));
-        assert_eq!(cache.get(&key, &e2), None);
+        assert_eq!(cache.get(&key, &e1, None), Some(CoverageOutcome::Covered));
+        assert_eq!(cache.get(&key, &e2, None), None);
     }
 
     #[test]
@@ -423,17 +733,197 @@ mod tests {
             Atom::vars("t", &["x"]),
             vec![Atom::vars("unrelated", &["x"])],
         ));
-        cache.insert(&pub_clause, &e, CoverageOutcome::Covered);
-        cache.insert(&other, &e, CoverageOutcome::Covered);
+        cache.insert(&pub_clause, &e, CoverageOutcome::Covered, None);
+        cache.insert(&other, &e, CoverageOutcome::Covered, None);
         let mutated: std::collections::BTreeSet<String> =
             ["publication".to_string()].into_iter().collect();
         assert_eq!(cache.invalidate_relations(&mutated), 1);
-        assert_eq!(cache.get(&pub_clause, &e), None);
-        assert_eq!(cache.get(&other, &e), Some(CoverageOutcome::Covered));
+        assert_eq!(cache.get(&pub_clause, &e, None), None);
+        assert_eq!(cache.get(&other, &e, None), Some(CoverageOutcome::Covered));
         // Dropped clauses leave no recency residue: filling to capacity
         // still evicts correctly.
         assert_eq!(cache.invalidate_relations(&mutated), 0);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn exhaustions_are_served_to_equal_or_smaller_budgets_only() {
+        let cache = CoverageCache::default();
+        let key = canonicalize(&clause("x", "y", "p"));
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        // Observed under a 100-node budget.
+        cache.insert(&key, &e, CoverageOutcome::Exhausted, Some(100));
+        // Equal and smaller budgets are served the exhaustion...
+        assert_eq!(
+            cache.get(&key, &e, Some(100)),
+            Some(CoverageOutcome::Exhausted)
+        );
+        assert_eq!(
+            cache.get(&key, &e, Some(10)),
+            Some(CoverageOutcome::Exhausted)
+        );
+        // ...a larger budget (or an incomparable probe) re-evaluates.
+        assert_eq!(cache.get(&key, &e, Some(101)), None);
+        assert_eq!(cache.get(&key, &e, None), None);
+        // A batched read honors the same tier.
+        let row = cache.get_batch(&key, std::slice::from_ref(&e), Some(50));
+        assert_eq!(row[0], Some(CoverageOutcome::Exhausted));
+        let row = cache.get_batch(&key, std::slice::from_ref(&e), Some(500));
+        assert_eq!(row[0], None);
+    }
+
+    #[test]
+    fn exhaustion_entries_upgrade_but_never_downgrade() {
+        let cache = CoverageCache::default();
+        let key = canonicalize(&clause("x", "y", "p"));
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        cache.insert(&key, &e, CoverageOutcome::Exhausted, Some(10));
+        // A later, larger-budget exhaustion widens the servable range.
+        cache.insert(&key, &e, CoverageOutcome::Exhausted, Some(100));
+        assert_eq!(
+            cache.get(&key, &e, Some(50)),
+            Some(CoverageOutcome::Exhausted)
+        );
+        // A definite verdict replaces the exhaustion outright...
+        cache.insert(&key, &e, CoverageOutcome::Covered, Some(1_000));
+        assert_eq!(cache.get(&key, &e, Some(5)), Some(CoverageOutcome::Covered));
+        // ...and is never downgraded back to an exhaustion.
+        cache.insert(&key, &e, CoverageOutcome::Exhausted, Some(7));
+        assert_eq!(cache.get(&key, &e, Some(7)), Some(CoverageOutcome::Covered));
+        assert_eq!(cache.get(&key, &e, None), Some(CoverageOutcome::Covered));
+    }
+
+    #[test]
+    fn drop_exhausted_keeps_definite_verdicts() {
+        let cache = CoverageCache::default();
+        let key = canonicalize(&clause("x", "y", "p"));
+        let e1 = Tuple::from_strs(&["ann", "bob"]);
+        let e2 = Tuple::from_strs(&["ann", "carol"]);
+        cache.insert(&key, &e1, CoverageOutcome::Exhausted, Some(100));
+        cache.insert(&key, &e2, CoverageOutcome::Covered, Some(100));
+        assert_eq!(cache.drop_exhausted(&key), 1);
+        assert_eq!(cache.get(&key, &e1, Some(50)), None);
+        assert_eq!(
+            cache.get(&key, &e2, Some(50)),
+            Some(CoverageOutcome::Covered)
+        );
+        // A slot that only held exhaustions disappears entirely (recency
+        // entry included: filling to capacity still evicts correctly).
+        let lone = canonicalize(&Clause::new(Atom::vars("lone", &["x"]), vec![]));
+        cache.insert(&lone, &e1, CoverageOutcome::Exhausted, Some(9));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.drop_exhausted(&lone), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.drop_exhausted(&lone), 0);
+    }
+
+    #[test]
+    fn drop_all_exhausted_spares_definite_verdicts_everywhere() {
+        let cache = CoverageCache::default();
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        let a = canonicalize(&clause("x", "y", "p"));
+        let b = canonicalize(&Clause::new(Atom::vars("t", &["x"]), vec![]));
+        cache.insert(&a, &e, CoverageOutcome::Exhausted, Some(10));
+        cache.insert(&b, &e, CoverageOutcome::Covered, Some(10));
+        cache.insert(
+            &b,
+            &Tuple::from_strs(&["x", "y"]),
+            CoverageOutcome::Exhausted,
+            Some(10),
+        );
+        assert_eq!(cache.drop_all_exhausted(), 2);
+        // `a` held only an exhaustion and is gone; `b` keeps its verdict.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&b, &e, Some(5)), Some(CoverageOutcome::Covered));
+        assert_eq!(cache.drop_all_exhausted(), 0);
+    }
+
+    fn trie_fixture() -> (castor_relational::DatabaseInstance, Atom, Vec<Vec<Atom>>) {
+        let mut schema = castor_relational::Schema::new("s");
+        schema
+            .add_relation(castor_relational::RelationSymbol::new("r", &["a", "b"]))
+            .add_relation(castor_relational::RelationSymbol::new("s", &["a"]));
+        let mut db = castor_relational::DatabaseInstance::empty(&schema);
+        db.insert("r", Tuple::from_strs(&["1", "2"])).unwrap();
+        db.insert("s", Tuple::from_strs(&["1"])).unwrap();
+        let head = Atom::vars("t", &["_0"]);
+        let b0 = vec![Atom::vars("r", &["_0", "_1"])];
+        let b1 = vec![Atom::vars("r", &["_0", "_1"]), Atom::vars("s", &["_1"])];
+        (db, head, vec![b0, b1])
+    }
+
+    #[test]
+    fn canonical_group_sorts_bodies_and_maps_slots() {
+        let (_, _head, bodies) = trie_fixture();
+        let forward: Vec<(usize, &[Atom])> = vec![(7, &bodies[0]), (9, &bodies[1])];
+        let reversed: Vec<(usize, &[Atom])> = vec![(9, &bodies[1]), (7, &bodies[0])];
+        let (map_a, sorted_a) = canonical_group(&forward);
+        let (map_b, sorted_b) = canonical_group(&reversed);
+        // Submission order is irrelevant: same body order, same slot map.
+        assert_eq!(sorted_a, sorted_b);
+        assert_eq!(map_a, map_b);
+        // The slot map points each local slot at the caller tag.
+        for (local, &tag) in map_a.iter().enumerate() {
+            let original = if tag == 7 { &bodies[0] } else { &bodies[1] };
+            assert_eq!(sorted_a[local], original.as_slice());
+        }
+    }
+
+    #[test]
+    fn batch_plan_cache_hits_and_epoch_invalidates() {
+        let (mut db, head, bodies) = trie_fixture();
+        let mut stats = DatabaseStatistics::gather(&db);
+        let group: Vec<(usize, &[Atom])> = vec![(0, &bodies[0]), (1, &bodies[1])];
+        let (_, sorted) = canonical_group(&group);
+        let cache = BatchPlanCache::default();
+        assert!(matches!(
+            cache.fetch(&head, &sorted, &stats),
+            BatchFetch::Miss
+        ));
+        let slotted: Vec<(usize, &[Atom])> =
+            sorted.iter().enumerate().map(|(i, &b)| (i, b)).collect();
+        let plan = Arc::new(BatchPlan::compile(&head, &slotted, &stats));
+        cache.store(&head, &sorted, Arc::clone(&plan));
+        assert_eq!(cache.len(), 1);
+        match cache.fetch(&head, &sorted, &stats) {
+            BatchFetch::Hit(hit) => assert!(Arc::ptr_eq(&hit, &plan)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // A different body-set under the same head is a distinct entry.
+        let smaller: Vec<(usize, &[Atom])> = vec![(0, &bodies[0])];
+        let (_, small_sorted) = canonical_group(&smaller);
+        assert!(matches!(
+            cache.fetch(&head, &small_sorted, &stats),
+            BatchFetch::Miss
+        ));
+        // Mutating a relation the trie reads stales the entry; the fetch
+        // reports it and drops the entry so the caller recompiles.
+        db.insert("r", Tuple::from_strs(&["2", "3"])).unwrap();
+        stats.refresh(&db);
+        assert!(matches!(
+            cache.fetch(&head, &sorted, &stats),
+            BatchFetch::Stale
+        ));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn batch_plan_cache_clears_at_capacity() {
+        let (db, _head, bodies) = trie_fixture();
+        let stats = DatabaseStatistics::gather(&db);
+        let cache = BatchPlanCache::new(2);
+        for tag in 0..5usize {
+            let alt_head = Atom::vars(format!("t{tag}"), &["_0"]);
+            let group: Vec<(usize, &[Atom])> = vec![(0, &bodies[0]), (1, &bodies[1])];
+            let (_, sorted) = canonical_group(&group);
+            let slotted: Vec<(usize, &[Atom])> =
+                sorted.iter().enumerate().map(|(i, &b)| (i, b)).collect();
+            let plan = Arc::new(BatchPlan::compile(&alt_head, &slotted, &stats));
+            cache.store(&alt_head, &sorted, plan);
+        }
+        assert!(cache.len() <= 2);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]
@@ -442,14 +932,14 @@ mod tests {
         let e = Tuple::from_strs(&["a", "b"]);
         let key_of = |name: &str| canonicalize(&Clause::new(Atom::vars(name, &["x", "y"]), vec![]));
         let (a, b) = (key_of("a"), key_of("b"));
-        cache.insert(&a, &e, CoverageOutcome::Covered);
-        cache.insert(&b, &e, CoverageOutcome::Covered);
+        cache.insert(&a, &e, CoverageOutcome::Covered, None);
+        cache.insert(&b, &e, CoverageOutcome::Covered, None);
         // Touch `a` through the multi-clause read path, then overflow: `b`
         // must be the eviction victim.
-        let rows = cache.get_batch_multi(std::slice::from_ref(&a), std::slice::from_ref(&e));
+        let rows = cache.get_batch_multi(std::slice::from_ref(&a), std::slice::from_ref(&e), None);
         assert_eq!(rows[0][0], Some(CoverageOutcome::Covered));
-        cache.insert(&key_of("c"), &e, CoverageOutcome::Covered);
-        assert!(cache.get(&a, &e).is_some());
-        assert!(cache.get(&b, &e).is_none());
+        cache.insert(&key_of("c"), &e, CoverageOutcome::Covered, None);
+        assert!(cache.get(&a, &e, None).is_some());
+        assert!(cache.get(&b, &e, None).is_none());
     }
 }

@@ -7,24 +7,33 @@
 //! reuse of results across candidate clauses (Sections 7.5.3–7.5.4). This
 //! crate owns that machinery for the whole workspace:
 //!
-//! * [`stats`] — per-relation/per-attribute selectivity statistics read off
-//!   the database's hash indexes when the engine is built;
+//! * [`stats`] — per-relation/per-attribute selectivity statistics (incl.
+//!   the skew-aware histograms/MCV lists of `castor-relational`) read off
+//!   the database's incrementally-maintained indexes and sketches;
+//! * [`cost`] — pluggable [`CostModel`]s: the skew-aware histogram model
+//!   (default), the uniform baseline, and observed-row overrides for
+//!   feedback re-planning;
 //! * [`plan`] — compiled per-clause join orders chosen once from those
-//!   statistics instead of re-ranking literals at every backtracking node;
+//!   statistics instead of re-ranking literals at every backtracking node,
+//!   plus per-plan execution feedback ([`PlanFeedback`]) that triggers
+//!   recosting when estimates diverge from observed candidate rows;
 //! * [`executor`] — budgeted execution of a compiled plan against the
-//!   positional hash indexes;
+//!   positional hash indexes, recording per-step candidate rows;
 //! * [`cache`] — a memoized coverage cache keyed by canonical
 //!   (variable-renamed) clauses, with generality-order propagation
-//!   ([`Prior::GeneralizationOf`]) promoted to an engine invariant;
+//!   ([`Prior::GeneralizationOf`]) promoted to an engine invariant, a
+//!   budget-aware tier for `Exhausted` verdicts, and the cross-round
+//!   [`BatchPlanCache`] for compiled shared-prefix tries;
 //! * [`pool`] — a persistent worker pool with work-stealing over examples,
 //!   replacing per-call thread spawning.
 //!
-//! The [`Engine`] front end combines all five; every learner in the
+//! The [`Engine`] front end combines all of these; every learner in the
 //! workspace (Castor, FOIL, Golem, Progol, ProGolem) routes coverage tests
 //! through it.
 
 pub mod batch;
 pub mod cache;
+pub mod cost;
 pub mod executor;
 pub mod fx;
 pub mod plan;
@@ -32,10 +41,11 @@ pub mod pool;
 pub mod stats;
 
 pub use batch::{BatchItemStats, BatchPlan};
-pub use cache::{canonicalize, CoverageCache};
+pub use cache::{canonical_group, canonicalize, BatchFetch, BatchPlanCache, CoverageCache};
 pub use castor_logic::{CoverageOutcome, EvalBudget, DEFAULT_EVAL_NODE_BUDGET};
+pub use cost::{CostModel, CostModelKind, CostOverrides, HistogramCost, UniformCost};
 pub use fx::{FxBuildHasher, FxHashMap, FxHasher};
-pub use plan::{ClausePlan, PlanStep};
+pub use plan::{ClausePlan, PlanFeedback, PlanStep};
 pub use pool::WorkerPool;
 pub use stats::{DatabaseStatistics, EngineReport, EngineStats};
 
@@ -63,6 +73,17 @@ pub struct EngineConfig {
     /// Minimum pending examples before a `covered_set` call is spread over
     /// the worker pool.
     pub parallel_threshold: usize,
+    /// The cost model consulted by plan and trie compilation (histogram by
+    /// default; [`CostModelKind::Uniform`] is the ablation baseline).
+    pub cost_model: CostModelKind,
+    /// Plan executions observed before the feedback loop may judge the
+    /// plan's estimates.
+    pub recost_after: usize,
+    /// Feedback re-planning threshold: when a cached plan's observed
+    /// candidate rows diverge from its estimates by at least this factor
+    /// (on any step), the plan is recompiled with the observed numbers.
+    /// 0 disables feedback re-planning.
+    pub recost_divergence: u32,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +95,9 @@ impl Default for EngineConfig {
             cache_capacity: 16_384,
             compile_plans: true,
             parallel_threshold: 8,
+            cost_model: CostModelKind::Histogram,
+            recost_after: 8,
+            recost_divergence: 4,
         }
     }
 }
@@ -102,6 +126,26 @@ impl EngineConfig {
         self.compile_plans = false;
         self
     }
+
+    /// Returns a copy using the given cost model.
+    pub fn with_cost_model(mut self, model: CostModelKind) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Returns a copy using the uniform-selectivity baseline model
+    /// (ablation/benchmark baseline).
+    pub fn with_uniform_costs(mut self) -> Self {
+        self.cost_model = CostModelKind::Uniform;
+        self
+    }
+
+    /// Returns a copy with feedback re-planning disabled (plans are only
+    /// recompiled by epoch invalidation).
+    pub fn without_feedback_replanning(mut self) -> Self {
+        self.recost_divergence = 0;
+        self
+    }
 }
 
 /// Prior knowledge a caller can hand to [`Engine::covered_set`] to skip
@@ -117,6 +161,18 @@ pub enum Prior<'a> {
     /// is cached as covering is covered — the generality order of
     /// Section 7.5.4 as an engine invariant.
     GeneralizationOf(&'a Clause),
+}
+
+/// Narrows an exhaustion scope across an evaluation: the budget recorded
+/// for a new exhaustion is the one captured when the evaluation *started*
+/// (a concurrent budget raise must not inflate the stored key), and the
+/// verdicts are dropped entirely (`None`) when a cancellation fired before
+/// write-back (the exhaustions are aborts, not budget verdicts).
+fn narrow_scope(start: Option<usize>, end: Option<usize>) -> Option<usize> {
+    match (start, end) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        _ => None,
+    }
 }
 
 /// Positive/negative coverage counts for one clause of a batch — the
@@ -155,6 +211,17 @@ pub trait CoverageTester {
         examples: &Arc<Vec<Tuple>>,
         pairs: &Arc<Vec<(usize, usize)>>,
     ) -> Box<dyn Fn(usize) -> CoverageOutcome + Send + Sync + 'static>;
+
+    /// The node budget this tester's exhaustion verdicts are comparable
+    /// under — the *scope* of the memo cache's budget-aware exhaustion tier:
+    /// `Some(budget)` makes exhaustions cacheable keyed by that budget and
+    /// lets cached exhaustions observed under an equal-or-larger budget be
+    /// served; `None` (the default) keeps exhaustions out of the cache
+    /// entirely, e.g. while a cancellation token can abort searches through
+    /// the exhaustion path.
+    fn exhaustion_scope(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The orchestration shared by every coverage engine: canonical-clause
@@ -217,6 +284,21 @@ impl CoverageRuntime {
         self.cache.clear();
     }
 
+    /// Drops one clause's cached exhaustion entries (see
+    /// [`CoverageCache::drop_exhausted`]) — called when the clause's plan
+    /// is recosted, since those exhaustions were observed under the
+    /// discarded join order.
+    pub fn drop_exhausted(&self, canonical: &Clause) -> usize {
+        self.cache.drop_exhausted(canonical)
+    }
+
+    /// Drops every cached exhaustion entry (see
+    /// [`CoverageCache::drop_all_exhausted`]) — called when the plan table
+    /// is cleared at capacity, which reverts every recosted join order.
+    pub fn drop_all_exhausted(&self) -> usize {
+        self.cache.drop_all_exhausted()
+    }
+
     /// Tri-state coverage test for one example through the memo cache.
     pub fn try_covers<T: CoverageTester>(
         &self,
@@ -224,8 +306,9 @@ impl CoverageRuntime {
         canonical: &Clause,
         example: &Tuple,
     ) -> CoverageOutcome {
+        let scope = tester.exhaustion_scope();
         if self.cache_coverage {
-            if let Some(outcome) = self.cache.get(canonical, example) {
+            if let Some(outcome) = self.cache.get(canonical, example, scope) {
                 EngineStats::bump(&self.metrics.cache_hits);
                 return outcome;
             }
@@ -233,7 +316,15 @@ impl CoverageRuntime {
         }
         let outcome = tester.test(canonical, example);
         if self.cache_coverage {
-            self.cache.insert(canonical, example, outcome);
+            // Narrow the scope across the test: a cancellation that fired
+            // during it turned an exhaustion into an abort (drop), and a
+            // concurrent budget change must not inflate the stored key.
+            self.cache.insert(
+                canonical,
+                example,
+                outcome,
+                narrow_scope(scope, tester.exhaustion_scope()),
+            );
         }
         outcome
     }
@@ -273,12 +364,14 @@ impl CoverageRuntime {
                 cacheable_skips = true;
             }
         }
+        let scope = tester.exhaustion_scope();
         if !skip.is_empty() {
             EngineStats::add(&self.metrics.generality_skips, skip.len());
             if self.cache_coverage && cacheable_skips {
                 self.cache.insert_many(
                     canonical,
                     skip.iter().map(|e| (e.clone(), CoverageOutcome::Covered)),
+                    scope,
                 );
             }
         }
@@ -287,7 +380,7 @@ impl CoverageRuntime {
         // evaluate the remainder.
         let mut pending: Vec<Tuple> = Vec::new();
         let cached = if self.cache_coverage {
-            self.cache.get_batch(canonical, examples)
+            self.cache.get_batch(canonical, examples, scope)
         } else {
             vec![None; examples.len()]
         };
@@ -323,9 +416,13 @@ impl CoverageRuntime {
                 pending.iter().map(|e| tester.test(canonical, e)).collect()
             };
         if self.cache_coverage {
+            // Narrow the scope across the evaluation: mid-flight
+            // cancellations drop the exhaustions, concurrent budget
+            // changes cannot inflate the stored key.
             self.cache.insert_many(
                 canonical,
                 pending.iter().cloned().zip(outcomes.iter().copied()),
+                narrow_scope(scope, tester.exhaustion_scope()),
             );
         }
         for (e, outcome) in pending.into_iter().zip(outcomes) {
@@ -356,7 +453,8 @@ impl CoverageRuntime {
         if clauses.is_empty() {
             return Vec::new();
         }
-        let mut prep = self.prepare_batch(clauses, priors, examples);
+        let scope = tester.exhaustion_scope();
+        let mut prep = self.prepare_batch(clauses, priors, examples, scope);
         let pairs: Vec<(usize, usize)> = prep
             .pending
             .iter()
@@ -365,7 +463,15 @@ impl CoverageRuntime {
             .collect();
         if !pairs.is_empty() {
             let outcomes = self.evaluate_pairs(tester, &prep.unique, examples, &pairs);
-            self.absorb_pair_outcomes(&prep.unique, examples, &pairs, &outcomes, &mut prep.covered);
+            // Scope narrowed across the evaluation (see `covered_set`).
+            self.absorb_pair_outcomes(
+                &prep.unique,
+                examples,
+                &pairs,
+                &outcomes,
+                &mut prep.covered,
+                narrow_scope(scope, tester.exhaustion_scope()),
+            );
         }
         prep.finish()
     }
@@ -380,6 +486,7 @@ impl CoverageRuntime {
         clauses: &[Clause],
         priors: &[Prior<'_>],
         examples: &[Tuple],
+        scope: Option<usize>,
     ) -> BatchPrep {
         debug_assert!(
             priors.is_empty() || priors.len() == clauses.len(),
@@ -432,13 +539,14 @@ impl CoverageRuntime {
                     self.cache.insert_many(
                         &unique[slot],
                         derived.into_iter().map(|e| (e, CoverageOutcome::Covered)),
+                        scope,
                     );
                 }
             }
         }
 
         let rows = if self.cache_coverage {
-            self.cache.get_batch_multi(&unique, examples)
+            self.cache.get_batch_multi(&unique, examples, scope)
         } else {
             vec![vec![None; examples.len()]; unique.len()]
         };
@@ -510,6 +618,7 @@ impl CoverageRuntime {
         pairs: &[(usize, usize)],
         outcomes: &[CoverageOutcome],
         covered: &mut [HashSet<Tuple>],
+        scope: Option<usize>,
     ) {
         if self.cache_coverage {
             // One pass: bucket outcomes by slot, then one insert_many per
@@ -520,7 +629,7 @@ impl CoverageRuntime {
             }
             for (slot, slot_outcomes) in by_slot.into_iter().enumerate() {
                 if !slot_outcomes.is_empty() {
-                    self.cache.insert_many(&unique[slot], slot_outcomes);
+                    self.cache.insert_many(&unique[slot], slot_outcomes, scope);
                 }
             }
         }
@@ -553,6 +662,25 @@ impl BatchPrep {
     }
 }
 
+/// A fetched plan plus the feedback handle executors record into (`None`
+/// once the plan's estimates are validated and recording has stopped).
+type FetchedPlan = (Arc<ClausePlan>, Option<Arc<PlanFeedback>>);
+
+/// One cached compiled plan plus the execution feedback shared by every
+/// executor running it (the raw material of feedback re-planning).
+#[derive(Debug)]
+struct PlanEntry {
+    plan: Arc<ClausePlan>,
+    feedback: Arc<PlanFeedback>,
+}
+
+impl PlanEntry {
+    fn new(plan: Arc<ClausePlan>) -> Self {
+        let feedback = Arc::new(PlanFeedback::new(plan.steps.len()));
+        PlanEntry { plan, feedback }
+    }
+}
+
 /// The database-backed evaluation engine: statistics, compiled plans,
 /// memoized coverage, and a persistent worker pool behind one front end.
 ///
@@ -570,7 +698,10 @@ impl BatchPrep {
 pub struct Engine {
     db: RwLock<Arc<DatabaseInstance>>,
     db_stats: RwLock<Arc<DatabaseStatistics>>,
-    plans: Mutex<fx::FxHashMap<Clause, Arc<ClausePlan>>>,
+    plans: Mutex<fx::FxHashMap<Clause, PlanEntry>>,
+    /// Cross-round cache of compiled shared-prefix tries (see
+    /// [`BatchPlanCache`]).
+    batch_plans: BatchPlanCache,
     runtime: CoverageRuntime,
     config: EngineConfig,
     /// Live per-test node budget (initialized from the config; a serving
@@ -610,6 +741,7 @@ impl Engine {
         Engine {
             db_stats: RwLock::new(Arc::new(db_stats)),
             plans: Mutex::new(fx::FxHashMap::default()),
+            batch_plans: BatchPlanCache::new(config.cache_capacity),
             runtime: CoverageRuntime::new(&config, pool),
             eval_budget: AtomicUsize::new(config.eval_budget),
             cancel: Mutex::new(None),
@@ -724,28 +856,135 @@ impl Engine {
         self.gate.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// The compiled plan for a canonical clause, compiling on first use.
-    /// Every fetch re-validates the cached plan's epoch stamps against the
-    /// live statistics: a plan costed before a mutation of any relation it
-    /// touches is discarded and recompiled, so a stale plan can never
-    /// execute. Bounded like the coverage cache: at capacity the table is
-    /// cleared rather than growing without limit.
-    fn plan_for(&self, canonical: &Clause, stats: &DatabaseStatistics) -> Arc<ClausePlan> {
+    /// The exhaustion scope of this engine's coverage tests: the node
+    /// budget exhaustions are comparable under, or `None` while a
+    /// cancellation is *pending* (a cancelled search aborts through the
+    /// exhaustion path, and those verdicts must never enter the cache —
+    /// the runtime re-captures this scope at write-back time, so verdicts
+    /// produced under a cancellation that fired mid-evaluation are dropped
+    /// too). A merely *installed* but untriggered token keeps the tier
+    /// active: serving sessions run every job with a token installed.
+    fn exhaustion_scope(&self) -> Option<usize> {
+        let cancel = self.cancel.lock().unwrap_or_else(|e| e.into_inner());
+        match &*cancel {
+            Some(token) if token.load(Ordering::Relaxed) => None,
+            _ => Some(self.current_eval_budget()),
+        }
+    }
+
+    /// The compiled plan for a canonical clause (plus its shared execution
+    /// feedback), compiling on first use. Every fetch re-validates the
+    /// cached plan's epoch stamps against the live statistics: a plan
+    /// costed before a mutation of any relation it touches is discarded and
+    /// recompiled, so a stale plan can never execute. A current plan whose
+    /// recorded feedback diverges from its estimates past the configured
+    /// threshold is *recosted*: recompiled with the observed candidate rows
+    /// overriding the model (`plans_recosted`). Bounded like the coverage
+    /// cache: at capacity the table is cleared rather than growing without
+    /// limit.
+    fn plan_for(&self, canonical: &Clause, stats: &DatabaseStatistics) -> FetchedPlan {
+        let metrics = self.runtime.metrics();
+        let model = self.config.cost_model.model();
         let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(plan) = plans.get(canonical) {
-            if plan.is_current(stats) {
-                EngineStats::bump(&self.runtime.metrics().plan_cache_hits);
-                return Arc::clone(plan);
+        if let Some(entry) = plans.get(canonical) {
+            if !entry.plan.is_current(stats) {
+                EngineStats::bump(&metrics.plans_invalidated);
+                plans.remove(canonical);
+            } else if self.config.recost_divergence > 0
+                && entry.feedback.check_due(self.config.recost_after)
+                && {
+                    // Allocation-free scan; a passing check defers the next
+                    // one exponentially so hot, well-estimated plans pay a
+                    // single atomic load per fetch.
+                    let diverged = entry.feedback.divergence(&entry.plan)
+                        >= self.config.recost_divergence as f64;
+                    if !diverged {
+                        entry.feedback.defer_check();
+                    }
+                    diverged
+                }
+            {
+                // Feedback re-planning: recompile with the observed rows
+                // beating the model, and start collecting fresh feedback
+                // for the new order.
+                let overrides = entry.feedback.overrides(&entry.plan);
+                let plan = Arc::new(ClausePlan::compile_with(
+                    canonical, stats, model, &overrides,
+                ));
+                EngineStats::bump(&metrics.plans_recosted);
+                // Exhaustions memoized for this clause were observed under
+                // the discarded join order; the new one may decide them
+                // within the same budget, so they must be re-evaluated.
+                self.runtime.drop_exhausted(canonical);
+                let entry = PlanEntry::new(plan);
+                let out = (Arc::clone(&entry.plan), Some(Arc::clone(&entry.feedback)));
+                plans.insert(canonical.clone(), entry);
+                return out;
+            } else {
+                EngineStats::bump(&metrics.plan_cache_hits);
+                // Validated feedback is not handed out: the estimates have
+                // held through enough checks that per-probe recording is
+                // pure overhead.
+                let feedback =
+                    (!entry.feedback.is_validated()).then(|| Arc::clone(&entry.feedback));
+                return (Arc::clone(&entry.plan), feedback);
             }
-            EngineStats::bump(&self.runtime.metrics().plans_invalidated);
-            plans.remove(canonical);
         }
         if plans.len() >= self.config.cache_capacity {
             plans.clear();
+            // The clear discarded every recosted order and its feedback:
+            // clauses recompile to model-driven orders, under which cached
+            // exhaustions (observed under the recosted orders) may be
+            // beatable — drop them all, like a recost does per clause.
+            self.runtime.drop_all_exhausted();
         }
-        let plan = Arc::new(ClausePlan::compile(canonical, stats));
-        EngineStats::bump(&self.runtime.metrics().plans_compiled);
-        plans.insert(canonical.clone(), Arc::clone(&plan));
+        let plan = Arc::new(ClausePlan::compile_with(
+            canonical,
+            stats,
+            model,
+            &CostOverrides::default(),
+        ));
+        EngineStats::bump(&metrics.plans_compiled);
+        let entry = PlanEntry::new(plan);
+        let out = (Arc::clone(&entry.plan), Some(Arc::clone(&entry.feedback)));
+        plans.insert(canonical.clone(), entry);
+        out
+    }
+
+    /// The compiled shared-prefix trie for one sibling group, served from
+    /// the cross-round [`BatchPlanCache`] when a current entry exists.
+    /// `bodies` must be in the canonical sorted order from
+    /// [`canonical_group`]; the plan's candidate slots are *local* (indices
+    /// into that order), mapped back through the slot map the caller kept.
+    /// The hit path never clones an atom — owned keys are built only when
+    /// a freshly compiled trie is stored.
+    fn batch_plan_for(
+        &self,
+        head: &Atom,
+        bodies: &[&[castor_logic::Atom]],
+        stats: &DatabaseStatistics,
+    ) -> Arc<BatchPlan> {
+        let metrics = self.runtime.metrics();
+        match self.batch_plans.fetch(head, bodies, stats) {
+            BatchFetch::Hit(plan) => {
+                EngineStats::bump(&metrics.batch_plan_cache_hits);
+                return plan;
+            }
+            BatchFetch::Stale => {
+                EngineStats::bump(&metrics.batch_plans_invalidated);
+            }
+            BatchFetch::Miss => {}
+        }
+        let slotted: Vec<(usize, &[castor_logic::Atom])> =
+            bodies.iter().enumerate().map(|(i, &b)| (i, b)).collect();
+        let plan = Arc::new(BatchPlan::compile_with(
+            head,
+            &slotted,
+            stats,
+            self.config.cost_model.model(),
+        ));
+        EngineStats::bump(&metrics.batch_plans_compiled);
+        self.batch_plans.store(head, bodies, Arc::clone(&plan));
         plan
     }
 
@@ -881,20 +1120,29 @@ impl Engine {
                 .runtime
                 .covered_sets_batch(self, clauses, examples, priors);
         }
-        let mut prep = self.runtime.prepare_batch(clauses, priors, examples);
+        // The trie path opts out of the exhaustion tier (`None` scope):
+        // trie execution charges shared-prefix probes to every live
+        // candidate, so its exhaustions are not node-comparable with
+        // per-clause-plan ones — an exhaustion is budget-monotone only
+        // under a fixed execution order. Reads are conservative misses for
+        // *every* candidate (which candidates end up as trie-grouped vs.
+        // lone is only known after grouping); lone candidates, which run
+        // ordinary per-clause plans, still write their exhaustions back
+        // into the tier for the non-batched entry points to serve.
+        let mut prep = self.runtime.prepare_batch(clauses, priors, examples, None);
         self.evaluate_batch_pending(&mut prep, examples);
         prep.finish()
     }
 
     /// Evaluates every pending (slot, example) pair of a prepared batch:
     /// head-groups with at least two candidates run through a shared-prefix
-    /// trie (work-stolen over the subtree × example grid), lone candidates
+    /// trie (fetched from the cross-round [`BatchPlanCache`] or compiled,
+    /// then work-stolen over the subtree × example grid), lone candidates
     /// take the per-clause compiled-plan path.
     fn evaluate_batch_pending(&self, prep: &mut BatchPrep, examples: &[Tuple]) {
         let metrics = self.runtime.metrics();
         let db = self.snapshot();
         let db_stats = self.statistics();
-        let slot_space = prep.unique.len();
         let mut groups: fx::FxHashMap<&Atom, Vec<usize>> = fx::FxHashMap::default();
         for (slot, clause) in prep.unique.iter().enumerate() {
             if !prep.pending[slot].is_empty() {
@@ -903,7 +1151,11 @@ impl Engine {
         }
 
         let mut singles: Vec<(usize, usize)> = Vec::new();
+        // Tries plus, per trie, the map from its local candidate slots
+        // (indices into the cache key's sorted bodies) back to the prepared
+        // batch's global slots.
         let mut plans: Vec<Arc<BatchPlan>> = Vec::new();
+        let mut slot_maps: Vec<Vec<usize>> = Vec::new();
         // (slot, example index, outcome) verdicts settled without a search:
         // empty-bodied candidates are covered iff the head binds.
         let mut evaluated: Vec<(usize, usize, CoverageOutcome)> = Vec::new();
@@ -914,17 +1166,21 @@ impl Engine {
                 singles.extend(prep.pending[s].iter().map(|&ei| (s, ei)));
                 continue;
             }
-            let bodies: Vec<(usize, &[castor_logic::Atom])> = slots
+            let group: Vec<(usize, &[castor_logic::Atom])> = slots
                 .iter()
                 .map(|&s| (s, prep.unique[s].body.as_slice()))
                 .collect();
-            // Batch plans are compiled per call against this call's stats
-            // snapshot and never cached, so no staleness check is needed
-            // here — only cached `ClausePlan`s carry that risk.
-            let plan = BatchPlan::compile(head, &bodies, &db_stats);
+            // Canonical (head, sorted body-set) identity: consecutive beam
+            // rounds that re-score the same sibling group reuse the
+            // compiled trie; the fetch re-validates its `(relation, epoch)`
+            // stamps, so a trie costed before a mutation is recompiled,
+            // never reused.
+            let (slot_map, bodies) = canonical_group(&group);
+            let plan = self.batch_plan_for(head, &bodies, &db_stats);
             if !plan.root_accepting.is_empty() {
                 let head_clause = Clause::fact(head.clone());
-                for &s in &plan.root_accepting {
+                for &local in &plan.root_accepting {
+                    let s = slot_map[local];
                     for &ei in &prep.pending[s] {
                         let outcome =
                             if castor_logic::evaluation::bind_head(&head_clause, &examples[ei])
@@ -939,23 +1195,33 @@ impl Engine {
                     }
                 }
             }
-            plans.push(Arc::new(plan));
+            plans.push(plan);
+            slot_maps.push(slot_map);
         }
 
         // The work grid: rows are trie subtrees (across all head groups),
         // columns are examples; each cell decides every live candidate of
-        // its subtree for its example.
+        // its subtree for its example. Live masks are per trie, in local
+        // slot space.
         let subtrees: Vec<(usize, usize)> = plans
             .iter()
             .enumerate()
             .flat_map(|(pi, plan)| plan.roots.iter().map(move |&root| (pi, root)))
             .collect();
-        let mut mask: Vec<Vec<bool>> = vec![vec![false; slot_space]; examples.len()];
+        let mut pending_mask: Vec<Vec<bool>> = vec![vec![false; examples.len()]; prep.unique.len()];
         for (slot, exs) in prep.pending.iter().enumerate() {
             for &ei in exs {
-                mask[ei][slot] = true;
+                pending_mask[slot][ei] = true;
             }
         }
+        let masks: Vec<Vec<Vec<bool>>> = slot_maps
+            .iter()
+            .map(|slot_map| {
+                (0..examples.len())
+                    .map(|ei| slot_map.iter().map(|&s| pending_mask[s][ei]).collect())
+                    .collect()
+            })
+            .collect();
         let budget = self.budget_template();
         let cells = subtrees.len() * examples.len();
         type Item = (Vec<(usize, CoverageOutcome)>, BatchItemStats);
@@ -964,7 +1230,7 @@ impl Engine {
                 let plans = Arc::new(plans.clone());
                 let subtrees_shared = Arc::new(subtrees.clone());
                 let examples_shared = Arc::new(examples.to_vec());
-                let mask = Arc::new(mask);
+                let masks = Arc::new(masks);
                 let db = Arc::clone(&db);
                 let budget = budget.clone();
                 self.runtime
@@ -976,7 +1242,7 @@ impl Engine {
                             root,
                             &db,
                             &examples_shared[col],
-                            &mask[col],
+                            &masks[pi][col],
                             &budget,
                         )
                     })
@@ -985,7 +1251,12 @@ impl Engine {
                 for &(pi, root) in &subtrees {
                     for (ei, example) in examples.iter().enumerate() {
                         out.push(batch::evaluate_subtree(
-                            &plans[pi], root, &db, example, &mask[ei], &budget,
+                            &plans[pi],
+                            root,
+                            &db,
+                            example,
+                            &masks[pi][ei],
+                            &budget,
                         ));
                     }
                 }
@@ -997,8 +1268,13 @@ impl Engine {
             // map_grid and the inline loop are both row-major over
             // (subtree, example).
             let ei = idx % examples.len();
+            let pi = subtrees[idx / examples.len()].0;
             agg.absorb(&stats);
-            evaluated.extend(outcomes.into_iter().map(|(slot, o)| (slot, ei, o)));
+            evaluated.extend(
+                outcomes
+                    .into_iter()
+                    .map(|(local, o)| (slot_maps[pi][local], ei, o)),
+            );
         }
         EngineStats::add(&metrics.coverage_tests, agg.tests + trivial_tests);
         EngineStats::add(&metrics.budget_exhausted, agg.budget_exhausted);
@@ -1008,24 +1284,34 @@ impl Engine {
 
         let pairs: Vec<(usize, usize)> = evaluated.iter().map(|&(s, ei, _)| (s, ei)).collect();
         let outcomes: Vec<CoverageOutcome> = evaluated.iter().map(|&(_, _, o)| o).collect();
+        // Trie-produced exhaustions are never memoized (`None` scope): the
+        // trie's per-candidate budget accounting is not comparable with the
+        // per-clause plan path that might answer the same (clause, example)
+        // later. Definite verdicts are cached as usual.
         self.runtime.absorb_pair_outcomes(
             &prep.unique,
             examples,
             &pairs,
             &outcomes,
             &mut prep.covered,
+            None,
         );
 
         if !singles.is_empty() {
+            let scope = self.exhaustion_scope();
             let outcomes = self
                 .runtime
                 .evaluate_pairs(self, &prep.unique, examples, &singles);
+            // Lone candidates ran ordinary per-clause plans: their
+            // exhaustions keep the budget tier (scope narrowed across the
+            // evaluation, as in `covered_set`).
             self.runtime.absorb_pair_outcomes(
                 &prep.unique,
                 examples,
                 &singles,
                 &outcomes,
                 &mut prep.covered,
+                narrow_scope(scope, self.exhaustion_scope()),
             );
         }
     }
@@ -1038,8 +1324,15 @@ impl CoverageTester for Engine {
         let db = self.snapshot();
         let mut budget = self.budget_template();
         let outcome = if self.config.compile_plans {
-            let plan = self.plan_for(canonical, &self.statistics());
-            executor::covers_with_plan(canonical, &plan, &db, example, &mut budget)
+            let (plan, feedback) = self.plan_for(canonical, &self.statistics());
+            executor::covers_with_plan_observed(
+                canonical,
+                &plan,
+                &db,
+                example,
+                &mut budget,
+                feedback.as_deref(),
+            )
         } else {
             castor_logic::covers_example_budgeted(canonical, &db, example, &mut budget)
         };
@@ -1067,9 +1360,14 @@ impl CoverageTester for Engine {
             EngineStats::bump(&metrics.coverage_tests);
             let mut node_budget = budget.clone();
             let outcome = match &plan {
-                Some(plan) => {
-                    executor::covers_with_plan(&clause, plan, &db, &examples[i], &mut node_budget)
-                }
+                Some((plan, feedback)) => executor::covers_with_plan_observed(
+                    &clause,
+                    plan,
+                    &db,
+                    &examples[i],
+                    &mut node_budget,
+                    feedback.as_deref(),
+                ),
                 None => castor_logic::covers_example_budgeted(
                     &clause,
                     &db,
@@ -1096,7 +1394,7 @@ impl CoverageTester for Engine {
         let canonicals = Arc::clone(canonicals);
         let examples = Arc::clone(examples);
         let pairs = Arc::clone(pairs);
-        let plans: Option<Vec<Arc<ClausePlan>>> = self.config.compile_plans.then(|| {
+        let plans: Option<Vec<FetchedPlan>> = self.config.compile_plans.then(|| {
             let stats = self.statistics();
             canonicals
                 .iter()
@@ -1108,13 +1406,17 @@ impl CoverageTester for Engine {
             EngineStats::bump(&metrics.coverage_tests);
             let mut node_budget = budget.clone();
             let outcome = match &plans {
-                Some(plans) => executor::covers_with_plan(
-                    &canonicals[slot],
-                    &plans[slot],
-                    &db,
-                    &examples[ei],
-                    &mut node_budget,
-                ),
+                Some(plans) => {
+                    let (plan, feedback) = &plans[slot];
+                    executor::covers_with_plan_observed(
+                        &canonicals[slot],
+                        plan,
+                        &db,
+                        &examples[ei],
+                        &mut node_budget,
+                        feedback.as_deref(),
+                    )
+                }
                 None => castor_logic::covers_example_budgeted(
                     &canonicals[slot],
                     &db,
@@ -1127,6 +1429,10 @@ impl CoverageTester for Engine {
             }
             outcome
         })
+    }
+
+    fn exhaustion_scope(&self) -> Option<usize> {
+        Engine::exhaustion_scope(self)
     }
 }
 
@@ -1575,6 +1881,248 @@ mod tests {
         assert_eq!(after.coverage_tests, before.coverage_tests);
         assert_eq!(after.cache_clauses_invalidated, 0);
         assert_eq!(after.plans_invalidated, 0);
+    }
+
+    #[test]
+    fn exhaustions_are_memoized_per_budget_tier() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default().with_eval_budget(1));
+        let clause = collaborated("x", "y", "p");
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        // First test exhausts and is memoized keyed by budget 1.
+        assert!(!engine.covers(&clause, &e));
+        let before = engine.report();
+        assert_eq!(before.budget_exhausted, 1);
+        // Same budget: answered from the cache, no new evaluation.
+        assert!(!engine.covers(&clause, &e));
+        let same = engine.report();
+        assert_eq!(same.coverage_tests, before.coverage_tests);
+        assert_eq!(same.cache_hits, before.cache_hits + 1);
+        // Smaller budget: still served (an exhaustion under 1 node implies
+        // exhaustion under 0).
+        engine.set_eval_budget(0);
+        assert!(!engine.covers(&clause, &e));
+        assert_eq!(engine.report().coverage_tests, before.coverage_tests);
+        // Larger budget: the cached exhaustion is *not* served — the test
+        // re-runs and this time finds the answer.
+        engine.set_eval_budget(DEFAULT_EVAL_NODE_BUDGET);
+        assert!(engine.covers(&clause, &e));
+        let after = engine.report();
+        assert_eq!(after.coverage_tests, before.coverage_tests + 1);
+        // The definite verdict replaced the exhaustion: a small budget now
+        // gets "covered" from the cache instead of re-exhausting.
+        engine.set_eval_budget(1);
+        assert!(engine.covers(&clause, &e));
+        assert_eq!(engine.report().coverage_tests, after.coverage_tests);
+    }
+
+    #[test]
+    fn cancellation_pending_keeps_exhaustions_out_of_the_cache() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default());
+        let clause = collaborated("x", "y", "p");
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        let token = Arc::new(AtomicBool::new(true));
+        engine.set_cancel_token(Some(Arc::clone(&token)));
+        assert!(!engine.covers(&clause, &e)); // aborted as exhaustion
+                                              // Lifting the cancellation must re-evaluate: the abort was never
+                                              // cached even though budgets are identical.
+        token.store(false, Ordering::Relaxed);
+        let before = engine.report();
+        assert!(engine.covers(&clause, &e));
+        assert_eq!(engine.report().coverage_tests, before.coverage_tests + 1);
+        // An *installed but untriggered* token keeps the tier active: the
+        // definite verdict above came from a real evaluation and is served
+        // from cache now.
+        assert!(engine.covers(&clause, &e));
+        assert_eq!(engine.report().coverage_tests, before.coverage_tests + 1);
+    }
+
+    /// A database whose `skewed` relation hides a hub value behind a high
+    /// distinct count — the uniform estimate is wrong by ~100×.
+    fn skewed_db() -> DatabaseInstance {
+        let mut schema = Schema::new("skew");
+        schema
+            .add_relation(RelationSymbol::new("skewed", &["a", "b"]))
+            .add_relation(RelationSymbol::new("flat", &["a", "b"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for i in 0..300 {
+            db.insert("skewed", Tuple::from_strs(&["hub", &format!("v{i}")]))
+                .unwrap();
+        }
+        for i in 0..200 {
+            db.insert(
+                "skewed",
+                Tuple::from_strs(&[&format!("k{i}"), &format!("w{i}")]),
+            )
+            .unwrap();
+        }
+        for i in 0..40 {
+            db.insert("flat", Tuple::from_strs(&["hub", &format!("x{i}")]))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn feedback_replanning_recosts_diverging_plans() {
+        let db = skewed_db();
+        // Uniform model so the initial order is provably wrong; cache off
+        // so repeated scoring actually executes and feeds the loop.
+        let config = EngineConfig::default().with_uniform_costs().without_cache();
+        let engine = Engine::new(&db, config);
+        let clause = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![
+                Atom::vars("skewed", &["x", "y"]),
+                Atom::vars("flat", &["x", "z"]),
+            ],
+        );
+        // "nobody" matches nothing: full exploration through the bad order
+        // (the hub is never probed, but estimates vs observations on the
+        // hub example below diverge hard).
+        let hub = Tuple::from_strs(&["hub"]);
+        let miss = Tuple::from_strs(&["k3"]);
+        // Enough executions for the feedback loop to judge the plan; the
+        // recost happens lazily on a later plan fetch inside this loop.
+        for _ in 0..engine.config().recost_after + 2 {
+            assert!(engine.covers(&clause, &hub));
+            assert!(!engine.covers(&clause, &miss));
+        }
+        let after = engine.report();
+        assert_eq!(after.plans_recosted, 1, "no recost happened: {after}");
+        // Results stay identical after the recost.
+        assert!(engine.covers(&clause, &hub));
+        assert!(!engine.covers(&clause, &Tuple::from_strs(&["k7"])));
+        // The recosted plan does not thrash: further tests reuse it.
+        assert_eq!(engine.report().plans_recosted, 1);
+        // Feedback can be disabled: the same workload never recosts.
+        let frozen = Engine::new(
+            &skewed_db(),
+            EngineConfig::default()
+                .with_uniform_costs()
+                .without_cache()
+                .without_feedback_replanning(),
+        );
+        for _ in 0..frozen.config().recost_after + 2 {
+            frozen.covers(&clause, &hub);
+        }
+        assert_eq!(frozen.report().plans_recosted, 0);
+    }
+
+    #[test]
+    fn recosting_drops_stale_exhaustions_so_the_better_plan_runs() {
+        // An exhaustion is plan-dependent: under the mis-costed order the
+        // hub example exhausts, under the recosted order it is decidable
+        // within the same budget. With the coverage cache ON, the recost
+        // must drop the memoized exhaustion or the better plan never runs.
+        let mut schema = Schema::new("skew");
+        schema
+            .add_relation(RelationSymbol::new("skewed", &["a", "b"]))
+            .add_relation(RelationSymbol::new("blocked", &["a", "b"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for i in 0..300 {
+            db.insert("skewed", Tuple::from_strs(&["hub", &format!("v{i}")]))
+                .unwrap();
+        }
+        for i in 0..200 {
+            db.insert(
+                "skewed",
+                Tuple::from_strs(&[&format!("k{i}"), &format!("w{i}")]),
+            )
+            .unwrap();
+        }
+        // `blocked` never contains hub rows (the hub example is a definite
+        // "not covered") but is expensive enough per key (10 rows) that
+        // the uniform model schedules `skewed` (est ~2.5) first.
+        for i in 0..50 {
+            db.insert(
+                "blocked",
+                Tuple::from_strs(&[&format!("b{}", i % 5), &format!("c{i}")]),
+            )
+            .unwrap();
+        }
+        let clause = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![
+                Atom::vars("skewed", &["x", "y"]),
+                Atom::vars("blocked", &["x", "z"]),
+            ],
+        );
+        // Budget 100: the bad order (300 hub candidates) exhausts on the
+        // hub example; the good order (empty `blocked` probe) decides it
+        // in one node.
+        let engine = Engine::new(
+            &db,
+            EngineConfig::default()
+                .with_uniform_costs()
+                .with_eval_budget(100),
+        );
+        let hub = Tuple::from_strs(&["hub"]);
+        assert!(!engine.covers(&clause, &hub)); // exhausted, memoized @100
+        assert_eq!(engine.report().budget_exhausted, 1);
+        // Misses accumulate executions until the divergence check fires.
+        let mut recosted = false;
+        for i in 0..2 * engine.config().recost_after {
+            engine.covers(&clause, &Tuple::from_strs(&[&format!("k{i}")]));
+            if engine.report().plans_recosted > 0 {
+                recosted = true;
+                break;
+            }
+        }
+        assert!(recosted, "plan never recosted: {}", engine.report());
+        // The stale exhaustion was dropped with the bad plan: the next
+        // probe re-evaluates under the recosted order and gets a definite
+        // verdict within the same budget.
+        let before = engine.report();
+        assert!(!engine.covers(&clause, &hub));
+        let after = engine.report();
+        assert_eq!(
+            after.coverage_tests,
+            before.coverage_tests + 1,
+            "stale exhaustion served from cache: {after}"
+        );
+        assert_eq!(after.budget_exhausted, before.budget_exhausted);
+        // And the definite verdict is now memoized.
+        assert!(!engine.covers(&clause, &hub));
+        assert_eq!(engine.report().coverage_tests, after.coverage_tests);
+    }
+
+    #[test]
+    fn consecutive_beam_rounds_reuse_cached_tries() {
+        let db = db();
+        // Cache off so round 2 actually evaluates (and must still skip
+        // recompiling the trie).
+        let engine = Engine::new(&db, EngineConfig::default().without_cache());
+        let beam = sibling_beam();
+        let examples = batch_examples();
+        engine.covered_sets_batch(&beam, &examples);
+        let round1 = engine.report();
+        assert!(round1.batch_plans_compiled >= 1);
+        assert_eq!(round1.batch_plan_cache_hits, 0);
+        // Round 2: same sibling group (submitted in a different order) —
+        // the trie is served from the cross-round cache.
+        let mut shuffled = beam.clone();
+        shuffled.reverse();
+        let sets = engine.covered_sets_batch(&shuffled, &examples);
+        let round2 = engine.report();
+        assert_eq!(round2.batch_plans_compiled, round1.batch_plans_compiled);
+        assert!(round2.batch_plan_cache_hits >= 1, "no trie reuse: {round2}");
+        // Slot mapping survived the reversal.
+        let solo = Engine::new(&db, EngineConfig::default());
+        for (clause, set) in shuffled.iter().zip(&sets) {
+            assert_eq!(set, &solo.covered_set(clause, &examples, Prior::None));
+        }
+        // A mutation of a relation the trie reads invalidates it.
+        let batch = MutationBatch::new().insert("publication", Tuple::from_strs(&["p9", "zoe"]));
+        engine.apply(&batch).unwrap();
+        engine.covered_sets_batch(&beam, &examples);
+        let round3 = engine.report();
+        assert!(
+            round3.batch_plans_invalidated >= 1,
+            "stale trie survived the mutation: {round3}"
+        );
+        assert!(round3.batch_plans_compiled > round2.batch_plans_compiled);
     }
 
     #[test]

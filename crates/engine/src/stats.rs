@@ -100,6 +100,10 @@ pub struct EngineStats {
     /// mutated (the epoch check on plan fetch failed); each is followed by
     /// a recompilation against fresh statistics.
     pub plans_invalidated: AtomicUsize,
+    /// Cached plans discarded by *feedback re-planning*: their estimated
+    /// candidate rows diverged from the observed rows past the configured
+    /// threshold, and they were recompiled with the observed numbers.
+    pub plans_recosted: AtomicUsize,
     /// Cached-coverage clauses dropped because they reference a mutated
     /// relation.
     pub cache_clauses_invalidated: AtomicUsize,
@@ -116,6 +120,13 @@ pub struct EngineStats {
     /// Per-candidate suffix evaluations forked off a materialized shared
     /// binding (descents beyond the first live child of a trie node).
     pub batch_suffix_forks: AtomicUsize,
+    /// Shared-prefix tries compiled (batch-plan cache misses).
+    pub batch_plans_compiled: AtomicUsize,
+    /// Batch evaluations served a cached trie from a previous round.
+    pub batch_plan_cache_hits: AtomicUsize,
+    /// Cached tries discarded because a relation they were costed against
+    /// mutated (the epoch check on fetch failed).
+    pub batch_plans_invalidated: AtomicUsize,
 }
 
 impl EngineStats {
@@ -146,12 +157,16 @@ impl EngineStats {
             plans_compiled: self.plans_compiled.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plans_invalidated: self.plans_invalidated.load(Ordering::Relaxed),
+            plans_recosted: self.plans_recosted.load(Ordering::Relaxed),
             cache_clauses_invalidated: self.cache_clauses_invalidated.load(Ordering::Relaxed),
             mutation_batches: self.mutation_batches.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batch_clauses: self.batch_clauses.load(Ordering::Relaxed),
             batch_prefix_hits: self.batch_prefix_hits.load(Ordering::Relaxed),
             batch_suffix_forks: self.batch_suffix_forks.load(Ordering::Relaxed),
+            batch_plans_compiled: self.batch_plans_compiled.load(Ordering::Relaxed),
+            batch_plan_cache_hits: self.batch_plan_cache_hits.load(Ordering::Relaxed),
+            batch_plans_invalidated: self.batch_plans_invalidated.load(Ordering::Relaxed),
         }
     }
 }
@@ -176,6 +191,9 @@ pub struct EngineReport {
     pub plan_cache_hits: usize,
     /// Cached plans discarded by the epoch check after a mutation.
     pub plans_invalidated: usize,
+    /// Cached plans discarded by feedback re-planning (estimates diverged
+    /// from observed rows) and recompiled with observed numbers.
+    pub plans_recosted: usize,
     /// Cached-coverage clauses dropped because a referenced relation mutated.
     pub cache_clauses_invalidated: usize,
     /// Mutation batches applied to the live database.
@@ -188,6 +206,12 @@ pub struct EngineReport {
     pub batch_prefix_hits: usize,
     /// Per-candidate suffix forks off materialized shared bindings.
     pub batch_suffix_forks: usize,
+    /// Shared-prefix tries compiled (batch-plan cache misses).
+    pub batch_plans_compiled: usize,
+    /// Batch evaluations served a cached trie from a previous round.
+    pub batch_plan_cache_hits: usize,
+    /// Cached tries discarded by the epoch check after a mutation.
+    pub batch_plans_invalidated: usize,
 }
 
 impl EngineReport {
@@ -203,6 +227,7 @@ impl EngineReport {
             plans_compiled: self.plans_compiled + other.plans_compiled,
             plan_cache_hits: self.plan_cache_hits + other.plan_cache_hits,
             plans_invalidated: self.plans_invalidated + other.plans_invalidated,
+            plans_recosted: self.plans_recosted + other.plans_recosted,
             cache_clauses_invalidated: self.cache_clauses_invalidated
                 + other.cache_clauses_invalidated,
             mutation_batches: self.mutation_batches + other.mutation_batches,
@@ -210,6 +235,9 @@ impl EngineReport {
             batch_clauses: self.batch_clauses + other.batch_clauses,
             batch_prefix_hits: self.batch_prefix_hits + other.batch_prefix_hits,
             batch_suffix_forks: self.batch_suffix_forks + other.batch_suffix_forks,
+            batch_plans_compiled: self.batch_plans_compiled + other.batch_plans_compiled,
+            batch_plan_cache_hits: self.batch_plan_cache_hits + other.batch_plan_cache_hits,
+            batch_plans_invalidated: self.batch_plans_invalidated + other.batch_plans_invalidated,
         }
     }
 
@@ -235,6 +263,7 @@ impl EngineReport {
             plans_invalidated: self
                 .plans_invalidated
                 .saturating_sub(baseline.plans_invalidated),
+            plans_recosted: self.plans_recosted.saturating_sub(baseline.plans_recosted),
             cache_clauses_invalidated: self
                 .cache_clauses_invalidated
                 .saturating_sub(baseline.cache_clauses_invalidated),
@@ -249,6 +278,15 @@ impl EngineReport {
             batch_suffix_forks: self
                 .batch_suffix_forks
                 .saturating_sub(baseline.batch_suffix_forks),
+            batch_plans_compiled: self
+                .batch_plans_compiled
+                .saturating_sub(baseline.batch_plans_compiled),
+            batch_plan_cache_hits: self
+                .batch_plan_cache_hits
+                .saturating_sub(baseline.batch_plan_cache_hits),
+            batch_plans_invalidated: self
+                .batch_plans_invalidated
+                .saturating_sub(baseline.batch_plans_invalidated),
         }
     }
 
@@ -267,9 +305,12 @@ impl fmt::Display for EngineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "tests={} cache={}/{} ({:.0}% hit) generality-skips={} budget-exhausted={} plans={} (+{} reused) \
+            "tests={} cache={}/{} ({:.0}% hit) generality-skips={} budget-exhausted={} \
+             plans={} (+{} reused, {} recosted) \
              batches={}/{} clauses (prefix-hits={} suffix-forks={}) \
-             mutations={} (plans-invalidated={} cache-clauses-invalidated={})",
+             batch-plans={} (+{} reused) \
+             mutations={} (plans-invalidated={} batch-plans-invalidated={} \
+             cache-clauses-invalidated={})",
             self.coverage_tests,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
@@ -278,12 +319,16 @@ impl fmt::Display for EngineReport {
             self.budget_exhausted,
             self.plans_compiled,
             self.plan_cache_hits,
+            self.plans_recosted,
             self.batches,
             self.batch_clauses,
             self.batch_prefix_hits,
             self.batch_suffix_forks,
+            self.batch_plans_compiled,
+            self.batch_plan_cache_hits,
             self.mutation_batches,
             self.plans_invalidated,
+            self.batch_plans_invalidated,
             self.cache_clauses_invalidated,
         )
     }

@@ -12,11 +12,110 @@ use crate::relation::RelationSymbol;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Number of most-common values kept per attribute position.
+pub const MCV_TARGET: usize = 8;
+
+/// Number of equi-depth histogram buckets kept per attribute position
+/// (over the non-MCV remainder of the value distribution).
+pub const HISTOGRAM_BUCKET_TARGET: usize = 8;
+
+/// One equi-depth histogram bucket: a run of distinct values (grouped by
+/// per-value tuple count) covering roughly `total tuples / bucket count`
+/// rows each. Buckets are ordered by ascending per-value count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramBucket {
+    /// Total rows covered by the bucket's values.
+    pub tuples: usize,
+    /// Number of distinct values in the bucket.
+    pub distinct: usize,
+    /// Largest per-value tuple count inside the bucket.
+    pub max_count: usize,
+}
+
+impl HistogramBucket {
+    /// Average posting-list length inside the bucket.
+    pub fn average_count(&self) -> f64 {
+        if self.distinct == 0 {
+            0.0
+        } else {
+            self.tuples as f64 / self.distinct as f64
+        }
+    }
+}
+
+/// Skew-aware statistics for one attribute position: the most common
+/// values with their exact counts, an equi-depth histogram over the
+/// remaining frequency distribution, and the exact sum of squared counts
+/// (the numerator of the frequency-weighted expected-match estimate).
+///
+/// All fields are derived from the incrementally-maintained per-column
+/// frequency sketch, so a snapshot costs O(distinct values) — no data scan
+/// — and is bit-identical to one computed over a from-scratch rebuild.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnStatistics {
+    /// Number of distinct values at this position.
+    pub distinct: usize,
+    /// The most common values, count-descending (ties broken by value
+    /// order), up to [`MCV_TARGET`] entries.
+    pub most_common: Vec<(Value, usize)>,
+    /// Equi-depth histogram over the non-MCV remainder, ascending count.
+    pub histogram: Vec<HistogramBucket>,
+    /// Σ count² over *all* distinct values (MCVs included).
+    pub sum_squared_counts: u128,
+}
+
+impl ColumnStatistics {
+    /// The exact tuple count of `value` if it is one of the most common
+    /// values at this position.
+    pub fn mcv_count(&self, value: &Value) -> Option<usize> {
+        self.most_common
+            .iter()
+            .find(|(v, _)| v == value)
+            .map(|(_, c)| *c)
+    }
+
+    /// Total tuples and distinct values covered by the histogram (the
+    /// non-MCV remainder of the distribution).
+    pub fn histogram_totals(&self) -> (usize, usize) {
+        self.histogram
+            .iter()
+            .fold((0, 0), |(t, d), b| (t + b.tuples, d + b.distinct))
+    }
+
+    /// Expected posting-list length for an equality probe whose value is
+    /// *not* in the MCV list: the average count over the histogram portion
+    /// of the distribution.
+    pub fn non_mcv_expected(&self) -> f64 {
+        let (tuples, distinct) = self.histogram_totals();
+        if distinct == 0 {
+            0.0
+        } else {
+            tuples as f64 / distinct as f64
+        }
+    }
+
+    /// Expected posting-list length when the probe value is drawn
+    /// *frequency-weighted* — the right model for join-bound variables,
+    /// where a hub value is exactly as over-represented among probes as it
+    /// is among rows: the exact `Σ count² / n`, read off the incrementally
+    /// maintained sum of squared counts (the MCV/histogram decomposition
+    /// approximates the same quantity; the exact numerator is cheaper and
+    /// never wrong on skewed non-MCV tails).
+    pub fn expected_matches_weighted(&self, cardinality: usize) -> f64 {
+        if cardinality == 0 {
+            return 0.0;
+        }
+        self.sum_squared_counts as f64 / cardinality as f64
+    }
+}
 
 /// Selectivity statistics for one relation instance, read off the hash
-/// indexes in O(arity): cardinality and the number of distinct values per
-/// attribute position. The evaluation engine uses these to choose join
+/// indexes and per-column frequency sketches in O(distinct values):
+/// cardinality, the number of distinct values per attribute position, and
+/// skew-aware per-position [`ColumnStatistics`] (most-common values plus
+/// equi-depth histograms). The evaluation engine uses these to choose join
 /// orders once per clause instead of re-ranking literals at every
 /// backtracking node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +124,8 @@ pub struct RelationStatistics {
     pub cardinality: usize,
     /// Number of distinct values at each attribute position.
     pub distinct_per_position: Vec<usize>,
+    /// Skew-aware statistics per attribute position.
+    pub columns: Vec<ColumnStatistics>,
 }
 
 impl RelationStatistics {
@@ -35,6 +136,121 @@ impl RelationStatistics {
         match self.distinct_per_position.get(pos) {
             Some(&d) if d > 0 => self.cardinality as f64 / d as f64,
             _ => self.cardinality as f64,
+        }
+    }
+
+    /// Skew-aware statistics for one attribute position, if in range.
+    pub fn column(&self, pos: usize) -> Option<&ColumnStatistics> {
+        self.columns.get(pos)
+    }
+}
+
+/// The incrementally-maintained frequency sketch of one attribute
+/// position: distinct values grouped by their current posting-list length,
+/// plus the running sum of squared lengths. Every successful
+/// insert/remove *shifts* the touched value between count groups in
+/// O(log distinct), which is what makes histogram/MCV snapshots scan-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ColumnSketch {
+    /// `by_count[c]` = the distinct values whose posting list holds exactly
+    /// `c` rows. Values inside a group iterate in `Value` order, so every
+    /// derived statistic is deterministic.
+    by_count: BTreeMap<usize, BTreeSet<Value>>,
+    /// Σ count² over all distinct values.
+    sum_squares: u128,
+}
+
+impl ColumnSketch {
+    /// Moves `value` from the `old` count group to the `new` one (0 means
+    /// absent), keeping `sum_squares` exact.
+    fn shift(&mut self, value: &Value, old: usize, new: usize) {
+        if old > 0 {
+            let group = self
+                .by_count
+                .get_mut(&old)
+                .expect("indexed value must be sketched");
+            group.remove(value);
+            if group.is_empty() {
+                self.by_count.remove(&old);
+            }
+            self.sum_squares -= (old as u128) * (old as u128);
+        }
+        if new > 0 {
+            self.by_count.entry(new).or_default().insert(value.clone());
+            self.sum_squares += (new as u128) * (new as u128);
+        }
+    }
+
+    /// Projects the sketch into [`ColumnStatistics`]: the globally most
+    /// common values become the MCV list, and the remainder is packed into
+    /// equi-depth buckets (ascending count). O(distinct values), no data
+    /// scan, deterministic.
+    fn statistics(&self) -> ColumnStatistics {
+        let distinct: usize = self.by_count.values().map(BTreeSet::len).sum();
+        // MCVs: walk count groups descending; within a group, value order.
+        let mut most_common: Vec<(Value, usize)> = Vec::with_capacity(MCV_TARGET);
+        // How many values of each count group went into the MCV list (a
+        // group can be cut mid-way when the MCV budget runs out).
+        let mut taken: BTreeMap<usize, usize> = BTreeMap::new();
+        'mcv: for (&count, values) in self.by_count.iter().rev() {
+            for value in values {
+                if most_common.len() == MCV_TARGET {
+                    break 'mcv;
+                }
+                most_common.push((value.clone(), count));
+                *taken.entry(count).or_default() += 1;
+            }
+        }
+        // Equi-depth packing of the remainder, ascending count. Groups
+        // share a count, so splitting one across buckets is exact.
+        let mut rest: Vec<(usize, usize)> = Vec::new(); // (count, values)
+        let mut rest_tuples = 0usize;
+        for (&count, values) in self.by_count.iter() {
+            let left = values.len() - taken.get(&count).copied().unwrap_or(0);
+            if left > 0 {
+                rest.push((count, left));
+                rest_tuples += count * left;
+            }
+        }
+        let mut histogram = Vec::new();
+        if rest_tuples > 0 {
+            let target = rest_tuples.div_ceil(HISTOGRAM_BUCKET_TARGET).max(1);
+            let mut bucket = HistogramBucket {
+                tuples: 0,
+                distinct: 0,
+                max_count: 0,
+            };
+            for (count, mut values) in rest {
+                while values > 0 {
+                    // How many values of this group fit before the bucket
+                    // reaches its depth target; at least one always goes
+                    // in, so the loop terminates (posting lists are never
+                    // empty, so `count >= 1`).
+                    let room = target.saturating_sub(bucket.tuples);
+                    let fit = (room.div_ceil(count)).clamp(1, values);
+                    bucket.tuples += count * fit;
+                    bucket.distinct += fit;
+                    bucket.max_count = bucket.max_count.max(count);
+                    values -= fit;
+                    if bucket.tuples >= target {
+                        histogram.push(bucket);
+                        bucket = HistogramBucket {
+                            tuples: 0,
+                            distinct: 0,
+                            max_count: 0,
+                        };
+                    }
+                }
+            }
+            if bucket.distinct > 0 {
+                histogram.push(bucket);
+            }
+        }
+        ColumnStatistics {
+            distinct,
+            most_common,
+            histogram,
+            sum_squared_counts: self.sum_squares,
         }
     }
 }
@@ -54,6 +270,9 @@ pub struct RelationInstance {
     tuples: Vec<Tuple>,
     /// `indexes[pos][value]` = row ids of tuples whose `pos`-th value is `value`.
     indexes: Vec<HashMap<Value, Vec<usize>>>,
+    /// Per-position frequency sketches (histogram/MCV source), maintained
+    /// in lock-step with the posting lists.
+    sketches: Vec<ColumnSketch>,
     /// Set of tuples for O(1) duplicate elimination (set semantics).
     present: HashSet<Tuple>,
     /// Monotonic mutation counter, bumped on every successful insert/remove.
@@ -68,6 +287,7 @@ impl RelationInstance {
             symbol,
             tuples: Vec::new(),
             indexes: vec![HashMap::new(); arity],
+            sketches: vec![ColumnSketch::default(); arity],
             present: HashSet::new(),
             epoch: 0,
         }
@@ -115,10 +335,10 @@ impl RelationInstance {
         }
         let row = self.tuples.len();
         for (pos, value) in tuple.iter().enumerate() {
-            self.indexes[pos]
-                .entry(value.clone())
-                .or_default()
-                .push(row);
+            let list = self.indexes[pos].entry(value.clone()).or_default();
+            let old = list.len();
+            list.push(row);
+            self.sketches[pos].shift(value, old, old + 1);
         }
         self.present.insert(tuple.clone());
         self.tuples.push(tuple);
@@ -154,7 +374,9 @@ impl RelationInstance {
             let list = self.indexes[pos]
                 .get_mut(value)
                 .expect("present tuple must be indexed at every position");
+            let old = list.len();
             list.retain(|&r| r != row);
+            self.sketches[pos].shift(value, old, old - 1);
             if list.is_empty() {
                 self.indexes[pos].remove(value);
             }
@@ -268,21 +490,30 @@ impl RelationInstance {
             .unwrap_or_default()
     }
 
-    /// The set of distinct values appearing anywhere in the instance.
+    /// The set of distinct values appearing anywhere in the instance, read
+    /// as the union of the positional index keys — O(Σ distinct-per-column)
+    /// instead of the old O(tuples × arity) rescan.
     pub fn active_domain(&self) -> HashSet<Value> {
         let mut out = HashSet::new();
-        for t in &self.tuples {
-            out.extend(t.iter().cloned());
+        for idx in &self.indexes {
+            out.extend(idx.keys().cloned());
         }
         out
     }
 
+    /// Number of distinct values at attribute position `pos`, read off the
+    /// posting-list index (out-of-range positions report 0).
+    pub fn distinct_values_at(&self, pos: usize) -> usize {
+        self.indexes.get(pos).map_or(0, HashMap::len)
+    }
+
     /// Snapshot of the instance's selectivity statistics, computed from the
-    /// maintained indexes (no data scan).
+    /// maintained indexes and frequency sketches (no data scan).
     pub fn statistics(&self) -> RelationStatistics {
         RelationStatistics {
             cardinality: self.tuples.len(),
             distinct_per_position: self.indexes.iter().map(|idx| idx.len()).collect(),
+            columns: self.sketches.iter().map(ColumnSketch::statistics).collect(),
         }
     }
 
@@ -460,5 +691,123 @@ mod tests {
         assert!(dom.contains(&Value::str("alice")));
         assert!(dom.contains(&Value::str("c2")));
         assert_eq!(inst.active_domain_at(2).len(), 2);
+    }
+
+    #[test]
+    fn index_backed_domain_reads_match_a_full_scan() {
+        // `active_domain` / `distinct_values_at` read the posting-list
+        // indexes; micro-assert they agree with the brute-force tuple scan
+        // they replaced.
+        let mut inst = ta_instance();
+        inst.remove(&Tuple::from_strs(&["c1", "bob", "t1"]))
+            .unwrap();
+        inst.insert(Tuple::from_strs(&["c3", "alice", "t1"]))
+            .unwrap();
+        let mut scanned: HashSet<Value> = HashSet::new();
+        for t in inst.iter() {
+            scanned.extend(t.iter().cloned());
+        }
+        assert_eq!(inst.active_domain(), scanned);
+        for pos in 0..3 {
+            let scan_distinct: HashSet<&Value> = inst.iter().map(|t| t.value(pos)).collect();
+            assert_eq!(
+                inst.distinct_values_at(pos),
+                scan_distinct.len(),
+                "position {pos}"
+            );
+        }
+        assert_eq!(inst.distinct_values_at(9), 0);
+    }
+
+    /// Rebuilds a column-statistics snapshot by brute force from the
+    /// tuples: the reference the incremental sketch must match.
+    fn scan_column(inst: &RelationInstance, pos: usize) -> ColumnStatistics {
+        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        for t in inst.iter() {
+            *counts.entry(t.value(pos)).or_default() += 1;
+        }
+        let mut sketch = ColumnSketch::default();
+        for (value, count) in counts {
+            sketch.shift(value, 0, count);
+        }
+        sketch.statistics()
+    }
+
+    #[test]
+    fn column_statistics_capture_skew() {
+        let mut inst = RelationInstance::empty(RelationSymbol::new("link", &["src", "dst"]));
+        // A hub value with 30 rows against 20 singleton values.
+        for i in 0..30 {
+            inst.insert(Tuple::from_strs(&["hub", &format!("d{i}")]))
+                .unwrap();
+        }
+        for i in 0..20 {
+            inst.insert(Tuple::from_strs(&[&format!("s{i}"), &format!("e{i}")]))
+                .unwrap();
+        }
+        let stats = inst.statistics();
+        let col = stats.column(0).unwrap();
+        assert_eq!(col.distinct, 21);
+        assert_eq!(col.mcv_count(&Value::str("hub")), Some(30));
+        assert_eq!(col.mcv_count(&Value::str("s0")), Some(1));
+        assert_eq!(col.mcv_count(&Value::str("nope")), None);
+        assert_eq!(col.sum_squared_counts, 30 * 30 + 20);
+        // Uniform estimate says ~2.4 rows per probe; the weighted estimate
+        // sees the hub (exact value Σc²/n = 920/50 = 18.4).
+        assert!(stats.expected_matches(0) < 3.0);
+        let weighted = col.expected_matches_weighted(stats.cardinality);
+        assert!(
+            (weighted - 18.4).abs() < 1e-9,
+            "weighted estimate {weighted} should equal exact Σc²/n"
+        );
+        // Non-MCV probes expect ~1 row (the histogram holds singletons).
+        assert!((col.non_mcv_expected() - 1.0).abs() < 1e-9);
+        // Histogram covers exactly the non-MCV remainder.
+        let (tuples, distinct) = col.histogram_totals();
+        assert_eq!(distinct, 21 - col.most_common.len());
+        assert_eq!(tuples + 30 + 7, stats.cardinality); // hub + 7 MCV singletons
+    }
+
+    #[test]
+    fn incremental_sketch_matches_scan_after_mutations() {
+        let mut inst = RelationInstance::empty(RelationSymbol::new("r", &["a", "b"]));
+        let keys = ["k0", "k1", "k2", "k3", "k4"];
+        // Deterministic mixed churn: inserts with collisions, then removes.
+        for i in 0..40usize {
+            inst.insert(Tuple::from_strs(&[keys[i * i % 5], &format!("v{}", i % 7)]))
+                .unwrap();
+        }
+        for i in (0..40usize).step_by(3) {
+            let t = Tuple::from_strs(&[keys[i * i % 5], &format!("v{}", i % 7)]);
+            inst.remove(&t).ok();
+        }
+        for pos in 0..2 {
+            assert_eq!(
+                inst.statistics().columns[pos],
+                scan_column(&inst, pos),
+                "sketch diverged from scan at position {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn equi_depth_buckets_balance_depth() {
+        let mut inst = RelationInstance::empty(RelationSymbol::new("r", &["a"]));
+        // 64 distinct singleton values and no skew: every bucket should
+        // cover roughly equal depth.
+        for i in 0..64 {
+            inst.insert(Tuple::from_strs(&[&format!("v{i:02}")]))
+                .unwrap();
+        }
+        let col = &inst.statistics().columns[0];
+        assert_eq!(col.most_common.len(), MCV_TARGET);
+        let (tuples, distinct) = col.histogram_totals();
+        assert_eq!(tuples, 64 - MCV_TARGET);
+        assert_eq!(distinct, 64 - MCV_TARGET);
+        assert!(col.histogram.len() <= HISTOGRAM_BUCKET_TARGET);
+        for bucket in &col.histogram {
+            assert!(bucket.tuples >= 1);
+            assert_eq!(bucket.max_count, 1);
+        }
     }
 }

@@ -45,7 +45,10 @@ pub use attribute::{AttrName, Sort};
 pub use constraint::{Constraint, FunctionalDependency, InclusionDependency};
 pub use database::DatabaseInstance;
 pub use error::RelationalError;
-pub use instance::{RelationInstance, RelationStatistics};
+pub use instance::{
+    ColumnStatistics, HistogramBucket, RelationInstance, RelationStatistics,
+    HISTOGRAM_BUCKET_TARGET, MCV_TARGET,
+};
 pub use mutation::{MutationBatch, MutationOp, MutationSummary};
 pub use ops::{natural_join, natural_join_all, project, select_eq};
 pub use relation::RelationSymbol;

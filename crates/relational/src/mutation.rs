@@ -4,10 +4,11 @@
 //! A [`MutationBatch`] is an ordered list of inserts and removes across any
 //! number of relations. [`DatabaseInstance::apply_batch`] applies it
 //! in order (later ops see earlier ops, so an insert+remove of the same
-//! tuple in one batch nets out), maintains every positional index and
-//! per-relation epoch incrementally, and reports which relations actually
-//! changed — the invalidation set downstream engines use to drop stale
-//! compiled plans and cached coverage results.
+//! tuple in one batch nets out), maintains every positional index, the
+//! per-column frequency sketches behind the histogram/MCV statistics, and
+//! the per-relation epoch incrementally, and reports which relations
+//! actually changed — the invalidation set downstream engines use to drop
+//! stale compiled plans, cached batch tries, and cached coverage results.
 
 use crate::database::DatabaseInstance;
 use crate::tuple::Tuple;

@@ -258,9 +258,12 @@ fn run_queue(engine: Arc<Engine>, receiver: Receiver<QueuedJob>) {
         };
         if cancellable && ctx.cancel.load(Ordering::Relaxed) {
             // The job was cancelled mid-run: its aborted searches ended as
-            // budget exhaustions, which the memo cache never stores, so no
-            // approximate verdict can leak to other sessions — the partial
-            // result is simply discarded.
+            // budget exhaustions, which the memo cache refuses at
+            // write-back while the cancellation is pending (genuine
+            // exhaustions are cached keyed by the budget they were observed
+            // under and served only to equal-or-smaller budgets), so no
+            // cancellation-tainted verdict can leak to other sessions — the
+            // partial result is simply discarded.
             result = Err(JobError::Cancelled);
         }
         shared.complete(result);

@@ -6,7 +6,7 @@
 
 use castor_datasets::synthetic::{random_definition, RandomDefinitionConfig};
 use castor_datasets::uwcse;
-use castor_engine::{Engine, EngineConfig, Prior};
+use castor_engine::{CostModelKind, Engine, EngineConfig, Prior};
 use castor_logic::{covers_example, Clause};
 use castor_relational::{DatabaseInstance, Schema, Tuple, Value};
 use rand::rngs::StdRng;
@@ -101,6 +101,49 @@ fn engine_coverage_agrees_with_database_semantics() {
         let report = engine.report();
         assert!(report.coverage_tests > 0);
         assert_eq!(report.budget_exhausted, 0, "budget too small for test db");
+    }
+}
+
+#[test]
+fn histogram_cost_model_never_changes_coverage_results() {
+    // The cost model only changes plan order and statistics — never
+    // verdicts. Per-clause and batched scoring over seeded-random clauses
+    // must agree exactly between the histogram default and the uniform
+    // baseline (budgets generous enough that no side exhausts, which keeps
+    // verdicts order-independent).
+    let schema = schema();
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let db = random_instance(&schema, 25, &mut rng);
+        let histogram = Engine::new(&db, EngineConfig::default());
+        let uniform = Engine::new(&db, EngineConfig::default().with_uniform_costs());
+        assert_eq!(histogram.config().cost_model, CostModelKind::Histogram);
+        assert_eq!(uniform.config().cost_model, CostModelKind::Uniform);
+        let clauses = random_clauses(&schema, 19 * seed);
+        let examples = random_examples(2, 20, &mut rng);
+        for clause in &clauses {
+            assert_eq!(
+                histogram.covered_set(clause, &examples, Prior::None),
+                uniform.covered_set(clause, &examples, Prior::None),
+                "seed {seed}: cost models disagree on `{clause}`"
+            );
+        }
+        // The batched trie path agrees too (fresh engines so nothing is
+        // answered from the memo cache).
+        let hist_batch = Engine::new(&db, EngineConfig::default());
+        let uni_batch = Engine::new(&db, EngineConfig::default().with_uniform_costs());
+        assert_eq!(
+            hist_batch.covered_sets_batch(&clauses, &examples),
+            uni_batch.covered_sets_batch(&clauses, &examples),
+            "seed {seed}: batched cost models disagree"
+        );
+        for engine in [&histogram, &uniform, &hist_batch, &uni_batch] {
+            assert_eq!(
+                engine.report().budget_exhausted,
+                0,
+                "budget too small for the equivalence to be meaningful"
+            );
+        }
     }
 }
 
