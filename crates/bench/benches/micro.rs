@@ -212,6 +212,51 @@ fn bench_engine_adaptive_recosting(c: &mut Criterion) {
     });
 }
 
+/// The wire-protocol overhead benchmark: the same batched coverage job
+/// through an in-process `Session` and through a loopback TCP
+/// `RpcClient`. The delta is pure transport cost (framing, encoding, two
+/// socket hops); the job itself executes on the identical serving stack.
+fn bench_rpc_coverage_roundtrip(c: &mut Criterion) {
+    use castor_rpc::{RpcClient, RpcConfig, RpcServer};
+    use castor_service::{Server, ServerConfig};
+
+    let family = family();
+    let variant = family.variant("Original").unwrap();
+    let beam: Vec<Clause> = variant.ground_truth.clone().unwrap().clauses;
+    let examples: Vec<Tuple> = variant.task.positive.iter().take(16).cloned().collect();
+
+    let in_process = Server::new(ServerConfig::default());
+    in_process
+        .register("bench", std::sync::Arc::clone(&variant.db))
+        .unwrap();
+    let session = in_process.session("bench").unwrap();
+    c.bench_function("rpc_coverage_roundtrip/in_process_session", |b| {
+        b.iter(|| {
+            black_box(
+                session
+                    .covered_sets(black_box(beam.clone()), black_box(examples.clone()))
+                    .unwrap(),
+            )
+        })
+    });
+
+    let service = std::sync::Arc::new(Server::new(ServerConfig::default()));
+    service
+        .register("bench", std::sync::Arc::clone(&variant.db))
+        .unwrap();
+    let rpc = RpcServer::bind(service, "127.0.0.1:0", RpcConfig::default()).unwrap();
+    let mut client = RpcClient::connect(rpc.local_addr(), "bench").unwrap();
+    c.bench_function("rpc_coverage_roundtrip/tcp_loopback", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .covered_sets(black_box(beam.clone()), black_box(examples.clone()))
+                    .unwrap(),
+            )
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_subsumption,
@@ -220,6 +265,7 @@ criterion_group!(
     bench_lgg,
     bench_engine_coverage_cache,
     bench_engine_batched_beam_vs_sequential,
-    bench_engine_adaptive_recosting
+    bench_engine_adaptive_recosting,
+    bench_rpc_coverage_roundtrip
 );
 criterion_main!(benches);

@@ -21,7 +21,10 @@
 //!   cover is accepted without a test;
 //! * reports subsumption-budget exhaustions (the bounded θ-subsumption
 //!   search treating "ran out of nodes" as "not covered") through the
-//!   engine counters instead of hiding them.
+//!   engine counters instead of hiding them — and memoizes them in the
+//!   cache's budget-keyed exhaustion tier (keyed by the subsumption node
+//!   budget, served only to equal-or-smaller budgets), so exhaustion-heavy
+//!   workloads like HIV stop re-running the same doomed searches.
 
 use crate::config::CastorConfig;
 use crate::plan::BottomClausePlan;
@@ -214,6 +217,22 @@ impl CoverageTester for CoverageEngine {
             let (slot, ei) = pairs[i];
             test_subsumption(&ground, &metrics, &canonicals[slot], &examples[ei], &budget)
         })
+    }
+
+    /// The subsumption node budget exhaustions are comparable under. Every
+    /// test clones the same budget template, so its `remaining()` *is* the
+    /// per-test node budget — exhaustion verdicts enter the memo cache's
+    /// budget-keyed tier and HIV-style exhaustion-heavy workloads stop
+    /// re-testing every probe. While a cancellation is pending the scope is
+    /// `None`: aborted searches unwind through the exhaustion path and must
+    /// never be memoized (the runtime re-reads this scope at write-back, so
+    /// a cancellation firing mid-evaluation drops the verdicts too).
+    fn exhaustion_scope(&self) -> Option<usize> {
+        if self.budget.cancel_pending() {
+            None
+        } else {
+            Some(self.budget.remaining())
+        }
     }
 }
 
@@ -477,6 +496,42 @@ mod tests {
         let exhausted_before = engine.report().budget_exhausted;
         assert!(!engine.covers(&collaborated(), &Tuple::from_strs(&["carol", "dan"])));
         assert!(engine.report().budget_exhausted > exhausted_before);
+    }
+
+    #[test]
+    fn exhausted_subsumption_verdicts_hit_the_budget_tier() {
+        // Regression: `exhaustion_scope` used to return `None` for the
+        // subsumption engine, so every exhausted probe re-ran its search.
+        let db = db();
+        let plan = BottomClausePlan::compile(db.schema(), false);
+        let mut config = CastorConfig::default();
+        config.params.eval_budget = 0;
+        let engine = CoverageEngine::build(
+            &db,
+            &plan,
+            "collaborated",
+            &[Tuple::from_strs(&["ann", "bob"])],
+            &[],
+            &config,
+        );
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        // Zero budget: the subsumption search exhausts and is memoized
+        // keyed by that budget...
+        assert!(!engine.covers(&collaborated(), &e));
+        let first = engine.report();
+        assert_eq!(first.budget_exhausted, 1);
+        assert_eq!(first.coverage_tests, 1);
+        // ...so the re-test is a cache hit: no new search runs.
+        assert!(!engine.covers(&collaborated(), &e));
+        let second = engine.report();
+        assert_eq!(second.coverage_tests, first.coverage_tests);
+        assert_eq!(second.cache_hits, first.cache_hits + 1);
+        assert_eq!(second.budget_exhausted, first.budget_exhausted);
+        // A larger per-test budget treats the entry as a miss and decides
+        // the test for real.
+        let engine = engine.with_budget_template(EvalBudget::new(30_000));
+        assert!(engine.covers(&collaborated(), &e));
+        assert_eq!(engine.report().coverage_tests, second.coverage_tests + 1);
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //! larger budget treat the entry as a miss and re-evaluate; definite
 //! verdicts always beat exhaustions on write-back.
 //!
+//! Exhaustion entries also *expire*: an entry that loses
+//! [`EXHAUSTION_STRIKE_LIMIT`] consecutive serve attempts to larger budgets
+//! is dropped (counted in [`CoverageCache::exhaustions_evicted`]). A
+//! workload that permanently grows its budget would otherwise leave dead
+//! `ExhaustedAt` entries behind until whole-clause LRU eviction; any
+//! successful serve or write-back refresh resets the strike count.
+//!
 //! This module also hosts the [`BatchPlanCache`]: compiled [`BatchPlan`]
 //! tries keyed by canonical (head, body-set), re-validated against the
 //! statistics' `(relation, epoch)` stamps on every fetch — consecutive beam
@@ -72,17 +79,24 @@ pub fn canonicalize(clause: &Clause) -> Clause {
     Clause { head, body }
 }
 
+/// Consecutive failed serve attempts (probes with a larger budget) after
+/// which an exhaustion entry is dropped — the ROADMAP budget-tier eviction
+/// policy. A successful serve or a write-back refresh resets the count.
+pub const EXHAUSTION_STRIKE_LIMIT: u8 = 3;
+
 /// One memoized verdict. Definite verdicts are budget-independent;
-/// exhaustions remember the node budget they were observed under.
+/// exhaustions remember the node budget they were observed under plus how
+/// many consecutive probes they failed to answer (the eviction strikes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CachedVerdict {
     /// The clause covers the example (budget-independent).
     Covered,
     /// The clause does not cover the example (budget-independent).
     NotCovered,
-    /// The search exhausted a budget of this many nodes; servable to any
-    /// probe with an equal-or-smaller budget.
-    ExhaustedAt(usize),
+    /// The search exhausted a budget of `budget` nodes; servable to any
+    /// probe with an equal-or-smaller budget. `strikes` counts consecutive
+    /// failed serves to larger budgets (see [`EXHAUSTION_STRIKE_LIMIT`]).
+    ExhaustedAt { budget: usize, strikes: u8 },
 }
 
 impl CachedVerdict {
@@ -93,34 +107,29 @@ impl CachedVerdict {
         match outcome {
             CoverageOutcome::Covered => Some(CachedVerdict::Covered),
             CoverageOutcome::NotCovered => Some(CachedVerdict::NotCovered),
-            CoverageOutcome::Exhausted => scope.map(CachedVerdict::ExhaustedAt),
-        }
-    }
-
-    /// The outcome this verdict answers for a probe running under `scope`,
-    /// or `None` when the entry is not servable (an exhaustion observed
-    /// under a smaller budget than the probe's, or a probe with no
-    /// comparable budget).
-    fn serve(self, scope: Option<usize>) -> Option<CoverageOutcome> {
-        match self {
-            CachedVerdict::Covered => Some(CoverageOutcome::Covered),
-            CachedVerdict::NotCovered => Some(CoverageOutcome::NotCovered),
-            CachedVerdict::ExhaustedAt(observed) => match scope {
-                Some(budget) if budget <= observed => Some(CoverageOutcome::Exhausted),
-                _ => None,
-            },
+            CoverageOutcome::Exhausted => {
+                scope.map(|budget| CachedVerdict::ExhaustedAt { budget, strikes: 0 })
+            }
         }
     }
 
     /// Merges a newly observed verdict into an existing entry: definite
     /// verdicts always win over exhaustions, and of two exhaustions the
-    /// larger observed budget is kept (it answers more probes).
+    /// larger observed budget is kept (it answers more probes). Any refresh
+    /// of an exhaustion resets its eviction strikes — the entry proved
+    /// itself current again.
     fn merge(&mut self, new: CachedVerdict) {
         match (*self, new) {
-            (CachedVerdict::ExhaustedAt(old), CachedVerdict::ExhaustedAt(b)) => {
-                *self = CachedVerdict::ExhaustedAt(old.max(b));
+            (
+                CachedVerdict::ExhaustedAt { budget: old, .. },
+                CachedVerdict::ExhaustedAt { budget: new, .. },
+            ) => {
+                *self = CachedVerdict::ExhaustedAt {
+                    budget: old.max(new),
+                    strikes: 0,
+                };
             }
-            (CachedVerdict::ExhaustedAt(_), definite) => *self = definite,
+            (CachedVerdict::ExhaustedAt { .. }, definite) => *self = definite,
             // A definite verdict is never downgraded.
             (_, _) => {}
         }
@@ -144,6 +153,43 @@ impl CacheSlot {
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(verdict);
             }
+        }
+    }
+
+    /// Serves one example's verdict under the probe's exhaustion `scope`,
+    /// applying the budget-tier eviction policy: a probe with a larger
+    /// budget than a cached exhaustion is a *strike*, and an entry that
+    /// collects [`EXHAUSTION_STRIKE_LIMIT`] consecutive strikes is removed
+    /// on the spot. Returns the servable outcome plus whether an entry was
+    /// evicted. Probes with no comparable budget (`scope == None`) neither
+    /// serve nor strike exhaustions.
+    fn serve_tracked(
+        &mut self,
+        example: &Tuple,
+        scope: Option<usize>,
+    ) -> (Option<CoverageOutcome>, bool) {
+        let Some(verdict) = self.outcomes.get_mut(example) else {
+            return (None, false);
+        };
+        match verdict {
+            CachedVerdict::Covered => (Some(CoverageOutcome::Covered), false),
+            CachedVerdict::NotCovered => (Some(CoverageOutcome::NotCovered), false),
+            CachedVerdict::ExhaustedAt { budget, strikes } => match scope {
+                Some(probe) if probe <= *budget => {
+                    *strikes = 0;
+                    (Some(CoverageOutcome::Exhausted), false)
+                }
+                Some(_) => {
+                    *strikes += 1;
+                    if *strikes >= EXHAUSTION_STRIKE_LIMIT {
+                        self.outcomes.remove(example);
+                        (None, true)
+                    } else {
+                        (None, false)
+                    }
+                }
+                None => (None, false),
+            },
         }
     }
 }
@@ -196,6 +242,8 @@ impl CacheInner {
 pub struct CoverageCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    /// Exhaustion entries dropped by the budget-tier eviction policy.
+    evicted: std::sync::atomic::AtomicUsize,
 }
 
 impl CoverageCache {
@@ -204,13 +252,38 @@ impl CoverageCache {
         CoverageCache {
             inner: Mutex::new(CacheInner::default()),
             capacity: capacity.max(1),
+            evicted: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Exhaustion entries dropped so far because they lost
+    /// [`EXHAUSTION_STRIKE_LIMIT`] consecutive serve attempts to
+    /// larger-budget probes.
+    pub fn exhaustions_evicted(&self) -> usize {
+        self.evicted.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Removes `canonical`'s slot entirely when serving emptied it (its
+    /// last exhaustion entry was struck out), keeping the recency index in
+    /// lock-step; otherwise touches it when `served` answered something.
+    fn settle_slot(&self, inner: &mut CacheInner, canonical: &Clause, served: bool) {
+        let Some(slot) = inner.slots.get(canonical) else {
+            return;
+        };
+        if slot.outcomes.is_empty() {
+            let stamp = slot.stamp;
+            inner.slots.remove(canonical);
+            inner.recency.remove(&stamp);
+        } else if served {
+            inner.touch(canonical);
         }
     }
 
     /// The cached outcome for `(canonical, example)` servable under the
     /// probe's exhaustion `scope` (its node budget, or `None` when
     /// exhaustions are not comparable — see the module docs), if any. A hit
-    /// counts as a use in the LRU order.
+    /// counts as a use in the LRU order; a failed serve of an exhaustion to
+    /// a larger budget counts an eviction strike.
     pub fn get(
         &self,
         canonical: &Clause,
@@ -218,14 +291,13 @@ impl CoverageCache {
         scope: Option<usize>,
     ) -> Option<CoverageOutcome> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let outcome = inner
-            .slots
-            .get(canonical)
-            .and_then(|slot| slot.outcomes.get(example))
-            .and_then(|verdict| verdict.serve(scope));
-        if outcome.is_some() {
-            inner.touch(canonical);
+        let slot = inner.slots.get_mut(canonical)?;
+        let (outcome, evicted) = slot.serve_tracked(example, scope);
+        if evicted {
+            self.evicted
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
+        self.settle_slot(&mut inner, canonical, outcome.is_some());
         outcome
     }
 
@@ -316,16 +388,23 @@ impl CoverageCache {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         canonicals
             .iter()
-            .map(|canonical| match inner.slots.get(canonical) {
+            .map(|canonical| match inner.slots.get_mut(canonical) {
                 None => vec![None; examples.len()],
                 Some(slot) => {
+                    let mut evictions = 0usize;
                     let row: Vec<Option<CoverageOutcome>> = examples
                         .iter()
-                        .map(|e| slot.outcomes.get(e).and_then(|v| v.serve(scope)))
+                        .map(|e| {
+                            let (outcome, evicted) = slot.serve_tracked(e, scope);
+                            evictions += evicted as usize;
+                            outcome
+                        })
                         .collect();
-                    if row.iter().any(Option::is_some) {
-                        inner.touch(canonical);
+                    if evictions > 0 {
+                        self.evicted
+                            .fetch_add(evictions, std::sync::atomic::Ordering::Relaxed);
                     }
+                    self.settle_slot(&mut inner, canonical, row.iter().any(Option::is_some));
                     row
                 }
             })
@@ -364,7 +443,7 @@ impl CoverageCache {
         };
         let before = slot.outcomes.len();
         slot.outcomes
-            .retain(|_, verdict| !matches!(verdict, CachedVerdict::ExhaustedAt(_)));
+            .retain(|_, verdict| !matches!(verdict, CachedVerdict::ExhaustedAt { .. }));
         let dropped = before - slot.outcomes.len();
         if slot.outcomes.is_empty() {
             let stamp = slot.stamp;
@@ -387,7 +466,7 @@ impl CoverageCache {
         for (key, slot) in inner.slots.iter_mut() {
             let before = slot.outcomes.len();
             slot.outcomes
-                .retain(|_, verdict| !matches!(verdict, CachedVerdict::ExhaustedAt(_)));
+                .retain(|_, verdict| !matches!(verdict, CachedVerdict::ExhaustedAt { .. }));
             dropped += before - slot.outcomes.len();
             if slot.outcomes.is_empty() {
                 emptied.push((Arc::clone(key), slot.stamp));
@@ -476,8 +555,10 @@ pub fn canonical_group<'a, T: Copy>(group: &[(T, &'a [Atom])]) -> (Vec<T>, Vec<&
 #[derive(Debug)]
 pub enum BatchFetch {
     /// A current cached trie (epoch stamps verified against the live
-    /// statistics).
-    Hit(Arc<BatchPlan>),
+    /// statistics), together with the execution feedback recorded for it —
+    /// the engine compares the feedback against the trie's node estimates
+    /// and recosts the trie when they diverge, exactly like `ClausePlan`s.
+    Hit(Arc<BatchPlan>, Arc<crate::plan::PlanFeedback>),
     /// A cached trie existed but a relation it was costed against mutated;
     /// the entry has been dropped and must be recompiled.
     Stale,
@@ -486,11 +567,13 @@ pub enum BatchFetch {
 }
 
 /// One cached trie: the sorted canonical bodies it was compiled for (its
-/// local slot space) and the compiled plan.
+/// local slot space), the compiled plan, and the execution feedback shared
+/// by every batch item that runs it (step index = trie node index).
 #[derive(Debug)]
 struct BatchEntry {
     bodies: Vec<Vec<Atom>>,
     plan: Arc<BatchPlan>,
+    feedback: Arc<crate::plan::PlanFeedback>,
 }
 
 /// Whether an entry's owned bodies equal a probe's borrowed body slices.
@@ -541,7 +624,10 @@ impl BatchPlanCache {
             return BatchFetch::Miss;
         };
         if bucket[pos].plan.is_current(stats) {
-            return BatchFetch::Hit(Arc::clone(&bucket[pos].plan));
+            return BatchFetch::Hit(
+                Arc::clone(&bucket[pos].plan),
+                Arc::clone(&bucket[pos].feedback),
+            );
         }
         bucket.swap_remove(pos);
         if bucket.is_empty() {
@@ -554,13 +640,22 @@ impl BatchPlanCache {
     /// Stores a freshly compiled trie for `(head, bodies)`; this is the
     /// only place the key is deep-cloned (miss/stale path). Replacing an
     /// existing entry never evicts; only a genuinely new entry at capacity
-    /// clears the table.
-    pub fn store(&self, head: &Atom, bodies: &[&[Atom]], plan: Arc<BatchPlan>) {
+    /// clears the table. Returns the fresh feedback handle created for the
+    /// stored plan (replacing a plan resets its feedback — the observations
+    /// belonged to the discarded node order).
+    pub fn store(
+        &self,
+        head: &Atom,
+        bodies: &[&[Atom]],
+        plan: Arc<BatchPlan>,
+    ) -> Arc<crate::plan::PlanFeedback> {
+        let feedback = Arc::new(crate::plan::PlanFeedback::new(plan.node_count()));
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(bucket) = inner.get_mut(head) {
             if let Some(existing) = bucket.iter_mut().find(|e| bodies_match(&e.bodies, bodies)) {
                 existing.plan = plan;
-                return;
+                existing.feedback = Arc::clone(&feedback);
+                return feedback;
             }
         }
         if self.len.load(std::sync::atomic::Ordering::Relaxed) >= self.capacity {
@@ -570,8 +665,10 @@ impl BatchPlanCache {
         inner.entry(head.clone()).or_default().push(BatchEntry {
             bodies: bodies.iter().map(|&b| b.to_vec()).collect(),
             plan,
+            feedback: Arc::clone(&feedback),
         });
         self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        feedback
     }
 
     /// Number of cached tries.
@@ -794,6 +891,111 @@ mod tests {
     }
 
     #[test]
+    fn budget_growing_workload_evicts_dead_exhaustions() {
+        // Regression for the ROADMAP budget-tier eviction policy: a
+        // workload that upgrades its budget forever used to leave dead
+        // `ExhaustedAt` entries behind until whole-clause LRU eviction.
+        let cache = CoverageCache::default();
+        let key = canonicalize(&clause("x", "y", "p"));
+        let examples: Vec<Tuple> = (0..4)
+            .map(|i| Tuple::from_strs(&[&format!("a{i}"), "b"]))
+            .collect();
+        for e in &examples {
+            cache.insert(&key, e, CoverageOutcome::Exhausted, Some(10));
+        }
+        assert_eq!(cache.len(), 1);
+        // Three rounds of probes under ever-larger budgets (each a failed
+        // serve, with no write-back — e.g. the evaluations were cancelled
+        // mid-flight): the entries are struck out on the third round.
+        for (round, budget) in [20usize, 40, 80].iter().enumerate() {
+            for e in &examples {
+                assert_eq!(cache.get(&key, e, Some(*budget)), None);
+            }
+            let expected = if round + 1 >= EXHAUSTION_STRIKE_LIMIT as usize {
+                examples.len()
+            } else {
+                0
+            };
+            assert_eq!(cache.exhaustions_evicted(), expected, "round {round}");
+        }
+        // Nothing is left, not even for the budgets the entries answered.
+        assert_eq!(cache.get(&key, &examples[0], Some(5)), None);
+        assert!(cache.is_empty(), "slot emptied by eviction must be removed");
+        // Recency left no residue: the cache still fills and evicts sanely.
+        let e = Tuple::from_strs(&["x", "y"]);
+        cache.insert(&key, &e, CoverageOutcome::Covered, None);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn successful_serves_reset_eviction_strikes() {
+        let cache = CoverageCache::default();
+        let key = canonicalize(&clause("x", "y", "p"));
+        let e = Tuple::from_strs(&["ann", "bob"]);
+        cache.insert(&key, &e, CoverageOutcome::Exhausted, Some(100));
+        // Two strikes...
+        assert_eq!(cache.get(&key, &e, Some(200)), None);
+        assert_eq!(cache.get(&key, &e, Some(300)), None);
+        // ...then a successful smaller-budget serve resets the count...
+        assert_eq!(
+            cache.get(&key, &e, Some(50)),
+            Some(CoverageOutcome::Exhausted)
+        );
+        // ...so two more failed serves still do not evict.
+        assert_eq!(cache.get(&key, &e, Some(200)), None);
+        assert_eq!(cache.get(&key, &e, Some(200)), None);
+        assert_eq!(cache.exhaustions_evicted(), 0);
+        assert_eq!(
+            cache.get(&key, &e, Some(100)),
+            Some(CoverageOutcome::Exhausted)
+        );
+        // An incomparable probe (scope None) is not a strike either.
+        cache.get(&key, &e, None);
+        cache.get(&key, &e, Some(200));
+        cache.get(&key, &e, Some(200));
+        assert_eq!(cache.exhaustions_evicted(), 0);
+        // A write-back refresh (budget upgrade) also resets the count.
+        cache.insert(&key, &e, CoverageOutcome::Exhausted, Some(150));
+        cache.get(&key, &e, Some(200));
+        cache.get(&key, &e, Some(200));
+        assert_eq!(cache.exhaustions_evicted(), 0);
+        assert_eq!(
+            cache.get(&key, &e, Some(150)),
+            Some(CoverageOutcome::Exhausted)
+        );
+    }
+
+    #[test]
+    fn batched_reads_strike_and_evict_exhaustions_too() {
+        let cache = CoverageCache::default();
+        let key = canonicalize(&clause("x", "y", "p"));
+        let e1 = Tuple::from_strs(&["ann", "bob"]);
+        let e2 = Tuple::from_strs(&["ann", "carol"]);
+        cache.insert_many(
+            &key,
+            [
+                (e1.clone(), CoverageOutcome::Exhausted),
+                (e2.clone(), CoverageOutcome::Covered),
+            ],
+            Some(10),
+        );
+        for _ in 0..EXHAUSTION_STRIKE_LIMIT {
+            let row = cache.get_batch(&key, &[e1.clone(), e2.clone()], Some(999));
+            assert_eq!(row[0], None);
+            assert_eq!(row[1], Some(CoverageOutcome::Covered));
+        }
+        assert_eq!(cache.exhaustions_evicted(), 1);
+        // The definite verdict survives; the struck exhaustion is gone even
+        // for budgets it used to answer.
+        assert_eq!(cache.get(&key, &e1, Some(5)), None);
+        assert_eq!(
+            cache.get(&key, &e2, Some(5)),
+            Some(CoverageOutcome::Covered)
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
     fn drop_exhausted_keeps_definite_verdicts() {
         let cache = CoverageCache::default();
         let key = canonicalize(&clause("x", "y", "p"));
@@ -886,7 +1088,10 @@ mod tests {
         cache.store(&head, &sorted, Arc::clone(&plan));
         assert_eq!(cache.len(), 1);
         match cache.fetch(&head, &sorted, &stats) {
-            BatchFetch::Hit(hit) => assert!(Arc::ptr_eq(&hit, &plan)),
+            BatchFetch::Hit(hit, feedback) => {
+                assert!(Arc::ptr_eq(&hit, &plan));
+                assert_eq!(feedback.executions(), 0, "fresh plans get fresh feedback");
+            }
             other => panic!("expected hit, got {other:?}"),
         }
         // A different body-set under the same head is a distinct entry.

@@ -41,7 +41,10 @@ pub mod pool;
 pub mod stats;
 
 pub use batch::{BatchItemStats, BatchPlan};
-pub use cache::{canonical_group, canonicalize, BatchFetch, BatchPlanCache, CoverageCache};
+pub use cache::{
+    canonical_group, canonicalize, BatchFetch, BatchPlanCache, CoverageCache,
+    EXHAUSTION_STRIKE_LIMIT,
+};
 pub use castor_logic::{CoverageOutcome, EvalBudget, DEFAULT_EVAL_NODE_BUDGET};
 pub use cost::{CostModel, CostModelKind, CostOverrides, HistogramCost, UniformCost};
 pub use fx::{FxBuildHasher, FxHashMap, FxHasher};
@@ -262,9 +265,12 @@ impl CoverageRuntime {
         &self.metrics
     }
 
-    /// Snapshot of the runtime counters.
+    /// Snapshot of the runtime counters (including the coverage cache's
+    /// budget-tier eviction count, which the cache tracks itself).
     pub fn report(&self) -> EngineReport {
-        self.metrics.snapshot()
+        let mut report = self.metrics.snapshot();
+        report.exhaustions_evicted = self.cache.exhaustions_evicted();
+        report
     }
 
     /// Drops cached coverage for every clause referencing one of
@@ -958,17 +964,43 @@ impl Engine {
     /// into that order), mapped back through the slot map the caller kept.
     /// The hit path never clones an atom — owned keys are built only when
     /// a freshly compiled trie is stored.
+    ///
+    /// Returns the trie plus the feedback handle batch execution records
+    /// observed candidate rows into (`None` once the trie's estimates are
+    /// validated). A cached trie whose recorded feedback diverges from its
+    /// node estimates past the configured threshold is *recosted* exactly
+    /// like a [`ClausePlan`]: recompiled with the observed rows overriding
+    /// the model, counted in `plans_recosted`.
     fn batch_plan_for(
         &self,
         head: &Atom,
         bodies: &[&[castor_logic::Atom]],
         stats: &DatabaseStatistics,
-    ) -> Arc<BatchPlan> {
+    ) -> (Arc<BatchPlan>, Option<Arc<PlanFeedback>>) {
         let metrics = self.runtime.metrics();
+        let model = self.config.cost_model.model();
+        let mut recost: Option<batch::TrieCostOverrides> = None;
         match self.batch_plans.fetch(head, bodies, stats) {
-            BatchFetch::Hit(plan) => {
+            BatchFetch::Hit(plan, feedback) => {
                 EngineStats::bump(&metrics.batch_plan_cache_hits);
-                return plan;
+                let diverged = self.config.recost_divergence > 0
+                    && feedback.check_due(self.config.recost_after)
+                    && {
+                        let diverged = feedback
+                            .divergence_by(|node| plan.node(node).estimated_cost)
+                            >= self.config.recost_divergence as f64;
+                        if !diverged {
+                            feedback.defer_check();
+                        }
+                        diverged
+                    };
+                if !diverged {
+                    let feedback = (!feedback.is_validated()).then_some(feedback);
+                    return (plan, feedback);
+                }
+                // Feedback recosting: fall through to recompilation with
+                // the observed rows beating the model.
+                recost = Some(batch::TrieCostOverrides::from_feedback(&plan, &feedback));
             }
             BatchFetch::Stale => {
                 EngineStats::bump(&metrics.batch_plans_invalidated);
@@ -977,15 +1009,24 @@ impl Engine {
         }
         let slotted: Vec<(usize, &[castor_logic::Atom])> =
             bodies.iter().enumerate().map(|(i, &b)| (i, b)).collect();
-        let plan = Arc::new(BatchPlan::compile_with(
-            head,
-            &slotted,
-            stats,
-            self.config.cost_model.model(),
-        ));
-        EngineStats::bump(&metrics.batch_plans_compiled);
-        self.batch_plans.store(head, bodies, Arc::clone(&plan));
-        plan
+        let plan = match &recost {
+            Some(overrides) => {
+                let observed = batch::ObservedTrieCost {
+                    inner: model,
+                    overrides,
+                };
+                let plan = Arc::new(BatchPlan::compile_with(head, &slotted, stats, &observed));
+                EngineStats::bump(&metrics.plans_recosted);
+                plan
+            }
+            None => {
+                let plan = Arc::new(BatchPlan::compile_with(head, &slotted, stats, model));
+                EngineStats::bump(&metrics.batch_plans_compiled);
+                plan
+            }
+        };
+        let feedback = self.batch_plans.store(head, bodies, Arc::clone(&plan));
+        (plan, Some(feedback))
     }
 
     /// Tri-state coverage test for one example, going through the cache and
@@ -1155,6 +1196,7 @@ impl Engine {
         // (indices into the cache key's sorted bodies) back to the prepared
         // batch's global slots.
         let mut plans: Vec<Arc<BatchPlan>> = Vec::new();
+        let mut feedbacks: Vec<Option<Arc<PlanFeedback>>> = Vec::new();
         let mut slot_maps: Vec<Vec<usize>> = Vec::new();
         // (slot, example index, outcome) verdicts settled without a search:
         // empty-bodied candidates are covered iff the head binds.
@@ -1176,7 +1218,7 @@ impl Engine {
             // stamps, so a trie costed before a mutation is recompiled,
             // never reused.
             let (slot_map, bodies) = canonical_group(&group);
-            let plan = self.batch_plan_for(head, &bodies, &db_stats);
+            let (plan, feedback) = self.batch_plan_for(head, &bodies, &db_stats);
             if !plan.root_accepting.is_empty() {
                 let head_clause = Clause::fact(head.clone());
                 for &local in &plan.root_accepting {
@@ -1196,6 +1238,7 @@ impl Engine {
                 }
             }
             plans.push(plan);
+            feedbacks.push(feedback);
             slot_maps.push(slot_map);
         }
 
@@ -1228,6 +1271,7 @@ impl Engine {
         let items: Vec<Item> =
             if self.runtime.pool().size() > 1 && cells >= self.config.parallel_threshold {
                 let plans = Arc::new(plans.clone());
+                let feedbacks = Arc::new(feedbacks.clone());
                 let subtrees_shared = Arc::new(subtrees.clone());
                 let examples_shared = Arc::new(examples.to_vec());
                 let masks = Arc::new(masks);
@@ -1244,6 +1288,7 @@ impl Engine {
                             &examples_shared[col],
                             &masks[pi][col],
                             &budget,
+                            feedbacks[pi].as_deref(),
                         )
                     })
             } else {
@@ -1257,6 +1302,7 @@ impl Engine {
                             example,
                             &masks[pi][ei],
                             &budget,
+                            feedbacks[pi].as_deref(),
                         ));
                     }
                 }

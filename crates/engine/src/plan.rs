@@ -240,14 +240,22 @@ impl PlanFeedback {
     /// estimates were spot on; steps with no observations are skipped.
     /// Allocation-free: runs under the engine's plan-table lock.
     pub fn divergence(&self, plan: &ClausePlan) -> f64 {
+        self.divergence_by(|step| plan.steps[step].estimated_rows)
+    }
+
+    /// [`PlanFeedback::divergence`] against arbitrary per-step estimates —
+    /// the batch tries share this feedback type with per-step indices that
+    /// are trie-node indices, so their estimates live on the trie nodes
+    /// rather than on [`PlanStep`]s.
+    pub fn divergence_by(&self, estimated_rows: impl Fn(usize) -> f64) -> f64 {
         let mut worst = 1.0f64;
-        for ((step, inv), rows) in plan.steps.iter().zip(&self.invocations).zip(&self.rows) {
+        for (step, (inv, rows)) in self.invocations.iter().zip(&self.rows).enumerate() {
             let n = inv.load(Ordering::Relaxed);
             if n == 0 {
                 continue;
             }
             let observed = (rows.load(Ordering::Relaxed) as f64 / n as f64).max(1.0);
-            let estimated = step.estimated_rows.max(1.0);
+            let estimated = estimated_rows(step).max(1.0);
             worst = worst.max((observed / estimated).max(estimated / observed));
         }
         worst

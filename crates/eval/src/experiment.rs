@@ -10,8 +10,9 @@
 use crate::metrics::{evaluate_definition_with_session, EvaluationResult};
 use castor_core::CastorConfig;
 use castor_datasets::{cross_validation_folds, DatasetVariant, SchemaFamily};
-use castor_learners::LearnerParams;
+use castor_learners::{LearnerParams, LearningTask};
 use castor_logic::Definition;
+use castor_relational::Tuple;
 use castor_service::{LearnAlgorithm, LearnJob, Server, ServerConfig};
 use std::time::{Duration, Instant};
 
@@ -127,6 +128,44 @@ fn learn_algorithm_for(
     }
 }
 
+/// The transport-independent cross-validation loop shared by the
+/// in-process and RPC experiment runners: per fold, time one learner run
+/// (`learn`), evaluate the definition on the held-out split (`evaluate`),
+/// and micro-average into one row. Keeping a single copy is what lets the
+/// test suite pin the two transports to identical rows.
+fn run_folds(
+    algorithm: &AlgorithmKind,
+    variant: &DatasetVariant,
+    folds: usize,
+    mut learn: impl FnMut(LearningTask) -> Definition,
+    mut evaluate: impl FnMut(&Definition, &[Tuple], &[Tuple]) -> EvaluationResult,
+) -> ExperimentRow {
+    let mut evaluation = EvaluationResult::default();
+    let mut total_time = Duration::ZERO;
+    let mut sample_definition = Definition::empty(variant.task.target.clone());
+    for (i, fold) in cross_validation_folds(&variant.task, folds)
+        .iter()
+        .enumerate()
+    {
+        let start = Instant::now();
+        let definition = learn(fold.train.clone());
+        total_time += start.elapsed();
+        let fold_eval = evaluate(&definition, &fold.test_positive, &fold.test_negative);
+        evaluation.accumulate(&fold_eval);
+        if i == 0 {
+            sample_definition = definition;
+        }
+    }
+    ExperimentRow {
+        algorithm: algorithm.name(),
+        family: String::new(),
+        schema: variant.name.clone(),
+        evaluation,
+        learning_time: total_time,
+        sample_definition,
+    }
+}
+
 /// Runs one algorithm on one variant with `folds`-fold cross validation.
 pub fn run_algorithm_on_variant(
     algorithm: &AlgorithmKind,
@@ -134,9 +173,6 @@ pub fn run_algorithm_on_variant(
     base_params: &LearnerParams,
     folds: usize,
 ) -> ExperimentRow {
-    let mut evaluation = EvaluationResult::default();
-    let mut total_time = Duration::ZERO;
-    let mut sample_definition = Definition::empty(variant.task.target.clone());
     // One server-owned engine per variant: its coverage cache and compiled
     // plans are shared across every fold of the run, and test-split
     // evaluation reuses results the learner already computed. The variant's
@@ -153,39 +189,74 @@ pub fn run_algorithm_on_variant(
     let session = server
         .session(&variant.name)
         .expect("variant was just registered");
+    run_folds(
+        algorithm,
+        variant,
+        folds,
+        |task| {
+            session
+                .learn(LearnJob {
+                    task,
+                    algorithm: learn_algorithm_for(algorithm, &params, base_params),
+                })
+                .expect("experiment sessions are never cancelled")
+        },
+        |definition, test_positive, test_negative| {
+            evaluate_definition_with_session(&session, definition, test_positive, test_negative)
+        },
+    )
+}
 
-    for (i, fold) in cross_validation_folds(&variant.task, folds)
-        .iter()
-        .enumerate()
-    {
-        let start = Instant::now();
-        let definition = session
-            .learn(LearnJob {
-                task: fold.train.clone(),
-                algorithm: learn_algorithm_for(algorithm, &params, base_params),
-            })
-            .expect("experiment sessions are never cancelled");
-        total_time += start.elapsed();
-        let fold_eval = evaluate_definition_with_session(
-            &session,
-            &definition,
-            &fold.test_positive,
-            &fold.test_negative,
-        );
-        evaluation.accumulate(&fold_eval);
-        if i == 0 {
-            sample_definition = definition;
-        }
-    }
+/// [`run_algorithm_on_variant`] with every job travelling a real TCP
+/// socket: the run owns a loopback [`castor_rpc::RpcServer`] over the
+/// variant's serving stack, and each fold's learning and evaluation go
+/// through a blocking [`castor_rpc::RpcClient`]. The server executes the
+/// same `LearnJob`s/`CoverageJob`s, so results are identical to the
+/// in-process path — this is the deployment shape where the experiment
+/// harness and the learning service run on different machines.
+pub fn run_algorithm_on_variant_rpc(
+    algorithm: &AlgorithmKind,
+    variant: &DatasetVariant,
+    base_params: &LearnerParams,
+    folds: usize,
+) -> ExperimentRow {
+    use crate::metrics::evaluate_definition_with_client;
+    use castor_rpc::{RpcClient, RpcConfig, RpcServer};
 
-    ExperimentRow {
-        algorithm: algorithm.name(),
-        family: String::new(),
-        schema: variant.name.clone(),
-        evaluation,
-        learning_time: total_time,
-        sample_definition,
-    }
+    let params = params_for(variant, base_params);
+    let service = std::sync::Arc::new(Server::new(
+        ServerConfig::default()
+            .with_threads(params.threads)
+            .with_engine(params.engine_config()),
+    ));
+    service
+        .register(&variant.name, std::sync::Arc::clone(&variant.db))
+        .expect("variant registered once per run");
+    let rpc = RpcServer::bind(service, "127.0.0.1:0", RpcConfig::default())
+        .expect("loopback bind for the experiment run");
+    let client = std::cell::RefCell::new(
+        RpcClient::connect(rpc.local_addr(), &variant.name)
+            .expect("loopback connect for the experiment run"),
+    );
+    run_folds(
+        algorithm,
+        variant,
+        folds,
+        |task| {
+            client
+                .borrow_mut()
+                .learn(task, learn_algorithm_for(algorithm, &params, base_params))
+                .expect("experiment connections are never cancelled")
+        },
+        |definition, test_positive, test_negative| {
+            evaluate_definition_with_client(
+                &mut client.borrow_mut(),
+                definition,
+                test_positive,
+                test_negative,
+            )
+        },
+    )
 }
 
 /// Runs one algorithm across every schema variant of a family.
@@ -254,6 +325,21 @@ mod tests {
         );
         assert_eq!(row.schema, "Original");
         assert!(row.learning_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn rpc_transport_reproduces_the_in_process_rows() {
+        let family = tiny_family();
+        let variant = family.variant("Original").unwrap();
+        let algorithm = AlgorithmKind::AlephProgol(4);
+        let in_process = run_algorithm_on_variant(&algorithm, variant, &LearnerParams::uwcse(), 2);
+        let over_tcp =
+            run_algorithm_on_variant_rpc(&algorithm, variant, &LearnerParams::uwcse(), 2);
+        // The server executes the same jobs, so the learned definitions
+        // and fold metrics are identical — only the transport differs.
+        assert_eq!(over_tcp.evaluation, in_process.evaluation);
+        assert_eq!(over_tcp.sample_definition, in_process.sample_definition);
+        assert_eq!(over_tcp.schema, in_process.schema);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Precision and recall of learned definitions (Section 9.1.3).
 
 use castor_engine::Engine;
-use castor_logic::{covers_example, Definition};
+use castor_logic::{covers_example, Clause, Definition};
 use castor_relational::{DatabaseInstance, Tuple};
 
 /// Precision/recall of a definition over a test split.
@@ -56,16 +56,16 @@ impl EvaluationResult {
     }
 }
 
-/// Evaluates a learned definition through a serving-layer session: the
-/// definition's clauses and both test splits go to the session's database
-/// queue as one batched coverage job, so fold evaluation shares the
-/// engine's memoized coverage and compiled plans with the learner run that
-/// produced the definition.
-pub fn evaluate_definition_with_session(
-    session: &castor_service::Session,
+/// The transport-independent core of definition evaluation: run one
+/// batched coverage job over the concatenated test splits through
+/// `covered_sets`, then classify. Both the in-process session path and
+/// the RPC client path delegate here, so their scoring arithmetic cannot
+/// diverge.
+fn evaluate_definition_via(
     definition: &Definition,
     test_positive: &[Tuple],
     test_negative: &[Tuple],
+    covered_sets: impl FnOnce(Vec<Clause>, Vec<Tuple>) -> Vec<std::collections::HashSet<Tuple>>,
 ) -> EvaluationResult {
     if definition.clauses.is_empty() {
         return EvaluationResult {
@@ -77,9 +77,7 @@ pub fn evaluate_definition_with_session(
     let mut examples: Vec<Tuple> = Vec::with_capacity(test_positive.len() + test_negative.len());
     examples.extend_from_slice(test_positive);
     examples.extend_from_slice(test_negative);
-    let sets = session
-        .covered_sets(definition.clauses.clone(), examples)
-        .expect("evaluation sessions are never cancelled");
+    let sets = covered_sets(definition.clauses.clone(), examples);
     let covered_by_any: std::collections::HashSet<&Tuple> =
         sets.iter().flat_map(|set| set.iter()).collect();
     let true_positives = test_positive
@@ -95,6 +93,52 @@ pub fn evaluate_definition_with_session(
         false_positives,
         false_negatives: test_positive.len() - true_positives,
     }
+}
+
+/// Evaluates a learned definition through a serving-layer session: the
+/// definition's clauses and both test splits go to the session's database
+/// queue as one batched coverage job, so fold evaluation shares the
+/// engine's memoized coverage and compiled plans with the learner run that
+/// produced the definition.
+pub fn evaluate_definition_with_session(
+    session: &castor_service::Session,
+    definition: &Definition,
+    test_positive: &[Tuple],
+    test_negative: &[Tuple],
+) -> EvaluationResult {
+    evaluate_definition_via(
+        definition,
+        test_positive,
+        test_negative,
+        |clauses, examples| {
+            session
+                .covered_sets(clauses, examples)
+                .expect("evaluation sessions are never cancelled")
+        },
+    )
+}
+
+/// Evaluates a learned definition over a live RPC connection — the wire
+/// counterpart of [`evaluate_definition_with_session`]: one batched
+/// coverage job travels the socket and the covered sets come back framed.
+/// Results are bit-identical to the in-process path (the server executes
+/// the same `CoverageJob`).
+pub fn evaluate_definition_with_client(
+    client: &mut castor_rpc::RpcClient,
+    definition: &Definition,
+    test_positive: &[Tuple],
+    test_negative: &[Tuple],
+) -> EvaluationResult {
+    evaluate_definition_via(
+        definition,
+        test_positive,
+        test_negative,
+        |clauses, examples| {
+            client
+                .covered_sets(clauses, examples)
+                .expect("evaluation connections are never cancelled")
+        },
+    )
 }
 
 /// Evaluates a learned definition through a shared evaluation engine

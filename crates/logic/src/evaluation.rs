@@ -123,6 +123,17 @@ impl EvalBudget {
         self.cancelled
     }
 
+    /// Whether an installed cancellation token is currently set: the next
+    /// [`EvalBudget::consume`] (of this budget or any clone of it) will
+    /// abort through the exhaustion path. Coverage engines consult this to
+    /// keep cancellation-driven aborts out of budget-keyed exhaustion
+    /// caches.
+    pub fn cancel_pending(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|token| token.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
     /// Nodes still available.
     pub fn remaining(&self) -> usize {
         self.remaining

@@ -1,0 +1,261 @@
+//! The blocking RPC client: one TCP connection, one session.
+//!
+//! Requests can be *pipelined*: [`RpcClient::submit`] sends a request and
+//! returns a lightweight [`RpcHandle`] immediately; [`RpcClient::join`]
+//! blocks until that request's response arrives, buffering any other
+//! responses that land first. The convenience methods
+//! ([`RpcClient::covered_sets`], [`RpcClient::learn`], ...) are
+//! submit-then-join in one call — the same shapes
+//! [`castor_service::Session`] offers in-process, so callers can swap the
+//! transports.
+
+use crate::frame::{
+    read_response, write_request, ErrorCode, FrameError, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+};
+use castor_engine::{ClauseCounts, EngineReport};
+use castor_learners::LearningTask;
+use castor_logic::{Clause, Definition};
+use castor_relational::{MutationBatch, MutationSummary, Tuple};
+use castor_service::{LearnAlgorithm, ServerReport};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The socket failed or closed mid-exchange.
+    Io(String),
+    /// A frame or payload could not be decoded locally.
+    Malformed(String),
+    /// The server answered with a typed error frame.
+    Remote {
+        /// The server's error code.
+        code: ErrorCode,
+        /// The relevant admission limit, when the code carries one.
+        limit: usize,
+        /// The server's message.
+        message: String,
+    },
+    /// The server answered with a response of the wrong shape.
+    UnexpectedResponse(String),
+}
+
+impl RpcError {
+    /// Whether this is an admission-control rejection (session cap or
+    /// per-database in-flight cap).
+    pub fn is_admission_rejection(&self) -> bool {
+        matches!(
+            self,
+            RpcError::Remote {
+                code: ErrorCode::Rejected | ErrorCode::SessionLimit,
+                ..
+            }
+        )
+    }
+
+    /// Whether the server cancelled the job (session cancel or
+    /// disconnect).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(
+            self,
+            RpcError::Remote {
+                code: ErrorCode::Cancelled,
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Io(msg) => write!(f, "rpc transport failed: {msg}"),
+            RpcError::Malformed(msg) => write!(f, "rpc frame malformed: {msg}"),
+            RpcError::Remote { code, message, .. } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            RpcError::UnexpectedResponse(what) => {
+                write!(f, "server sent an unexpected response: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<FrameError> for RpcError {
+    fn from(error: FrameError) -> Self {
+        match error {
+            FrameError::Io(e) => RpcError::Io(e.to_string()),
+            FrameError::Closed => RpcError::Io("connection closed".to_string()),
+            FrameError::TooLarge { .. } | FrameError::Malformed(_) | FrameError::Version { .. } => {
+                RpcError::Malformed(error.to_string())
+            }
+        }
+    }
+}
+
+/// A pipelined request awaiting [`RpcClient::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "join the handle to read the response"]
+pub struct RpcHandle(u64);
+
+/// A blocking client bound to one database session on an
+/// [`crate::RpcServer`].
+#[derive(Debug)]
+pub struct RpcClient {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    /// Responses that arrived while waiting for a different request id.
+    pending: HashMap<u64, Response>,
+    max_frame_bytes: usize,
+}
+
+impl RpcClient {
+    /// Connects and opens a session on `database` with the server's
+    /// default evaluation budget.
+    pub fn connect(addr: impl ToSocketAddrs, database: &str) -> Result<RpcClient, RpcError> {
+        RpcClient::connect_with(addr, database, None, DEFAULT_MAX_FRAME_BYTES)
+    }
+
+    /// [`RpcClient::connect`] with a per-session node-budget override and
+    /// a frame cap (the cap applies to *received* frames; servers enforce
+    /// their own).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        database: &str,
+        eval_budget: Option<usize>,
+        max_frame_bytes: usize,
+    ) -> Result<RpcClient, RpcError> {
+        let stream = TcpStream::connect(addr).map_err(|e| RpcError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream
+            .try_clone()
+            .map_err(|e| RpcError::Io(e.to_string()))?;
+        let mut client = RpcClient {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 0,
+            pending: HashMap::new(),
+            max_frame_bytes,
+        };
+        let handle = client.submit(Request::Hello {
+            database: database.to_string(),
+            eval_budget,
+        })?;
+        match client.join(handle)? {
+            Response::HelloOk => Ok(client),
+            other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Sends one request, returning its handle without waiting for the
+    /// response. Any number of requests may be in flight.
+    pub fn submit(&mut self, request: Request) -> Result<RpcHandle, RpcError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_request(&mut self.writer, id, &request)?;
+        Ok(RpcHandle(id))
+    }
+
+    /// Blocks until the response for `handle` arrives (buffering other
+    /// responses), then surfaces typed error frames as [`RpcError`].
+    pub fn join(&mut self, handle: RpcHandle) -> Result<Response, RpcError> {
+        loop {
+            if let Some(response) = self.pending.remove(&handle.0) {
+                return match response {
+                    Response::Error {
+                        code,
+                        limit,
+                        message,
+                    } => Err(RpcError::Remote {
+                        code,
+                        limit,
+                        message,
+                    }),
+                    other => Ok(other),
+                };
+            }
+            let (id, response) = read_response(&mut self.reader, self.max_frame_bytes)?;
+            self.pending.insert(id, response);
+        }
+    }
+
+    /// Submit-then-join for a request expecting one response shape.
+    fn request(&mut self, request: Request) -> Result<Response, RpcError> {
+        let handle = self.submit(request)?;
+        self.join(handle)
+    }
+
+    /// Covered subsets for a batch of clauses — the wire shape of
+    /// [`castor_service::Session::covered_sets`].
+    pub fn covered_sets(
+        &mut self,
+        clauses: Vec<Clause>,
+        examples: Vec<Tuple>,
+    ) -> Result<Vec<HashSet<Tuple>>, RpcError> {
+        match self.request(Request::Coverage { clauses, examples })? {
+            Response::Covered(sets) => Ok(sets),
+            other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fused positive/negative scoring — the wire shape of
+    /// [`castor_service::Session::score`].
+    pub fn score(
+        &mut self,
+        clauses: Vec<Clause>,
+        positive: Vec<Tuple>,
+        negative: Vec<Tuple>,
+    ) -> Result<Vec<ClauseCounts>, RpcError> {
+        match self.request(Request::Score {
+            clauses,
+            positive,
+            negative,
+        })? {
+            Response::Scores(counts) => Ok(counts),
+            other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Runs a learner over the session's database — the wire shape of
+    /// [`castor_service::Session::learn`].
+    pub fn learn(
+        &mut self,
+        task: LearningTask,
+        algorithm: LearnAlgorithm,
+    ) -> Result<Definition, RpcError> {
+        match self.request(Request::Learn { task, algorithm })? {
+            Response::Learned(definition) => Ok(definition),
+            other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Applies a mutation batch — the wire shape of
+    /// [`castor_service::Session::apply`].
+    pub fn apply(&mut self, batch: MutationBatch) -> Result<MutationSummary, RpcError> {
+        match self.request(Request::Mutate(batch))? {
+            Response::Mutated(summary) => Ok(summary),
+            other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// The session's isolated engine-counter deltas.
+    pub fn report(&mut self) -> Result<EngineReport, RpcError> {
+        match self.request(Request::Report)? {
+            Response::Report(report) => Ok(report),
+            other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// The database's engine totals plus the serving-layer counters.
+    pub fn server_report(&mut self) -> Result<(EngineReport, ServerReport), RpcError> {
+        match self.request(Request::ServerReport)? {
+            Response::ServerReport { engine, server } => Ok((engine, server)),
+            other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! Length-prefixed frames: the unit of exchange on a castor-rpc
+//! connection.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     frame length N (u32 LE) — bytes after this prefix
+//! 4       1     protocol version (PROTOCOL_VERSION)
+//! 5       1     frame kind (request or response discriminant)
+//! 6       8     request id (u64 LE) — echoed verbatim in the response
+//! 14      N-10  payload (kind-specific binary, see `codec`)
+//! ```
+//!
+//! The length prefix is read first and validated against the configured
+//! maximum *before* any allocation, so an oversized or forged frame is
+//! rejected with a typed error instead of a giant buffer. The version
+//! byte is checked next; unknown versions produce
+//! [`ErrorCode::UnsupportedVersion`] and the connection closes. Request
+//! ids are chosen by the client and echoed by the server, which lets a
+//! client multiplex any number of in-flight requests on one connection.
+
+use crate::codec::{ByteReader, ByteWriter, CodecError, Wire};
+use castor_engine::EngineReport;
+use castor_learners::LearningTask;
+use castor_logic::{Clause, Definition};
+use castor_relational::{MutationBatch, MutationSummary, Tuple};
+use castor_service::{LearnAlgorithm, ServerReport};
+use std::collections::HashSet;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frame header bytes after the length prefix (version + kind + request
+/// id).
+pub const HEADER_BYTES: usize = 10;
+
+/// Default cap on one frame's length field (32 MiB).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 32 * 1024 * 1024;
+
+/// Why a frame could not be produced or consumed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed (includes clean EOF between frames).
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The frame declared a length over the configured cap; nothing was
+    /// allocated.
+    TooLarge {
+        /// The declared frame length.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The frame was structurally invalid (short header, bad payload).
+    Malformed(CodecError),
+    /// The peer speaks a different protocol version.
+    Version {
+        /// The version byte the peer sent.
+        got: u8,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge { declared, limit } => {
+                write!(f, "frame of {declared} bytes exceeds the {limit}-byte cap")
+            }
+            FrameError::Malformed(e) => write!(f, "{e}"),
+            FrameError::Version { got } => {
+                write!(
+                    f,
+                    "peer speaks protocol version {got}, this build speaks {PROTOCOL_VERSION}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<CodecError> for FrameError {
+    fn from(e: CodecError) -> Self {
+        FrameError::Malformed(e)
+    }
+}
+
+/// Typed error codes carried by [`Response::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The version byte did not match the server's protocol.
+    UnsupportedVersion = 1,
+    /// The frame or payload could not be decoded.
+    Malformed = 2,
+    /// The frame length exceeded the server's cap.
+    FrameTooLarge = 3,
+    /// `Hello` named a database the server does not serve.
+    UnknownDatabase = 4,
+    /// The server-wide session cap rejected the connection (admission
+    /// control; `limit` carries the cap).
+    SessionLimit = 5,
+    /// The database's in-flight job cap rejected the submission
+    /// (admission control; `limit` carries the cap).
+    Rejected = 6,
+    /// The job was cancelled (session cancel token or disconnect).
+    Cancelled = 7,
+    /// A mutation op failed; the message renders the relational error.
+    Mutation = 8,
+    /// The job panicked on the runner thread.
+    Panicked = 9,
+    /// A request arrived before `Hello`, or a second `Hello`.
+    Protocol = 10,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<ErrorCode, CodecError> {
+        Ok(match v {
+            1 => ErrorCode::UnsupportedVersion,
+            2 => ErrorCode::Malformed,
+            3 => ErrorCode::FrameTooLarge,
+            4 => ErrorCode::UnknownDatabase,
+            5 => ErrorCode::SessionLimit,
+            6 => ErrorCode::Rejected,
+            7 => ErrorCode::Cancelled,
+            8 => ErrorCode::Mutation,
+            9 => ErrorCode::Panicked,
+            10 => ErrorCode::Protocol,
+            other => return Err(CodecError::new(format!("invalid error code {other}"))),
+        })
+    }
+}
+
+/// A client→server frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the connection's session: the database to bind to plus an
+    /// optional per-test node-budget override. Must be the first frame.
+    Hello {
+        /// The registered database name.
+        database: String,
+        /// Per-session node-budget override, if any.
+        eval_budget: Option<usize>,
+    },
+    /// [`castor_service::CoverageJob`] over the wire.
+    Coverage {
+        /// Candidate clauses.
+        clauses: Vec<Clause>,
+        /// Examples to test.
+        examples: Vec<Tuple>,
+    },
+    /// [`castor_service::ScoreJob`] over the wire.
+    Score {
+        /// Candidate clauses.
+        clauses: Vec<Clause>,
+        /// Positive examples.
+        positive: Vec<Tuple>,
+        /// Negative examples.
+        negative: Vec<Tuple>,
+    },
+    /// [`castor_service::LearnJob`] over the wire.
+    Learn {
+        /// The learning task.
+        task: LearningTask,
+        /// The learner to run.
+        algorithm: LearnAlgorithm,
+    },
+    /// A mutation batch against the session's database.
+    Mutate(MutationBatch),
+    /// The session's isolated engine-counter deltas.
+    Report,
+    /// The database's engine totals plus the serving-layer counters.
+    ServerReport,
+}
+
+impl Request {
+    fn kind(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => 0x01,
+            Request::Coverage { .. } => 0x02,
+            Request::Score { .. } => 0x03,
+            Request::Learn { .. } => 0x04,
+            Request::Mutate(_) => 0x05,
+            Request::Report => 0x06,
+            Request::ServerReport => 0x07,
+        }
+    }
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        match self {
+            Request::Hello {
+                database,
+                eval_budget,
+            } => {
+                w.put_str(database);
+                eval_budget.encode(w);
+            }
+            Request::Coverage { clauses, examples } => {
+                clauses.encode(w);
+                examples.encode(w);
+            }
+            Request::Score {
+                clauses,
+                positive,
+                negative,
+            } => {
+                clauses.encode(w);
+                positive.encode(w);
+                negative.encode(w);
+            }
+            Request::Learn { task, algorithm } => {
+                task.encode(w);
+                algorithm.encode(w);
+            }
+            Request::Mutate(batch) => batch.encode(w),
+            Request::Report | Request::ServerReport => {}
+        }
+    }
+
+    fn decode_payload(kind: u8, r: &mut ByteReader<'_>) -> Result<Request, CodecError> {
+        Ok(match kind {
+            0x01 => Request::Hello {
+                database: r.get_str()?,
+                eval_budget: Option::<usize>::decode(r)?,
+            },
+            0x02 => Request::Coverage {
+                clauses: Vec::<Clause>::decode(r)?,
+                examples: Vec::<Tuple>::decode(r)?,
+            },
+            0x03 => Request::Score {
+                clauses: Vec::<Clause>::decode(r)?,
+                positive: Vec::<Tuple>::decode(r)?,
+                negative: Vec::<Tuple>::decode(r)?,
+            },
+            0x04 => Request::Learn {
+                task: LearningTask::decode(r)?,
+                algorithm: LearnAlgorithm::decode(r)?,
+            },
+            0x05 => Request::Mutate(MutationBatch::decode(r)?),
+            0x06 => Request::Report,
+            0x07 => Request::ServerReport,
+            other => return Err(CodecError::new(format!("invalid request kind {other}"))),
+        })
+    }
+}
+
+/// A server→client frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The session is open; requests may flow.
+    HelloOk,
+    /// Per-clause covered subsets, in submitted clause order.
+    Covered(Vec<HashSet<Tuple>>),
+    /// Per-clause positive/negative counts.
+    Scores(Vec<castor_engine::ClauseCounts>),
+    /// The learned definition.
+    Learned(Definition),
+    /// What the mutation batch changed.
+    Mutated(MutationSummary),
+    /// The session's isolated counter deltas.
+    Report(EngineReport),
+    /// Engine totals of the bound database plus serving-layer counters.
+    ServerReport {
+        /// The database's combined engine counters.
+        engine: EngineReport,
+        /// The serving layer's admission/queue counters.
+        server: ServerReport,
+    },
+    /// A typed failure for the request id this frame echoes.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// The relevant admission limit, when the code carries one.
+        limit: usize,
+        /// Human-readable context.
+        message: String,
+    },
+}
+
+impl Response {
+    fn kind(&self) -> u8 {
+        match self {
+            Response::HelloOk => 0x81,
+            Response::Covered(_) => 0x82,
+            Response::Scores(_) => 0x83,
+            Response::Learned(_) => 0x84,
+            Response::Mutated(_) => 0x85,
+            Response::Report(_) => 0x86,
+            Response::ServerReport { .. } => 0x87,
+            Response::Error { .. } => 0xff,
+        }
+    }
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        match self {
+            Response::HelloOk => {}
+            Response::Covered(sets) => sets.encode(w),
+            Response::Scores(counts) => counts.encode(w),
+            Response::Learned(definition) => definition.encode(w),
+            Response::Mutated(summary) => summary.encode(w),
+            Response::Report(report) => report.encode(w),
+            Response::ServerReport { engine, server } => {
+                engine.encode(w);
+                server.encode(w);
+            }
+            Response::Error {
+                code,
+                limit,
+                message,
+            } => {
+                w.put_u8(*code as u8);
+                w.put_usize(*limit);
+                w.put_str(message);
+            }
+        }
+    }
+
+    fn decode_payload(kind: u8, r: &mut ByteReader<'_>) -> Result<Response, CodecError> {
+        Ok(match kind {
+            0x81 => Response::HelloOk,
+            0x82 => Response::Covered(Vec::<HashSet<Tuple>>::decode(r)?),
+            0x83 => Response::Scores(Vec::<castor_engine::ClauseCounts>::decode(r)?),
+            0x84 => Response::Learned(Definition::decode(r)?),
+            0x85 => Response::Mutated(MutationSummary::decode(r)?),
+            0x86 => Response::Report(EngineReport::decode(r)?),
+            0x87 => Response::ServerReport {
+                engine: EngineReport::decode(r)?,
+                server: ServerReport::decode(r)?,
+            },
+            0xff => Response::Error {
+                code: ErrorCode::from_u8(r.get_u8()?)?,
+                limit: r.get_usize()?,
+                message: r.get_str()?,
+            },
+            other => return Err(CodecError::new(format!("invalid response kind {other}"))),
+        })
+    }
+
+    /// The error response for a failed job.
+    pub(crate) fn from_job_error(error: castor_service::JobError) -> Response {
+        use castor_service::JobError;
+        let message = error.to_string();
+        match error {
+            JobError::Cancelled => Response::Error {
+                code: ErrorCode::Cancelled,
+                limit: 0,
+                message,
+            },
+            JobError::Rejected { limit } => Response::Error {
+                code: ErrorCode::Rejected,
+                limit,
+                message,
+            },
+            JobError::Mutation(inner) => Response::Error {
+                code: ErrorCode::Mutation,
+                limit: 0,
+                message: inner.to_string(),
+            },
+            JobError::Panicked(msg) => Response::Error {
+                code: ErrorCode::Panicked,
+                limit: 0,
+                message: msg,
+            },
+        }
+    }
+}
+
+/// Writes one frame (header + payload) to `writer`.
+fn write_frame(
+    writer: &mut impl Write,
+    kind: u8,
+    request_id: u64,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    let len = HEADER_BYTES + payload.len();
+    let len32 = u32::try_from(len).map_err(|_| CodecError::new("frame length exceeds u32::MAX"))?;
+    let mut header = [0u8; 4 + HEADER_BYTES];
+    header[..4].copy_from_slice(&len32.to_le_bytes());
+    header[4] = PROTOCOL_VERSION;
+    header[5] = kind;
+    header[6..14].copy_from_slice(&request_id.to_le_bytes());
+    writer.write_all(&header)?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes one request frame.
+pub fn write_request(
+    writer: &mut impl Write,
+    request_id: u64,
+    request: &Request,
+) -> Result<(), FrameError> {
+    let mut w = ByteWriter::new();
+    request.encode_payload(&mut w);
+    write_frame(writer, request.kind(), request_id, &w.into_bytes())
+}
+
+/// Writes one response frame.
+pub fn write_response(
+    writer: &mut impl Write,
+    request_id: u64,
+    response: &Response,
+) -> Result<(), FrameError> {
+    let mut w = ByteWriter::new();
+    response.encode_payload(&mut w);
+    write_frame(writer, response.kind(), request_id, &w.into_bytes())
+}
+
+/// One parsed frame header plus its raw payload.
+struct RawFrame {
+    kind: u8,
+    request_id: u64,
+    payload: Vec<u8>,
+}
+
+/// Reads one frame, enforcing `max_frame_bytes` *before* allocating the
+/// payload (which is read straight into its own buffer — no second
+/// copy). A clean EOF at a frame boundary is [`FrameError::Closed`].
+fn read_frame(reader: &mut impl Read, max_frame_bytes: usize) -> Result<RawFrame, FrameError> {
+    let mut prefix = [0u8; 4];
+    match reader.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(FrameError::Closed);
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let declared = u32::from_le_bytes(prefix) as usize;
+    if declared < HEADER_BYTES {
+        return Err(FrameError::Malformed(CodecError::new(format!(
+            "frame length {declared} is shorter than the {HEADER_BYTES}-byte header"
+        ))));
+    }
+    if declared > max_frame_bytes {
+        return Err(FrameError::TooLarge {
+            declared,
+            limit: max_frame_bytes,
+        });
+    }
+    let mut header = [0u8; HEADER_BYTES];
+    reader.read_exact(&mut header)?;
+    let mut payload = vec![0u8; declared - HEADER_BYTES];
+    reader.read_exact(&mut payload)?;
+    // The version check runs after the payload is consumed: an error
+    // reply followed by a close must leave no unread bytes behind, or the
+    // close degrades from FIN to RST and the peer loses the error frame.
+    let version = header[0];
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::Version { got: version });
+    }
+    Ok(RawFrame {
+        kind: header[1],
+        request_id: u64::from_le_bytes(header[2..10].try_into().expect("8 header bytes")),
+        payload,
+    })
+}
+
+/// Reads one request frame (server side). On a payload decode failure the
+/// already-parsed request id rides along (`Some`), so the server can
+/// correlate its typed error frame with the request that caused it;
+/// header-level failures have no id (`None`).
+pub fn read_request_tagged(
+    reader: &mut impl Read,
+    max_frame_bytes: usize,
+) -> Result<(u64, Request), (Option<u64>, FrameError)> {
+    let frame = read_frame(reader, max_frame_bytes).map_err(|e| (None, e))?;
+    let mut r = ByteReader::new(&frame.payload);
+    let decoded = Request::decode_payload(frame.kind, &mut r).and_then(|request| {
+        r.finish()?;
+        Ok(request)
+    });
+    match decoded {
+        Ok(request) => Ok((frame.request_id, request)),
+        Err(e) => Err((Some(frame.request_id), e.into())),
+    }
+}
+
+/// [`read_request_tagged`] without the error-side request id.
+pub fn read_request(
+    reader: &mut impl Read,
+    max_frame_bytes: usize,
+) -> Result<(u64, Request), FrameError> {
+    read_request_tagged(reader, max_frame_bytes).map_err(|(_, e)| e)
+}
+
+/// Reads one response frame (client side).
+pub fn read_response(
+    reader: &mut impl Read,
+    max_frame_bytes: usize,
+) -> Result<(u64, Response), FrameError> {
+    let frame = read_frame(reader, max_frame_bytes)?;
+    let mut r = ByteReader::new(&frame.payload);
+    let response = Response::decode_payload(frame.kind, &mut r)?;
+    r.finish()?;
+    Ok((frame.request_id, response))
+}
+
+/// Encodes a request to raw frame bytes (test helper and bench fodder).
+pub fn request_to_bytes(request_id: u64, request: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_request(&mut out, request_id, request).expect("vec writes cannot fail");
+    out
+}
+
+/// `Wire` helpers are re-exported for payload-level tooling.
+pub use crate::codec::{from_bytes as payload_from_bytes, to_bytes as payload_to_bytes};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::Atom;
+
+    fn roundtrip_request(request: Request) {
+        let bytes = request_to_bytes(7, &request);
+        let (id, decoded) = read_request(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(decoded, request);
+    }
+
+    fn roundtrip_response(response: Response) {
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, 99, &response).unwrap();
+        let (id, decoded) = read_response(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(id, 99);
+        assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn requests_roundtrip_through_frames() {
+        roundtrip_request(Request::Hello {
+            database: "demo".into(),
+            eval_budget: Some(1234),
+        });
+        roundtrip_request(Request::Coverage {
+            clauses: vec![Clause::fact(Atom::vars("t", &["x"]))],
+            examples: vec![Tuple::from_strs(&["a"])],
+        });
+        roundtrip_request(Request::Report);
+        roundtrip_request(Request::Mutate(
+            MutationBatch::new().insert("r", Tuple::from_strs(&["a"])),
+        ));
+    }
+
+    #[test]
+    fn responses_roundtrip_through_frames() {
+        roundtrip_response(Response::HelloOk);
+        roundtrip_response(Response::Covered(vec![[Tuple::from_strs(&["a"])]
+            .into_iter()
+            .collect()]));
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Rejected,
+            limit: 4,
+            message: "queue full".into(),
+        });
+        roundtrip_response(Response::ServerReport {
+            engine: EngineReport::default(),
+            server: ServerReport::default(),
+        });
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        // A forged length prefix of 1 GiB with no body behind it.
+        bytes.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        match read_request(&mut bytes.as_slice(), 1024) {
+            Err(FrameError::TooLarge { declared, limit }) => {
+                assert_eq!(declared, 1 << 30);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_malformed_frames_fail_cleanly() {
+        let bytes = request_to_bytes(1, &Request::Report);
+        // Truncation anywhere inside the frame is an error, not a hang or
+        // a panic.
+        for cut in 1..bytes.len() {
+            assert!(read_request(&mut bytes[..cut].as_ref(), 1 << 20).is_err());
+        }
+        // A frame length shorter than the header is malformed.
+        let mut short = Vec::new();
+        short.extend_from_slice(&3u32.to_le_bytes());
+        short.extend_from_slice(&[PROTOCOL_VERSION, 0x06, 0]);
+        assert!(matches!(
+            read_request(&mut short.as_slice(), 1 << 20),
+            Err(FrameError::Malformed(_))
+        ));
+        // A bogus version byte is a version error.
+        let mut wrong = request_to_bytes(1, &Request::Report);
+        wrong[4] = 42;
+        assert!(matches!(
+            read_request(&mut wrong.as_slice(), 1 << 20),
+            Err(FrameError::Version { got: 42 })
+        ));
+        // A clean EOF between frames is Closed, not an IO error.
+        assert!(matches!(
+            read_request(&mut [].as_slice(), 1 << 20),
+            Err(FrameError::Closed)
+        ));
+    }
+}

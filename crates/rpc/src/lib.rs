@@ -1,0 +1,65 @@
+//! # castor-rpc
+//!
+//! The network front end of the Castor serving stack: a dependency-free
+//! std-TCP wire protocol over [`castor_service`]. The paper (Picado et
+//! al., SIGMOD 2017) frames Castor as a learning *service* over live
+//! relational databases; `castor-service` runs multi-session learning
+//! in-process, and this crate is the layer that lets anything reach it
+//! over a network — the boundary every future scaling step (sharding,
+//! multi-backend routing) slots behind.
+//!
+//! * [`frame`] — versioned length-prefixed frames with request ids (see
+//!   the module docs for the byte layout), request/response bodies, and
+//!   typed error codes;
+//! * [`codec`] — compact hand-rolled binary encoding (varints, tagged
+//!   enums) for every job and result shape: clauses, tuples, mutation
+//!   batches, learner configurations, engine and server reports;
+//! * [`server`] — [`RpcServer`]: an acceptor thread plus one reader and
+//!   one writer thread per connection, mapping each connection onto one
+//!   [`castor_service::Session`]; in-flight requests multiplex onto the
+//!   per-database round-robin queues, admission rejections come back as
+//!   typed error frames, and a disconnect fires the session's cancel
+//!   token (queued jobs fail fast, the running one aborts within one
+//!   candidate tuple, the admission slot is reclaimed);
+//! * [`client`] — [`RpcClient`]: a blocking client with pipelined
+//!   submits, mirroring the in-process `Session` API shape so callers
+//!   can swap transports.
+//!
+//! ```no_run
+//! use castor_rpc::{RpcClient, RpcConfig, RpcServer};
+//! use castor_service::{Server, ServerConfig};
+//! use castor_relational::{DatabaseInstance, RelationSymbol, Schema, Tuple};
+//! use castor_logic::{Atom, Clause};
+//! use std::sync::Arc;
+//!
+//! let mut schema = Schema::new("demo");
+//! schema.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+//! let mut db = DatabaseInstance::empty(&schema);
+//! db.insert("publication", Tuple::from_strs(&["p1", "ann"])).unwrap();
+//!
+//! let service = Arc::new(Server::new(ServerConfig::default()));
+//! service.register("demo", Arc::new(db)).unwrap();
+//! let rpc = RpcServer::bind(service, "127.0.0.1:0", RpcConfig::default()).unwrap();
+//!
+//! let mut client = RpcClient::connect(rpc.local_addr(), "demo").unwrap();
+//! let clause = Clause::new(
+//!     Atom::vars("t", &["x"]),
+//!     vec![Atom::vars("publication", &["p", "x"])],
+//! );
+//! let sets = client
+//!     .covered_sets(vec![clause], vec![Tuple::from_strs(&["ann"])])
+//!     .unwrap();
+//! assert_eq!(sets[0].len(), 1);
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod frame;
+pub mod server;
+
+pub use client::{RpcClient, RpcError, RpcHandle};
+pub use codec::{ByteReader, ByteWriter, CodecError, Wire};
+pub use frame::{
+    ErrorCode, FrameError, Request, Response, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{RpcConfig, RpcServer};

@@ -1,0 +1,405 @@
+//! The threaded RPC server: TCP connections mapped onto
+//! [`castor_service::Session`]s.
+//!
+//! One acceptor thread takes connections; each connection gets one
+//! *reader* thread (parses request frames, submits jobs onto the
+//! session's queue) and one *writer* thread (joins job handles in
+//! submission order and streams response frames back). Because jobs of
+//! one session execute in submission order, joining in order is
+//! completion order — while the per-database round-robin scheduler
+//! interleaves *other* sessions' jobs between them. Any number of
+//! requests can be in flight on one connection; request ids are echoed so
+//! the client can match responses.
+//!
+//! Request lifecycle:
+//!
+//! 1. client connects, sends `Hello { database, eval_budget }`;
+//! 2. the server opens a session (admission-checked: unknown database and
+//!    the server-wide session cap produce a typed error frame and close);
+//! 3. requests are decoded and submitted; per-database in-flight caps
+//!    reject overflow submissions with a typed error frame (the
+//!    connection stays up);
+//! 4. responses stream back as jobs finish, tagged with their request id;
+//! 5. on disconnect the session's cancel token fires: queued jobs fail
+//!    fast, the running job aborts within one candidate tuple, and the
+//!    session (and its admission slot) is reclaimed.
+
+use crate::frame::{
+    read_request_tagged, write_response, ErrorCode, FrameError, Request, Response,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use castor_service::{
+    CoverageJob, Job, JobHandle, JobResult, LearnJob, ScoreJob, Server, ServerError, Session,
+};
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// RPC front-end knobs.
+#[derive(Debug, Clone)]
+pub struct RpcConfig {
+    /// Cap on one frame's declared length; larger frames are rejected
+    /// with [`ErrorCode::FrameTooLarge`] before any allocation.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+impl RpcConfig {
+    /// Returns a copy with the given frame cap.
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: usize) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+}
+
+/// A running RPC front end over a [`castor_service::Server`].
+///
+/// Dropping the handle stops accepting new connections (established
+/// connections keep running until their clients disconnect).
+pub struct RpcServer {
+    service: Arc<Server>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RpcServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl RpcServer {
+    /// Binds the RPC front end and starts accepting connections. Bind to
+    /// port 0 to let the OS choose ([`RpcServer::local_addr`] reports it).
+    pub fn bind(
+        service: Arc<Server>,
+        addr: impl ToSocketAddrs,
+        config: RpcConfig,
+    ) -> std::io::Result<RpcServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("castor-rpc-acceptor".to_string())
+                .spawn(move || accept_loop(listener, service, config, shutdown))
+                .expect("failed to spawn acceptor thread")
+        };
+        Ok(RpcServer {
+            service,
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address the front end is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind this front end (handy for in-process
+    /// inspection: engine reports, server counters).
+    pub fn service(&self) -> &Arc<Server> {
+        &self.service
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<Server>,
+    config: RpcConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        let config = config.clone();
+        let _ = std::thread::Builder::new()
+            .name("castor-rpc-conn".to_string())
+            .spawn(move || serve_connection(stream, service, config));
+    }
+}
+
+/// One item the reader hands the writer. Order in the channel is
+/// response order on the wire; `Lazy` responses are *evaluated on the
+/// writer thread*, after every earlier item has been joined and written,
+/// so a pipelined `Report` observes the jobs submitted before it —
+/// exactly like calling `Session::report()` after in-process joins.
+enum Outbound {
+    Ready(u64, Response),
+    Job(u64, JobHandle),
+    Lazy(u64, Box<dyn FnOnce() -> Response + Send>),
+}
+
+/// Serves one connection to completion. Errors end the connection; the
+/// session (dropped at the end of this function) releases its admission
+/// slot, and its cancel token aborts whatever was still running.
+fn serve_connection(stream: TcpStream, service: Arc<Server>, config: RpcConfig) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = stream.try_clone().expect("tcp clone");
+    let writer = stream;
+
+    // Handshake: the first frame must be a well-formed Hello for a
+    // database this server can admit a session to. The session is shared
+    // with the writer thread, which snapshots reports in response order.
+    let session = match handshake(&mut reader, &writer, &service, &config) {
+        Some(session) => Arc::new(session),
+        None => return,
+    };
+
+    let (tx, rx): (Sender<Outbound>, Receiver<Outbound>) = channel();
+    let writer_thread = {
+        std::thread::Builder::new()
+            .name("castor-rpc-writer".to_string())
+            .spawn(move || write_loop(writer, rx))
+            .expect("failed to spawn writer thread")
+    };
+
+    read_loop(&mut reader, &service, &session, &config, &tx);
+
+    // The client is gone (or sent garbage): abort its in-flight work.
+    // Queued jobs fail fast on the cancel token; the running job unwinds
+    // through its budget loop within one candidate tuple.
+    session.cancel();
+    drop(tx);
+    let _ = writer_thread.join();
+    // `session` drops here: the admission slot is released and the
+    // (drained) queue entry reclaimed.
+}
+
+/// Performs the Hello exchange; `None` means the connection is done.
+fn handshake(
+    reader: &mut TcpStream,
+    writer: &TcpStream,
+    service: &Arc<Server>,
+    config: &RpcConfig,
+) -> Option<Session> {
+    let mut writer = BufWriter::new(writer.try_clone().ok()?);
+    let (request_id, request) = match read_request_tagged(reader, config.max_frame_bytes) {
+        Ok(frame) => frame,
+        Err((request_id, error)) => {
+            if let Some((code, limit, message)) = frame_error_response(&error) {
+                let _ = write_response(
+                    &mut writer,
+                    request_id.unwrap_or(0),
+                    &Response::Error {
+                        code,
+                        limit,
+                        message,
+                    },
+                );
+            }
+            return None;
+        }
+    };
+    let Request::Hello {
+        database,
+        eval_budget,
+    } = request
+    else {
+        let _ = write_response(
+            &mut writer,
+            request_id,
+            &Response::Error {
+                code: ErrorCode::Protocol,
+                limit: 0,
+                message: "first frame must be Hello".to_string(),
+            },
+        );
+        return None;
+    };
+    let session = match service.session(&database) {
+        Ok(session) => session,
+        Err(error) => {
+            let (code, limit) = match &error {
+                ServerError::UnknownDatabase(_) => (ErrorCode::UnknownDatabase, 0),
+                ServerError::SessionLimit { limit } => (ErrorCode::SessionLimit, *limit),
+                ServerError::DuplicateDatabase(_) => (ErrorCode::Protocol, 0),
+            };
+            let _ = write_response(
+                &mut writer,
+                request_id,
+                &Response::Error {
+                    code,
+                    limit,
+                    message: error.to_string(),
+                },
+            );
+            return None;
+        }
+    };
+    let session = match eval_budget {
+        Some(budget) => session.with_eval_budget(budget),
+        None => session,
+    };
+    if write_response(&mut writer, request_id, &Response::HelloOk).is_err() {
+        return None;
+    }
+    Some(session)
+}
+
+/// The typed error frame (if any) to send for a handshake/read failure.
+/// Socket-level failures get no frame — there is no one to read it.
+fn frame_error_response(error: &FrameError) -> Option<(ErrorCode, usize, String)> {
+    match error {
+        FrameError::Io(_) | FrameError::Closed => None,
+        FrameError::TooLarge { declared: _, limit } => {
+            Some((ErrorCode::FrameTooLarge, *limit, error.to_string()))
+        }
+        FrameError::Malformed(_) => Some((ErrorCode::Malformed, 0, error.to_string())),
+        FrameError::Version { .. } => Some((ErrorCode::UnsupportedVersion, 0, error.to_string())),
+    }
+}
+
+/// Parses request frames and feeds the writer until the client
+/// disconnects or sends something unrecoverable.
+fn read_loop(
+    reader: &mut TcpStream,
+    service: &Arc<Server>,
+    session: &Arc<Session>,
+    config: &RpcConfig,
+    tx: &Sender<Outbound>,
+) {
+    loop {
+        let (request_id, request) = match read_request_tagged(reader, config.max_frame_bytes) {
+            Ok(frame) => frame,
+            Err((request_id, error)) => {
+                if let Some((code, limit, message)) = frame_error_response(&error) {
+                    // A payload decode failure still parsed the frame
+                    // header, so the error frame echoes the request id the
+                    // client chose (0 only for header-level failures).
+                    let _ = tx.send(Outbound::Ready(
+                        request_id.unwrap_or(0),
+                        Response::Error {
+                            code,
+                            limit,
+                            message,
+                        },
+                    ));
+                }
+                // Framing is byte-positional: after a bad frame the stream
+                // cannot be resynchronized, so the connection ends.
+                return;
+            }
+        };
+        let outbound = match request {
+            Request::Hello { .. } => Outbound::Ready(
+                request_id,
+                Response::Error {
+                    code: ErrorCode::Protocol,
+                    limit: 0,
+                    message: "session already open".to_string(),
+                },
+            ),
+            Request::Coverage { clauses, examples } => Outbound::Job(
+                request_id,
+                session.submit(Job::Coverage(CoverageJob { clauses, examples })),
+            ),
+            Request::Score {
+                clauses,
+                positive,
+                negative,
+            } => Outbound::Job(
+                request_id,
+                session.submit(Job::Score(ScoreJob {
+                    clauses,
+                    positive,
+                    negative,
+                })),
+            ),
+            Request::Learn { task, algorithm } => Outbound::Job(
+                request_id,
+                session.submit(Job::Learn(Box::new(LearnJob { task, algorithm }))),
+            ),
+            Request::Mutate(batch) => Outbound::Job(request_id, session.submit(Job::Mutate(batch))),
+            // Reports are snapshotted lazily on the writer thread, after
+            // every earlier in-flight job of this connection has completed
+            // — a pipelined Report therefore includes the counter deltas of
+            // the jobs submitted before it, matching in-process semantics.
+            Request::Report => {
+                let session = Arc::clone(session);
+                Outbound::Lazy(
+                    request_id,
+                    Box::new(move || Response::Report(session.report())),
+                )
+            }
+            Request::ServerReport => {
+                let session = Arc::clone(session);
+                let service = Arc::clone(service);
+                Outbound::Lazy(
+                    request_id,
+                    Box::new(move || {
+                        // The session exists, so the database is
+                        // registered; the engine report can only fail if
+                        // it were dropped, which the service never does.
+                        let engine = service.report(session.database()).unwrap_or_default();
+                        Response::ServerReport {
+                            engine,
+                            server: service.server_report(),
+                        }
+                    }),
+                )
+            }
+        };
+        if tx.send(outbound).is_err() {
+            return;
+        }
+    }
+}
+
+/// Streams responses in channel order: ready responses immediately, job
+/// responses by joining their handles (jobs of one session complete in
+/// submission order, so this never reorders). Exits on the first write
+/// failure — the client is gone.
+fn write_loop(stream: TcpStream, rx: Receiver<Outbound>) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(outbound) = rx.recv() {
+        let (request_id, response) = match outbound {
+            Outbound::Ready(id, response) => (id, response),
+            Outbound::Lazy(id, produce) => (id, produce()),
+            Outbound::Job(id, handle) => {
+                let response = match handle.join() {
+                    Ok(JobResult::Covered(sets)) => Response::Covered(sets),
+                    Ok(JobResult::Scores(counts)) => Response::Scores(counts),
+                    Ok(JobResult::Learned(definition)) => Response::Learned(definition),
+                    Ok(JobResult::Mutated(summary)) => Response::Mutated(summary),
+                    Err(error) => Response::from_job_error(error),
+                };
+                (id, response)
+            }
+        };
+        if write_response(&mut writer, request_id, &response).is_err() {
+            return;
+        }
+    }
+}

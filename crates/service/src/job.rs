@@ -17,7 +17,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 /// Compute the covered subset of `examples` for every clause of a batch
 /// (the serving-layer shape of `Engine::covered_sets_batch`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoverageJob {
     /// Candidate clauses (a beam, a learned definition, ...).
     pub clauses: Vec<Clause>,
@@ -27,7 +27,7 @@ pub struct CoverageJob {
 
 /// Count positive/negative coverage for every clause of a batch through the
 /// fused batched scoring path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoreJob {
     /// Candidate clauses.
     pub clauses: Vec<Clause>,
@@ -44,7 +44,7 @@ pub struct ScoreJob {
 /// θ-subsumption against ground bottom clauses). Bottom-clause grounding
 /// itself is not budget-driven: cancellation takes effect at the job's
 /// next coverage test.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LearnJob {
     /// The learning task (target relation plus labeled examples).
     pub task: LearningTask,
@@ -53,7 +53,7 @@ pub struct LearnJob {
 }
 
 /// The learners the serving layer can run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LearnAlgorithm {
     /// FOIL (greedy top-down).
     Foil(LearnerParams),
@@ -68,7 +68,7 @@ pub enum LearnAlgorithm {
 }
 
 /// Work a session can enqueue.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Job {
     /// Covered-set computation.
     Coverage(CoverageJob),
@@ -134,6 +134,13 @@ impl JobResult {
 pub enum JobError {
     /// The session's cancellation token was set before or during the job.
     Cancelled,
+    /// The database's in-flight job cap was reached; the job was never
+    /// queued (admission control — see
+    /// [`crate::ServerConfig::max_inflight_per_database`]).
+    Rejected {
+        /// The configured per-database in-flight cap.
+        limit: usize,
+    },
     /// A mutation op failed (unknown relation, arity mismatch). Ops before
     /// the failing one remain applied; affected caches were invalidated.
     Mutation(RelationalError),
@@ -145,6 +152,9 @@ impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobError::Cancelled => write!(f, "job cancelled by its session"),
+            JobError::Rejected { limit } => {
+                write!(f, "database job queue at capacity ({limit} in flight)")
+            }
             JobError::Mutation(e) => write!(f, "mutation failed: {e}"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
         }

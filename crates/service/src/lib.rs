@@ -67,12 +67,14 @@
 pub mod job;
 pub mod server;
 pub mod session;
+pub mod stats;
 
 pub use job::{
     CoverageJob, Job, JobError, JobHandle, JobResult, LearnAlgorithm, LearnJob, ScoreJob,
 };
 pub use server::{Server, ServerConfig, ServerError};
 pub use session::Session;
+pub use stats::{QueueReport, ServerReport, ServerStats};
 
 pub(crate) use server::QueuedJob;
 
@@ -310,6 +312,92 @@ mod tests {
         // could be learned.
         assert!(definition.is_empty());
         assert!(starved.report().budget_exhausted > 0);
+    }
+
+    #[test]
+    fn session_cap_rejects_and_releases_on_drop() {
+        let server = Server::new(ServerConfig::default().with_max_sessions(2));
+        server.register("demo", Arc::new(demo_db())).unwrap();
+        let a = server.session("demo").unwrap();
+        let _b = server.session("demo").unwrap();
+        assert_eq!(
+            server.session("demo").unwrap_err(),
+            ServerError::SessionLimit { limit: 2 }
+        );
+        let report = server.server_report();
+        assert_eq!(report.sessions_active, 2);
+        assert_eq!(report.sessions_accepted, 2);
+        assert_eq!(report.sessions_rejected, 1);
+        // Dropping a session releases its slot.
+        drop(a);
+        let _c = server.session("demo").unwrap();
+        let report = server.server_report();
+        assert_eq!(report.sessions_active, 2);
+        assert_eq!(report.sessions_accepted, 3);
+        assert_eq!(server.queue_report("demo").unwrap().open_sessions, 2);
+    }
+
+    /// A coverage job that holds the runner for tens of milliseconds
+    /// *deterministically*: the triangle query over the bipartite `pair`
+    /// graph below can never succeed (bipartite graphs have no odd
+    /// cycles), so the search runs until its node budget is gone — no
+    /// lucky early match can make it fast.
+    fn slow_job() -> Job {
+        let clause = Clause::new(
+            Atom::vars("t", &["x"]),
+            vec![
+                Atom::vars("pair", &["a", "b"]),
+                Atom::vars("pair", &["b", "c"]),
+                Atom::vars("pair", &["c", "a"]),
+            ],
+        );
+        Job::Coverage(CoverageJob {
+            clauses: vec![clause],
+            examples: vec![Tuple::from_strs(&["x"])],
+        })
+    }
+
+    /// A complete bipartite graph, both edge directions stored: ~20k
+    /// tuples, ~2M search nodes for the triangle query of [`slow_job`].
+    fn bulk_db() -> DatabaseInstance {
+        let mut schema = Schema::new("bulk");
+        schema.add_relation(RelationSymbol::new("pair", &["a", "b"]));
+        let mut db = DatabaseInstance::empty(&schema);
+        for i in 0..100 {
+            for j in 0..100 {
+                let (l, r) = (format!("l{i}"), format!("r{j}"));
+                db.insert("pair", Tuple::from_strs(&[&l, &r])).unwrap();
+                db.insert("pair", Tuple::from_strs(&[&r, &l])).unwrap();
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn inflight_cap_rejects_with_typed_error() {
+        let server = Server::new(ServerConfig::default().with_max_inflight(2));
+        server.register("bulk", Arc::new(bulk_db())).unwrap();
+        // The budget override makes the blocker genuinely slow (millions of
+        // nodes), so the submissions below land while it still runs.
+        let session = server.session("bulk").unwrap().with_eval_budget(2_000_000);
+        let blocker = session.submit(slow_job());
+        let queued = session.submit(slow_job());
+        // Two jobs in flight (one running, one queued): the third submission
+        // is rejected with the typed error, not silently dropped.
+        let rejected = session.submit(slow_job());
+        assert_eq!(
+            rejected.join().unwrap_err(),
+            JobError::Rejected { limit: 2 }
+        );
+        assert!(server.server_report().jobs_rejected >= 1);
+        // The accepted jobs still complete.
+        assert!(blocker.join().is_ok());
+        assert!(queued.join().is_ok());
+        // With the queue drained, submissions are accepted again.
+        assert!(session.submit(slow_job()).join().is_ok());
+        let report = server.server_report();
+        assert_eq!(report.jobs_submitted, 3);
+        assert_eq!(server.queue_report("bulk").unwrap().drains, 3);
     }
 
     #[test]

@@ -1,28 +1,43 @@
 //! The server: one long-lived versioned engine per registered database,
-//! a shared worker pool, and one runner thread per database draining a
-//! FIFO job queue.
+//! a shared worker pool, and one runner thread per database draining its
+//! sessions' job queues.
 //!
-//! Concurrency model: *jobs of one database execute one at a time, in
-//! submission order*; parallelism comes from the engine's worker pool
-//! inside each job (work-stealing over clauses × examples) and from
-//! running different databases' queues on their own runner threads.
-//! Serializing per database is what makes per-session counter deltas and
-//! budget/cancellation overrides sound on a shared engine, and it gives
-//! mutation batches a natural atomicity point: a batch is a queue item
-//! like any other, so every job sees either the pre- or post-batch state.
+//! Concurrency model: *jobs of one database execute one at a time*;
+//! parallelism comes from the engine's worker pool inside each job
+//! (work-stealing over clauses × examples) and from running different
+//! databases' queues on their own runner threads. Serializing per database
+//! is what makes per-session counter deltas and budget/cancellation
+//! overrides sound on a shared engine, and it gives mutation batches a
+//! natural atomicity point: a batch is a queue item like any other, so
+//! every job sees either the pre- or post-batch state.
+//!
+//! Scheduling is *fair across sessions*: every session owns its own FIFO
+//! queue, and the runner drains the queues of one database round-robin —
+//! one job per turn — instead of a single database-wide FIFO. A session
+//! that floods hundreds of jobs no longer head-of-line-blocks a session
+//! that submits one. Jobs of one session still execute in submission
+//! order.
+//!
+//! Admission control bounds both layers: [`ServerConfig::max_sessions`]
+//! caps concurrently open sessions server-wide (excess `session()` calls
+//! fail with [`ServerError::SessionLimit`]), and
+//! [`ServerConfig::max_inflight_per_database`] caps queued-plus-running
+//! jobs per database (excess submissions complete with
+//! [`JobError::Rejected`]). Both are observable through
+//! [`Server::server_report`] and [`Server::queue_report`].
 
 use crate::job::{Job, JobError, JobResult, JobShared, LearnAlgorithm};
 use crate::session::Session;
+use crate::stats::{QueueReport, ServerReport, ServerStats};
 use castor_core::Castor;
 use castor_engine::{Engine, EngineConfig, EngineReport, WorkerPool};
 use castor_learners::{Foil, Golem, ProGolem, Progol};
 use castor_relational::DatabaseInstance;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -33,6 +48,14 @@ pub struct ServerConfig {
     /// Engine configuration applied to every registered database (its
     /// `threads` field is overridden by the shared pool).
     pub engine: EngineConfig,
+    /// Maximum concurrently open sessions across the server; further
+    /// `session()` calls fail with [`ServerError::SessionLimit`] until a
+    /// session handle is dropped. 0 = unlimited.
+    pub max_sessions: usize,
+    /// Maximum queued-plus-running jobs per database; further submissions
+    /// complete with [`JobError::Rejected`] until the runner drains the
+    /// queue. 0 = unlimited.
+    pub max_inflight_per_database: usize,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +63,8 @@ impl Default for ServerConfig {
         ServerConfig {
             threads: 1,
             engine: EngineConfig::default(),
+            max_sessions: 0,
+            max_inflight_per_database: 0,
         }
     }
 }
@@ -56,6 +81,19 @@ impl ServerConfig {
         self.engine = engine;
         self
     }
+
+    /// Returns a copy with the server-wide session cap (0 = unlimited).
+    pub fn with_max_sessions(mut self, max_sessions: usize) -> Self {
+        self.max_sessions = max_sessions;
+        self
+    }
+
+    /// Returns a copy with the per-database in-flight job cap
+    /// (0 = unlimited).
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight_per_database = max_inflight;
+        self
+    }
 }
 
 /// Errors raised by server administration calls.
@@ -65,6 +103,12 @@ pub enum ServerError {
     DuplicateDatabase(String),
     /// A session or report was requested for an unregistered database.
     UnknownDatabase(String),
+    /// The server-wide session cap is reached; the request was turned away
+    /// (counted in `sessions_rejected`).
+    SessionLimit {
+        /// The configured [`ServerConfig::max_sessions`].
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -74,6 +118,9 @@ impl fmt::Display for ServerError {
                 write!(f, "database `{name}` is already registered")
             }
             ServerError::UnknownDatabase(name) => write!(f, "unknown database `{name}`"),
+            ServerError::SessionLimit { limit } => {
+                write!(f, "server session limit reached ({limit} sessions)")
+            }
         }
     }
 }
@@ -114,18 +161,194 @@ pub(crate) struct QueuedJob {
     pub(crate) ctx: Arc<SessionCtx>,
 }
 
+/// One session's pending jobs on a database queue.
+#[derive(Debug, Default)]
+struct SessionQueue {
+    jobs: VecDeque<QueuedJob>,
+    /// The session handle was dropped; the entry is removed once drained
+    /// (queued jobs still run — dropping a handle does not revoke work).
+    detached: bool,
+}
+
+/// The lock-guarded state of one database's scheduling.
+#[derive(Debug, Default)]
+struct QueueState {
+    /// Per-session pending jobs.
+    queues: HashMap<u64, SessionQueue>,
+    /// Round-robin order over session ids with pending jobs. A session id
+    /// appears at most once; the runner pops the front, takes one job, and
+    /// re-appends the id while its queue stays non-empty.
+    rr: VecDeque<u64>,
+    /// Jobs queued or currently running (the admission gauge).
+    inflight: usize,
+    /// Live [`Session`] handles bound to this database.
+    sessions: usize,
+    /// The server was dropped; the runner exits once every session is gone
+    /// and the queues are drained.
+    closed: bool,
+    next_session: u64,
+}
+
+/// What happened to a submission. On `Closed`/`Rejected` the job is
+/// dropped here — the caller still holds the result slot and fails it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitOutcome {
+    /// Queued; the runner will execute it.
+    Queued,
+    /// The server is gone; the caller fails the handle.
+    Closed,
+    /// The database's in-flight cap is reached; the caller fails the
+    /// handle with [`JobError::Rejected`].
+    Rejected,
+}
+
+/// One database's scheduling structure: per-session FIFO queues drained
+/// round-robin by the database's runner thread, plus the in-flight
+/// admission gauge.
+#[derive(Debug)]
+pub(crate) struct DatabaseQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    /// Per-database in-flight cap (0 = unlimited).
+    max_inflight: usize,
+    /// Queue items drained by this database's runner.
+    drains: AtomicUsize,
+}
+
+impl DatabaseQueue {
+    fn new(max_inflight: usize) -> Self {
+        DatabaseQueue {
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+            max_inflight,
+            drains: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new session and returns its queue id.
+    pub(crate) fn open_session(&self) -> u64 {
+        let mut state = self.lock();
+        let id = state.next_session;
+        state.next_session += 1;
+        state.sessions += 1;
+        state.queues.insert(id, SessionQueue::default());
+        id
+    }
+
+    /// Unbinds a session handle: its empty queue is removed immediately,
+    /// a non-empty one is marked detached and removed once drained.
+    pub(crate) fn close_session(&self, id: u64) {
+        let mut state = self.lock();
+        state.sessions = state.sessions.saturating_sub(1);
+        if let Some(queue) = state.queues.get_mut(&id) {
+            if queue.jobs.is_empty() {
+                state.queues.remove(&id);
+            } else {
+                queue.detached = true;
+            }
+        }
+        // The runner may be waiting to exit on the last session.
+        self.ready.notify_all();
+    }
+
+    /// Enqueues one job for `session`, enforcing the in-flight cap.
+    pub(crate) fn submit(&self, session: u64, job: QueuedJob) -> SubmitOutcome {
+        let mut state = self.lock();
+        if state.closed {
+            return SubmitOutcome::Closed;
+        }
+        if self.max_inflight > 0 && state.inflight >= self.max_inflight {
+            return SubmitOutcome::Rejected;
+        }
+        let Some(queue) = state.queues.get_mut(&session) else {
+            // The session handle is gone; treat like a closed queue.
+            return SubmitOutcome::Closed;
+        };
+        let was_empty = queue.jobs.is_empty();
+        queue.jobs.push_back(job);
+        if was_empty {
+            state.rr.push_back(session);
+        }
+        state.inflight += 1;
+        self.ready.notify_one();
+        SubmitOutcome::Queued
+    }
+
+    /// Blocks for the next job in round-robin order, or `None` when the
+    /// server is gone, every session handle is dropped, and the queues are
+    /// drained — the runner's exit condition.
+    fn pop(&self) -> Option<QueuedJob> {
+        let mut state = self.lock();
+        loop {
+            if let Some(&session) = state.rr.front() {
+                state.rr.pop_front();
+                let queue = state
+                    .queues
+                    .get_mut(&session)
+                    .expect("rr ids always have a queue");
+                let job = queue.jobs.pop_front().expect("rr queues are non-empty");
+                if !queue.jobs.is_empty() {
+                    state.rr.push_back(session);
+                } else if queue.detached {
+                    state.queues.remove(&session);
+                }
+                self.drains.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+            if state.closed && state.sessions == 0 {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The configured in-flight cap (0 = unlimited).
+    pub(crate) fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Marks one drained job finished (decrements the in-flight gauge).
+    fn job_done(&self) {
+        let mut state = self.lock();
+        state.inflight = state.inflight.saturating_sub(1);
+    }
+
+    /// Closes the queue: submissions fail fast and the runner exits once
+    /// the sessions are gone and the queues are drained.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Snapshot of the queue gauges.
+    pub(crate) fn report(&self) -> QueueReport {
+        let state = self.lock();
+        QueueReport {
+            drains: self.drains.load(Ordering::Relaxed),
+            inflight: state.inflight,
+            open_sessions: state.sessions,
+        }
+    }
+}
+
 struct DatabaseEntry {
     engine: Arc<Engine>,
-    queue: Sender<QueuedJob>,
+    queue: Arc<DatabaseQueue>,
 }
 
 /// A multi-session serving facade: long-lived engines over mutating
-/// databases, one FIFO job queue per database, a worker pool shared by
-/// every engine.
+/// databases, per-session FIFO queues drained round-robin per database, a
+/// worker pool shared by every engine, and admission control over sessions
+/// and queue depth.
 pub struct Server {
     pool: Arc<WorkerPool>,
     config: ServerConfig,
     databases: Mutex<HashMap<String, DatabaseEntry>>,
+    stats: Arc<ServerStats>,
 }
 
 impl fmt::Debug for Server {
@@ -151,7 +374,13 @@ impl Server {
             pool: Arc::new(WorkerPool::new(config.threads)),
             config,
             databases: Mutex::new(HashMap::new()),
+            stats: Arc::new(ServerStats::default()),
         }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// Registers a database under `name`: builds its versioned engine on
@@ -171,19 +400,14 @@ impl Server {
         let mut engine_config = self.config.engine.clone();
         engine_config.threads = self.config.threads;
         let engine = Arc::new(Engine::with_pool(db, engine_config, Arc::clone(&self.pool)));
-        let (sender, receiver) = channel::<QueuedJob>();
+        let queue = Arc::new(DatabaseQueue::new(self.config.max_inflight_per_database));
         let runner_engine = Arc::clone(&engine);
+        let runner_queue = Arc::clone(&queue);
         std::thread::Builder::new()
             .name(format!("castor-service-runner-{name}"))
-            .spawn(move || run_queue(runner_engine, receiver))
+            .spawn(move || run_queue(runner_engine, runner_queue))
             .expect("failed to spawn runner thread");
-        databases.insert(
-            name,
-            DatabaseEntry {
-                engine,
-                queue: sender,
-            },
-        );
+        databases.insert(name, DatabaseEntry { engine, queue });
         Ok(())
     }
 
@@ -200,17 +424,53 @@ impl Server {
         names
     }
 
-    /// Opens a session on a registered database.
+    /// Claims one slot under the server-wide session cap (compare-and-swap
+    /// on the active gauge, so concurrent admissions never overshoot).
+    fn admit_session(&self) -> bool {
+        let max = self.config.max_sessions;
+        if max == 0 {
+            self.stats.sessions_active.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        loop {
+            let active = self.stats.sessions_active.load(Ordering::Relaxed);
+            if active >= max {
+                return false;
+            }
+            if self
+                .stats
+                .sessions_active
+                .compare_exchange(active, active + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Opens a session on a registered database, subject to the
+    /// server-wide session cap. Dropping the returned [`Session`] releases
+    /// its slot.
     pub fn session(&self, database: &str) -> Result<Session, ServerError> {
         let databases = self.databases.lock().unwrap_or_else(|e| e.into_inner());
         let entry = databases
             .get(database)
             .ok_or_else(|| ServerError::UnknownDatabase(database.to_string()))?;
+        if !self.admit_session() {
+            self.stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::SessionLimit {
+                limit: self.config.max_sessions,
+            });
+        }
+        self.stats.sessions_accepted.fetch_add(1, Ordering::Relaxed);
+        let id = entry.queue.open_session();
         Ok(Session::new(
             database.to_string(),
             Arc::clone(&entry.engine),
-            entry.queue.clone(),
+            Arc::clone(&entry.queue),
+            id,
             Arc::new(SessionCtx::new()),
+            Arc::clone(&self.stats),
         ))
     }
 
@@ -223,15 +483,48 @@ impl Server {
             .map(|entry| entry.engine.report())
             .ok_or_else(|| ServerError::UnknownDatabase(database.to_string()))
     }
+
+    /// The serving-layer counters: session admissions/rejections and queue
+    /// traffic across every database (`queue_drains` is the sum of every
+    /// database's drains — each drain is counted once, by its queue).
+    pub fn server_report(&self) -> ServerReport {
+        let mut report = self.stats.snapshot();
+        let databases = self.databases.lock().unwrap_or_else(|e| e.into_inner());
+        report.queue_drains = databases
+            .values()
+            .map(|entry| entry.queue.report().drains)
+            .sum();
+        report
+    }
+
+    /// One database's queue gauges (drains, in-flight jobs, open sessions).
+    pub fn queue_report(&self, database: &str) -> Result<QueueReport, ServerError> {
+        let databases = self.databases.lock().unwrap_or_else(|e| e.into_inner());
+        databases
+            .get(database)
+            .map(|entry| entry.queue.report())
+            .ok_or_else(|| ServerError::UnknownDatabase(database.to_string()))
+    }
 }
 
-/// The runner loop of one database: drains the queue in FIFO order. Exits
-/// when every sender (the server entry plus all session clones) is gone —
-/// queued jobs are still drained first, so no handle is left hanging.
-fn run_queue(engine: Arc<Engine>, receiver: Receiver<QueuedJob>) {
-    while let Ok(QueuedJob { job, shared, ctx }) = receiver.recv() {
+impl Drop for Server {
+    fn drop(&mut self) {
+        let databases = self.databases.lock().unwrap_or_else(|e| e.into_inner());
+        for entry in databases.values() {
+            entry.queue.close();
+        }
+    }
+}
+
+/// The runner loop of one database: drains the sessions' queues
+/// round-robin (one job per turn). Exits when the server is dropped, every
+/// session handle is gone, and the queues are drained — queued jobs are
+/// always finished first, so no handle is left hanging.
+fn run_queue(engine: Arc<Engine>, queue: Arc<DatabaseQueue>) {
+    while let Some(QueuedJob { job, shared, ctx }) = queue.pop() {
         if ctx.cancel.load(Ordering::Relaxed) {
             shared.complete(Err(JobError::Cancelled));
+            queue.job_done();
             continue;
         }
         // Mutations don't run the executor, so cancellation cannot corrupt
@@ -267,6 +560,7 @@ fn run_queue(engine: Arc<Engine>, receiver: Receiver<QueuedJob>) {
             result = Err(JobError::Cancelled);
         }
         shared.complete(result);
+        queue.job_done();
     }
 }
 
@@ -317,5 +611,111 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
         msg.clone()
     } else {
         "unknown panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobHandle;
+    use castor_relational::MutationBatch;
+
+    fn queued(ctx: &Arc<SessionCtx>) -> (QueuedJob, JobHandle) {
+        let (handle, shared) = JobHandle::new();
+        (
+            QueuedJob {
+                job: Job::Mutate(MutationBatch::new()),
+                shared,
+                ctx: Arc::clone(ctx),
+            },
+            handle,
+        )
+    }
+
+    /// The fairness contract at the queue level, fully deterministic: a
+    /// flooding session's backlog is interleaved one-per-turn with the
+    /// other sessions' jobs instead of draining first.
+    #[test]
+    fn round_robin_drains_one_job_per_session_turn() {
+        let queue = DatabaseQueue::new(0);
+        let flooder = queue.open_session();
+        let light = queue.open_session();
+        let ctx = Arc::new(SessionCtx::new());
+        let mut handles = Vec::new();
+        // The flooder enqueues five jobs before the light session's one.
+        for _ in 0..5 {
+            let (job, handle) = queued(&ctx);
+            assert!(matches!(queue.submit(flooder, job), SubmitOutcome::Queued));
+            handles.push(handle);
+        }
+        let (job, _light_handle) = queued(&ctx);
+        assert!(matches!(queue.submit(light, job), SubmitOutcome::Queued));
+        // Drain order: flood0, light0, flood1, flood2, ... — the light job
+        // waits behind exactly one flooder job, not five.
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            queue.pop().expect("job queued");
+            let state = queue.lock();
+            let flooder_left = state
+                .queues
+                .get(&flooder)
+                .map_or(0, |q: &SessionQueue| q.jobs.len());
+            let light_left = state
+                .queues
+                .get(&light)
+                .map_or(0, |q: &SessionQueue| q.jobs.len());
+            drop(state);
+            order.push((flooder_left, light_left));
+            queue.job_done();
+        }
+        assert_eq!(
+            order,
+            vec![(4, 1), (4, 0), (3, 0), (2, 0), (1, 0), (0, 0)],
+            "light session must be served on the second turn"
+        );
+        assert_eq!(queue.report().drains, 6);
+        assert_eq!(queue.report().inflight, 0);
+    }
+
+    #[test]
+    fn inflight_cap_rejects_excess_submissions() {
+        let queue = DatabaseQueue::new(2);
+        let session = queue.open_session();
+        let ctx = Arc::new(SessionCtx::new());
+        let (a, _ha) = queued(&ctx);
+        let (b, _hb) = queued(&ctx);
+        let (c, _hc) = queued(&ctx);
+        assert!(matches!(queue.submit(session, a), SubmitOutcome::Queued));
+        assert!(matches!(queue.submit(session, b), SubmitOutcome::Queued));
+        assert!(matches!(queue.submit(session, c), SubmitOutcome::Rejected));
+        assert_eq!(queue.report().inflight, 2);
+        // Draining both makes room again (`job_done` releases the slot
+        // only after execution, so a running job still counts).
+        queue.pop().unwrap();
+        queue.job_done();
+        queue.pop().unwrap();
+        assert_eq!(queue.report().inflight, 1);
+        queue.job_done();
+        let (d, _hd) = queued(&ctx);
+        assert!(matches!(queue.submit(session, d), SubmitOutcome::Queued));
+    }
+
+    #[test]
+    fn detached_sessions_drain_then_disappear() {
+        let queue = DatabaseQueue::new(0);
+        let session = queue.open_session();
+        let ctx = Arc::new(SessionCtx::new());
+        let (job, _handle) = queued(&ctx);
+        assert!(matches!(queue.submit(session, job), SubmitOutcome::Queued));
+        queue.close_session(session);
+        // The queued job survives the handle drop...
+        assert_eq!(queue.report().open_sessions, 0);
+        assert!(queue.pop().is_some());
+        queue.job_done();
+        // ...and the emptied queue entry is reclaimed.
+        assert!(queue.lock().queues.is_empty());
+        // New submissions against the dead session id fail closed.
+        let (job, _handle) = queued(&ctx);
+        assert!(matches!(queue.submit(session, job), SubmitOutcome::Closed));
     }
 }

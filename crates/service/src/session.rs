@@ -18,37 +18,46 @@
 //!   mid-grounding.)
 
 use crate::job::{CoverageJob, Job, JobError, JobHandle, LearnJob, ScoreJob};
-use crate::server::SessionCtx;
+use crate::server::{DatabaseQueue, SessionCtx, SubmitOutcome};
+use crate::stats::ServerStats;
 use crate::QueuedJob;
 use castor_engine::{ClauseCounts, Engine, EngineReport};
 use castor_logic::{Clause, Definition};
 use castor_relational::{DatabaseInstance, MutationBatch, MutationSummary, Tuple};
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
-/// A client handle on one database of a [`crate::Server`].
+/// A client handle on one database of a [`crate::Server`]. Each session
+/// owns its own FIFO queue on the database, drained round-robin against
+/// the other sessions' queues; dropping the handle releases its admission
+/// slot (queued jobs still run to completion).
 #[derive(Debug)]
 pub struct Session {
     database: String,
     engine: Arc<Engine>,
-    queue: Sender<QueuedJob>,
+    queue: Arc<DatabaseQueue>,
+    id: u64,
     ctx: Arc<SessionCtx>,
+    stats: Arc<ServerStats>,
 }
 
 impl Session {
     pub(crate) fn new(
         database: String,
         engine: Arc<Engine>,
-        queue: Sender<QueuedJob>,
+        queue: Arc<DatabaseQueue>,
+        id: u64,
         ctx: Arc<SessionCtx>,
+        stats: Arc<ServerStats>,
     ) -> Self {
         Session {
             database,
             engine,
             queue,
+            id,
             ctx,
+            stats,
         }
     }
 
@@ -95,8 +104,10 @@ impl Session {
         *self.ctx.consumed.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Enqueues a job on the session's database queue, returning a handle
-    /// immediately. Jobs of one database run in submission order.
+    /// Enqueues a job on this session's queue, returning a handle
+    /// immediately. Jobs of one session run in submission order; different
+    /// sessions' queues are drained round-robin. A submission over the
+    /// database's in-flight cap fails fast with [`JobError::Rejected`].
     pub fn submit(&self, job: Job) -> JobHandle {
         let (handle, shared) = JobHandle::new();
         let queued = QueuedJob {
@@ -104,10 +115,21 @@ impl Session {
             shared: Arc::clone(&shared),
             ctx: Arc::clone(&self.ctx),
         };
-        if self.queue.send(queued).is_err() {
-            // The runner is gone (server shut down): fail the job rather
-            // than leaving the handle hanging forever.
-            shared.complete(Err(JobError::Cancelled));
+        match self.queue.submit(self.id, queued) {
+            SubmitOutcome::Queued => {
+                self.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+            }
+            SubmitOutcome::Closed => {
+                // The runner is gone (server shut down): fail the job
+                // rather than leaving the handle hanging forever.
+                shared.complete(Err(JobError::Cancelled));
+            }
+            SubmitOutcome::Rejected => {
+                self.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                shared.complete(Err(JobError::Rejected {
+                    limit: self.queue.max_inflight(),
+                }));
+            }
         }
         handle
     }
@@ -163,5 +185,15 @@ impl Session {
             .join()?
             .into_summary()
             .expect("mutation job returns a summary"))
+    }
+}
+
+impl Drop for Session {
+    /// Releases the session's admission slot and unbinds its queue. Jobs
+    /// already queued still run to completion (their handles resolve);
+    /// call [`Session::cancel`] first to discard them instead.
+    fn drop(&mut self) {
+        self.queue.close_session(self.id);
+        self.stats.sessions_active.fetch_sub(1, Ordering::Relaxed);
     }
 }

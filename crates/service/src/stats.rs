@@ -1,0 +1,115 @@
+//! Server-level counters: session admission and queue traffic.
+//!
+//! The engine counters ([`castor_engine::EngineReport`]) describe *what the
+//! engines did*; these counters describe *what the serving layer did around
+//! them* — sessions admitted and turned away, jobs accepted onto the
+//! per-database queues, jobs rejected by the in-flight cap, and how many
+//! queue items each runner drained. The RPC front end surfaces them so an
+//! operator can watch admission pressure without attaching a debugger.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Monotonic serving-layer counters, updated atomically (`sessions_active`
+/// is a gauge: it decrements when a session handle is dropped).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Sessions opened successfully.
+    pub sessions_accepted: AtomicUsize,
+    /// Session requests refused by the server-wide session cap.
+    pub sessions_rejected: AtomicUsize,
+    /// Sessions currently open (accepted minus dropped).
+    pub sessions_active: AtomicUsize,
+    /// Jobs accepted onto a database queue.
+    pub jobs_submitted: AtomicUsize,
+    /// Jobs refused by a database's in-flight cap.
+    pub jobs_rejected: AtomicUsize,
+}
+
+impl ServerStats {
+    /// A consistent-enough snapshot of every counter.
+    pub fn snapshot(&self) -> ServerReport {
+        ServerReport {
+            sessions_accepted: self.sessions_accepted.load(Ordering::Relaxed),
+            sessions_rejected: self.sessions_rejected.load(Ordering::Relaxed),
+            sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            // Owned by the per-database queues ([`QueueReport::drains`]);
+            // `Server::server_report` sums the live numbers in.
+            queue_drains: 0,
+        }
+    }
+}
+
+/// A plain-data snapshot of [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Sessions opened successfully.
+    pub sessions_accepted: usize,
+    /// Session requests refused by the server-wide session cap.
+    pub sessions_rejected: usize,
+    /// Sessions currently open.
+    pub sessions_active: usize,
+    /// Jobs accepted onto a database queue.
+    pub jobs_submitted: usize,
+    /// Jobs refused by a database's in-flight cap.
+    pub jobs_rejected: usize,
+    /// Queue items drained by runner threads (the sum of every database's
+    /// [`QueueReport::drains`]).
+    pub queue_drains: usize,
+}
+
+impl fmt::Display for ServerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sessions={} active ({} accepted, {} rejected) \
+             jobs={} submitted ({} rejected) drains={}",
+            self.sessions_active,
+            self.sessions_accepted,
+            self.sessions_rejected,
+            self.jobs_submitted,
+            self.jobs_rejected,
+            self.queue_drains,
+        )
+    }
+}
+
+/// A snapshot of one database's queue: how many items its runner drained,
+/// how many jobs are queued or running right now, and how many session
+/// handles are bound to it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueReport {
+    /// Queue items this database's runner drained so far.
+    pub drains: usize,
+    /// Jobs currently queued or running.
+    pub inflight: usize,
+    /// Live session handles bound to this database.
+    pub open_sessions: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_and_renders_every_counter() {
+        let stats = ServerStats::default();
+        stats.sessions_accepted.fetch_add(3, Ordering::Relaxed);
+        stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        stats.sessions_active.fetch_add(2, Ordering::Relaxed);
+        stats.jobs_submitted.fetch_add(10, Ordering::Relaxed);
+        stats.jobs_rejected.fetch_add(4, Ordering::Relaxed);
+        let report = ServerReport {
+            queue_drains: 9,
+            ..stats.snapshot()
+        };
+        assert_eq!(report.sessions_accepted, 3);
+        assert_eq!(report.jobs_rejected, 4);
+        let text = report.to_string();
+        assert!(text.contains("2 active"), "{text}");
+        assert!(text.contains("10 submitted (4 rejected)"), "{text}");
+        assert!(text.contains("drains=9"), "{text}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Serve a database over the castor-rpc wire protocol and drive it with
+//! TCP clients: coverage, scoring, learning, live mutations, and the
+//! admission-control counters — the deployment shape where learners run
+//! as a network service instead of a library.
+//!
+//! Run with: `cargo run --example serve`
+
+use castor::logic::{Atom, Clause};
+use castor::relational::{DatabaseInstance, MutationBatch, RelationSymbol, Schema, Tuple};
+use castor::rpc::{RpcClient, RpcConfig, RpcServer};
+use castor::service::{LearnAlgorithm, Server, ServerConfig};
+use castor_learners::{LearnerParams, LearningTask};
+use std::sync::Arc;
+
+fn demo_db() -> DatabaseInstance {
+    let mut schema = Schema::new("demo");
+    schema.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+    let mut db = DatabaseInstance::empty(&schema);
+    for (t, p) in [
+        ("p1", "ann"),
+        ("p1", "bob"),
+        ("p2", "carol"),
+        ("p2", "dan"),
+        ("p3", "eve"),
+    ] {
+        db.insert("publication", Tuple::from_strs(&[t, p]))
+            .expect("demo tuples match the schema");
+    }
+    db
+}
+
+fn collaborated() -> Clause {
+    Clause::new(
+        Atom::vars("collaborated", &["x", "y"]),
+        vec![
+            Atom::vars("publication", &["p", "x"]),
+            Atom::vars("publication", &["p", "y"]),
+        ],
+    )
+}
+
+fn main() {
+    // The serving stack: engines + queues in-process, admission limits on.
+    let service = Arc::new(Server::new(
+        ServerConfig::default()
+            .with_threads(2)
+            .with_max_sessions(8)
+            .with_max_inflight(64),
+    ));
+    service
+        .register("demo", Arc::new(demo_db()))
+        .expect("register once");
+
+    // The RPC front end: a real TCP listener (loopback here; any address
+    // works).
+    let rpc = RpcServer::bind(Arc::clone(&service), "127.0.0.1:0", RpcConfig::default())
+        .expect("bind loopback");
+    println!("castor-rpc serving `demo` on {}", rpc.local_addr());
+
+    // A client connects and runs a coverage job over the socket.
+    let mut client = RpcClient::connect(rpc.local_addr(), "demo").expect("connect");
+    let examples = vec![
+        Tuple::from_strs(&["ann", "bob"]),
+        Tuple::from_strs(&["ann", "eve"]),
+    ];
+    let sets = client
+        .covered_sets(vec![collaborated()], examples.clone())
+        .expect("coverage over tcp");
+    println!(
+        "covered before mutation: {} of {}",
+        sets[0].len(),
+        examples.len()
+    );
+
+    // A mutation lands over the wire; the live engine sees it at once.
+    let summary = client
+        .apply(MutationBatch::new().insert("publication", Tuple::from_strs(&["p3", "ann"])))
+        .expect("mutation over tcp");
+    println!(
+        "mutation applied: +{} tuples, changed {:?}",
+        summary.inserted, summary.changed_relations
+    );
+    let sets = client
+        .covered_sets(vec![collaborated()], examples.clone())
+        .expect("coverage over tcp");
+    println!(
+        "covered after mutation:  {} of {}",
+        sets[0].len(),
+        examples.len()
+    );
+
+    // A second client learns a definition over the same live database.
+    let mut learner = RpcClient::connect(rpc.local_addr(), "demo").expect("connect");
+    let task = LearningTask::new(
+        "collaborated",
+        2,
+        vec![
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["carol", "dan"]),
+        ],
+        vec![Tuple::from_strs(&["ann", "carol"])],
+    );
+    let definition = learner
+        .learn(
+            task,
+            LearnAlgorithm::Progol(LearnerParams {
+                allow_constants: false,
+                ..LearnerParams::default()
+            }),
+        )
+        .expect("learning over tcp");
+    println!("learned over tcp:");
+    for clause in definition.iter() {
+        println!("  {clause}");
+    }
+
+    // Per-session deltas and server-wide counters, all fetched framed.
+    let session_report = learner.report().expect("report over tcp");
+    println!("learner session delta: {session_report}");
+    let (engine_totals, server_report) = client.server_report().expect("server report over tcp");
+    println!("engine totals:         {engine_totals}");
+    println!("serving counters:      {server_report}");
+}

@@ -19,6 +19,9 @@
 //! * [`eval`] — cross-validated experiment harness and metrics.
 //! * [`service`] — the multi-session serving facade: long-lived versioned
 //!   engines over mutating databases behind a `Server → Session → Job` API.
+//! * [`rpc`] — the network front end over `service`: a dependency-free
+//!   std-TCP wire protocol (`RpcServer`/`RpcClient`) with admission
+//!   control and typed error frames.
 //! * `bench` ([`castor_bench`]) — table/figure reproduction harnesses.
 
 pub use castor_bench as bench;
@@ -29,5 +32,6 @@ pub use castor_eval as eval;
 pub use castor_learners as learners;
 pub use castor_logic as logic;
 pub use castor_relational as relational;
+pub use castor_rpc as rpc;
 pub use castor_service as service;
 pub use castor_transform as transform;

@@ -137,6 +137,65 @@ fn consecutive_beam_rounds_reuse_tries_until_mutated() {
 }
 
 #[test]
+fn cached_tries_recost_from_observed_rows() {
+    // Regression: cached `BatchPlan` tries used to recompile only on epoch
+    // invalidation — a uniform-model mis-ordering survived every round.
+    // Batch execution now records per-trie-node observed rows, and the
+    // `BatchPlanCache` fetch recosts a diverging trie with the observed
+    // numbers (counted in `plans_recosted`, like clause plans).
+    let workload = skewed_costing_workload();
+    let engine = Engine::from_arc(
+        Arc::clone(&workload.db),
+        EngineConfig::default().with_uniform_costs().without_cache(),
+    );
+    let reference = Engine::from_arc(Arc::clone(&workload.db), EngineConfig::default());
+
+    // Round 1 compiles the (mis-ordered) trie and records feedback while
+    // executing it.
+    let round1 = engine.covered_sets_batch(&workload.beam, &workload.examples);
+    let after1 = engine.report();
+    assert!(
+        after1.batch_plans_compiled >= 1,
+        "no trie compiled: {after1}"
+    );
+    assert_eq!(after1.plans_recosted, 0, "nothing to recost yet: {after1}");
+
+    // Round 2 fetches the cached trie, sees the observed rows diverge from
+    // the uniform estimates, and recosts it before executing.
+    let round2 = engine.covered_sets_batch(&workload.beam, &workload.examples);
+    let after2 = engine.report();
+    assert!(
+        after2.batch_plan_cache_hits >= 1,
+        "round 2 must hit the trie cache: {after2}"
+    );
+    assert!(
+        after2.plans_recosted >= 1,
+        "cached trie was never recosted from feedback: {after2}"
+    );
+    assert_eq!(round2, round1, "recosting changed trie verdicts");
+
+    // The recosted trie starts fresh feedback; its observed-row estimates
+    // hold, so a third round reuses it without recosting again.
+    let round3 = engine.covered_sets_batch(&workload.beam, &workload.examples);
+    let after3 = engine.report();
+    assert_eq!(round3, round1);
+    assert_eq!(
+        after3.plans_recosted, after2.plans_recosted,
+        "recosted trie must not thrash: {after3}"
+    );
+    assert_eq!(after3.budget_exhausted, 0);
+
+    // Verdicts agree with an untouched reference engine throughout.
+    for (clause, set) in workload.beam.iter().zip(&round3) {
+        assert_eq!(
+            set,
+            &reference.covered_set(clause, &workload.examples, Prior::None),
+            "trie recosting diverged on `{clause}`"
+        );
+    }
+}
+
+#[test]
 fn feedback_replanning_rescues_uniform_misordering() {
     let workload = skewed_costing_workload();
     // Uniform model, feedback ON (default), cache off so every score
