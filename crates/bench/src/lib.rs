@@ -219,6 +219,45 @@ pub fn skewed_costing_workload() -> SkewedCostingWorkload {
     }
 }
 
+/// The coverage workload shared by the Criterion bench `obs_overhead`,
+/// the CI guard `tests/obs_overhead.rs`, and the `bench_obs` runner: a
+/// beam of sibling candidates over an enlarged UW-CSE instance, sized so
+/// one uncached batched pass costs tens of milliseconds — large enough
+/// that the per-batch instrumentation (a few clock reads, one histogram
+/// record, one span push) must stay in the noise.
+pub struct ObsOverheadWorkload {
+    /// The enlarged UW-CSE database.
+    pub db: std::sync::Arc<DatabaseInstance>,
+    /// One level of beam refinement (sibling candidates, shared prefix).
+    pub beam: Vec<Clause>,
+    /// All labeled examples of the variant's task.
+    pub examples: Vec<castor_relational::Tuple>,
+}
+
+/// Builds the [`ObsOverheadWorkload`].
+pub fn obs_overhead_workload() -> ObsOverheadWorkload {
+    let family = uwcse::generate(&uwcse::UwCseConfig {
+        students: 400,
+        professors: 60,
+        courses: 120,
+        ..Default::default()
+    });
+    let variant = family.variant("Original").expect("family has Original");
+    let beam = beam_candidate_batch(variant, 32);
+    let examples = variant
+        .task
+        .positive
+        .iter()
+        .chain(variant.task.negative.iter())
+        .cloned()
+        .collect();
+    ObsOverheadWorkload {
+        db: std::sync::Arc::clone(&variant.db),
+        beam,
+        examples,
+    }
+}
+
 /// Builds the (reduced-scale) UW-CSE family used by the harness.
 pub fn uwcse_family() -> SchemaFamily {
     uwcse::generate(&uwcse::UwCseConfig::default())

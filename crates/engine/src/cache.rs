@@ -38,7 +38,12 @@
 //! tries keyed by canonical (head, body-set), re-validated against the
 //! statistics' `(relation, epoch)` stamps on every fetch — consecutive beam
 //! rounds re-score near-identical sibling groups, and this cache lets them
-//! reuse the trie instead of recompiling it per call.
+//! reuse the trie instead of recompiling it per call. Each cached trie
+//! carries its own [`TrieExhaustions`] tier: trie-produced exhaustions are
+//! not node-comparable with per-clause-plan ones (shared-prefix probes are
+//! charged to every live candidate), so they are memoized *per trie* —
+//! keyed by (canonical body-set, budget) through the owning entry — under
+//! the same budget-narrowing and strike-eviction rules as the clause tier.
 
 use crate::batch::BatchPlan;
 use crate::fx::FxHashMap;
@@ -551,14 +556,122 @@ pub fn canonical_group<'a, T: Copy>(group: &[(T, &'a [Atom])]) -> (Vec<T>, Vec<&
     (slot_map, bodies)
 }
 
+/// The trie-specific exhaustion tier of one cached [`BatchPlan`]: budget-
+/// keyed `Exhausted` verdicts produced by *trie* execution. Trie budget
+/// accounting charges shared-prefix probes to every live candidate, so
+/// these exhaustions are only comparable with re-runs of the same trie —
+/// they live on the cache entry for one canonical (head, body-set) instead
+/// of in the per-clause coverage cache, and the entry's lifecycle is the
+/// invalidation rule: epoch staleness and recost replacement drop the tier
+/// together with the trie the verdicts were observed under.
+///
+/// Verdicts are keyed by (local candidate slot, example) — local slots are
+/// indices into the canonical sorted body order, stable across rounds by
+/// construction — and follow the clause tier's rules exactly: serve to
+/// probes with an equal-or-smaller budget, strike on larger probes, evict
+/// after [`EXHAUSTION_STRIKE_LIMIT`] consecutive strikes, and let definite
+/// verdicts erase the exhaustion on write-back.
+/// Per-slot verdict map: example → (budget observed under, strikes).
+type SlotVerdicts = FxHashMap<Tuple, (usize, u8)>;
+
+#[derive(Debug, Default)]
+pub struct TrieExhaustions {
+    /// local slot → example → (budget observed under, consecutive strikes).
+    inner: Mutex<FxHashMap<usize, SlotVerdicts>>,
+    /// Strike evictions, shared with the owning [`BatchPlanCache`].
+    evicted: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl TrieExhaustions {
+    fn new(evicted: Arc<std::sync::atomic::AtomicUsize>) -> Self {
+        TrieExhaustions {
+            inner: Mutex::new(FxHashMap::default()),
+            evicted,
+        }
+    }
+
+    /// Serves a cached exhaustion for `(local, example)` under the probe's
+    /// exhaustion `scope`. Returns true when the probe may take
+    /// [`CoverageOutcome::Exhausted`] without running the trie. Mirrors the
+    /// clause tier: an equal-or-smaller probe budget serves (and resets the
+    /// strike count), a larger probe strikes (evicting at the limit), and a
+    /// `None` scope neither serves nor strikes.
+    pub fn probe(&self, local: usize, example: &Tuple, scope: Option<usize>) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(slot) = inner.get_mut(&local) else {
+            return false;
+        };
+        let Some((budget, strikes)) = slot.get_mut(example) else {
+            return false;
+        };
+        match scope {
+            Some(probe) if probe <= *budget => {
+                *strikes = 0;
+                true
+            }
+            Some(_) => {
+                *strikes += 1;
+                if *strikes >= EXHAUSTION_STRIKE_LIMIT {
+                    slot.remove(example);
+                    self.evicted
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Absorbs one trie-produced outcome: exhaustions are memoized under
+    /// `budget` (merging keeps the larger budget and resets strikes, like
+    /// the clause tier), definite verdicts erase any cached exhaustion for
+    /// the pair — the pair is decidable, so serving the stale exhaustion
+    /// after the definite verdict ages out of the coverage cache would be
+    /// a permanent wrong answer.
+    pub fn absorb(&self, local: usize, example: &Tuple, outcome: CoverageOutcome, budget: usize) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if outcome.is_exhausted() {
+            let slot = inner.entry(local).or_default();
+            match slot.entry(example.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (cached, strikes) = e.get_mut();
+                    *cached = (*cached).max(budget);
+                    *strikes = 0;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((budget, 0));
+                }
+            }
+        } else if let Some(slot) = inner.get_mut(&local) {
+            slot.remove(example);
+        }
+    }
+
+    /// Number of memoized exhaustion pairs.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.values().map(FxHashMap::len).sum()
+    }
+
+    /// Whether the tier holds no exhaustions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Result of one [`BatchPlanCache::fetch`].
 #[derive(Debug)]
 pub enum BatchFetch {
     /// A current cached trie (epoch stamps verified against the live
     /// statistics), together with the execution feedback recorded for it —
     /// the engine compares the feedback against the trie's node estimates
-    /// and recosts the trie when they diverge, exactly like `ClausePlan`s.
-    Hit(Arc<BatchPlan>, Arc<crate::plan::PlanFeedback>),
+    /// and recosts the trie when they diverge, exactly like `ClausePlan`s —
+    /// and the trie's exhaustion tier.
+    Hit(
+        Arc<BatchPlan>,
+        Arc<crate::plan::PlanFeedback>,
+        Arc<TrieExhaustions>,
+    ),
     /// A cached trie existed but a relation it was costed against mutated;
     /// the entry has been dropped and must be recompiled.
     Stale,
@@ -567,13 +680,15 @@ pub enum BatchFetch {
 }
 
 /// One cached trie: the sorted canonical bodies it was compiled for (its
-/// local slot space), the compiled plan, and the execution feedback shared
-/// by every batch item that runs it (step index = trie node index).
+/// local slot space), the compiled plan, the execution feedback shared by
+/// every batch item that runs it (step index = trie node index), and the
+/// budget-keyed exhaustions observed while running it.
 #[derive(Debug)]
 struct BatchEntry {
     bodies: Vec<Vec<Atom>>,
     plan: Arc<BatchPlan>,
     feedback: Arc<crate::plan::PlanFeedback>,
+    exhaustions: Arc<TrieExhaustions>,
 }
 
 /// Whether an entry's owned bodies equal a probe's borrowed body slices.
@@ -597,6 +712,8 @@ pub struct BatchPlanCache {
     /// Total tries across all heads (maintained alongside `inner`).
     len: std::sync::atomic::AtomicUsize,
     capacity: usize,
+    /// Strike evictions across every entry's exhaustion tier.
+    trie_evicted: Arc<std::sync::atomic::AtomicUsize>,
 }
 
 impl BatchPlanCache {
@@ -606,7 +723,16 @@ impl BatchPlanCache {
             inner: Mutex::new(FxHashMap::default()),
             len: std::sync::atomic::AtomicUsize::new(0),
             capacity: capacity.max(1),
+            trie_evicted: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
         }
+    }
+
+    /// Exhaustion entries dropped from trie tiers by the strike policy
+    /// (folded into [`EngineReport::exhaustions_evicted`]).
+    ///
+    /// [`EngineReport::exhaustions_evicted`]: crate::EngineReport
+    pub fn trie_exhaustions_evicted(&self) -> usize {
+        self.trie_evicted.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Looks up the trie compiled for `(head, bodies)` (bodies in the
@@ -627,6 +753,7 @@ impl BatchPlanCache {
             return BatchFetch::Hit(
                 Arc::clone(&bucket[pos].plan),
                 Arc::clone(&bucket[pos].feedback),
+                Arc::clone(&bucket[pos].exhaustions),
             );
         }
         bucket.swap_remove(pos);
@@ -641,21 +768,24 @@ impl BatchPlanCache {
     /// only place the key is deep-cloned (miss/stale path). Replacing an
     /// existing entry never evicts; only a genuinely new entry at capacity
     /// clears the table. Returns the fresh feedback handle created for the
-    /// stored plan (replacing a plan resets its feedback — the observations
-    /// belonged to the discarded node order).
+    /// stored plan plus the entry's (fresh) exhaustion tier — replacing a
+    /// plan resets both: the observations and the exhaustions belonged to
+    /// the discarded node order.
     pub fn store(
         &self,
         head: &Atom,
         bodies: &[&[Atom]],
         plan: Arc<BatchPlan>,
-    ) -> Arc<crate::plan::PlanFeedback> {
+    ) -> (Arc<crate::plan::PlanFeedback>, Arc<TrieExhaustions>) {
         let feedback = Arc::new(crate::plan::PlanFeedback::new(plan.node_count()));
+        let exhaustions = Arc::new(TrieExhaustions::new(Arc::clone(&self.trie_evicted)));
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(bucket) = inner.get_mut(head) {
             if let Some(existing) = bucket.iter_mut().find(|e| bodies_match(&e.bodies, bodies)) {
                 existing.plan = plan;
                 existing.feedback = Arc::clone(&feedback);
-                return feedback;
+                existing.exhaustions = Arc::clone(&exhaustions);
+                return (feedback, exhaustions);
             }
         }
         if self.len.load(std::sync::atomic::Ordering::Relaxed) >= self.capacity {
@@ -666,9 +796,10 @@ impl BatchPlanCache {
             bodies: bodies.iter().map(|&b| b.to_vec()).collect(),
             plan,
             feedback: Arc::clone(&feedback),
+            exhaustions: Arc::clone(&exhaustions),
         });
         self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        feedback
+        (feedback, exhaustions)
     }
 
     /// Number of cached tries.
@@ -1088,9 +1219,10 @@ mod tests {
         cache.store(&head, &sorted, Arc::clone(&plan));
         assert_eq!(cache.len(), 1);
         match cache.fetch(&head, &sorted, &stats) {
-            BatchFetch::Hit(hit, feedback) => {
+            BatchFetch::Hit(hit, feedback, exhaustions) => {
                 assert!(Arc::ptr_eq(&hit, &plan));
                 assert_eq!(feedback.executions(), 0, "fresh plans get fresh feedback");
+                assert!(exhaustions.is_empty(), "fresh plans get a fresh tier");
             }
             other => panic!("expected hit, got {other:?}"),
         }
@@ -1129,6 +1261,69 @@ mod tests {
         assert!(cache.len() <= 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn trie_exhaustion_tier_serves_narrows_and_strikes() {
+        let (db, head, bodies) = trie_fixture();
+        let stats = DatabaseStatistics::gather(&db);
+        let group: Vec<(usize, &[Atom])> = vec![(0, &bodies[0]), (1, &bodies[1])];
+        let (_, sorted) = canonical_group(&group);
+        let cache = BatchPlanCache::default();
+        let slotted: Vec<(usize, &[Atom])> =
+            sorted.iter().enumerate().map(|(i, &b)| (i, b)).collect();
+        let plan = Arc::new(BatchPlan::compile(&head, &slotted, &stats));
+        let (_, tier) = cache.store(&head, &sorted, Arc::clone(&plan));
+        let e = Tuple::from_strs(&["1"]);
+        // Nothing cached: no serve under any scope.
+        assert!(!tier.probe(0, &e, Some(100)));
+        tier.absorb(0, &e, CoverageOutcome::Exhausted, 100);
+        // Equal and smaller budgets are served; `None` scope never is.
+        assert!(tier.probe(0, &e, Some(100)));
+        assert!(tier.probe(0, &e, Some(10)));
+        assert!(!tier.probe(0, &e, None));
+        // A different local slot or example is a miss.
+        assert!(!tier.probe(1, &e, Some(10)));
+        assert!(!tier.probe(0, &Tuple::from_strs(&["2"]), Some(10)));
+        // Write-back under a larger budget widens the entry (strikes reset).
+        tier.absorb(0, &e, CoverageOutcome::Exhausted, 200);
+        assert!(tier.probe(0, &e, Some(150)));
+        // Three consecutive larger probes evict the entry.
+        for round in 0..EXHAUSTION_STRIKE_LIMIT {
+            assert!(!tier.probe(0, &e, Some(500)), "round {round}");
+        }
+        assert!(!tier.probe(0, &e, Some(10)), "entry should be gone");
+        assert_eq!(cache.trie_exhaustions_evicted(), 1);
+        // Definite verdicts erase a cached exhaustion on write-back.
+        tier.absorb(1, &e, CoverageOutcome::Exhausted, 100);
+        assert!(tier.probe(1, &e, Some(100)));
+        tier.absorb(1, &e, CoverageOutcome::Covered, 100);
+        assert!(!tier.probe(1, &e, Some(10)));
+    }
+
+    #[test]
+    fn trie_exhaustion_tier_resets_when_the_plan_is_replaced() {
+        let (db, head, bodies) = trie_fixture();
+        let stats = DatabaseStatistics::gather(&db);
+        let group: Vec<(usize, &[Atom])> = vec![(0, &bodies[0]), (1, &bodies[1])];
+        let (_, sorted) = canonical_group(&group);
+        let cache = BatchPlanCache::default();
+        let slotted: Vec<(usize, &[Atom])> =
+            sorted.iter().enumerate().map(|(i, &b)| (i, b)).collect();
+        let plan = Arc::new(BatchPlan::compile(&head, &slotted, &stats));
+        let (_, tier) = cache.store(&head, &sorted, Arc::clone(&plan));
+        let e = Tuple::from_strs(&["1"]);
+        tier.absorb(0, &e, CoverageOutcome::Exhausted, 100);
+        assert_eq!(tier.len(), 1);
+        // Re-storing (the recost path) hands out a fresh, empty tier: the
+        // old exhaustions were observed under the discarded node order.
+        let (_, fresh) = cache.store(&head, &sorted, plan);
+        assert!(fresh.is_empty());
+        assert!(!fresh.probe(0, &e, Some(10)));
+        match cache.fetch(&head, &sorted, &stats) {
+            BatchFetch::Hit(_, _, served) => assert!(Arc::ptr_eq(&served, &fresh)),
+            other => panic!("expected hit, got {other:?}"),
+        }
     }
 
     #[test]

@@ -42,20 +42,21 @@ pub mod stats;
 
 pub use batch::{BatchItemStats, BatchPlan};
 pub use cache::{
-    canonical_group, canonicalize, BatchFetch, BatchPlanCache, CoverageCache,
+    canonical_group, canonicalize, BatchFetch, BatchPlanCache, CoverageCache, TrieExhaustions,
     EXHAUSTION_STRIKE_LIMIT,
 };
 pub use castor_logic::{CoverageOutcome, EvalBudget, DEFAULT_EVAL_NODE_BUDGET};
 pub use cost::{CostModel, CostModelKind, CostOverrides, HistogramCost, UniformCost};
 pub use fx::{FxBuildHasher, FxHashMap, FxHasher};
 pub use plan::{ClausePlan, PlanFeedback, PlanStep};
-pub use pool::WorkerPool;
+pub use pool::{PoolStats, WorkerPool};
 pub use stats::{DatabaseStatistics, EngineReport, EngineStats};
 
 use castor_logic::{Atom, Clause};
+use castor_obs::{Histogram, Obs};
 use castor_relational::{DatabaseInstance, MutationBatch, MutationSummary, Tuple};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Engine construction knobs.
@@ -718,6 +719,54 @@ pub struct Engine {
     cancel: Mutex<Option<Arc<AtomicBool>>>,
     /// Readers: evaluation entry points. Writer: [`Engine::apply`].
     gate: RwLock<()>,
+    /// Instrumentation: latency histograms plus the trace id of the job
+    /// currently driving this engine.
+    obs: EngineObs,
+}
+
+/// The engine's slice of an [`Obs`] handle: pre-resolved histograms for
+/// the load-bearing paths, and the trace id the serving layer installs
+/// before running a job (engine spans join that job's timeline).
+#[derive(Debug)]
+struct EngineObs {
+    obs: Arc<Obs>,
+    /// Wall time of one `covered_sets_batch*` call (trie or fallback).
+    batch_eval_ns: Arc<Histogram>,
+    /// Fresh plan/trie compilation time.
+    plan_compile_ns: Arc<Histogram>,
+    /// Feedback-driven recompilation time.
+    plan_recost_ns: Arc<Histogram>,
+    /// Coverage-cache probe phase of a batch (memo lookup + prior
+    /// propagation, before any plan executes).
+    cache_probe_ns: Arc<Histogram>,
+    /// Trace id installed by [`Engine::set_trace`]; 0 = no active job.
+    current_trace: AtomicU64,
+}
+
+impl EngineObs {
+    fn new(obs: Arc<Obs>) -> Self {
+        let r = obs.registry();
+        EngineObs {
+            batch_eval_ns: r.histogram(
+                "castor_engine_batch_eval_ns",
+                "Latency of one batched coverage evaluation (a clause batch over an example list).",
+            ),
+            plan_compile_ns: r.histogram(
+                "castor_engine_plan_compile_ns",
+                "Latency of compiling a fresh clause plan or shared-prefix trie.",
+            ),
+            plan_recost_ns: r.histogram(
+                "castor_engine_plan_recost_ns",
+                "Latency of feedback-driven plan/trie recompilation.",
+            ),
+            cache_probe_ns: r.histogram(
+                "castor_engine_cache_probe_ns",
+                "Latency of the coverage-cache probe phase of a batch (memo lookup + priors).",
+            ),
+            current_trace: AtomicU64::new(0),
+            obs,
+        }
+    }
 }
 
 impl Engine {
@@ -743,6 +792,22 @@ impl Engine {
         config: EngineConfig,
         pool: Arc<WorkerPool>,
     ) -> Self {
+        Engine::with_observability(db, config, pool, Obs::enabled_default())
+    }
+
+    /// [`Engine::with_pool`] recording into the caller's [`Obs`] handle —
+    /// the serving layer passes its server-wide handle so engine latency
+    /// histograms land in the registry the wire scrape reads, and engine
+    /// spans land in the server's trace ring. Engines built through the
+    /// other constructors get a private enabled handle (histogram names
+    /// are idempotent per registry, so engines sharing a handle share
+    /// histograms).
+    pub fn with_observability(
+        db: Arc<DatabaseInstance>,
+        config: EngineConfig,
+        pool: Arc<WorkerPool>,
+        obs: Arc<Obs>,
+    ) -> Self {
         let db_stats = DatabaseStatistics::gather(&db);
         Engine {
             db_stats: RwLock::new(Arc::new(db_stats)),
@@ -754,6 +819,7 @@ impl Engine {
             gate: RwLock::new(()),
             config,
             db: RwLock::new(db),
+            obs: EngineObs::new(obs),
         }
     }
 
@@ -850,9 +916,44 @@ impl Engine {
         &self.config
     }
 
-    /// Snapshot of the engine counters.
+    /// Snapshot of the engine counters. `exhaustions_evicted` folds in the
+    /// trie-tier evictions tracked by the [`BatchPlanCache`] alongside the
+    /// coverage cache's own.
     pub fn report(&self) -> EngineReport {
-        self.runtime.report()
+        let mut report = self.runtime.report();
+        report.exhaustions_evicted += self.batch_plans.trie_exhaustions_evicted();
+        report
+    }
+
+    /// The observability handle this engine records into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs.obs
+    }
+
+    /// Installs the trace id subsequent evaluations attribute their spans
+    /// to (0 clears it). The serving layer calls this before running a
+    /// job; jobs on one engine are serialized by the per-database queue,
+    /// so a plain store is sound.
+    pub fn set_trace(&self, trace: u64) {
+        self.obs.current_trace.store(trace, Ordering::Relaxed);
+    }
+
+    /// The compiled join order currently cached for `clause`, rendered as
+    /// one string per plan step (the literal executed at that step).
+    /// `None` when no current plan is cached. The slow-job watchdog
+    /// attaches this to its report so a stall can be read against the
+    /// order that produced it.
+    pub fn plan_order(&self, clause: &Clause) -> Option<Vec<String>> {
+        let canonical = canonicalize(clause);
+        let plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        plans.get(&canonical).map(|entry| {
+            entry
+                .plan
+                .steps
+                .iter()
+                .map(|step| canonical.body[step.literal].to_string())
+                .collect()
+        })
     }
 
     /// Takes the evaluation side of the mutation gate: mutations wait for
@@ -914,9 +1015,11 @@ impl Engine {
                 // beating the model, and start collecting fresh feedback
                 // for the new order.
                 let overrides = entry.feedback.overrides(&entry.plan);
+                let timer = self.obs.obs.timer();
                 let plan = Arc::new(ClausePlan::compile_with(
                     canonical, stats, model, &overrides,
                 ));
+                timer.stop_ns(&self.obs.plan_recost_ns);
                 EngineStats::bump(&metrics.plans_recosted);
                 // Exhaustions memoized for this clause were observed under
                 // the discarded join order; the new one may decide them
@@ -944,12 +1047,14 @@ impl Engine {
             // beatable — drop them all, like a recost does per clause.
             self.runtime.drop_all_exhausted();
         }
+        let timer = self.obs.obs.timer();
         let plan = Arc::new(ClausePlan::compile_with(
             canonical,
             stats,
             model,
             &CostOverrides::default(),
         ));
+        timer.stop_ns(&self.obs.plan_compile_ns);
         EngineStats::bump(&metrics.plans_compiled);
         let entry = PlanEntry::new(plan);
         let out = (Arc::clone(&entry.plan), Some(Arc::clone(&entry.feedback)));
@@ -967,21 +1072,29 @@ impl Engine {
     ///
     /// Returns the trie plus the feedback handle batch execution records
     /// observed candidate rows into (`None` once the trie's estimates are
-    /// validated). A cached trie whose recorded feedback diverges from its
-    /// node estimates past the configured threshold is *recosted* exactly
-    /// like a [`ClausePlan`]: recompiled with the observed rows overriding
-    /// the model, counted in `plans_recosted`.
+    /// validated) plus the trie's exhaustion tier (budget-keyed memoized
+    /// `Exhausted` verdicts scoped to this trie's execution order; see
+    /// [`TrieExhaustions`]). A cached trie whose recorded feedback diverges
+    /// from its node estimates past the configured threshold is *recosted*
+    /// exactly like a [`ClausePlan`]: recompiled with the observed rows
+    /// overriding the model, counted in `plans_recosted` — the store hands
+    /// back a fresh (empty) exhaustion tier, since the old tier's verdicts
+    /// were observed under the discarded order.
     fn batch_plan_for(
         &self,
         head: &Atom,
         bodies: &[&[castor_logic::Atom]],
         stats: &DatabaseStatistics,
-    ) -> (Arc<BatchPlan>, Option<Arc<PlanFeedback>>) {
+    ) -> (
+        Arc<BatchPlan>,
+        Option<Arc<PlanFeedback>>,
+        Arc<TrieExhaustions>,
+    ) {
         let metrics = self.runtime.metrics();
         let model = self.config.cost_model.model();
         let mut recost: Option<batch::TrieCostOverrides> = None;
         match self.batch_plans.fetch(head, bodies, stats) {
-            BatchFetch::Hit(plan, feedback) => {
+            BatchFetch::Hit(plan, feedback, exhaustions) => {
                 EngineStats::bump(&metrics.batch_plan_cache_hits);
                 let diverged = self.config.recost_divergence > 0
                     && feedback.check_due(self.config.recost_after)
@@ -996,7 +1109,7 @@ impl Engine {
                     };
                 if !diverged {
                     let feedback = (!feedback.is_validated()).then_some(feedback);
-                    return (plan, feedback);
+                    return (plan, feedback, exhaustions);
                 }
                 // Feedback recosting: fall through to recompilation with
                 // the observed rows beating the model.
@@ -1015,18 +1128,22 @@ impl Engine {
                     inner: model,
                     overrides,
                 };
+                let timer = self.obs.obs.timer();
                 let plan = Arc::new(BatchPlan::compile_with(head, &slotted, stats, &observed));
+                timer.stop_ns(&self.obs.plan_recost_ns);
                 EngineStats::bump(&metrics.plans_recosted);
                 plan
             }
             None => {
+                let timer = self.obs.obs.timer();
                 let plan = Arc::new(BatchPlan::compile_with(head, &slotted, stats, model));
+                timer.stop_ns(&self.obs.plan_compile_ns);
                 EngineStats::bump(&metrics.batch_plans_compiled);
                 plan
             }
         };
-        let feedback = self.batch_plans.store(head, bodies, Arc::clone(&plan));
-        (plan, Some(feedback))
+        let (feedback, exhaustions) = self.batch_plans.store(head, bodies, Arc::clone(&plan));
+        (plan, Some(feedback), exhaustions)
     }
 
     /// Tri-state coverage test for one example, going through the cache and
@@ -1144,8 +1261,35 @@ impl Engine {
     }
 
     /// [`Engine::covered_sets_batch_with_priors`] with the mutation gate
-    /// already held by the caller.
+    /// already held by the caller. Records the whole call into the
+    /// batch-eval latency histogram and, when a trace is installed,
+    /// emits an `engine.batch_eval` span on the current job's timeline.
     fn covered_sets_batch_gated(
+        &self,
+        clauses: &[Clause],
+        priors: &[Prior<'_>],
+        examples: &[Tuple],
+    ) -> Vec<HashSet<Tuple>> {
+        let start_ns = self.obs.obs.now_ns();
+        let timer = self.obs.obs.timer();
+        let out = self.covered_sets_batch_inner(clauses, priors, examples);
+        if timer.is_live() {
+            let dur_ns = timer.stop_ns(&self.obs.batch_eval_ns);
+            self.obs.obs.span_measured(
+                "engine.batch_eval",
+                self.obs.current_trace.load(Ordering::Relaxed),
+                start_ns,
+                dur_ns,
+                vec![
+                    ("clauses".to_string(), clauses.len().to_string()),
+                    ("examples".to_string(), examples.len().to_string()),
+                ],
+            );
+        }
+        out
+    }
+
+    fn covered_sets_batch_inner(
         &self,
         clauses: &[Clause],
         priors: &[Prior<'_>],
@@ -1161,16 +1305,19 @@ impl Engine {
                 .runtime
                 .covered_sets_batch(self, clauses, examples, priors);
         }
-        // The trie path opts out of the exhaustion tier (`None` scope):
-        // trie execution charges shared-prefix probes to every live
-        // candidate, so its exhaustions are not node-comparable with
-        // per-clause-plan ones — an exhaustion is budget-monotone only
-        // under a fixed execution order. Reads are conservative misses for
-        // *every* candidate (which candidates end up as trie-grouped vs.
-        // lone is only known after grouping); lone candidates, which run
-        // ordinary per-clause plans, still write their exhaustions back
-        // into the tier for the non-batched entry points to serve.
+        // The batch prep opts out of the *clause-keyed* exhaustion tier
+        // (`None` scope): trie execution charges shared-prefix probes to
+        // every live candidate, so its exhaustions are not node-comparable
+        // with per-clause-plan ones — an exhaustion is budget-monotone
+        // only under a fixed execution order. Trie-produced exhaustions
+        // are instead memoized in the per-trie tier ([`TrieExhaustions`],
+        // keyed by the trie's own execution order) and served inside
+        // `evaluate_batch_pending`; lone candidates, which run ordinary
+        // per-clause plans, still write their exhaustions back into the
+        // clause-keyed tier for the non-batched entry points to serve.
+        let probe = self.obs.obs.timer();
         let mut prep = self.runtime.prepare_batch(clauses, priors, examples, None);
+        probe.stop_ns(&self.obs.cache_probe_ns);
         self.evaluate_batch_pending(&mut prep, examples);
         prep.finish()
     }
@@ -1184,6 +1331,10 @@ impl Engine {
         let metrics = self.runtime.metrics();
         let db = self.snapshot();
         let db_stats = self.statistics();
+        // Exhaustion scope captured before any trie runs: budgets recorded
+        // into the per-trie tiers must be the ones in effect at the start,
+        // exactly as `narrow_scope` documents for the clause-keyed tier.
+        let scope = self.exhaustion_scope();
         let mut groups: fx::FxHashMap<&Atom, Vec<usize>> = fx::FxHashMap::default();
         for (slot, clause) in prep.unique.iter().enumerate() {
             if !prep.pending[slot].is_empty() {
@@ -1198,6 +1349,9 @@ impl Engine {
         let mut plans: Vec<Arc<BatchPlan>> = Vec::new();
         let mut feedbacks: Vec<Option<Arc<PlanFeedback>>> = Vec::new();
         let mut slot_maps: Vec<Vec<usize>> = Vec::new();
+        // Per-trie exhaustion tiers, parallel to `plans`: probed before
+        // the grid is built, written back after it runs.
+        let mut tiers: Vec<Arc<TrieExhaustions>> = Vec::new();
         // (slot, example index, outcome) verdicts settled without a search:
         // empty-bodied candidates are covered iff the head binds.
         let mut evaluated: Vec<(usize, usize, CoverageOutcome)> = Vec::new();
@@ -1218,7 +1372,27 @@ impl Engine {
             // stamps, so a trie costed before a mutation is recompiled,
             // never reused.
             let (slot_map, bodies) = canonical_group(&group);
-            let (plan, feedback) = self.batch_plan_for(head, &bodies, &db_stats);
+            let (plan, feedback, exhaustions) = self.batch_plan_for(head, &bodies, &db_stats);
+            // Serve memoized trie exhaustions before the masks are built:
+            // a pair whose exhaustion was recorded under an equal-or-
+            // smaller budget is answered here and drops out of the grid
+            // (a larger recorded budget strikes the entry instead — see
+            // [`TrieExhaustions::probe`]).
+            let mut served = 0usize;
+            for (local, &s) in slot_map.iter().enumerate() {
+                prep.pending[s].retain(|&ei| {
+                    if exhaustions.probe(local, &examples[ei], scope) {
+                        evaluated.push((s, ei, CoverageOutcome::Exhausted));
+                        served += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            if served > 0 {
+                EngineStats::add(&metrics.cache_hits, served);
+            }
             if !plan.root_accepting.is_empty() {
                 let head_clause = Clause::fact(head.clone());
                 for &local in &plan.root_accepting {
@@ -1240,6 +1414,7 @@ impl Engine {
             plans.push(plan);
             feedbacks.push(feedback);
             slot_maps.push(slot_map);
+            tiers.push(exhaustions);
         }
 
         // The work grid: rows are trie subtrees (across all head groups),
@@ -1309,6 +1484,10 @@ impl Engine {
                 out
             };
 
+        // Scope narrowed across the evaluation: a cancellation that fired
+        // mid-grid turns exhaustions into aborts, which must not be
+        // memoized; a budget raise must not inflate the stored key.
+        let write_scope = narrow_scope(scope, self.exhaustion_scope());
         let mut agg = BatchItemStats::default();
         for (idx, (outcomes, stats)) in items.into_iter().enumerate() {
             // map_grid and the inline loop are both row-major over
@@ -1316,11 +1495,15 @@ impl Engine {
             let ei = idx % examples.len();
             let pi = subtrees[idx / examples.len()].0;
             agg.absorb(&stats);
-            evaluated.extend(
-                outcomes
-                    .into_iter()
-                    .map(|(local, o)| (slot_maps[pi][local], ei, o)),
-            );
+            for (local, o) in outcomes {
+                // Write back into this trie's exhaustion tier: exhausted
+                // verdicts are memoized under the evaluation budget,
+                // definite verdicts erase any stale exhaustion entry.
+                if let Some(budget) = write_scope {
+                    tiers[pi].absorb(local, &examples[ei], o, budget);
+                }
+                evaluated.push((slot_maps[pi][local], ei, o));
+            }
         }
         EngineStats::add(&metrics.coverage_tests, agg.tests + trivial_tests);
         EngineStats::add(&metrics.budget_exhausted, agg.budget_exhausted);
@@ -1330,10 +1513,12 @@ impl Engine {
 
         let pairs: Vec<(usize, usize)> = evaluated.iter().map(|&(s, ei, _)| (s, ei)).collect();
         let outcomes: Vec<CoverageOutcome> = evaluated.iter().map(|&(_, _, o)| o).collect();
-        // Trie-produced exhaustions are never memoized (`None` scope): the
-        // trie's per-candidate budget accounting is not comparable with the
-        // per-clause plan path that might answer the same (clause, example)
-        // later. Definite verdicts are cached as usual.
+        // Trie-produced exhaustions stay out of the *clause-keyed* cache
+        // (`None` scope): the trie's per-candidate budget accounting is
+        // not comparable with the per-clause plan path that might answer
+        // the same (clause, example) later. They were already written to
+        // the per-trie tier above, whose lifetime is the compiled trie
+        // itself. Definite verdicts are cached as usual.
         self.runtime.absorb_pair_outcomes(
             &prep.unique,
             examples,
@@ -1960,6 +2145,48 @@ mod tests {
         engine.set_eval_budget(1);
         assert!(engine.covers(&clause, &e));
         assert_eq!(engine.report().coverage_tests, after.coverage_tests);
+    }
+
+    #[test]
+    fn trie_exhaustions_are_served_across_batch_rounds() {
+        let db = db();
+        let engine = Engine::new(&db, EngineConfig::default().with_eval_budget(1));
+        let beam = sibling_beam();
+        let examples = batch_examples();
+        let first = engine.covered_sets_batch(&beam, &examples);
+        let before = engine.report();
+        assert!(
+            before.budget_exhausted > 0,
+            "budget 1 exhausted nothing: {before}"
+        );
+        // Same beam, same budget: the definite pairs come out of the
+        // clause-keyed memo cache, the exhausted pairs out of the trie's
+        // own exhaustion tier — nothing re-runs, and the grid sees only
+        // dead masks.
+        let second = engine.covered_sets_batch(&beam, &examples);
+        let after = engine.report();
+        assert_eq!(first, second);
+        assert_eq!(after.coverage_tests, before.coverage_tests);
+        assert_eq!(after.budget_exhausted, before.budget_exhausted);
+        assert!(
+            after.cache_hits > before.cache_hits,
+            "no pair was served from a cache: {after}"
+        );
+        assert_eq!(after.batch_plan_cache_hits, 1, "trie not reused: {after}");
+        // A budget raise beats the tier: the pairs re-evaluate and the
+        // definite verdicts erase their exhaustion entries.
+        engine.set_eval_budget(DEFAULT_EVAL_NODE_BUDGET);
+        let third = engine.covered_sets_batch(&beam, &examples);
+        let settled = engine.report();
+        assert!(settled.coverage_tests > after.coverage_tests);
+        let solo = Engine::new(&db, EngineConfig::default());
+        for (clause, covered) in beam.iter().zip(&third) {
+            assert_eq!(
+                covered,
+                &solo.covered_set(clause, &examples, Prior::None),
+                "post-raise disagreement on {clause}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! castor-obs: dependency-free observability for the Castor stack.
+//!
+//! Three pieces, all std-only, mirroring the no-dependency discipline of
+//! the wire codec:
+//!
+//! * metrics — lock-free [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   log2 latency [`Histogram`]s behind a [`Registry`] that renders
+//!   Prometheus-style text exposition. External atomic counter families
+//!   plug in through [`Collect`] so every number has one storage site.
+//! * spans — completed-interval [`SpanRecord`]s in a bounded
+//!   [`SpanRing`], exportable as Chrome-trace JSON.
+//! * [`Obs`] — the per-component handle tying them together: a monotonic
+//!   clock epoch, trace-id minting, and the enable switch that turns
+//!   every record into a no-op (no `Instant::now()` on the hot path)
+//!   when observability is off.
+//!
+//! Trace ids are 64-bit. Work that enters through the RPC front end
+//! carries the frame request id verbatim; work minted locally (library
+//! and in-process sessions) gets ids with the high bit
+//! ([`LOCAL_TRACE_BIT`]) set, so the two id spaces never collide and a
+//! span dump can always be joined against client-side request logs.
+
+mod metrics;
+mod span;
+
+pub use metrics::{
+    Collect, Counter, Exposition, Gauge, Histogram, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS,
+};
+pub use span::{SpanRecord, SpanRing};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// High bit of locally minted trace ids, keeping them disjoint from RPC
+/// frame request ids (which count up from 0).
+pub const LOCAL_TRACE_BIT: u64 = 1 << 63;
+
+/// Configuration for an [`Obs`] handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch. When false, timers return zero without reading the
+    /// clock and spans are discarded; counters and histograms still exist
+    /// so scrapes stay well-formed.
+    pub enabled: bool,
+    /// Maximum spans retained in the ring buffer.
+    pub span_capacity: usize,
+    /// Jobs running longer than this trip the slow-job watchdog.
+    pub slow_job_threshold: Duration,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            span_capacity: 4096,
+            slow_job_threshold: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Instrumentation off: the configuration benchmarks compare against.
+    pub fn disabled() -> Self {
+        ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Sets the span ring capacity.
+    pub fn with_span_capacity(mut self, capacity: usize) -> Self {
+        self.span_capacity = capacity;
+        self
+    }
+
+    /// Sets the slow-job watchdog threshold.
+    pub fn with_slow_job_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_job_threshold = threshold;
+        self
+    }
+}
+
+/// A started (or suppressed) measurement. Produced by [`Obs::timer`];
+/// finish it with [`Timer::stop_ns`] or [`Obs::record_since`].
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Elapsed nanoseconds, or 0 if the owning [`Obs`] was disabled.
+    pub fn elapsed_ns(&self) -> u64 {
+        match self.start {
+            Some(start) => start.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Records the elapsed time into `hist` and returns it; no-op (and 0)
+    /// when suppressed.
+    pub fn stop_ns(&self, hist: &Histogram) -> u64 {
+        match self.start {
+            Some(start) => {
+                let ns = start.elapsed().as_nanos() as u64;
+                hist.record_ns(ns);
+                ns
+            }
+            None => 0,
+        }
+    }
+
+    /// Whether this timer is actually measuring.
+    pub fn is_live(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+/// The per-component observability handle: clock epoch, registry, span
+/// ring, trace minting, and the enable switch.
+#[derive(Debug)]
+pub struct Obs {
+    enabled: bool,
+    epoch: Instant,
+    registry: Registry,
+    spans: Arc<SpanRing>,
+    slow_job_threshold_ns: u64,
+    next_trace: AtomicU64,
+}
+
+struct SpanRingCollector(Arc<SpanRing>);
+
+impl Collect for SpanRingCollector {
+    fn collect(&self, exp: &mut Exposition) {
+        exp.gauge(
+            "castor_obs_spans_buffered",
+            "Spans currently held in the trace ring buffer.",
+            &[],
+            self.0.len() as i64,
+        );
+        exp.counter(
+            "castor_obs_spans_dropped_total",
+            "Spans evicted from the trace ring buffer by overflow.",
+            &[],
+            self.0.dropped(),
+        );
+    }
+}
+
+impl Obs {
+    /// Builds a handle from `config`.
+    pub fn new(config: ObsConfig) -> Self {
+        let spans = Arc::new(SpanRing::new(config.span_capacity));
+        let registry = Registry::new();
+        registry.register_collector(Box::new(SpanRingCollector(Arc::clone(&spans))));
+        Obs {
+            enabled: config.enabled,
+            epoch: Instant::now(),
+            registry,
+            spans,
+            slow_job_threshold_ns: config.slow_job_threshold.as_nanos() as u64,
+            next_trace: AtomicU64::new(1),
+        }
+    }
+
+    /// Shorthand for an enabled handle with defaults.
+    pub fn enabled_default() -> Arc<Obs> {
+        Arc::new(Obs::new(ObsConfig::default()))
+    }
+
+    /// Shorthand for a disabled handle.
+    pub fn disabled() -> Arc<Obs> {
+        Arc::new(Obs::new(ObsConfig::disabled()))
+    }
+
+    /// Whether instrumentation is live.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span ring buffer.
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// The slow-job watchdog threshold in nanoseconds.
+    pub fn slow_job_threshold_ns(&self) -> u64 {
+        self.slow_job_threshold_ns
+    }
+
+    /// Nanoseconds since this handle's epoch (0 when disabled — the
+    /// clock is never read on a disabled handle).
+    pub fn now_ns(&self) -> u64 {
+        if self.enabled {
+            self.epoch.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Starts a timer (suppressed when disabled).
+    pub fn timer(&self) -> Timer {
+        Timer {
+            start: if self.enabled {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Records `now - start_ns` into `hist` and returns the duration;
+    /// no-op when disabled. `start_ns` must come from [`Obs::now_ns`].
+    pub fn record_since(&self, hist: &Histogram, start_ns: u64) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let dur = self.now_ns().saturating_sub(start_ns);
+        hist.record_ns(dur);
+        dur
+    }
+
+    /// Mints a fresh local trace id (high bit set; see [`LOCAL_TRACE_BIT`]).
+    pub fn mint_trace(&self) -> u64 {
+        LOCAL_TRACE_BIT | self.next_trace.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records a completed span starting at `start_ns` (from
+    /// [`Obs::now_ns`]) and ending now. No-op when disabled.
+    pub fn span(&self, name: &str, trace: u64, start_ns: u64) {
+        self.span_with_args(name, trace, start_ns, Vec::new());
+    }
+
+    /// Records a completed span with a structured payload. No-op when
+    /// disabled.
+    pub fn span_with_args(
+        &self,
+        name: &str,
+        trace: u64,
+        start_ns: u64,
+        args: Vec<(String, String)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let now = self.now_ns();
+        self.spans.record(SpanRecord {
+            name: name.to_string(),
+            trace,
+            start_ns,
+            dur_ns: now.saturating_sub(start_ns),
+            args,
+        });
+    }
+
+    /// Records a span whose duration was measured externally (queue
+    /// waits stamped at submit time). No-op when disabled.
+    pub fn span_measured(
+        &self,
+        name: &str,
+        trace: u64,
+        start_ns: u64,
+        dur_ns: u64,
+        args: Vec<(String, String)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.record(SpanRecord {
+            name: name.to_string(),
+            trace,
+            start_ns,
+            dur_ns,
+            args,
+        });
+    }
+
+    /// Renders the registry (owned metrics plus collectors) as
+    /// Prometheus-style text.
+    pub fn expose(&self) -> String {
+        self.registry.expose()
+    }
+
+    /// Renders the span ring as Chrome-trace JSON.
+    pub fn trace_json(&self) -> String {
+        self.spans.to_chrome_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_reads_no_clock_and_records_nothing() {
+        let obs = Obs::new(ObsConfig::disabled());
+        assert!(!obs.enabled());
+        assert_eq!(obs.now_ns(), 0);
+        let t = obs.timer();
+        assert!(!t.is_live());
+        let h = obs.registry().histogram("castor_t_ns", "t");
+        assert_eq!(t.stop_ns(&h), 0);
+        assert_eq!(h.count(), 0);
+        obs.span("x", 1, 0);
+        assert!(obs.spans().is_empty());
+    }
+
+    #[test]
+    fn enabled_handle_times_spans_and_histograms() {
+        let obs = Obs::new(ObsConfig::default().with_span_capacity(16));
+        let h = obs.registry().histogram("castor_t_ns", "t");
+        let start = obs.now_ns();
+        let t = obs.timer();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(t.stop_ns(&h) >= 1_000_000);
+        assert_eq!(h.count(), 1);
+        obs.span("work", 7, start);
+        let spans = obs.spans().snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace, 7);
+        assert!(spans[0].dur_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn minted_traces_are_distinct_and_high_bit_tagged() {
+        let obs = Obs::new(ObsConfig::default());
+        let a = obs.mint_trace();
+        let b = obs.mint_trace();
+        assert_ne!(a, b);
+        assert!(a & LOCAL_TRACE_BIT != 0);
+        assert!(b & LOCAL_TRACE_BIT != 0);
+    }
+
+    #[test]
+    fn expose_includes_span_ring_health() {
+        let obs = Obs::new(ObsConfig::default().with_span_capacity(1));
+        obs.span("a", 1, 0);
+        obs.span("b", 1, 0);
+        let text = obs.expose();
+        assert!(text.contains("castor_obs_spans_buffered 1"), "{text}");
+        assert!(text.contains("castor_obs_spans_dropped_total 1"), "{text}");
+    }
+}

@@ -1,0 +1,531 @@
+//! Lock-free metric primitives and the registry that exposes them.
+//!
+//! Everything on the record path is a relaxed atomic operation: counters
+//! and gauges are single `fetch_add`s, histogram observations touch three
+//! atomics (bucket, count, sum). Reads never stop the world — a snapshot
+//! is a relaxed load per cell, consistent enough for monitoring. The
+//! registry hands out [`Arc`]ed handles so hot paths never re-hash a
+//! metric name, and external counter families (the engine and server
+//! report structs that predate this crate) plug in through the
+//! [`Collect`] trait so every number has exactly one storage location.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, live sessions).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, n: i64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket `i < BUCKETS - 1` counts
+/// observations `<= 2^i`; the last bucket is `+Inf`. With nanosecond
+/// observations, `2^46 ns` is ≈ 19.5 hours — far past anything a job can
+/// legitimately take.
+pub const HISTOGRAM_BUCKETS: usize = 48;
+
+/// A fixed-bucket log2 latency histogram in nanoseconds.
+///
+/// Recording is three relaxed atomic adds; quantiles are read off a
+/// snapshot without any coordination with writers. Bucket bounds are
+/// powers of two, so a reported quantile is exact to within a factor of
+/// two — the right fidelity for "where does time go" questions and cheap
+/// enough to leave on in production.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index an observation falls into: the smallest `i` with
+/// `value <= 2^i`, capped at the overflow bucket.
+fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        return 0;
+    }
+    let ceil_log2 = 64 - (value - 1).leading_zeros() as usize;
+    ceil_log2.min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum: self.sum_ns(),
+        }
+    }
+
+    /// The upper-bound estimate of quantile `q` in `0.0..=1.0` (e.g.
+    /// `0.99`), in nanoseconds. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        self.snapshot().quantile_ns(q)
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations in nanoseconds.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of bucket `i` in nanoseconds (`u64::MAX` = +Inf).
+    pub fn bound(i: usize) -> u64 {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// The upper-bound estimate of quantile `q`, in nanoseconds.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return HistogramSnapshot::bound(i);
+            }
+        }
+        HistogramSnapshot::bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Source of metric samples computed at scrape time — the bridge that
+/// lets pre-existing atomic counter families ([`EngineStats`],
+/// [`ServerStats`], queue and pool counters) appear in the exposition
+/// without being stored twice.
+///
+/// [`EngineStats`]: https://docs.rs/castor-engine
+/// [`ServerStats`]: https://docs.rs/castor-service
+pub trait Collect: Send + Sync {
+    /// Appends this source's samples to the exposition.
+    fn collect(&self, exp: &mut Exposition);
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, String, Arc<Counter>)>,
+    gauges: Vec<(String, String, Arc<Gauge>)>,
+    histograms: Vec<(String, String, Arc<Histogram>)>,
+    collectors: Vec<Box<dyn Collect>>,
+}
+
+/// A named collection of metrics plus scrape-time [`Collect`] sources.
+///
+/// Getters are idempotent: asking twice for the same name returns the
+/// same handle, so instrumented components can be constructed
+/// independently and still share counters. The registry lock is only
+/// taken at construction and scrape time, never on the record path.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .field("collectors", &inner.collectors.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, _, c)) = inner.counters.iter().find(|(n, _, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        inner
+            .counters
+            .push((name.to_string(), help.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, _, g)) = inner.gauges.iter().find(|(n, _, _)| n == name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        inner
+            .gauges
+            .push((name.to_string(), help.to_string(), Arc::clone(&g)));
+        g
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, _, h)) = inner.histograms.iter().find(|(n, _, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        inner
+            .histograms
+            .push((name.to_string(), help.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// Adds a scrape-time sample source.
+    pub fn register_collector(&self, collector: Box<dyn Collect>) {
+        self.inner.lock().unwrap().collectors.push(collector);
+    }
+
+    /// Renders every owned metric and every collector's samples as
+    /// Prometheus-style text exposition.
+    pub fn expose(&self) -> String {
+        let mut exp = Exposition::new();
+        let inner = self.inner.lock().unwrap();
+        for (name, help, c) in &inner.counters {
+            exp.counter(name, help, &[], c.get());
+        }
+        for (name, help, g) in &inner.gauges {
+            exp.gauge(name, help, &[], g.get());
+        }
+        for (name, help, h) in &inner.histograms {
+            exp.histogram(name, help, &[], &h.snapshot());
+        }
+        for collector in &inner.collectors {
+            collector.collect(&mut exp);
+        }
+        exp.finish()
+    }
+}
+
+/// Incremental builder for Prometheus-style text exposition
+/// (`# TYPE` headers, `name{label="value"} sample` lines, cumulative
+/// `_bucket`/`_sum`/`_count` triples for histograms).
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    typed: HashSet<String>,
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl Exposition {
+    /// Creates an empty exposition.
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    fn type_line(&mut self, name: &str, kind: &str, help: &str) {
+        if self.typed.insert(name.to_string()) {
+            if !help.is_empty() {
+                self.out.push_str(&format!("# HELP {name} {help}\n"));
+            }
+            self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+        }
+    }
+
+    /// Appends one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.type_line(name, "counter", help);
+        self.out
+            .push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+    }
+
+    /// Appends one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: i64) {
+        self.type_line(name, "gauge", help);
+        self.out
+            .push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+    }
+
+    /// Appends one histogram (cumulative buckets, sum, count).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snapshot: &HistogramSnapshot,
+    ) {
+        self.type_line(name, "histogram", help);
+        let mut cumulative = 0u64;
+        for (i, &c) in snapshot.buckets.iter().enumerate() {
+            cumulative += c;
+            // Trailing empty buckets carry no information; stop once the
+            // cumulative count has caught the total (the +Inf bucket below
+            // always closes the series).
+            let le = if i + 1 >= HISTOGRAM_BUCKETS {
+                break;
+            } else {
+                HistogramSnapshot::bound(i).to_string()
+            };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.out.push_str(&format!(
+                "{name}_bucket{} {cumulative}\n",
+                render_labels(&with_le)
+            ));
+            if cumulative >= snapshot.count {
+                break;
+            }
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.out.push_str(&format!(
+            "{name}_bucket{} {}\n",
+            render_labels(&with_inf),
+            snapshot.count
+        ));
+        self.out.push_str(&format!(
+            "{name}_sum{} {}\n",
+            render_labels(labels),
+            snapshot.sum
+        ));
+        self.out.push_str(&format!(
+            "{name}_count{} {}\n",
+            render_labels(labels),
+            snapshot.count
+        ));
+    }
+
+    /// The accumulated exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_smallest_power_of_two_bound() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record_ns(100);
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum_ns(), 90 * 100 + 10 * 1_000_000);
+        let p50 = h.quantile_ns(0.50);
+        assert!((100..=256).contains(&p50), "p50={p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!((1_000_000..=2_097_152).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn registry_getters_are_idempotent() {
+        let reg = Registry::new();
+        let a = reg.counter("castor_x_total", "x");
+        let b = reg.counter("castor_x_total", "x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let h1 = reg.histogram("castor_y_ns", "y");
+        let h2 = reg.histogram("castor_y_ns", "y");
+        h1.record_ns(5);
+        assert_eq!(h2.count(), 1);
+    }
+
+    #[test]
+    fn exposition_renders_types_labels_and_cumulative_buckets() {
+        let reg = Registry::new();
+        reg.counter("castor_jobs_total", "jobs").add(7);
+        reg.gauge("castor_depth", "depth").set(-2);
+        let h = reg.histogram("castor_wait_ns", "wait");
+        h.record_ns(3);
+        h.record_ns(300);
+        let text = reg.expose();
+        assert!(text.contains("# TYPE castor_jobs_total counter"), "{text}");
+        assert!(text.contains("castor_jobs_total 7"), "{text}");
+        assert!(text.contains("castor_depth -2"), "{text}");
+        assert!(text.contains("# TYPE castor_wait_ns histogram"), "{text}");
+        assert!(
+            text.contains("castor_wait_ns_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("castor_wait_ns_sum 303"), "{text}");
+        assert!(text.contains("castor_wait_ns_count 2"), "{text}");
+        // Cumulative: the bucket holding 300 (le=512) also counts the 3.
+        assert!(
+            text.contains("castor_wait_ns_bucket{le=\"512\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn collectors_run_at_scrape_time_with_one_type_header() {
+        struct Db(&'static str, u64);
+        impl Collect for Db {
+            fn collect(&self, exp: &mut Exposition) {
+                exp.counter("castor_db_tests_total", "tests", &[("db", self.0)], self.1);
+            }
+        }
+        let reg = Registry::new();
+        reg.register_collector(Box::new(Db("a", 1)));
+        reg.register_collector(Box::new(Db("b", 2)));
+        let text = reg.expose();
+        assert_eq!(
+            text.matches("# TYPE castor_db_tests_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains("castor_db_tests_total{db=\"a\"} 1"), "{text}");
+        assert!(text.contains("castor_db_tests_total{db=\"b\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut exp = Exposition::new();
+        exp.counter("castor_c_total", "", &[("q", "a\"b\\c\nd")], 1);
+        let text = exp.finish();
+        assert!(text.contains("q=\"a\\\"b\\\\c\\nd\""), "{text}");
+    }
+}

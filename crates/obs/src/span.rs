@@ -1,0 +1,216 @@
+//! Span records, the bounded ring buffer that stores them, and the
+//! Chrome-trace JSON export.
+//!
+//! Spans are completed intervals, not RAII guards: call sites read the
+//! clock, do the work, then hand the finished record to the ring. The
+//! ring is a mutex-protected `VecDeque` with a fixed capacity — span
+//! recording happens at job granularity (queue pop, batch evaluation,
+//! RPC reply), so a short critical section per job is far below the
+//! noise floor, and the bound means a long-lived server can never grow
+//! its trace memory without bound. Overflow evicts the oldest record
+//! and bumps a counter so the loss is visible.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One completed span: a named interval on some trace's timeline.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// What the interval covered, dot-namespaced by layer
+    /// (`rpc.client.encode`, `service.queue_wait`, `engine.batch_eval`).
+    pub name: String,
+    /// The trace this span belongs to. RPC-originated work carries the
+    /// frame request id verbatim; locally minted ids have the high bit
+    /// set so the two spaces never collide.
+    pub trace: u64,
+    /// Start time in nanoseconds since the owning [`Obs`] epoch.
+    ///
+    /// [`Obs`]: crate::Obs
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Structured payload (watchdog events put the offending clause and
+    /// plan order here).
+    pub args: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    spans: VecDeque<SpanRecord>,
+    capacity: usize,
+}
+
+/// A bounded, server-wide buffer of recent [`SpanRecord`]s.
+#[derive(Debug)]
+pub struct SpanRing {
+    inner: Mutex<RingInner>,
+    dropped: AtomicU64,
+}
+
+impl SpanRing {
+    /// Creates a ring holding at most `capacity` spans (capacity 0 keeps
+    /// nothing and counts every record as dropped).
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            inner: Mutex::new(RingInner {
+                spans: VecDeque::with_capacity(capacity.min(1024)),
+                capacity,
+            }),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a completed span, evicting the oldest if full.
+    pub fn record(&self, span: SpanRecord) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.capacity == 0 {
+            drop(inner);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if inner.spans.len() >= inner.capacity {
+            inner.spans.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.spans.push_back(span);
+    }
+
+    /// Copies out every buffered span, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.inner.lock().unwrap().spans.iter().cloned().collect()
+    }
+
+    /// Spans evicted (or refused) because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().spans.len()
+    }
+
+    /// Whether the ring holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `n` longest buffered spans, longest first.
+    pub fn slowest(&self, n: usize) -> Vec<SpanRecord> {
+        let mut spans = self.snapshot();
+        spans.sort_by_key(|s| std::cmp::Reverse(s.dur_ns));
+        spans.truncate(n);
+        spans
+    }
+
+    /// Renders the buffer as Chrome-trace JSON (the `chrome://tracing` /
+    /// Perfetto "complete event" format: `ph:"X"` with microsecond
+    /// `ts`/`dur`). The trace id rides in `args.trace` so one job's spans
+    /// can be correlated across layers.
+    pub fn to_chrome_trace(&self) -> String {
+        let spans = self.snapshot();
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, span) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"trace\":\"{:#x}\"",
+                escape_json(&span.name),
+                span.trace & 0xffff,
+                span.start_ns as f64 / 1000.0,
+                span.dur_ns as f64 / 1000.0,
+                span.trace,
+            ));
+            for (k, v) in &span.args {
+                out.push_str(&format!(",\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaper (quotes, backslashes, control bytes).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, trace: u64, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            trace,
+            start_ns: start,
+            dur_ns: dur,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let ring = SpanRing::new(2);
+        ring.record(span("a", 1, 0, 10));
+        ring.record(span("b", 1, 10, 10));
+        ring.record(span("c", 1, 20, 10));
+        let names: Vec<String> = ring.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["b", "c"]);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn slowest_sorts_by_duration() {
+        let ring = SpanRing::new(8);
+        ring.record(span("fast", 1, 0, 5));
+        ring.record(span("slow", 2, 0, 500));
+        ring.record(span("mid", 3, 0, 50));
+        let top: Vec<String> = ring.slowest(2).into_iter().map(|s| s.name).collect();
+        assert_eq!(top, vec!["slow", "mid"]);
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_carries_args() {
+        let ring = SpanRing::new(4);
+        ring.record(SpanRecord {
+            name: "watchdog.slow_job".to_string(),
+            trace: 0x2a,
+            start_ns: 1_500,
+            dur_ns: 2_000_000,
+            args: vec![("clause".to_string(), "h(x) :- \"r\"(x)".to_string())],
+        });
+        let json = ring.to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.ends_with("]}"), "{json}");
+        assert!(json.contains("\"name\":\"watchdog.slow_job\""), "{json}");
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"dur\":2000.000"), "{json}");
+        assert!(json.contains("\"trace\":\"0x2a\""), "{json}");
+        assert!(json.contains("\\\"r\\\"(x)"), "{json}");
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let ring = SpanRing::new(0);
+        ring.record(span("a", 1, 0, 1));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+}

@@ -15,12 +15,14 @@ use crate::frame::{
 use castor_engine::{ClauseCounts, EngineReport};
 use castor_learners::LearningTask;
 use castor_logic::{Clause, Definition};
+use castor_obs::{Histogram, Obs};
 use castor_relational::{MutationBatch, MutationSummary, Tuple};
 use castor_service::{LearnAlgorithm, ServerReport};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 
 /// Why a client call failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +104,15 @@ impl From<FrameError> for RpcError {
 #[must_use = "join the handle to read the response"]
 pub struct RpcHandle(u64);
 
+impl RpcHandle {
+    /// The request id — also the trace id the server records this
+    /// request's spans under (queue wait, engine evaluation, reply
+    /// write), and the one the client's `rpc.client.encode` span uses.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
 /// A blocking client bound to one database session on an
 /// [`crate::RpcServer`].
 #[derive(Debug)]
@@ -112,6 +123,14 @@ pub struct RpcClient {
     /// Responses that arrived while waiting for a different request id.
     pending: HashMap<u64, Response>,
     max_frame_bytes: usize,
+    /// The client's own observability handle: `rpc.client.encode` spans
+    /// plus encode/roundtrip latency histograms, recorded under the same
+    /// trace ids (request ids) the server records its spans under.
+    obs: Arc<Obs>,
+    encode_ns: Arc<Histogram>,
+    roundtrip_ns: Arc<Histogram>,
+    /// Submit times of in-flight requests, for the roundtrip histogram.
+    started: HashMap<u64, u64>,
 }
 
 impl RpcClient {
@@ -135,12 +154,25 @@ impl RpcClient {
         let reader = stream
             .try_clone()
             .map_err(|e| RpcError::Io(e.to_string()))?;
+        let obs = Obs::enabled_default();
+        let encode_ns = obs.registry().histogram(
+            "castor_rpc_encode_ns",
+            "Nanoseconds spent encoding and writing one request frame.",
+        );
+        let roundtrip_ns = obs.registry().histogram(
+            "castor_rpc_roundtrip_ns",
+            "Nanoseconds from request submit to its response being joined.",
+        );
         let mut client = RpcClient {
             reader,
             writer: BufWriter::new(stream),
             next_id: 0,
             pending: HashMap::new(),
             max_frame_bytes,
+            obs,
+            encode_ns,
+            roundtrip_ns,
+            started: HashMap::new(),
         };
         let handle = client.submit(Request::Hello {
             database: database.to_string(),
@@ -154,10 +186,22 @@ impl RpcClient {
 
     /// Sends one request, returning its handle without waiting for the
     /// response. Any number of requests may be in flight.
+    ///
+    /// The encode+write is recorded as an `rpc.client.encode` span under
+    /// the request id — the same id the server uses as the job's trace id,
+    /// so the client- and server-side spans of one request line up.
     pub fn submit(&mut self, request: Request) -> Result<RpcHandle, RpcError> {
         let id = self.next_id;
         self.next_id += 1;
+        let start_ns = self.obs.now_ns();
+        let timer = self.obs.timer();
         write_request(&mut self.writer, id, &request)?;
+        if timer.is_live() {
+            let dur_ns = timer.stop_ns(&self.encode_ns);
+            self.obs
+                .span_measured("rpc.client.encode", id, start_ns, dur_ns, Vec::new());
+            self.started.insert(id, start_ns);
+        }
         Ok(RpcHandle(id))
     }
 
@@ -166,6 +210,9 @@ impl RpcClient {
     pub fn join(&mut self, handle: RpcHandle) -> Result<Response, RpcError> {
         loop {
             if let Some(response) = self.pending.remove(&handle.0) {
+                if let Some(start_ns) = self.started.remove(&handle.0) {
+                    self.obs.record_since(&self.roundtrip_ns, start_ns);
+                }
                 return match response {
                     Response::Error {
                         code,
@@ -257,5 +304,30 @@ impl RpcClient {
             Response::ServerReport { engine, server } => Ok((engine, server)),
             other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
         }
+    }
+
+    /// The server's full metric exposition in Prometheus text format:
+    /// admission/queue counters, per-database engine counters, and the
+    /// queue-wait/run-time/engine-latency histograms.
+    pub fn metrics(&mut self) -> Result<String, RpcError> {
+        match self.request(Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// The server's recent spans as Chrome-trace JSON (load into
+    /// `chrome://tracing` or Perfetto).
+    pub fn trace_dump(&mut self) -> Result<String, RpcError> {
+        match self.request(Request::TraceDump)? {
+            Response::TraceDump(text) => Ok(text),
+            other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// The client-side observability handle: `rpc.client.encode` spans and
+    /// the `castor_rpc_encode_ns` / `castor_rpc_roundtrip_ns` histograms.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 }

@@ -181,6 +181,13 @@ pub enum Request {
     Report,
     /// The database's engine totals plus the serving-layer counters.
     ServerReport,
+    /// The server's full metric exposition (Prometheus text format):
+    /// admission/queue counters, per-database engine counters, and the
+    /// queue-wait/run-time/engine-latency histograms.
+    Metrics,
+    /// The server's recent spans as Chrome-trace JSON (load
+    /// `chrome://tracing` or Perfetto on the payload).
+    TraceDump,
 }
 
 impl Request {
@@ -193,6 +200,8 @@ impl Request {
             Request::Mutate(_) => 0x05,
             Request::Report => 0x06,
             Request::ServerReport => 0x07,
+            Request::Metrics => 0x08,
+            Request::TraceDump => 0x09,
         }
     }
 
@@ -223,7 +232,7 @@ impl Request {
                 algorithm.encode(w);
             }
             Request::Mutate(batch) => batch.encode(w),
-            Request::Report | Request::ServerReport => {}
+            Request::Report | Request::ServerReport | Request::Metrics | Request::TraceDump => {}
         }
     }
 
@@ -249,6 +258,8 @@ impl Request {
             0x05 => Request::Mutate(MutationBatch::decode(r)?),
             0x06 => Request::Report,
             0x07 => Request::ServerReport,
+            0x08 => Request::Metrics,
+            0x09 => Request::TraceDump,
             other => return Err(CodecError::new(format!("invalid request kind {other}"))),
         })
     }
@@ -276,6 +287,10 @@ pub enum Response {
         /// The serving layer's admission/queue counters.
         server: ServerReport,
     },
+    /// The metric exposition in Prometheus text format.
+    Metrics(String),
+    /// The span ring rendered as Chrome-trace JSON.
+    TraceDump(String),
     /// A typed failure for the request id this frame echoes.
     Error {
         /// What went wrong.
@@ -297,6 +312,8 @@ impl Response {
             Response::Mutated(_) => 0x85,
             Response::Report(_) => 0x86,
             Response::ServerReport { .. } => 0x87,
+            Response::Metrics(_) => 0x88,
+            Response::TraceDump(_) => 0x89,
             Response::Error { .. } => 0xff,
         }
     }
@@ -313,6 +330,7 @@ impl Response {
                 engine.encode(w);
                 server.encode(w);
             }
+            Response::Metrics(text) | Response::TraceDump(text) => w.put_str(text),
             Response::Error {
                 code,
                 limit,
@@ -337,6 +355,8 @@ impl Response {
                 engine: EngineReport::decode(r)?,
                 server: ServerReport::decode(r)?,
             },
+            0x88 => Response::Metrics(r.get_str()?),
+            0x89 => Response::TraceDump(r.get_str()?),
             0xff => Response::Error {
                 code: ErrorCode::from_u8(r.get_u8()?)?,
                 limit: r.get_usize()?,
@@ -550,6 +570,8 @@ mod tests {
         roundtrip_request(Request::Mutate(
             MutationBatch::new().insert("r", Tuple::from_strs(&["a"])),
         ));
+        roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::TraceDump);
     }
 
     #[test]
@@ -567,6 +589,10 @@ mod tests {
             engine: EngineReport::default(),
             server: ServerReport::default(),
         });
+        roundtrip_response(Response::Metrics(
+            "# HELP castor_jobs_submitted_total jobs\ncastor_jobs_submitted_total 3\n".into(),
+        ));
+        roundtrip_response(Response::TraceDump("{\"traceEvents\":[]}".into()));
     }
 
     #[test]

@@ -25,6 +25,18 @@
 //!   submits, mirroring the in-process `Session` API shape so callers
 //!   can swap transports.
 //!
+//! ## Observability
+//!
+//! Wire-submitted jobs are traced under their frame request id: the
+//! client records an `rpc.client.encode` span, the server records
+//! `service.queue_wait`, `engine.batch_eval`, and `rpc.server.reply`
+//! spans — all under the same id, so one request's life across both
+//! processes greps out of the dumps. `Request::Metrics` fetches the
+//! server's Prometheus-text metric exposition and `Request::TraceDump`
+//! its recent spans as Chrome-trace JSON; the client's own latency view
+//! ([`RpcClient::obs`]) holds `castor_rpc_encode_ns` and
+//! `castor_rpc_roundtrip_ns` histograms.
+//!
 //! ```no_run
 //! use castor_rpc::{RpcClient, RpcConfig, RpcServer};
 //! use castor_service::{Server, ServerConfig};

@@ -28,6 +28,7 @@ use crate::frame::{
     read_request_tagged, write_response, ErrorCode, FrameError, Request, Response,
     DEFAULT_MAX_FRAME_BYTES,
 };
+use castor_obs::Obs;
 use castor_service::{
     CoverageJob, Job, JobHandle, JobResult, LearnJob, ScoreJob, Server, ServerError, Session,
 };
@@ -179,9 +180,10 @@ fn serve_connection(stream: TcpStream, service: Arc<Server>, config: RpcConfig) 
 
     let (tx, rx): (Sender<Outbound>, Receiver<Outbound>) = channel();
     let writer_thread = {
+        let obs = Arc::clone(service.obs());
         std::thread::Builder::new()
             .name("castor-rpc-writer".to_string())
-            .spawn(move || write_loop(writer, rx))
+            .spawn(move || write_loop(writer, rx, obs))
             .expect("failed to spawn writer thread")
     };
 
@@ -321,9 +323,13 @@ fn read_loop(
                     message: "session already open".to_string(),
                 },
             ),
+            // Jobs are submitted under the frame's request id as their
+            // trace id, so every span the job produces server-side (queue
+            // wait, engine evaluation, reply write) correlates with the
+            // client's own spans for the same request.
             Request::Coverage { clauses, examples } => Outbound::Job(
                 request_id,
-                session.submit(Job::Coverage(CoverageJob { clauses, examples })),
+                session.submit_traced(Job::Coverage(CoverageJob { clauses, examples }), request_id),
             ),
             Request::Score {
                 clauses,
@@ -331,17 +337,26 @@ fn read_loop(
                 negative,
             } => Outbound::Job(
                 request_id,
-                session.submit(Job::Score(ScoreJob {
-                    clauses,
-                    positive,
-                    negative,
-                })),
+                session.submit_traced(
+                    Job::Score(ScoreJob {
+                        clauses,
+                        positive,
+                        negative,
+                    }),
+                    request_id,
+                ),
             ),
             Request::Learn { task, algorithm } => Outbound::Job(
                 request_id,
-                session.submit(Job::Learn(Box::new(LearnJob { task, algorithm }))),
+                session.submit_traced(
+                    Job::Learn(Box::new(LearnJob { task, algorithm })),
+                    request_id,
+                ),
             ),
-            Request::Mutate(batch) => Outbound::Job(request_id, session.submit(Job::Mutate(batch))),
+            Request::Mutate(batch) => Outbound::Job(
+                request_id,
+                session.submit_traced(Job::Mutate(batch), request_id),
+            ),
             // Reports are snapshotted lazily on the writer thread, after
             // every earlier in-flight job of this connection has completed
             // — a pipelined Report therefore includes the counter deltas of
@@ -370,6 +385,23 @@ fn read_loop(
                     }),
                 )
             }
+            // Metrics and trace dumps snapshot the live registry/ring at
+            // write time; like reports they are evaluated on the writer
+            // thread, after every earlier response has been written.
+            Request::Metrics => {
+                let service = Arc::clone(service);
+                Outbound::Lazy(
+                    request_id,
+                    Box::new(move || Response::Metrics(service.metrics_text())),
+                )
+            }
+            Request::TraceDump => {
+                let service = Arc::clone(service);
+                Outbound::Lazy(
+                    request_id,
+                    Box::new(move || Response::TraceDump(service.trace_json())),
+                )
+            }
         };
         if tx.send(outbound).is_err() {
             return;
@@ -381,13 +413,23 @@ fn read_loop(
 /// responses by joining their handles (jobs of one session complete in
 /// submission order, so this never reorders). Exits on the first write
 /// failure — the client is gone.
-fn write_loop(stream: TcpStream, rx: Receiver<Outbound>) {
+///
+/// Each reply's encode+write is timed into
+/// `castor_rpc_reply_encode_ns` and recorded as an `rpc.server.reply`
+/// span under the request's trace id, closing the server-side half of a
+/// wire job's trace (queue wait → engine eval → reply).
+fn write_loop(stream: TcpStream, rx: Receiver<Outbound>, obs: Arc<Obs>) {
+    let reply_ns = obs.registry().histogram(
+        "castor_rpc_reply_encode_ns",
+        "Nanoseconds spent encoding and writing one response frame.",
+    );
     let mut writer = BufWriter::new(stream);
     while let Ok(outbound) = rx.recv() {
-        let (request_id, response) = match outbound {
-            Outbound::Ready(id, response) => (id, response),
-            Outbound::Lazy(id, produce) => (id, produce()),
+        let (request_id, trace, response) = match outbound {
+            Outbound::Ready(id, response) => (id, id, response),
+            Outbound::Lazy(id, produce) => (id, id, produce()),
             Outbound::Job(id, handle) => {
+                let trace = handle.trace_id();
                 let response = match handle.join() {
                     Ok(JobResult::Covered(sets)) => Response::Covered(sets),
                     Ok(JobResult::Scores(counts)) => Response::Scores(counts),
@@ -395,11 +437,17 @@ fn write_loop(stream: TcpStream, rx: Receiver<Outbound>) {
                     Ok(JobResult::Mutated(summary)) => Response::Mutated(summary),
                     Err(error) => Response::from_job_error(error),
                 };
-                (id, response)
+                (id, trace, response)
             }
         };
+        let start_ns = obs.now_ns();
+        let timer = obs.timer();
         if write_response(&mut writer, request_id, &response).is_err() {
             return;
+        }
+        if timer.is_live() {
+            let dur_ns = timer.stop_ns(&reply_ns);
+            obs.span_measured("rpc.server.reply", trace, start_ns, dur_ns, Vec::new());
         }
     }
 }

@@ -183,17 +183,27 @@ impl JobShared {
 #[derive(Debug, Clone)]
 pub struct JobHandle {
     pub(crate) shared: Arc<JobShared>,
+    pub(crate) trace: u64,
 }
 
 impl JobHandle {
-    pub(crate) fn new() -> (JobHandle, Arc<JobShared>) {
+    pub(crate) fn new(trace: u64) -> (JobHandle, Arc<JobShared>) {
         let shared = Arc::new(JobShared::default());
         (
             JobHandle {
                 shared: Arc::clone(&shared),
+                trace,
             },
             shared,
         )
+    }
+
+    /// The trace id this job's spans are recorded under: the RPC request
+    /// id for wire-submitted jobs, a locally minted id (high bit set) for
+    /// in-process submissions. Grep the server's trace dump for it to see
+    /// the job's queue wait and engine time.
+    pub fn trace_id(&self) -> u64 {
+        self.trace
     }
 
     /// Blocks until the job finishes and returns its result.
@@ -228,7 +238,8 @@ mod tests {
 
     #[test]
     fn handle_polls_none_then_joins_the_completed_result() {
-        let (handle, shared) = JobHandle::new();
+        let (handle, shared) = JobHandle::new(7);
+        assert_eq!(handle.trace_id(), 7);
         assert!(handle.try_poll().is_none());
         let waiter = handle.clone();
         let thread = std::thread::spawn(move || waiter.join());

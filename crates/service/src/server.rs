@@ -32,6 +32,7 @@ use crate::stats::{QueueReport, ServerReport, ServerStats};
 use castor_core::Castor;
 use castor_engine::{Engine, EngineConfig, EngineReport, WorkerPool};
 use castor_learners::{Foil, Golem, ProGolem, Progol};
+use castor_obs::{Collect, Counter, Exposition, Histogram, Obs, ObsConfig};
 use castor_relational::DatabaseInstance;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -56,6 +57,10 @@ pub struct ServerConfig {
     /// complete with [`JobError::Rejected`] until the runner drains the
     /// queue. 0 = unlimited.
     pub max_inflight_per_database: usize,
+    /// Observability configuration: the server-wide [`Obs`] handle every
+    /// engine, queue runner, and the RPC front end record into
+    /// (instrumentation is on by default).
+    pub obs: ObsConfig,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +70,7 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             max_sessions: 0,
             max_inflight_per_database: 0,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -92,6 +98,13 @@ impl ServerConfig {
     /// (0 = unlimited).
     pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
         self.max_inflight_per_database = max_inflight;
+        self
+    }
+
+    /// Returns a copy with the given observability configuration
+    /// (`ObsConfig::disabled()` turns every timer and span into a no-op).
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -159,6 +172,12 @@ pub(crate) struct QueuedJob {
     pub(crate) job: Job,
     pub(crate) shared: Arc<JobShared>,
     pub(crate) ctx: Arc<SessionCtx>,
+    /// Trace id the job's spans are recorded under (the RPC request id
+    /// for wire submissions, a locally minted id otherwise).
+    pub(crate) trace: u64,
+    /// `Obs::now_ns` at submit time — the runner measures queue wait as
+    /// pop time minus this (0 when observability is disabled).
+    pub(crate) submitted_ns: u64,
 }
 
 /// One session's pending jobs on a database queue.
@@ -340,6 +359,176 @@ struct DatabaseEntry {
     queue: Arc<DatabaseQueue>,
 }
 
+/// Scrape-time bridge from [`ServerStats`] to the exposition: the atomics
+/// stay the single storage site, read when `Server::metrics_text` renders.
+struct ServerStatsCollector(Arc<ServerStats>);
+
+impl Collect for ServerStatsCollector {
+    fn collect(&self, exp: &mut Exposition) {
+        let s = self.0.snapshot();
+        exp.counter(
+            "castor_sessions_accepted_total",
+            "Sessions opened successfully.",
+            &[],
+            s.sessions_accepted as u64,
+        );
+        exp.counter(
+            "castor_sessions_rejected_total",
+            "Session requests refused by the server-wide session cap.",
+            &[],
+            s.sessions_rejected as u64,
+        );
+        exp.gauge(
+            "castor_sessions_active",
+            "Sessions currently open.",
+            &[],
+            s.sessions_active as i64,
+        );
+        exp.counter(
+            "castor_jobs_submitted_total",
+            "Jobs accepted onto a database queue.",
+            &[],
+            s.jobs_submitted as u64,
+        );
+        exp.counter(
+            "castor_jobs_rejected_total",
+            "Jobs refused by a database's in-flight cap.",
+            &[],
+            s.jobs_rejected as u64,
+        );
+    }
+}
+
+/// Scrape-time bridge from the shared worker pool's steal/idle counters.
+struct PoolCollector(Arc<WorkerPool>);
+
+impl Collect for PoolCollector {
+    fn collect(&self, exp: &mut Exposition) {
+        let stats = self.0.stats();
+        exp.gauge(
+            "castor_pool_workers",
+            "Worker threads in the shared evaluation pool.",
+            &[],
+            self.0.size() as i64,
+        );
+        exp.counter(
+            "castor_pool_steals_total",
+            "Work items claimed off the shared cursor by pool workers.",
+            &[],
+            stats.steals(),
+        );
+        exp.counter(
+            "castor_pool_idle_ns_total",
+            "Nanoseconds pool workers spent parked waiting for a job.",
+            &[],
+            stats.idle_ns(),
+        );
+    }
+}
+
+/// Scrape-time bridge from one registered database: its engine counters
+/// (labelled by database) and its queue gauges. Reads the same atomics
+/// [`Server::report`] and [`Server::queue_report`] serve, so the wire
+/// exposition can never disagree with the report structs.
+struct DatabaseCollector {
+    name: String,
+    engine: Arc<Engine>,
+    queue: Arc<DatabaseQueue>,
+}
+
+impl Collect for DatabaseCollector {
+    fn collect(&self, exp: &mut Exposition) {
+        let db = [("db", self.name.as_str())];
+        let e = self.engine.report();
+        for (name, help, value) in [
+            (
+                "castor_engine_coverage_tests_total",
+                "Coverage tests actually evaluated.",
+                e.coverage_tests,
+            ),
+            (
+                "castor_engine_cache_hits_total",
+                "Tests answered from a coverage cache (memo or exhaustion tiers).",
+                e.cache_hits,
+            ),
+            (
+                "castor_engine_budget_exhausted_total",
+                "Tests that ended by budget exhaustion.",
+                e.budget_exhausted,
+            ),
+            (
+                "castor_engine_plans_compiled_total",
+                "Distinct clause plans compiled.",
+                e.plans_compiled,
+            ),
+            (
+                "castor_engine_plans_recosted_total",
+                "Plans recompiled by feedback re-planning.",
+                e.plans_recosted,
+            ),
+            (
+                "castor_engine_batches_total",
+                "Batched (shared-prefix trie) evaluations executed.",
+                e.batches,
+            ),
+            (
+                "castor_engine_mutation_batches_total",
+                "Mutation batches applied to the live database.",
+                e.mutation_batches,
+            ),
+        ] {
+            exp.counter(name, help, &db, value as u64);
+        }
+        let q = self.queue.report();
+        exp.counter(
+            "castor_queue_drains_total",
+            "Queue items drained by this database's runner.",
+            &db,
+            q.drains as u64,
+        );
+        exp.gauge(
+            "castor_queue_inflight",
+            "Jobs currently queued or running.",
+            &db,
+            q.inflight as i64,
+        );
+        exp.gauge(
+            "castor_queue_open_sessions",
+            "Live session handles bound to this database.",
+            &db,
+            q.open_sessions as i64,
+        );
+    }
+}
+
+/// The runner-loop metric handles, resolved once per runner thread from
+/// the server's registry (idempotent names: every runner shares them).
+pub(crate) struct ServiceMetrics {
+    pub(crate) queue_wait_ns: Arc<Histogram>,
+    pub(crate) job_run_ns: Arc<Histogram>,
+    pub(crate) slow_jobs: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn new(obs: &Obs) -> Self {
+        let r = obs.registry();
+        ServiceMetrics {
+            queue_wait_ns: r.histogram(
+                "castor_queue_wait_ns",
+                "Time a job spent queued before its runner popped it.",
+            ),
+            job_run_ns: r.histogram(
+                "castor_job_run_ns",
+                "Time a popped job spent on its runner (including cancel fast-paths).",
+            ),
+            slow_jobs: r.counter(
+                "castor_slow_jobs_total",
+                "Jobs that ran past the slow-job watchdog threshold.",
+            ),
+        }
+    }
+}
+
 /// A multi-session serving facade: long-lived engines over mutating
 /// databases, per-session FIFO queues drained round-robin per database, a
 /// worker pool shared by every engine, and admission control over sessions
@@ -349,6 +538,7 @@ pub struct Server {
     config: ServerConfig,
     databases: Mutex<HashMap<String, DatabaseEntry>>,
     stats: Arc<ServerStats>,
+    obs: Arc<Obs>,
 }
 
 impl fmt::Debug for Server {
@@ -370,17 +560,44 @@ impl fmt::Debug for Server {
 impl Server {
     /// Creates a server with no registered databases.
     pub fn new(config: ServerConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.threads));
+        let stats = Arc::new(ServerStats::default());
+        let obs = Arc::new(Obs::new(config.obs.clone()));
+        obs.registry()
+            .register_collector(Box::new(ServerStatsCollector(Arc::clone(&stats))));
+        obs.registry()
+            .register_collector(Box::new(PoolCollector(Arc::clone(&pool))));
         Server {
-            pool: Arc::new(WorkerPool::new(config.threads)),
+            pool,
             config,
             databases: Mutex::new(HashMap::new()),
-            stats: Arc::new(ServerStats::default()),
+            stats,
+            obs,
         }
     }
 
     /// The server configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The server-wide observability handle (shared with every registered
+    /// engine and the RPC front end).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// The full metric exposition in Prometheus text format: server
+    /// counters, pool steal/idle counters, per-database engine and queue
+    /// counters, and the runner latency histograms — all read at scrape
+    /// time from the same atomics the report structs serve.
+    pub fn metrics_text(&self) -> String {
+        self.obs.expose()
+    }
+
+    /// The span ring rendered as Chrome-trace JSON.
+    pub fn trace_json(&self) -> String {
+        self.obs.trace_json()
     }
 
     /// Registers a database under `name`: builds its versioned engine on
@@ -399,8 +616,20 @@ impl Server {
         }
         let mut engine_config = self.config.engine.clone();
         engine_config.threads = self.config.threads;
-        let engine = Arc::new(Engine::with_pool(db, engine_config, Arc::clone(&self.pool)));
+        let engine = Arc::new(Engine::with_observability(
+            db,
+            engine_config,
+            Arc::clone(&self.pool),
+            Arc::clone(&self.obs),
+        ));
         let queue = Arc::new(DatabaseQueue::new(self.config.max_inflight_per_database));
+        self.obs
+            .registry()
+            .register_collector(Box::new(DatabaseCollector {
+                name: name.clone(),
+                engine: Arc::clone(&engine),
+                queue: Arc::clone(&queue),
+            }));
         let runner_engine = Arc::clone(&engine);
         let runner_queue = Arc::clone(&queue);
         std::thread::Builder::new()
@@ -520,13 +749,49 @@ impl Drop for Server {
 /// round-robin (one job per turn). Exits when the server is dropped, every
 /// session handle is gone, and the queues are drained — queued jobs are
 /// always finished first, so no handle is left hanging.
+///
+/// Instrumentation contract (the wire-consistency invariant the
+/// observability tests pin down): queue wait is recorded on *every* pop
+/// and job run time around *every* popped job's processing — cancel
+/// fast-paths included — so at quiescence
+/// `castor_queue_wait_ns_count == castor_job_run_ns_count == queue drains`.
 fn run_queue(engine: Arc<Engine>, queue: Arc<DatabaseQueue>) {
-    while let Some(QueuedJob { job, shared, ctx }) = queue.pop() {
+    let obs = Arc::clone(engine.obs());
+    let metrics = ServiceMetrics::new(&obs);
+    while let Some(QueuedJob {
+        job,
+        shared,
+        ctx,
+        trace,
+        submitted_ns,
+    }) = queue.pop()
+    {
+        let enabled = obs.enabled();
+        let run_start_ns = obs.now_ns();
+        if enabled {
+            let wait_ns = run_start_ns.saturating_sub(submitted_ns);
+            metrics.queue_wait_ns.record_ns(wait_ns);
+            obs.span_measured(
+                "service.queue_wait",
+                trace,
+                submitted_ns,
+                wait_ns,
+                Vec::new(),
+            );
+        }
         if ctx.cancel.load(Ordering::Relaxed) {
             shared.complete(Err(JobError::Cancelled));
+            if enabled {
+                metrics
+                    .job_run_ns
+                    .record_ns(obs.now_ns().saturating_sub(run_start_ns));
+            }
             queue.job_done();
             continue;
         }
+        // Watchdog payload, captured before `execute` consumes the job —
+        // only cloned when instrumentation is live.
+        let watch = enabled.then(|| (job_kind(&job), first_clause(&job)));
         // Mutations don't run the executor, so cancellation cannot corrupt
         // them; evaluation jobs cancelled mid-run are reported as such.
         let cancellable = !matches!(job, Job::Mutate(_));
@@ -535,9 +800,11 @@ fn run_queue(engine: Arc<Engine>, queue: Arc<DatabaseQueue>) {
             engine.set_eval_budget(ctx.eval_budget.load(Ordering::Relaxed));
         }
         engine.set_cancel_token(Some(Arc::clone(&ctx.cancel)));
+        engine.set_trace(trace);
         let before = engine.report();
         let outcome = catch_unwind(AssertUnwindSafe(|| execute(&engine, job)));
         let after = engine.report();
+        engine.set_trace(0);
         engine.set_cancel_token(None);
         engine.set_eval_budget(default_budget);
         {
@@ -559,8 +826,49 @@ fn run_queue(engine: Arc<Engine>, queue: Arc<DatabaseQueue>) {
             // partial result is simply discarded.
             result = Err(JobError::Cancelled);
         }
+        if enabled {
+            let run_ns = obs.now_ns().saturating_sub(run_start_ns);
+            metrics.job_run_ns.record_ns(run_ns);
+            if run_ns > obs.slow_job_threshold_ns() {
+                metrics.slow_jobs.inc();
+                let (kind, clause) = watch.unwrap_or(("unknown", None));
+                let mut args = vec![
+                    ("kind".to_string(), kind.to_string()),
+                    ("run_ms".to_string(), (run_ns / 1_000_000).to_string()),
+                ];
+                if let Some(clause) = clause {
+                    // The plan is queried *after* execution, so the order
+                    // reported is the one the slow run actually compiled.
+                    if let Some(order) = engine.plan_order(&clause) {
+                        args.push(("plan_order".to_string(), order.join(" -> ")));
+                    }
+                    args.push(("clause".to_string(), clause.to_string()));
+                }
+                obs.span_measured("watchdog.slow_job", trace, run_start_ns, run_ns, args);
+            }
+        }
         shared.complete(result);
         queue.job_done();
+    }
+}
+
+/// A static label for the watchdog's `kind` argument.
+fn job_kind(job: &Job) -> &'static str {
+    match job {
+        Job::Coverage(_) => "coverage",
+        Job::Score(_) => "score",
+        Job::Learn(_) => "learn",
+        Job::Mutate(_) => "mutate",
+    }
+}
+
+/// The clause a slow-job report is pinned to: the first clause of an
+/// evaluation batch (learn and mutation jobs have no fixed clause).
+fn first_clause(job: &Job) -> Option<castor_logic::Clause> {
+    match job {
+        Job::Coverage(j) => j.clauses.first().cloned(),
+        Job::Score(j) => j.clauses.first().cloned(),
+        Job::Learn(_) | Job::Mutate(_) => None,
     }
 }
 
@@ -621,12 +929,14 @@ mod tests {
     use castor_relational::MutationBatch;
 
     fn queued(ctx: &Arc<SessionCtx>) -> (QueuedJob, JobHandle) {
-        let (handle, shared) = JobHandle::new();
+        let (handle, shared) = JobHandle::new(0);
         (
             QueuedJob {
                 job: Job::Mutate(MutationBatch::new()),
                 shared,
                 ctx: Arc::clone(ctx),
+                trace: 0,
+                submitted_ns: 0,
             },
             handle,
         )

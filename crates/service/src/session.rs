@@ -108,12 +108,27 @@ impl Session {
     /// immediately. Jobs of one session run in submission order; different
     /// sessions' queues are drained round-robin. A submission over the
     /// database's in-flight cap fails fast with [`JobError::Rejected`].
+    ///
+    /// The job is assigned a freshly minted local trace id (readable via
+    /// [`JobHandle::trace_id`]); work arriving over the wire should use
+    /// [`Session::submit_traced`] with its request id instead.
     pub fn submit(&self, job: Job) -> JobHandle {
-        let (handle, shared) = JobHandle::new();
+        let trace = self.engine.obs().mint_trace();
+        self.submit_traced(job, trace)
+    }
+
+    /// [`Session::submit`] under a caller-chosen trace id — the RPC front
+    /// end passes the frame request id verbatim, so one job's spans
+    /// (client encode, queue wait, engine evaluation, reply write) share
+    /// one id across processes.
+    pub fn submit_traced(&self, job: Job, trace: u64) -> JobHandle {
+        let (handle, shared) = JobHandle::new(trace);
         let queued = QueuedJob {
             job,
             shared: Arc::clone(&shared),
             ctx: Arc::clone(&self.ctx),
+            trace,
+            submitted_ns: self.engine.obs().now_ns(),
         };
         match self.queue.submit(self.id, queued) {
             SubmitOutcome::Queued => {

@@ -120,4 +120,27 @@ fn main() {
     let (engine_totals, server_report) = client.server_report().expect("server report over tcp");
     println!("engine totals:         {engine_totals}");
     println!("serving counters:      {server_report}");
+
+    // Shutdown snapshot: the wire-served metric exposition (the same text
+    // a Prometheus scrape of Request::Metrics would collect) plus the
+    // slowest spans the server recorded — queue waits, engine evaluation,
+    // reply writes, all correlated by trace id.
+    println!("\n--- metrics snapshot (Request::Metrics over tcp) ---");
+    let metrics = client.metrics().expect("metrics over tcp");
+    for line in metrics.lines().filter(|l| !l.starts_with('#')) {
+        // Elide the empty histogram buckets; keep counters and totals.
+        if !line.contains("_bucket") || !line.trim_end().ends_with(" 0") {
+            println!("{line}");
+        }
+    }
+
+    println!("\n--- slowest spans ---");
+    for span in service.obs().spans().slowest(5) {
+        println!(
+            "{:>10.3} ms  {:<20} trace={:#x}",
+            span.dur_ns as f64 / 1e6,
+            span.name,
+            span.trace
+        );
+    }
 }

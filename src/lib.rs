@@ -17,6 +17,8 @@
 //! * [`core`] — the Castor learner itself.
 //! * [`datasets`] — synthetic UW-CSE / HIV / IMDb families.
 //! * [`eval`] — cross-validated experiment harness and metrics.
+//! * [`obs`] — dependency-free observability: lock-free metrics with
+//!   Prometheus-style exposition, span tracing with Chrome-trace export.
 //! * [`service`] — the multi-session serving facade: long-lived versioned
 //!   engines over mutating databases behind a `Server → Session → Job` API.
 //! * [`rpc`] — the network front end over `service`: a dependency-free
@@ -31,6 +33,7 @@ pub use castor_engine as engine;
 pub use castor_eval as eval;
 pub use castor_learners as learners;
 pub use castor_logic as logic;
+pub use castor_obs as obs;
 pub use castor_relational as relational;
 pub use castor_rpc as rpc;
 pub use castor_service as service;

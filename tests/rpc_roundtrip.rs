@@ -513,7 +513,12 @@ fn round_robin_keeps_a_light_client_ahead_of_a_flooder() {
     let rpc = RpcServer::bind(Arc::clone(&service), "127.0.0.1:0", RpcConfig::default()).unwrap();
 
     // The flooder pipelines a deep backlog of budget-bound triangle
-    // searches (each a few milliseconds).
+    // searches (each a few milliseconds). Each submission uses a
+    // distinct example constant — the head variable is unconnected to
+    // the body, so the value never changes the search cost, but it does
+    // key the engine's exhaustion cache: identical jobs would be served
+    // from that cache near-instantly from the second one on, draining
+    // the backlog before fairness can be observed.
     let mut flooder = RpcClient::connect_with(
         rpc.local_addr(),
         "bulk",
@@ -523,11 +528,11 @@ fn round_robin_keeps_a_light_client_ahead_of_a_flooder() {
     .unwrap();
     const BACKLOG: usize = 60;
     let flood_handles: Vec<_> = (0..BACKLOG)
-        .map(|_| {
+        .map(|i| {
             flooder
                 .submit(Request::Coverage {
                     clauses: vec![triangle()],
-                    examples: vec![Tuple::from_strs(&["x"])],
+                    examples: vec![Tuple::from_strs(&[&format!("x{i}")])],
                 })
                 .unwrap()
         })
