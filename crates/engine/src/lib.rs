@@ -717,6 +717,11 @@ pub struct Engine {
     /// Cancellation token installed by the current serving job, if any;
     /// threaded into every [`EvalBudget`] the executors consume.
     cancel: Mutex<Option<Arc<AtomicBool>>>,
+    /// Deadline token installed by the current serving job, if any: a
+    /// second abort source, set by the serving layer's deadline watchdog
+    /// when the job's deadline passes. Threaded into every [`EvalBudget`]
+    /// next to the cancellation token.
+    deadline: Mutex<Option<Arc<AtomicBool>>>,
     /// Readers: evaluation entry points. Writer: [`Engine::apply`].
     gate: RwLock<()>,
     /// Instrumentation: latency histograms plus the trace id of the job
@@ -816,6 +821,7 @@ impl Engine {
             runtime: CoverageRuntime::new(&config, pool),
             eval_budget: AtomicUsize::new(config.eval_budget),
             cancel: Mutex::new(None),
+            deadline: Mutex::new(None),
             gate: RwLock::new(()),
             config,
             db: RwLock::new(db),
@@ -887,6 +893,14 @@ impl Engine {
         *self.cancel.lock().unwrap_or_else(|e| e.into_inner()) = token;
     }
 
+    /// Installs (or clears) the deadline token: set by the serving layer's
+    /// deadline watchdog when the running job's deadline passes, it aborts
+    /// in-flight coverage tests exactly like the cancellation token —
+    /// through the budget-exhaustion path, within one candidate tuple.
+    pub fn set_deadline_token(&self, token: Option<Arc<AtomicBool>>) {
+        *self.deadline.lock().unwrap_or_else(|e| e.into_inner()) = token;
+    }
+
     /// Drops every memoized coverage result (administrative reset; routine
     /// mutation invalidation is relation-targeted and automatic).
     pub fn clear_coverage_cache(&self) {
@@ -899,9 +913,13 @@ impl Engine {
     /// under the same session overrides and cancellation as this engine.
     pub fn budget_template(&self) -> EvalBudget {
         let nodes = self.current_eval_budget();
-        match &*self.cancel.lock().unwrap_or_else(|e| e.into_inner()) {
+        let budget = match &*self.cancel.lock().unwrap_or_else(|e| e.into_inner()) {
             Some(token) => EvalBudget::with_cancel(nodes, Arc::clone(token)),
             None => EvalBudget::new(nodes),
+        };
+        match &*self.deadline.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(token) => budget.with_deadline_token(Arc::clone(token)),
+            None => budget,
         }
     }
 
@@ -972,10 +990,16 @@ impl Engine {
     /// too). A merely *installed* but untriggered token keeps the tier
     /// active: serving sessions run every job with a token installed.
     fn exhaustion_scope(&self) -> Option<usize> {
-        let cancel = self.cancel.lock().unwrap_or_else(|e| e.into_inner());
-        match &*cancel {
-            Some(token) if token.load(Ordering::Relaxed) => None,
-            _ => Some(self.current_eval_budget()),
+        let tripped = |slot: &Mutex<Option<Arc<AtomicBool>>>| {
+            slot.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+                .is_some_and(|token| token.load(Ordering::Relaxed))
+        };
+        if tripped(&self.cancel) || tripped(&self.deadline) {
+            None
+        } else {
+            Some(self.current_eval_budget())
         }
     }
 

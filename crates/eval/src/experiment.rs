@@ -195,10 +195,10 @@ pub fn run_algorithm_on_variant(
         folds,
         |task| {
             session
-                .learn(LearnJob {
+                .learn(LearnJob::new(
                     task,
-                    algorithm: learn_algorithm_for(algorithm, &params, base_params),
-                })
+                    learn_algorithm_for(algorithm, &params, base_params),
+                ))
                 .expect("experiment sessions are never cancelled")
         },
         |definition, test_positive, test_negative| {

@@ -54,17 +54,20 @@ impl CoverageOutcome {
 /// A consumable node budget for one evaluation, tracking whether it ever ran
 /// dry (which downgrades a "not covered" verdict to "exhausted").
 ///
-/// A budget can additionally carry a *cancellation token* (an
-/// `Arc<AtomicBool>` shared with a serving layer): once the token is set,
-/// the next [`EvalBudget::consume`] fails exactly like an exhausted budget,
-/// so a long-running coverage job unwinds through its normal
-/// budget-exhaustion path within one candidate tuple of the cancel request.
+/// A budget can additionally carry up to two *abort tokens*
+/// (`Arc<AtomicBool>`s shared with a serving layer): a cancellation token
+/// and a deadline token. Once either is set, the next
+/// [`EvalBudget::consume`] fails exactly like an exhausted budget, so a
+/// long-running coverage job unwinds through its normal budget-exhaustion
+/// path within one candidate tuple of the cancel request (or of the
+/// deadline watchdog firing).
 #[derive(Debug, Clone)]
 pub struct EvalBudget {
     remaining: usize,
     exhausted: bool,
     cancelled: bool,
     cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    deadline: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl EvalBudget {
@@ -75,6 +78,7 @@ impl EvalBudget {
             exhausted: false,
             cancelled: false,
             cancel: None,
+            deadline: None,
         }
     }
 
@@ -89,20 +93,36 @@ impl EvalBudget {
             exhausted: false,
             cancelled: false,
             cancel: Some(cancel),
+            deadline: None,
         }
     }
 
+    /// Adds a deadline token: a second abort source, set by a deadline
+    /// watchdog rather than an explicit cancel, sharing the same
+    /// exhaustion-path unwind. Kept separate from the cancellation token so
+    /// a session cancel and a per-job deadline can coexist on one budget.
+    pub fn with_deadline_token(
+        mut self,
+        deadline: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Consumes one node; returns `false` (and records exhaustion) when the
-    /// budget has run out or the cancellation token was set. Public so
-    /// alternative executors (the compiled plans of `castor-engine`) share
-    /// the same accounting.
+    /// budget has run out or an abort token (cancel or deadline) was set.
+    /// Public so alternative executors (the compiled plans of
+    /// `castor-engine`) share the same accounting.
     pub fn consume(&mut self) -> bool {
-        if let Some(cancel) = &self.cancel {
-            if cancel.load(std::sync::atomic::Ordering::Relaxed) {
-                self.cancelled = true;
-                self.exhausted = true;
-                return false;
-            }
+        let tripped = |token: &Option<std::sync::Arc<std::sync::atomic::AtomicBool>>| {
+            token
+                .as_ref()
+                .is_some_and(|t| t.load(std::sync::atomic::Ordering::Relaxed))
+        };
+        if tripped(&self.cancel) || tripped(&self.deadline) {
+            self.cancelled = true;
+            self.exhausted = true;
+            return false;
         }
         if self.remaining == 0 {
             self.exhausted = true;
@@ -117,21 +137,24 @@ impl EvalBudget {
         self.exhausted
     }
 
-    /// Whether the search was aborted by the cancellation token (implies
-    /// [`EvalBudget::was_exhausted`]).
+    /// Whether the search was aborted by an abort token — cancellation or
+    /// deadline (implies [`EvalBudget::was_exhausted`]).
     pub fn was_cancelled(&self) -> bool {
         self.cancelled
     }
 
-    /// Whether an installed cancellation token is currently set: the next
-    /// [`EvalBudget::consume`] (of this budget or any clone of it) will
-    /// abort through the exhaustion path. Coverage engines consult this to
-    /// keep cancellation-driven aborts out of budget-keyed exhaustion
-    /// caches.
+    /// Whether an installed abort token (cancel or deadline) is currently
+    /// set: the next [`EvalBudget::consume`] (of this budget or any clone
+    /// of it) will abort through the exhaustion path. Coverage engines
+    /// consult this to keep abort-driven verdicts out of budget-keyed
+    /// exhaustion caches.
     pub fn cancel_pending(&self) -> bool {
-        self.cancel
-            .as_ref()
-            .is_some_and(|token| token.load(std::sync::atomic::Ordering::Relaxed))
+        let tripped = |token: &Option<std::sync::Arc<std::sync::atomic::AtomicBool>>| {
+            token
+                .as_ref()
+                .is_some_and(|t| t.load(std::sync::atomic::Ordering::Relaxed))
+        };
+        tripped(&self.cancel) || tripped(&self.deadline)
     }
 
     /// Nodes still available.

@@ -126,6 +126,9 @@ pub struct Obs {
     spans: Arc<SpanRing>,
     slow_job_threshold_ns: u64,
     next_trace: AtomicU64,
+    /// When set, the span ring is written there as Chrome-trace JSON on
+    /// drop (see [`Obs::dump_on_drop`]).
+    dump_path: std::sync::Mutex<Option<std::path::PathBuf>>,
 }
 
 struct SpanRingCollector(Arc<SpanRing>);
@@ -160,6 +163,7 @@ impl Obs {
             spans,
             slow_job_threshold_ns: config.slow_job_threshold.as_nanos() as u64,
             next_trace: AtomicU64::new(1),
+            dump_path: std::sync::Mutex::new(None),
         }
     }
 
@@ -290,6 +294,29 @@ impl Obs {
     pub fn trace_json(&self) -> String {
         self.spans.to_chrome_trace()
     }
+
+    /// Arms span-ring persistence: when this handle is dropped — normal
+    /// server shutdown and unwinding panics alike — the span ring is
+    /// written to `path` as Chrome-trace JSON, so a crashed server leaves
+    /// a post-mortem trace behind. Pass-through state, not a file handle:
+    /// nothing is opened until the drop. Write errors are swallowed (a
+    /// failing dump must not turn a shutdown into a panic).
+    pub fn dump_on_drop(&self, path: impl Into<std::path::PathBuf>) {
+        *self.dump_path.lock().unwrap_or_else(|e| e.into_inner()) = Some(path.into());
+    }
+}
+
+impl Drop for Obs {
+    fn drop(&mut self) {
+        let path = self
+            .dump_path
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(path) = path {
+            let _ = std::fs::write(path, self.spans.to_chrome_trace());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +361,32 @@ mod tests {
         assert_ne!(a, b);
         assert!(a & LOCAL_TRACE_BIT != 0);
         assert!(b & LOCAL_TRACE_BIT != 0);
+    }
+
+    #[test]
+    fn dump_on_drop_writes_chrome_trace_json() {
+        let path = std::env::temp_dir().join(format!(
+            "castor-obs-dump-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let obs = Obs::new(ObsConfig::default());
+            obs.span("post-mortem", 1, 0);
+            obs.dump_on_drop(&path);
+        }
+        let dumped = std::fs::read_to_string(&path).expect("drop wrote the trace file");
+        assert!(dumped.contains("traceEvents"), "{dumped}");
+        assert!(dumped.contains("post-mortem"), "{dumped}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn undumped_obs_drops_without_touching_the_filesystem() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.span("quiet", 1, 0);
+        drop(obs); // no dump path set: nothing to assert beyond "no panic"
     }
 
     #[test]

@@ -207,11 +207,22 @@ pub trait Collect: Send + Sync {
     fn collect(&self, exp: &mut Exposition);
 }
 
+/// One registered histogram series: a metric name plus a (possibly empty)
+/// label set. Two series may share a name with different labels — the
+/// per-database latency histograms do — and the exposition emits one
+/// `# TYPE` header for the name with one sample family per label set.
+struct HistogramEntry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    hist: Arc<Histogram>,
+}
+
 #[derive(Default)]
 struct RegistryInner {
     counters: Vec<(String, String, Arc<Counter>)>,
     gauges: Vec<(String, String, Arc<Gauge>)>,
-    histograms: Vec<(String, String, Arc<Histogram>)>,
+    histograms: Vec<HistogramEntry>,
     collectors: Vec<Box<dyn Collect>>,
 }
 
@@ -270,16 +281,43 @@ impl Registry {
         g
     }
 
-    /// The histogram registered under `name`, creating it on first use.
+    /// The unlabeled histogram registered under `name`, creating it on
+    /// first use.
     pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.labeled_histogram(name, help, &[])
+    }
+
+    /// The histogram registered under `name` with exactly `labels`,
+    /// creating it on first use. Idempotent on the `(name, labels)` pair:
+    /// each label set of one name is its own series (the per-database
+    /// queue-wait/run-time histograms are keyed `{db="..."}` this way).
+    pub fn labeled_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
         let mut inner = self.inner.lock().unwrap();
-        if let Some((_, _, h)) = inner.histograms.iter().find(|(n, _, _)| n == name) {
-            return Arc::clone(h);
+        if let Some(entry) = inner.histograms.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2)
+        }) {
+            return Arc::clone(&entry.hist);
         }
         let h = Arc::new(Histogram::new());
-        inner
-            .histograms
-            .push((name.to_string(), help.to_string(), Arc::clone(&h)));
+        inner.histograms.push(HistogramEntry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            hist: Arc::clone(&h),
+        });
         h
     }
 
@@ -299,8 +337,13 @@ impl Registry {
         for (name, help, g) in &inner.gauges {
             exp.gauge(name, help, &[], g.get());
         }
-        for (name, help, h) in &inner.histograms {
-            exp.histogram(name, help, &[], &h.snapshot());
+        for entry in &inner.histograms {
+            let labels: Vec<(&str, &str)> = entry
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            exp.histogram(&entry.name, &entry.help, &labels, &entry.hist.snapshot());
         }
         for collector in &inner.collectors {
             collector.collect(&mut exp);
@@ -519,6 +562,37 @@ mod tests {
         );
         assert!(text.contains("castor_db_tests_total{db=\"a\"} 1"), "{text}");
         assert!(text.contains("castor_db_tests_total{db=\"b\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn labeled_histograms_are_distinct_series_under_one_type_header() {
+        let reg = Registry::new();
+        let a = reg.labeled_histogram("castor_wait_ns", "wait", &[("db", "imdb")]);
+        let b = reg.labeled_histogram("castor_wait_ns", "wait", &[("db", "uwcse")]);
+        let a2 = reg.labeled_histogram("castor_wait_ns", "wait", &[("db", "imdb")]);
+        a.record_ns(10);
+        a2.record_ns(10);
+        b.record_ns(1_000);
+        assert_eq!(a.count(), 2, "same (name, labels) shares one series");
+        assert_eq!(b.count(), 1);
+        let text = reg.expose();
+        assert_eq!(
+            text.matches("# TYPE castor_wait_ns histogram").count(),
+            1,
+            "{text}"
+        );
+        assert!(
+            text.contains("castor_wait_ns_count{db=\"imdb\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("castor_wait_ns_count{db=\"uwcse\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("castor_wait_ns_bucket{db=\"imdb\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -21,14 +21,82 @@ use castor_service::{LearnAlgorithm, ServerReport};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io::BufWriter;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Connection knobs for [`RpcClient`]. The defaults are conservative for
+/// a well-behaved LAN: a bounded connect, unbounded reads/writes (jobs
+/// can legitimately run long). Chaos and retry setups should set the
+/// read timeout so a stalled or half-dead server turns into a typed
+/// [`RpcError::Timeout`] instead of a hang.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Cap on TCP connection establishment (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Cap on one blocking socket read (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Cap on one blocking socket write (`None` = wait forever).
+    pub write_timeout: Option<Duration>,
+    /// Cap on received frames (servers enforce their own for requests).
+    pub max_frame_bytes: usize,
+    /// Per-session node-budget override sent in `Hello`.
+    pub eval_budget: Option<usize>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: None,
+            write_timeout: None,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            eval_budget: None,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Sets the connect timeout (builder style).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the per-read socket timeout (builder style).
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the per-write socket timeout (builder style).
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the received-frame cap (builder style).
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: usize) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+
+    /// Sets the per-session node-budget override (builder style).
+    pub fn with_eval_budget(mut self, budget: usize) -> Self {
+        self.eval_budget = Some(budget);
+        self
+    }
+}
 
 /// Why a client call failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RpcError {
     /// The socket failed or closed mid-exchange.
     Io(String),
+    /// A socket operation exceeded its configured timeout (connect, read,
+    /// or write) — distinct from [`RpcError::Io`] because a timeout on an
+    /// idempotent request is safely retryable.
+    Timeout(String),
     /// A frame or payload could not be decoded locally.
     Malformed(String),
     /// The server answered with a typed error frame.
@@ -39,9 +107,28 @@ pub enum RpcError {
         limit: usize,
         /// The server's message.
         message: String,
+        /// Load-aware backoff hint for rejections (0 = none); retrying
+        /// clients sleep at least this long before the next attempt.
+        retry_after_ms: u64,
     },
     /// The server answered with a response of the wrong shape.
     UnexpectedResponse(String),
+    /// A retrying client gave up: every attempt inside its budget failed.
+    /// `last` is the final attempt's error.
+    RetryExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error that ended the last attempt.
+        last: Box<RpcError>,
+    },
+    /// A non-idempotent request (mutation, learn) failed *after* it was
+    /// sent: the server may or may not have applied it, and retrying
+    /// could double-apply. The caller must reconcile — e.g. compare
+    /// mutation epochs via a server report — before resubmitting.
+    Ambiguous {
+        /// What failed, for the human reading the log.
+        message: String,
+    },
 }
 
 impl RpcError {
@@ -68,18 +155,54 @@ impl RpcError {
             }
         )
     }
+
+    /// Whether the job's deadline expired server-side.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(
+            self,
+            RpcError::Remote {
+                code: ErrorCode::DeadlineExceeded,
+                ..
+            }
+        )
+    }
+
+    /// Whether retrying this error on a fresh connection is safe *for an
+    /// idempotent request*: transport failures, timeouts, torn frames,
+    /// and load-shedding rejections qualify; typed semantic errors (bad
+    /// request, unknown database, deadline exceeded) do not — the retry
+    /// would fail identically.
+    pub fn is_retryable_for_idempotent(&self) -> bool {
+        match self {
+            RpcError::Io(_) | RpcError::Timeout(_) | RpcError::Malformed(_) => true,
+            RpcError::Remote { .. } => self.is_admission_rejection(),
+            RpcError::UnexpectedResponse(_)
+            | RpcError::RetryExhausted { .. }
+            | RpcError::Ambiguous { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for RpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RpcError::Io(msg) => write!(f, "rpc transport failed: {msg}"),
+            RpcError::Timeout(msg) => write!(f, "rpc timed out: {msg}"),
             RpcError::Malformed(msg) => write!(f, "rpc frame malformed: {msg}"),
             RpcError::Remote { code, message, .. } => {
                 write!(f, "server error ({code:?}): {message}")
             }
             RpcError::UnexpectedResponse(what) => {
                 write!(f, "server sent an unexpected response: {what}")
+            }
+            RpcError::RetryExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+            RpcError::Ambiguous { message } => {
+                write!(
+                    f,
+                    "request outcome ambiguous (may or may not have been applied): {message}"
+                )
             }
         }
     }
@@ -90,6 +213,14 @@ impl std::error::Error for RpcError {}
 impl From<FrameError> for RpcError {
     fn from(error: FrameError) -> Self {
         match error {
+            FrameError::Io(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                RpcError::Timeout(e.to_string())
+            }
             FrameError::Io(e) => RpcError::Io(e.to_string()),
             FrameError::Closed => RpcError::Io("connection closed".to_string()),
             FrameError::TooLarge { .. } | FrameError::Malformed(_) | FrameError::Version { .. } => {
@@ -137,7 +268,7 @@ impl RpcClient {
     /// Connects and opens a session on `database` with the server's
     /// default evaluation budget.
     pub fn connect(addr: impl ToSocketAddrs, database: &str) -> Result<RpcClient, RpcError> {
-        RpcClient::connect_with(addr, database, None, DEFAULT_MAX_FRAME_BYTES)
+        RpcClient::connect_config(addr, database, &ClientConfig::default())
     }
 
     /// [`RpcClient::connect`] with a per-session node-budget override and
@@ -149,8 +280,32 @@ impl RpcClient {
         eval_budget: Option<usize>,
         max_frame_bytes: usize,
     ) -> Result<RpcClient, RpcError> {
-        let stream = TcpStream::connect(addr).map_err(|e| RpcError::Io(e.to_string()))?;
+        let config = ClientConfig {
+            eval_budget,
+            max_frame_bytes,
+            ..ClientConfig::default()
+        };
+        RpcClient::connect_config(addr, database, &config)
+    }
+
+    /// [`RpcClient::connect`] under explicit [`ClientConfig`] knobs:
+    /// connect/read/write timeouts, frame cap, budget override. Timeouts
+    /// surface as [`RpcError::Timeout`], which a retry layer treats as
+    /// safely retryable for idempotent requests.
+    pub fn connect_config(
+        addr: impl ToSocketAddrs,
+        database: &str,
+        config: &ClientConfig,
+    ) -> Result<RpcClient, RpcError> {
+        let stream = connect_stream(addr, config.connect_timeout)?;
         let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(config.read_timeout)
+            .map_err(|e| RpcError::Io(e.to_string()))?;
+        stream
+            .set_write_timeout(config.write_timeout)
+            .map_err(|e| RpcError::Io(e.to_string()))?;
+        let (eval_budget, max_frame_bytes) = (config.eval_budget, config.max_frame_bytes);
         let reader = stream
             .try_clone()
             .map_err(|e| RpcError::Io(e.to_string()))?;
@@ -218,10 +373,12 @@ impl RpcClient {
                         code,
                         limit,
                         message,
+                        retry_after_ms,
                     } => Err(RpcError::Remote {
                         code,
                         limit,
                         message,
+                        retry_after_ms,
                     }),
                     other => Ok(other),
                 };
@@ -244,7 +401,24 @@ impl RpcClient {
         clauses: Vec<Clause>,
         examples: Vec<Tuple>,
     ) -> Result<Vec<HashSet<Tuple>>, RpcError> {
-        match self.request(Request::Coverage { clauses, examples })? {
+        self.covered_sets_deadline(clauses, examples, None)
+    }
+
+    /// [`RpcClient::covered_sets`] with a relative deadline: the server
+    /// sheds the job (never touching the engine) if it is still queued
+    /// when the deadline passes, and aborts it mid-run otherwise —
+    /// either way the call fails with [`ErrorCode::DeadlineExceeded`].
+    pub fn covered_sets_deadline(
+        &mut self,
+        clauses: Vec<Clause>,
+        examples: Vec<Tuple>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<HashSet<Tuple>>, RpcError> {
+        match self.request(Request::Coverage {
+            clauses,
+            examples,
+            deadline_ms,
+        })? {
             Response::Covered(sets) => Ok(sets),
             other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
         }
@@ -262,6 +436,7 @@ impl RpcClient {
             clauses,
             positive,
             negative,
+            deadline_ms: None,
         })? {
             Response::Scores(counts) => Ok(counts),
             other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
@@ -275,7 +450,24 @@ impl RpcClient {
         task: LearningTask,
         algorithm: LearnAlgorithm,
     ) -> Result<Definition, RpcError> {
-        match self.request(Request::Learn { task, algorithm })? {
+        self.learn_deadline(task, algorithm, None)
+    }
+
+    /// [`RpcClient::learn`] with a relative deadline (see
+    /// [`RpcClient::covered_sets_deadline`]): a deadline firing mid-learn
+    /// aborts at the learner's next coverage test and the call fails with
+    /// [`ErrorCode::DeadlineExceeded`] instead of a partial definition.
+    pub fn learn_deadline(
+        &mut self,
+        task: LearningTask,
+        algorithm: LearnAlgorithm,
+        deadline_ms: Option<u64>,
+    ) -> Result<Definition, RpcError> {
+        match self.request(Request::Learn {
+            task,
+            algorithm,
+            deadline_ms,
+        })? {
             Response::Learned(definition) => Ok(definition),
             other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
         }
@@ -329,5 +521,46 @@ impl RpcClient {
     /// the `castor_rpc_encode_ns` / `castor_rpc_roundtrip_ns` histograms.
     pub fn obs(&self) -> &Arc<Obs> {
         &self.obs
+    }
+
+    /// Whether any request has been written on this connection since the
+    /// session opened (the Hello exchange itself does not count). A retry
+    /// layer uses this to classify connection failures: a failure with
+    /// nothing in flight is safely retryable even for mutations.
+    pub fn has_inflight(&self) -> bool {
+        !self.started.is_empty() || !self.pending.is_empty()
+    }
+}
+
+/// Resolves `addr` and connects, honoring the connect timeout per
+/// candidate address. `TcpStream::connect_timeout` takes a single
+/// `SocketAddr`, so resolution happens here.
+fn connect_stream(
+    addr: impl ToSocketAddrs,
+    timeout: Option<Duration>,
+) -> Result<TcpStream, RpcError> {
+    let addrs: Vec<SocketAddr> = addr
+        .to_socket_addrs()
+        .map_err(|e| RpcError::Io(e.to_string()))?
+        .collect();
+    if addrs.is_empty() {
+        return Err(RpcError::Io("address resolved to nothing".to_string()));
+    }
+    let mut last = None;
+    for candidate in addrs {
+        let attempt = match timeout {
+            Some(t) => TcpStream::connect_timeout(&candidate, t),
+            None => TcpStream::connect(candidate),
+        };
+        match attempt {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+    }
+    let e = last.expect("at least one candidate was tried");
+    if e.kind() == std::io::ErrorKind::TimedOut || e.kind() == std::io::ErrorKind::WouldBlock {
+        Err(RpcError::Timeout(e.to_string()))
+    } else {
+        Err(RpcError::Io(e.to_string()))
     }
 }

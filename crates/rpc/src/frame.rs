@@ -121,6 +121,9 @@ pub enum ErrorCode {
     Panicked = 9,
     /// A request arrived before `Hello`, or a second `Hello`.
     Protocol = 10,
+    /// The job's deadline expired before or during execution (shed from
+    /// the queue, or aborted mid-run through the cancel-token path).
+    DeadlineExceeded = 11,
 }
 
 impl ErrorCode {
@@ -136,6 +139,7 @@ impl ErrorCode {
             8 => ErrorCode::Mutation,
             9 => ErrorCode::Panicked,
             10 => ErrorCode::Protocol,
+            11 => ErrorCode::DeadlineExceeded,
             other => return Err(CodecError::new(format!("invalid error code {other}"))),
         })
     }
@@ -158,6 +162,11 @@ pub enum Request {
         clauses: Vec<Clause>,
         /// Examples to test.
         examples: Vec<Tuple>,
+        /// Relative deadline in milliseconds, re-anchored to the server's
+        /// clock on arrival (gRPC-style timeout propagation). Encoded as a
+        /// trailing field only when present, so frames without one are
+        /// byte-identical to the previous wire format.
+        deadline_ms: Option<u64>,
     },
     /// [`castor_service::ScoreJob`] over the wire.
     Score {
@@ -167,6 +176,8 @@ pub enum Request {
         positive: Vec<Tuple>,
         /// Negative examples.
         negative: Vec<Tuple>,
+        /// Relative deadline in milliseconds (see [`Request::Coverage`]).
+        deadline_ms: Option<u64>,
     },
     /// [`castor_service::LearnJob`] over the wire.
     Learn {
@@ -174,6 +185,8 @@ pub enum Request {
         task: LearningTask,
         /// The learner to run.
         algorithm: LearnAlgorithm,
+        /// Relative deadline in milliseconds (see [`Request::Coverage`]).
+        deadline_ms: Option<u64>,
     },
     /// A mutation batch against the session's database.
     Mutate(MutationBatch),
@@ -214,22 +227,34 @@ impl Request {
                 w.put_str(database);
                 eval_budget.encode(w);
             }
-            Request::Coverage { clauses, examples } => {
+            Request::Coverage {
+                clauses,
+                examples,
+                deadline_ms,
+            } => {
                 clauses.encode(w);
                 examples.encode(w);
+                put_trailing_uvarint(w, *deadline_ms);
             }
             Request::Score {
                 clauses,
                 positive,
                 negative,
+                deadline_ms,
             } => {
                 clauses.encode(w);
                 positive.encode(w);
                 negative.encode(w);
+                put_trailing_uvarint(w, *deadline_ms);
             }
-            Request::Learn { task, algorithm } => {
+            Request::Learn {
+                task,
+                algorithm,
+                deadline_ms,
+            } => {
                 task.encode(w);
                 algorithm.encode(w);
+                put_trailing_uvarint(w, *deadline_ms);
             }
             Request::Mutate(batch) => batch.encode(w),
             Request::Report | Request::ServerReport | Request::Metrics | Request::TraceDump => {}
@@ -245,15 +270,18 @@ impl Request {
             0x02 => Request::Coverage {
                 clauses: Vec::<Clause>::decode(r)?,
                 examples: Vec::<Tuple>::decode(r)?,
+                deadline_ms: take_trailing_uvarint(r)?,
             },
             0x03 => Request::Score {
                 clauses: Vec::<Clause>::decode(r)?,
                 positive: Vec::<Tuple>::decode(r)?,
                 negative: Vec::<Tuple>::decode(r)?,
+                deadline_ms: take_trailing_uvarint(r)?,
             },
             0x04 => Request::Learn {
                 task: LearningTask::decode(r)?,
                 algorithm: LearnAlgorithm::decode(r)?,
+                deadline_ms: take_trailing_uvarint(r)?,
             },
             0x05 => Request::Mutate(MutationBatch::decode(r)?),
             0x06 => Request::Report,
@@ -262,6 +290,25 @@ impl Request {
             0x09 => Request::TraceDump,
             other => return Err(CodecError::new(format!("invalid request kind {other}"))),
         })
+    }
+}
+
+/// Encodes an optional u64 as a trailing payload field: an absent value
+/// adds no bytes, so frames without it are byte-identical to the previous
+/// wire format (version-tolerant extension — the deadline and retry-after
+/// fields ride on this).
+fn put_trailing_uvarint(w: &mut ByteWriter, value: Option<u64>) {
+    if let Some(v) = value {
+        w.put_uvarint(v);
+    }
+}
+
+/// Decodes a trailing u64 field if the payload carries one.
+fn take_trailing_uvarint(r: &mut ByteReader<'_>) -> Result<Option<u64>, CodecError> {
+    if r.is_exhausted() {
+        Ok(None)
+    } else {
+        Ok(Some(r.get_uvarint()?))
     }
 }
 
@@ -299,6 +346,12 @@ pub enum Response {
         limit: usize,
         /// Human-readable context.
         message: String,
+        /// Load-aware backoff hint in milliseconds (0 = none): how long
+        /// the client should wait before retrying, derived from the
+        /// server's queue depth at rejection time. Encoded as a trailing
+        /// field only when nonzero, keeping hint-free error frames
+        /// byte-identical to the previous wire format.
+        retry_after_ms: u64,
     },
 }
 
@@ -335,10 +388,14 @@ impl Response {
                 code,
                 limit,
                 message,
+                retry_after_ms,
             } => {
                 w.put_u8(*code as u8);
                 w.put_usize(*limit);
                 w.put_str(message);
+                if *retry_after_ms != 0 {
+                    w.put_uvarint(*retry_after_ms);
+                }
             }
         }
     }
@@ -361,6 +418,7 @@ impl Response {
                 code: ErrorCode::from_u8(r.get_u8()?)?,
                 limit: r.get_usize()?,
                 message: r.get_str()?,
+                retry_after_ms: take_trailing_uvarint(r)?.unwrap_or(0),
             },
             other => return Err(CodecError::new(format!("invalid response kind {other}"))),
         })
@@ -375,21 +433,34 @@ impl Response {
                 code: ErrorCode::Cancelled,
                 limit: 0,
                 message,
+                retry_after_ms: 0,
             },
-            JobError::Rejected { limit } => Response::Error {
+            JobError::Rejected {
+                limit,
+                retry_after_ms,
+            } => Response::Error {
                 code: ErrorCode::Rejected,
                 limit,
                 message,
+                retry_after_ms,
+            },
+            JobError::DeadlineExceeded => Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                limit: 0,
+                message,
+                retry_after_ms: 0,
             },
             JobError::Mutation(inner) => Response::Error {
                 code: ErrorCode::Mutation,
                 limit: 0,
                 message: inner.to_string(),
+                retry_after_ms: 0,
             },
             JobError::Panicked(msg) => Response::Error {
                 code: ErrorCode::Panicked,
                 limit: 0,
                 message: msg,
+                retry_after_ms: 0,
             },
         }
     }
@@ -565,6 +636,12 @@ mod tests {
         roundtrip_request(Request::Coverage {
             clauses: vec![Clause::fact(Atom::vars("t", &["x"]))],
             examples: vec![Tuple::from_strs(&["a"])],
+            deadline_ms: None,
+        });
+        roundtrip_request(Request::Coverage {
+            clauses: vec![Clause::fact(Atom::vars("t", &["x"]))],
+            examples: vec![Tuple::from_strs(&["a"])],
+            deadline_ms: Some(2_500),
         });
         roundtrip_request(Request::Report);
         roundtrip_request(Request::Mutate(
@@ -584,6 +661,13 @@ mod tests {
             code: ErrorCode::Rejected,
             limit: 4,
             message: "queue full".into(),
+            retry_after_ms: 40,
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::DeadlineExceeded,
+            limit: 0,
+            message: "deadline exceeded".into(),
+            retry_after_ms: 0,
         });
         roundtrip_response(Response::ServerReport {
             engine: EngineReport::default(),
@@ -593,6 +677,63 @@ mod tests {
             "# HELP castor_jobs_submitted_total jobs\ncastor_jobs_submitted_total 3\n".into(),
         ));
         roundtrip_response(Response::TraceDump("{\"traceEvents\":[]}".into()));
+    }
+
+    #[test]
+    fn trailing_deadline_and_hint_fields_are_version_tolerant() {
+        // A deadline-free request must be byte-identical to the pre-deadline
+        // wire format: the trailing field is simply absent, so old peers
+        // that stop reading at `examples` still parse the frame, and old
+        // frames (with nothing after `examples`) decode to `None` here.
+        let base = Request::Coverage {
+            clauses: vec![Clause::fact(Atom::vars("t", &["x"]))],
+            examples: vec![Tuple::from_strs(&["a"])],
+            deadline_ms: None,
+        };
+        let with_deadline = Request::Coverage {
+            clauses: vec![Clause::fact(Atom::vars("t", &["x"]))],
+            examples: vec![Tuple::from_strs(&["a"])],
+            deadline_ms: Some(1_000),
+        };
+        let base_bytes = request_to_bytes(1, &base);
+        let deadline_bytes = request_to_bytes(1, &with_deadline);
+        assert!(deadline_bytes.len() > base_bytes.len());
+        // Past the 4-byte length prefix the deadline-carrying frame is the
+        // base frame plus trailing bytes — the extension is purely
+        // appended, never reshuffles existing fields.
+        assert_eq!(&deadline_bytes[4..base_bytes.len()], &base_bytes[4..]);
+        let (_, decoded) =
+            read_request(&mut base_bytes.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(decoded, base);
+
+        // Same rule on the response side: a zero retry-after hint encodes
+        // to nothing, keeping error frames identical to the old layout.
+        let mut no_hint = Vec::new();
+        write_response(
+            &mut no_hint,
+            2,
+            &Response::Error {
+                code: ErrorCode::Rejected,
+                limit: 4,
+                message: "q".into(),
+                retry_after_ms: 0,
+            },
+        )
+        .unwrap();
+        let mut hinted = Vec::new();
+        write_response(
+            &mut hinted,
+            2,
+            &Response::Error {
+                code: ErrorCode::Rejected,
+                limit: 4,
+                message: "q".into(),
+                retry_after_ms: 40,
+            },
+        )
+        .unwrap();
+        assert!(hinted.len() > no_hint.len());
+        assert_eq!(&hinted[4..no_hint.len()], &no_hint[4..]);
     }
 
     #[test]

@@ -23,7 +23,14 @@
 //!   candidate tuple, the admission slot is reclaimed);
 //! * [`client`] — [`RpcClient`]: a blocking client with pipelined
 //!   submits, mirroring the in-process `Session` API shape so callers
-//!   can swap transports.
+//!   can swap transports;
+//! * [`retry`] — [`RetryClient`]: a reconnecting wrapper that replays
+//!   idempotent requests under backoff with decorrelated jitter and
+//!   refuses to replay mutations/learns after send (typed
+//!   [`RpcError::Ambiguous`] instead of double-applying);
+//! * [`fault`] — [`FaultPlan`]: a deterministic, seeded fault-injection
+//!   hook on the server transport (torn writes, dropped/delayed reads,
+//!   byte-exact socket closes) driving the chaos suite.
 //!
 //! ## Observability
 //!
@@ -66,12 +73,16 @@
 
 pub mod client;
 pub mod codec;
+pub mod fault;
 pub mod frame;
+pub mod retry;
 pub mod server;
 
-pub use client::{RpcClient, RpcError, RpcHandle};
+pub use client::{ClientConfig, RpcClient, RpcError, RpcHandle};
 pub use codec::{ByteReader, ByteWriter, CodecError, Wire};
+pub use fault::{FaultAction, FaultKind, FaultPlan, FaultStats, FaultStream};
 pub use frame::{
     ErrorCode, FrameError, Request, Response, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+pub use retry::{RetryClient, RetryPolicy};
 pub use server::{RpcConfig, RpcServer};

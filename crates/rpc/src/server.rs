@@ -24,13 +24,15 @@
 //!    fast, the running job aborts within one candidate tuple, and the
 //!    session (and its admission slot) is reclaimed.
 
+use crate::fault::{register_fault_collector, FaultPlan, FaultStats, FaultStream};
 use crate::frame::{
     read_request_tagged, write_response, ErrorCode, FrameError, Request, Response,
     DEFAULT_MAX_FRAME_BYTES,
 };
 use castor_obs::Obs;
 use castor_service::{
-    CoverageJob, Job, JobHandle, JobResult, LearnJob, ScoreJob, Server, ServerError, Session,
+    CoverageJob, Deadline, Job, JobHandle, JobResult, LearnJob, ScoreJob, Server, ServerError,
+    Session,
 };
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -38,6 +40,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// RPC front-end knobs.
 #[derive(Debug, Clone)]
@@ -45,12 +48,19 @@ pub struct RpcConfig {
     /// Cap on one frame's declared length; larger frames are rejected
     /// with [`ErrorCode::FrameTooLarge`] before any allocation.
     pub max_frame_bytes: usize,
+    /// Deterministic fault schedule for chaos testing (`None` in
+    /// production): accepted connections are wrapped in
+    /// [`FaultStream`]s armed from this plan by accept order, and every
+    /// fired fault is counted in the server's
+    /// `castor_fault_injected_total{kind=...}` metric family.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RpcConfig {
     fn default() -> Self {
         RpcConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            fault_plan: None,
         }
     }
 }
@@ -59,6 +69,12 @@ impl RpcConfig {
     /// Returns a copy with the given frame cap.
     pub fn with_max_frame_bytes(mut self, max_frame_bytes: usize) -> Self {
         self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+
+    /// Returns a copy with a fault schedule armed (chaos testing).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -72,6 +88,7 @@ pub struct RpcServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    fault_stats: Arc<FaultStats>,
 }
 
 impl std::fmt::Debug for RpcServer {
@@ -93,12 +110,19 @@ impl RpcServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let fault_stats = Arc::new(FaultStats::default());
+        if config.fault_plan.is_some() {
+            // Fault counters only appear in the exposition when a plan is
+            // armed — production scrapes stay free of chaos-only series.
+            register_fault_collector(service.obs(), Arc::clone(&fault_stats));
+        }
         let acceptor = {
             let service = Arc::clone(&service);
             let shutdown = Arc::clone(&shutdown);
+            let fault_stats = Arc::clone(&fault_stats);
             std::thread::Builder::new()
                 .name("castor-rpc-acceptor".to_string())
-                .spawn(move || accept_loop(listener, service, config, shutdown))
+                .spawn(move || accept_loop(listener, service, config, shutdown, fault_stats))
                 .expect("failed to spawn acceptor thread")
         };
         Ok(RpcServer {
@@ -106,6 +130,7 @@ impl RpcServer {
             addr,
             shutdown,
             acceptor: Some(acceptor),
+            fault_stats,
         })
     }
 
@@ -118,6 +143,13 @@ impl RpcServer {
     /// inspection: engine reports, server counters).
     pub fn service(&self) -> &Arc<Server> {
         &self.service
+    }
+
+    /// How often each fault kind of the armed [`FaultPlan`] actually
+    /// fired (all zeros without a plan). Ground truth for chaos suites:
+    /// must match the `castor_fault_injected_total` metric family.
+    pub fn fault_stats(&self) -> &Arc<FaultStats> {
+        &self.fault_stats
     }
 }
 
@@ -137,12 +169,24 @@ fn accept_loop(
     service: Arc<Server>,
     config: RpcConfig,
     shutdown: Arc<AtomicBool>,
+    fault_stats: Arc<FaultStats>,
 ) {
+    let mut conn_index: u64 = 0;
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
         let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        // Connections are armed with their fault schedule by accept
+        // order: deterministic plans target "the first connection"
+        // regardless of OS-level accept timing.
+        let fault_state = config
+            .fault_plan
+            .as_ref()
+            .and_then(|plan| plan.arm(conn_index, &fault_stats));
+        conn_index += 1;
+        let stream = FaultStream::new(stream, fault_state);
         let service = Arc::clone(&service);
         let config = config.clone();
         let _ = std::thread::Builder::new()
@@ -165,9 +209,11 @@ enum Outbound {
 /// Serves one connection to completion. Errors end the connection; the
 /// session (dropped at the end of this function) releases its admission
 /// slot, and its cancel token aborts whatever was still running.
-fn serve_connection(stream: TcpStream, service: Arc<Server>, config: RpcConfig) {
-    let _ = stream.set_nodelay(true);
-    let mut reader = stream.try_clone().expect("tcp clone");
+fn serve_connection(stream: FaultStream, service: Arc<Server>, config: RpcConfig) {
+    let mut reader = match stream.try_clone() {
+        Ok(reader) => reader,
+        Err(_) => return,
+    };
     let writer = stream;
 
     // Handshake: the first frame must be a well-formed Hello for a
@@ -201,8 +247,8 @@ fn serve_connection(stream: TcpStream, service: Arc<Server>, config: RpcConfig) 
 
 /// Performs the Hello exchange; `None` means the connection is done.
 fn handshake(
-    reader: &mut TcpStream,
-    writer: &TcpStream,
+    reader: &mut FaultStream,
+    writer: &FaultStream,
     service: &Arc<Server>,
     config: &RpcConfig,
 ) -> Option<Session> {
@@ -218,6 +264,7 @@ fn handshake(
                         code,
                         limit,
                         message,
+                        retry_after_ms: 0,
                     },
                 );
             }
@@ -236,6 +283,7 @@ fn handshake(
                 code: ErrorCode::Protocol,
                 limit: 0,
                 message: "first frame must be Hello".to_string(),
+                retry_after_ms: 0,
             },
         );
         return None;
@@ -255,6 +303,7 @@ fn handshake(
                     code,
                     limit,
                     message: error.to_string(),
+                    retry_after_ms: 0,
                 },
             );
             return None;
@@ -286,7 +335,7 @@ fn frame_error_response(error: &FrameError) -> Option<(ErrorCode, usize, String)
 /// Parses request frames and feeds the writer until the client
 /// disconnects or sends something unrecoverable.
 fn read_loop(
-    reader: &mut TcpStream,
+    reader: &mut FaultStream,
     service: &Arc<Server>,
     session: &Arc<Session>,
     config: &RpcConfig,
@@ -306,6 +355,7 @@ fn read_loop(
                             code,
                             limit,
                             message,
+                            retry_after_ms: 0,
                         },
                     ));
                 }
@@ -321,38 +371,60 @@ fn read_loop(
                     code: ErrorCode::Protocol,
                     limit: 0,
                     message: "session already open".to_string(),
+                    retry_after_ms: 0,
                 },
             ),
             // Jobs are submitted under the frame's request id as their
             // trace id, so every span the job produces server-side (queue
             // wait, engine evaluation, reply write) correlates with the
-            // client's own spans for the same request.
-            Request::Coverage { clauses, examples } => Outbound::Job(
-                request_id,
-                session.submit_traced(Job::Coverage(CoverageJob { clauses, examples }), request_id),
-            ),
+            // client's own spans for the same request. A wire deadline is
+            // relative (milliseconds of patience the client has left) and
+            // re-anchored to this server's clock here, on arrival — the
+            // two hosts' clocks never need to agree.
+            Request::Coverage {
+                clauses,
+                examples,
+                deadline_ms,
+            } => {
+                let job =
+                    with_wire_deadline(CoverageJob::new(clauses, examples), deadline_ms, |j, d| {
+                        j.with_deadline(d)
+                    });
+                Outbound::Job(
+                    request_id,
+                    session.submit_traced(Job::Coverage(job), request_id),
+                )
+            }
             Request::Score {
                 clauses,
                 positive,
                 negative,
-            } => Outbound::Job(
-                request_id,
-                session.submit_traced(
-                    Job::Score(ScoreJob {
-                        clauses,
-                        positive,
-                        negative,
-                    }),
+                deadline_ms,
+            } => {
+                let job = with_wire_deadline(
+                    ScoreJob::new(clauses, positive, negative),
+                    deadline_ms,
+                    |j, d| j.with_deadline(d),
+                );
+                Outbound::Job(
                     request_id,
-                ),
-            ),
-            Request::Learn { task, algorithm } => Outbound::Job(
-                request_id,
-                session.submit_traced(
-                    Job::Learn(Box::new(LearnJob { task, algorithm })),
+                    session.submit_traced(Job::Score(job), request_id),
+                )
+            }
+            Request::Learn {
+                task,
+                algorithm,
+                deadline_ms,
+            } => {
+                let job =
+                    with_wire_deadline(LearnJob::new(task, algorithm), deadline_ms, |j, d| {
+                        j.with_deadline(d)
+                    });
+                Outbound::Job(
                     request_id,
-                ),
-            ),
+                    session.submit_traced(Job::Learn(Box::new(job)), request_id),
+                )
+            }
             Request::Mutate(batch) => Outbound::Job(
                 request_id,
                 session.submit_traced(Job::Mutate(batch), request_id),
@@ -418,7 +490,20 @@ fn read_loop(
 /// `castor_rpc_reply_encode_ns` and recorded as an `rpc.server.reply`
 /// span under the request's trace id, closing the server-side half of a
 /// wire job's trace (queue wait → engine eval → reply).
-fn write_loop(stream: TcpStream, rx: Receiver<Outbound>, obs: Arc<Obs>) {
+/// Applies a wire deadline to a job through its builder, when one rode
+/// along on the frame.
+fn with_wire_deadline<J>(
+    job: J,
+    deadline_ms: Option<u64>,
+    attach: impl FnOnce(J, Deadline) -> J,
+) -> J {
+    match deadline_ms {
+        Some(ms) => attach(job, Deadline::within(Duration::from_millis(ms))),
+        None => job,
+    }
+}
+
+fn write_loop(stream: FaultStream, rx: Receiver<Outbound>, obs: Arc<Obs>) {
     let reply_ns = obs.registry().histogram(
         "castor_rpc_reply_encode_ns",
         "Nanoseconds spent encoding and writing one response frame.",

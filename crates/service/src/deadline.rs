@@ -1,0 +1,216 @@
+//! Per-job deadlines and the watchdog that enforces them mid-run.
+//!
+//! A [`Deadline`] is an absolute point in time attached to an evaluation
+//! job ([`crate::CoverageJob`], [`crate::ScoreJob`], [`crate::LearnJob`]).
+//! The serving layer enforces it at two points:
+//!
+//! * **queue shed** — a job whose deadline has already passed when the
+//!   runner pops it completes with [`crate::JobError::DeadlineExceeded`]
+//!   without ever touching the engine;
+//! * **mid-run abort** — before executing a deadlined job the runner
+//!   registers an abort token with the server's deadline watchdog; if
+//!   the deadline passes while the job runs, the watchdog sets the token
+//!   and every in-flight coverage test unwinds through the normal
+//!   budget-exhaustion path within one candidate tuple, exactly like a
+//!   session cancel. Abort-tainted verdicts never enter the shared caches
+//!   (same guarantee as cancellation).
+//!
+//! The watchdog is one thread per server, sleeping until the earliest
+//! registered deadline — jobs pay one `Vec` push/remove per deadlined job,
+//! never a per-tuple clock read.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// An absolute deadline for one job. Over the wire it travels as a
+/// relative timeout (milliseconds remaining) and is re-anchored to the
+/// server's clock on arrival, gRPC-style, so clock skew between client and
+/// server never shifts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `timeout` from now.
+    pub fn within(timeout: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + timeout,
+        }
+    }
+
+    /// A deadline at an explicit instant.
+    pub fn at(at: Instant) -> Self {
+        Deadline { at }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before the deadline (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// The absolute instant of the deadline.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+}
+
+#[derive(Debug)]
+struct WatchEntry {
+    id: u64,
+    at: Instant,
+    token: Arc<AtomicBool>,
+}
+
+#[derive(Debug, Default)]
+struct WatchState {
+    /// Outstanding deadlines, unordered — at most one per runner thread,
+    /// so a linear scan beats heap bookkeeping.
+    entries: Vec<WatchEntry>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// One thread per server that fires deadline tokens. Runners register the
+/// running job's deadline before executing and unregister after; the
+/// watchdog sleeps until the earliest outstanding deadline and sets the
+/// token of every entry that expired.
+#[derive(Debug, Default)]
+pub(crate) struct DeadlineWatchdog {
+    state: Mutex<WatchState>,
+    wake: Condvar,
+}
+
+impl DeadlineWatchdog {
+    /// Creates the watchdog and spawns its timer thread. The thread holds
+    /// its own `Arc` and exits on [`DeadlineWatchdog::shutdown`].
+    pub(crate) fn spawn() -> Arc<DeadlineWatchdog> {
+        let dog = Arc::new(DeadlineWatchdog::default());
+        let handle = Arc::clone(&dog);
+        std::thread::Builder::new()
+            .name("castor-service-deadline".to_string())
+            .spawn(move || handle.run())
+            .expect("failed to spawn deadline watchdog thread");
+        dog
+    }
+
+    /// Registers `token` to be set once `deadline` passes; returns the id
+    /// to unregister with when the job finishes first.
+    pub(crate) fn register(&self, deadline: Deadline, token: Arc<AtomicBool>) -> u64 {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let id = state.next_id;
+        state.next_id += 1;
+        state.entries.push(WatchEntry {
+            id,
+            at: deadline.instant(),
+            token,
+        });
+        self.wake.notify_all();
+        id
+    }
+
+    /// Drops a registration (the job finished before its deadline; a fired
+    /// entry is already gone, so this is a no-op then).
+    pub(crate) fn unregister(&self, id: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.entries.retain(|e| e.id != id);
+    }
+
+    /// Stops the timer thread. Outstanding tokens are fired so no running
+    /// job waits on a deadline that can no longer be delivered.
+    pub(crate) fn shutdown(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.shutdown = true;
+        for entry in state.entries.drain(..) {
+            entry.token.store(true, Ordering::Relaxed);
+        }
+        self.wake.notify_all();
+    }
+
+    fn run(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            state.entries.retain(|entry| {
+                if entry.at <= now {
+                    entry.token.store(true, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            });
+            state = match state.entries.iter().map(|e| e.at).min() {
+                Some(earliest) => {
+                    let wait = earliest.saturating_duration_since(now);
+                    self.wake
+                        .wait_timeout(state, wait)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+                None => self.wake.wait(state).unwrap_or_else(|e| e.into_inner()),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_expire_and_report_remaining_time() {
+        let gone = Deadline::within(Duration::ZERO);
+        assert!(gone.expired());
+        assert_eq!(gone.remaining(), Duration::ZERO);
+        let future = Deadline::within(Duration::from_secs(60));
+        assert!(!future.expired());
+        assert!(future.remaining() > Duration::from_secs(59));
+    }
+
+    #[test]
+    fn watchdog_fires_expired_tokens_and_spares_unregistered_ones() {
+        let dog = DeadlineWatchdog::spawn();
+        let fired = Arc::new(AtomicBool::new(false));
+        let spared = Arc::new(AtomicBool::new(false));
+        dog.register(
+            Deadline::within(Duration::from_millis(5)),
+            Arc::clone(&fired),
+        );
+        let id = dog.register(
+            Deadline::within(Duration::from_millis(5)),
+            Arc::clone(&spared),
+        );
+        dog.unregister(id);
+        let waited = Instant::now();
+        while !fired.load(Ordering::Relaxed) {
+            assert!(
+                waited.elapsed() < Duration::from_secs(5),
+                "watchdog never fired the expired token"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!spared.load(Ordering::Relaxed), "unregistered token fired");
+        dog.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fires_outstanding_tokens() {
+        let dog = DeadlineWatchdog::spawn();
+        let token = Arc::new(AtomicBool::new(false));
+        dog.register(
+            Deadline::within(Duration::from_secs(3600)),
+            Arc::clone(&token),
+        );
+        dog.shutdown();
+        assert!(token.load(Ordering::Relaxed));
+    }
+}

@@ -123,12 +123,14 @@ impl Session {
     /// one id across processes.
     pub fn submit_traced(&self, job: Job, trace: u64) -> JobHandle {
         let (handle, shared) = JobHandle::new(trace);
+        let deadline = job.deadline();
         let queued = QueuedJob {
             job,
             shared: Arc::clone(&shared),
             ctx: Arc::clone(&self.ctx),
             trace,
             submitted_ns: self.engine.obs().now_ns(),
+            deadline,
         };
         match self.queue.submit(self.id, queued) {
             SubmitOutcome::Queued => {
@@ -143,10 +145,19 @@ impl Session {
                 self.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
                 shared.complete(Err(JobError::Rejected {
                     limit: self.queue.max_inflight(),
+                    retry_after_ms: self.retry_after_ms(),
                 }));
             }
         }
         handle
+    }
+
+    /// Load-aware backoff hint attached to rejections: proportional to the
+    /// queue depth at rejection time (a deeper backlog drains later), with
+    /// a floor so clients never spin and a cap so they never stall.
+    fn retry_after_ms(&self) -> u64 {
+        let depth = self.queue.report().inflight as u64;
+        (depth * 10).clamp(10, 5_000)
     }
 
     /// Submits a [`CoverageJob`] and blocks for the per-clause covered sets.
@@ -155,7 +166,7 @@ impl Session {
         clauses: Vec<Clause>,
         examples: Vec<Tuple>,
     ) -> Result<Vec<HashSet<Tuple>>, JobError> {
-        let handle = self.submit(Job::Coverage(CoverageJob { clauses, examples }));
+        let handle = self.submit(Job::Coverage(CoverageJob::new(clauses, examples)));
         Ok(handle
             .join()?
             .into_covered()
@@ -170,11 +181,7 @@ impl Session {
         positive: Vec<Tuple>,
         negative: Vec<Tuple>,
     ) -> Result<Vec<ClauseCounts>, JobError> {
-        let handle = self.submit(Job::Score(ScoreJob {
-            clauses,
-            positive,
-            negative,
-        }));
+        let handle = self.submit(Job::Score(ScoreJob::new(clauses, positive, negative)));
         Ok(handle
             .join()?
             .into_scores()

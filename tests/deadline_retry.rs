@@ -1,0 +1,338 @@
+//! Deadline propagation and retry semantics, end to end:
+//!
+//! * a job whose deadline has already passed when its runner pops it is
+//!   **shed** — typed `DeadlineExceeded`, engine never touched;
+//! * a deadline firing **mid-run** aborts the evaluation at the next
+//!   budget check (one candidate tuple) and answers `DeadlineExceeded`
+//!   over the wire, instead of holding the queue for hours;
+//! * a retrying client replays an idempotent coverage request across an
+//!   injected disconnect and gets the bit-identical no-fault answer;
+//! * the same scenario around a **mutation** refuses to replay: the
+//!   client reports `Ambiguous`, and the server shows the batch applied
+//!   at most once.
+
+use castor::logic::{Atom, Clause};
+use castor::relational::{DatabaseInstance, MutationBatch, RelationSymbol, Schema, Tuple};
+use castor::rpc::fault::{FaultAction, FaultKind};
+use castor::rpc::{
+    ClientConfig, ErrorCode, FaultPlan, RetryClient, RetryPolicy, RpcClient, RpcConfig, RpcError,
+    RpcServer,
+};
+use castor::service::{CoverageJob, Deadline, Job, JobError, LearnAlgorithm, Server, ServerConfig};
+use castor_learners::{LearnerParams, LearningTask};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn demo_db() -> DatabaseInstance {
+    let mut schema = Schema::new("demo");
+    schema.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+    let mut db = DatabaseInstance::empty(&schema);
+    for (t, p) in [("p1", "ann"), ("p1", "bob"), ("p2", "carol")] {
+        db.insert("publication", Tuple::from_strs(&[t, p])).unwrap();
+    }
+    db
+}
+
+fn collaborated() -> Clause {
+    Clause::new(
+        Atom::vars("collaborated", &["x", "y"]),
+        vec![
+            Atom::vars("publication", &["p", "x"]),
+            Atom::vars("publication", &["p", "y"]),
+        ],
+    )
+}
+
+fn bipartite_db(left: usize, right: usize) -> DatabaseInstance {
+    let mut schema = Schema::new("bulk");
+    schema.add_relation(RelationSymbol::new("pair", &["a", "b"]));
+    let mut db = DatabaseInstance::empty(&schema);
+    for i in 0..left {
+        for j in 0..right {
+            let (l, r) = (format!("l{i}"), format!("r{j}"));
+            db.insert("pair", Tuple::from_strs(&[&l, &r])).unwrap();
+            db.insert("pair", Tuple::from_strs(&[&r, &l])).unwrap();
+        }
+    }
+    db
+}
+
+/// Unsatisfiable over a bipartite graph: a deterministic few-milliseconds
+/// blocker under a node budget.
+fn triangle() -> Clause {
+    Clause::new(
+        Atom::vars("t", &["x"]),
+        vec![
+            Atom::vars("pair", &["a", "b"]),
+            Atom::vars("pair", &["b", "c"]),
+            Atom::vars("pair", &["c", "a"]),
+        ],
+    )
+}
+
+/// ~10^10 search nodes over the bipartite instance: can never finish
+/// inside a test timeout, so returning at all proves the abort fired.
+fn five_cycle() -> Clause {
+    Clause::new(
+        Atom::vars("t", &["x"]),
+        vec![
+            Atom::vars("pair", &["a", "b"]),
+            Atom::vars("pair", &["b", "c"]),
+            Atom::vars("pair", &["c", "d"]),
+            Atom::vars("pair", &["d", "e"]),
+            Atom::vars("pair", &["e", "a"]),
+        ],
+    )
+}
+
+#[test]
+fn expired_queued_jobs_are_shed_without_touching_the_engine() {
+    let server = Server::new(ServerConfig::default());
+    server
+        .register("bulk", Arc::new(bipartite_db(60, 60)))
+        .unwrap();
+    let session = server.session("bulk").unwrap().with_eval_budget(2_000_000);
+
+    // The blocker holds the runner; the deadline job queues behind it
+    // with a deadline that is already over, so by the time the runner
+    // pops it, shedding is the only legal outcome.
+    let blocker = session.submit(Job::Coverage(CoverageJob::new(
+        vec![triangle()],
+        vec![Tuple::from_strs(&["b"])],
+    )));
+    let doomed = session.submit(Job::Coverage(
+        CoverageJob::new(vec![triangle()], vec![Tuple::from_strs(&["d"])])
+            .with_deadline(Deadline::within(Duration::ZERO)),
+    ));
+
+    blocker.join().unwrap();
+    let after_blocker = session.report();
+    assert!(matches!(doomed.join(), Err(JobError::DeadlineExceeded)));
+
+    // Shedding happens at pop time, before any engine involvement: the
+    // session's engine deltas are exactly what the blocker alone caused.
+    assert_eq!(
+        session.report(),
+        after_blocker,
+        "a shed job must never touch the engine"
+    );
+    // And the queue accounting still balances (count == drains). The
+    // handle completes just before the runner's drain bookkeeping, so
+    // give that final store a moment.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let queue = server.queue_report("bulk").unwrap();
+        if queue.inflight == 0 && queue.drains == 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "queue accounting never balanced: {queue:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let exposition = server.obs().registry().expose();
+    assert!(
+        exposition.contains("castor_deadline_shed_total 1"),
+        "shed counter missing:\n{exposition}"
+    );
+}
+
+#[test]
+fn a_deadline_firing_mid_run_aborts_and_answers_over_the_wire() {
+    let service = Arc::new(Server::new(ServerConfig::default()));
+    service
+        .register("bulk", Arc::new(bipartite_db(100, 100)))
+        .unwrap();
+    let rpc = RpcServer::bind(Arc::clone(&service), "127.0.0.1:0", RpcConfig::default()).unwrap();
+
+    // Effectively unbounded budget: only the deadline can stop this job.
+    let mut client = RpcClient::connect_config(
+        rpc.local_addr(),
+        "bulk",
+        &ClientConfig::default().with_eval_budget(usize::MAX),
+    )
+    .unwrap();
+
+    let started = Instant::now();
+    let err = client
+        .covered_sets_deadline(
+            vec![five_cycle()],
+            vec![Tuple::from_strs(&["x"])],
+            Some(250),
+        )
+        .unwrap_err();
+    let elapsed = started.elapsed();
+
+    assert!(
+        matches!(
+            &err,
+            RpcError::Remote {
+                code: ErrorCode::DeadlineExceeded,
+                ..
+            }
+        ),
+        "expected DeadlineExceeded over the wire, got {err:?}"
+    );
+    assert!(err.is_deadline_exceeded());
+    // The search space is ~10^10 nodes (hours); finishing in test time at
+    // all proves the watchdog aborted it within one candidate tuple of
+    // the 250ms mark.
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "abort took {elapsed:?} — the deadline token did not fire"
+    );
+    let exposition = service.obs().registry().expose();
+    assert!(
+        exposition.contains("castor_deadline_aborted_total 1"),
+        "mid-run abort counter missing:\n{exposition}"
+    );
+
+    // The session and queue are healthy afterwards: the same connection
+    // keeps serving.
+    assert!(client.report().is_ok());
+}
+
+#[test]
+fn a_learn_with_an_expired_deadline_is_shed_over_the_wire() {
+    let service = Arc::new(Server::new(ServerConfig::default()));
+    service
+        .register("bulk", Arc::new(bipartite_db(20, 20)))
+        .unwrap();
+    let rpc = RpcServer::bind(Arc::clone(&service), "127.0.0.1:0", RpcConfig::default()).unwrap();
+    let mut client = RpcClient::connect(rpc.local_addr(), "bulk").unwrap();
+
+    let err = client
+        .learn_deadline(
+            LearningTask::new("t", 1, vec![Tuple::from_strs(&["l0"])], vec![]),
+            LearnAlgorithm::Foil(LearnerParams::default()),
+            Some(0),
+        )
+        .unwrap_err();
+    assert!(err.is_deadline_exceeded(), "got {err:?}");
+    // Shed before running: the session's engine deltas stay zero.
+    assert_eq!(client.report().unwrap(), Default::default());
+}
+
+/// The injected plan for the retry tests: the first connection's read
+/// side drops dead mid-request — after the handshake, before the first
+/// job's request frame is fully read.
+fn drop_after_handshake() -> FaultPlan {
+    FaultPlan::from_schedule(vec![vec![FaultAction {
+        kind: FaultKind::DropRead,
+        after_bytes: 40,
+        delay_ms: 0,
+    }]])
+}
+
+#[test]
+fn idempotent_coverage_retries_to_the_exact_no_fault_answer() {
+    // Reference: the same database served with no faults.
+    let reference_service = Arc::new(Server::new(ServerConfig::default()));
+    reference_service
+        .register("demo", Arc::new(demo_db()))
+        .unwrap();
+    let reference_rpc = RpcServer::bind(
+        Arc::clone(&reference_service),
+        "127.0.0.1:0",
+        RpcConfig::default(),
+    )
+    .unwrap();
+    let expected = RpcClient::connect(reference_rpc.local_addr(), "demo")
+        .unwrap()
+        .covered_sets(
+            vec![collaborated()],
+            vec![Tuple::from_strs(&["ann", "bob"])],
+        )
+        .unwrap();
+
+    // Faulted server: connection 0 dies mid-first-request; connection 1
+    // (the retry) runs clean.
+    let service = Arc::new(Server::new(ServerConfig::default()));
+    service.register("demo", Arc::new(demo_db())).unwrap();
+    let rpc = RpcServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        RpcConfig::default().with_fault_plan(drop_after_handshake()),
+    )
+    .unwrap();
+
+    let mut client = RetryClient::with_config(
+        rpc.local_addr(),
+        "demo",
+        ClientConfig::default().with_read_timeout(Duration::from_secs(2)),
+        RetryPolicy::default().with_base_backoff(Duration::from_millis(1)),
+    )
+    .unwrap()
+    .with_jitter_seed(11);
+
+    let sets = client
+        .covered_sets(
+            vec![collaborated()],
+            vec![Tuple::from_strs(&["ann", "bob"])],
+        )
+        .expect("the retry must recover transparently");
+    assert_eq!(sets, expected, "retried answer differs from no-fault run");
+
+    // The recovery is visible in the client's own accounting: at least
+    // one replay, exactly one reconnect, nothing ambiguous.
+    assert!(rpc.fault_stats().total() >= 1, "the fault never fired");
+    let obs = client.obs().registry().expose();
+    assert!(obs.contains("castor_client_reconnects_total 1"), "{obs}");
+    assert!(obs.contains("castor_client_ambiguous_total 0"), "{obs}");
+}
+
+#[test]
+fn a_mutation_over_a_dying_connection_is_ambiguous_and_applied_at_most_once() {
+    let service = Arc::new(Server::new(ServerConfig::default()));
+    service.register("demo", Arc::new(demo_db())).unwrap();
+    // The server *answers* through a tearing write: the handshake reply
+    // (14 bytes) passes, the mutation's response frame tears — the batch
+    // may or may not have been applied from the client's point of view.
+    let rpc = RpcServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        RpcConfig::default().with_fault_plan(FaultPlan::from_schedule(vec![vec![FaultAction {
+            kind: FaultKind::TearWrite,
+            after_bytes: 20,
+            delay_ms: 0,
+        }]])),
+    )
+    .unwrap();
+
+    let mut client = RetryClient::with_config(
+        rpc.local_addr(),
+        "demo",
+        ClientConfig::default().with_read_timeout(Duration::from_secs(2)),
+        RetryPolicy::default().with_base_backoff(Duration::from_millis(1)),
+    )
+    .unwrap()
+    .with_jitter_seed(13);
+
+    let batch = MutationBatch::new().insert("publication", Tuple::from_strs(&["p9", "zed"]));
+    let err = client.apply(batch).unwrap_err();
+    assert!(
+        matches!(&err, RpcError::Ambiguous { .. }),
+        "a post-send transport failure on a mutation must be Ambiguous, got {err:?}"
+    );
+    let obs = client.obs().registry().expose();
+    assert!(obs.contains("castor_client_ambiguous_total 1"), "{obs}");
+
+    // Reconciliation, as the docs prescribe: a fresh connection reads the
+    // authoritative state. The batch was applied exactly once server-side
+    // (the tear hit the *reply*, not the application) — and `Ambiguous`
+    // is precisely the client refusing to guess that.
+    let mut verify = RpcClient::connect(rpc.local_addr(), "demo").unwrap();
+    let (engine, _) = verify.server_report().unwrap();
+    assert_eq!(
+        engine.mutation_batches, 1,
+        "the batch must be applied at most once — never replayed"
+    );
+    let covered = verify
+        .covered_sets(
+            vec![collaborated()],
+            vec![Tuple::from_strs(&["zed", "zed"])],
+        )
+        .unwrap();
+    assert_eq!(covered[0].len(), 1, "the single application is visible");
+}

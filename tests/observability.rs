@@ -65,6 +65,7 @@ fn rpc_job_spans_share_one_trace_id_across_processes() {
         .submit(Request::Coverage {
             clauses: vec![collaborated()],
             examples: vec![Tuple::from_strs(&["ann", "bob"])],
+            deadline_ms: None,
         })
         .unwrap();
     let trace = handle.id();
@@ -133,8 +134,10 @@ fn wire_metrics_agree_with_the_server_report() {
     let metrics = client.metrics().unwrap();
     let (_, server) = client.server_report().unwrap();
 
-    let queue_wait = metric_value(&metrics, "castor_queue_wait_ns_count");
-    let job_run = metric_value(&metrics, "castor_job_run_ns_count");
+    // The serving-layer latency histograms are labelled by database, so
+    // the demo tenant reads out as its own series.
+    let queue_wait = metric_value(&metrics, "castor_queue_wait_ns_count{db=\"demo\"}");
+    let job_run = metric_value(&metrics, "castor_job_run_ns_count{db=\"demo\"}");
     assert_eq!(queue_wait, 3, "3 jobs were submitted and drained");
     assert_eq!(queue_wait, job_run, "every pop records both histograms");
     assert_eq!(queue_wait, server.queue_drains as u64);
@@ -147,7 +150,7 @@ fn wire_metrics_agree_with_the_server_report() {
     assert!(evals >= 2, "two coverage jobs evaluated, saw {evals}");
     let inf_line = metrics
         .lines()
-        .find(|l| l.starts_with("castor_queue_wait_ns_bucket{le=\"+Inf\"}"))
+        .find(|l| l.starts_with("castor_queue_wait_ns_bucket{db=\"demo\",le=\"+Inf\"}"))
         .expect("+Inf bucket closes the histogram");
     let inf: u64 = inf_line.rsplit(' ').next().unwrap().parse().unwrap();
     assert_eq!(inf, queue_wait);

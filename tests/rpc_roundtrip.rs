@@ -167,7 +167,7 @@ fn every_job_kind_matches_the_in_process_session_over_tcp() {
         ..LearnerParams::default()
     });
     let tcp_definition = client.learn(task.clone(), algorithm.clone()).unwrap();
-    let ref_definition = session.learn(LearnJob { task, algorithm }).unwrap();
+    let ref_definition = session.learn(LearnJob::new(task, algorithm)).unwrap();
     assert_eq!(tcp_definition, ref_definition);
     assert!(!tcp_definition.is_empty());
 
@@ -194,6 +194,7 @@ fn pipelined_requests_multiplex_on_one_connection() {
                 .submit(Request::Coverage {
                     clauses: vec![collaborated()],
                     examples: examples.clone(),
+                    deadline_ms: None,
                 })
                 .unwrap()
         })
@@ -416,6 +417,7 @@ fn inflight_cap_rejects_jobs_but_keeps_the_connection() {
     let slow = Request::Coverage {
         clauses: vec![triangle()],
         examples: vec![Tuple::from_strs(&["x"])],
+        deadline_ms: None,
     };
     let blocker = client.submit(slow.clone()).unwrap();
     let queued = client.submit(slow.clone()).unwrap();
@@ -464,6 +466,7 @@ fn disconnect_mid_learn_cancels_and_reclaims_the_session() {
         .submit(Request::Coverage {
             clauses: vec![five_cycle()],
             examples: vec![Tuple::from_strs(&["x"])],
+            deadline_ms: None,
         })
         .unwrap();
     // A LearnJob queued behind it is mid-flight when the client vanishes.
@@ -471,6 +474,7 @@ fn disconnect_mid_learn_cancels_and_reclaims_the_session() {
         .submit(Request::Learn {
             task: LearningTask::new("t", 1, vec![Tuple::from_strs(&["l0"])], vec![]),
             algorithm: LearnAlgorithm::Foil(LearnerParams::default()),
+            deadline_ms: None,
         })
         .unwrap();
     // Give the runner a moment to actually start the five-cycle search.
@@ -533,6 +537,7 @@ fn round_robin_keeps_a_light_client_ahead_of_a_flooder() {
                 .submit(Request::Coverage {
                     clauses: vec![triangle()],
                     examples: vec![Tuple::from_strs(&[&format!("x{i}")])],
+                    deadline_ms: None,
                 })
                 .unwrap()
         })
