@@ -1,0 +1,42 @@
+//! castor-cluster: a sharded multi-server tier over `castor-rpc`.
+//!
+//! One [`Router`] turns N independent [`castor_rpc::RpcServer`] members
+//! into a single logical serving surface:
+//!
+//! * **Placement** — each database is owned by exactly one member,
+//!   chosen by consistent hashing ([`HashRing`], FNV-1a with virtual
+//!   nodes). Placement is a pure function of the member set and the
+//!   database name: any router over the same membership routes
+//!   identically, with no coordination protocol.
+//! * **Routing** — [`Router::session`] hands out a
+//!   [`castor_service::Session`]-shaped handle ([`ClusterSession`]);
+//!   callers written against the in-process engine, the single-server
+//!   RPC client, or the cluster differ only in construction. Requests
+//!   ride pooled [`castor_rpc::RetryClient`]s, one per
+//!   (member, database).
+//! * **Rebalancing** — [`Router::add_member`] / [`Router::remove_member`]
+//!   drain in-flight jobs on moved shards, replay the router's mirror of
+//!   each moved database to its new owner through ordinary mutation
+//!   frames, and flip routing atomically per database
+//!   ([`RebalanceReport`] counts moves, replayed tuples, drain time).
+//!   Replay preserves relation name order and tuple insertion order, so
+//!   learning over a moved shard reproduces learning over the original.
+//!
+//! The router is *client-side*: members do not know about each other,
+//! and nothing new runs on a server to join a cluster — any plain
+//! `RpcServer` that has the schemas registered is a valid member.
+//!
+//! ```text
+//!              Router (client process)
+//!        ring: db → member      mirror per db
+//!       ┌────────┬────────┬────────┐
+//!       ▼        ▼        ▼        │ replay on
+//!   RpcServer RpcServer RpcServer ◄┘ membership change
+//!      (a)      (b)      (c)
+//! ```
+
+mod ring;
+mod router;
+
+pub use ring::HashRing;
+pub use router::{ClusterConfig, ClusterError, ClusterSession, RebalanceReport, Router};

@@ -1,0 +1,171 @@
+//! Consistent hashing: deterministic placement of database shards on
+//! cluster members.
+//!
+//! Each member contributes `virtual_nodes` points on a 64-bit ring
+//! (FNV-1a of `"{member}#{i}"`); a database lands on the member owning
+//! the first point clockwise from the hash of its name. Placement is a
+//! pure function of the member set and the database name — every router
+//! instance over the same membership computes the same owners, with no
+//! coordination. Virtual nodes smooth the load split and, crucially,
+//! bound rebalancing: adding or removing one member moves only the
+//! databases whose arcs that member's points cover, not the whole
+//! keyspace.
+
+use std::collections::BTreeMap;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the bytes of `key`, dispersed through a murmur3-style
+/// finalizer — small, dependency-free, and stable across builds
+/// (placement must never change under a rustc upgrade). Raw FNV-1a of
+/// short near-identical keys ("db-0", "db-1", …) clusters on the ring;
+/// the avalanche mix spreads them across the full 64-bit range.
+fn fnv1a(key: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// A consistent-hash ring of member names.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring points → owning member, ordered by point (BTreeMap gives the
+    /// clockwise-successor lookup for free).
+    points: BTreeMap<u64, String>,
+    virtual_nodes: usize,
+}
+
+impl HashRing {
+    /// An empty ring where each member will contribute `virtual_nodes`
+    /// points (clamped to at least 1).
+    pub fn new(virtual_nodes: usize) -> HashRing {
+        HashRing {
+            points: BTreeMap::new(),
+            virtual_nodes: virtual_nodes.max(1),
+        }
+    }
+
+    /// Adds a member's points. Point collisions across members are
+    /// resolved by first-insertion-wins; with a 64-bit ring they are
+    /// vanishingly rare, and deterministic either way.
+    pub fn add_member(&mut self, member: &str) {
+        for i in 0..self.virtual_nodes {
+            let point = fnv1a(&format!("{member}#{i}"));
+            self.points
+                .entry(point)
+                .or_insert_with(|| member.to_string());
+        }
+    }
+
+    /// Removes a member's points.
+    pub fn remove_member(&mut self, member: &str) {
+        self.points.retain(|_, owner| owner != member);
+    }
+
+    /// Whether the member currently contributes points.
+    pub fn contains_member(&self, member: &str) -> bool {
+        self.points.values().any(|owner| owner == member)
+    }
+
+    /// The members currently on the ring, deduplicated, in point order of
+    /// their first point.
+    pub fn members(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for owner in self.points.values() {
+            if !seen.iter().any(|s: &String| s == owner) {
+                seen.push(owner.clone());
+            }
+        }
+        seen
+    }
+
+    /// The member owning `key`: the first ring point clockwise from the
+    /// key's hash (wrapping past zero). `None` on an empty ring.
+    pub fn owner_of(&self, key: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = fnv1a(key);
+        self.points
+            .range(hash..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, owner)| owner.as_str())
+    }
+
+    /// Number of ring points (members × virtual nodes, minus collisions).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(members: &[&str]) -> HashRing {
+        let mut ring = HashRing::new(64);
+        for m in members {
+            ring.add_member(m);
+        }
+        ring
+    }
+
+    #[test]
+    fn placement_is_deterministic_across_instances() {
+        let a = ring_of(&["alpha", "beta", "gamma"]);
+        let b = ring_of(&["gamma", "alpha", "beta"]); // insertion order irrelevant
+        for key in ["uwcse", "hiv", "imdb", "demo", "x"] {
+            assert_eq!(a.owner_of(key), b.owner_of(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn removing_a_member_only_moves_its_own_keys() {
+        let before = ring_of(&["alpha", "beta", "gamma"]);
+        let mut after = before.clone();
+        after.remove_member("beta");
+        for i in 0..200 {
+            let key = format!("db-{i}");
+            let was = before.owner_of(&key).unwrap().to_string();
+            let now = after.owner_of(&key).unwrap().to_string();
+            if was != "beta" {
+                assert_eq!(was, now, "key {key} moved although its owner stayed");
+            } else {
+                assert_ne!(now, "beta");
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_spread_keys_over_all_members() {
+        let ring = ring_of(&["alpha", "beta", "gamma"]);
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..300 {
+            let owner = ring.owner_of(&format!("db-{i}")).unwrap().to_string();
+            *counts.entry(owner).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 3, "some member owns nothing: {counts:?}");
+        for (member, count) in &counts {
+            assert!(*count > 20, "member {member} owns only {count}/300 keys");
+        }
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        assert_eq!(HashRing::new(8).owner_of("x"), None);
+    }
+}

@@ -1,0 +1,736 @@
+//! The client-side router: one process's view of a sharded Castor
+//! cluster.
+//!
+//! A [`Router`] holds a member list (name → RPC address), places every
+//! registered database on a member via the consistent-hash [`HashRing`],
+//! and proxies a [`castor_service::Session`]-shaped API
+//! ([`ClusterSession`]) to the owning member over [`RetryClient`]
+//! connections. Callers written against the in-process session or the
+//! single-server RPC client run unchanged against a cluster.
+//!
+//! ## Routing and the mirror
+//!
+//! Every database has a [`DbState`]: the current owner plus a full local
+//! **mirror** of the database's content. The mirror is updated only by
+//! *acknowledged* mutations (the owner confirmed the apply), which makes
+//! it two things at once: the replay source for rebalancing, and ground
+//! truth for "no acknowledged mutation was lost" — after any sequence of
+//! membership changes, the owner's content must equal the mirror.
+//!
+//! ## Rebalancing lifecycle
+//!
+//! A membership change ([`Router::add_member`] / [`Router::remove_member`])
+//! runs, per moved database:
+//!
+//! 1. **epoch bump** — the shared topology epoch increments *first*, so
+//!    retrying clients treat backoff hints minted by the old owner as
+//!    stale ([`RetryClient::with_topology_epoch`]);
+//! 2. **drain** — the database's gate is write-locked: in-flight proxied
+//!    jobs (which hold read locks) finish, new ones wait;
+//! 3. **replay** — the mirror is replayed to the new owner as chunked
+//!    mutation batches, relations in name order and tuples in insertion
+//!    order (insertion order is load-bearing: learning over the copy must
+//!    reproduce learning over the original);
+//! 4. **flip** — the owner field swaps and the gate unlocks; queued
+//!    callers proceed against the new owner. The old owner's copy is
+//!    emptied best-effort (it may already be gone).
+
+use crate::ring::HashRing;
+use castor_engine::{ClauseCounts, EngineReport, LearnProgress};
+use castor_learners::LearningTask;
+use castor_logic::{Clause, Definition};
+use castor_obs::{Collect, Exposition, Obs};
+use castor_relational::{DatabaseInstance, MutationBatch, MutationSummary, Tuple};
+use castor_rpc::{ClientConfig, RetryClient, RetryPolicy, RpcError};
+use castor_service::{LearnAlgorithm, ServerReport};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Cluster-level knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Ring points per member (more points → smoother load split and
+    /// smaller rebalance moves; placement changes if this changes).
+    pub virtual_nodes: usize,
+    /// Connection knobs for the per-(member, database) clients.
+    pub client: ClientConfig,
+    /// Retry policy for the per-(member, database) clients.
+    pub policy: RetryPolicy,
+    /// Tuples per mutation batch when replaying a mirror during
+    /// registration or rebalancing.
+    pub replay_chunk: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            virtual_nodes: 64,
+            client: ClientConfig::default(),
+            policy: RetryPolicy::default(),
+            replay_chunk: 512,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Sets the virtual-node count (builder style).
+    pub fn with_virtual_nodes(mut self, virtual_nodes: usize) -> Self {
+        self.virtual_nodes = virtual_nodes;
+        self
+    }
+
+    /// Sets the per-client connection config (builder style).
+    pub fn with_client(mut self, client: ClientConfig) -> Self {
+        self.client = client;
+        self
+    }
+
+    /// Sets the per-client retry policy (builder style).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the rebalance replay chunk size (builder style).
+    pub fn with_replay_chunk(mut self, replay_chunk: usize) -> Self {
+        self.replay_chunk = replay_chunk.max(1);
+        self
+    }
+}
+
+/// Why a cluster operation failed.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The router has no members to place databases on.
+    NoMembers,
+    /// The database was never registered with this router.
+    UnknownDatabase(String),
+    /// The member named in a membership operation does not exist (or a
+    /// duplicate was added).
+    UnknownMember(String),
+    /// The proxied RPC failed after the client's own retries.
+    Rpc(RpcError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoMembers => write!(f, "cluster has no members"),
+            ClusterError::UnknownDatabase(name) => {
+                write!(f, "database {name:?} is not registered with this router")
+            }
+            ClusterError::UnknownMember(name) => write!(f, "no such cluster member {name:?}"),
+            ClusterError::Rpc(e) => write!(f, "cluster rpc failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<RpcError> for ClusterError {
+    fn from(e: RpcError) -> Self {
+        ClusterError::Rpc(e)
+    }
+}
+
+/// What one membership change did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Databases whose owner changed.
+    pub moves: u64,
+    /// Tuples replayed to new owners.
+    pub replayed_tuples: u64,
+    /// Total nanoseconds spent waiting for in-flight jobs to drain
+    /// (write-lock acquisition across all moved databases).
+    pub drain_ns: u64,
+}
+
+/// Per-database routing state. The gate is the drain mechanism: proxied
+/// jobs hold it shared; a rebalance takes it exclusively, so the flip
+/// happens only between jobs, never under one.
+struct DbState {
+    gate: RwLock<DbInner>,
+}
+
+struct DbInner {
+    owner: String,
+    mirror: DatabaseInstance,
+}
+
+/// Router-side counters, exposed through a [`Collect`] hook on the
+/// router's registry.
+#[derive(Default)]
+struct RouterStats {
+    /// Requests proxied, per member.
+    requests: Mutex<BTreeMap<String, u64>>,
+    /// Whether the last proxied request per member succeeded.
+    healthy: Mutex<BTreeMap<String, bool>>,
+    rebalance_moves: AtomicU64,
+    replayed_tuples: AtomicU64,
+}
+
+impl RouterStats {
+    fn record(&self, member: &str, ok: bool) {
+        *self
+            .requests
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(member.to_string())
+            .or_insert(0) += 1;
+        self.healthy
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(member.to_string(), ok);
+    }
+
+    fn forget(&self, member: &str) {
+        self.healthy
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(member);
+    }
+}
+
+struct RouterCollector(Arc<RouterStats>);
+
+impl Collect for RouterCollector {
+    fn collect(&self, exp: &mut Exposition) {
+        let requests = self
+            .0
+            .requests
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        for (member, count) in &requests {
+            exp.counter(
+                "castor_router_requests_total",
+                "Requests proxied to a cluster member.",
+                &[("member", member)],
+                *count,
+            );
+        }
+        let healthy = self
+            .0
+            .healthy
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        for (member, ok) in &healthy {
+            exp.gauge(
+                "castor_router_member_healthy",
+                "1 when the member's last proxied request succeeded, 0 otherwise.",
+                &[("member", member)],
+                i64::from(*ok),
+            );
+        }
+        exp.counter(
+            "castor_router_rebalance_moves_total",
+            "Database shards moved to a new owner by membership changes.",
+            &[],
+            self.0.rebalance_moves.load(Ordering::Relaxed),
+        );
+        exp.counter(
+            "castor_router_replayed_tuples_total",
+            "Tuples replayed to new owners during registration and rebalancing.",
+            &[],
+            self.0.replayed_tuples.load(Ordering::Relaxed),
+        );
+    }
+}
+
+/// Pooled retrying clients keyed by (member name, database name).
+type ClientPool = HashMap<(String, String), Arc<Mutex<RetryClient>>>;
+
+/// A client-side cluster router (see the module docs).
+pub struct Router {
+    members: Mutex<BTreeMap<String, SocketAddr>>,
+    ring: Mutex<HashRing>,
+    databases: Mutex<BTreeMap<String, Arc<DbState>>>,
+    /// One retrying client per (member, database), created lazily and
+    /// shared; ops on the same pair serialize on the inner mutex.
+    pool: Mutex<ClientPool>,
+    /// The shared topology epoch, bumped before every membership change;
+    /// pool clients cap stale retry-after hints against it.
+    epoch: Arc<AtomicU64>,
+    config: ClusterConfig,
+    obs: Arc<Obs>,
+    stats: Arc<RouterStats>,
+    /// The most recently minted proxied-request trace id (tests stitch
+    /// router spans to server spans through this).
+    last_trace: AtomicU64,
+}
+
+impl fmt::Debug for Router {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Router")
+            .field("members", &self.member_names())
+            .field("epoch", &self.epoch.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl Router {
+    /// A router over the given members (name → RPC address). Databases
+    /// are registered separately via [`Router::register`].
+    pub fn new(
+        members: impl IntoIterator<Item = (String, SocketAddr)>,
+        config: ClusterConfig,
+    ) -> Router {
+        let members: BTreeMap<String, SocketAddr> = members.into_iter().collect();
+        let mut ring = HashRing::new(config.virtual_nodes);
+        for name in members.keys() {
+            ring.add_member(name);
+        }
+        let obs = Obs::enabled_default();
+        let stats = Arc::new(RouterStats::default());
+        obs.registry()
+            .register_collector(Box::new(RouterCollector(Arc::clone(&stats))));
+        Router {
+            members: Mutex::new(members),
+            ring: Mutex::new(ring),
+            databases: Mutex::new(BTreeMap::new()),
+            pool: Mutex::new(HashMap::new()),
+            epoch: Arc::new(AtomicU64::new(0)),
+            config,
+            obs,
+            stats,
+            last_trace: AtomicU64::new(0),
+        }
+    }
+
+    /// The router's observability handle (request counters per member,
+    /// health gauges, rebalance counters — plus whatever the pooled
+    /// clients record is on *their* handles, not this one).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// The router's metric exposition in Prometheus text format.
+    pub fn metrics_text(&self) -> String {
+        self.obs.registry().expose()
+    }
+
+    /// The shared topology epoch (see [`RetryClient::with_topology_epoch`]).
+    pub fn epoch(&self) -> &Arc<AtomicU64> {
+        &self.epoch
+    }
+
+    /// Current member names, sorted.
+    pub fn member_names(&self) -> Vec<String> {
+        self.members
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The member currently owning `database`, if it is registered.
+    pub fn owner_of(&self, database: &str) -> Option<String> {
+        let state = self.db_state(database)?;
+        let inner = state.gate.read().unwrap_or_else(|e| e.into_inner());
+        Some(inner.owner.clone())
+    }
+
+    /// The trace id minted for the most recent proxied request.
+    pub fn last_trace(&self) -> u64 {
+        self.last_trace.load(Ordering::SeqCst)
+    }
+
+    /// A copy-on-write snapshot of the router's mirror of `database` —
+    /// the content every acknowledged mutation has been applied to.
+    pub fn mirror(&self, database: &str) -> Result<DatabaseInstance, ClusterError> {
+        let state = self
+            .db_state(database)
+            .ok_or_else(|| ClusterError::UnknownDatabase(database.to_string()))?;
+        let inner = state.gate.read().unwrap_or_else(|e| e.into_inner());
+        Ok(inner.mirror.clone())
+    }
+
+    /// Registers `database` with the router: picks its owner off the
+    /// ring and replays the given initial content to that member. Every
+    /// member must already serve the database (schema-registered, empty)
+    /// — content placement is the router's job, schemas are the
+    /// deployment's.
+    pub fn register(&self, database: &str, initial: &DatabaseInstance) -> Result<(), ClusterError> {
+        let owner = {
+            let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+            ring.owner_of(database)
+                .ok_or(ClusterError::NoMembers)?
+                .to_string()
+        };
+        let replayed = self.replay_inserts(&owner, database, initial)?;
+        self.stats
+            .replayed_tuples
+            .fetch_add(replayed, Ordering::Relaxed);
+        let state = Arc::new(DbState {
+            gate: RwLock::new(DbInner {
+                owner,
+                mirror: initial.clone(),
+            }),
+        });
+        self.databases
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(database.to_string(), state);
+        Ok(())
+    }
+
+    /// A session-shaped handle on one registered database.
+    pub fn session(&self, database: &str) -> Result<ClusterSession<'_>, ClusterError> {
+        if self.db_state(database).is_none() {
+            return Err(ClusterError::UnknownDatabase(database.to_string()));
+        }
+        Ok(ClusterSession {
+            router: self,
+            database: database.to_string(),
+        })
+    }
+
+    /// Adds a member and rebalances: every database whose ring owner
+    /// changes is drained, replayed to the new owner, and flipped.
+    pub fn add_member(
+        &self,
+        name: &str,
+        addr: SocketAddr,
+    ) -> Result<RebalanceReport, ClusterError> {
+        {
+            let mut members = self.members.lock().unwrap_or_else(|e| e.into_inner());
+            if members.contains_key(name) {
+                return Err(ClusterError::UnknownMember(format!(
+                    "{name} already exists"
+                )));
+            }
+            members.insert(name.to_string(), addr);
+        }
+        // The epoch bumps before any routing changes: a retry sleeping on
+        // an old owner's backoff hint must treat it as stale from here on.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .add_member(name);
+        self.rebalance(None)
+    }
+
+    /// Removes a member and rebalances its databases onto the survivors.
+    /// The member may already be unreachable — nothing is read from it;
+    /// its shards are rebuilt from the router's mirrors.
+    pub fn remove_member(&self, name: &str) -> Result<RebalanceReport, ClusterError> {
+        {
+            let mut members = self.members.lock().unwrap_or_else(|e| e.into_inner());
+            if members.remove(name).is_none() {
+                return Err(ClusterError::UnknownMember(name.to_string()));
+            }
+            if members.is_empty() {
+                return Err(ClusterError::NoMembers);
+            }
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove_member(name);
+        // Connections to the departed member are useless; drop them so
+        // the pool cannot hand them out again.
+        self.pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|(member, _), _| member != name);
+        self.stats.forget(name);
+        self.rebalance(Some(name))
+    }
+
+    /// Moves every database whose ring owner differs from its current
+    /// owner. `departed` names a member that no longer exists (skip the
+    /// best-effort cleanup of its old copy).
+    fn rebalance(&self, departed: Option<&str>) -> Result<RebalanceReport, ClusterError> {
+        let mut report = RebalanceReport::default();
+        let databases: Vec<(String, Arc<DbState>)> = {
+            let databases = self.databases.lock().unwrap_or_else(|e| e.into_inner());
+            databases
+                .iter()
+                .map(|(name, state)| (name.clone(), Arc::clone(state)))
+                .collect()
+        };
+        for (database, state) in databases {
+            let new_owner = {
+                let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+                ring.owner_of(&database)
+                    .ok_or(ClusterError::NoMembers)?
+                    .to_string()
+            };
+            // Drain: in-flight proxied jobs hold the gate shared; taking
+            // it exclusively waits them out, so the owner flips only
+            // between jobs. Time under contention is the drain cost.
+            let drain_started = self.obs.now_ns();
+            let mut inner = state.gate.write().unwrap_or_else(|e| e.into_inner());
+            report.drain_ns += self.obs.now_ns().saturating_sub(drain_started);
+            if inner.owner == new_owner {
+                continue;
+            }
+            let old_owner = std::mem::replace(&mut inner.owner, new_owner.clone());
+            let replayed = self.replay_inserts(&new_owner, &database, &inner.mirror)?;
+            report.moves += 1;
+            report.replayed_tuples += replayed;
+            self.stats.rebalance_moves.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .replayed_tuples
+                .fetch_add(replayed, Ordering::Relaxed);
+            // Best-effort cleanup of the old copy, unless the old owner
+            // is the member that just left (nothing to clean).
+            if departed != Some(old_owner.as_str()) {
+                let _ = self.remove_all(&old_owner, &database, &inner.mirror);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Replays `content` to a member as chunked insert batches —
+    /// relations in name order, tuples in insertion order, both
+    /// deterministic and order-preserving so learning over the copy
+    /// matches learning over the original.
+    fn replay_inserts(
+        &self,
+        member: &str,
+        database: &str,
+        content: &DatabaseInstance,
+    ) -> Result<u64, ClusterError> {
+        let mut replayed = 0u64;
+        let mut batch = MutationBatch::new();
+        let mut in_batch = 0usize;
+        let client = self.client_for(member, database)?;
+        let mut client = client.lock().unwrap_or_else(|e| e.into_inner());
+        for relation in content.relations() {
+            for tuple in relation.tuples() {
+                batch = batch.insert(relation.name(), tuple.clone());
+                in_batch += 1;
+                if in_batch >= self.config.replay_chunk {
+                    client.apply(std::mem::take(&mut batch))?;
+                    replayed += in_batch as u64;
+                    in_batch = 0;
+                }
+            }
+        }
+        if in_batch > 0 {
+            client.apply(batch)?;
+            replayed += in_batch as u64;
+        }
+        Ok(replayed)
+    }
+
+    /// Best-effort removal of `content` from a member's copy (old owner
+    /// cleanup after a move). Errors are swallowed: the copy is already
+    /// unroutable, stale bytes there cost memory, not correctness.
+    fn remove_all(
+        &self,
+        member: &str,
+        database: &str,
+        content: &DatabaseInstance,
+    ) -> Result<(), ClusterError> {
+        let client = self.client_for(member, database)?;
+        let mut client = client.lock().unwrap_or_else(|e| e.into_inner());
+        let mut batch = MutationBatch::new();
+        let mut in_batch = 0usize;
+        for relation in content.relations() {
+            for tuple in relation.tuples() {
+                batch = batch.remove(relation.name(), tuple.clone());
+                in_batch += 1;
+                if in_batch >= self.config.replay_chunk {
+                    client.apply(std::mem::take(&mut batch))?;
+                    in_batch = 0;
+                }
+            }
+        }
+        if in_batch > 0 {
+            client.apply(batch)?;
+        }
+        Ok(())
+    }
+
+    fn db_state(&self, database: &str) -> Option<Arc<DbState>> {
+        self.databases
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(database)
+            .map(Arc::clone)
+    }
+
+    /// The pooled retrying client for a (member, database) pair, created
+    /// on first use with the shared topology epoch attached.
+    fn client_for(
+        &self,
+        member: &str,
+        database: &str,
+    ) -> Result<Arc<Mutex<RetryClient>>, ClusterError> {
+        let addr = {
+            let members = self.members.lock().unwrap_or_else(|e| e.into_inner());
+            *members
+                .get(member)
+                .ok_or_else(|| ClusterError::UnknownMember(member.to_string()))?
+        };
+        let key = (member.to_string(), database.to_string());
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(client) = pool.get(&key) {
+            return Ok(Arc::clone(client));
+        }
+        let client = RetryClient::with_config(
+            addr,
+            database,
+            self.config.client.clone(),
+            self.config.policy.clone(),
+        )
+        .map_err(ClusterError::Rpc)?
+        .with_topology_epoch(Arc::clone(&self.epoch));
+        let client = Arc::new(Mutex::new(client));
+        pool.insert(key, Arc::clone(&client));
+        Ok(client)
+    }
+
+    /// Runs `op` against the database's current owner under the shared
+    /// gate (draining rebalances wait for it), minting a trace id the
+    /// pooled client stamps on every frame of the op so the request's
+    /// spans stitch router → member.
+    fn with_owner<T>(
+        &self,
+        database: &str,
+        op: impl FnOnce(&mut RetryClient) -> Result<T, RpcError>,
+    ) -> Result<T, ClusterError> {
+        let state = self
+            .db_state(database)
+            .ok_or_else(|| ClusterError::UnknownDatabase(database.to_string()))?;
+        let inner = state.gate.read().unwrap_or_else(|e| e.into_inner());
+        let owner = inner.owner.clone();
+        let client = self.client_for(&owner, database)?;
+        let mut client = client.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = self.obs.mint_trace();
+        self.last_trace.store(trace, Ordering::SeqCst);
+        client.use_trace_id(trace);
+        let result = op(&mut client);
+        self.stats.record(&owner, result.is_ok());
+        result.map_err(ClusterError::Rpc)
+    }
+
+    /// Like [`Router::with_owner`], but takes the gate *exclusively*
+    /// (mutations serialize against each other and against rebalances)
+    /// and applies acknowledged batches to the mirror.
+    fn apply_gated(
+        &self,
+        database: &str,
+        batch: MutationBatch,
+    ) -> Result<MutationSummary, ClusterError> {
+        let state = self
+            .db_state(database)
+            .ok_or_else(|| ClusterError::UnknownDatabase(database.to_string()))?;
+        let mut inner = state.gate.write().unwrap_or_else(|e| e.into_inner());
+        let owner = inner.owner.clone();
+        let client = self.client_for(&owner, database)?;
+        let mut client = client.lock().unwrap_or_else(|e| e.into_inner());
+        let trace = self.obs.mint_trace();
+        self.last_trace.store(trace, Ordering::SeqCst);
+        client.use_trace_id(trace);
+        let result = client.apply(batch.clone());
+        self.stats.record(&owner, result.is_ok());
+        let summary = result.map_err(ClusterError::Rpc)?;
+        // Only *acknowledged* mutations reach the mirror: an Ambiguous or
+        // failed apply leaves it untouched, so a later rebalance replays
+        // exactly what the caller was told happened. The mirror apply
+        // cannot fail where the member's did not — same schema, same
+        // state, same batch.
+        inner
+            .mirror
+            .apply_batch(&batch)
+            .expect("mirror diverged from acknowledged member state");
+        Ok(summary)
+    }
+}
+
+/// A [`castor_service::Session`]-shaped handle on one database of the
+/// cluster, proxying every call to the shard's current owner. Shapes
+/// mirror [`RetryClient`]'s, so swapping in-process / single-server /
+/// cluster transports is a constructor change.
+pub struct ClusterSession<'a> {
+    router: &'a Router,
+    database: String,
+}
+
+impl ClusterSession<'_> {
+    /// The database this session is bound to.
+    pub fn database(&self) -> &str {
+        &self.database
+    }
+
+    /// The member currently owning this session's database.
+    pub fn owner(&self) -> Option<String> {
+        self.router.owner_of(&self.database)
+    }
+
+    /// Covered subsets per clause (see [`RetryClient::covered_sets`]).
+    pub fn covered_sets(
+        &self,
+        clauses: Vec<Clause>,
+        examples: Vec<Tuple>,
+    ) -> Result<Vec<HashSet<Tuple>>, ClusterError> {
+        self.router
+            .with_owner(&self.database, |c| c.covered_sets(clauses, examples))
+    }
+
+    /// Fused positive/negative scoring (see [`RetryClient::score`]).
+    pub fn score(
+        &self,
+        clauses: Vec<Clause>,
+        positive: Vec<Tuple>,
+        negative: Vec<Tuple>,
+    ) -> Result<Vec<ClauseCounts>, ClusterError> {
+        self.router
+            .with_owner(&self.database, |c| c.score(clauses, positive, negative))
+    }
+
+    /// Runs a learner on the owning member (see [`RetryClient::learn`]).
+    pub fn learn(
+        &self,
+        task: LearningTask,
+        algorithm: LearnAlgorithm,
+    ) -> Result<Definition, ClusterError> {
+        self.router
+            .with_owner(&self.database, |c| c.learn(task, algorithm))
+    }
+
+    /// [`ClusterSession::learn`] returning the covering-round progress
+    /// the member streamed over protocol v2 (empty over v1).
+    pub fn learn_with_progress(
+        &self,
+        task: LearningTask,
+        algorithm: LearnAlgorithm,
+    ) -> Result<(Definition, Vec<LearnProgress>), ClusterError> {
+        self.router
+            .with_owner(&self.database, |c| c.learn_with_progress(task, algorithm))
+    }
+
+    /// Applies a mutation batch to the owner and, once acknowledged, to
+    /// the router's mirror (the rebalance replay source).
+    pub fn apply(&self, batch: MutationBatch) -> Result<MutationSummary, ClusterError> {
+        self.router.apply_gated(&self.database, batch)
+    }
+
+    /// The owning member's session counter deltas (restart from zero
+    /// after a reconnect or rebalance — they are per wire session).
+    pub fn report(&self) -> Result<EngineReport, ClusterError> {
+        self.router.with_owner(&self.database, |c| c.report())
+    }
+
+    /// The owning member's engine totals plus serving-layer counters.
+    pub fn server_report(&self) -> Result<(EngineReport, ServerReport), ClusterError> {
+        self.router
+            .with_owner(&self.database, |c| c.server_report())
+    }
+
+    /// The owning member's metric exposition (the *router's* own metrics
+    /// are at [`Router::metrics_text`]).
+    pub fn metrics(&self) -> Result<String, ClusterError> {
+        self.router.with_owner(&self.database, |c| c.metrics())
+    }
+}

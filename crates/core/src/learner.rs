@@ -7,7 +7,7 @@ use crate::config::CastorConfig;
 use crate::coverage::CoverageEngine;
 use crate::plan::BottomClausePlan;
 use crate::reduction::negative_reduce;
-use castor_engine::{Engine, EngineReport, Prior};
+use castor_engine::{Engine, EngineReport, LearnProgress, Prior};
 use castor_learners::LearningTask;
 use castor_logic::{is_safe, minimize_clause, Clause, Definition};
 use castor_relational::{DatabaseInstance, InclusionDependency, Schema, Tuple};
@@ -142,6 +142,13 @@ impl Castor {
                 break;
             }
             uncovered.retain(|e| !covered_pos.contains(e));
+            eval_engine.emit_progress(&LearnProgress {
+                round: definition.len(),
+                clause: clause.clone(),
+                covered_positive: covered_pos.len(),
+                covered_negative: covered_neg.len(),
+                uncovered_remaining: uncovered.len(),
+            });
             definition.push(clause);
         }
 

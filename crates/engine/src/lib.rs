@@ -59,6 +59,41 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+/// One accepted covering-round clause, reported live while a learner runs.
+/// Emitted by every covering loop in the workspace (the generic
+/// `covering_loop` in `castor-learners` and Castor's own loop in
+/// `castor-core`) through the sink installed with
+/// [`Engine::set_progress_sink`] — the serving layer streams these to v2
+/// wire clients as incremental `LearnJob` progress frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnProgress {
+    /// 0-based covering-round index (one round = one accepted clause).
+    pub round: usize,
+    /// The clause this round added to the definition.
+    pub clause: Clause,
+    /// Positive examples the clause covered (of those still uncovered).
+    pub covered_positive: usize,
+    /// Negative examples the clause covered.
+    pub covered_negative: usize,
+    /// Positive examples still uncovered after this round.
+    pub uncovered_remaining: usize,
+}
+
+/// The callback type installed with [`Engine::set_progress_sink`].
+pub type ProgressSink = Arc<dyn Fn(&LearnProgress) + Send + Sync>;
+
+/// The progress-sink runtime slot. A newtype so the closure (which has no
+/// useful `Debug`) does not block `#[derive(Debug)]` on [`Engine`].
+#[derive(Default)]
+struct ProgressSlot(Mutex<Option<ProgressSink>>);
+
+impl std::fmt::Debug for ProgressSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let installed = self.0.lock().unwrap_or_else(|e| e.into_inner()).is_some();
+        f.debug_tuple("ProgressSlot").field(&installed).finish()
+    }
+}
+
 /// Engine construction knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -722,6 +757,9 @@ pub struct Engine {
     /// when the job's deadline passes. Threaded into every [`EvalBudget`]
     /// next to the cancellation token.
     deadline: Mutex<Option<Arc<AtomicBool>>>,
+    /// Per-job learn-progress sink installed by the serving layer, if any;
+    /// covering loops report each accepted clause through it.
+    progress: ProgressSlot,
     /// Readers: evaluation entry points. Writer: [`Engine::apply`].
     gate: RwLock<()>,
     /// Instrumentation: latency histograms plus the trace id of the job
@@ -822,6 +860,7 @@ impl Engine {
             eval_budget: AtomicUsize::new(config.eval_budget),
             cancel: Mutex::new(None),
             deadline: Mutex::new(None),
+            progress: ProgressSlot::default(),
             gate: RwLock::new(()),
             config,
             db: RwLock::new(db),
@@ -899,6 +938,29 @@ impl Engine {
     /// through the budget-exhaustion path, within one candidate tuple.
     pub fn set_deadline_token(&self, token: Option<Arc<AtomicBool>>) {
         *self.deadline.lock().unwrap_or_else(|e| e.into_inner()) = token;
+    }
+
+    /// Installs (or clears) the learn-progress sink covering loops report
+    /// accepted clauses through. Like the trace id and cancel token, this
+    /// is a per-job slot: jobs on one engine are serialized by the
+    /// per-database queue, so install-before / clear-after is sound.
+    pub fn set_progress_sink(&self, sink: Option<ProgressSink>) {
+        *self.progress.0.lock().unwrap_or_else(|e| e.into_inner()) = sink;
+    }
+
+    /// Reports one accepted covering-round clause to the installed sink
+    /// (no-op when none is installed). The sink is cloned out before the
+    /// call so slow consumers never hold the slot lock.
+    pub fn emit_progress(&self, progress: &LearnProgress) {
+        let sink = self
+            .progress
+            .0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(sink) = sink {
+            sink(progress);
+        }
     }
 
     /// Drops every memoized coverage result (administrative reset; routine

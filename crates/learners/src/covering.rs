@@ -16,7 +16,7 @@
 use crate::params::LearnerParams;
 use crate::scoring::{clause_coverage_engine, covered_examples_engine};
 use crate::task::LearningTask;
-use castor_engine::Engine;
+use castor_engine::{Engine, LearnProgress};
 use castor_logic::{Clause, Definition};
 use castor_relational::Tuple;
 
@@ -64,6 +64,13 @@ pub fn covering_loop<L: ClauseLearner>(
             break;
         }
         uncovered.retain(|e| !newly_covered.contains(e));
+        engine.emit_progress(&LearnProgress {
+            round: definition.len(),
+            clause: clause.clone(),
+            covered_positive: coverage.positive,
+            covered_negative: coverage.negative,
+            uncovered_remaining: uncovered.len(),
+        });
         definition.push(clause);
     }
     definition

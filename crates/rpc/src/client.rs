@@ -10,9 +10,10 @@
 //! transports.
 
 use crate::frame::{
-    read_response, write_request, ErrorCode, FrameError, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+    read_response, write_request_v, ErrorCode, FrameError, Request, Response, StreamBody,
+    DEFAULT_MAX_FRAME_BYTES, DEFAULT_STREAM_CREDIT, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_VERSION,
 };
-use castor_engine::{ClauseCounts, EngineReport};
+use castor_engine::{ClauseCounts, EngineReport, LearnProgress};
 use castor_learners::LearningTask;
 use castor_logic::{Clause, Definition};
 use castor_obs::{Histogram, Obs};
@@ -42,6 +43,18 @@ pub struct ClientConfig {
     pub max_frame_bytes: usize,
     /// Per-session node-budget override sent in `Hello`.
     pub eval_budget: Option<usize>,
+    /// Protocol version to speak. `None` (the default) negotiates: the
+    /// client tries this build's newest version and reconnects at v1 when
+    /// the server rejects it with
+    /// [`ErrorCode::UnsupportedVersion`]. `Some(v)` pins the version —
+    /// no fallback.
+    pub protocol_version: Option<u8>,
+    /// Initial stream-frame credit granted in `Hello` on a v2 connection
+    /// (see [`Request::StreamCredit`]). The client replenishes
+    /// automatically as it consumes stream frames; `0` grants nothing —
+    /// the server will not stream to this connection until an explicit
+    /// grant (starvation-test territory, not a production setting).
+    pub stream_credit: u64,
 }
 
 impl Default for ClientConfig {
@@ -52,6 +65,8 @@ impl Default for ClientConfig {
             write_timeout: None,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             eval_budget: None,
+            protocol_version: None,
+            stream_credit: DEFAULT_STREAM_CREDIT,
         }
     }
 }
@@ -84,6 +99,20 @@ impl ClientConfig {
     /// Sets the per-session node-budget override (builder style).
     pub fn with_eval_budget(mut self, budget: usize) -> Self {
         self.eval_budget = Some(budget);
+        self
+    }
+
+    /// Pins the protocol version — no negotiation fallback (builder
+    /// style).
+    pub fn with_protocol_version(mut self, version: u8) -> Self {
+        self.protocol_version = Some(version);
+        self
+    }
+
+    /// Sets the initial stream-frame credit for v2 connections (builder
+    /// style).
+    pub fn with_stream_credit(mut self, credit: u64) -> Self {
+        self.stream_credit = credit;
         self
     }
 }
@@ -244,6 +273,17 @@ impl RpcHandle {
     }
 }
 
+/// Reassembly state of one request's in-progress response stream.
+#[derive(Debug, Default)]
+struct StreamState {
+    /// The sequence number the next chunk must carry.
+    next_seq: u64,
+    /// Covered sets accumulated from `CoveredChunk` frames.
+    chunks: Vec<HashSet<Tuple>>,
+    /// Learn-progress events, in arrival (covering-round) order.
+    progress: Vec<LearnProgress>,
+}
+
 /// A blocking client bound to one database session on an
 /// [`crate::RpcServer`].
 #[derive(Debug)]
@@ -251,9 +291,20 @@ pub struct RpcClient {
     reader: TcpStream,
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    /// The request id to stamp on the next submit instead of the counter
+    /// (see [`RpcClient::use_trace_id`]).
+    forced_id: Option<u64>,
     /// Responses that arrived while waiting for a different request id.
     pending: HashMap<u64, Response>,
+    /// Partially reassembled v2 response streams, by request id.
+    streams: HashMap<u64, StreamState>,
     max_frame_bytes: usize,
+    /// The negotiated connection protocol version.
+    version: u8,
+    /// The initial credit granted in `Hello`; replenishment targets it.
+    stream_credit: u64,
+    /// Stream frames consumed since the last replenishment grant.
+    consumed_since_grant: u64,
     /// The client's own observability handle: `rpc.client.encode` spans
     /// plus encode/roundtrip latency histograms, recorded under the same
     /// trace ids (request ids) the server records its spans under.
@@ -297,6 +348,29 @@ impl RpcClient {
         database: &str,
         config: &ClientConfig,
     ) -> Result<RpcClient, RpcError> {
+        match config.protocol_version {
+            // A pinned version is spoken as-is — no fallback.
+            Some(version) => RpcClient::connect_version(&addr, database, config, version),
+            // Negotiation: try this build's newest version; a server that
+            // rejects it (UnsupportedVersion closes the connection, so a
+            // fresh one is needed) gets a v1 retry.
+            None => match RpcClient::connect_version(&addr, database, config, PROTOCOL_VERSION) {
+                Err(RpcError::Remote {
+                    code: ErrorCode::UnsupportedVersion,
+                    ..
+                }) => RpcClient::connect_version(&addr, database, config, PROTOCOL_V1),
+                other => other,
+            },
+        }
+    }
+
+    /// Connects and performs the Hello exchange at one fixed version.
+    fn connect_version(
+        addr: &impl ToSocketAddrs,
+        database: &str,
+        config: &ClientConfig,
+        version: u8,
+    ) -> Result<RpcClient, RpcError> {
         let stream = connect_stream(addr, config.connect_timeout)?;
         let _ = stream.set_nodelay(true);
         stream
@@ -322,8 +396,13 @@ impl RpcClient {
             reader,
             writer: BufWriter::new(stream),
             next_id: 0,
+            forced_id: None,
             pending: HashMap::new(),
+            streams: HashMap::new(),
             max_frame_bytes,
+            version,
+            stream_credit: config.stream_credit,
+            consumed_since_grant: 0,
             obs,
             encode_ns,
             roundtrip_ns,
@@ -332,11 +411,29 @@ impl RpcClient {
         let handle = client.submit(Request::Hello {
             database: database.to_string(),
             eval_budget,
+            // The credit field only exists on v2 connections; a v1 Hello
+            // stays byte-identical to the pre-v2 wire format.
+            stream_credit: (version >= PROTOCOL_V2).then_some(config.stream_credit),
         })?;
         match client.join(handle)? {
             Response::HelloOk => Ok(client),
             other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
         }
+    }
+
+    /// The negotiated protocol version of this connection.
+    pub fn protocol_version(&self) -> u8 {
+        self.version
+    }
+
+    /// Stamps the *next* submitted request with `trace` instead of the
+    /// sequential counter. Routers forward an upstream caller's minted
+    /// trace id this way, so one logical request's spans stitch across
+    /// client, router, and server processes. Minted trace ids carry the
+    /// high bit ([`castor_obs`] local-trace convention) while sequential
+    /// request ids count up from zero, so the two can never collide.
+    pub fn use_trace_id(&mut self, trace: u64) {
+        self.forced_id = Some(trace);
     }
 
     /// Sends one request, returning its handle without waiting for the
@@ -346,11 +443,17 @@ impl RpcClient {
     /// the request id — the same id the server uses as the job's trace id,
     /// so the client- and server-side spans of one request line up.
     pub fn submit(&mut self, request: Request) -> Result<RpcHandle, RpcError> {
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = match self.forced_id.take() {
+            Some(forced) => forced,
+            None => {
+                let id = self.next_id;
+                self.next_id += 1;
+                id
+            }
+        };
         let start_ns = self.obs.now_ns();
         let timer = self.obs.timer();
-        write_request(&mut self.writer, id, &request)?;
+        write_request_v(&mut self.writer, self.version, id, &request)?;
         if timer.is_live() {
             let dur_ns = timer.stop_ns(&self.encode_ns);
             self.obs
@@ -384,8 +487,66 @@ impl RpcClient {
                 };
             }
             let (id, response) = read_response(&mut self.reader, self.max_frame_bytes)?;
-            self.pending.insert(id, response);
+            self.accept(id, response)?;
         }
+    }
+
+    /// Routes one received frame: stream chunks accumulate (completing
+    /// into `pending` when the last chunk lands), everything else goes to
+    /// `pending` directly. Consuming stream frames replenishes the
+    /// server's flow-control credit once half the initial grant is spent.
+    fn accept(&mut self, id: u64, response: Response) -> Result<(), RpcError> {
+        let Response::Stream { seq, last, body } = response else {
+            self.pending.insert(id, response);
+            return Ok(());
+        };
+        self.consumed_since_grant += 1;
+        let state = self.streams.entry(id).or_default();
+        if seq != state.next_seq {
+            return Err(RpcError::Malformed(format!(
+                "stream chunk for request {id} arrived out of order: got seq {seq}, expected {}",
+                state.next_seq
+            )));
+        }
+        state.next_seq += 1;
+        match body {
+            StreamBody::Progress(progress) => {
+                if last {
+                    return Err(RpcError::Malformed(format!(
+                        "progress stream for request {id} marked last: the terminal \
+                         frame of a learn is its result, never a progress chunk"
+                    )));
+                }
+                state.progress.push(progress);
+            }
+            StreamBody::CoveredChunk(mut sets) => {
+                state.chunks.append(&mut sets);
+                if last {
+                    let state = self.streams.remove(&id).expect("stream state just touched");
+                    self.pending.insert(id, Response::Covered(state.chunks));
+                }
+            }
+        }
+        self.replenish_credit()
+    }
+
+    /// Tops the server's stream credit back up after the client has
+    /// consumed half its grant (batched so grants are not per-frame).
+    /// Grants ride with request id 0 — [`Request::StreamCredit`] has no
+    /// response frame, so the id is never echoed and cannot collide.
+    fn replenish_credit(&mut self) -> Result<(), RpcError> {
+        let threshold = (self.stream_credit / 2).max(1);
+        if self.stream_credit == 0 || self.consumed_since_grant < threshold {
+            return Ok(());
+        }
+        let grant = std::mem::take(&mut self.consumed_since_grant);
+        write_request_v(
+            &mut self.writer,
+            self.version,
+            0,
+            &Request::StreamCredit { grant },
+        )?;
+        Ok(())
     }
 
     /// Submit-then-join for a request expecting one response shape.
@@ -463,12 +624,44 @@ impl RpcClient {
         algorithm: LearnAlgorithm,
         deadline_ms: Option<u64>,
     ) -> Result<Definition, RpcError> {
-        match self.request(Request::Learn {
+        self.learn_deadline_with_progress(task, algorithm, deadline_ms)
+            .map(|(definition, _)| definition)
+    }
+
+    /// [`RpcClient::learn`] returning the covering-round progress the
+    /// server streamed ahead of the result — one [`LearnProgress`] per
+    /// accepted clause, in covering order. On a v1 connection the server
+    /// streams nothing and the progress vector is empty.
+    pub fn learn_with_progress(
+        &mut self,
+        task: LearningTask,
+        algorithm: LearnAlgorithm,
+    ) -> Result<(Definition, Vec<LearnProgress>), RpcError> {
+        self.learn_deadline_with_progress(task, algorithm, None)
+    }
+
+    /// [`RpcClient::learn_with_progress`] with a relative deadline.
+    pub fn learn_deadline_with_progress(
+        &mut self,
+        task: LearningTask,
+        algorithm: LearnAlgorithm,
+        deadline_ms: Option<u64>,
+    ) -> Result<(Definition, Vec<LearnProgress>), RpcError> {
+        let handle = self.submit(Request::Learn {
             task,
             algorithm,
             deadline_ms,
-        })? {
-            Response::Learned(definition) => Ok(definition),
+        })?;
+        let result = self.join(handle);
+        // The terminal frame ends the stream, so whatever progress state
+        // accumulated is complete (and must not leak on the error path).
+        let progress = self
+            .streams
+            .remove(&handle.0)
+            .map(|state| state.progress)
+            .unwrap_or_default();
+        match result? {
+            Response::Learned(definition) => Ok((definition, progress)),
             other => Err(RpcError::UnexpectedResponse(format!("{other:?}"))),
         }
     }

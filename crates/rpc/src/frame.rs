@@ -4,7 +4,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     frame length N (u32 LE) — bytes after this prefix
-//! 4       1     protocol version (PROTOCOL_VERSION)
+//! 4       1     protocol version (PROTOCOL_V1 or PROTOCOL_V2)
 //! 5       1     frame kind (request or response discriminant)
 //! 6       8     request id (u64 LE) — echoed verbatim in the response
 //! 14      N-10  payload (kind-specific binary, see `codec`)
@@ -13,13 +13,16 @@
 //! The length prefix is read first and validated against the configured
 //! maximum *before* any allocation, so an oversized or forged frame is
 //! rejected with a typed error instead of a giant buffer. The version
-//! byte is checked next; unknown versions produce
-//! [`ErrorCode::UnsupportedVersion`] and the connection closes. Request
+//! byte is checked next; versions over the reader's maximum produce
+//! [`ErrorCode::UnsupportedVersion`] and the connection closes. A
+//! connection's version is negotiated by the client's `Hello` frame: the
+//! server answers every frame at that version for the life of the
+//! connection, so v1 clients see a byte-identical v1 server. Request
 //! ids are chosen by the client and echoed by the server, which lets a
 //! client multiplex any number of in-flight requests on one connection.
 
 use crate::codec::{ByteReader, ByteWriter, CodecError, Wire};
-use castor_engine::EngineReport;
+use castor_engine::{EngineReport, LearnProgress};
 use castor_learners::LearningTask;
 use castor_logic::{Clause, Definition};
 use castor_relational::{MutationBatch, MutationSummary, Tuple};
@@ -28,8 +31,27 @@ use std::collections::HashSet;
 use std::fmt;
 use std::io::{Read, Write};
 
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol v1: the original frame set (PR 5–7). Still spoken verbatim —
+/// a v1 connection's frames are byte-identical to the pre-v2 build.
+pub const PROTOCOL_V1: u8 = 1;
+
+/// Protocol v2: adds streaming response frames ([`Response::Stream`])
+/// with client-granted flow-control credit ([`Request::StreamCredit`],
+/// plus an initial-credit field trailing `Hello`). Negotiated per
+/// connection via the version byte of the client's `Hello` frame.
+pub const PROTOCOL_V2: u8 = 2;
+
+/// The highest protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = PROTOCOL_V2;
+
+/// Stream frames a server may write before it needs a fresh
+/// [`Request::StreamCredit`] grant, when the client's `Hello` carries no
+/// explicit initial credit.
+pub const DEFAULT_STREAM_CREDIT: u64 = 1024;
+
+/// Covered sets per [`StreamBody::CoveredChunk`] frame when a v2
+/// connection streams a coverage result.
+pub const COVERED_CHUNK_SETS: usize = 8;
 
 /// Frame header bytes after the length prefix (version + kind + request
 /// id).
@@ -74,7 +96,7 @@ impl fmt::Display for FrameError {
             FrameError::Version { got } => {
                 write!(
                     f,
-                    "peer speaks protocol version {got}, this build speaks {PROTOCOL_VERSION}"
+                    "peer speaks protocol version {got}, this build speaks up to {PROTOCOL_VERSION}"
                 )
             }
         }
@@ -150,11 +172,21 @@ impl ErrorCode {
 pub enum Request {
     /// Opens the connection's session: the database to bind to plus an
     /// optional per-test node-budget override. Must be the first frame.
+    /// The frame's version byte negotiates the connection protocol: the
+    /// server answers at the client's version when it speaks it, and
+    /// rejects with [`ErrorCode::UnsupportedVersion`] otherwise.
     Hello {
         /// The registered database name.
         database: String,
         /// Per-session node-budget override, if any.
         eval_budget: Option<usize>,
+        /// Initial stream-frame credit (v2): how many [`Response::Stream`]
+        /// frames the server may write before waiting for a
+        /// [`Request::StreamCredit`] grant. Encoded as a trailing field
+        /// only when present, so credit-free Hellos (every v1 client) are
+        /// byte-identical to the v1 wire format. Absent means
+        /// [`DEFAULT_STREAM_CREDIT`].
+        stream_credit: Option<u64>,
     },
     /// [`castor_service::CoverageJob`] over the wire.
     Coverage {
@@ -201,6 +233,14 @@ pub enum Request {
     /// The server's recent spans as Chrome-trace JSON (load
     /// `chrome://tracing` or Perfetto on the payload).
     TraceDump,
+    /// Grants the server `grant` additional stream frames (v2 flow
+    /// control; connection-scoped). Has no response frame. A server whose
+    /// credit is spent blocks *its own connection's* writer until the
+    /// next grant arrives — other connections are unaffected.
+    StreamCredit {
+        /// Additional stream frames the server may write.
+        grant: u64,
+    },
 }
 
 impl Request {
@@ -215,6 +255,7 @@ impl Request {
             Request::ServerReport => 0x07,
             Request::Metrics => 0x08,
             Request::TraceDump => 0x09,
+            Request::StreamCredit { .. } => 0x0a,
         }
     }
 
@@ -223,9 +264,11 @@ impl Request {
             Request::Hello {
                 database,
                 eval_budget,
+                stream_credit,
             } => {
                 w.put_str(database);
                 eval_budget.encode(w);
+                put_trailing_uvarint(w, *stream_credit);
             }
             Request::Coverage {
                 clauses,
@@ -257,6 +300,7 @@ impl Request {
                 put_trailing_uvarint(w, *deadline_ms);
             }
             Request::Mutate(batch) => batch.encode(w),
+            Request::StreamCredit { grant } => w.put_uvarint(*grant),
             Request::Report | Request::ServerReport | Request::Metrics | Request::TraceDump => {}
         }
     }
@@ -266,6 +310,7 @@ impl Request {
             0x01 => Request::Hello {
                 database: r.get_str()?,
                 eval_budget: Option::<usize>::decode(r)?,
+                stream_credit: take_trailing_uvarint(r)?,
             },
             0x02 => Request::Coverage {
                 clauses: Vec::<Clause>::decode(r)?,
@@ -288,6 +333,9 @@ impl Request {
             0x07 => Request::ServerReport,
             0x08 => Request::Metrics,
             0x09 => Request::TraceDump,
+            0x0a => Request::StreamCredit {
+                grant: r.get_uvarint()?,
+            },
             other => return Err(CodecError::new(format!("invalid request kind {other}"))),
         })
     }
@@ -309,6 +357,54 @@ fn take_trailing_uvarint(r: &mut ByteReader<'_>) -> Result<Option<u64>, CodecErr
         Ok(None)
     } else {
         Ok(Some(r.get_uvarint()?))
+    }
+}
+
+/// One chunk of an in-progress response on a v2 connection (the body of
+/// [`Response::Stream`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamBody {
+    /// One accepted covering-round clause of a running `Learn` job, with
+    /// its coverage counts — incremental progress ahead of the final
+    /// [`Response::Learned`] frame.
+    Progress(LearnProgress),
+    /// A slice of a coverage result's per-clause covered sets, in
+    /// submitted clause order. The client concatenates chunks; the chunk
+    /// marked `last` completes the response (no separate
+    /// [`Response::Covered`] frame follows).
+    CoveredChunk(Vec<HashSet<Tuple>>),
+}
+
+impl StreamBody {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            StreamBody::Progress(p) => {
+                w.put_u8(0);
+                w.put_usize(p.round);
+                p.clause.encode(w);
+                w.put_usize(p.covered_positive);
+                w.put_usize(p.covered_negative);
+                w.put_usize(p.uncovered_remaining);
+            }
+            StreamBody::CoveredChunk(sets) => {
+                w.put_u8(1);
+                sets.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<StreamBody, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => StreamBody::Progress(LearnProgress {
+                round: r.get_usize()?,
+                clause: Clause::decode(r)?,
+                covered_positive: r.get_usize()?,
+                covered_negative: r.get_usize()?,
+                uncovered_remaining: r.get_usize()?,
+            }),
+            1 => StreamBody::CoveredChunk(Vec::<HashSet<Tuple>>::decode(r)?),
+            other => return Err(CodecError::new(format!("invalid stream body tag {other}"))),
+        })
     }
 }
 
@@ -338,6 +434,21 @@ pub enum Response {
     Metrics(String),
     /// The span ring rendered as Chrome-trace JSON.
     TraceDump(String),
+    /// One streamed chunk of an in-progress response (v2 only). Stream
+    /// frames echo the originating request id, carry a per-request
+    /// sequence number, and count against the connection's flow-control
+    /// credit. A [`StreamBody::CoveredChunk`] with `last` set completes
+    /// its request; [`StreamBody::Progress`] frames always have `last`
+    /// clear — the job's terminal [`Response::Learned`] or
+    /// [`Response::Error`] frame (credit-exempt) ends the stream.
+    Stream {
+        /// Position of this chunk in its request's stream, from 0.
+        seq: u64,
+        /// Whether this chunk completes the response.
+        last: bool,
+        /// The chunk itself.
+        body: StreamBody,
+    },
     /// A typed failure for the request id this frame echoes.
     Error {
         /// What went wrong.
@@ -367,6 +478,7 @@ impl Response {
             Response::ServerReport { .. } => 0x87,
             Response::Metrics(_) => 0x88,
             Response::TraceDump(_) => 0x89,
+            Response::Stream { .. } => 0x8a,
             Response::Error { .. } => 0xff,
         }
     }
@@ -384,6 +496,11 @@ impl Response {
                 server.encode(w);
             }
             Response::Metrics(text) | Response::TraceDump(text) => w.put_str(text),
+            Response::Stream { seq, last, body } => {
+                w.put_uvarint(*seq);
+                w.put_bool(*last);
+                body.encode(w);
+            }
             Response::Error {
                 code,
                 limit,
@@ -414,6 +531,11 @@ impl Response {
             },
             0x88 => Response::Metrics(r.get_str()?),
             0x89 => Response::TraceDump(r.get_str()?),
+            0x8a => Response::Stream {
+                seq: r.get_uvarint()?,
+                last: r.get_bool()?,
+                body: StreamBody::decode(r)?,
+            },
             0xff => Response::Error {
                 code: ErrorCode::from_u8(r.get_u8()?)?,
                 limit: r.get_usize()?,
@@ -466,9 +588,11 @@ impl Response {
     }
 }
 
-/// Writes one frame (header + payload) to `writer`.
+/// Writes one frame (header + payload) to `writer`, stamping `version`
+/// into the header's version byte.
 fn write_frame(
     writer: &mut impl Write,
+    version: u8,
     kind: u8,
     request_id: u64,
     payload: &[u8],
@@ -477,7 +601,7 @@ fn write_frame(
     let len32 = u32::try_from(len).map_err(|_| CodecError::new("frame length exceeds u32::MAX"))?;
     let mut header = [0u8; 4 + HEADER_BYTES];
     header[..4].copy_from_slice(&len32.to_le_bytes());
-    header[4] = PROTOCOL_VERSION;
+    header[4] = version;
     header[5] = kind;
     header[6..14].copy_from_slice(&request_id.to_le_bytes());
     writer.write_all(&header)?;
@@ -486,30 +610,58 @@ fn write_frame(
     Ok(())
 }
 
-/// Writes one request frame.
-pub fn write_request(
+/// Writes one request frame at the given protocol version.
+pub fn write_request_v(
     writer: &mut impl Write,
+    version: u8,
     request_id: u64,
     request: &Request,
 ) -> Result<(), FrameError> {
     let mut w = ByteWriter::new();
     request.encode_payload(&mut w);
-    write_frame(writer, request.kind(), request_id, &w.into_bytes())
+    write_frame(writer, version, request.kind(), request_id, &w.into_bytes())
 }
 
-/// Writes one response frame.
-pub fn write_response(
+/// Writes one v1 request frame — byte-identical to the pre-v2 wire
+/// format for every v1 request shape.
+pub fn write_request(
     writer: &mut impl Write,
+    request_id: u64,
+    request: &Request,
+) -> Result<(), FrameError> {
+    write_request_v(writer, PROTOCOL_V1, request_id, request)
+}
+
+/// Writes one response frame at the given protocol version.
+pub fn write_response_v(
+    writer: &mut impl Write,
+    version: u8,
     request_id: u64,
     response: &Response,
 ) -> Result<(), FrameError> {
     let mut w = ByteWriter::new();
     response.encode_payload(&mut w);
-    write_frame(writer, response.kind(), request_id, &w.into_bytes())
+    write_frame(
+        writer,
+        version,
+        response.kind(),
+        request_id,
+        &w.into_bytes(),
+    )
+}
+
+/// Writes one v1 response frame (see [`write_request`]).
+pub fn write_response(
+    writer: &mut impl Write,
+    request_id: u64,
+    response: &Response,
+) -> Result<(), FrameError> {
+    write_response_v(writer, PROTOCOL_V1, request_id, response)
 }
 
 /// One parsed frame header plus its raw payload.
 struct RawFrame {
+    version: u8,
     kind: u8,
     request_id: u64,
     payload: Vec<u8>,
@@ -518,7 +670,14 @@ struct RawFrame {
 /// Reads one frame, enforcing `max_frame_bytes` *before* allocating the
 /// payload (which is read straight into its own buffer — no second
 /// copy). A clean EOF at a frame boundary is [`FrameError::Closed`].
-fn read_frame(reader: &mut impl Read, max_frame_bytes: usize) -> Result<RawFrame, FrameError> {
+/// Version bytes in `1..=max_version` are accepted (the negotiated
+/// connection version rides in the returned frame); anything else is
+/// [`FrameError::Version`].
+fn read_frame(
+    reader: &mut impl Read,
+    max_frame_bytes: usize,
+    max_version: u8,
+) -> Result<RawFrame, FrameError> {
     let mut prefix = [0u8; 4];
     match reader.read_exact(&mut prefix) {
         Ok(()) => {}
@@ -547,34 +706,48 @@ fn read_frame(reader: &mut impl Read, max_frame_bytes: usize) -> Result<RawFrame
     // reply followed by a close must leave no unread bytes behind, or the
     // close degrades from FIN to RST and the peer loses the error frame.
     let version = header[0];
-    if version != PROTOCOL_VERSION {
+    if !(PROTOCOL_V1..=max_version).contains(&version) {
         return Err(FrameError::Version { got: version });
     }
     Ok(RawFrame {
+        version,
         kind: header[1],
         request_id: u64::from_le_bytes(header[2..10].try_into().expect("8 header bytes")),
         payload,
     })
 }
 
-/// Reads one request frame (server side). On a payload decode failure the
-/// already-parsed request id rides along (`Some`), so the server can
-/// correlate its typed error frame with the request that caused it;
-/// header-level failures have no id (`None`).
-pub fn read_request_tagged(
+/// Reads one request frame (server side), accepting versions up to
+/// `max_version` and reporting the frame's version byte alongside the
+/// request — the server pins the connection to the version of the `Hello`
+/// frame. On a payload decode failure the already-parsed request id rides
+/// along (`Some`), so the server can correlate its typed error frame with
+/// the request that caused it; header-level failures have no id (`None`).
+pub fn read_request_versioned(
     reader: &mut impl Read,
     max_frame_bytes: usize,
-) -> Result<(u64, Request), (Option<u64>, FrameError)> {
-    let frame = read_frame(reader, max_frame_bytes).map_err(|e| (None, e))?;
+    max_version: u8,
+) -> Result<(u64, u8, Request), (Option<u64>, FrameError)> {
+    let frame = read_frame(reader, max_frame_bytes, max_version).map_err(|e| (None, e))?;
     let mut r = ByteReader::new(&frame.payload);
     let decoded = Request::decode_payload(frame.kind, &mut r).and_then(|request| {
         r.finish()?;
         Ok(request)
     });
     match decoded {
-        Ok(request) => Ok((frame.request_id, request)),
+        Ok(request) => Ok((frame.request_id, frame.version, request)),
         Err(e) => Err((Some(frame.request_id), e.into())),
     }
+}
+
+/// [`read_request_versioned`] at this build's maximum version, without
+/// the frame's version byte.
+pub fn read_request_tagged(
+    reader: &mut impl Read,
+    max_frame_bytes: usize,
+) -> Result<(u64, Request), (Option<u64>, FrameError)> {
+    read_request_versioned(reader, max_frame_bytes, PROTOCOL_VERSION)
+        .map(|(id, _, request)| (id, request))
 }
 
 /// [`read_request_tagged`] without the error-side request id.
@@ -585,23 +758,31 @@ pub fn read_request(
     read_request_tagged(reader, max_frame_bytes).map_err(|(_, e)| e)
 }
 
-/// Reads one response frame (client side).
+/// Reads one response frame (client side). Accepts any version this
+/// build speaks: on a negotiated connection every response carries the
+/// connection version, which the client already knows.
 pub fn read_response(
     reader: &mut impl Read,
     max_frame_bytes: usize,
 ) -> Result<(u64, Response), FrameError> {
-    let frame = read_frame(reader, max_frame_bytes)?;
+    let frame = read_frame(reader, max_frame_bytes, PROTOCOL_VERSION)?;
     let mut r = ByteReader::new(&frame.payload);
     let response = Response::decode_payload(frame.kind, &mut r)?;
     r.finish()?;
     Ok((frame.request_id, response))
 }
 
-/// Encodes a request to raw frame bytes (test helper and bench fodder).
-pub fn request_to_bytes(request_id: u64, request: &Request) -> Vec<u8> {
+/// Encodes a request to raw frame bytes at the given protocol version.
+pub fn request_to_bytes_v(version: u8, request_id: u64, request: &Request) -> Vec<u8> {
     let mut out = Vec::new();
-    write_request(&mut out, request_id, request).expect("vec writes cannot fail");
+    write_request_v(&mut out, version, request_id, request).expect("vec writes cannot fail");
     out
+}
+
+/// Encodes a request to raw v1 frame bytes (test helper and bench
+/// fodder).
+pub fn request_to_bytes(request_id: u64, request: &Request) -> Vec<u8> {
+    request_to_bytes_v(PROTOCOL_V1, request_id, request)
 }
 
 /// `Wire` helpers are re-exported for payload-level tooling.
@@ -632,7 +813,14 @@ mod tests {
         roundtrip_request(Request::Hello {
             database: "demo".into(),
             eval_budget: Some(1234),
+            stream_credit: None,
         });
+        roundtrip_request(Request::Hello {
+            database: "demo".into(),
+            eval_budget: None,
+            stream_credit: Some(64),
+        });
+        roundtrip_request(Request::StreamCredit { grant: 512 });
         roundtrip_request(Request::Coverage {
             clauses: vec![Clause::fact(Atom::vars("t", &["x"]))],
             examples: vec![Tuple::from_strs(&["a"])],
@@ -677,6 +865,22 @@ mod tests {
             "# HELP castor_jobs_submitted_total jobs\ncastor_jobs_submitted_total 3\n".into(),
         ));
         roundtrip_response(Response::TraceDump("{\"traceEvents\":[]}".into()));
+        roundtrip_response(Response::Stream {
+            seq: 3,
+            last: false,
+            body: StreamBody::Progress(LearnProgress {
+                round: 1,
+                clause: Clause::fact(Atom::vars("t", &["x"])),
+                covered_positive: 5,
+                covered_negative: 1,
+                uncovered_remaining: 7,
+            }),
+        });
+        roundtrip_response(Response::Stream {
+            seq: 0,
+            last: true,
+            body: StreamBody::CoveredChunk(vec![[Tuple::from_strs(&["a"])].into_iter().collect()]),
+        });
     }
 
     #[test]
@@ -734,6 +938,48 @@ mod tests {
         .unwrap();
         assert!(hinted.len() > no_hint.len());
         assert_eq!(&hinted[4..no_hint.len()], &no_hint[4..]);
+    }
+
+    #[test]
+    fn hello_credit_field_is_version_tolerant_and_version_byte_negotiates() {
+        // A credit-free Hello is byte-identical to the v1 wire format
+        // past the length prefix, so a v1 server parses it unchanged.
+        let bare = Request::Hello {
+            database: "demo".into(),
+            eval_budget: None,
+            stream_credit: None,
+        };
+        let with_credit = Request::Hello {
+            database: "demo".into(),
+            eval_budget: None,
+            stream_credit: Some(16),
+        };
+        let bare_bytes = request_to_bytes(1, &bare);
+        let credit_bytes = request_to_bytes(1, &with_credit);
+        assert!(credit_bytes.len() > bare_bytes.len());
+        assert_eq!(&credit_bytes[4..bare_bytes.len()], &bare_bytes[4..]);
+
+        // The version wrappers stamp exactly the version byte and nothing
+        // else: a v2 frame differs from its v1 twin only at offset 4.
+        let v1 = request_to_bytes_v(PROTOCOL_V1, 1, &bare);
+        let v2 = request_to_bytes_v(PROTOCOL_V2, 1, &bare);
+        assert_eq!(v1[4], PROTOCOL_V1);
+        assert_eq!(v2[4], PROTOCOL_V2);
+        assert_eq!(&v1[..4], &v2[..4]);
+        assert_eq!(&v1[5..], &v2[5..]);
+
+        // A v1-capped reader rejects the v2 frame; a full reader reports
+        // the version it accepted.
+        assert!(matches!(
+            read_request_versioned(&mut v2.as_slice(), 1 << 20, PROTOCOL_V1),
+            Err((None, FrameError::Version { got: PROTOCOL_V2 }))
+        ));
+        let (_, version, _) =
+            read_request_versioned(&mut v2.as_slice(), 1 << 20, PROTOCOL_VERSION).unwrap();
+        assert_eq!(version, PROTOCOL_V2);
+        let (_, version, _) =
+            read_request_versioned(&mut v1.as_slice(), 1 << 20, PROTOCOL_VERSION).unwrap();
+        assert_eq!(version, PROTOCOL_V1);
     }
 
     #[test]

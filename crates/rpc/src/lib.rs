@@ -10,7 +10,11 @@
 //!
 //! * [`frame`] — versioned length-prefixed frames with request ids (see
 //!   the module docs for the byte layout), request/response bodies, and
-//!   typed error codes;
+//!   typed error codes; protocol v2 (negotiated per connection by the
+//!   `Hello` frame's version byte) adds streaming response frames —
+//!   learn-progress chunks and chunked covered sets — under
+//!   client-granted flow-control credit, while v1 connections stay
+//!   byte-identical to the pre-v2 wire format;
 //! * [`codec`] — compact hand-rolled binary encoding (varints, tagged
 //!   enums) for every job and result shape: clauses, tuples, mutation
 //!   batches, learner configurations, engine and server reports;
@@ -82,7 +86,8 @@ pub use client::{ClientConfig, RpcClient, RpcError, RpcHandle};
 pub use codec::{ByteReader, ByteWriter, CodecError, Wire};
 pub use fault::{FaultAction, FaultKind, FaultPlan, FaultStats, FaultStream};
 pub use frame::{
-    ErrorCode, FrameError, Request, Response, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    ErrorCode, FrameError, Request, Response, StreamBody, DEFAULT_MAX_FRAME_BYTES,
+    DEFAULT_STREAM_CREDIT, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_VERSION,
 };
 pub use retry::{RetryClient, RetryPolicy};
 pub use server::{RpcConfig, RpcServer};

@@ -26,9 +26,11 @@
 
 use crate::fault::{register_fault_collector, FaultPlan, FaultStats, FaultStream};
 use crate::frame::{
-    read_request_tagged, write_response, ErrorCode, FrameError, Request, Response,
-    DEFAULT_MAX_FRAME_BYTES,
+    read_request_versioned, write_response, write_response_v, ErrorCode, FrameError, Request,
+    Response, StreamBody, COVERED_CHUNK_SETS, DEFAULT_MAX_FRAME_BYTES, DEFAULT_STREAM_CREDIT,
+    PROTOCOL_V2, PROTOCOL_VERSION,
 };
+use castor_engine::{LearnProgress, ProgressSink};
 use castor_obs::Obs;
 use castor_service::{
     CoverageJob, Deadline, Job, JobHandle, JobResult, LearnJob, ScoreJob, Server, ServerError,
@@ -38,7 +40,7 @@ use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -54,6 +56,12 @@ pub struct RpcConfig {
     /// fired fault is counted in the server's
     /// `castor_fault_injected_total{kind=...}` metric family.
     pub fault_plan: Option<FaultPlan>,
+    /// Highest protocol version this server negotiates (default: this
+    /// build's [`PROTOCOL_VERSION`]). Set to [`crate::PROTOCOL_V1`] to
+    /// emulate a pre-v2 server byte-for-byte — v2 Hellos are then
+    /// rejected with [`ErrorCode::UnsupportedVersion`], exactly as the
+    /// old build would.
+    pub max_protocol_version: u8,
 }
 
 impl Default for RpcConfig {
@@ -61,6 +69,7 @@ impl Default for RpcConfig {
         RpcConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             fault_plan: None,
+            max_protocol_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -76,6 +85,61 @@ impl RpcConfig {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
+    }
+
+    /// Returns a copy capped at the given protocol version.
+    pub fn with_max_protocol_version(mut self, version: u8) -> Self {
+        self.max_protocol_version = version;
+        self
+    }
+}
+
+/// Connection-scoped stream flow control: the client's grants accumulate
+/// here, and the connection's writer consumes one credit per
+/// [`Response::Stream`] frame — blocking (only its own connection; every
+/// connection has its own writer thread) when the budget is spent.
+/// Closing releases any blocked consumer so teardown never deadlocks.
+struct StreamCredit {
+    state: Mutex<(u64, bool)>,
+    woken: Condvar,
+}
+
+impl StreamCredit {
+    fn new(initial: u64) -> StreamCredit {
+        StreamCredit {
+            state: Mutex::new((initial, false)),
+            woken: Condvar::new(),
+        }
+    }
+
+    /// Adds `n` stream frames to the budget.
+    fn grant(&self, n: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.0 = state.0.saturating_add(n);
+        self.woken.notify_all();
+    }
+
+    /// Marks the connection as closing; blocked consumers return `false`.
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.1 = true;
+        self.woken.notify_all();
+    }
+
+    /// Takes one credit, blocking until one is granted. Returns `false`
+    /// once the connection is closing — the caller abandons the stream.
+    fn consume(&self) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.1 {
+                return false;
+            }
+            if state.0 > 0 {
+                state.0 -= 1;
+                return true;
+            }
+            state = self.woken.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
     }
 }
 
@@ -204,6 +268,10 @@ enum Outbound {
     Ready(u64, Response),
     Job(u64, JobHandle),
     Lazy(u64, Box<dyn FnOnce() -> Response + Send>),
+    /// A v2 learn: progress events stream from the runner thread through
+    /// the channel and onto the wire as `Stream` frames, then the joined
+    /// terminal result follows as an ordinary (credit-exempt) frame.
+    LearnStream(u64, JobHandle, Receiver<LearnProgress>),
 }
 
 /// Serves one connection to completion. Errors end the connection; the
@@ -217,27 +285,45 @@ fn serve_connection(stream: FaultStream, service: Arc<Server>, config: RpcConfig
     let writer = stream;
 
     // Handshake: the first frame must be a well-formed Hello for a
-    // database this server can admit a session to. The session is shared
-    // with the writer thread, which snapshots reports in response order.
-    let session = match handshake(&mut reader, &writer, &service, &config) {
-        Some(session) => Arc::new(session),
-        None => return,
+    // database this server can admit a session to. Its version byte pins
+    // the connection protocol; its trailing credit field (v2) seeds the
+    // stream budget. The session is shared with the writer thread, which
+    // snapshots reports in response order.
+    let Some((session, version, initial_credit)) =
+        handshake(&mut reader, &writer, &service, &config)
+    else {
+        return;
     };
+    let session = Arc::new(session);
+    let credit = Arc::new(StreamCredit::new(initial_credit));
 
     let (tx, rx): (Sender<Outbound>, Receiver<Outbound>) = channel();
     let writer_thread = {
         let obs = Arc::clone(service.obs());
+        let credit = Arc::clone(&credit);
         std::thread::Builder::new()
             .name("castor-rpc-writer".to_string())
-            .spawn(move || write_loop(writer, rx, obs))
+            .spawn(move || write_loop(writer, rx, obs, version, credit))
             .expect("failed to spawn writer thread")
     };
 
-    read_loop(&mut reader, &service, &session, &config, &tx);
+    read_loop(
+        &mut reader,
+        &service,
+        &session,
+        &config,
+        &tx,
+        version,
+        &credit,
+    );
 
     // The client is gone (or sent garbage): abort its in-flight work.
     // Queued jobs fail fast on the cancel token; the running job unwinds
-    // through its budget loop within one candidate tuple.
+    // through its budget loop within one candidate tuple. Closing the
+    // credit gate first releases a writer blocked mid-stream on an
+    // exhausted budget — otherwise the join below would deadlock on a
+    // client that left without granting.
+    credit.close();
     session.cancel();
     drop(tx);
     let _ = writer_thread.join();
@@ -246,38 +332,45 @@ fn serve_connection(stream: FaultStream, service: Arc<Server>, config: RpcConfig
 }
 
 /// Performs the Hello exchange; `None` means the connection is done.
+/// Returns the opened session, the negotiated protocol version (the
+/// Hello frame's version byte), and the connection's initial stream
+/// credit. Failures *before* negotiation completes are answered at v1 —
+/// the one version every client reads.
 fn handshake(
     reader: &mut FaultStream,
     writer: &FaultStream,
     service: &Arc<Server>,
     config: &RpcConfig,
-) -> Option<Session> {
+) -> Option<(Session, u8, u64)> {
     let mut writer = BufWriter::new(writer.try_clone().ok()?);
-    let (request_id, request) = match read_request_tagged(reader, config.max_frame_bytes) {
-        Ok(frame) => frame,
-        Err((request_id, error)) => {
-            if let Some((code, limit, message)) = frame_error_response(&error) {
-                let _ = write_response(
-                    &mut writer,
-                    request_id.unwrap_or(0),
-                    &Response::Error {
-                        code,
-                        limit,
-                        message,
-                        retry_after_ms: 0,
-                    },
-                );
+    let (request_id, version, request) =
+        match read_request_versioned(reader, config.max_frame_bytes, config.max_protocol_version) {
+            Ok(frame) => frame,
+            Err((request_id, error)) => {
+                if let Some((code, limit, message)) = frame_error_response(&error) {
+                    let _ = write_response(
+                        &mut writer,
+                        request_id.unwrap_or(0),
+                        &Response::Error {
+                            code,
+                            limit,
+                            message,
+                            retry_after_ms: 0,
+                        },
+                    );
+                }
+                return None;
             }
-            return None;
-        }
-    };
+        };
     let Request::Hello {
         database,
         eval_budget,
+        stream_credit,
     } = request
     else {
-        let _ = write_response(
+        let _ = write_response_v(
             &mut writer,
+            version,
             request_id,
             &Response::Error {
                 code: ErrorCode::Protocol,
@@ -296,8 +389,9 @@ fn handshake(
                 ServerError::SessionLimit { limit } => (ErrorCode::SessionLimit, *limit),
                 ServerError::DuplicateDatabase(_) => (ErrorCode::Protocol, 0),
             };
-            let _ = write_response(
+            let _ = write_response_v(
                 &mut writer,
+                version,
                 request_id,
                 &Response::Error {
                     code,
@@ -313,10 +407,14 @@ fn handshake(
         Some(budget) => session.with_eval_budget(budget),
         None => session,
     };
-    if write_response(&mut writer, request_id, &Response::HelloOk).is_err() {
+    if write_response_v(&mut writer, version, request_id, &Response::HelloOk).is_err() {
         return None;
     }
-    Some(session)
+    Some((
+        session,
+        version,
+        stream_credit.unwrap_or(DEFAULT_STREAM_CREDIT),
+    ))
 }
 
 /// The typed error frame (if any) to send for a handshake/read failure.
@@ -334,15 +432,22 @@ fn frame_error_response(error: &FrameError) -> Option<(ErrorCode, usize, String)
 
 /// Parses request frames and feeds the writer until the client
 /// disconnects or sends something unrecoverable.
+#[allow(clippy::too_many_arguments)]
 fn read_loop(
     reader: &mut FaultStream,
     service: &Arc<Server>,
     session: &Arc<Session>,
     config: &RpcConfig,
     tx: &Sender<Outbound>,
+    version: u8,
+    credit: &Arc<StreamCredit>,
 ) {
     loop {
-        let (request_id, request) = match read_request_tagged(reader, config.max_frame_bytes) {
+        let (request_id, _, request) = match read_request_versioned(
+            reader,
+            config.max_frame_bytes,
+            config.max_protocol_version,
+        ) {
             Ok(frame) => frame,
             Err((request_id, error)) => {
                 if let Some((code, limit, message)) = frame_error_response(&error) {
@@ -420,10 +525,30 @@ fn read_loop(
                     with_wire_deadline(LearnJob::new(task, algorithm), deadline_ms, |j, d| {
                         j.with_deadline(d)
                     });
-                Outbound::Job(
-                    request_id,
-                    session.submit_traced(Job::Learn(Box::new(job)), request_id),
-                )
+                if version >= PROTOCOL_V2 {
+                    // A v2 learn streams covering-round progress: the sink
+                    // runs on the database's runner thread and must never
+                    // block, so it feeds an unbounded channel the writer
+                    // drains under flow-control credit. The runner clears
+                    // the engine's sink (dropping the sender) before it
+                    // completes the handle, so the writer's drain always
+                    // terminates before the join.
+                    let (progress_tx, progress_rx) = channel::<LearnProgress>();
+                    let sink: ProgressSink = Arc::new(move |p: &LearnProgress| {
+                        let _ = progress_tx.send(p.clone());
+                    });
+                    let handle = session.submit_traced_with_progress(
+                        Job::Learn(Box::new(job)),
+                        request_id,
+                        Some(sink),
+                    );
+                    Outbound::LearnStream(request_id, handle, progress_rx)
+                } else {
+                    Outbound::Job(
+                        request_id,
+                        session.submit_traced(Job::Learn(Box::new(job)), request_id),
+                    )
+                }
             }
             Request::Mutate(batch) => Outbound::Job(
                 request_id,
@@ -474,6 +599,23 @@ fn read_loop(
                     Box::new(move || Response::TraceDump(service.trace_json())),
                 )
             }
+            // Credit grants act immediately (possibly unblocking a writer
+            // mid-stream) and have no response frame of their own.
+            Request::StreamCredit { grant } => {
+                if version >= PROTOCOL_V2 {
+                    credit.grant(grant);
+                    continue;
+                }
+                Outbound::Ready(
+                    request_id,
+                    Response::Error {
+                        code: ErrorCode::Protocol,
+                        limit: 0,
+                        message: "stream credit requires protocol v2".to_string(),
+                        retry_after_ms: 0,
+                    },
+                )
+            }
         };
         if tx.send(outbound).is_err() {
             return;
@@ -503,7 +645,13 @@ fn with_wire_deadline<J>(
     }
 }
 
-fn write_loop(stream: FaultStream, rx: Receiver<Outbound>, obs: Arc<Obs>) {
+fn write_loop(
+    stream: FaultStream,
+    rx: Receiver<Outbound>,
+    obs: Arc<Obs>,
+    version: u8,
+    credit: Arc<StreamCredit>,
+) {
     let reply_ns = obs.registry().histogram(
         "castor_rpc_reply_encode_ns",
         "Nanoseconds spent encoding and writing one response frame.",
@@ -516,6 +664,27 @@ fn write_loop(stream: FaultStream, rx: Receiver<Outbound>, obs: Arc<Obs>) {
             Outbound::Job(id, handle) => {
                 let trace = handle.trace_id();
                 let response = match handle.join() {
+                    Ok(JobResult::Covered(sets)) if version >= PROTOCOL_V2 => {
+                        // v2 streams covered sets as flow-controlled
+                        // chunks; the last chunk completes the request
+                        // (no separate Covered frame follows).
+                        let start_ns = obs.now_ns();
+                        let timer = obs.timer();
+                        if !write_covered_chunks(&mut writer, version, id, sets, &credit) {
+                            return;
+                        }
+                        if timer.is_live() {
+                            let dur_ns = timer.stop_ns(&reply_ns);
+                            obs.span_measured(
+                                "rpc.server.reply",
+                                trace,
+                                start_ns,
+                                dur_ns,
+                                Vec::new(),
+                            );
+                        }
+                        continue;
+                    }
                     Ok(JobResult::Covered(sets)) => Response::Covered(sets),
                     Ok(JobResult::Scores(counts)) => Response::Scores(counts),
                     Ok(JobResult::Learned(definition)) => Response::Learned(definition),
@@ -524,10 +693,40 @@ fn write_loop(stream: FaultStream, rx: Receiver<Outbound>, obs: Arc<Obs>) {
                 };
                 (id, trace, response)
             }
+            Outbound::LearnStream(id, handle, progress_rx) => {
+                // Drain the progress stream first: the runner drops the
+                // sending side before completing the handle, so this loop
+                // always ends, and the join below then returns at once.
+                for (seq, progress) in (0_u64..).zip(progress_rx.iter()) {
+                    if !credit.consume() {
+                        return;
+                    }
+                    let frame = Response::Stream {
+                        seq,
+                        last: false,
+                        body: StreamBody::Progress(progress),
+                    };
+                    if write_response_v(&mut writer, version, id, &frame).is_err() {
+                        return;
+                    }
+                }
+                let trace = handle.trace_id();
+                let response = match handle.join() {
+                    Ok(JobResult::Learned(definition)) => Response::Learned(definition),
+                    Ok(_) => Response::Error {
+                        code: ErrorCode::Panicked,
+                        limit: 0,
+                        message: "learn job returned a non-learn result".to_string(),
+                        retry_after_ms: 0,
+                    },
+                    Err(error) => Response::from_job_error(error),
+                };
+                (id, trace, response)
+            }
         };
         let start_ns = obs.now_ns();
         let timer = obs.timer();
-        if write_response(&mut writer, request_id, &response).is_err() {
+        if write_response_v(&mut writer, version, request_id, &response).is_err() {
             return;
         }
         if timer.is_live() {
@@ -535,4 +734,39 @@ fn write_loop(stream: FaultStream, rx: Receiver<Outbound>, obs: Arc<Obs>) {
             obs.span_measured("rpc.server.reply", trace, start_ns, dur_ns, Vec::new());
         }
     }
+}
+
+/// Streams one coverage result as `CoveredChunk` frames, each consuming
+/// one flow-control credit. An empty result still sends one (empty)
+/// final chunk so the request completes. Returns `false` when the
+/// connection is done (credit closed or socket gone).
+fn write_covered_chunks(
+    writer: &mut impl std::io::Write,
+    version: u8,
+    request_id: u64,
+    sets: Vec<std::collections::HashSet<castor_relational::Tuple>>,
+    credit: &StreamCredit,
+) -> bool {
+    let chunks: Vec<Vec<std::collections::HashSet<castor_relational::Tuple>>> = if sets.is_empty() {
+        vec![Vec::new()]
+    } else {
+        sets.chunks(COVERED_CHUNK_SETS)
+            .map(|chunk| chunk.to_vec())
+            .collect()
+    };
+    let total = chunks.len();
+    for (seq, chunk) in chunks.into_iter().enumerate() {
+        if !credit.consume() {
+            return false;
+        }
+        let frame = Response::Stream {
+            seq: seq as u64,
+            last: seq + 1 == total,
+            body: StreamBody::CoveredChunk(chunk),
+        };
+        if write_response_v(writer, version, request_id, &frame).is_err() {
+            return false;
+        }
+    }
+    true
 }

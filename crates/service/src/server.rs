@@ -31,7 +31,7 @@ use crate::job::{Job, JobError, JobResult, JobShared, LearnAlgorithm};
 use crate::session::Session;
 use crate::stats::{QueueReport, ServerReport, ServerStats};
 use castor_core::Castor;
-use castor_engine::{Engine, EngineConfig, EngineReport, WorkerPool};
+use castor_engine::{Engine, EngineConfig, EngineReport, ProgressSink, WorkerPool};
 use castor_learners::{Foil, Golem, ProGolem, Progol};
 use castor_obs::{Collect, Counter, Exposition, Histogram, Obs, ObsConfig};
 use castor_relational::DatabaseInstance;
@@ -168,7 +168,6 @@ impl SessionCtx {
 }
 
 /// One queue item: the job, its result slot, and the submitting session.
-#[derive(Debug)]
 pub(crate) struct QueuedJob {
     pub(crate) job: Job,
     pub(crate) shared: Arc<JobShared>,
@@ -183,6 +182,22 @@ pub(crate) struct QueuedJob {
     /// expired job is shed without running) and armed on the deadline
     /// watchdog for the duration of the run.
     pub(crate) deadline: Option<Deadline>,
+    /// Learn-progress sink installed on the engine for the duration of the
+    /// run (the RPC layer streams accepted covering-round clauses to v2
+    /// clients through it). Ignored by non-learn jobs.
+    pub(crate) progress: Option<ProgressSink>,
+}
+
+impl fmt::Debug for QueuedJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueuedJob")
+            .field("job", &self.job)
+            .field("trace", &self.trace)
+            .field("submitted_ns", &self.submitted_ns)
+            .field("deadline", &self.deadline)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
 }
 
 /// One session's pending jobs on a database queue.
@@ -798,6 +813,7 @@ fn run_queue(
         trace,
         submitted_ns,
         deadline,
+        progress,
     }) = queue.pop()
     {
         let enabled = obs.enabled();
@@ -862,10 +878,12 @@ fn run_queue(
             engine.set_deadline_token(Some(Arc::clone(token)));
         }
         engine.set_trace(trace);
+        engine.set_progress_sink(progress);
         let before = engine.report();
         let outcome = catch_unwind(AssertUnwindSafe(|| execute(&engine, job)));
         let after = engine.report();
         engine.set_trace(0);
+        engine.set_progress_sink(None);
         engine.set_cancel_token(None);
         engine.set_deadline_token(None);
         engine.set_eval_budget(default_budget);
@@ -1011,6 +1029,7 @@ mod tests {
                 trace: 0,
                 submitted_ns: 0,
                 deadline: None,
+                progress: None,
             },
             handle,
         )

@@ -21,7 +21,7 @@ use crate::job::{CoverageJob, Job, JobError, JobHandle, LearnJob, ScoreJob};
 use crate::server::{DatabaseQueue, SessionCtx, SubmitOutcome};
 use crate::stats::ServerStats;
 use crate::QueuedJob;
-use castor_engine::{ClauseCounts, Engine, EngineReport};
+use castor_engine::{ClauseCounts, Engine, EngineReport, ProgressSink};
 use castor_logic::{Clause, Definition};
 use castor_relational::{DatabaseInstance, MutationBatch, MutationSummary, Tuple};
 use std::collections::HashSet;
@@ -122,6 +122,20 @@ impl Session {
     /// (client encode, queue wait, engine evaluation, reply write) share
     /// one id across processes.
     pub fn submit_traced(&self, job: Job, trace: u64) -> JobHandle {
+        self.submit_traced_with_progress(job, trace, None)
+    }
+
+    /// [`Session::submit_traced`] with a learn-progress sink installed on
+    /// the engine for the duration of the job: covering loops report each
+    /// accepted clause through it (the v2 wire front end streams these to
+    /// the client as incremental progress frames). The sink runs on the
+    /// database's runner thread, so it must never block on the consumer.
+    pub fn submit_traced_with_progress(
+        &self,
+        job: Job,
+        trace: u64,
+        progress: Option<ProgressSink>,
+    ) -> JobHandle {
         let (handle, shared) = JobHandle::new(trace);
         let deadline = job.deadline();
         let queued = QueuedJob {
@@ -131,6 +145,7 @@ impl Session {
             trace,
             submitted_ns: self.engine.obs().now_ns(),
             deadline,
+            progress,
         };
         match self.queue.submit(self.id, queued) {
             SubmitOutcome::Queued => {

@@ -1,0 +1,505 @@
+//! Acceptance tests for protocol v2 (negotiation, streaming, flow
+//! control) and the castor-cluster router (routing, metrics, trace
+//! stitching across servers).
+
+use castor::cluster::{ClusterConfig, Router};
+use castor::logic::{Atom, Clause};
+use castor::relational::{DatabaseInstance, RelationSymbol, Schema, Tuple};
+use castor::rpc::{
+    ClientConfig, ErrorCode, Request, Response, RpcClient, RpcConfig, RpcError, RpcServer,
+    StreamBody, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_V1, PROTOCOL_V2,
+};
+use castor::service::{LearnAlgorithm, LearnJob, Server, ServerConfig};
+use castor_learners::{LearnerParams, LearningTask};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn demo_db() -> DatabaseInstance {
+    let mut schema = Schema::new("demo");
+    schema.add_relation(RelationSymbol::new("publication", &["title", "person"]));
+    let mut db = DatabaseInstance::empty(&schema);
+    for (t, p) in [
+        ("p1", "ann"),
+        ("p1", "bob"),
+        ("p2", "carol"),
+        ("p2", "dan"),
+        ("p3", "eve"),
+    ] {
+        db.insert("publication", Tuple::from_strs(&[t, p])).unwrap();
+    }
+    db
+}
+
+fn collaborated() -> Clause {
+    Clause::new(
+        Atom::vars("collaborated", &["x", "y"]),
+        vec![
+            Atom::vars("publication", &["p", "x"]),
+            Atom::vars("publication", &["p", "y"]),
+        ],
+    )
+}
+
+fn demo_rpc(config: RpcConfig) -> RpcServer {
+    let service = Arc::new(Server::new(ServerConfig::default()));
+    service.register("demo", Arc::new(demo_db())).unwrap();
+    RpcServer::bind(service, "127.0.0.1:0", config).unwrap()
+}
+
+/// A database whose target needs two covering rounds: `q` explains half
+/// the positives, `r` the other half, so any covering learner accepts
+/// two clauses — and a v2 learn streams (at least) two progress frames.
+fn two_round_db() -> DatabaseInstance {
+    let mut schema = Schema::new("rounds");
+    schema.add_relation(RelationSymbol::new("q", &["x"]));
+    schema.add_relation(RelationSymbol::new("r", &["x"]));
+    schema.add_relation(RelationSymbol::new("s", &["x"]));
+    let mut db = DatabaseInstance::empty(&schema);
+    for v in ["a1", "a2"] {
+        db.insert("q", Tuple::from_strs(&[v])).unwrap();
+    }
+    for v in ["b1", "b2"] {
+        db.insert("r", Tuple::from_strs(&[v])).unwrap();
+    }
+    db.insert("s", Tuple::from_strs(&["z1"])).unwrap();
+    db
+}
+
+fn two_round_task() -> (LearningTask, LearnAlgorithm) {
+    let task = LearningTask::new(
+        "t",
+        1,
+        vec![
+            Tuple::from_strs(&["a1"]),
+            Tuple::from_strs(&["a2"]),
+            Tuple::from_strs(&["b1"]),
+            Tuple::from_strs(&["b2"]),
+        ],
+        vec![Tuple::from_strs(&["z1"])],
+    );
+    let algorithm = LearnAlgorithm::Progol(LearnerParams {
+        allow_constants: false,
+        ..LearnerParams::default()
+    });
+    (task, algorithm)
+}
+
+#[test]
+fn v1_and_v2_negotiate_and_produce_identical_results() {
+    let examples = vec![
+        Tuple::from_strs(&["ann", "bob"]),
+        Tuple::from_strs(&["ann", "carol"]),
+        Tuple::from_strs(&["eve", "eve"]),
+    ];
+    // In-process reference.
+    let reference = Server::new(ServerConfig::default());
+    reference.register("demo", Arc::new(demo_db())).unwrap();
+    let expected = reference
+        .session("demo")
+        .unwrap()
+        .covered_sets(vec![collaborated()], examples.clone())
+        .unwrap();
+
+    // v2 server: a default client negotiates v2, a pinned client speaks
+    // v1 — results identical either way.
+    let v2_server = demo_rpc(RpcConfig::default());
+    let mut negotiated = RpcClient::connect(v2_server.local_addr(), "demo").unwrap();
+    assert_eq!(negotiated.protocol_version(), PROTOCOL_V2);
+    assert_eq!(
+        negotiated
+            .covered_sets(vec![collaborated()], examples.clone())
+            .unwrap(),
+        expected
+    );
+    let mut v1_pinned = RpcClient::connect_config(
+        v2_server.local_addr(),
+        "demo",
+        &ClientConfig::default().with_protocol_version(PROTOCOL_V1),
+    )
+    .unwrap();
+    assert_eq!(v1_pinned.protocol_version(), PROTOCOL_V1);
+    assert_eq!(
+        v1_pinned
+            .covered_sets(vec![collaborated()], examples.clone())
+            .unwrap(),
+        expected
+    );
+
+    // v1-only server (a pre-v2 deployment): a default client's first
+    // attempt is refused with UnsupportedVersion and it falls back to v1
+    // transparently.
+    let v1_server = demo_rpc(RpcConfig::default().with_max_protocol_version(PROTOCOL_V1));
+    let mut fallback = RpcClient::connect(v1_server.local_addr(), "demo").unwrap();
+    assert_eq!(fallback.protocol_version(), PROTOCOL_V1);
+    assert_eq!(
+        fallback
+            .covered_sets(vec![collaborated()], examples.clone())
+            .unwrap(),
+        expected
+    );
+    // A client *pinned* to v2 must get the typed refusal, not garbage.
+    let err = RpcClient::connect_config(
+        v1_server.local_addr(),
+        "demo",
+        &ClientConfig::default().with_protocol_version(PROTOCOL_V2),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            RpcError::Remote {
+                code: ErrorCode::UnsupportedVersion,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn learn_over_v2_streams_progress_frames_before_the_result() {
+    let service = Arc::new(Server::new(ServerConfig::default()));
+    service
+        .register("rounds", Arc::new(two_round_db()))
+        .unwrap();
+    let rpc = RpcServer::bind(Arc::clone(&service), "127.0.0.1:0", RpcConfig::default()).unwrap();
+    let (task, algorithm) = two_round_task();
+
+    // In-process reference definition.
+    let expected = service
+        .session("rounds")
+        .unwrap()
+        .learn(LearnJob::new(task.clone(), algorithm.clone()))
+        .unwrap();
+    assert!(expected.len() >= 2, "task must need two covering rounds");
+
+    // v2: per-round progress frames stream ahead of the terminal result.
+    let mut v2 = RpcClient::connect(rpc.local_addr(), "rounds").unwrap();
+    let (definition, progress) = v2
+        .learn_with_progress(task.clone(), algorithm.clone())
+        .unwrap();
+    assert_eq!(definition, expected);
+    assert!(
+        progress.len() >= 2,
+        "expected >= 2 streamed progress frames, got {}",
+        progress.len()
+    );
+    for (i, p) in progress.iter().enumerate() {
+        assert_eq!(p.round, i, "progress rounds must arrive in order");
+        assert!(p.covered_positive > 0);
+        assert_eq!(&definition.clauses[i], &p.clause);
+    }
+    assert_eq!(progress.last().unwrap().uncovered_remaining, 0);
+
+    // v1 carries no stream frames: same definition, empty progress.
+    let mut v1 = RpcClient::connect_config(
+        rpc.local_addr(),
+        "rounds",
+        &ClientConfig::default().with_protocol_version(PROTOCOL_V1),
+    )
+    .unwrap();
+    let (v1_definition, v1_progress) = v1.learn_with_progress(task, algorithm).unwrap();
+    assert_eq!(v1_definition, expected);
+    assert!(v1_progress.is_empty());
+}
+
+/// A raw-TCP "server" that completes a v2 handshake and then answers the
+/// first request with whatever frames `respond` writes. Used to aim
+/// malformed stream chunks at the client decoder.
+fn fake_v2_server(
+    respond: impl FnOnce(&mut TcpStream, u64) + Send + 'static,
+) -> std::net::SocketAddr {
+    use castor::rpc::frame::{read_request_versioned, write_response_v};
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let (hello_id, version, _) =
+            read_request_versioned(&mut stream, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_V2).unwrap();
+        assert_eq!(version, PROTOCOL_V2);
+        write_response_v(&mut stream, PROTOCOL_V2, hello_id, &Response::HelloOk).unwrap();
+        let (request_id, _, _) = loop {
+            let parsed =
+                read_request_versioned(&mut stream, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_V2).unwrap();
+            // Skip credit grants the client may interleave.
+            if !matches!(parsed.2, Request::StreamCredit { .. }) {
+                break parsed;
+            }
+        };
+        respond(&mut stream, request_id);
+        // Linger briefly so the client reads the frames before FIN.
+        std::thread::sleep(Duration::from_millis(100));
+    });
+    addr
+}
+
+#[test]
+fn malformed_stream_chunks_fail_typed_and_close_cleanly() {
+    use castor::rpc::frame::write_response_v;
+
+    // Out-of-order sequence number: typed Malformed error client-side.
+    let addr = fake_v2_server(|stream, id| {
+        write_response_v(
+            stream,
+            PROTOCOL_V2,
+            id,
+            &Response::Stream {
+                seq: 5, // must start at 0
+                last: false,
+                body: StreamBody::CoveredChunk(vec![std::collections::HashSet::new()]),
+            },
+        )
+        .unwrap();
+    });
+    let mut client = RpcClient::connect(addr, "demo").unwrap();
+    let err = client
+        .covered_sets(vec![collaborated()], vec![Tuple::from_strs(&["a", "b"])])
+        .unwrap_err();
+    assert!(
+        matches!(&err, RpcError::Malformed(m) if m.contains("out of order")),
+        "{err}"
+    );
+
+    // A progress frame claiming to be terminal: Malformed (progress
+    // streams end with the job's Learned/Error frame, never `last`).
+    let addr = fake_v2_server(|stream, id| {
+        write_response_v(
+            stream,
+            PROTOCOL_V2,
+            id,
+            &Response::Stream {
+                seq: 0,
+                last: true,
+                body: StreamBody::Progress(castor::engine::LearnProgress {
+                    round: 0,
+                    clause: collaborated(),
+                    covered_positive: 1,
+                    covered_negative: 0,
+                    uncovered_remaining: 0,
+                }),
+            },
+        )
+        .unwrap();
+    });
+    let mut client = RpcClient::connect(addr, "demo").unwrap();
+    let err = client
+        .covered_sets(vec![collaborated()], vec![Tuple::from_strs(&["a", "b"])])
+        .unwrap_err();
+    assert!(matches!(&err, RpcError::Malformed(_)), "{err}");
+
+    // A stream frame truncated mid-payload (length prefix promises more
+    // than arrives before FIN): clean Io error, no hang.
+    let addr = fake_v2_server(|stream, _| {
+        use std::io::Write;
+        stream.write_all(&64u32.to_le_bytes()).unwrap();
+        stream.write_all(&[PROTOCOL_V2, 0x8a, 0, 0]).unwrap();
+    });
+    let mut client = RpcClient::connect(addr, "demo").unwrap();
+    let err = client
+        .covered_sets(vec![collaborated()], vec![Tuple::from_strs(&["a", "b"])])
+        .unwrap_err();
+    assert!(
+        matches!(&err, RpcError::Io(_) | RpcError::Timeout(_)),
+        "{err}"
+    );
+}
+
+#[test]
+fn zero_credit_client_never_starves_other_sessions() {
+    let rpc = demo_rpc(RpcConfig::default());
+    // Client A grants the server zero stream credit and never replenishes:
+    // the server's writer for A blocks on the first covered chunk.
+    let mut starved = RpcClient::connect_config(
+        rpc.local_addr(),
+        "demo",
+        &ClientConfig::default().with_stream_credit(0),
+    )
+    .unwrap();
+    assert_eq!(starved.protocol_version(), PROTOCOL_V2);
+    let _stuck = starved
+        .submit(Request::Coverage {
+            clauses: vec![collaborated()],
+            examples: vec![Tuple::from_strs(&["ann", "bob"])],
+            deadline_ms: None,
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Flow control is per connection: client B is unaffected.
+    let mut healthy = RpcClient::connect(rpc.local_addr(), "demo").unwrap();
+    let start = Instant::now();
+    let sets = healthy
+        .covered_sets(
+            vec![collaborated()],
+            vec![Tuple::from_strs(&["ann", "bob"])],
+        )
+        .unwrap();
+    assert_eq!(sets[0].len(), 1);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "another session's stalled stream blocked this one"
+    );
+
+    // Dropping the starved client unwedges its writer (credit closes on
+    // teardown) and the session is reclaimed — nothing leaks.
+    drop(starved);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if rpc.service().server_report().sessions_active == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "starved session was never reclaimed after disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Builds `members` loopback servers all serving the same database names
+/// (schema-registered, empty) and a router over them.
+fn cluster(members: usize, databases: &[&str]) -> (Vec<RpcServer>, Router) {
+    let schema = demo_db().schema().clone();
+    let mut servers = Vec::with_capacity(members);
+    let mut addrs = Vec::with_capacity(members);
+    for i in 0..members {
+        let service = Arc::new(Server::new(ServerConfig::default()));
+        for db in databases {
+            service
+                .register(*db, Arc::new(DatabaseInstance::empty(&schema)))
+                .unwrap();
+        }
+        let rpc = RpcServer::bind(service, "127.0.0.1:0", RpcConfig::default()).unwrap();
+        addrs.push((format!("member-{i}"), rpc.local_addr()));
+        servers.push(rpc);
+    }
+    let router = Router::new(addrs, ClusterConfig::default());
+    for db in databases {
+        router.register(db, &demo_db()).unwrap();
+    }
+    (servers, router)
+}
+
+#[test]
+fn router_stitches_traces_across_two_servers() {
+    // Enough databases that both members own at least one (placement is
+    // deterministic, so this partition is stable across runs).
+    let names: Vec<String> = (0..8).map(|i| format!("db-{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let (servers, router) = cluster(2, &name_refs);
+
+    let mut seen_members = std::collections::HashSet::new();
+    for db in &name_refs {
+        let session = router.session(db).unwrap();
+        let sets = session
+            .covered_sets(
+                vec![collaborated()],
+                vec![Tuple::from_strs(&["ann", "bob"])],
+            )
+            .unwrap();
+        assert_eq!(sets[0].len(), 1);
+
+        // The router minted a trace id for the request and forwarded it
+        // as the frame request id; the owning server recorded its spans
+        // under exactly that id.
+        let trace = router.last_trace();
+        assert_ne!(trace & (1 << 63), 0, "minted trace ids carry the high bit");
+        let owner = session.owner().unwrap();
+        let member_index: usize = owner.strip_prefix("member-").unwrap().parse().unwrap();
+        let dump = servers[member_index].service().trace_json();
+        let needle = format!("{trace:#x}");
+        assert!(
+            dump.contains(&needle),
+            "server {owner} has no span under forwarded trace {needle}"
+        );
+        seen_members.insert(owner);
+    }
+    assert_eq!(
+        seen_members.len(),
+        2,
+        "expected both members to own at least one database"
+    );
+}
+
+#[test]
+fn router_metrics_expose_requests_health_and_rebalances() {
+    let names: Vec<String> = (0..8).map(|i| format!("db-{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+
+    // Three servers up front; the router starts with two and later
+    // adopts the third (its databases are already schema-registered).
+    let schema = demo_db().schema().clone();
+    let mut servers = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..3 {
+        let service = Arc::new(Server::new(ServerConfig::default()));
+        for db in &name_refs {
+            service
+                .register(*db, Arc::new(DatabaseInstance::empty(&schema)))
+                .unwrap();
+        }
+        let rpc = RpcServer::bind(service, "127.0.0.1:0", RpcConfig::default()).unwrap();
+        addrs.push((format!("member-{i}"), rpc.local_addr()));
+        servers.push(rpc);
+    }
+    let router = Router::new(addrs[..2].to_vec(), ClusterConfig::default());
+    for db in &name_refs {
+        router.register(db, &demo_db()).unwrap();
+    }
+    for db in &name_refs {
+        router
+            .session(db)
+            .unwrap()
+            .covered_sets(
+                vec![collaborated()],
+                vec![Tuple::from_strs(&["ann", "bob"])],
+            )
+            .unwrap();
+    }
+
+    let before = router.metrics_text();
+    assert!(
+        before.contains("castor_router_requests_total{member=\"member-0\"}")
+            || before.contains("castor_router_requests_total{member=\"member-1\"}"),
+        "missing per-member request counters:\n{before}"
+    );
+    assert!(
+        before.contains("castor_router_member_healthy"),
+        "missing member health gauge:\n{before}"
+    );
+    assert!(
+        before.contains("castor_router_rebalance_moves_total 0"),
+        "rebalance counter should start at zero:\n{before}"
+    );
+
+    // Adopting member-2 moves roughly a third of the keyspace.
+    let report = router.add_member("member-2", addrs[2].1).unwrap();
+    assert!(report.moves > 0, "8 databases, no move: {report:?}");
+    assert!(report.replayed_tuples >= report.moves * 5); // demo_db has 5 tuples
+    let after = router.metrics_text();
+    assert!(
+        after.contains(&format!(
+            "castor_router_rebalance_moves_total {}",
+            report.moves
+        )),
+        "rebalance counter must match the report ({report:?}):\n{after}"
+    );
+
+    // Epoch advanced exactly once for the membership change.
+    assert_eq!(router.epoch().load(std::sync::atomic::Ordering::SeqCst), 1);
+
+    // Every database still answers identically after the move.
+    for db in &name_refs {
+        let sets = router
+            .session(db)
+            .unwrap()
+            .covered_sets(
+                vec![collaborated()],
+                vec![Tuple::from_strs(&["ann", "bob"])],
+            )
+            .unwrap();
+        assert_eq!(sets[0].len(), 1);
+    }
+    drop(servers);
+}

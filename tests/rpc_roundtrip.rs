@@ -269,6 +269,7 @@ fn malformed_truncated_and_oversized_frames_close_the_connection_cleanly() {
         &Request::Hello {
             database: "demo".into(),
             eval_budget: None,
+            stream_credit: None,
         },
     );
     frame[4] = 99; // version byte
