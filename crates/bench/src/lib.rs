@@ -263,6 +263,53 @@ pub fn uwcse_family() -> SchemaFamily {
     uwcse::generate(&uwcse::UwCseConfig::default())
 }
 
+/// The coverage job shared by the Criterion bench `rpc_idle_sessions`,
+/// the CI guard `tests/rpc_overhead.rs`, and the `bench_rpc` runner: an
+/// 8-candidate beam scored over a fixed example slice of the enlarged
+/// UW-CSE task. The pinned transport bound uses the *score* shape
+/// (coverage evaluation over both example lists, per-clause counts
+/// back) because its response is a few dozen bytes: the roundtrip is
+/// evaluation-dominated, so a loopback hop's fixed cost fits inside a
+/// 1.2× budget and any event-loop pathology (a poll timeout on the
+/// response path, Nagle-style delays, per-roundtrip syscall storms)
+/// blows the ratio immediately. The covered-sets shape is measured
+/// alongside it: its response re-materializes every covered tuple on
+/// the client, so its wire cost is payload-bound, not loop-bound.
+pub struct RpcRoundtripWorkload {
+    /// The enlarged UW-CSE database.
+    pub db: std::sync::Arc<DatabaseInstance>,
+    /// One level of beam refinement (sibling candidates, shared prefix).
+    pub beam: Vec<Clause>,
+    /// A fixed-size positive-example slice.
+    pub positive: Vec<castor_relational::Tuple>,
+    /// A fixed-size negative-example slice.
+    pub negative: Vec<castor_relational::Tuple>,
+}
+
+/// Builds the [`RpcRoundtripWorkload`].
+pub fn rpc_roundtrip_workload() -> RpcRoundtripWorkload {
+    let family = uwcse::generate(&uwcse::UwCseConfig {
+        students: 400,
+        professors: 60,
+        courses: 120,
+        ..Default::default()
+    });
+    let variant = family.variant("Original").expect("family has Original");
+    // Wide beam, modest example slice: evaluation cost scales with
+    // beam × examples while the request payload is dominated by the
+    // example tuples alone — so widening the beam raises the
+    // evaluation-to-wire proportion the transport bound needs.
+    let beam = beam_candidate_batch(variant, 32);
+    let positive = variant.task.positive.iter().take(128).cloned().collect();
+    let negative = variant.task.negative.iter().take(128).cloned().collect();
+    RpcRoundtripWorkload {
+        db: std::sync::Arc::clone(&variant.db),
+        beam,
+        positive,
+        negative,
+    }
+}
+
 /// Builds the (reduced-scale) HIV-Large family.
 pub fn hiv_large_family() -> SchemaFamily {
     hiv::generate("HIV-Large", &hiv::HivConfig::large())

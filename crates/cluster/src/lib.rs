@@ -39,4 +39,6 @@ mod ring;
 mod router;
 
 pub use ring::HashRing;
-pub use router::{ClusterConfig, ClusterError, ClusterSession, RebalanceReport, Router};
+pub use router::{
+    ClusterConfig, ClusterError, ClusterSession, MetricsEndpoint, RebalanceReport, Router,
+};

@@ -41,12 +41,16 @@ use castor_learners::LearningTask;
 use castor_logic::{Clause, Definition};
 use castor_obs::{Collect, Exposition, Obs};
 use castor_relational::{DatabaseInstance, MutationBatch, MutationSummary, Tuple};
-use castor_rpc::{ClientConfig, RetryClient, RetryPolicy, RpcError};
+use castor_rpc::frame::{read_request_versioned, write_response_v};
+use castor_rpc::{
+    ClientConfig, ErrorCode, FrameError, Request, Response, RetryClient, RetryPolicy, RpcError,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_V1, PROTOCOL_VERSION,
+};
 use castor_service::{LearnAlgorithm, ServerReport};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Cluster-level knobs.
@@ -311,6 +315,35 @@ impl Router {
     /// The router's metric exposition in Prometheus text format.
     pub fn metrics_text(&self) -> String {
         self.obs.registry().expose()
+    }
+
+    /// Binds a member-style wire scrape endpoint for the router's *own*
+    /// metrics and traces: it speaks the member RPC framing (`Hello` →
+    /// `HelloOk`, then `Metrics` / `TraceDump`), so the same stock
+    /// client that scrapes members scrapes the router — no second
+    /// protocol for fleet-wide collection. The database named in the
+    /// `Hello` is ignored (the router serves itself, not a database) and
+    /// job frames come back as typed `Protocol` errors. The endpoint
+    /// stops accepting when the returned handle drops.
+    pub fn bind_metrics(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<MetricsEndpoint> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let obs = Arc::clone(&self.obs);
+        let acceptor = std::thread::Builder::new()
+            .name("castor-router-scrape".to_string())
+            .spawn({
+                let shutdown = Arc::clone(&shutdown);
+                move || scrape_accept_loop(listener, obs, shutdown)
+            })?;
+        Ok(MetricsEndpoint {
+            addr: local,
+            shutdown,
+            acceptor: Some(acceptor),
+        })
     }
 
     /// The shared topology epoch (see [`RetryClient::with_topology_epoch`]).
@@ -732,5 +765,115 @@ impl ClusterSession<'_> {
     /// are at [`Router::metrics_text`]).
     pub fn metrics(&self) -> Result<String, ClusterError> {
         self.router.with_owner(&self.database, |c| c.metrics())
+    }
+}
+
+/// Handle for a [`Router::bind_metrics`] scrape endpoint. Dropping it
+/// stops the acceptor; connections already being served finish their
+/// in-flight response and close on the next read.
+pub struct MetricsEndpoint {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsEndpoint {
+    /// The bound address (useful with a `:0` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsEndpoint {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+fn scrape_accept_loop(listener: TcpListener, obs: Arc<Obs>, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let obs = Arc::clone(&obs);
+        // Thread-per-connection is the right cost model here: scrapes
+        // are rare, short, and sequential — one collector polling on an
+        // interval — unlike the member data path.
+        let _ = std::thread::Builder::new()
+            .name("castor-router-scrape-conn".to_string())
+            .spawn(move || serve_scrape(stream, obs));
+    }
+}
+
+/// One scrape connection: member framing, read-only request set.
+fn serve_scrape(mut stream: TcpStream, obs: Arc<Obs>) {
+    let _ = stream.set_nodelay(true);
+    let mut version = PROTOCOL_V1;
+    let mut greeted = false;
+    loop {
+        let (request_id, frame_version, request) =
+            match read_request_versioned(&mut stream, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION) {
+                Ok(parts) => parts,
+                Err((request_id, error)) => {
+                    let code = match &error {
+                        FrameError::Io(_) | FrameError::Closed => return,
+                        FrameError::TooLarge { .. } => ErrorCode::FrameTooLarge,
+                        FrameError::Malformed(_) => ErrorCode::Malformed,
+                        FrameError::Version { .. } => ErrorCode::UnsupportedVersion,
+                    };
+                    let _ = write_response_v(
+                        &mut stream,
+                        version,
+                        request_id.unwrap_or(0),
+                        &Response::Error {
+                            code,
+                            limit: 0,
+                            message: error.to_string(),
+                            retry_after_ms: 0,
+                        },
+                    );
+                    return;
+                }
+            };
+        let response = match request {
+            Request::Hello { .. } if !greeted => {
+                // Any database name is admitted: the endpoint serves the
+                // router itself, so there is nothing to look up — and
+                // stock clients always open with a Hello.
+                greeted = true;
+                version = frame_version;
+                Response::HelloOk
+            }
+            Request::Metrics if greeted => Response::Metrics(obs.registry().expose()),
+            Request::TraceDump if greeted => Response::TraceDump(obs.trace_json()),
+            _ => {
+                let message = if greeted {
+                    "scrape endpoint serves only Metrics and TraceDump".to_string()
+                } else {
+                    "first frame must be Hello".to_string()
+                };
+                let _ = write_response_v(
+                    &mut stream,
+                    version,
+                    request_id,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        limit: 0,
+                        message,
+                        retry_after_ms: 0,
+                    },
+                );
+                return;
+            }
+        };
+        if write_response_v(&mut stream, version, request_id, &response).is_err() {
+            return;
+        }
     }
 }

@@ -788,21 +788,33 @@ struct EngineObs {
 
 impl EngineObs {
     fn new(obs: Arc<Obs>) -> Self {
+        EngineObs::with_label(obs, None)
+    }
+
+    /// With `db: Some(name)` every histogram carries a `db` label, so a
+    /// multi-database server's eval latencies separate per database in
+    /// one scrape; `None` keeps the plain unlabeled series (standalone
+    /// engines, benchmarks).
+    fn with_label(obs: Arc<Obs>, db: Option<&str>) -> Self {
         let r = obs.registry();
+        let hist = |name: &str, help: &str| match db {
+            Some(db) => r.labeled_histogram(name, help, &[("db", db)]),
+            None => r.histogram(name, help),
+        };
         EngineObs {
-            batch_eval_ns: r.histogram(
+            batch_eval_ns: hist(
                 "castor_engine_batch_eval_ns",
                 "Latency of one batched coverage evaluation (a clause batch over an example list).",
             ),
-            plan_compile_ns: r.histogram(
+            plan_compile_ns: hist(
                 "castor_engine_plan_compile_ns",
                 "Latency of compiling a fresh clause plan or shared-prefix trie.",
             ),
-            plan_recost_ns: r.histogram(
+            plan_recost_ns: hist(
                 "castor_engine_plan_recost_ns",
                 "Latency of feedback-driven plan/trie recompilation.",
             ),
-            cache_probe_ns: r.histogram(
+            cache_probe_ns: hist(
                 "castor_engine_cache_probe_ns",
                 "Latency of the coverage-cache probe phase of a batch (memo lookup + priors).",
             ),
@@ -851,6 +863,29 @@ impl Engine {
         pool: Arc<WorkerPool>,
         obs: Arc<Obs>,
     ) -> Self {
+        Engine::build(db, config, pool, EngineObs::new(obs))
+    }
+
+    /// [`Engine::with_observability`], but every engine latency histogram
+    /// carries a `db="<label>"` label. A multi-database server registers
+    /// each engine under its database name so one scrape separates eval
+    /// latencies per database instead of folding them into one series.
+    pub fn with_labeled_observability(
+        db: Arc<DatabaseInstance>,
+        config: EngineConfig,
+        pool: Arc<WorkerPool>,
+        obs: Arc<Obs>,
+        db_label: &str,
+    ) -> Self {
+        Engine::build(db, config, pool, EngineObs::with_label(obs, Some(db_label)))
+    }
+
+    fn build(
+        db: Arc<DatabaseInstance>,
+        config: EngineConfig,
+        pool: Arc<WorkerPool>,
+        obs: EngineObs,
+    ) -> Self {
         let db_stats = DatabaseStatistics::gather(&db);
         Engine {
             db_stats: RwLock::new(Arc::new(db_stats)),
@@ -864,7 +899,7 @@ impl Engine {
             gate: RwLock::new(()),
             config,
             db: RwLock::new(db),
-            obs: EngineObs::new(obs),
+            obs,
         }
     }
 

@@ -21,6 +21,14 @@
 //! trigger time and exported as `castor_fault_injected_total{kind=...}`,
 //! so a chaos suite can assert the metric accounting matches the injected
 //! schedule exactly.
+//!
+//! Non-blocking streams (the event-loop server runs every accepted
+//! socket non-blocking) add one rule: a `WouldBlock` or zero-byte
+//! outcome moves no bytes, so it must neither advance the byte accounts
+//! nor consume a one-shot delay fault. Delay faults are therefore
+//! *confirmed* — marked fired and counted — only by the call that
+//! actually delivers bytes; speculative reads the readiness loop issues
+//! between wakeups cannot burn a scheduled fault.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
@@ -284,8 +292,16 @@ enum ReadStep {
     /// Read up to this many bytes normally (capped so the next threshold
     /// lands exactly on a call boundary).
     Pass(usize),
-    /// Sleep first (a DelayRead fired), then read up to the cap.
-    DelayThen(Duration, usize),
+    /// Sleep first (a DelayRead is pending), then read up to the cap.
+    /// The fault stays armed until the I/O path *confirms* it with a
+    /// byte-moving read (`action` indexes the armed slot), so
+    /// `WouldBlock`/zero-byte attempts on non-blocking streams neither
+    /// consume the one-shot nor count it as fired.
+    DelayThen {
+        delay: Duration,
+        cap: usize,
+        action: usize,
+    },
     /// Deliver EOF (a DropRead fired).
     Eof,
     /// Shut the socket down and fail the read (a Close fired).
@@ -294,7 +310,12 @@ enum ReadStep {
 
 enum WriteStep {
     Pass(usize),
-    DelayThen(Duration, usize),
+    /// Same deferred-confirmation contract as [`ReadStep::DelayThen`].
+    DelayThen {
+        delay: Duration,
+        cap: usize,
+        action: usize,
+    },
     /// Shut the socket down and fail the write (a TearWrite fired);
     /// later writes fail with `BrokenPipe`.
     Tear,
@@ -313,19 +334,27 @@ impl ConnFaultState {
         let at = inner.bytes_read;
         let mut allowed = want as u64;
         let mut delay = None;
-        for armed in inner.actions.iter_mut() {
+        for (idx, armed) in inner.actions.iter_mut().enumerate() {
             if armed.fired || !armed.action.kind.is_read_side() {
                 continue;
             }
             let threshold = armed.action.after_bytes;
             if at >= threshold {
-                armed.fired = true;
-                self.stats.record(armed.action.kind);
                 match armed.action.kind {
-                    FaultKind::DropRead => return ReadStep::Eof,
-                    FaultKind::Close => return ReadStep::Close,
+                    FaultKind::DropRead => {
+                        armed.fired = true;
+                        self.stats.record(armed.action.kind);
+                        return ReadStep::Eof;
+                    }
+                    FaultKind::Close => {
+                        armed.fired = true;
+                        self.stats.record(armed.action.kind);
+                        return ReadStep::Close;
+                    }
+                    // Delays stay armed: confirmed only by a byte-moving
+                    // read, so a `WouldBlock` attempt cannot burn them.
                     FaultKind::DelayRead => {
-                        delay = Some(Duration::from_millis(armed.action.delay_ms));
+                        delay = Some((idx, Duration::from_millis(armed.action.delay_ms)));
                     }
                     _ => unreachable!("read-side kinds only"),
                 }
@@ -336,7 +365,11 @@ impl ConnFaultState {
             }
         }
         match delay {
-            Some(d) => ReadStep::DelayThen(d, allowed as usize),
+            Some((action, delay)) => ReadStep::DelayThen {
+                delay,
+                cap: allowed as usize,
+                action,
+            },
             None => ReadStep::Pass(allowed as usize),
         }
     }
@@ -354,19 +387,22 @@ impl ConnFaultState {
         let at = inner.bytes_written;
         let mut allowed = want as u64;
         let mut delay = None;
-        let mut tear = false;
-        for armed in inner.actions.iter_mut() {
+        for (idx, armed) in inner.actions.iter_mut().enumerate() {
             if armed.fired || armed.action.kind.is_read_side() {
                 continue;
             }
             let threshold = armed.action.after_bytes;
             if at >= threshold {
-                armed.fired = true;
-                self.stats.record(armed.action.kind);
                 match armed.action.kind {
-                    FaultKind::TearWrite => tear = true,
+                    FaultKind::TearWrite => {
+                        armed.fired = true;
+                        self.stats.record(armed.action.kind);
+                        inner.write_broken = true;
+                        return WriteStep::Tear;
+                    }
+                    // Deferred confirmation, same as DelayRead.
                     FaultKind::StallWrite => {
-                        delay = Some(Duration::from_millis(armed.action.delay_ms));
+                        delay = Some((idx, Duration::from_millis(armed.action.delay_ms)));
                     }
                     _ => unreachable!("write-side kinds only"),
                 }
@@ -374,12 +410,12 @@ impl ConnFaultState {
                 allowed = allowed.min(threshold - at);
             }
         }
-        if tear {
-            inner.write_broken = true;
-            return WriteStep::Tear;
-        }
         match delay {
-            Some(d) => WriteStep::DelayThen(d, allowed as usize),
+            Some((action, delay)) => WriteStep::DelayThen {
+                delay,
+                cap: allowed as usize,
+                action,
+            },
             None => WriteStep::Pass(allowed as usize),
         }
     }
@@ -387,6 +423,17 @@ impl ConnFaultState {
     fn account_write(&self, n: usize) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.bytes_written += n as u64;
+    }
+
+    /// Marks a pending delay fault fired and counts it — called by the
+    /// I/O path only after the delayed call actually moved bytes.
+    fn confirm_delay(&self, action: usize) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let armed = &mut inner.actions[action];
+        if !armed.fired {
+            armed.fired = true;
+            self.stats.record(armed.action.kind);
+        }
     }
 }
 
@@ -413,8 +460,21 @@ impl FaultStream {
         })
     }
 
+    /// Switches the underlying socket's blocking mode (the event-loop
+    /// server runs every accepted stream non-blocking).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        self.inner.set_nonblocking(nonblocking)
+    }
+
     fn shutdown_both(&self) {
         let _ = self.inner.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(unix)]
+impl std::os::fd::AsRawFd for FaultStream {
+    fn as_raw_fd(&self) -> std::os::fd::RawFd {
+        self.inner.as_raw_fd()
     }
 }
 
@@ -433,11 +493,16 @@ impl Read for FaultStream {
                 state.account_read(n);
                 Ok(n)
             }
-            ReadStep::DelayThen(delay, cap) => {
+            ReadStep::DelayThen { delay, cap, action } => {
                 std::thread::sleep(delay);
                 let take = cap.max(1).min(buf.len());
                 let n = self.inner.read(&mut buf[..take])?;
-                state.account_read(n);
+                // `WouldBlock` propagated above without confirming; a
+                // zero-byte EOF likewise leaves the fault armed.
+                if n > 0 {
+                    state.confirm_delay(action);
+                    state.account_read(n);
+                }
                 Ok(n)
             }
             ReadStep::Eof => {
@@ -469,10 +534,13 @@ impl Write for FaultStream {
                 state.account_write(n);
                 Ok(n)
             }
-            WriteStep::DelayThen(delay, cap) => {
+            WriteStep::DelayThen { delay, cap, action } => {
                 std::thread::sleep(delay);
                 let n = self.inner.write(&buf[..cap.max(1).min(buf.len())])?;
-                state.account_write(n);
+                if n > 0 {
+                    state.confirm_delay(action);
+                    state.account_write(n);
+                }
                 Ok(n)
             }
             WriteStep::Tear => {
@@ -584,6 +652,57 @@ mod tests {
         assert!(stream.write(&[1u8; 16]).is_err(), "tear fires at the cap");
         assert!(stream.write(&[1u8; 1]).is_err(), "pipe stays broken");
         assert_eq!(stats.fired(FaultKind::TearWrite), 1);
+    }
+
+    #[test]
+    fn delay_faults_ignore_would_block_attempts_on_nonblocking_streams() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        let stats = Arc::new(FaultStats::default());
+        let plan = FaultPlan::from_schedule(vec![vec![FaultAction {
+            kind: FaultKind::DelayRead,
+            after_bytes: 0,
+            delay_ms: 1,
+        }]]);
+        let mut stream = FaultStream::new(accepted, plan.arm(0, &stats));
+        stream.set_nonblocking(true).unwrap();
+
+        // Speculative reads with nothing buffered: `WouldBlock` outcomes
+        // must neither consume the one-shot delay nor count it as fired.
+        for _ in 0..3 {
+            let mut buf = [0u8; 8];
+            let err = stream.read(&mut buf).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        }
+        assert_eq!(
+            stats.fired(FaultKind::DelayRead),
+            0,
+            "WouldBlock attempts must not burn the fault"
+        );
+
+        // The first byte-moving read confirms the delay exactly once.
+        client.write_all(b"payload").unwrap();
+        let mut buf = [0u8; 8];
+        let n = loop {
+            match stream.read(&mut buf) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("unexpected read error: {e}"),
+            }
+        };
+        assert!(n > 0, "bytes must flow once buffered");
+        assert_eq!(stats.fired(FaultKind::DelayRead), 1);
+
+        // Later reads run clean: the one-shot is spent.
+        client.write_all(b"more").unwrap();
+        stream.set_nonblocking(false).unwrap();
+        let mut rest = [0u8; 4];
+        stream.read_exact(&mut rest).unwrap();
+        assert_eq!(stats.fired(FaultKind::DelayRead), 1);
     }
 
     #[test]

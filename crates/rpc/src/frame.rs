@@ -772,6 +772,145 @@ pub fn read_response(
     Ok((frame.request_id, response))
 }
 
+/// Incremental request-frame accumulation for non-blocking transports:
+/// the event-loop server feeds whatever bytes a readiness-driven read
+/// produced and drains complete frames, never blocking mid-frame.
+///
+/// Semantics mirror the blocking [`read_request_versioned`] exactly:
+///
+/// * the length prefix is validated against the cap **before** the
+///   payload is buffered (an oversized frame errors after 4 bytes, no
+///   allocation);
+/// * the version byte is checked only once the full declared frame has
+///   been consumed from the buffer, so the typed error + close path
+///   leaves no unread bytes behind (FIN, not RST);
+/// * framing is byte-positional, so any error poisons the accumulator —
+///   there is no resynchronization, the connection must close.
+#[derive(Debug)]
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily to keep drains O(1)
+    /// amortized instead of shifting the buffer per frame).
+    pos: usize,
+    max_frame_bytes: usize,
+    max_version: u8,
+    poisoned: bool,
+}
+
+impl FrameAccumulator {
+    /// An empty accumulator with the connection's negotiated limits.
+    pub fn new(max_frame_bytes: usize, max_version: u8) -> FrameAccumulator {
+        FrameAccumulator {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame_bytes,
+            max_version,
+            poisoned: false,
+        }
+    }
+
+    /// Appends freshly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if !self.poisoned {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether a framing error ended this connection's input.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn available(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 64 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    fn poison<T>(
+        &mut self,
+        error: (Option<u64>, FrameError),
+    ) -> Option<Result<T, (Option<u64>, FrameError)>> {
+        self.poisoned = true;
+        self.buf.clear();
+        self.pos = 0;
+        Some(Err(error))
+    }
+
+    /// Drains the next complete request frame, if one is buffered.
+    /// `None` means "need more bytes" (or the accumulator is poisoned);
+    /// errors carry the already-parsed request id when the frame header
+    /// was intact (payload decode failures), `None` for header-level
+    /// failures — the same contract as [`read_request_versioned`].
+    #[allow(clippy::type_complexity)]
+    pub fn next_request(
+        &mut self,
+    ) -> Option<Result<(u64, u8, Request), (Option<u64>, FrameError)>> {
+        if self.poisoned {
+            return None;
+        }
+        let avail = self.available();
+        if avail.len() < 4 {
+            return None;
+        }
+        let declared = u32::from_le_bytes(avail[..4].try_into().expect("4 prefix bytes")) as usize;
+        if declared < HEADER_BYTES {
+            return self.poison((
+                None,
+                FrameError::Malformed(CodecError::new(format!(
+                    "frame length {declared} is shorter than the {HEADER_BYTES}-byte header"
+                ))),
+            ));
+        }
+        if declared > self.max_frame_bytes {
+            return self.poison((
+                None,
+                FrameError::TooLarge {
+                    declared,
+                    limit: self.max_frame_bytes,
+                },
+            ));
+        }
+        if avail.len() < 4 + declared {
+            return None;
+        }
+        let frame = &avail[4..4 + declared];
+        let version = frame[0];
+        let kind = frame[1];
+        let request_id = u64::from_le_bytes(frame[2..10].try_into().expect("8 header bytes"));
+        let payload = frame[HEADER_BYTES..].to_vec();
+        // The whole frame is consumed before the version check (see the
+        // type docs: error + close must not leave unread bytes behind).
+        self.consume(4 + declared);
+        if !(PROTOCOL_V1..=self.max_version).contains(&version) {
+            return self.poison((None, FrameError::Version { got: version }));
+        }
+        let mut r = ByteReader::new(&payload);
+        let decoded = Request::decode_payload(kind, &mut r).and_then(|request| {
+            r.finish()?;
+            Ok(request)
+        });
+        match decoded {
+            Ok(request) => Some(Ok((request_id, version, request))),
+            Err(e) => self.poison((Some(request_id), e.into())),
+        }
+    }
+}
+
 /// Encodes a request to raw frame bytes at the given protocol version.
 pub fn request_to_bytes_v(version: u8, request_id: u64, request: &Request) -> Vec<u8> {
     let mut out = Vec::new();
@@ -1024,5 +1163,88 @@ mod tests {
             read_request(&mut [].as_slice(), 1 << 20),
             Err(FrameError::Closed)
         ));
+    }
+
+    #[test]
+    fn accumulator_yields_frames_fed_byte_by_byte() {
+        let mut bytes = request_to_bytes(1, &Request::Report);
+        bytes.extend_from_slice(&request_to_bytes_v(
+            PROTOCOL_V2,
+            2,
+            &Request::StreamCredit { grant: 16 },
+        ));
+        let mut acc = FrameAccumulator::new(DEFAULT_MAX_FRAME_BYTES, PROTOCOL_V2);
+        let mut seen = Vec::new();
+        for &b in &bytes {
+            acc.feed(&[b]);
+            while let Some(next) = acc.next_request() {
+                seen.push(next.expect("clean frames decode"));
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (1, PROTOCOL_V1, Request::Report),
+                (2, PROTOCOL_V2, Request::StreamCredit { grant: 16 }),
+            ]
+        );
+        assert_eq!(acc.buffered(), 0);
+    }
+
+    #[test]
+    fn accumulator_rejects_oversized_prefix_before_buffering_payload() {
+        let mut acc = FrameAccumulator::new(256, PROTOCOL_V2);
+        acc.feed(&(1u32 << 28).to_le_bytes());
+        match acc.next_request() {
+            Some(Err((None, FrameError::TooLarge { declared, limit }))) => {
+                assert_eq!(declared, 1 << 28);
+                assert_eq!(limit, 256);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Poisoned: no resync, even if more bytes arrive.
+        acc.feed(&request_to_bytes(1, &Request::Report));
+        assert!(acc.is_poisoned());
+        assert!(acc.next_request().is_none());
+    }
+
+    #[test]
+    fn accumulator_checks_version_only_after_consuming_the_full_frame() {
+        let mut wrong = request_to_bytes(1, &Request::Report);
+        wrong[4] = 42;
+        let mut acc = FrameAccumulator::new(DEFAULT_MAX_FRAME_BYTES, PROTOCOL_V2);
+        // Everything but the final byte: no verdict yet — the error path
+        // must consume the whole frame first (FIN, not RST).
+        acc.feed(&wrong[..wrong.len() - 1]);
+        assert!(acc.next_request().is_none());
+        acc.feed(&wrong[wrong.len() - 1..]);
+        assert!(matches!(
+            acc.next_request(),
+            Some(Err((None, FrameError::Version { got: 42 })))
+        ));
+        assert_eq!(acc.buffered(), 0, "bad frame fully consumed");
+    }
+
+    #[test]
+    fn accumulator_reports_request_id_on_payload_decode_failures() {
+        // A Coverage frame whose payload is garbage: the header parsed, so
+        // the error echoes the request id.
+        let good = request_to_bytes(9, &Request::Report);
+        let mut bad = Vec::new();
+        let body = [PROTOCOL_V1, 0x02, 9, 0, 0, 0, 0, 0, 0, 0, 0xFF];
+        bad.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bad.extend_from_slice(&body);
+        let mut acc = FrameAccumulator::new(DEFAULT_MAX_FRAME_BYTES, PROTOCOL_V2);
+        acc.feed(&good);
+        acc.feed(&bad);
+        assert!(matches!(
+            acc.next_request(),
+            Some(Ok((9, _, Request::Report)))
+        ));
+        assert!(matches!(
+            acc.next_request(),
+            Some(Err((Some(9), FrameError::Malformed(_))))
+        ));
+        assert!(acc.is_poisoned());
     }
 }

@@ -18,13 +18,18 @@
 //! * [`codec`] — compact hand-rolled binary encoding (varints, tagged
 //!   enums) for every job and result shape: clauses, tuples, mutation
 //!   batches, learner configurations, engine and server reports;
-//! * [`server`] — [`RpcServer`]: an acceptor thread plus one reader and
-//!   one writer thread per connection, mapping each connection onto one
-//!   [`castor_service::Session`]; in-flight requests multiplex onto the
-//!   per-database round-robin queues, admission rejections come back as
-//!   typed error frames, and a disconnect fires the session's cancel
-//!   token (queued jobs fail fast, the running one aborts within one
-//!   candidate tuple, the admission slot is reclaimed);
+//! * [`server`] — [`RpcServer`]: by default a single readiness-driven
+//!   epoll event loop (see [`event_loop`]; [`ServerCore::Threaded`]
+//!   keeps the original thread-per-connection core), mapping each
+//!   connection onto one [`castor_service::Session`]; in-flight
+//!   requests multiplex onto the per-database round-robin queues,
+//!   admission rejections come back as typed error frames, and a
+//!   disconnect fires the session's cancel token (queued jobs fail
+//!   fast, the running one aborts within one candidate tuple, the
+//!   admission slot is reclaimed);
+//! * [`sys`] — libc-free epoll/eventfd syscall wrappers the event loop
+//!   stands on (Linux x86_64/aarch64; other targets fall back to the
+//!   threaded core);
 //! * [`client`] — [`RpcClient`]: a blocking client with pipelined
 //!   submits, mirroring the in-process `Session` API shape so callers
 //!   can swap transports;
@@ -77,10 +82,20 @@
 
 pub mod client;
 pub mod codec;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod event_loop;
 pub mod fault;
 pub mod frame;
 pub mod retry;
 pub mod server;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod sys;
 
 pub use client::{ClientConfig, RpcClient, RpcError, RpcHandle};
 pub use codec::{ByteReader, ByteWriter, CodecError, Wire};
@@ -90,4 +105,4 @@ pub use frame::{
     DEFAULT_STREAM_CREDIT, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_VERSION,
 };
 pub use retry::{RetryClient, RetryPolicy};
-pub use server::{RpcConfig, RpcServer};
+pub use server::{RpcConfig, RpcServer, ServerCore};

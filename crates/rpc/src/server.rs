@@ -1,15 +1,20 @@
-//! The threaded RPC server: TCP connections mapped onto
-//! [`castor_service::Session`]s.
+//! The RPC server front end: TCP connections mapped onto
+//! [`castor_service::Session`]s, behind a choice of connection core
+//! ([`ServerCore`]).
 //!
-//! One acceptor thread takes connections; each connection gets one
-//! *reader* thread (parses request frames, submits jobs onto the
+//! The default core on supported platforms is the readiness-driven
+//! epoll event loop in [`crate::event_loop`] — one loop thread owns
+//! every connection. This module also keeps the original *threaded*
+//! core: one acceptor thread takes connections; each connection gets
+//! one *reader* thread (parses request frames, submits jobs onto the
 //! session's queue) and one *writer* thread (joins job handles in
 //! submission order and streams response frames back). Because jobs of
 //! one session execute in submission order, joining in order is
 //! completion order — while the per-database round-robin scheduler
 //! interleaves *other* sessions' jobs between them. Any number of
 //! requests can be in flight on one connection; request ids are echoed so
-//! the client can match responses.
+//! the client can match responses. Both cores implement the identical
+//! wire contract and are swept by the same chaos/stress suites.
 //!
 //! Request lifecycle:
 //!
@@ -44,6 +49,34 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Which connection-handling core the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerCore {
+    /// One readiness-driven epoll event loop owning every connection
+    /// (see [`crate::event_loop`]): non-blocking sockets, per-connection
+    /// state machines, completions delivered over an eventfd wake path.
+    /// The default on supported platforms (Linux x86_64/aarch64); falls
+    /// back to [`ServerCore::Threaded`] elsewhere.
+    EventLoop,
+    /// The original model: one reader plus one writer thread per
+    /// connection. Kept for migration comparison and as the portable
+    /// fallback; semantics are identical.
+    Threaded,
+}
+
+impl Default for ServerCore {
+    fn default() -> Self {
+        if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            ServerCore::EventLoop
+        } else {
+            ServerCore::Threaded
+        }
+    }
+}
+
 /// RPC front-end knobs.
 #[derive(Debug, Clone)]
 pub struct RpcConfig {
@@ -62,6 +95,11 @@ pub struct RpcConfig {
     /// rejected with [`ErrorCode::UnsupportedVersion`], exactly as the
     /// old build would.
     pub max_protocol_version: u8,
+    /// Connection-handling core (default: the event loop where
+    /// supported). Both cores speak the same wire protocol with the same
+    /// ordering/cancellation semantics; the chaos and stress suites run
+    /// against both.
+    pub core: ServerCore,
 }
 
 impl Default for RpcConfig {
@@ -70,6 +108,7 @@ impl Default for RpcConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             fault_plan: None,
             max_protocol_version: PROTOCOL_VERSION,
+            core: ServerCore::default(),
         }
     }
 }
@@ -90,6 +129,12 @@ impl RpcConfig {
     /// Returns a copy capped at the given protocol version.
     pub fn with_max_protocol_version(mut self, version: u8) -> Self {
         self.max_protocol_version = version;
+        self
+    }
+
+    /// Returns a copy running the given connection core.
+    pub fn with_core(mut self, core: ServerCore) -> Self {
+        self.core = core;
         self
     }
 }
@@ -184,10 +229,22 @@ impl RpcServer {
             let service = Arc::clone(&service);
             let shutdown = Arc::clone(&shutdown);
             let fault_stats = Arc::clone(&fault_stats);
-            std::thread::Builder::new()
-                .name("castor-rpc-acceptor".to_string())
-                .spawn(move || accept_loop(listener, service, config, shutdown, fault_stats))
-                .expect("failed to spawn acceptor thread")
+            match effective_core(config.core) {
+                #[cfg(all(
+                    target_os = "linux",
+                    any(target_arch = "x86_64", target_arch = "aarch64")
+                ))]
+                ServerCore::EventLoop => std::thread::Builder::new()
+                    .name("castor-rpc-loop".to_string())
+                    .spawn(move || {
+                        crate::event_loop::run(listener, service, config, shutdown, fault_stats)
+                    })
+                    .expect("failed to spawn event-loop thread"),
+                _ => std::thread::Builder::new()
+                    .name("castor-rpc-acceptor".to_string())
+                    .spawn(move || accept_loop(listener, service, config, shutdown, fault_stats))
+                    .expect("failed to spawn acceptor thread"),
+            }
         };
         Ok(RpcServer {
             service,
@@ -214,6 +271,20 @@ impl RpcServer {
     /// must match the `castor_fault_injected_total` metric family.
     pub fn fault_stats(&self) -> &Arc<FaultStats> {
         &self.fault_stats
+    }
+}
+
+/// The core that actually runs: the event loop needs the epoll/eventfd
+/// syscall layer, so unsupported platforms silently get the threaded
+/// fallback.
+fn effective_core(requested: ServerCore) -> ServerCore {
+    if cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )) {
+        requested
+    } else {
+        ServerCore::Threaded
     }
 }
 
@@ -419,7 +490,7 @@ fn handshake(
 
 /// The typed error frame (if any) to send for a handshake/read failure.
 /// Socket-level failures get no frame — there is no one to read it.
-fn frame_error_response(error: &FrameError) -> Option<(ErrorCode, usize, String)> {
+pub(crate) fn frame_error_response(error: &FrameError) -> Option<(ErrorCode, usize, String)> {
     match error {
         FrameError::Io(_) | FrameError::Closed => None,
         FrameError::TooLarge { declared: _, limit } => {
@@ -634,7 +705,7 @@ fn read_loop(
 /// wire job's trace (queue wait → engine eval → reply).
 /// Applies a wire deadline to a job through its builder, when one rode
 /// along on the frame.
-fn with_wire_deadline<J>(
+pub(crate) fn with_wire_deadline<J>(
     job: J,
     deadline_ms: Option<u64>,
     attach: impl FnOnce(J, Deadline) -> J,

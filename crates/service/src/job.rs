@@ -258,18 +258,50 @@ impl fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
+/// A completion callback armed on a handle: runs exactly once, on the
+/// thread that completes the job (or inline on the arming thread if the
+/// job already finished). Must never block — runner threads call it.
+type CompletionHook = Box<dyn FnOnce() + Send>;
+
 /// The slot a runner thread fills and waiters block on.
-#[derive(Debug, Default)]
+#[derive(Default)]
+struct SharedState {
+    result: Option<Result<JobResult, JobError>>,
+    hook: Option<CompletionHook>,
+}
+
+/// The slot a runner thread fills and waiters block on, plus an optional
+/// completion hook (see [`JobHandle::on_complete`]).
+#[derive(Default)]
 pub(crate) struct JobShared {
-    state: Mutex<Option<Result<JobResult, JobError>>>,
+    state: Mutex<SharedState>,
     done: Condvar,
+}
+
+impl fmt::Debug for JobShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("JobShared")
+            .field("done", &state.result.is_some())
+            .field("hooked", &state.hook.is_some())
+            .finish()
+    }
 }
 
 impl JobShared {
     pub(crate) fn complete(&self, result: Result<JobResult, JobError>) {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        *state = Some(result);
-        self.done.notify_all();
+        let hook = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.result = Some(result);
+            self.done.notify_all();
+            state.hook.take()
+        };
+        // The hook runs outside the lock: it may fan out into arbitrary
+        // notification machinery (an event loop's waker), and a waiter
+        // woken by the notify above must not contend with it.
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 }
 
@@ -305,7 +337,7 @@ impl JobHandle {
     pub fn join(&self) -> Result<JobResult, JobError> {
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(result) = state.as_ref() {
+            if let Some(result) = state.result.as_ref() {
                 return result.clone();
             }
             state = self
@@ -323,7 +355,27 @@ impl JobHandle {
             .state
             .lock()
             .unwrap_or_else(|e| e.into_inner())
+            .result
             .clone()
+    }
+
+    /// Arms a completion notification: `hook` runs exactly once when the
+    /// job completes — on the completing runner thread, or inline right
+    /// here if the result is already in. One hook per job (arming again
+    /// replaces an unfired hook); the hook must not block, since it runs
+    /// on the database's runner. This is how a non-blocking front end
+    /// (the RPC event loop) learns a handle became joinable without
+    /// parking a thread in [`JobHandle::join`].
+    pub fn on_complete(&self, hook: impl FnOnce() + Send + 'static) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.result.is_none() {
+                state.hook = Some(Box::new(hook));
+                return;
+            }
+        }
+        // Already complete: fire inline, outside the lock.
+        hook();
     }
 }
 
@@ -351,6 +403,31 @@ mod tests {
         assert!(covered.into_scores().is_none());
         let learned = JobResult::Learned(Definition::empty("t"));
         assert_eq!(learned.into_definition().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn completion_hook_fires_once_on_complete_or_inline_when_late() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Armed before completion: fires on the completing thread.
+        let (handle, shared) = JobHandle::new(1);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook_fired = Arc::clone(&fired);
+        handle.on_complete(move || {
+            hook_fired.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "not before completion");
+        shared.complete(Ok(JobResult::Covered(Vec::new())));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+        // Armed after completion: fires inline, exactly once.
+        let late = Arc::new(AtomicUsize::new(0));
+        let hook_late = Arc::clone(&late);
+        handle.on_complete(move || {
+            hook_late.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(late.load(Ordering::SeqCst), 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "first hook not re-run");
     }
 
     #[test]

@@ -653,11 +653,12 @@ impl Server {
         }
         let mut engine_config = self.config.engine.clone();
         engine_config.threads = self.config.threads;
-        let engine = Arc::new(Engine::with_observability(
+        let engine = Arc::new(Engine::with_labeled_observability(
             db,
             engine_config,
             Arc::clone(&self.pool),
             Arc::clone(&self.obs),
+            &name,
         ));
         let queue = Arc::new(DatabaseQueue::new(self.config.max_inflight_per_database));
         self.obs

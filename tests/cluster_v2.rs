@@ -503,3 +503,72 @@ fn router_metrics_expose_requests_health_and_rebalances() {
     }
     drop(servers);
 }
+
+/// The router's scrape endpoint speaks the member framing, so a stock
+/// `RpcClient` fetches the router's own metrics and traces over the
+/// wire — and job frames come back as typed `Protocol` errors instead
+/// of hanging or corrupting the stream.
+#[test]
+fn router_scrape_endpoint_serves_member_frames() {
+    let (servers, router) = cluster(2, &["demo"]);
+    router
+        .session("demo")
+        .unwrap()
+        .covered_sets(
+            vec![collaborated()],
+            vec![Tuple::from_strs(&["ann", "bob"])],
+        )
+        .unwrap();
+
+    let endpoint = router.bind_metrics("127.0.0.1:0").unwrap();
+    // The database name in the Hello is ignored: the endpoint serves the
+    // router itself, not a tenant.
+    let mut scraper = RpcClient::connect(endpoint.local_addr(), "whatever").unwrap();
+
+    let metrics = scraper.metrics().unwrap();
+    assert!(
+        metrics.contains("castor_router_requests_total"),
+        "wire scrape must match Router::metrics_text content:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("castor_router_member_healthy"),
+        "missing member health gauge in wire scrape:\n{metrics}"
+    );
+
+    // The wire trace dump is the router's own span ring rendered as
+    // Chrome-trace JSON (the router mints trace ids for proxied work
+    // but spans land on the member; its own ring holds router-local
+    // spans only — possibly none).
+    let dump = scraper.trace_dump().unwrap();
+    assert_eq!(
+        dump,
+        router.obs().trace_json(),
+        "wire trace dump must be the router's own span ring"
+    );
+
+    // Job frames are refused with a typed error; the connection closes
+    // (poisoned framing on the scrape side), so the next call fails IO.
+    let err = scraper
+        .covered_sets(
+            vec![collaborated()],
+            vec![Tuple::from_strs(&["ann", "bob"])],
+        )
+        .unwrap_err();
+    match err {
+        RpcError::Remote { code, message, .. } => {
+            assert_eq!(code, ErrorCode::Protocol);
+            assert!(message.contains("Metrics and TraceDump"), "{message}");
+        }
+        other => panic!("expected a typed Protocol error, got {other:?}"),
+    }
+
+    // Dropping the endpoint stops the acceptor: fresh connects are
+    // refused or die on the handshake.
+    let addr = endpoint.local_addr();
+    drop(endpoint);
+    assert!(
+        RpcClient::connect(addr, "whatever").is_err(),
+        "scrape endpoint still answering after drop"
+    );
+    drop(servers);
+}

@@ -143,10 +143,12 @@ fn wire_metrics_agree_with_the_server_report() {
     assert_eq!(queue_wait, server.queue_drains as u64);
     assert_eq!(job_run, server.jobs_submitted as u64);
 
-    // The engine's evaluation histogram saw both coverage batches, and
-    // the histogram's own bookkeeping is internally consistent: the +Inf
-    // bucket closes at the total count.
-    let evals = metric_value(&metrics, "castor_engine_batch_eval_ns_count");
+    // The engine's evaluation histogram saw both coverage batches and is
+    // labelled with the database it belongs to (engines registered
+    // through the server get per-database series); the histogram's own
+    // bookkeeping is internally consistent: the +Inf bucket closes at
+    // the total count.
+    let evals = metric_value(&metrics, "castor_engine_batch_eval_ns_count{db=\"demo\"}");
     assert!(evals >= 2, "two coverage jobs evaluated, saw {evals}");
     let inf_line = metrics
         .lines()
