@@ -1,0 +1,132 @@
+//! Machine-readable Figure 2 benchmark: thread sweep over parallel
+//! ground-bottom-clause construction (the phase that dominated runtime at
+//! reduced synthetic scales and kept the original Figure 2 sweep flat)
+//! plus the cross-variant coverage-reuse comparison (shared cache arena
+//! vs. isolated per-variant engines). Writes the results to
+//! `BENCH_fig2.json` in the current directory — the artifact CI or a
+//! tracking dashboard diffs across commits.
+//!
+//! Run with: `cargo run --release -p castor-bench --bin bench_fig2`
+
+use castor_core::{ground_bottom_clauses, BottomClausePlan, CastorConfig};
+use castor_datasets::uwcse::{self, UwCseConfig};
+use castor_engine::WorkerPool;
+use castor_eval::{run_uwcse_cross_variant_coverage, run_uwcse_independent_coverage, Transport};
+use castor_relational::Tuple;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MEASUREMENTS: usize = 3;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Minimum over `MEASUREMENTS` runs (the standard de-noised estimate for
+/// a deterministic loop), warm-up included.
+fn best(mut f: impl FnMut() -> Duration) -> Duration {
+    f();
+    (0..MEASUREMENTS).map(|_| f()).min().unwrap()
+}
+
+fn main() {
+    // --- Part 1: bottom-clause construction thread sweep -----------------
+    // Enlarged UW-CSE so one sequential pass costs real time; every sweep
+    // point saturates the same deduplicated example list.
+    let family = uwcse::generate(&UwCseConfig {
+        students: 400,
+        professors: 60,
+        courses: 120,
+        ..Default::default()
+    });
+    let variant = family.variant("Original").expect("family has Original");
+    let plan = BottomClausePlan::compile(variant.db.schema(), false);
+    let config = CastorConfig::uwcse();
+    let examples: Vec<Tuple> = variant
+        .task
+        .positive
+        .iter()
+        .chain(variant.task.negative.iter())
+        .cloned()
+        .collect();
+
+    let mut sweep_json = String::new();
+    let mut baseline_ns = 0u128;
+    for (i, &t) in THREADS.iter().enumerate() {
+        let pool = Arc::new(WorkerPool::new(t));
+        let elapsed = best(|| {
+            let start = Instant::now();
+            let ground =
+                ground_bottom_clauses(&variant.db, &plan, "advisedBy", &examples, &config, &pool);
+            assert!(!ground.is_empty());
+            start.elapsed()
+        });
+        if t == 1 {
+            baseline_ns = elapsed.as_nanos();
+        }
+        let speedup = baseline_ns as f64 / elapsed.as_nanos().max(1) as f64;
+        let _ = write!(
+            sweep_json,
+            "{}    {{ \"threads\": {t}, \"ns_min\": {}, \"speedup_over_1\": {speedup:.3} }}",
+            if i == 0 { "" } else { ",\n" },
+            elapsed.as_nanos()
+        );
+        eprintln!("bottom clauses @ {t} threads: {elapsed:?} ({speedup:.2}x)");
+    }
+
+    // --- Part 2: cross-variant coverage reuse -----------------------------
+    let reuse_family = uwcse::generate(&UwCseConfig {
+        students: 40,
+        professors: 8,
+        courses: 12,
+        noise_fraction: 0.0,
+        ..Default::default()
+    });
+    let clauses = uwcse::ground_truth_original().clauses;
+    let task = &reuse_family.variants[0].task;
+    let reuse_examples: Vec<Tuple> = task
+        .positive
+        .iter()
+        .chain(task.negative.iter())
+        .cloned()
+        .collect();
+
+    let mut cross_hits = 0usize;
+    let shared = best(|| {
+        let start = Instant::now();
+        let runs = run_uwcse_cross_variant_coverage(
+            &reuse_family,
+            &clauses,
+            &reuse_examples,
+            1,
+            Transport::InProcess,
+        );
+        cross_hits = runs.iter().map(|r| r.report.cross_variant_hits).sum();
+        start.elapsed()
+    });
+    let independent = best(|| {
+        let start = Instant::now();
+        let runs = run_uwcse_independent_coverage(&reuse_family, &clauses, &reuse_examples, 1);
+        assert_eq!(runs.len(), 4);
+        start.elapsed()
+    });
+    let reuse_speedup = independent.as_secs_f64() / shared.as_secs_f64().max(1e-9);
+    eprintln!(
+        "cross-variant: shared {shared:?} vs independent {independent:?} \
+         ({reuse_speedup:.2}x, {cross_hits} cross hits)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fig2\",\n  \"bottom_clause_sweep\": {{\n    \"examples\": {},\n    \
+         \"measurements\": {MEASUREMENTS},\n    \"points\": [\n{sweep_json}\n    ]\n  }},\n  \
+         \"cross_variant_reuse\": {{\n    \"variants\": 4,\n    \"clauses\": {},\n    \
+         \"examples\": {},\n    \"shared_arena_ns_min\": {},\n    \
+         \"independent_ns_min\": {},\n    \"independent_over_shared\": {reuse_speedup:.4},\n    \
+         \"cross_variant_hits\": {cross_hits}\n  }}\n}}\n",
+        examples.len(),
+        clauses.len(),
+        reuse_examples.len(),
+        shared.as_nanos(),
+        independent.as_nanos(),
+    );
+    std::fs::write("BENCH_fig2.json", &json).expect("write BENCH_fig2.json");
+    print!("{json}");
+}

@@ -78,18 +78,21 @@ impl CoverageEngine {
         config: &CastorConfig,
         pool: Arc<WorkerPool>,
     ) -> Self {
-        let mut ground = HashMap::new();
-        for example in positive.iter().chain(negative.iter()) {
-            ground.entry(example.clone()).or_insert_with(|| {
-                crate::bottom_clause::castor_ground_bottom_clause(db, plan, target, example, config)
-            });
-        }
+        let examples: Vec<Tuple> = positive.iter().chain(negative.iter()).cloned().collect();
+        let ground = ground_bottom_clauses(db, plan, target, &examples, config, &pool);
         let engine_config = config.params.engine_config();
         CoverageEngine {
             ground: Arc::new(ground),
             runtime: CoverageRuntime::new(&engine_config, pool),
             budget: EvalBudget::new(engine_config.eval_budget),
         }
+    }
+
+    /// The materialized ground bottom clause of `example`, if it is one of
+    /// the engine's training examples (used by equivalence tests and the
+    /// Figure 2 parallelism reports).
+    pub fn ground_clause(&self, example: &Tuple) -> Option<&Clause> {
+        self.ground.get(example)
     }
 
     /// Replaces the per-test budget template (builder style). The Castor
@@ -234,6 +237,49 @@ impl CoverageTester for CoverageEngine {
             Some(self.budget.remaining())
         }
     }
+}
+
+/// Materializes the ground bottom clause of every distinct example, on the
+/// worker pool when it has more than one thread (each example's saturation
+/// is independent, so work-stealing across examples is safe) and inline
+/// otherwise. The merge is deterministic either way: results come back in
+/// example order and each example's saturation loop is itself sequential,
+/// so the parallel build is bit-identical to the sequential one — this is
+/// the Figure 2 "parallel bottom-clause construction" axis.
+pub fn ground_bottom_clauses(
+    db: &DatabaseInstance,
+    plan: &BottomClausePlan,
+    target: &str,
+    examples: &[Tuple],
+    config: &CastorConfig,
+    pool: &WorkerPool,
+) -> HashMap<Tuple, Clause> {
+    let mut seen = HashSet::new();
+    let unique: Vec<Tuple> = examples
+        .iter()
+        .filter(|e| seen.insert((*e).clone()))
+        .cloned()
+        .collect();
+    let clauses: Vec<Clause> = if pool.size() > 1 && unique.len() > 1 {
+        // The instance clone is cheap (relations are `Arc`-backed
+        // copy-on-write) and pins a consistent snapshot for the workers.
+        let db = Arc::new(db.clone());
+        let plan = Arc::new(plan.clone());
+        let config = Arc::new(config.clone());
+        let target = target.to_string();
+        let work = Arc::new(unique.clone());
+        pool.map_indices(unique.len(), move |i| {
+            crate::bottom_clause::castor_ground_bottom_clause(
+                &db, &plan, &target, &work[i], &config,
+            )
+        })
+    } else {
+        unique
+            .iter()
+            .map(|e| crate::bottom_clause::castor_ground_bottom_clause(db, plan, target, e, config))
+            .collect()
+    };
+    unique.into_iter().zip(clauses).collect()
 }
 
 /// One θ-subsumption test against an example's ground bottom clause. An
@@ -532,6 +578,32 @@ mod tests {
         let engine = engine.with_budget_template(EvalBudget::new(30_000));
         assert!(engine.covers(&collaborated(), &e));
         assert_eq!(engine.report().coverage_tests, second.coverage_tests + 1);
+    }
+
+    #[test]
+    fn parallel_ground_construction_is_bit_identical_to_sequential() {
+        let db = db();
+        let plan = BottomClausePlan::compile(db.schema(), false);
+        let config = CastorConfig::default();
+        let examples: Vec<Tuple> = vec![
+            Tuple::from_strs(&["ann", "bob"]),
+            Tuple::from_strs(&["carol", "dan"]),
+            Tuple::from_strs(&["ann", "carol"]),
+            Tuple::from_strs(&["eve", "bob"]),
+            Tuple::from_strs(&["ann", "bob"]), // duplicate: built once
+        ];
+        let inline = WorkerPool::new(1);
+        let pooled = WorkerPool::new(4);
+        let sequential =
+            ground_bottom_clauses(&db, &plan, "collaborated", &examples, &config, &inline);
+        let parallel =
+            ground_bottom_clauses(&db, &plan, "collaborated", &examples, &config, &pooled);
+        assert_eq!(sequential.len(), 4);
+        assert_eq!(sequential, parallel);
+        // Body order matters for bit-identity, not just set equality.
+        for (example, clause) in &sequential {
+            assert_eq!(parallel[example].body, clause.body);
+        }
     }
 
     #[test]

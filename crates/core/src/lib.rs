@@ -70,6 +70,6 @@ pub mod reduction;
 pub use armg::castor_armg;
 pub use bottom_clause::{castor_bottom_clause, castor_ground_bottom_clause};
 pub use config::CastorConfig;
-pub use coverage::CoverageEngine;
+pub use coverage::{ground_bottom_clauses, CoverageEngine};
 pub use learner::{Castor, LearnOutcome};
 pub use plan::BottomClausePlan;

@@ -1,0 +1,234 @@
+//! The shared cache arena for cross-schema-variant verdict reuse.
+//!
+//! Schema independence (the paper's thesis) makes coverage verdicts
+//! transferable: if two databases are variants of one logical database —
+//! images of a shared base under bijective (de)composition transformations
+//! — then a clause evaluated on one variant and its δτ-image evaluated on
+//! the other cover the *same* logical examples. A [`CacheArena`] exploits
+//! this by keying one [`CoverageCache`] by the clauses' canonical-schema
+//! image: every engine bound to the arena translates its (already
+//! α-canonical) clauses through its variant's lens before probing, so
+//! α-equivalent canonical images collide and a verdict proven on one
+//! variant is served to all others.
+//!
+//! The lens is applied to cache *keys only*. Plans are still compiled and
+//! executed against each engine's own schema — the lens image names
+//! relations of the canonical schema, which the variant database does not
+//! contain.
+//!
+//! Exhaustion verdicts do not transfer: a budget exhaustion is an artifact
+//! of one variant's join order and node accounting, so the cache confines
+//! `ExhaustedAt` entries to the variant that observed them (see the source
+//! tagging in [`crate::cache`]).
+
+use crate::cache::CoverageCache;
+use castor_logic::Clause;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Maps an α-canonical clause of one variant's schema to its (again
+/// α-canonical) canonical-schema image. Built from
+/// `castor_transform::VariantLens` by callers; the engine only needs the
+/// closure, which keeps `castor-engine` free of a transform dependency.
+pub type ClauseLens = Arc<dyn Fn(&Clause) -> Clause + Send + Sync>;
+
+/// Maps a set of variant-schema relation names to the canonical-schema
+/// relations they can influence — the invalidation companion of
+/// [`ClauseLens`]: cached keys name canonical relations, so invalidating
+/// after a variant-side mutation must translate the dirty set.
+pub type RelationLens = Arc<dyn Fn(&BTreeSet<String>) -> BTreeSet<String> + Send + Sync>;
+
+/// One shared coverage-cache arena for all schema variants of a logical
+/// database. Each engine gets a [`CacheBinding`] with a unique variant id;
+/// the id tags written verdicts so cross-variant serves can be counted and
+/// exhaustions confined.
+#[derive(Debug)]
+pub struct CacheArena {
+    cache: Arc<CoverageCache>,
+    next_variant: AtomicUsize,
+}
+
+impl CacheArena {
+    /// Creates an arena whose shared cache holds at most `capacity`
+    /// distinct canonical clauses.
+    pub fn new(capacity: usize) -> Self {
+        CacheArena {
+            cache: Arc::new(CoverageCache::new(capacity)),
+            next_variant: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shared cache (for inspection; engines go through bindings).
+    pub fn cache(&self) -> &Arc<CoverageCache> {
+        &self.cache
+    }
+
+    /// Binds the canonical variant itself: clauses are already in
+    /// canonical-schema form, so no translation happens on probes.
+    pub fn bind_canonical(&self) -> CacheBinding {
+        CacheBinding {
+            cache: Arc::clone(&self.cache),
+            variant: self.issue_id(),
+            lens: None,
+            relations: None,
+        }
+    }
+
+    /// Binds a non-canonical variant: `lens` maps its clauses into the
+    /// canonical schema for keying, `relations` translates relation-level
+    /// invalidation the same way.
+    pub fn bind(&self, lens: ClauseLens, relations: RelationLens) -> CacheBinding {
+        CacheBinding {
+            cache: Arc::clone(&self.cache),
+            variant: self.issue_id(),
+            lens: Some(lens),
+            relations: Some(relations),
+        }
+    }
+
+    fn issue_id(&self) -> u16 {
+        let id = self.next_variant.fetch_add(1, Ordering::Relaxed);
+        u16::try_from(id).expect("more than u16::MAX variants bound to one arena")
+    }
+}
+
+/// One engine's handle on a coverage cache: the cache itself, the engine's
+/// variant id, and the (optional) lenses translating keys at the cache
+/// boundary. An unshared engine uses [`CacheBinding::private`] — variant 0,
+/// no translation — which behaves exactly like owning the cache directly.
+#[derive(Clone)]
+pub struct CacheBinding {
+    cache: Arc<CoverageCache>,
+    variant: u16,
+    lens: Option<ClauseLens>,
+    relations: Option<RelationLens>,
+}
+
+impl CacheBinding {
+    /// A private, untranslated binding — the default for engines that do
+    /// not share their cache with other schema variants.
+    pub fn private(capacity: usize) -> Self {
+        CacheBinding {
+            cache: Arc::new(CoverageCache::new(capacity)),
+            variant: 0,
+            lens: None,
+            relations: None,
+        }
+    }
+
+    /// The underlying cache.
+    pub fn cache(&self) -> &CoverageCache {
+        &self.cache
+    }
+
+    /// The variant id verdicts written through this binding are tagged
+    /// with.
+    pub fn variant(&self) -> u16 {
+        self.variant
+    }
+
+    /// Whether probes through this binding translate their keys (i.e. the
+    /// binding belongs to a shared arena and is not the canonical variant).
+    pub fn translates(&self) -> bool {
+        self.lens.is_some()
+    }
+
+    /// The cache key for an α-canonical clause: the clause itself for an
+    /// untranslated binding, its canonical-schema image otherwise.
+    pub fn key_of(&self, canonical: &Clause) -> Option<Clause> {
+        self.lens.as_ref().map(|lens| lens(canonical))
+    }
+
+    /// Translates a variant-schema dirty-relation set for invalidation.
+    pub fn relations_of(&self, relations: &BTreeSet<String>) -> Option<BTreeSet<String>> {
+        self.relations.as_ref().map(|f| f(relations))
+    }
+}
+
+impl std::fmt::Debug for CacheBinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheBinding")
+            .field("variant", &self.variant)
+            .field("translates", &self.translates())
+            .field("cached_clauses", &self.cache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_logic::{Atom, CoverageOutcome};
+    use castor_relational::Tuple;
+
+    #[test]
+    fn arena_issues_distinct_variant_ids() {
+        let arena = CacheArena::new(64);
+        let a = arena.bind_canonical();
+        let b = arena.bind(
+            Arc::new(|c: &Clause| c.clone()),
+            Arc::new(|r: &BTreeSet<String>| r.clone()),
+        );
+        assert_ne!(a.variant(), b.variant());
+        assert!(!a.translates());
+        assert!(b.translates());
+    }
+
+    #[test]
+    fn bindings_share_one_cache() {
+        let arena = CacheArena::new(64);
+        let a = arena.bind_canonical();
+        let b = arena.bind_canonical();
+        let clause = Clause::new(Atom::vars("t", &["_0"]), vec![]);
+        let e = Tuple::from_strs(&["x"]);
+        a.cache().insert_many_from(
+            &clause,
+            [(e.clone(), CoverageOutcome::Covered)],
+            None,
+            a.variant(),
+        );
+        let (outcome, cross) = b.cache().get_from(&clause, &e, None, b.variant());
+        assert_eq!(outcome, Some(CoverageOutcome::Covered));
+        assert!(
+            cross,
+            "verdict proven by another variant must count as a cross hit"
+        );
+        let (_, same) = a.cache().get_from(&clause, &e, None, a.variant());
+        assert!(!same, "own verdicts are ordinary hits");
+    }
+
+    #[test]
+    fn exhaustions_stay_confined_to_their_variant() {
+        let arena = CacheArena::new(64);
+        let a = arena.bind_canonical();
+        let b = arena.bind_canonical();
+        let clause = Clause::new(Atom::vars("t", &["_0"]), vec![]);
+        let e = Tuple::from_strs(&["x"]);
+        a.cache().insert_many_from(
+            &clause,
+            [(e.clone(), CoverageOutcome::Exhausted)],
+            Some(100),
+            a.variant(),
+        );
+        // The owner is served under a smaller budget; the foreign variant
+        // misses without striking the entry.
+        for _ in 0..10 {
+            let (foreign, _) = b.cache().get_from(&clause, &e, Some(10), b.variant());
+            assert_eq!(foreign, None);
+        }
+        assert_eq!(b.cache().exhaustions_evicted(), 0);
+        let (own, _) = a.cache().get_from(&clause, &e, Some(10), a.variant());
+        assert_eq!(own, Some(CoverageOutcome::Exhausted));
+    }
+
+    #[test]
+    fn private_binding_behaves_like_a_plain_cache() {
+        let binding = CacheBinding::private(8);
+        assert_eq!(binding.variant(), 0);
+        assert!(binding
+            .key_of(&Clause::new(Atom::vars("t", &["_0"]), vec![]))
+            .is_none());
+        assert!(binding.relations_of(&BTreeSet::new()).is_none());
+    }
+}

@@ -117,83 +117,133 @@ impl CachedVerdict {
             }
         }
     }
+}
 
-    /// Merges a newly observed verdict into an existing entry: definite
-    /// verdicts always win over exhaustions, and of two exhaustions the
-    /// larger observed budget is kept (it answers more probes). Any refresh
-    /// of an exhaustion resets its eviction strikes — the entry proved
-    /// itself current again.
-    fn merge(&mut self, new: CachedVerdict) {
-        match (*self, new) {
-            (
-                CachedVerdict::ExhaustedAt { budget: old, .. },
-                CachedVerdict::ExhaustedAt { budget: new, .. },
-            ) => {
-                *self = CachedVerdict::ExhaustedAt {
-                    budget: old.max(new),
-                    strikes: 0,
-                };
-            }
-            (CachedVerdict::ExhaustedAt { .. }, definite) => *self = definite,
-            // A definite verdict is never downgraded.
-            (_, _) => {}
-        }
-    }
+/// A memoized verdict together with the schema variant that proved it.
+/// Variant ids are issued by the engine's cache arena; a cache used by a
+/// single engine runs entirely at variant 0. Definite verdicts are schema-
+/// invariant (the arena keys clauses by their canonical-schema image, and
+/// coverage is preserved by the definition mapping δτ), so they are served
+/// across variants; exhaustions are artifacts of one variant's plan and
+/// node accounting, so they are confined to the variant that observed them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Stored {
+    verdict: CachedVerdict,
+    source: u16,
+}
+
+/// What one cache probe produced: the servable outcome, whether a dead
+/// exhaustion entry was struck out, and whether the serve crossed schema
+/// variants (a definite verdict proven by a different variant).
+struct Served {
+    outcome: Option<CoverageOutcome>,
+    evicted: bool,
+    cross: bool,
 }
 
 /// One cached clause: its per-example outcomes plus the recency stamp the
 /// LRU order is kept under.
 #[derive(Debug, Default)]
 struct CacheSlot {
-    outcomes: FxHashMap<Tuple, CachedVerdict>,
+    outcomes: FxHashMap<Tuple, Stored>,
     stamp: u64,
 }
 
 impl CacheSlot {
-    /// Merges one observed verdict into the slot (see
-    /// [`CachedVerdict::merge`]).
-    fn absorb(&mut self, example: Tuple, verdict: CachedVerdict) {
+    /// Merges one observed verdict into the slot. Definite verdicts always
+    /// win over exhaustions and are never downgraded (the first definite
+    /// prover keeps the credit). Of two same-variant exhaustions the larger
+    /// observed budget is kept (it answers more probes) and the refresh
+    /// resets the eviction strikes; an exhaustion observed by a *different*
+    /// variant replaces the entry outright — budgets under different
+    /// variants' plans are not comparable, so the latest writer wins.
+    fn absorb(&mut self, example: Tuple, verdict: CachedVerdict, source: u16) {
         match self.outcomes.entry(example) {
-            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(verdict),
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let stored = e.get_mut();
+                match (stored.verdict, verdict) {
+                    (
+                        CachedVerdict::ExhaustedAt { budget: old, .. },
+                        CachedVerdict::ExhaustedAt { budget: new, .. },
+                    ) => {
+                        if stored.source == source {
+                            stored.verdict = CachedVerdict::ExhaustedAt {
+                                budget: old.max(new),
+                                strikes: 0,
+                            };
+                        } else {
+                            *stored = Stored { verdict, source };
+                        }
+                    }
+                    (CachedVerdict::ExhaustedAt { .. }, definite) => {
+                        *stored = Stored {
+                            verdict: definite,
+                            source,
+                        };
+                    }
+                    // A definite verdict is never downgraded.
+                    (_, _) => {}
+                }
+            }
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(verdict);
+                e.insert(Stored { verdict, source });
             }
         }
     }
 
-    /// Serves one example's verdict under the probe's exhaustion `scope`,
-    /// applying the budget-tier eviction policy: a probe with a larger
-    /// budget than a cached exhaustion is a *strike*, and an entry that
-    /// collects [`EXHAUSTION_STRIKE_LIMIT`] consecutive strikes is removed
-    /// on the spot. Returns the servable outcome plus whether an entry was
-    /// evicted. Probes with no comparable budget (`scope == None`) neither
-    /// serve nor strike exhaustions.
-    fn serve_tracked(
-        &mut self,
-        example: &Tuple,
-        scope: Option<usize>,
-    ) -> (Option<CoverageOutcome>, bool) {
-        let Some(verdict) = self.outcomes.get_mut(example) else {
-            return (None, false);
+    /// Serves one example's verdict to a probe from `variant` under its
+    /// exhaustion `scope`, applying the budget-tier eviction policy: a
+    /// same-variant probe with a larger budget than a cached exhaustion is
+    /// a *strike*, and an entry that collects [`EXHAUSTION_STRIKE_LIMIT`]
+    /// consecutive strikes is removed on the spot. Probes with no
+    /// comparable budget (`scope == None`) neither serve nor strike
+    /// exhaustions; neither do probes from a different variant (a foreign
+    /// exhaustion is a plain miss — the entry stays for its owner).
+    fn serve_tracked(&mut self, example: &Tuple, scope: Option<usize>, variant: u16) -> Served {
+        let miss = Served {
+            outcome: None,
+            evicted: false,
+            cross: false,
         };
-        match verdict {
-            CachedVerdict::Covered => (Some(CoverageOutcome::Covered), false),
-            CachedVerdict::NotCovered => (Some(CoverageOutcome::NotCovered), false),
+        let Some(stored) = self.outcomes.get_mut(example) else {
+            return miss;
+        };
+        let cross = stored.source != variant;
+        match &mut stored.verdict {
+            CachedVerdict::Covered => Served {
+                outcome: Some(CoverageOutcome::Covered),
+                evicted: false,
+                cross,
+            },
+            CachedVerdict::NotCovered => Served {
+                outcome: Some(CoverageOutcome::NotCovered),
+                evicted: false,
+                cross,
+            },
+            CachedVerdict::ExhaustedAt { .. } if cross => miss,
             CachedVerdict::ExhaustedAt { budget, strikes } => match scope {
                 Some(probe) if probe <= *budget => {
                     *strikes = 0;
-                    (Some(CoverageOutcome::Exhausted), false)
+                    Served {
+                        outcome: Some(CoverageOutcome::Exhausted),
+                        evicted: false,
+                        cross: false,
+                    }
                 }
                 Some(_) => {
                     *strikes += 1;
                     if *strikes >= EXHAUSTION_STRIKE_LIMIT {
                         self.outcomes.remove(example);
-                        (None, true)
+                        Served {
+                            outcome: None,
+                            evicted: true,
+                            cross: false,
+                        }
                     } else {
-                        (None, false)
+                        miss
                     }
                 }
-                None => (None, false),
+                None => miss,
             },
         }
     }
@@ -295,15 +345,32 @@ impl CoverageCache {
         example: &Tuple,
         scope: Option<usize>,
     ) -> Option<CoverageOutcome> {
+        self.get_from(canonical, example, scope, 0).0
+    }
+
+    /// [`CoverageCache::get`] for a probe from schema variant `variant`:
+    /// returns the outcome plus whether the serve crossed variants (a
+    /// definite verdict proven by a different variant — the cross-variant
+    /// reuse the arena keying exists for). Exhaustions are never served
+    /// across variants and foreign probes never strike them.
+    pub fn get_from(
+        &self,
+        canonical: &Clause,
+        example: &Tuple,
+        scope: Option<usize>,
+        variant: u16,
+    ) -> (Option<CoverageOutcome>, bool) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let slot = inner.slots.get_mut(canonical)?;
-        let (outcome, evicted) = slot.serve_tracked(example, scope);
-        if evicted {
+        let Some(slot) = inner.slots.get_mut(canonical) else {
+            return (None, false);
+        };
+        let served = slot.serve_tracked(example, scope, variant);
+        if served.evicted {
             self.evicted
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
-        self.settle_slot(&mut inner, canonical, outcome.is_some());
-        outcome
+        self.settle_slot(&mut inner, canonical, served.outcome.is_some());
+        (served.outcome, served.cross && served.outcome.is_some())
     }
 
     /// Records an outcome for `(canonical, example)` observed under the
@@ -335,6 +402,20 @@ impl CoverageCache {
     where
         I: IntoIterator<Item = (Tuple, CoverageOutcome)>,
     {
+        self.insert_many_from(canonical, outcomes, scope, 0);
+    }
+
+    /// [`CoverageCache::insert_many`] with the writing schema variant
+    /// recorded as each verdict's source alongside the stored outcome.
+    pub fn insert_many_from<I>(
+        &self,
+        canonical: &Clause,
+        outcomes: I,
+        scope: Option<usize>,
+        variant: u16,
+    ) where
+        I: IntoIterator<Item = (Tuple, CoverageOutcome)>,
+    {
         let verdicts: Vec<(Tuple, CachedVerdict)> = outcomes
             .into_iter()
             .filter_map(|(example, outcome)| {
@@ -348,14 +429,14 @@ impl CoverageCache {
         match inner.slots.get_mut(canonical) {
             Some(slot) => {
                 for (example, verdict) in verdicts {
-                    slot.absorb(example, verdict);
+                    slot.absorb(example, verdict, variant);
                 }
             }
             None => {
                 // The only place a clause key is ever cloned: first insert.
                 let mut slot = CacheSlot::default();
                 for (example, verdict) in verdicts {
-                    slot.absorb(example, verdict);
+                    slot.absorb(example, verdict, variant);
                 }
                 inner.slots.insert(Arc::new(canonical.clone()), slot);
             }
@@ -381,6 +462,20 @@ impl CoverageCache {
             .expect("one clause in, one row out")
     }
 
+    /// [`CoverageCache::get_batch`] for a probe from schema variant
+    /// `variant`; additionally returns how many serves crossed variants.
+    pub fn get_batch_from(
+        &self,
+        canonical: &Clause,
+        examples: &[Tuple],
+        scope: Option<usize>,
+        variant: u16,
+    ) -> (Vec<Option<CoverageOutcome>>, usize) {
+        let (mut rows, cross) =
+            self.get_batch_multi_from(std::slice::from_ref(canonical), examples, scope, variant);
+        (rows.pop().expect("one clause in, one row out"), cross)
+    }
+
     /// Cached outcomes for a whole batch of clauses × examples under a
     /// single lock — the beam-evaluation entry point: one memo probe per
     /// beam instead of one per candidate.
@@ -390,8 +485,21 @@ impl CoverageCache {
         examples: &[Tuple],
         scope: Option<usize>,
     ) -> Vec<Vec<Option<CoverageOutcome>>> {
+        self.get_batch_multi_from(canonicals, examples, scope, 0).0
+    }
+
+    /// [`CoverageCache::get_batch_multi`] for a probe from schema variant
+    /// `variant`; additionally returns how many serves crossed variants.
+    pub fn get_batch_multi_from(
+        &self,
+        canonicals: &[Clause],
+        examples: &[Tuple],
+        scope: Option<usize>,
+        variant: u16,
+    ) -> (Vec<Vec<Option<CoverageOutcome>>>, usize) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        canonicals
+        let mut cross_hits = 0usize;
+        let rows = canonicals
             .iter()
             .map(|canonical| match inner.slots.get_mut(canonical) {
                 None => vec![None; examples.len()],
@@ -400,9 +508,10 @@ impl CoverageCache {
                     let row: Vec<Option<CoverageOutcome>> = examples
                         .iter()
                         .map(|e| {
-                            let (outcome, evicted) = slot.serve_tracked(e, scope);
-                            evictions += evicted as usize;
-                            outcome
+                            let served = slot.serve_tracked(e, scope, variant);
+                            evictions += served.evicted as usize;
+                            cross_hits += (served.cross && served.outcome.is_some()) as usize;
+                            served.outcome
                         })
                         .collect();
                     if evictions > 0 {
@@ -413,26 +522,48 @@ impl CoverageCache {
                     row
                 }
             })
-            .collect()
+            .collect();
+        (rows, cross_hits)
     }
 
     /// The examples from `examples` cached as covered by `canonical` —
     /// the generality-order shortcut: callers pass a *parent* clause here
     /// and skip testing these examples on its generalizations.
     pub fn covered_subset(&self, canonical: &Clause, examples: &[Tuple]) -> Vec<Tuple> {
+        self.covered_subset_from(canonical, examples, 0).0
+    }
+
+    /// [`CoverageCache::covered_subset`] for a probe from schema variant
+    /// `variant`; additionally returns how many of the served verdicts were
+    /// proven by a different variant. Covered verdicts are definite and
+    /// therefore schema-invariant under the arena keying, so the subset
+    /// itself is the same for every variant.
+    pub fn covered_subset_from(
+        &self,
+        canonical: &Clause,
+        examples: &[Tuple],
+        variant: u16,
+    ) -> (Vec<Tuple>, usize) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let Some(slot) = inner.slots.get(canonical) else {
-            return Vec::new();
+            return (Vec::new(), 0);
         };
+        let mut cross_hits = 0usize;
         let covered: Vec<Tuple> = examples
             .iter()
-            .filter(|e| slot.outcomes.get(*e).copied() == Some(CachedVerdict::Covered))
+            .filter(|e| match slot.outcomes.get(*e) {
+                Some(stored) if stored.verdict == CachedVerdict::Covered => {
+                    cross_hits += (stored.source != variant) as usize;
+                    true
+                }
+                _ => false,
+            })
             .cloned()
             .collect();
         if !covered.is_empty() {
             inner.touch(canonical);
         }
-        covered
+        (covered, cross_hits)
     }
 
     /// Drops the cached *exhaustion* entries of one clause, keeping its
@@ -448,7 +579,7 @@ impl CoverageCache {
         };
         let before = slot.outcomes.len();
         slot.outcomes
-            .retain(|_, verdict| !matches!(verdict, CachedVerdict::ExhaustedAt { .. }));
+            .retain(|_, stored| !matches!(stored.verdict, CachedVerdict::ExhaustedAt { .. }));
         let dropped = before - slot.outcomes.len();
         if slot.outcomes.is_empty() {
             let stamp = slot.stamp;
@@ -471,7 +602,7 @@ impl CoverageCache {
         for (key, slot) in inner.slots.iter_mut() {
             let before = slot.outcomes.len();
             slot.outcomes
-                .retain(|_, verdict| !matches!(verdict, CachedVerdict::ExhaustedAt { .. }));
+                .retain(|_, stored| !matches!(stored.verdict, CachedVerdict::ExhaustedAt { .. }));
             dropped += before - slot.outcomes.len();
             if slot.outcomes.is_empty() {
                 emptied.push((Arc::clone(key), slot.stamp));

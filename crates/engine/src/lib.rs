@@ -31,6 +31,7 @@
 //! workspace (Castor, FOIL, Golem, Progol, ProGolem) routes coverage tests
 //! through it.
 
+pub mod arena;
 pub mod batch;
 pub mod cache;
 pub mod cost;
@@ -40,6 +41,7 @@ pub mod plan;
 pub mod pool;
 pub mod stats;
 
+pub use arena::{CacheArena, CacheBinding, ClauseLens, RelationLens};
 pub use batch::{BatchItemStats, BatchPlan};
 pub use cache::{
     canonical_group, canonicalize, BatchFetch, BatchPlanCache, CoverageCache, TrieExhaustions,
@@ -268,9 +270,17 @@ pub trait CoverageTester {
 /// lookup/writeback, and worker-pool dispatch. Parameterized by a
 /// [`CoverageTester`] so the database executor and the θ-subsumption tester
 /// stay a single code path.
+///
+/// The memo cache is reached through a [`CacheBinding`]: a private binding
+/// behaves like owning the cache directly, while a binding into a shared
+/// [`CacheArena`] translates every cache key through the engine's variant
+/// lens into the logical database's canonical schema — so verdicts proven
+/// by *other* schema variants are served here (and vice versa). Only cache
+/// keys are translated; plans compile and execute against this engine's
+/// own schema.
 #[derive(Debug)]
 pub struct CoverageRuntime {
-    cache: CoverageCache,
+    binding: CacheBinding,
     pool: Arc<WorkerPool>,
     metrics: Arc<EngineStats>,
     cache_coverage: bool,
@@ -279,10 +289,20 @@ pub struct CoverageRuntime {
 
 impl CoverageRuntime {
     /// Builds a runtime from the engine configuration and a (possibly
-    /// shared) worker pool.
+    /// shared) worker pool, with a private coverage cache.
     pub fn new(config: &EngineConfig, pool: Arc<WorkerPool>) -> Self {
+        CoverageRuntime::with_binding(config, pool, CacheBinding::private(config.cache_capacity))
+    }
+
+    /// Builds a runtime probing the coverage cache through `binding`
+    /// (typically one handed out by a shared [`CacheArena`]).
+    pub fn with_binding(
+        config: &EngineConfig,
+        pool: Arc<WorkerPool>,
+        binding: CacheBinding,
+    ) -> Self {
         CoverageRuntime {
-            cache: CoverageCache::new(config.cache_capacity),
+            binding,
             pool,
             metrics: Arc::new(EngineStats::new()),
             cache_coverage: config.cache_coverage,
@@ -301,20 +321,57 @@ impl CoverageRuntime {
         &self.metrics
     }
 
+    /// The coverage cache behind this runtime's binding.
+    fn cache(&self) -> &CoverageCache {
+        self.binding.cache()
+    }
+
+    /// The variant id this runtime's cache writes are tagged with.
+    fn variant(&self) -> u16 {
+        self.binding.variant()
+    }
+
+    /// The cache key of an α-canonical clause: the clause itself for a
+    /// private binding, its (re-canonicalized) canonical-schema image for
+    /// an arena binding. The lens maps literals across schemas, which can
+    /// reorder variable first occurrences, so the image is α-canonicalized
+    /// again — α-equivalent images from different variants must collide.
+    fn key_of<'a>(&self, canonical: &'a Clause) -> std::borrow::Cow<'a, Clause> {
+        match self.binding.key_of(canonical) {
+            Some(mapped) => {
+                EngineStats::bump(&self.metrics.cross_variant_translations);
+                std::borrow::Cow::Owned(canonicalize(&mapped))
+            }
+            None => std::borrow::Cow::Borrowed(canonical),
+        }
+    }
+
+    /// Counts cache serves whose verdict another variant proved.
+    fn note_cross_hits(&self, cross: usize) {
+        if cross > 0 {
+            EngineStats::add(&self.metrics.cross_variant_hits, cross);
+        }
+    }
+
     /// Snapshot of the runtime counters (including the coverage cache's
     /// budget-tier eviction count, which the cache tracks itself).
     pub fn report(&self) -> EngineReport {
         let mut report = self.metrics.snapshot();
-        report.exhaustions_evicted = self.cache.exhaustions_evicted();
+        report.exhaustions_evicted = self.cache().exhaustions_evicted();
         report
     }
 
     /// Drops cached coverage for every clause referencing one of
     /// `relations` (the mutation-invalidation hook; see
     /// [`CoverageCache::invalidate_relations`]). Returns the number of
-    /// clauses dropped.
+    /// clauses dropped. Under an arena binding the dirty set is first
+    /// translated to the canonical relations it can influence — cached keys
+    /// name canonical-schema relations.
     pub fn invalidate_relations(&self, relations: &std::collections::BTreeSet<String>) -> usize {
-        let dropped = self.cache.invalidate_relations(relations);
+        let dropped = match self.binding.relations_of(relations) {
+            Some(translated) => self.cache().invalidate_relations(&translated),
+            None => self.cache().invalidate_relations(relations),
+        };
         if dropped > 0 {
             EngineStats::add(&self.metrics.cache_clauses_invalidated, dropped);
         }
@@ -323,7 +380,7 @@ impl CoverageRuntime {
 
     /// Drops the whole coverage cache (see [`CoverageCache::clear`]).
     pub fn clear_cache(&self) {
-        self.cache.clear();
+        self.cache().clear();
     }
 
     /// Drops one clause's cached exhaustion entries (see
@@ -331,14 +388,14 @@ impl CoverageRuntime {
     /// is recosted, since those exhaustions were observed under the
     /// discarded join order.
     pub fn drop_exhausted(&self, canonical: &Clause) -> usize {
-        self.cache.drop_exhausted(canonical)
+        self.cache().drop_exhausted(&self.key_of(canonical))
     }
 
     /// Drops every cached exhaustion entry (see
     /// [`CoverageCache::drop_all_exhausted`]) — called when the plan table
     /// is cleared at capacity, which reverts every recosted join order.
     pub fn drop_all_exhausted(&self) -> usize {
-        self.cache.drop_all_exhausted()
+        self.cache().drop_all_exhausted()
     }
 
     /// Tri-state coverage test for one example through the memo cache.
@@ -349,9 +406,12 @@ impl CoverageRuntime {
         example: &Tuple,
     ) -> CoverageOutcome {
         let scope = tester.exhaustion_scope();
+        let key = self.key_of(canonical);
         if self.cache_coverage {
-            if let Some(outcome) = self.cache.get(canonical, example, scope) {
+            let (cached, cross) = self.cache().get_from(&key, example, scope, self.variant());
+            if let Some(outcome) = cached {
                 EngineStats::bump(&self.metrics.cache_hits);
+                self.note_cross_hits(cross as usize);
                 return outcome;
             }
             EngineStats::bump(&self.metrics.cache_misses);
@@ -361,11 +421,11 @@ impl CoverageRuntime {
             // Narrow the scope across the test: a cancellation that fired
             // during it turned an exhaustion into an abort (drop), and a
             // concurrent budget change must not inflate the stored key.
-            self.cache.insert(
-                canonical,
-                example,
-                outcome,
+            self.cache().insert_many_from(
+                &key,
+                std::iter::once((example.clone(), outcome)),
                 narrow_scope(scope, tester.exhaustion_scope()),
+                self.variant(),
             );
         }
         outcome
@@ -398,8 +458,13 @@ impl CoverageRuntime {
                 }
             }
             Prior::GeneralizationOf(parent) => {
-                let parent_key = canonicalize(parent);
-                for e in self.cache.covered_subset(&parent_key, examples) {
+                let parent_canonical = canonicalize(parent);
+                let parent_key = self.key_of(&parent_canonical);
+                let (subset, cross) =
+                    self.cache()
+                        .covered_subset_from(&parent_key, examples, self.variant());
+                self.note_cross_hits(cross);
+                for e in subset {
                     covered.insert(e.clone());
                     skip.insert(e);
                 }
@@ -407,13 +472,15 @@ impl CoverageRuntime {
             }
         }
         let scope = tester.exhaustion_scope();
+        let key = self.key_of(canonical);
         if !skip.is_empty() {
             EngineStats::add(&self.metrics.generality_skips, skip.len());
             if self.cache_coverage && cacheable_skips {
-                self.cache.insert_many(
-                    canonical,
+                self.cache().insert_many_from(
+                    &key,
                     skip.iter().map(|e| (e.clone(), CoverageOutcome::Covered)),
                     scope,
+                    self.variant(),
                 );
             }
         }
@@ -422,7 +489,11 @@ impl CoverageRuntime {
         // evaluate the remainder.
         let mut pending: Vec<Tuple> = Vec::new();
         let cached = if self.cache_coverage {
-            self.cache.get_batch(canonical, examples, scope)
+            let (rows, cross) = self
+                .cache()
+                .get_batch_from(&key, examples, scope, self.variant());
+            self.note_cross_hits(cross);
+            rows
         } else {
             vec![None; examples.len()]
         };
@@ -461,10 +532,11 @@ impl CoverageRuntime {
             // Narrow the scope across the evaluation: mid-flight
             // cancellations drop the exhaustions, concurrent budget
             // changes cannot inflate the stored key.
-            self.cache.insert_many(
-                canonical,
+            self.cache().insert_many_from(
+                &key,
                 pending.iter().cloned().zip(outcomes.iter().copied()),
                 narrow_scope(scope, tester.exhaustion_scope()),
+                self.variant(),
             );
         }
         for (e, outcome) in pending.into_iter().zip(outcomes) {
@@ -506,12 +578,20 @@ impl CoverageRuntime {
         if !pairs.is_empty() {
             let outcomes = self.evaluate_pairs(tester, &prep.unique, examples, &pairs);
             // Scope narrowed across the evaluation (see `covered_set`).
+            // Split the prep borrows: cache keys stay immutable while the
+            // covered sets absorb the outcomes.
+            let BatchPrep {
+                unique,
+                keys,
+                covered,
+                ..
+            } = &mut prep;
             self.absorb_pair_outcomes(
-                &prep.unique,
+                keys.as_deref().unwrap_or(unique),
                 examples,
                 &pairs,
                 &outcomes,
-                &mut prep.covered,
+                covered,
                 narrow_scope(scope, tester.exhaustion_scope()),
             );
         }
@@ -545,6 +625,15 @@ impl CoverageRuntime {
             });
             slot_of.push(slot);
         }
+        // Arena bindings key the cache by the canonical-schema image, one
+        // translation per unique clause. Execution keeps using `unique` —
+        // the image names relations of the canonical schema, not this
+        // engine's.
+        let keys: Option<Vec<Clause>> = self
+            .binding
+            .translates()
+            .then(|| unique.iter().map(|c| self.key_of(c).into_owned()).collect());
+        let key_at = |slot: usize| keys.as_deref().map_or(&unique[slot], |k| &k[slot]);
 
         let mut covered: Vec<HashSet<Tuple>> = vec![HashSet::new(); unique.len()];
         // Only generality-derived skips may be written back to the shared
@@ -562,8 +651,13 @@ impl CoverageRuntime {
                     }
                 }
                 Prior::GeneralizationOf(parent) => {
-                    let parent_key = canonicalize(parent);
-                    for e in self.cache.covered_subset(&parent_key, examples) {
+                    let parent_canonical = canonicalize(parent);
+                    let parent_key = self.key_of(&parent_canonical);
+                    let (subset, cross) =
+                        self.cache()
+                            .covered_subset_from(&parent_key, examples, self.variant());
+                    self.note_cross_hits(cross);
+                    for e in subset {
                         if covered[slot].insert(e.clone()) {
                             cacheable[slot].push(e);
                         }
@@ -578,17 +672,23 @@ impl CoverageRuntime {
         if self.cache_coverage {
             for (slot, derived) in cacheable.into_iter().enumerate() {
                 if !derived.is_empty() {
-                    self.cache.insert_many(
-                        &unique[slot],
+                    self.cache().insert_many_from(
+                        key_at(slot),
                         derived.into_iter().map(|e| (e, CoverageOutcome::Covered)),
                         scope,
+                        self.variant(),
                     );
                 }
             }
         }
 
         let rows = if self.cache_coverage {
-            self.cache.get_batch_multi(&unique, examples, scope)
+            let probe = keys.as_deref().unwrap_or(&unique);
+            let (rows, cross) =
+                self.cache()
+                    .get_batch_multi_from(probe, examples, scope, self.variant());
+            self.note_cross_hits(cross);
+            rows
         } else {
             vec![vec![None; examples.len()]; unique.len()]
         };
@@ -620,6 +720,7 @@ impl CoverageRuntime {
         }
         BatchPrep {
             unique,
+            keys,
             slot_of,
             covered,
             pending,
@@ -652,10 +753,12 @@ impl CoverageRuntime {
 
     /// Writes evaluated pair outcomes back to the memo cache (grouped per
     /// clause, one lock each) and folds covered verdicts into the per-slot
-    /// covered sets.
+    /// covered sets. `keys` are the *cache keys* of the evaluated slots
+    /// (the canonical clauses themselves under a private binding, their
+    /// canonical-schema images under an arena binding).
     fn absorb_pair_outcomes(
         &self,
-        unique: &[Clause],
+        keys: &[Clause],
         examples: &[Tuple],
         pairs: &[(usize, usize)],
         outcomes: &[CoverageOutcome],
@@ -665,13 +768,18 @@ impl CoverageRuntime {
         if self.cache_coverage {
             // One pass: bucket outcomes by slot, then one insert_many per
             // clause that actually evaluated something.
-            let mut by_slot: Vec<Vec<(Tuple, CoverageOutcome)>> = vec![Vec::new(); unique.len()];
+            let mut by_slot: Vec<Vec<(Tuple, CoverageOutcome)>> = vec![Vec::new(); keys.len()];
             for (&(slot, ei), &outcome) in pairs.iter().zip(outcomes) {
                 by_slot[slot].push((examples[ei].clone(), outcome));
             }
             for (slot, slot_outcomes) in by_slot.into_iter().enumerate() {
                 if !slot_outcomes.is_empty() {
-                    self.cache.insert_many(&unique[slot], slot_outcomes, scope);
+                    self.cache().insert_many_from(
+                        &keys[slot],
+                        slot_outcomes,
+                        scope,
+                        self.variant(),
+                    );
                 }
             }
         }
@@ -684,11 +792,13 @@ impl CoverageRuntime {
 }
 
 /// The shared pre-pass state of one batched evaluation: canonical unique
-/// clauses, the mapping from the caller's clause order onto them, known
-/// coverage (priors + cache), and the (slot → example indices) work that
-/// still needs evaluation.
+/// clauses, their cache keys when the binding translates (`None` under a
+/// private binding — the canonical clauses are the keys), the mapping from
+/// the caller's clause order onto them, known coverage (priors + cache),
+/// and the (slot → example indices) work that still needs evaluation.
 struct BatchPrep {
     unique: Vec<Clause>,
+    keys: Option<Vec<Clause>>,
     slot_of: Vec<usize>,
     covered: Vec<HashSet<Tuple>>,
     pending: Vec<Vec<usize>>,
@@ -863,7 +973,7 @@ impl Engine {
         pool: Arc<WorkerPool>,
         obs: Arc<Obs>,
     ) -> Self {
-        Engine::build(db, config, pool, EngineObs::new(obs))
+        Engine::build(db, config, pool, EngineObs::new(obs), None)
     }
 
     /// [`Engine::with_observability`], but every engine latency histogram
@@ -877,7 +987,36 @@ impl Engine {
         obs: Arc<Obs>,
         db_label: &str,
     ) -> Self {
-        Engine::build(db, config, pool, EngineObs::with_label(obs, Some(db_label)))
+        Engine::build(
+            db,
+            config,
+            pool,
+            EngineObs::with_label(obs, Some(db_label)),
+            None,
+        )
+    }
+
+    /// [`Engine::with_labeled_observability`], but probing the coverage
+    /// cache through a [`CacheBinding`] from a shared [`CacheArena`]: this
+    /// engine's database is one schema variant of a logical database, and
+    /// verdicts proven by the other variants sharing the arena are served
+    /// here (keyed by each clause's canonical-schema image). Pass
+    /// `db_label = None` for unlabeled histograms.
+    pub fn with_cache_binding(
+        db: Arc<DatabaseInstance>,
+        config: EngineConfig,
+        pool: Arc<WorkerPool>,
+        obs: Arc<Obs>,
+        db_label: Option<&str>,
+        binding: CacheBinding,
+    ) -> Self {
+        Engine::build(
+            db,
+            config,
+            pool,
+            EngineObs::with_label(obs, db_label),
+            Some(binding),
+        )
     }
 
     fn build(
@@ -885,13 +1024,18 @@ impl Engine {
         config: EngineConfig,
         pool: Arc<WorkerPool>,
         obs: EngineObs,
+        binding: Option<CacheBinding>,
     ) -> Self {
         let db_stats = DatabaseStatistics::gather(&db);
+        let runtime = match binding {
+            Some(binding) => CoverageRuntime::with_binding(&config, pool, binding),
+            None => CoverageRuntime::new(&config, pool),
+        };
         Engine {
             db_stats: RwLock::new(Arc::new(db_stats)),
             plans: Mutex::new(fx::FxHashMap::default()),
             batch_plans: BatchPlanCache::new(config.cache_capacity),
-            runtime: CoverageRuntime::new(&config, pool),
+            runtime,
             eval_budget: AtomicUsize::new(config.eval_budget),
             cancel: Mutex::new(None),
             deadline: Mutex::new(None),
@@ -1640,14 +1784,22 @@ impl Engine {
         // the same (clause, example) later. They were already written to
         // the per-trie tier above, whose lifetime is the compiled trie
         // itself. Definite verdicts are cached as usual.
-        self.runtime.absorb_pair_outcomes(
-            &prep.unique,
-            examples,
-            &pairs,
-            &outcomes,
-            &mut prep.covered,
-            None,
-        );
+        {
+            let BatchPrep {
+                unique,
+                keys,
+                covered,
+                ..
+            } = &mut *prep;
+            self.runtime.absorb_pair_outcomes(
+                keys.as_deref().unwrap_or(unique),
+                examples,
+                &pairs,
+                &outcomes,
+                covered,
+                None,
+            );
+        }
 
         if !singles.is_empty() {
             let scope = self.exhaustion_scope();
@@ -1657,12 +1809,18 @@ impl Engine {
             // Lone candidates ran ordinary per-clause plans: their
             // exhaustions keep the budget tier (scope narrowed across the
             // evaluation, as in `covered_set`).
+            let BatchPrep {
+                unique,
+                keys,
+                covered,
+                ..
+            } = &mut *prep;
             self.runtime.absorb_pair_outcomes(
-                &prep.unique,
+                keys.as_deref().unwrap_or(unique),
                 examples,
                 &singles,
                 &outcomes,
-                &mut prep.covered,
+                covered,
                 narrow_scope(scope, self.exhaustion_scope()),
             );
         }

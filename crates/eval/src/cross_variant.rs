@@ -1,0 +1,256 @@
+//! Cross-variant coverage evaluation through one shared cache arena.
+//!
+//! The UW-CSE schema variants are all images of the Original schema under
+//! known composition transformations, so a server can register them as
+//! variants of *one logical database* ([`castor_service::Server::register_variant`],
+//! anchored at the most-composed Denormalized-2 schema). A clause set
+//! evaluated on one variant then serves its verdicts to the δτ-mapped
+//! clause sets of every other variant: the per-variant engines key the
+//! shared coverage cache by the clauses' canonical-schema image, and the
+//! paper's schema-independence property (Proposition 3.7) guarantees those
+//! images coincide for corresponding hypotheses.
+//!
+//! [`run_uwcse_cross_variant_coverage`] is the harness: it evaluates a
+//! clause set expressed over the Original schema on every variant — mapped
+//! into each variant's own schema first, exactly what a tenant of that
+//! variant would submit — and returns per-variant covered sets plus engine
+//! reports, in-process or over a real loopback RPC socket.
+
+use castor_datasets::uwcse;
+use castor_datasets::SchemaFamily;
+use castor_engine::EngineReport;
+use castor_logic::Clause;
+use castor_relational::Tuple;
+use castor_service::{Server, ServerConfig};
+use castor_transform::{map_clause_through_step, CanonicalSchema, Transformation};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// How coverage jobs reach the shared-arena server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Jobs submitted through in-process [`castor_service::Session`]s.
+    InProcess,
+    /// Jobs travel a real loopback TCP socket per variant
+    /// ([`castor_rpc::RpcClient`] against one [`castor_rpc::RpcServer`]).
+    Rpc,
+}
+
+/// One variant's slice of a cross-variant run.
+#[derive(Debug, Clone)]
+pub struct CrossVariantRun {
+    /// Variant name (`"Original"`, `"4NF"`, ...).
+    pub variant: String,
+    /// Covered subset of the examples, per clause (clause order preserved).
+    pub covered: Vec<HashSet<Tuple>>,
+    /// The variant engine's counters after its jobs ran —
+    /// `cross_variant_hits` counts verdicts served from another variant's
+    /// work.
+    pub report: EngineReport,
+}
+
+/// The UW-CSE transformations from the Original schema, in the family's
+/// variant order. The Denormalized-2 entry doubles as the canonical anchor.
+fn uwcse_taus() -> Vec<(&'static str, Transformation)> {
+    let original = uwcse::original_schema();
+    vec![
+        ("Original", Transformation::identity("original-to-original")),
+        ("4NF", uwcse::to_4nf(&original)),
+        ("Denormalized-1", uwcse::to_denormalized1(&original)),
+        ("Denormalized-2", uwcse::to_denormalized2(&original)),
+    ]
+}
+
+/// Maps a clause over the Original schema into the variant produced by
+/// `tau` (δτ: every composition step merges the affected literals, padding
+/// unconstrained attributes with fresh variables).
+fn into_variant(clause: &Clause, tau: &Transformation) -> Clause {
+    let mut current = clause.clone();
+    for step in tau.steps() {
+        current = map_clause_through_step(&current, step);
+    }
+    current
+}
+
+/// Registers every UW-CSE variant of `family` on one server as variants of
+/// the logical database `"uwcse"` (anchor: Denormalized-2), evaluates
+/// `clauses` — expressed over the Original schema — on each variant in the
+/// family's order (mapped into the variant's schema first), and returns
+/// per-variant covered sets and engine reports.
+///
+/// Schema independence makes the covered sets identical across variants,
+/// and the shared arena means every variant after the first answers most
+/// probes from verdicts the first variant proved (`cross_variant_hits > 0`
+/// in their reports) — in-process and over RPC alike.
+pub fn run_uwcse_cross_variant_coverage(
+    family: &SchemaFamily,
+    clauses: &[Clause],
+    examples: &[Tuple],
+    threads: usize,
+    transport: Transport,
+) -> Vec<CrossVariantRun> {
+    let original = uwcse::original_schema();
+    let canonical = CanonicalSchema::anchor(&original, uwcse::to_denormalized2(&original));
+    let taus = uwcse_taus();
+    let server = Arc::new(Server::new(ServerConfig::default().with_threads(threads)));
+    for (name, tau) in &taus {
+        let variant = family
+            .variant(name)
+            .unwrap_or_else(|| panic!("UW-CSE family is missing the `{name}` variant"));
+        server
+            .register_variant(
+                *name,
+                Arc::clone(&variant.db),
+                "uwcse",
+                canonical.lens_for(tau),
+            )
+            .expect("each variant registers once per run");
+    }
+    let mut runs = Vec::with_capacity(taus.len());
+    match transport {
+        Transport::InProcess => {
+            for (name, tau) in &taus {
+                let session = server.session(name).expect("variant was just registered");
+                let mapped: Vec<Clause> = clauses.iter().map(|c| into_variant(c, tau)).collect();
+                let covered = session
+                    .covered_sets(mapped, examples.to_vec())
+                    .expect("cross-variant runs are never cancelled");
+                runs.push(CrossVariantRun {
+                    variant: name.to_string(),
+                    covered,
+                    report: server.report(name).expect("registered"),
+                });
+            }
+        }
+        Transport::Rpc => {
+            use castor_rpc::{RpcClient, RpcConfig, RpcServer};
+            let rpc = RpcServer::bind(Arc::clone(&server), "127.0.0.1:0", RpcConfig::default())
+                .expect("loopback bind for the cross-variant run");
+            for (name, tau) in &taus {
+                let mut client = RpcClient::connect(rpc.local_addr(), name)
+                    .expect("loopback connect for the cross-variant run");
+                let mapped: Vec<Clause> = clauses.iter().map(|c| into_variant(c, tau)).collect();
+                let covered = client
+                    .covered_sets(mapped, examples.to_vec())
+                    .expect("cross-variant runs are never cancelled");
+                runs.push(CrossVariantRun {
+                    variant: name.to_string(),
+                    covered,
+                    report: server.report(name).expect("registered"),
+                });
+            }
+        }
+    }
+    runs
+}
+
+/// The from-scratch baseline: the same per-variant jobs against *independent*
+/// servers (no shared arena, no variant lenses). Used by the guard tests to
+/// pin the shared-arena covered sets bit-identical to isolated engines.
+pub fn run_uwcse_independent_coverage(
+    family: &SchemaFamily,
+    clauses: &[Clause],
+    examples: &[Tuple],
+    threads: usize,
+) -> Vec<CrossVariantRun> {
+    uwcse_taus()
+        .iter()
+        .map(|(name, tau)| {
+            let variant = family
+                .variant(name)
+                .unwrap_or_else(|| panic!("UW-CSE family is missing the `{name}` variant"));
+            let server = Server::new(ServerConfig::default().with_threads(threads));
+            server
+                .register(*name, Arc::clone(&variant.db))
+                .expect("one registration per isolated server");
+            let session = server.session(name).expect("variant was just registered");
+            let mapped: Vec<Clause> = clauses.iter().map(|c| into_variant(c, tau)).collect();
+            let covered = session
+                .covered_sets(mapped, examples.to_vec())
+                .expect("baseline runs are never cancelled");
+            CrossVariantRun {
+                variant: name.to_string(),
+                covered,
+                report: server.report(name).expect("registered"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castor_datasets::uwcse::{generate, ground_truth_original, UwCseConfig};
+
+    fn family() -> SchemaFamily {
+        generate(&UwCseConfig {
+            students: 10,
+            professors: 3,
+            courses: 4,
+            noise_fraction: 0.0,
+            ..Default::default()
+        })
+    }
+
+    fn clauses_and_examples(family: &SchemaFamily) -> (Vec<Clause>, Vec<Tuple>) {
+        let clauses = ground_truth_original().clauses;
+        let task = &family.variants[0].task;
+        let examples: Vec<Tuple> = task
+            .positive
+            .iter()
+            .chain(task.negative.iter())
+            .cloned()
+            .collect();
+        (clauses, examples)
+    }
+
+    #[test]
+    fn shared_arena_matches_independent_engines_in_process() {
+        let family = family();
+        let (clauses, examples) = clauses_and_examples(&family);
+        let shared =
+            run_uwcse_cross_variant_coverage(&family, &clauses, &examples, 1, Transport::InProcess);
+        let isolated = run_uwcse_independent_coverage(&family, &clauses, &examples, 1);
+        assert_eq!(shared.len(), 4);
+        for (s, i) in shared.iter().zip(&isolated) {
+            assert_eq!(s.variant, i.variant);
+            assert_eq!(
+                s.covered, i.covered,
+                "{}: shared-arena covered sets must be bit-identical to isolated engines",
+                s.variant
+            );
+        }
+        // Every variant covers the same logical examples (schema
+        // independence of the evaluation itself).
+        for run in &shared[1..] {
+            assert_eq!(run.covered, shared[0].covered, "{}", run.variant);
+        }
+        // The first variant proved the verdicts; the others reused them.
+        assert_eq!(shared[0].report.cross_variant_hits, 0);
+        for run in &shared[1..] {
+            assert!(
+                run.report.cross_variant_hits > 0,
+                "{} reused no verdicts: {:?}",
+                run.variant,
+                run.report
+            );
+        }
+    }
+
+    #[test]
+    fn shared_arena_reuses_verdicts_over_rpc() {
+        let family = family();
+        let (clauses, examples) = clauses_and_examples(&family);
+        let runs =
+            run_uwcse_cross_variant_coverage(&family, &clauses, &examples, 1, Transport::Rpc);
+        for run in &runs[1..] {
+            assert_eq!(run.covered, runs[0].covered, "{}", run.variant);
+            assert!(
+                run.report.cross_variant_hits > 0,
+                "{} reused no verdicts over RPC: {:?}",
+                run.variant,
+                run.report
+            );
+        }
+    }
+}

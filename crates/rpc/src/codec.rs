@@ -733,6 +733,8 @@ impl Wire for EngineReport {
             self.coverage_tests,
             self.cache_hits,
             self.cache_misses,
+            self.cross_variant_hits,
+            self.cross_variant_translations,
             self.generality_skips,
             self.budget_exhausted,
             self.exhaustions_evicted,
@@ -759,6 +761,8 @@ impl Wire for EngineReport {
             coverage_tests: r.get_usize()?,
             cache_hits: r.get_usize()?,
             cache_misses: r.get_usize()?,
+            cross_variant_hits: r.get_usize()?,
+            cross_variant_translations: r.get_usize()?,
             generality_skips: r.get_usize()?,
             budget_exhausted: r.get_usize()?,
             exhaustions_evicted: r.get_usize()?,

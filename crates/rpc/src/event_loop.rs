@@ -205,6 +205,15 @@ struct EventLoop {
     loop_connections: Arc<Gauge>,
     ready_batches: Arc<Counter>,
     wake_ns: Arc<Histogram>,
+    /// Per-phase loop profiling (`castor_rpc_loop_phase_ns{phase=...}`):
+    /// where a loop iteration's time actually goes — draining sockets,
+    /// dispatching parsed frames onto runner queues, encoding responses,
+    /// or flushing write buffers — so a saturated loop can be diagnosed
+    /// from metrics alone.
+    phase_read_ns: Arc<Histogram>,
+    phase_dispatch_ns: Arc<Histogram>,
+    phase_encode_ns: Arc<Histogram>,
+    phase_flush_ns: Arc<Histogram>,
 }
 
 /// Runs the event loop to completion (the shutdown flag, checked on
@@ -249,6 +258,26 @@ pub(crate) fn run(
         wake_ns: registry.histogram(
             "castor_rpc_loop_wake_ns",
             "Nanoseconds from a job-completion signal to the event loop observing it.",
+        ),
+        phase_read_ns: registry.labeled_histogram(
+            "castor_rpc_loop_phase_ns",
+            "Nanoseconds one event-loop phase took for one ready connection.",
+            &[("phase", "read")],
+        ),
+        phase_dispatch_ns: registry.labeled_histogram(
+            "castor_rpc_loop_phase_ns",
+            "Nanoseconds one event-loop phase took for one ready connection.",
+            &[("phase", "dispatch")],
+        ),
+        phase_encode_ns: registry.labeled_histogram(
+            "castor_rpc_loop_phase_ns",
+            "Nanoseconds one event-loop phase took for one ready connection.",
+            &[("phase", "encode")],
+        ),
+        phase_flush_ns: registry.labeled_histogram(
+            "castor_rpc_loop_phase_ns",
+            "Nanoseconds one event-loop phase took for one ready connection.",
+            &[("phase", "flush")],
         ),
         listener,
         service,
@@ -390,6 +419,7 @@ impl EventLoop {
             return;
         }
         let mut disconnected = false;
+        let read_timer = self.obs.timer();
         loop {
             match conn.stream.read(scratch) {
                 Ok(0) => {
@@ -405,10 +435,12 @@ impl EventLoop {
                 }
             }
         }
+        read_timer.stop_ns(&self.phase_read_ns);
         // Frames already buffered are dispatched even when the read
         // ended in EOF — the client may have pipelined requests and
         // half-closed; the threaded reader behaved identically, parsing
         // everything it had before seeing the close.
+        let dispatch_timer = self.obs.timer();
         while let Some(next) = {
             let conn = self.conns.get_mut(&token).expect("conn present");
             if conn.close_after_flush {
@@ -435,6 +467,7 @@ impl EventLoop {
                 }
             }
         }
+        dispatch_timer.stop_ns(&self.phase_dispatch_ns);
         if disconnected {
             let conn = self.conns.get_mut(&token).expect("conn present");
             // The client is gone: nothing further can be read and any
@@ -681,13 +714,17 @@ impl EventLoop {
     /// Encodes whatever the head of the queue allows, flushes the write
     /// buffer as far as the socket accepts, and updates epoll interest.
     fn pump(&mut self, token: u64) -> Pumped {
-        if self.encode_ready(token) == Pumped::Dead {
+        let encode_timer = self.obs.timer();
+        let encoded = self.encode_ready(token);
+        encode_timer.stop_ns(&self.phase_encode_ns);
+        if encoded == Pumped::Dead {
             return Pumped::Dead;
         }
         let conn = self.conns.get_mut(&token).expect("conn present");
         // Flush with partial-write resumption: `wpos` marks how far the
         // kernel got; a WouldBlock leaves it mid-frame and EPOLLOUT
         // interest resumes the flush on the next writability event.
+        let flush_timer = self.obs.timer();
         while conn.wpos < conn.wbuf.len() {
             match conn.stream.write(&conn.wbuf[conn.wpos..]) {
                 Ok(0) => return Pumped::Dead,
@@ -697,6 +734,7 @@ impl EventLoop {
                 Err(_) => return Pumped::Dead,
             }
         }
+        flush_timer.stop_ns(&self.phase_flush_ns);
         if conn.wpos == conn.wbuf.len() {
             conn.wbuf.clear();
             conn.wpos = 0;

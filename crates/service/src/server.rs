@@ -31,10 +31,13 @@ use crate::job::{Job, JobError, JobResult, JobShared, LearnAlgorithm};
 use crate::session::Session;
 use crate::stats::{QueueReport, ServerReport, ServerStats};
 use castor_core::Castor;
-use castor_engine::{Engine, EngineConfig, EngineReport, ProgressSink, WorkerPool};
+use castor_engine::{
+    CacheArena, CacheBinding, Engine, EngineConfig, EngineReport, ProgressSink, WorkerPool,
+};
 use castor_learners::{Foil, Golem, ProGolem, Progol};
 use castor_obs::{Collect, Counter, Exposition, Histogram, Obs, ObsConfig};
 use castor_relational::DatabaseInstance;
+use castor_transform::VariantLens;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -62,6 +65,11 @@ pub struct ServerConfig {
     /// engine, queue runner, and the RPC front end record into
     /// (instrumentation is on by default).
     pub obs: ObsConfig,
+    /// Post-mortem trace path: when set, the server arms
+    /// [`Obs::dump_on_drop`] *and* installs a process panic hook, so both
+    /// orderly shutdowns and crashes leave the span ring behind as
+    /// Chrome-trace JSON at this path. `None` (the default) writes nothing.
+    pub trace_dump_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +80,7 @@ impl Default for ServerConfig {
             max_sessions: 0,
             max_inflight_per_database: 0,
             obs: ObsConfig::default(),
+            trace_dump_path: None,
         }
     }
 }
@@ -106,6 +115,14 @@ impl ServerConfig {
     /// (`ObsConfig::disabled()` turns every timer and span into a no-op).
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Returns a copy that writes the span ring to `path` as Chrome-trace
+    /// JSON on shutdown *and* on panic — a crashed server leaves a
+    /// post-mortem trace behind (see [`ServerConfig::trace_dump_path`]).
+    pub fn with_trace_dump_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.trace_dump_path = Some(path.into());
         self
     }
 }
@@ -452,14 +469,21 @@ impl Collect for PoolCollector {
 /// exposition can never disagree with the report structs.
 struct DatabaseCollector {
     name: String,
-    engine: Arc<Engine>,
+    // Weak: the collector lives inside the `Obs` registry and the engine
+    // holds the `Obs` handle, so a strong reference here would cycle and
+    // keep the observability state (and any armed `dump_on_drop`) alive
+    // after the server is gone. A dropped database simply stops exporting.
+    engine: std::sync::Weak<Engine>,
     queue: Arc<DatabaseQueue>,
 }
 
 impl Collect for DatabaseCollector {
     fn collect(&self, exp: &mut Exposition) {
+        let Some(engine) = self.engine.upgrade() else {
+            return;
+        };
         let db = [("db", self.name.as_str())];
-        let e = self.engine.report();
+        let e = engine.report();
         for (name, help, value) in [
             (
                 "castor_engine_coverage_tests_total",
@@ -470,6 +494,16 @@ impl Collect for DatabaseCollector {
                 "castor_engine_cache_hits_total",
                 "Tests answered from a coverage cache (memo or exhaustion tiers).",
                 e.cache_hits,
+            ),
+            (
+                "castor_engine_cross_variant_hits_total",
+                "Cache hits served from a verdict proven by another schema variant.",
+                e.cross_variant_hits,
+            ),
+            (
+                "castor_engine_cross_variant_translations_total",
+                "Clauses translated through a variant lens at the cache boundary.",
+                e.cross_variant_translations,
             ),
             (
                 "castor_engine_budget_exhausted_total",
@@ -572,6 +606,11 @@ pub struct Server {
     pool: Arc<WorkerPool>,
     config: ServerConfig,
     databases: Mutex<HashMap<String, DatabaseEntry>>,
+    /// One shared coverage-cache arena per *logical* database: every
+    /// schema variant registered against the same logical name binds to
+    /// the same arena, so verdicts proven on one variant serve the others
+    /// (see [`Server::register_variant`]).
+    arenas: Mutex<HashMap<String, Arc<CacheArena>>>,
     stats: Arc<ServerStats>,
     obs: Arc<Obs>,
     watchdog: Arc<DeadlineWatchdog>,
@@ -603,10 +642,28 @@ impl Server {
             .register_collector(Box::new(ServerStatsCollector(Arc::clone(&stats))));
         obs.registry()
             .register_collector(Box::new(PoolCollector(Arc::clone(&pool))));
+        if let Some(path) = &config.trace_dump_path {
+            // Drop guard: an orderly shutdown (or an unwinding panic that
+            // drops the last `Obs` handle) writes the trace file.
+            obs.dump_on_drop(path);
+            // Panic hook: a crash that aborts before the handles unwind
+            // still dumps. A `Weak` keeps the process-global hook from
+            // pinning the registry alive after the server is gone.
+            let hook_obs = Arc::downgrade(&obs);
+            let hook_path = path.clone();
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if let Some(obs) = hook_obs.upgrade() {
+                    let _ = std::fs::write(&hook_path, obs.trace_json());
+                }
+                previous(info);
+            }));
+        }
         Server {
             pool,
             config,
             databases: Mutex::new(HashMap::new()),
+            arenas: Mutex::new(HashMap::new()),
             stats,
             obs,
             watchdog: DeadlineWatchdog::spawn(),
@@ -646,26 +703,93 @@ impl Server {
         name: impl Into<String>,
         db: Arc<DatabaseInstance>,
     ) -> Result<(), ServerError> {
-        let name = name.into();
+        self.register_inner(name.into(), db, None)
+    }
+
+    /// Registers a database as a *schema variant* of one logical database:
+    /// every variant registered under the same `logical` name shares one
+    /// coverage-cache arena, keyed by clauses' canonical-schema image, so a
+    /// verdict proven on any variant is served to all the others over RPC
+    /// and in-process alike. `lens` is the δτ mapping from this variant's
+    /// schema into the logical database's canonical schema (see
+    /// `castor_transform::CanonicalSchema::lens_for`); pass
+    /// [`VariantLens::identity`] for the canonical anchor itself. Plans
+    /// still compile and execute against the variant's own schema — the
+    /// lens translates cache keys only.
+    pub fn register_variant(
+        &self,
+        name: impl Into<String>,
+        db: Arc<DatabaseInstance>,
+        logical: impl Into<String>,
+        lens: VariantLens,
+    ) -> Result<(), ServerError> {
+        let arena =
+            {
+                let mut arenas = self.arenas.lock().unwrap_or_else(|e| e.into_inner());
+                Arc::clone(arenas.entry(logical.into()).or_insert_with(|| {
+                    Arc::new(CacheArena::new(self.config.engine.cache_capacity))
+                }))
+            };
+        let binding = if lens.is_identity() {
+            arena.bind_canonical()
+        } else {
+            let map = Arc::new(lens);
+            let relations = Arc::clone(&map);
+            arena.bind(
+                Arc::new(move |clause: &castor_logic::Clause| map.map_clause(clause)),
+                Arc::new(move |dirty: &std::collections::BTreeSet<String>| {
+                    relations.map_relations(dirty)
+                }),
+            )
+        };
+        self.register_inner(name.into(), db, Some(binding))
+    }
+
+    /// The shared arena of one logical database, if any variant of it has
+    /// been registered (for reports and tests).
+    pub fn arena(&self, logical: &str) -> Option<Arc<CacheArena>> {
+        self.arenas
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(logical)
+            .cloned()
+    }
+
+    fn register_inner(
+        &self,
+        name: String,
+        db: Arc<DatabaseInstance>,
+        binding: Option<CacheBinding>,
+    ) -> Result<(), ServerError> {
         let mut databases = self.databases.lock().unwrap_or_else(|e| e.into_inner());
         if databases.contains_key(&name) {
             return Err(ServerError::DuplicateDatabase(name));
         }
         let mut engine_config = self.config.engine.clone();
         engine_config.threads = self.config.threads;
-        let engine = Arc::new(Engine::with_labeled_observability(
-            db,
-            engine_config,
-            Arc::clone(&self.pool),
-            Arc::clone(&self.obs),
-            &name,
-        ));
+        let engine = Arc::new(match binding {
+            Some(binding) => Engine::with_cache_binding(
+                db,
+                engine_config,
+                Arc::clone(&self.pool),
+                Arc::clone(&self.obs),
+                Some(&name),
+                binding,
+            ),
+            None => Engine::with_labeled_observability(
+                db,
+                engine_config,
+                Arc::clone(&self.pool),
+                Arc::clone(&self.obs),
+                &name,
+            ),
+        });
         let queue = Arc::new(DatabaseQueue::new(self.config.max_inflight_per_database));
         self.obs
             .registry()
             .register_collector(Box::new(DatabaseCollector {
                 name: name.clone(),
-                engine: Arc::clone(&engine),
+                engine: Arc::downgrade(&engine),
                 queue: Arc::clone(&queue),
             }));
         let runner_engine = Arc::clone(&engine);
@@ -1102,6 +1226,59 @@ mod tests {
         queue.job_done();
         let (d, _hd) = queued(&ctx);
         assert!(matches!(queue.submit(session, d), SubmitOutcome::Queued));
+    }
+
+    /// The post-mortem wiring end to end: a server configured with
+    /// [`ServerConfig::with_trace_dump_path`] leaves its span ring behind
+    /// as Chrome-trace JSON once the last observability handle drops —
+    /// no explicit dump call anywhere.
+    #[test]
+    fn orderly_shutdown_leaves_a_trace_dump_behind() {
+        use castor_logic::{Atom, Clause};
+        use castor_relational::{RelationSymbol, Schema, Tuple};
+
+        let path = std::env::temp_dir().join(format!(
+            "castor-trace-dump-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let server = Server::new(
+                ServerConfig::default()
+                    .with_threads(1)
+                    .with_trace_dump_path(&path),
+            );
+            let mut schema = Schema::new("demo");
+            schema.add_relation(RelationSymbol::new("edge", &["a", "b"]));
+            let mut db = DatabaseInstance::empty(&schema);
+            db.insert("edge", Tuple::from_strs(&["x", "y"])).unwrap();
+            server.register("demo", Arc::new(db)).unwrap();
+            let session = server.session("demo").unwrap();
+            let clause = Clause::new(
+                Atom::vars("linked", &["a", "b"]),
+                vec![Atom::vars("edge", &["a", "b"])],
+            );
+            session
+                .covered_sets(vec![clause], vec![Tuple::from_strs(&["x", "y"])])
+                .unwrap();
+        }
+        // The runner threads exit (and drop their `Obs` clones) shortly
+        // after the server handle goes; the last drop writes the file.
+        let mut dump = None;
+        for _ in 0..200 {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                dump = Some(text);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let dump = dump.expect("trace dump file was never written");
+        assert!(
+            dump.contains("service.queue_wait"),
+            "dump missing the job's spans: {dump}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -19,10 +19,16 @@
 //!   equality (Definition 7.1), used by Castor's bottom-clause construction
 //!   and negative reduction;
 //! * join-tree acyclicity and cyclic-IND checks (Proposition 7.4);
-//! * the definition mapping δτ for decomposition steps (literal splitting);
+//! * the definition mapping δτ in both directions — literal splitting for
+//!   decomposition steps and greedy literal merging (with fresh-variable
+//!   padding) for composition steps;
+//! * [`CanonicalSchema`] — a most-composed anchor giving every variant of a
+//!   logical database a [`VariantLens`] into one shared clause space, the
+//!   basis of cross-variant coverage-verdict reuse in `castor-engine`;
 //! * an information-equivalence verifier that round-trips instances.
 
 pub mod acyclicity;
+pub mod canonical;
 pub mod definition_map;
 pub mod equivalence;
 pub mod inclusion_class;
@@ -30,7 +36,10 @@ pub mod step;
 pub mod transformation;
 
 pub use acyclicity::{inds_are_cyclic, join_is_acyclic};
-pub use definition_map::map_definition_through_decomposition;
+pub use canonical::{CanonicalSchema, VariantLens};
+pub use definition_map::{
+    map_clause_through_step, map_definition_through, map_definition_through_decomposition,
+};
 pub use equivalence::verify_information_equivalence;
 pub use inclusion_class::{inclusion_classes, InclusionClass};
 pub use step::TransformStep;

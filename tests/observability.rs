@@ -167,4 +167,17 @@ fn wire_metrics_agree_with_the_server_report() {
         metric_value(&metrics, "castor_sessions_accepted_total"),
         server.sessions_accepted as u64
     );
+
+    // The event loop attributes its time to per-phase series. Every
+    // request above was read off the socket and dispatched, and every
+    // reply was encoded and flushed back, so all four phases have
+    // samples by scrape time (the scrape itself is at least one more
+    // read).
+    for phase in ["read", "dispatch", "encode", "flush"] {
+        let count = metric_value(
+            &metrics,
+            &format!("castor_rpc_loop_phase_ns_count{{phase=\"{phase}\"}}"),
+        );
+        assert!(count > 0, "no {phase}-phase samples in:\n{metrics}");
+    }
 }
